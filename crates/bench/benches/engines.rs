@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks of the two simulation engines' kernels:
+//! the SPICE transient on an RC ladder, the TETA recursive-convolution
+//! step, and the numeric primitives they lean on (LU, eigensolver).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linvar_circuit::{Netlist, SourceWaveform};
+use linvar_numeric::{eigen_decompose, LuFactor, Matrix};
+use linvar_spice::{Transient, TransientOptions};
+use std::hint::black_box;
+
+fn rc_ladder(n: usize) -> Netlist {
+    let mut nl = Netlist::new();
+    let inp = nl.node("in");
+    nl.add_vsource(
+        "V1",
+        inp,
+        Netlist::GROUND,
+        SourceWaveform::Ramp {
+            v0: 0.0,
+            v1: 1.0,
+            t0: 10e-12,
+            tr: 50e-12,
+        },
+    )
+    .expect("adds");
+    let mut prev = inp;
+    for k in 0..n {
+        let next = nl.node(&format!("n{k}"));
+        nl.add_resistor(&format!("R{k}"), prev, next, 10.0).expect("adds");
+        nl.add_capacitor(&format!("C{k}"), next, Netlist::GROUND, 5e-15)
+            .expect("adds");
+        prev = next;
+    }
+    nl
+}
+
+fn bench_spice_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spice_transient");
+    group.sample_size(10);
+    for &n in &[25usize, 100, 250] {
+        let nl = rc_ladder(n);
+        group.bench_with_input(BenchmarkId::new("rc_ladder_1ns", n), &n, |b, _| {
+            b.iter(|| {
+                let opts = TransientOptions::new(1e-9, 1e-12);
+                Transient::new(&nl, &opts).expect("builds").run().expect("runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_numeric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numeric");
+    group.sample_size(20);
+    for &n in &[50usize, 150, 300] {
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a = Matrix::from_fn(n, n, |i, j| next() + if i == j { 8.0 } else { 0.0 });
+        group.bench_with_input(BenchmarkId::new("lu_factor", n), &n, |b, _| {
+            b.iter(|| LuFactor::new(black_box(&a)).expect("factors"));
+        });
+    }
+    // The eigensolver runs on reduced models only (order ≤ ~40).
+    for &n in &[8usize, 16, 32] {
+        let mut state = 11u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a = Matrix::from_fn(n, n, |_, _| next());
+        group.bench_with_input(BenchmarkId::new("eigen_decompose", n), &n, |b, _| {
+            b.iter(|| eigen_decompose(black_box(&a)).expect("decomposes"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spice_transient, bench_numeric);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks of the model-order-reduction pipeline:
+//! PRIMA/PACT reduction, variational-library characterization, per-sample
+//! ROM evaluation, pole/residue extraction and stabilization.
+//!
+//! These quantify the framework's construction-vs-evaluation cost split:
+//! the per-sample steps must be orders of magnitude cheaper than the
+//! one-time characterization for the Monte-Carlo flow to pay off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linvar_circuit::VariationalMna;
+use linvar_interconnect::{builder::build_coupled_lines, CoupledLineSpec, WireTech};
+use linvar_mor::{
+    extract_pole_residue, pact_reduce, prima_reduce, stabilize, ReductionMethod, VariationalRom,
+};
+use std::hint::black_box;
+
+fn line_var(n_segments: usize) -> VariationalMna {
+    let spec = CoupledLineSpec::new(2, n_segments as f64 * 1e-6, WireTech::m018());
+    let built = build_coupled_lines(&spec).expect("valid spec");
+    let mut var = built.netlist.assemble_variational().expect("assembles");
+    // Fold a driver conductance so G is nonsingular.
+    for k in 0..2 {
+        let idx = var.port_indices[k];
+        var.add_grounded_conductance(idx, 1e-3).expect("in range");
+    }
+    var
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction");
+    group.sample_size(10);
+    for &segs in &[25usize, 100, 250] {
+        let var = line_var(segs);
+        let b = var.port_incidence();
+        group.bench_with_input(BenchmarkId::new("prima_order8", segs), &segs, |bch, _| {
+            bch.iter(|| prima_reduce(&var.g0, &var.c0, &b, 8).expect("reduces"));
+        });
+        group.bench_with_input(BenchmarkId::new("pact_4modes", segs), &segs, |bch, _| {
+            bch.iter(|| pact_reduce(&var.g0, &var.c0, &var.port_indices, 4).expect("reduces"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_variational(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variational");
+    group.sample_size(10);
+    let var = line_var(100);
+    group.bench_function("characterize_5params", |b| {
+        b.iter(|| {
+            VariationalRom::characterize(&var, ReductionMethod::Prima { order: 8 }, 0.02)
+                .expect("characterizes")
+        });
+    });
+    let vrom = VariationalRom::characterize(&var, ReductionMethod::Prima { order: 8 }, 0.02)
+        .expect("characterizes");
+    let w = [0.3, -0.2, 0.1, 0.4, -0.5];
+    group.bench_function("evaluate_sample", |b| {
+        b.iter(|| vrom.evaluate(black_box(&w)));
+    });
+    group.bench_function("evaluate_exact_sample", |b| {
+        b.iter(|| vrom.evaluate_exact(&var, black_box(&w)).expect("reduces"));
+    });
+    group.finish();
+}
+
+fn bench_poleres(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poleres");
+    group.sample_size(20);
+    let var = line_var(100);
+    let vrom = VariationalRom::characterize(&var, ReductionMethod::Prima { order: 8 }, 0.02)
+        .expect("characterizes");
+    let rom = vrom.evaluate(&[0.5, 0.5, -0.5, 0.5, 0.5]);
+    group.bench_function("extract_order8", |b| {
+        b.iter(|| extract_pole_residue(black_box(&rom)).expect("extracts"));
+    });
+    let pr = extract_pole_residue(&rom).expect("extracts");
+    group.bench_function("stabilize", |b| {
+        b.iter(|| stabilize(black_box(&pr)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction, bench_variational, bench_poleres);
+criterion_main!(benches);

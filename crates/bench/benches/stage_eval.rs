@@ -1,0 +1,46 @@
+//! Criterion benchmark of the Figure-5 comparison: one Monte-Carlo sample
+//! of a logic stage through the linear-centric engine vs the SPICE
+//! baseline, as a function of interconnect size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linvar_core::path::{PathModel, PathSample, PathSpec};
+use linvar_devices::tech_018;
+use linvar_interconnect::WireTech;
+use std::hint::black_box;
+
+fn build(n_elem: usize) -> PathModel {
+    let spec = PathSpec {
+        cells: vec!["inv".into()],
+        linear_elements_between_stages: n_elem,
+        input_slew: 50e-12,
+    };
+    PathModel::build(&spec, &tech_018(), &WireTech::m018()).expect("builds")
+}
+
+fn bench_stage_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage_sample");
+    group.sample_size(10);
+    let sample = PathSample {
+        wire: [0.2, -0.1, 0.3, -0.2, 0.1],
+        device: Default::default(),
+    };
+    for &n_elem in &[10usize, 100, 500] {
+        let model = build(n_elem);
+        group.bench_with_input(BenchmarkId::new("framework", n_elem), &n_elem, |b, _| {
+            b.iter(|| model.evaluate_sample(black_box(&sample)).expect("evaluates"));
+        });
+        // The baseline at 500 elements takes ~1.3 s per call; keep it in
+        // the benchmark — that gap IS the result.
+        group.bench_with_input(BenchmarkId::new("spice", n_elem), &n_elem, |b, _| {
+            b.iter(|| {
+                model
+                    .evaluate_sample_spice(black_box(&sample))
+                    .expect("evaluates")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage_sample);
+criterion_main!(benches);

@@ -1,0 +1,212 @@
+//! Regenerates the paper's Example 2: Figure 5 (CPU time vs wirelength)
+//! and Figure 6 (delay histograms, full vs variational reduced model).
+//!
+//! A 4-port stage: four parallel coupled minimum-width lines, each driven
+//! by an inverter; the delay is measured at the probe line's far end. Wire
+//! parameters (W, T, S, H, ρ) fluctuate uniformly within their tolerances;
+//! 100 Latin-Hypercube samples.
+//!
+//! Run with `cargo run --release -p linvar-bench --bin example2`.
+
+use linvar_bench::render_table;
+use linvar_circuit::{MosType, Netlist, SourceWaveform};
+use linvar_devices::{tech_018, DeviceVariation};
+use linvar_interconnect::{builder::build_coupled_lines, CoupledLineSpec, WireTech};
+use linvar_mor::ReductionMethod;
+use linvar_spice::{Transient, TransientOptions};
+use linvar_stats::{lhs_uniform, rng_from_seed, Histogram, Summary};
+use linvar_teta::{StageModel, Waveform};
+use std::time::Instant;
+
+const N_LINES: usize = 4;
+const PROBE_LINE: usize = 1;
+
+struct FourPortStage {
+    model: StageModel,
+    netlist: Netlist,
+    inputs: Vec<linvar_circuit::NodeId>,
+    probe_far: linvar_circuit::NodeId,
+    probe_port: usize,
+}
+
+fn build_stage(length_um: f64) -> Result<FourPortStage, Box<dyn std::error::Error>> {
+    let tech = tech_018();
+    let spec = CoupledLineSpec::new(N_LINES, length_um * 1e-6, WireTech::m018());
+    let built = build_coupled_lines(&spec)?;
+    let model = StageModel::build(
+        &built.netlist,
+        &built.inputs,
+        &tech,
+        ReductionMethod::Prima { order: 8 },
+        0.02,
+    )?;
+    let probe_far = built.outputs[PROBE_LINE];
+    let probe_port = built
+        .netlist
+        .ports()
+        .iter()
+        .position(|p| *p == probe_far)
+        .expect("far end is a port");
+    Ok(FourPortStage {
+        model,
+        netlist: built.netlist,
+        inputs: built.inputs,
+        probe_far,
+        probe_port,
+    })
+}
+
+/// TETA evaluation of the stage at a wire sample; returns the probe delay.
+fn teta_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, Box<dyn std::error::Error>> {
+    let vdd = 1.8;
+    let input = Waveform::ramp(0.0, vdd, 50e-12, 50e-12);
+    let m_in = 75e-12;
+    let inputs = vec![input; N_LINES];
+    let res = stage
+        .model
+        .evaluate(w, DeviceVariation::nominal(), &inputs, 1e-12, 2e-9)?;
+    let out = &res.waveforms[stage.probe_port];
+    let m_out = out
+        .crossing(vdd / 2.0, false)
+        .ok_or("probe output did not switch")?;
+    Ok(m_out - m_in)
+}
+
+/// Same evaluation through the exact (per-sample re-reduced) model.
+fn teta_exact_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, Box<dyn std::error::Error>> {
+    let vdd = 1.8;
+    let input = Waveform::ramp(0.0, vdd, 50e-12, 50e-12);
+    let m_in = 75e-12;
+    let inputs = vec![input; N_LINES];
+    let res = stage
+        .model
+        .evaluate_exact(w, DeviceVariation::nominal(), &inputs, 1e-12, 2e-9)?;
+    let out = &res.waveforms[stage.probe_port];
+    let m_out = out
+        .crossing(vdd / 2.0, false)
+        .ok_or("probe output did not switch")?;
+    Ok(m_out - m_in)
+}
+
+/// SPICE evaluation: four transistor inverters driving the frozen bundle.
+fn spice_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, Box<dyn std::error::Error>> {
+    let tech = tech_018();
+    let vdd = tech.library.vdd;
+    let frozen = stage.netlist.frozen_at(w);
+    let mut sim = Netlist::new();
+    let vdd_node = sim.node("vdd");
+    let in_node = sim.node("stage_in");
+    sim.instantiate(&frozen, "", &[])?;
+    sim.add_vsource("Vdd", vdd_node, Netlist::GROUND, SourceWaveform::Dc(vdd))?;
+    sim.add_vsource(
+        "Vin",
+        in_node,
+        Netlist::GROUND,
+        SourceWaveform::Ramp { v0: 0.0, v1: vdd, t0: 50e-12, tr: 50e-12 },
+    )?;
+    for (k, near) in stage.inputs.iter().enumerate() {
+        let name = frozen.node_name(*near).expect("named").to_string();
+        let node = sim.find_node(&name).expect("instantiated");
+        sim.add_mosfet(
+            &format!("MP{k}"), node, in_node, vdd_node, vdd_node, MosType::Pmos,
+            &tech.library.pmos_name(), tech.wp, tech.library.lmin,
+        )?;
+        sim.add_mosfet(
+            &format!("MN{k}"), node, in_node, Netlist::GROUND, Netlist::GROUND, MosType::Nmos,
+            &tech.library.nmos_name(), tech.wn, tech.library.lmin,
+        )?;
+    }
+    let probe_name = frozen
+        .node_name(stage.probe_far)
+        .expect("named")
+        .to_string();
+    let mut opts = TransientOptions::new(2e-9, 1e-12);
+    opts.probes.push(probe_name.clone());
+    let res = Transient::with_devices(&sim, &tech.library, DeviceVariation::nominal(), &opts)?
+        .run()?;
+    let times = &res.times;
+    let vals = res.probe(&probe_name).expect("probed");
+    let m_out = linvar_spice::crossing_time(times, vals, vdd / 2.0, false, 0.0)
+        .ok_or("spice probe did not switch")?;
+    Ok(m_out - 75e-12)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("==== Example 2 (paper Figures 5-6) ====\n");
+    let mut rng = rng_from_seed(2);
+    let samples = lhs_uniform(&mut rng, 100, 5, -1.0, 1.0);
+
+    // ---------------- Figure 5: CPU time vs wirelength ----------------
+    let mut rows = Vec::new();
+    for &len in &[10.0, 25.0, 50.0, 100.0] {
+        let stage = build_stage(len)?;
+        let n_teta = 20;
+        let t0 = Instant::now();
+        for s in samples.iter().take(n_teta) {
+            teta_delay(&stage, s)?;
+        }
+        let teta_ms = t0.elapsed().as_secs_f64() * 1e3 / n_teta as f64;
+        let n_spice = 3;
+        let t0 = Instant::now();
+        for s in samples.iter().take(n_spice) {
+            spice_delay(&stage, s)?;
+        }
+        let spice_ms = t0.elapsed().as_secs_f64() * 1e3 / n_spice as f64;
+        rows.push(vec![
+            format!("{len:.0}"),
+            format!("{}", N_LINES * (len as usize) * 3 - (len as usize)),
+            format!("{teta_ms:.2}"),
+            format!("{spice_ms:.2}"),
+            format!("{:.1}", spice_ms / teta_ms),
+        ]);
+    }
+    println!("Figure 5: CPU time per Monte-Carlo sample vs wirelength");
+    println!(
+        "{}",
+        render_table(
+            &["length (um)", "lin. elements", "TETA ms", "SPICE ms", "speedup"],
+            &rows
+        )
+    );
+
+    // ---------------- Figure 6: delay histograms ----------------------
+    let stage = build_stage(50.0)?;
+    let mut reduced = Vec::new();
+    let mut full = Vec::new();
+    for s in &samples {
+        reduced.push(teta_delay(&stage, s)?);
+        full.push(teta_exact_delay(&stage, s)?);
+    }
+    let rs = Summary::of(&reduced);
+    let fs = Summary::of(&full);
+    println!("Figure 6: probe delay over 100 LHS samples (50 um lines)");
+    println!(
+        "  variational ROM : mean {:.3} ps, std {:.3} ps",
+        rs.mean * 1e12,
+        rs.std * 1e12
+    );
+    println!(
+        "  exact reduction : mean {:.3} ps, std {:.3} ps",
+        fs.mean * 1e12,
+        fs.std * 1e12
+    );
+    println!(
+        "  |mean error| = {:.3} ps, |std error| = {:.3} ps",
+        (rs.mean - fs.mean).abs() * 1e12,
+        (rs.std - fs.std).abs() * 1e12
+    );
+    let (h_red, h_full) = Histogram::pair(&reduced, &full, 12);
+    print!(
+        "{}",
+        h_red.render_pair(&h_full, "variational ROM", "exact reduction", 1e12, "ps")
+    );
+    // SPICE cross-check on a few samples.
+    let mut worst = 0.0_f64;
+    for s in samples.iter().take(3) {
+        let d_teta = teta_delay(&stage, s)?;
+        let d_spice = spice_delay(&stage, s)?;
+        worst = worst.max((d_teta - d_spice).abs() / d_spice.abs());
+    }
+    println!("\nSPICE cross-check on 3 samples: worst relative delay error {:.2}%", worst * 100.0);
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Regenerates the paper's Figure 7: histograms of the longest-path delays
+//! of s27 and s208 from the Monte-Carlo and Gradient-Analysis methods
+//! (under DL and VT variations, std 0.33 each).
+//!
+//! The GA histogram is the normal distribution implied by the GA
+//! (mean, σ), sampled on equal-probability strata so the two histograms
+//! have the same sample count.
+//!
+//! Run with `cargo run --release -p linvar-bench --bin fig7`.
+
+use linvar_core::path::{PathModel, PathSpec, VariationSources};
+use linvar_devices::tech_018;
+use linvar_interconnect::WireTech;
+use linvar_iscas::{benchmark, decompose_to_primitives, longest_path};
+use linvar_stats::sampling::inverse_normal_cdf;
+use linvar_stats::{rng_from_seed, Histogram};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("==== Figure 7: MC vs GA delay histograms (DL, VT variations) ====\n");
+    let tech = tech_018();
+    let wire = WireTech::m018();
+    let sources = VariationSources::example3(0.33, 0.33);
+    for circuit in ["s27", "s208"] {
+        let bench = benchmark(circuit).ok_or("unknown benchmark")?;
+        let report = longest_path(&bench.netlist)?;
+        let stages = decompose_to_primitives(&bench.netlist, &report)?;
+        let spec = PathSpec {
+            cells: stages.into_iter().map(|s| s.cell).collect(),
+            linear_elements_between_stages: 10,
+            input_slew: 60e-12,
+        };
+        let model = PathModel::build(&spec, &tech, &wire)?;
+        let mut rng = rng_from_seed(7);
+        let mc = model.monte_carlo(&sources, 100, &mut rng)?;
+        let ga = model.gradient_analysis(&sources)?;
+        // Stratified normal sample implied by the GA statistics.
+        let n = mc.delays.len();
+        let ga_sample: Vec<f64> = (0..n)
+            .map(|k| {
+                let u = (k as f64 + 0.5) / n as f64;
+                ga.nominal_delay + ga.std * inverse_normal_cdf(u)
+            })
+            .collect();
+        let (h_mc, h_ga) = Histogram::pair(&mc.delays, &ga_sample, 12);
+        println!(
+            "{circuit}: MC mean {:.2} ps std {:.2} ps | GA mean {:.2} ps std {:.2} ps",
+            mc.summary.mean * 1e12,
+            mc.summary.std * 1e12,
+            ga.nominal_delay * 1e12,
+            ga.std * 1e12
+        );
+        print!("{}", h_mc.render_pair(&h_ga, "MC", "GA", 1e12, "ps"));
+        println!();
+    }
+    Ok(())
+}

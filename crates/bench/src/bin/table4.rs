@@ -1,0 +1,91 @@
+//! Regenerates the paper's Table 4: framework speedup over the SPICE
+//! baseline on ISCAS-89 critical paths, at 10 and 500 linear elements
+//! between stages.
+//!
+//! Per circuit/configuration, the per-sample Monte-Carlo cost of each
+//! engine is measured (the framework on several samples, the baseline on
+//! one — its per-sample cost is deterministic) and the ratio reported.
+//! Pass `--quick` to skip the 500-element column of the two largest
+//! circuits.
+//!
+//! Run with `cargo run --release -p linvar-bench --bin table4`.
+
+use linvar_bench::render_table;
+use linvar_core::path::{PathModel, PathSpec, VariationSources};
+use linvar_devices::tech_018;
+use linvar_interconnect::WireTech;
+use linvar_iscas::{benchmark, decompose_to_primitives, longest_path};
+use linvar_stats::rng_from_seed;
+use std::time::Instant;
+
+fn path_cells(circuit: &str) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    let bench = benchmark(circuit).ok_or_else(|| format!("unknown benchmark {circuit}"))?;
+    let report = longest_path(&bench.netlist)?;
+    let stages = decompose_to_primitives(&bench.netlist, &report)?;
+    Ok(stages.into_iter().map(|s| s.cell).collect())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("==== Table 4: speedup of the framework vs the SPICE baseline ====\n");
+    let tech = tech_018();
+    let wire = WireTech::m018();
+    let sources = VariationSources::example3_table4();
+    let circuits = ["s27", "s208", "s444", "s1423", "s9234"];
+    let mut rows = Vec::new();
+    for circuit in circuits {
+        let cells = path_cells(circuit)?;
+        for &n_elem in &[10usize, 500] {
+            if quick && n_elem == 500 && (circuit == "s1423" || circuit == "s9234") {
+                continue;
+            }
+            let spec = PathSpec {
+                cells: cells.clone(),
+                linear_elements_between_stages: n_elem,
+                input_slew: 60e-12,
+            };
+            let t_build = Instant::now();
+            let model = PathModel::build(&spec, &tech, &wire)?;
+            let build_s = t_build.elapsed().as_secs_f64();
+            let mut rng = rng_from_seed(4);
+            let n_teta = if n_elem == 500 { 3 } else { 5 };
+            let samples = model.draw_samples(&sources, n_teta, &mut rng);
+            let t0 = Instant::now();
+            for s in &samples {
+                model.evaluate_sample(s)?;
+            }
+            let teta_ms = t0.elapsed().as_secs_f64() * 1e3 / n_teta as f64;
+            let t0 = Instant::now();
+            model.evaluate_sample_spice(&samples[0])?;
+            let spice_ms = t0.elapsed().as_secs_f64() * 1e3;
+            rows.push(vec![
+                circuit.to_string(),
+                format!("{}", model.stage_count()),
+                format!("{n_elem}"),
+                format!("{teta_ms:.1}"),
+                format!("{spice_ms:.1}"),
+                format!("{:.2}", spice_ms / teta_ms),
+                format!("{build_s:.2}"),
+            ]);
+            eprintln!("done: {circuit} @ {n_elem} elements");
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "circuit",
+                "stages",
+                "lin. elements",
+                "framework ms/sample",
+                "SPICE ms/sample",
+                "speedup",
+                "build s",
+            ],
+            &rows
+        )
+    );
+    println!("(speedup = per-sample Monte-Carlo cost ratio; the framework's");
+    println!(" one-time construction cost is amortized over the sample set)");
+    Ok(())
+}

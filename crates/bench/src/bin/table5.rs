@@ -1,0 +1,67 @@
+//! Regenerates the paper's Table 5: longest-path delay statistics
+//! (mean, σ) from Gradient Analysis vs Monte-Carlo, under `std(DL) = 0.33`
+//! alone and with `std(VT) = 0.33` added.
+//!
+//! Run with `cargo run --release -p linvar-bench --bin table5`
+//! (append `--quick` for 30-sample Monte-Carlo runs).
+
+use linvar_bench::render_table;
+use linvar_core::path::{PathModel, PathSpec, VariationSources};
+use linvar_devices::tech_018;
+use linvar_interconnect::WireTech;
+use linvar_iscas::{benchmark, decompose_to_primitives, longest_path};
+use linvar_stats::rng_from_seed;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n_mc = if quick { 30 } else { 100 };
+    println!("==== Table 5: longest-path delay statistics (GA vs MC, {n_mc} samples) ====\n");
+    let tech = tech_018();
+    let wire = WireTech::m018();
+    let circuits = ["s27", "s208", "s832", "s444", "s1423"];
+    let configs = [("0.33", "0", 0.33, 0.0), ("0.33", "0.33", 0.33, 0.33)];
+    let mut rows = Vec::new();
+    for (dl_label, vt_label, dl, vt) in configs {
+        for circuit in circuits {
+            let bench = benchmark(circuit).ok_or("unknown benchmark")?;
+            let report = longest_path(&bench.netlist)?;
+            let stages = decompose_to_primitives(&bench.netlist, &report)?;
+            let spec = PathSpec {
+                cells: stages.into_iter().map(|s| s.cell).collect(),
+                linear_elements_between_stages: 10,
+                input_slew: 60e-12,
+            };
+            let model = PathModel::build(&spec, &tech, &wire)?;
+            let sources = VariationSources::example3(dl, vt);
+            let ga = model.gradient_analysis(&sources)?;
+            let mut rng = rng_from_seed(5);
+            let mc = model.monte_carlo(&sources, n_mc, &mut rng)?;
+            let n_stages = model.stage_count();
+            rows.push(vec![
+                format!("{circuit} ({n_stages} stages)"),
+                dl_label.to_string(),
+                vt_label.to_string(),
+                "GA".to_string(),
+                format!("{:.2}", ga.nominal_delay * 1e12),
+                format!("{:.2}", ga.std * 1e12),
+            ]);
+            rows.push(vec![
+                String::new(),
+                String::new(),
+                String::new(),
+                "MC".to_string(),
+                format!("{:.2}", mc.summary.mean * 1e12),
+                format!("{:.2}", mc.summary.std * 1e12),
+            ]);
+            eprintln!("done: {circuit} DL={dl} VT={vt}");
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["circuit", "std(DL)", "std(VT)", "method", "mean (ps)", "std (ps)"],
+            &rows
+        )
+    );
+    Ok(())
+}

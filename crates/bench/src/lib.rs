@@ -1,0 +1,75 @@
+//! Shared helpers for the paper-reproduction benchmark binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the DATE
+//! 2002 paper (see `DESIGN.md` for the experiment index). This library crate
+//! holds the table-formatting helpers they share.
+
+/// Renders a simple fixed-width text table with a header row.
+///
+/// # Example
+///
+/// ```
+/// let t = linvar_bench::render_table(
+///     &["circuit", "speedup"],
+///     &[vec!["s27".to_string(), "8.1".to_string()]],
+/// );
+/// assert!(t.contains("s27"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (j, cell) in row.iter().enumerate().take(ncols) {
+            widths[j] = widths[j].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    out.push_str(&format!("+{sep}+\n"));
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:w$} |", w = w));
+    }
+    out.push('\n');
+    out.push_str(&format!("+{sep}+\n"));
+    for row in rows {
+        out.push('|');
+        for (j, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = row.get(j).unwrap_or(&empty);
+            out.push_str(&format!(" {cell:w$} |", w = w));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("+{sep}+\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_all_cells() {
+        let t = render_table(
+            &["a", "b"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        for needle in ["a", "b", "1", "2", "333", "4"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table_handles_short_rows() {
+        let t = render_table(&["x", "y"], &[vec!["only".into()]]);
+        assert!(t.contains("only"));
+    }
+}

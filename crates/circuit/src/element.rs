@@ -1,0 +1,324 @@
+//! Circuit element definitions.
+
+use crate::netlist::NodeId;
+use crate::variation::VariationalValue;
+
+/// Waveform of an independent source.
+///
+/// The framework drives logic stages with saturated ramps and propagates
+/// piecewise-linear waveforms between stages, so those two shapes plus DC
+/// and pulse cover every use in the workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceWaveform {
+    /// Constant value.
+    Dc(f64),
+    /// Piecewise-linear `(time, value)` points; constant extrapolation
+    /// before the first and after the last point.
+    Pwl(Vec<(f64, f64)>),
+    /// Saturated ramp from `v0` to `v1` starting at `t0` with rise time `tr`.
+    Ramp {
+        /// Initial level.
+        v0: f64,
+        /// Final level.
+        v1: f64,
+        /// Ramp start time in seconds.
+        t0: f64,
+        /// 0–100 % transition time in seconds (must be positive).
+        tr: f64,
+    },
+    /// Rectangular pulse with linear edges.
+    Pulse {
+        /// Base level.
+        v0: f64,
+        /// Pulsed level.
+        v1: f64,
+        /// Delay before the rising edge.
+        delay: f64,
+        /// Rise time.
+        rise: f64,
+        /// Fall time.
+        fall: f64,
+        /// Width at the pulsed level.
+        width: f64,
+    },
+}
+
+impl SourceWaveform {
+    /// Evaluates the waveform at time `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            SourceWaveform::Dc(v) => *v,
+            SourceWaveform::Pwl(points) => eval_pwl(points, t),
+            SourceWaveform::Ramp { v0, v1, t0, tr } => {
+                if t <= *t0 {
+                    *v0
+                } else if t >= t0 + tr {
+                    *v1
+                } else {
+                    v0 + (v1 - v0) * (t - t0) / tr
+                }
+            }
+            SourceWaveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+            } => {
+                let t1 = *delay;
+                let t2 = t1 + rise;
+                let t3 = t2 + width;
+                let t4 = t3 + fall;
+                if t <= t1 || t >= t4 {
+                    *v0
+                } else if t < t2 {
+                    v0 + (v1 - v0) * (t - t1) / rise
+                } else if t <= t3 {
+                    *v1
+                } else {
+                    v1 + (v0 - v1) * (t - t3) / fall
+                }
+            }
+        }
+    }
+
+    /// The value at `t = 0⁻`, used as the DC initial condition.
+    pub fn initial_value(&self) -> f64 {
+        match self {
+            SourceWaveform::Dc(v) => *v,
+            SourceWaveform::Pwl(points) => points.first().map_or(0.0, |p| p.1),
+            SourceWaveform::Ramp { v0, .. } => *v0,
+            SourceWaveform::Pulse { v0, .. } => *v0,
+        }
+    }
+
+    /// Time of the last breakpoint, after which the waveform is constant.
+    pub fn settle_time(&self) -> f64 {
+        match self {
+            SourceWaveform::Dc(_) => 0.0,
+            SourceWaveform::Pwl(points) => points.last().map_or(0.0, |p| p.0),
+            SourceWaveform::Ramp { t0, tr, .. } => t0 + tr,
+            SourceWaveform::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                ..
+            } => delay + rise + width + fall,
+        }
+    }
+}
+
+fn eval_pwl(points: &[(f64, f64)], t: f64) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    if t <= points[0].0 {
+        return points[0].1;
+    }
+    if t >= points[points.len() - 1].0 {
+        return points[points.len() - 1].1;
+    }
+    // Binary search for the surrounding segment.
+    let mut lo = 0;
+    let mut hi = points.len() - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if points[mid].0 <= t {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let (t0, v0) = points[lo];
+    let (t1, v1) = points[hi];
+    if t1 <= t0 {
+        v1
+    } else {
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+}
+
+/// MOSFET polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosType {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// A transistor instance in a netlist.
+///
+/// The instance references a device *model* by name; model parameters (and
+/// their process fluctuations) are resolved by the analysis engines through
+/// `linvar-devices`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosInstance {
+    /// Instance name (unique within its netlist).
+    pub name: String,
+    /// Drain node.
+    pub drain: NodeId,
+    /// Gate node.
+    pub gate: NodeId,
+    /// Source node.
+    pub source: NodeId,
+    /// Bulk node.
+    pub bulk: NodeId,
+    /// Polarity.
+    pub mos_type: MosType,
+    /// Model name resolved against the device library.
+    pub model: String,
+    /// Drawn channel width in meters.
+    pub width: f64,
+    /// Drawn channel length in meters.
+    pub length: f64,
+}
+
+/// A linear element or source in a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Two-terminal resistor with (possibly variational) resistance in ohms.
+    Resistor {
+        /// Element name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance value.
+        value: VariationalValue,
+    },
+    /// Two-terminal capacitor (grounded or coupling) in farads.
+    Capacitor {
+        /// Element name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance value.
+        value: VariationalValue,
+    },
+    /// Two-terminal inductor in henries (wire self-inductance for RLC
+    /// interconnect models).
+    Inductor {
+        /// Element name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Inductance value.
+        value: VariationalValue,
+    },
+    /// Independent voltage source from `neg` to `pos`.
+    VSource {
+        /// Element name.
+        name: String,
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Drive waveform.
+        waveform: SourceWaveform,
+    },
+    /// Independent current source injecting into `pos` (out of `neg`).
+    ISource {
+        /// Element name.
+        name: String,
+        /// Terminal current flows into.
+        pos: NodeId,
+        /// Terminal current flows out of.
+        neg: NodeId,
+        /// Drive waveform.
+        waveform: SourceWaveform,
+    },
+}
+
+impl Element {
+    /// The element's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Resistor { name, .. }
+            | Element::Capacitor { name, .. }
+            | Element::Inductor { name, .. }
+            | Element::VSource { name, .. }
+            | Element::ISource { name, .. } => name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_waveform() {
+        let w = SourceWaveform::Dc(1.8);
+        assert_eq!(w.eval(0.0), 1.8);
+        assert_eq!(w.eval(1.0), 1.8);
+        assert_eq!(w.initial_value(), 1.8);
+        assert_eq!(w.settle_time(), 0.0);
+    }
+
+    #[test]
+    fn ramp_waveform() {
+        let w = SourceWaveform::Ramp {
+            v0: 0.0,
+            v1: 1.0,
+            t0: 1e-9,
+            tr: 2e-9,
+        };
+        assert_eq!(w.eval(0.0), 0.0);
+        assert!((w.eval(2e-9) - 0.5).abs() < 1e-12);
+        assert_eq!(w.eval(5e-9), 1.0);
+        assert!((w.settle_time() - 3e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn pwl_waveform_interpolation_and_extrapolation() {
+        let w = SourceWaveform::Pwl(vec![(1.0, 0.0), (2.0, 2.0), (4.0, 0.0)]);
+        assert_eq!(w.eval(0.5), 0.0, "constant before first point");
+        assert!((w.eval(1.5) - 1.0).abs() < 1e-12);
+        assert!((w.eval(3.0) - 1.0).abs() < 1e-12);
+        assert_eq!(w.eval(9.0), 0.0, "constant after last point");
+        assert_eq!(w.initial_value(), 0.0);
+    }
+
+    #[test]
+    fn pwl_empty_is_zero() {
+        let w = SourceWaveform::Pwl(vec![]);
+        assert_eq!(w.eval(1.0), 0.0);
+    }
+
+    #[test]
+    fn pulse_waveform_shape() {
+        let w = SourceWaveform::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+        };
+        assert_eq!(w.eval(0.5), 0.0);
+        assert!((w.eval(1.5) - 0.5).abs() < 1e-12);
+        assert_eq!(w.eval(3.0), 1.0);
+        assert!((w.eval(4.5) - 0.5).abs() < 1e-12);
+        assert_eq!(w.eval(6.0), 0.0);
+        assert_eq!(w.settle_time(), 5.0);
+    }
+
+    #[test]
+    fn element_names() {
+        let e = Element::Resistor {
+            name: "R1".into(),
+            a: NodeId(1),
+            b: NodeId(0),
+            value: VariationalValue::new(1.0),
+        };
+        assert_eq!(e.name(), "R1");
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for netlist construction and MNA assembly.
+
+use std::fmt;
+
+/// Error produced while building a netlist or assembling its MNA system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// An element value is non-positive or non-finite where that is invalid.
+    InvalidValue {
+        /// Element name as given by the caller.
+        element: String,
+        /// Offending value.
+        value: f64,
+        /// What was expected of the value.
+        requirement: &'static str,
+    },
+    /// A node id does not belong to this netlist.
+    UnknownNode(usize),
+    /// A named variation parameter was not declared in the parameter set.
+    UnknownParameter(String),
+    /// Two elements share a name.
+    DuplicateElement(String),
+    /// Deck parsing failed at a given line.
+    ParseError {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// The netlist cannot be assembled (e.g. it has no non-ground nodes).
+    EmptyNetlist,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidValue {
+                element,
+                value,
+                requirement,
+            } => write!(f, "element {element} has invalid value {value}: {requirement}"),
+            CircuitError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            CircuitError::UnknownParameter(p) => write!(f, "unknown variation parameter {p}"),
+            CircuitError::DuplicateElement(n) => write!(f, "duplicate element name {n}"),
+            CircuitError::ParseError { line, message } => {
+                write!(f, "deck parse error at line {line}: {message}")
+            }
+            CircuitError::EmptyNetlist => write!(f, "netlist has no non-ground nodes"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_context() {
+        let e = CircuitError::InvalidValue {
+            element: "R1".into(),
+            value: -1.0,
+            requirement: "resistance must be positive",
+        };
+        assert!(e.to_string().contains("R1"));
+        assert!(e.to_string().contains("positive"));
+
+        let e = CircuitError::ParseError {
+            line: 7,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CircuitError>();
+    }
+}

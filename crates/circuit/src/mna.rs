@@ -1,0 +1,448 @@
+//! Modified nodal analysis (MNA) assembly.
+//!
+//! Two products are assembled from a [`Netlist`]:
+//!
+//! * [`MnaSystem`] — the nominal `(G + sC)` system including voltage-source
+//!   branch equations, used by the linear analyses and as the skeleton of
+//!   the SPICE baseline;
+//! * [`VariationalMna`] — node-space admittance/susceptance matrices in the
+//!   paper's variational form `G(w) = G0 + Σ dGi·wi`, `C(w) = C0 + Σ dCi·wi`
+//!   (eqs. 3–4), restricted to the linear R/C portion of the netlist. This
+//!   is the input to variational reduced-order modeling.
+
+use crate::element::Element;
+use crate::error::CircuitError;
+use crate::netlist::Netlist;
+use linvar_numeric::Matrix;
+
+/// Assembled nominal MNA system.
+///
+/// Unknown ordering: the `node_count` node voltages first, then one branch
+/// current per voltage source (in element order).
+#[derive(Debug, Clone)]
+pub struct MnaSystem {
+    /// Conductance/incidence matrix (`n + m` square).
+    pub g: Matrix,
+    /// Susceptance (capacitance) matrix (`n + m` square).
+    pub c: Matrix,
+    /// Number of node unknowns.
+    pub node_count: usize,
+    /// Names of the voltage sources, in branch-equation order.
+    pub vsource_names: Vec<String>,
+}
+
+/// Node-space variational admittance/susceptance matrices.
+#[derive(Debug, Clone)]
+pub struct VariationalMna {
+    /// Nominal admittance matrix `G0` (`n` square, node space).
+    pub g0: Matrix,
+    /// Nominal susceptance matrix `C0`.
+    pub c0: Matrix,
+    /// Admittance sensitivities `dGi`, one per declared parameter.
+    pub dg: Vec<Matrix>,
+    /// Susceptance sensitivities `dCi`, one per declared parameter.
+    pub dc: Vec<Matrix>,
+    /// Parameter names, index-aligned with `dg`/`dc`.
+    pub param_names: Vec<String>,
+    /// MNA indices of the ports, in port-marking order.
+    pub port_indices: Vec<usize>,
+}
+
+impl VariationalMna {
+    /// Evaluates `(G(w), C(w))` at the parameter sample `w`.
+    ///
+    /// Entries of `w` beyond the declared parameters are ignored; missing
+    /// entries are treated as 0 (nominal).
+    pub fn eval(&self, w: &[f64]) -> (Matrix, Matrix) {
+        let mut g = self.g0.clone();
+        let mut c = self.c0.clone();
+        for (i, (dg, dc)) in self.dg.iter().zip(&self.dc).enumerate() {
+            if let Some(&wi) = w.get(i) {
+                if wi != 0.0 {
+                    g.axpy(wi, dg).expect("matching shapes by construction");
+                    c.axpy(wi, dc).expect("matching shapes by construction");
+                }
+            }
+        }
+        (g, c)
+    }
+
+    /// Number of variation parameters.
+    pub fn param_count(&self) -> usize {
+        self.dg.len()
+    }
+
+    /// Number of node unknowns.
+    pub fn order(&self) -> usize {
+        self.g0.rows()
+    }
+
+    /// Port incidence matrix `B` (`n x Np`), with a 1 at each port row.
+    pub fn port_incidence(&self) -> Matrix {
+        let mut b = Matrix::zeros(self.order(), self.port_indices.len());
+        for (j, &idx) in self.port_indices.iter().enumerate() {
+            b[(idx, j)] = 1.0;
+        }
+        b
+    }
+
+    /// Adds conductance `g` from MNA index `idx` to ground on all matrices
+    /// (the nominal *and* every sensitivity stays consistent because a
+    /// constant conductance has no parameter dependence).
+    ///
+    /// This is the `G_SC` folding step of the framework (paper eq. 12): the
+    /// successive-chords output conductances of the nonlinear drivers are
+    /// added to the port diagonals *before* reduction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if `idx` is out of range.
+    pub fn add_grounded_conductance(&mut self, idx: usize, g: f64) -> Result<(), CircuitError> {
+        if idx >= self.order() {
+            return Err(CircuitError::UnknownNode(idx + 1));
+        }
+        self.g0[(idx, idx)] += g;
+        Ok(())
+    }
+}
+
+fn stamp_conductance(m: &mut Matrix, a: Option<usize>, b: Option<usize>, g: f64) {
+    if let Some(i) = a {
+        m[(i, i)] += g;
+    }
+    if let Some(j) = b {
+        m[(j, j)] += g;
+    }
+    if let (Some(i), Some(j)) = (a, b) {
+        m[(i, j)] -= g;
+        m[(j, i)] -= g;
+    }
+}
+
+impl Netlist {
+    /// Assembles the nominal MNA system (node equations + voltage-source
+    /// branch equations). MOSFETs are *not* stamped — nonlinear devices are
+    /// handled by the analysis engines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::EmptyNetlist`] if there are no non-ground
+    /// nodes.
+    pub fn assemble_mna(&self) -> Result<MnaSystem, CircuitError> {
+        let n = self.node_count();
+        if n == 0 {
+            return Err(CircuitError::EmptyNetlist);
+        }
+        let m = self.vsource_count();
+        let n_ind = self.inductor_count();
+        let dim = n + m + n_ind;
+        let mut g = Matrix::zeros(dim, dim);
+        let mut c = Matrix::zeros(dim, dim);
+        let mut vsource_names = Vec::with_capacity(m);
+        let mut branch = n;
+        let mut ind_branch = n + m;
+        for e in self.elements() {
+            match e {
+                Element::Resistor { a, b, value, .. } => {
+                    stamp_conductance(&mut g, a.mna_index(), b.mna_index(), 1.0 / value.nominal);
+                }
+                Element::Capacitor { a, b, value, .. } => {
+                    stamp_conductance(&mut c, a.mna_index(), b.mna_index(), value.nominal);
+                }
+                Element::VSource { name, pos, neg, .. } => {
+                    if let Some(i) = pos.mna_index() {
+                        g[(i, branch)] += 1.0;
+                        g[(branch, i)] += 1.0;
+                    }
+                    if let Some(j) = neg.mna_index() {
+                        g[(j, branch)] -= 1.0;
+                        g[(branch, j)] -= 1.0;
+                    }
+                    vsource_names.push(name.clone());
+                    branch += 1;
+                }
+                Element::Inductor { a, b, value, .. } => {
+                    // Branch current unknown with the PRIMA-friendly sign
+                    // convention: KCL gets +i, branch row is
+                    // -(v_a - v_b) + sL·i = 0.
+                    if let Some(i) = a.mna_index() {
+                        g[(i, ind_branch)] += 1.0;
+                        g[(ind_branch, i)] -= 1.0;
+                    }
+                    if let Some(j) = b.mna_index() {
+                        g[(j, ind_branch)] -= 1.0;
+                        g[(ind_branch, j)] += 1.0;
+                    }
+                    c[(ind_branch, ind_branch)] += value.nominal;
+                    ind_branch += 1;
+                }
+                Element::ISource { .. } => {
+                    // Sources enter the RHS, not the matrices.
+                }
+            }
+        }
+        Ok(MnaSystem {
+            g,
+            c,
+            node_count: n,
+            vsource_names,
+        })
+    }
+
+    /// Assembles the node-space variational matrices of the linear R/C
+    /// portion (sources and MOSFETs are excluded — the linear load of a
+    /// logic stage is driven at its ports).
+    ///
+    /// The element values' absolute sensitivities are converted to matrix
+    /// sensitivities by stamping: for a resistor,
+    /// `d(1/R)/dw = -(1/R0²)·dR/dw` (first-order), for a capacitor the
+    /// stamp is linear in the value so `dC/dw` stamps directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::EmptyNetlist`] if there are no non-ground
+    /// nodes.
+    pub fn assemble_variational(&self) -> Result<VariationalMna, CircuitError> {
+        let n = self.node_count();
+        if n == 0 {
+            return Err(CircuitError::EmptyNetlist);
+        }
+        let np = self.params.len();
+        let n_ind = self.inductor_count();
+        let dim = n + n_ind;
+        let mut g0 = Matrix::zeros(dim, dim);
+        let mut c0 = Matrix::zeros(dim, dim);
+        let mut dg = vec![Matrix::zeros(dim, dim); np];
+        let mut dc = vec![Matrix::zeros(dim, dim); np];
+        let mut ind_branch = n;
+        for e in self.elements() {
+            match e {
+                Element::Resistor { a, b, value, .. } => {
+                    let g_nom = 1.0 / value.nominal;
+                    stamp_conductance(&mut g0, a.mna_index(), b.mna_index(), g_nom);
+                    for &(p, s) in &value.sens {
+                        // dG/dw = -dR/dw / R0^2
+                        let dgdw = -s / (value.nominal * value.nominal);
+                        stamp_conductance(&mut dg[p], a.mna_index(), b.mna_index(), dgdw);
+                    }
+                }
+                Element::Capacitor { a, b, value, .. } => {
+                    stamp_conductance(&mut c0, a.mna_index(), b.mna_index(), value.nominal);
+                    for &(p, s) in &value.sens {
+                        stamp_conductance(&mut dc[p], a.mna_index(), b.mna_index(), s);
+                    }
+                }
+                Element::Inductor { a, b, value, .. } => {
+                    if let Some(i) = a.mna_index() {
+                        g0[(i, ind_branch)] += 1.0;
+                        g0[(ind_branch, i)] -= 1.0;
+                    }
+                    if let Some(j) = b.mna_index() {
+                        g0[(j, ind_branch)] -= 1.0;
+                        g0[(ind_branch, j)] += 1.0;
+                    }
+                    c0[(ind_branch, ind_branch)] += value.nominal;
+                    for &(p, sns) in &value.sens {
+                        dc[p][(ind_branch, ind_branch)] += sns;
+                    }
+                    ind_branch += 1;
+                }
+                Element::VSource { .. } | Element::ISource { .. } => {}
+            }
+        }
+        let port_indices = self
+            .ports()
+            .iter()
+            .filter_map(|p| p.mna_index())
+            .collect();
+        Ok(VariationalMna {
+            g0,
+            c0,
+            dg,
+            dc,
+            param_names: self.params.iter().map(str::to_string).collect(),
+            port_indices,
+        })
+    }
+
+    /// Evaluates the netlist at a parameter sample, returning a plain
+    /// netlist whose element values are frozen at `x(w)`.
+    ///
+    /// Used by the "exact" reference flow: simulate the fully re-evaluated
+    /// circuit instead of the variational macromodel.
+    pub fn frozen_at(&self, w: &[f64]) -> Netlist {
+        let mut out = self.clone();
+        out.params = self.params.clone();
+        let elements = out
+            .elements()
+            .iter()
+            .map(|e| match e {
+                Element::Resistor { name, a, b, value } => Element::Resistor {
+                    name: name.clone(),
+                    a: *a,
+                    b: *b,
+                    value: crate::variation::VariationalValue::new(value.eval(w)),
+                },
+                Element::Capacitor { name, a, b, value } => Element::Capacitor {
+                    name: name.clone(),
+                    a: *a,
+                    b: *b,
+                    value: crate::variation::VariationalValue::new(value.eval(w).max(0.0)),
+                },
+                Element::Inductor { name, a, b, value } => Element::Inductor {
+                    name: name.clone(),
+                    a: *a,
+                    b: *b,
+                    value: crate::variation::VariationalValue::new(value.eval(w)),
+                },
+                other => other.clone(),
+            })
+            .collect::<Vec<_>>();
+        out.set_elements(elements);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::SourceWaveform;
+    use crate::variation::VariationalValue;
+    use linvar_numeric::LuFactor;
+
+    fn divider() -> Netlist {
+        // V1 (1V) -> R1 (1k) -> mid -> R2 (1k) -> gnd
+        let mut nl = Netlist::new();
+        let top = nl.node("top");
+        let mid = nl.node("mid");
+        nl.add_vsource("V1", top, Netlist::GROUND, SourceWaveform::Dc(1.0))
+            .unwrap();
+        nl.add_resistor("R1", top, mid, 1000.0).unwrap();
+        nl.add_resistor("R2", mid, Netlist::GROUND, 1000.0).unwrap();
+        nl
+    }
+
+    #[test]
+    fn resistive_divider_dc_solution() {
+        let nl = divider();
+        let mna = nl.assemble_mna().unwrap();
+        assert_eq!(mna.g.rows(), 3); // 2 nodes + 1 vsource branch
+        // Solve G x = b with b enforcing V1 = 1.
+        let mut b = vec![0.0; 3];
+        b[2] = 1.0;
+        let x = LuFactor::new(&mna.g).unwrap().solve(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12, "top node at 1 V");
+        assert!((x[1] - 0.5).abs() < 1e-12, "mid node at 0.5 V");
+        // Branch current = -(1 V / 2 kΩ) by MNA sign convention.
+        assert!((x[2] + 0.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitor_stamps_into_c() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.add_capacitor("C1", a, b, 2e-12).unwrap();
+        nl.add_capacitor("C2", a, Netlist::GROUND, 1e-12).unwrap();
+        let mna = nl.assemble_mna().unwrap();
+        assert!((mna.c[(0, 0)] - 3e-12).abs() < 1e-24);
+        assert!((mna.c[(0, 1)] + 2e-12).abs() < 1e-24);
+        assert!((mna.c[(1, 1)] - 2e-12).abs() < 1e-24);
+        assert!(mna.c.is_symmetric(1e-30));
+    }
+
+    #[test]
+    fn empty_netlist_rejected() {
+        let nl = Netlist::new();
+        assert!(matches!(nl.assemble_mna(), Err(CircuitError::EmptyNetlist)));
+        assert!(matches!(
+            nl.assemble_variational(),
+            Err(CircuitError::EmptyNetlist)
+        ));
+    }
+
+    #[test]
+    fn variational_matrices_match_frozen_netlist() {
+        // R(w) = 10 + 50 w; at w = 0.1 the conductance matrix of the
+        // first-order variational form must be close to (but not exactly)
+        // the exact re-evaluated one; the capacitance form is exact because
+        // C stamps linearly.
+        let mut nl = Netlist::new();
+        let p = nl.params.declare("p");
+        let a = nl.node("a");
+        nl.add_variational_resistor(
+            "R1",
+            a,
+            Netlist::GROUND,
+            VariationalValue::new(10.0).with_sensitivity(p, 50.0),
+        )
+        .unwrap();
+        nl.add_variational_capacitor(
+            "C1",
+            a,
+            Netlist::GROUND,
+            VariationalValue::new(2e-12).with_sensitivity(p, 1e-11),
+        )
+        .unwrap();
+        let var = nl.assemble_variational().unwrap();
+        assert_eq!(var.param_count(), 1);
+        let (g, c) = var.eval(&[0.1]);
+        // Exact: 1/15 S; first-order: 1/10 - 50/100*0.1 = 0.05 S.
+        assert!((g[(0, 0)] - 0.05).abs() < 1e-12);
+        assert!((1.0 / 15.0 - g[(0, 0)]).abs() < 0.02, "first-order is close");
+        // C exact: 2p + 0.1*10p = 3 pF.
+        assert!((c[(0, 0)] - 3e-12).abs() < 1e-24);
+
+        let frozen = nl.frozen_at(&[0.1]);
+        let exact = frozen.assemble_variational().unwrap();
+        assert!((exact.g0[(0, 0)] - 1.0 / 15.0).abs() < 1e-12);
+        assert!((exact.c0[(0, 0)] - 3e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn eval_at_nominal_returns_nominal() {
+        let mut nl = Netlist::new();
+        nl.params.declare("p");
+        let a = nl.node("a");
+        nl.add_variational_resistor(
+            "R1",
+            a,
+            Netlist::GROUND,
+            VariationalValue::new(100.0).with_sensitivity(0, 10.0),
+        )
+        .unwrap();
+        let var = nl.assemble_variational().unwrap();
+        let (g, _) = var.eval(&[0.0]);
+        assert_eq!(g, var.g0);
+        let (g, _) = var.eval(&[]);
+        assert_eq!(g, var.g0);
+    }
+
+    #[test]
+    fn port_incidence_matrix() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.add_resistor("R", a, b, 1.0).unwrap();
+        nl.mark_port(b).unwrap();
+        nl.mark_port(a).unwrap();
+        let var = nl.assemble_variational().unwrap();
+        let binc = var.port_incidence();
+        assert_eq!(binc.rows(), 2);
+        assert_eq!(binc.cols(), 2);
+        // First marked port is b -> MNA index 1.
+        assert_eq!(binc[(1, 0)], 1.0);
+        assert_eq!(binc[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn gsc_folding_adds_to_diagonal() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.add_resistor("R", a, Netlist::GROUND, 2.0).unwrap();
+        let mut var = nl.assemble_variational().unwrap();
+        var.add_grounded_conductance(0, 0.5).unwrap();
+        assert!((var.g0[(0, 0)] - 1.0).abs() < 1e-15);
+        assert!(var.add_grounded_conductance(7, 1.0).is_err());
+    }
+}

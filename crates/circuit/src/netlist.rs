@@ -1,0 +1,681 @@
+//! The [`Netlist`] container and node management.
+
+use crate::element::{Element, MosInstance, MosType, SourceWaveform};
+use crate::error::CircuitError;
+use crate::variation::{ParamSet, VariationalValue};
+use std::collections::HashMap;
+
+/// Identifier of a circuit node.
+///
+/// `NodeId(0)` is ground; non-ground nodes are numbered from 1 and map to
+/// MNA matrix row `id - 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns `true` for the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The MNA matrix index of this node, or `None` for ground.
+    pub fn mna_index(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0 - 1)
+        }
+    }
+}
+
+/// A flat circuit netlist: nodes, linear elements, sources and MOSFETs.
+///
+/// The same netlist type serves the SPICE baseline, the MOR front end and
+/// the TETA engine; ports (for reduction) are ordinary nodes flagged with
+/// [`Netlist::mark_port`].
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    names: Vec<String>,
+    name_to_node: HashMap<String, NodeId>,
+    elements: Vec<Element>,
+    mosfets: Vec<MosInstance>,
+    element_names: HashMap<String, ()>,
+    ports: Vec<NodeId>,
+    /// Global variation parameters referenced by element values.
+    pub params: ParamSet,
+}
+
+impl Netlist {
+    /// The ground node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist {
+            names: vec!["0".to_string()],
+            name_to_node: HashMap::from([("0".to_string(), NodeId(0))]),
+            ..Default::default()
+        }
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// The names `"0"` and `"gnd"` refer to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        let key = if name.eq_ignore_ascii_case("gnd") { "0" } else { name };
+        if let Some(&id) = self.name_to_node.get(key) {
+            return id;
+        }
+        let id = NodeId(self.names.len());
+        self.names.push(key.to_string());
+        self.name_to_node.insert(key.to_string(), id);
+        id
+    }
+
+    /// Creates a fresh anonymous node.
+    pub fn fresh_node(&mut self) -> NodeId {
+        let name = format!("__n{}", self.names.len());
+        self.node(&name)
+    }
+
+    /// The name of a node.
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.names.get(id.0).map(|s| s.as_str())
+    }
+
+    /// Looks up a node by name without creating it.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        let key = if name.eq_ignore_ascii_case("gnd") { "0" } else { name };
+        self.name_to_node.get(key).copied()
+    }
+
+    /// Number of non-ground nodes (the MNA node count).
+    pub fn node_count(&self) -> usize {
+        self.names.len() - 1
+    }
+
+    /// All linear elements and sources.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// All MOSFET instances.
+    pub fn mosfets(&self) -> &[MosInstance] {
+        &self.mosfets
+    }
+
+    /// Nodes marked as reduction ports, in marking order.
+    pub fn ports(&self) -> &[NodeId] {
+        &self.ports
+    }
+
+    /// Marks a node as a port for model order reduction. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for ids not in this netlist and
+    /// [`CircuitError::InvalidValue`] when marking ground.
+    pub fn mark_port(&mut self, node: NodeId) -> Result<(), CircuitError> {
+        self.check_node(node)?;
+        if node.is_ground() {
+            return Err(CircuitError::InvalidValue {
+                element: "port".into(),
+                value: 0.0,
+                requirement: "ground cannot be a port",
+            });
+        }
+        if !self.ports.contains(&node) {
+            self.ports.push(node);
+        }
+        Ok(())
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), CircuitError> {
+        if node.0 < self.names.len() {
+            Ok(())
+        } else {
+            Err(CircuitError::UnknownNode(node.0))
+        }
+    }
+
+    fn check_name(&mut self, name: &str) -> Result<(), CircuitError> {
+        if self.element_names.insert(name.to_string(), ()).is_some() {
+            Err(CircuitError::DuplicateElement(name.to_string()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds a fixed-value resistor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] for a non-positive or
+    /// non-finite resistance, [`CircuitError::UnknownNode`] for foreign
+    /// nodes, and [`CircuitError::DuplicateElement`] for a reused name.
+    pub fn add_resistor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> Result<(), CircuitError> {
+        self.add_variational_resistor(name, a, b, VariationalValue::new(ohms))
+    }
+
+    /// Adds a resistor whose value varies with global parameters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Netlist::add_resistor`], plus
+    /// [`CircuitError::UnknownParameter`] if a sensitivity references an
+    /// undeclared parameter.
+    pub fn add_variational_resistor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        value: VariationalValue,
+    ) -> Result<(), CircuitError> {
+        if !(value.nominal.is_finite() && value.nominal > 0.0) {
+            return Err(CircuitError::InvalidValue {
+                element: name.to_string(),
+                value: value.nominal,
+                requirement: "resistance must be positive and finite",
+            });
+        }
+        self.check_node(a)?;
+        self.check_node(b)?;
+        value.validate(self.params.len())?;
+        self.check_name(name)?;
+        self.elements.push(Element::Resistor {
+            name: name.to_string(),
+            a,
+            b,
+            value,
+        });
+        Ok(())
+    }
+
+    /// Adds a fixed-value capacitor (grounded or coupling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] for a negative or non-finite
+    /// capacitance, [`CircuitError::UnknownNode`] for foreign nodes, and
+    /// [`CircuitError::DuplicateElement`] for a reused name.
+    pub fn add_capacitor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    ) -> Result<(), CircuitError> {
+        self.add_variational_capacitor(name, a, b, VariationalValue::new(farads))
+    }
+
+    /// Adds a capacitor whose value varies with global parameters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Netlist::add_capacitor`], plus
+    /// [`CircuitError::UnknownParameter`] for undeclared parameters.
+    pub fn add_variational_capacitor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        value: VariationalValue,
+    ) -> Result<(), CircuitError> {
+        if !(value.nominal.is_finite() && value.nominal >= 0.0) {
+            return Err(CircuitError::InvalidValue {
+                element: name.to_string(),
+                value: value.nominal,
+                requirement: "capacitance must be non-negative and finite",
+            });
+        }
+        self.check_node(a)?;
+        self.check_node(b)?;
+        value.validate(self.params.len())?;
+        self.check_name(name)?;
+        self.elements.push(Element::Capacitor {
+            name: name.to_string(),
+            a,
+            b,
+            value,
+        });
+        Ok(())
+    }
+
+    /// Adds a fixed-value inductor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] for a non-positive or
+    /// non-finite inductance, [`CircuitError::UnknownNode`] for foreign
+    /// nodes, and [`CircuitError::DuplicateElement`] for a reused name.
+    pub fn add_inductor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        henries: f64,
+    ) -> Result<(), CircuitError> {
+        self.add_variational_inductor(name, a, b, VariationalValue::new(henries))
+    }
+
+    /// Adds an inductor whose value varies with global parameters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Netlist::add_inductor`], plus
+    /// [`CircuitError::UnknownParameter`] for undeclared parameters.
+    pub fn add_variational_inductor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        value: VariationalValue,
+    ) -> Result<(), CircuitError> {
+        if !(value.nominal.is_finite() && value.nominal > 0.0) {
+            return Err(CircuitError::InvalidValue {
+                element: name.to_string(),
+                value: value.nominal,
+                requirement: "inductance must be positive and finite",
+            });
+        }
+        self.check_node(a)?;
+        self.check_node(b)?;
+        value.validate(self.params.len())?;
+        self.check_name(name)?;
+        self.elements.push(Element::Inductor {
+            name: name.to_string(),
+            a,
+            b,
+            value,
+        });
+        Ok(())
+    }
+
+    /// Number of inductors (each adds one MNA branch unknown in the
+    /// frequency-domain formulations).
+    pub fn inductor_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::Inductor { .. }))
+            .count()
+    }
+
+    /// Adds an independent voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] or
+    /// [`CircuitError::DuplicateElement`].
+    pub fn add_vsource(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        waveform: SourceWaveform,
+    ) -> Result<(), CircuitError> {
+        self.check_node(pos)?;
+        self.check_node(neg)?;
+        self.check_name(name)?;
+        self.elements.push(Element::VSource {
+            name: name.to_string(),
+            pos,
+            neg,
+            waveform,
+        });
+        Ok(())
+    }
+
+    /// Adds an independent current source (current flows into `pos`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] or
+    /// [`CircuitError::DuplicateElement`].
+    pub fn add_isource(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        waveform: SourceWaveform,
+    ) -> Result<(), CircuitError> {
+        self.check_node(pos)?;
+        self.check_node(neg)?;
+        self.check_name(name)?;
+        self.elements.push(Element::ISource {
+            name: name.to_string(),
+            pos,
+            neg,
+            waveform,
+        });
+        Ok(())
+    }
+
+    /// Adds a MOSFET instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] for non-positive geometry,
+    /// [`CircuitError::UnknownNode`] for foreign nodes, and
+    /// [`CircuitError::DuplicateElement`] for a reused name.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_mosfet(
+        &mut self,
+        name: &str,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        bulk: NodeId,
+        mos_type: MosType,
+        model: &str,
+        width: f64,
+        length: f64,
+    ) -> Result<(), CircuitError> {
+        if !(width.is_finite() && width > 0.0 && length.is_finite() && length > 0.0) {
+            return Err(CircuitError::InvalidValue {
+                element: name.to_string(),
+                value: width.min(length),
+                requirement: "mosfet width and length must be positive",
+            });
+        }
+        for n in [drain, gate, source, bulk] {
+            self.check_node(n)?;
+        }
+        self.check_name(name)?;
+        self.mosfets.push(MosInstance {
+            name: name.to_string(),
+            drain,
+            gate,
+            source,
+            bulk,
+            mos_type,
+            model: model.to_string(),
+            width,
+            length,
+        });
+        Ok(())
+    }
+
+    /// Replaces the element list wholesale. The caller must keep element
+    /// names consistent with the name registry (used by
+    /// [`Netlist::frozen_at`], which preserves names).
+    ///
+    /// [`Netlist::frozen_at`]: crate::Netlist::frozen_at
+    pub(crate) fn set_elements(&mut self, elements: Vec<Element>) {
+        self.elements = elements;
+    }
+
+    /// Number of independent voltage sources (each adds one MNA unknown).
+    pub fn vsource_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::VSource { .. }))
+            .count()
+    }
+
+    /// Merges all elements, MOSFETs and nodes of `other` into `self`,
+    /// prefixing `other`'s node and element names with `prefix` (ground and
+    /// nodes listed in `shared` map to `self`'s nodes of the same name).
+    ///
+    /// This is the mechanism used to instantiate gate subcircuits along a
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates element-insertion errors (duplicate names are avoided by
+    /// the prefix unless the caller reuses a prefix).
+    pub fn instantiate(
+        &mut self,
+        other: &Netlist,
+        prefix: &str,
+        shared: &[&str],
+    ) -> Result<(), CircuitError> {
+        let mut node_map: HashMap<NodeId, NodeId> = HashMap::new();
+        node_map.insert(Netlist::GROUND, Netlist::GROUND);
+        for (idx, name) in other.names.iter().enumerate().skip(1) {
+            let new_id = if shared.contains(&name.as_str()) {
+                self.node(name)
+            } else {
+                self.node(&format!("{prefix}{name}"))
+            };
+            node_map.insert(NodeId(idx), new_id);
+        }
+        // Carry over parameter declarations by name.
+        let mut param_map: Vec<usize> = Vec::with_capacity(other.params.len());
+        for pname in other.params.iter() {
+            param_map.push(self.params.declare(pname));
+        }
+        let remap_value = |v: &VariationalValue| -> VariationalValue {
+            VariationalValue {
+                nominal: v.nominal,
+                sens: v.sens.iter().map(|&(i, s)| (param_map[i], s)).collect(),
+            }
+        };
+        for e in &other.elements {
+            match e {
+                Element::Resistor { name, a, b, value } => self.add_variational_resistor(
+                    &format!("{prefix}{name}"),
+                    node_map[a],
+                    node_map[b],
+                    remap_value(value),
+                )?,
+                Element::Capacitor { name, a, b, value } => self.add_variational_capacitor(
+                    &format!("{prefix}{name}"),
+                    node_map[a],
+                    node_map[b],
+                    remap_value(value),
+                )?,
+                Element::Inductor { name, a, b, value } => self.add_variational_inductor(
+                    &format!("{prefix}{name}"),
+                    node_map[a],
+                    node_map[b],
+                    remap_value(value),
+                )?,
+                Element::VSource {
+                    name,
+                    pos,
+                    neg,
+                    waveform,
+                } => self.add_vsource(
+                    &format!("{prefix}{name}"),
+                    node_map[pos],
+                    node_map[neg],
+                    waveform.clone(),
+                )?,
+                Element::ISource {
+                    name,
+                    pos,
+                    neg,
+                    waveform,
+                } => self.add_isource(
+                    &format!("{prefix}{name}"),
+                    node_map[pos],
+                    node_map[neg],
+                    waveform.clone(),
+                )?,
+            }
+        }
+        for m in &other.mosfets {
+            self.add_mosfet(
+                &format!("{prefix}{}", m.name),
+                node_map[&m.drain],
+                node_map[&m.gate],
+                node_map[&m.source],
+                node_map[&m.bulk],
+                m.mos_type,
+                &m.model,
+                m.width,
+                m.length,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_node_zero() {
+        let mut nl = Netlist::new();
+        assert_eq!(nl.node("0"), Netlist::GROUND);
+        assert_eq!(nl.node("gnd"), Netlist::GROUND);
+        assert!(Netlist::GROUND.is_ground());
+        assert_eq!(Netlist::GROUND.mna_index(), None);
+    }
+
+    #[test]
+    fn node_creation_is_idempotent() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let a2 = nl.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(nl.node_count(), 1);
+        assert_eq!(nl.node_name(a), Some("a"));
+        assert_eq!(nl.find_node("a"), Some(a));
+        assert_eq!(nl.find_node("b"), None);
+    }
+
+    #[test]
+    fn fresh_nodes_are_distinct() {
+        let mut nl = Netlist::new();
+        let a = nl.fresh_node();
+        let b = nl.fresh_node();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn element_validation() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        assert!(nl.add_resistor("R1", a, Netlist::GROUND, -5.0).is_err());
+        assert!(nl.add_resistor("R1", a, Netlist::GROUND, f64::NAN).is_err());
+        assert!(nl.add_capacitor("C1", a, Netlist::GROUND, -1e-12).is_err());
+        assert!(nl.add_resistor("R1", a, Netlist::GROUND, 5.0).is_ok());
+        // Duplicate name rejected.
+        assert!(matches!(
+            nl.add_resistor("R1", a, Netlist::GROUND, 5.0),
+            Err(CircuitError::DuplicateElement(_))
+        ));
+        // Unknown node rejected.
+        assert!(matches!(
+            nl.add_resistor("R2", NodeId(99), Netlist::GROUND, 5.0),
+            Err(CircuitError::UnknownNode(99))
+        ));
+    }
+
+    #[test]
+    fn variational_resistor_requires_declared_param() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let v = VariationalValue::new(10.0).with_sensitivity(0, 50.0);
+        assert!(nl
+            .add_variational_resistor("R1", a, Netlist::GROUND, v.clone())
+            .is_err());
+        nl.params.declare("p");
+        assert!(nl.add_variational_resistor("R2", a, Netlist::GROUND, v).is_ok());
+    }
+
+    #[test]
+    fn port_marking() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.mark_port(a).unwrap();
+        nl.mark_port(a).unwrap(); // idempotent
+        assert_eq!(nl.ports(), &[a]);
+        assert!(nl.mark_port(Netlist::GROUND).is_err());
+        assert!(nl.mark_port(NodeId(42)).is_err());
+    }
+
+    #[test]
+    fn mosfet_validation() {
+        let mut nl = Netlist::new();
+        let d = nl.node("d");
+        let g = nl.node("g");
+        assert!(nl
+            .add_mosfet(
+                "M1",
+                d,
+                g,
+                Netlist::GROUND,
+                Netlist::GROUND,
+                MosType::Nmos,
+                "nmos018",
+                -1.0,
+                0.18e-6
+            )
+            .is_err());
+        assert!(nl
+            .add_mosfet(
+                "M1",
+                d,
+                g,
+                Netlist::GROUND,
+                Netlist::GROUND,
+                MosType::Nmos,
+                "nmos018",
+                1e-6,
+                0.18e-6
+            )
+            .is_ok());
+        assert_eq!(nl.mosfets().len(), 1);
+    }
+
+    #[test]
+    fn vsource_count() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.add_vsource("V1", a, Netlist::GROUND, SourceWaveform::Dc(1.0))
+            .unwrap();
+        nl.add_isource("I1", a, Netlist::GROUND, SourceWaveform::Dc(1e-3))
+            .unwrap();
+        assert_eq!(nl.vsource_count(), 1);
+    }
+
+    #[test]
+    fn instantiate_prefixes_and_shares_nodes() {
+        let mut sub = Netlist::new();
+        let i = sub.node("in");
+        let o = sub.node("out");
+        sub.add_resistor("R", i, o, 100.0).unwrap();
+        sub.add_capacitor("C", o, Netlist::GROUND, 1e-15).unwrap();
+
+        let mut top = Netlist::new();
+        let _shared_in = top.node("in");
+        top.instantiate(&sub, "x1_", &["in"]).unwrap();
+        // "in" is shared, "out" became "x1_out".
+        assert!(top.find_node("in").is_some());
+        assert!(top.find_node("x1_out").is_some());
+        assert!(top.find_node("out").is_none());
+        assert_eq!(top.elements().len(), 2);
+        // Instantiating again with a different prefix works.
+        top.instantiate(&sub, "x2_", &["in"]).unwrap();
+        assert_eq!(top.elements().len(), 4);
+    }
+
+    #[test]
+    fn instantiate_carries_variational_params() {
+        let mut sub = Netlist::new();
+        sub.params.declare("width");
+        let a = sub.node("a");
+        let v = VariationalValue::new(10.0).with_sensitivity(0, 1.0);
+        sub.add_variational_resistor("R", a, Netlist::GROUND, v).unwrap();
+
+        let mut top = Netlist::new();
+        top.params.declare("rho"); // pre-existing unrelated parameter
+        top.instantiate(&sub, "u_", &[]).unwrap();
+        assert_eq!(top.params.index_of("width"), Some(1));
+        // The remapped sensitivity must point at index 1.
+        match &top.elements()[0] {
+            Element::Resistor { value, .. } => {
+                assert_eq!(value.sens, vec![(1, 1.0)]);
+            }
+            other => panic!("unexpected element {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Variational element values and global parameter sets.
+//!
+//! The paper writes the fluctuating MNA matrices as
+//! `G(w) = G0 + dG1·w1 + dG2·w2` (eqs. 3–4). Element-wise this corresponds
+//! to each resistance/capacitance carrying a nominal value plus linear
+//! sensitivities in a small set of *global* parameters `w` (normalized
+//! process variables such as metal width, thickness, spacing, ILD height and
+//! resistivity). [`VariationalValue`] is that per-element representation and
+//! [`ParamSet`] names the global parameters shared by a netlist.
+
+use crate::error::CircuitError;
+
+/// Registry of named global variation parameters for one netlist.
+///
+/// Parameters are identified by index; the MNA assembly produces one
+/// sensitivity matrix per registered parameter, in registration order.
+///
+/// # Example
+///
+/// ```
+/// use linvar_circuit::ParamSet;
+///
+/// let mut ps = ParamSet::new();
+/// let w = ps.declare("width");
+/// assert_eq!(ps.index_of("width"), Some(w));
+/// assert_eq!(ps.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParamSet {
+    names: Vec<String>,
+}
+
+impl ParamSet {
+    /// Creates an empty parameter set.
+    pub fn new() -> Self {
+        ParamSet::default()
+    }
+
+    /// Declares a parameter, returning its index. Re-declaring an existing
+    /// name returns the existing index.
+    pub fn declare(&mut self, name: &str) -> usize {
+        if let Some(i) = self.index_of(name) {
+            return i;
+        }
+        self.names.push(name.to_string());
+        self.names.len() - 1
+    }
+
+    /// Index of a previously declared parameter.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Name of the parameter at `index`.
+    pub fn name(&self, index: usize) -> Option<&str> {
+        self.names.get(index).map(|s| s.as_str())
+    }
+
+    /// Number of declared parameters.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no parameters are declared.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over parameter names in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(|s| s.as_str())
+    }
+}
+
+/// An element value with linear dependence on global parameters:
+/// `x(w) = nominal + Σ sens[i].1 · w_{sens[i].0}`.
+///
+/// Sensitivities are *absolute* (same unit as the value per unit of the
+/// normalized parameter), which lets one element value depend on several
+/// parameters with different strengths — e.g. a coupling capacitance grows
+/// with metal thickness but shrinks with spacing.
+///
+/// # Example
+///
+/// ```
+/// use linvar_circuit::VariationalValue;
+///
+/// // R = 10 Ω nominal, +50 Ω per unit of parameter 0 (the paper's
+/// // Example-1 element R1: 10 Ω at p=0, 15 Ω at p=0.1).
+/// let r = VariationalValue::new(10.0).with_sensitivity(0, 50.0);
+/// assert_eq!(r.eval(&[0.1]), 15.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationalValue {
+    /// Value at `w = 0`.
+    pub nominal: f64,
+    /// `(parameter index, absolute sensitivity)` pairs.
+    pub sens: Vec<(usize, f64)>,
+}
+
+impl VariationalValue {
+    /// Creates a constant (non-varying) value.
+    pub fn new(nominal: f64) -> Self {
+        VariationalValue {
+            nominal,
+            sens: Vec::new(),
+        }
+    }
+
+    /// Adds an absolute sensitivity with respect to parameter `param`.
+    ///
+    /// Builder-style: consumes and returns `self`.
+    pub fn with_sensitivity(mut self, param: usize, dvalue_dparam: f64) -> Self {
+        self.sens.push((param, dvalue_dparam));
+        self
+    }
+
+    /// Adds a *relative* sensitivity: the value changes by
+    /// `rel · nominal` per unit of the parameter.
+    pub fn with_relative_sensitivity(self, param: usize, rel: f64) -> Self {
+        let abs = self.nominal * rel;
+        self.with_sensitivity(param, abs)
+    }
+
+    /// Evaluates the value at a parameter sample `w` (indices beyond
+    /// `w.len()` contribute nothing).
+    pub fn eval(&self, w: &[f64]) -> f64 {
+        let mut v = self.nominal;
+        for &(i, s) in &self.sens {
+            if let Some(&wi) = w.get(i) {
+                v += s * wi;
+            }
+        }
+        v
+    }
+
+    /// Returns the sensitivity with respect to parameter `param`
+    /// (0 if the value does not depend on it).
+    pub fn sensitivity(&self, param: usize) -> f64 {
+        self.sens
+            .iter()
+            .filter(|(i, _)| *i == param)
+            .map(|(_, s)| *s)
+            .sum()
+    }
+
+    /// Returns `true` if the value depends on at least one parameter.
+    pub fn is_variational(&self) -> bool {
+        self.sens.iter().any(|(_, s)| *s != 0.0)
+    }
+
+    /// Validates that all parameter indices are within `param_count`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownParameter`] naming the first offending
+    /// index.
+    pub fn validate(&self, param_count: usize) -> Result<(), CircuitError> {
+        for &(i, _) in &self.sens {
+            if i >= param_count {
+                return Err(CircuitError::UnknownParameter(format!("index {i}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<f64> for VariationalValue {
+    fn from(nominal: f64) -> Self {
+        VariationalValue::new(nominal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_set_declare_and_lookup() {
+        let mut ps = ParamSet::new();
+        let a = ps.declare("w1");
+        let b = ps.declare("w2");
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(ps.declare("w1"), 0, "re-declaring returns existing index");
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.name(1), Some("w2"));
+        assert!(ps.index_of("nope").is_none());
+        assert_eq!(ps.iter().collect::<Vec<_>>(), vec!["w1", "w2"]);
+    }
+
+    #[test]
+    fn eval_linear_combination() {
+        let v = VariationalValue::new(2.0)
+            .with_sensitivity(0, 10.0)
+            .with_sensitivity(1, -4.0);
+        assert_eq!(v.eval(&[0.0, 0.0]), 2.0);
+        assert_eq!(v.eval(&[0.1, 0.0]), 3.0);
+        assert_eq!(v.eval(&[0.1, 0.5]), 1.0);
+        // Short sample vectors are allowed: missing parameters are nominal.
+        assert_eq!(v.eval(&[0.1]), 3.0);
+    }
+
+    #[test]
+    fn relative_sensitivity() {
+        let v = VariationalValue::new(100.0).with_relative_sensitivity(0, 0.2);
+        assert_eq!(v.eval(&[1.0]), 120.0);
+        assert_eq!(v.sensitivity(0), 20.0);
+    }
+
+    #[test]
+    fn repeated_parameter_sensitivities_accumulate() {
+        let v = VariationalValue::new(1.0)
+            .with_sensitivity(0, 1.0)
+            .with_sensitivity(0, 2.0);
+        assert_eq!(v.sensitivity(0), 3.0);
+        assert_eq!(v.eval(&[1.0]), 4.0);
+    }
+
+    #[test]
+    fn validation_catches_out_of_range() {
+        let v = VariationalValue::new(1.0).with_sensitivity(3, 1.0);
+        assert!(v.validate(2).is_err());
+        assert!(v.validate(4).is_ok());
+    }
+
+    #[test]
+    fn from_f64_is_constant() {
+        let v: VariationalValue = 5.0.into();
+        assert!(!v.is_variational());
+        assert_eq!(v.eval(&[9.9]), 5.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! `linvar-core`: the linear-centric simulation framework for parametric
+//! fluctuations — the paper's primary contribution, assembled from the
+//! substrate crates.
+//!
+//! The framework follows the Table-1 flow of the paper:
+//!
+//! **Construction** (once per design):
+//! 1. compute the Successive-Chords output conductances of the drivers;
+//! 2. fold them into the multiport interconnect to form the effective load
+//!    (eq. 12);
+//! 3. precharacterize the variational reduced-order model library.
+//!
+//! **Evaluation** (per parameter sample):
+//! 1. evaluate the first-order variational ROM (eq. 11);
+//! 2. transform to pole/residue form (eqs. 13–20);
+//! 3. filter unstable poles and apply the β DC correction (eqs. 21–23);
+//! 4. simulate with the TETA engine (recursive convolution + SC).
+//!
+//! On top of the per-stage flow, [`path`] provides the two §4.3
+//! path-delay statistics methods: stage-by-stage **Monte-Carlo** with full
+//! waveform propagation, and **Gradient Analysis** propagating the
+//! saturated-ramp parameters `(M, S)` and their derivatives (eqs. 29–32).
+//! [`spice_ref`] runs the same stages through the `linvar-spice` baseline
+//! for the paper's accuracy and runtime comparisons.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use linvar_core::path::{PathModel, PathSpec, VariationSources};
+//! use linvar_devices::tech_018;
+//! use linvar_interconnect::WireTech;
+//!
+//! # fn main() -> Result<(), linvar_core::CoreError> {
+//! let spec = PathSpec {
+//!     cells: vec!["inv".into(), "nand2".into(), "nor2".into()],
+//!     linear_elements_between_stages: 10,
+//!     input_slew: 50e-12,
+//! };
+//! let model = PathModel::build(&spec, &tech_018(), &WireTech::m018())?;
+//! let sources = VariationSources::example3(0.33, 0.33);
+//! let mut rng = linvar_stats::rng_from_seed(1);
+//! let mc = model.monte_carlo(&sources, 20, &mut rng)?;
+//! let ga = model.gradient_analysis(&sources)?;
+//! println!("MC {} ± {}", mc.summary.mean, mc.summary.std);
+//! println!("GA {} ± {}", ga.nominal_delay, ga.std);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod path;
+pub mod spice_ref;
+pub mod stage_builder;
+pub mod worst_case;
+
+pub use error::CoreError;
+pub use path::{GaPathResult, McPathResult, PathModel, PathSpec, VariationSources};
+pub use stage_builder::{StageLoad, StageLoadSpec};
+pub use worst_case::WorstCaseResult;

@@ -1,0 +1,623 @@
+//! Critical-path delay statistics (paper §4.3).
+//!
+//! A [`PathModel`] holds one precharacterized [`StageModel`] per stage —
+//! built **once**, since the chord models and therefore the effective
+//! loads do not depend on the fluctuating parameters. Two statistics
+//! engines run on top:
+//!
+//! * [`PathModel::monte_carlo`] (§4.3.1) — per sample, the stages are
+//!   simulated in topological order and the *full piecewise-linear output
+//!   waveform* is propagated to the next stage's input;
+//! * [`PathModel::gradient_analysis`] (§4.3.2) — one nominal pass plus
+//!   central-difference perturbations of the input-slew and every
+//!   variation source per stage; the saturated-ramp parameters `(M, S)`
+//!   and their derivatives chain through eq. (31) and σ(D) follows from
+//!   eq. (24).
+//!
+//! [`StageModel`]: linvar_teta::StageModel
+
+use crate::error::CoreError;
+use crate::stage_builder::{build_stage_load, StageLoad, StageLoadSpec};
+use linvar_devices::{CellLibrary, DeviceVariation, Technology};
+use linvar_interconnect::WireTech;
+use linvar_mor::ReductionMethod;
+use linvar_stats::{lhs_normal, monte_carlo, SampleRng, Summary};
+use linvar_teta::{StageModel, Waveform};
+
+/// Specification of a critical path.
+#[derive(Debug, Clone)]
+pub struct PathSpec {
+    /// Primitive cell name per stage (`inv`, `nand2`, `nand3`, `nor2`,
+    /// `nor3`).
+    pub cells: Vec<String>,
+    /// Linear interconnect elements between consecutive stages (the
+    /// Table-4 knob: 10 or 500).
+    pub linear_elements_between_stages: usize,
+    /// Transition time of the saturated ramp driving the path input (s).
+    pub input_slew: f64,
+}
+
+/// Standard deviations of the variation sources, in normalized units
+/// (1 normalized unit = one 3σ manufacturing tolerance, so a source at its
+/// specified tolerance has σ = 1/3 ≈ 0.33 — the paper's `std(DL) = 0.33`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationSources {
+    /// σ of the five wire parameters (W, T, S, H, ρ).
+    pub wire: [f64; 5],
+    /// σ of the channel-length reduction source `DL`.
+    pub dl: f64,
+    /// σ of the threshold source `VT`.
+    pub vt: f64,
+}
+
+impl VariationSources {
+    /// The paper's Example-3 configuration: device sources only.
+    pub fn example3(dl: f64, vt: f64) -> Self {
+        VariationSources {
+            wire: [0.0; 5],
+            dl,
+            vt,
+        }
+    }
+
+    /// The Example-3 Table-4 sampling: channel length plus the W and H
+    /// wire parameters, each at the standard normalized σ.
+    pub fn example3_table4() -> Self {
+        VariationSources {
+            wire: [1.0 / 3.0, 0.0, 0.0, 1.0 / 3.0, 0.0],
+            dl: 1.0 / 3.0,
+            vt: 0.0,
+        }
+    }
+
+    /// All seven sources at a common σ.
+    pub fn uniform(sigma: f64) -> Self {
+        VariationSources {
+            wire: [sigma; 5],
+            dl: sigma,
+            vt: sigma,
+        }
+    }
+
+    /// Active sources as `(label, σ)` pairs in canonical order
+    /// (W, T, S, H, rho, DL, VT).
+    pub fn active(&self) -> Vec<(&'static str, f64)> {
+        const WIRE_NAMES: [&str; 5] = ["W", "T", "S", "H", "rho"];
+        let mut out = Vec::new();
+        for (i, &s) in self.wire.iter().enumerate() {
+            if s > 0.0 {
+                out.push((WIRE_NAMES[i], s));
+            }
+        }
+        if self.dl > 0.0 {
+            out.push(("DL", self.dl));
+        }
+        if self.vt > 0.0 {
+            out.push(("VT", self.vt));
+        }
+        out
+    }
+}
+
+/// One sampled point of the variation space.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PathSample {
+    /// Wire parameter values (normalized).
+    pub wire: [f64; 5],
+    /// Device variation values.
+    pub device: DeviceVariation,
+}
+
+/// Result of the Monte-Carlo path analysis.
+#[derive(Debug, Clone)]
+pub struct McPathResult {
+    /// Path delay per successful sample (s).
+    pub delays: Vec<f64>,
+    /// Summary statistics.
+    pub summary: Summary,
+    /// Samples whose evaluation failed.
+    pub failures: usize,
+}
+
+/// Result of the Gradient-Analysis path analysis.
+#[derive(Debug, Clone)]
+pub struct GaPathResult {
+    /// Nominal path delay (s) — the GA mean estimate.
+    pub nominal_delay: f64,
+    /// Standard deviation from eq. (24) (s).
+    pub std: f64,
+    /// Path-delay sensitivity per active source (s per normalized unit),
+    /// aligned with [`VariationSources::active`].
+    pub sensitivities: Vec<f64>,
+    /// Number of stage simulations performed.
+    pub evaluations: usize,
+}
+
+struct StageEntry {
+    model: StageModel,
+    /// Far-end port position in the stage's port list.
+    out_port: usize,
+    /// The raw load (kept for the SPICE reference flow).
+    load: StageLoad,
+    cell: String,
+}
+
+/// A precharacterized critical path.
+pub struct PathModel {
+    stages: Vec<StageEntry>,
+    vdd: f64,
+    input_slew: f64,
+    pub(crate) tech: Technology,
+}
+
+impl PathModel {
+    /// Builds and precharacterizes the path: one effective-load vROM per
+    /// stage (PRIMA, order 6 — small enough to be cheap, rich enough for
+    /// RC lines of hundreds of segments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadSpec`] for an empty path or unknown cells
+    /// and propagates characterization failures.
+    pub fn build(spec: &PathSpec, tech: &Technology, wire: &WireTech) -> Result<Self, CoreError> {
+        if spec.cells.is_empty() {
+            return Err(CoreError::BadSpec("path has no stages".into()));
+        }
+        if spec.input_slew <= 0.0 || spec.input_slew.is_nan() {
+            return Err(CoreError::BadSpec("input slew must be positive".into()));
+        }
+        let cells = CellLibrary::standard(tech.clone());
+        let mut stages = Vec::with_capacity(spec.cells.len());
+        // Stages with the same (driver, receiver) pair share an identical
+        // effective load — characterize each distinct pair once. Long
+        // ISCAS paths reuse a handful of pairs, so this cuts construction
+        // time by an order of magnitude.
+        let mut cache: std::collections::HashMap<(String, String), (StageModel, StageLoad, usize)> =
+            std::collections::HashMap::new();
+        for (k, cell) in spec.cells.iter().enumerate() {
+            let receiver = spec
+                .cells
+                .get(k + 1)
+                .cloned()
+                .unwrap_or_else(|| "inv".to_string());
+            let key = (cell.clone(), receiver.clone());
+            if !cache.contains_key(&key) {
+                let load = build_stage_load(
+                    &StageLoadSpec {
+                        linear_elements: spec.linear_elements_between_stages,
+                        driver_cell: cell.clone(),
+                        receiver_cell: receiver,
+                    },
+                    &cells,
+                    wire,
+                )?;
+                let model = StageModel::build(
+                    &load.netlist,
+                    &[load.near],
+                    tech,
+                    ReductionMethod::Prima { order: 6 },
+                    0.02,
+                )?;
+                let out_port = load
+                    .netlist
+                    .ports()
+                    .iter()
+                    .position(|p| *p == load.far)
+                    .expect("far end is a port");
+                cache.insert(key.clone(), (model, load, out_port));
+            }
+            let (model, load, out_port) = cache.get(&key).expect("just inserted").clone();
+            stages.push(StageEntry {
+                model,
+                out_port,
+                load,
+                cell: cell.clone(),
+            });
+        }
+        Ok(PathModel {
+            stages,
+            vdd: tech.library.vdd,
+            input_slew: spec.input_slew,
+            tech: tech.clone(),
+        })
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Supply voltage.
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Cell names along the path.
+    pub fn cells(&self) -> Vec<&str> {
+        self.stages.iter().map(|s| s.cell.as_str()).collect()
+    }
+
+    /// The stage loads (for the SPICE reference flow).
+    pub(crate) fn stage_loads(&self) -> impl Iterator<Item = &StageLoad> {
+        self.stages.iter().map(|s| &s.load)
+    }
+
+    /// The path input waveform: a rising saturated ramp.
+    pub fn input_waveform(&self) -> Waveform {
+        Waveform::ramp(0.0, self.vdd, self.input_slew, self.input_slew)
+    }
+
+    /// Simulation timestep used for stage evaluations.
+    fn stage_h(&self) -> f64 {
+        (self.input_slew / 50.0).clamp(0.2e-12, 1e-12)
+    }
+
+    /// Evaluates the path delay at one variation sample with the TETA
+    /// flow, propagating full waveforms (§4.3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::StageStuck`] if a stage output cannot complete
+    /// its transition even with an enlarged window, or propagates solver
+    /// failures.
+    pub fn evaluate_sample(&self, sample: &PathSample) -> Result<f64, CoreError> {
+        let mut input = self.input_waveform();
+        let m_path_in = input
+            .crossing(self.vdd / 2.0, true)
+            .expect("ramp crosses midpoint");
+        let mut offset = 0.0; // accumulated rebasing shifts
+        let mut m_out_abs = m_path_in;
+        let h = self.stage_h();
+        for (k, stage) in self.stages.iter().enumerate() {
+            let rising_out = !input.is_rising();
+            let mut t_end = input.end_time() + 1.0e-9;
+            let mut out = None;
+            for _attempt in 0..3 {
+                let res = stage.model.evaluate(
+                    &sample.wire,
+                    sample.device,
+                    std::slice::from_ref(&input),
+                    h,
+                    t_end,
+                )?;
+                let w = &res.waveforms[stage.out_port];
+                let settled = (w.final_value()
+                    - if rising_out { self.vdd } else { 0.0 })
+                .abs()
+                    < 0.05 * self.vdd;
+                if settled && w.crossing(self.vdd / 2.0, rising_out).is_some() {
+                    out = Some(w.clone());
+                    break;
+                }
+                t_end *= 2.0;
+            }
+            let out = out.ok_or(CoreError::StageStuck { stage: k })?;
+            let m_out = out
+                .crossing(self.vdd / 2.0, rising_out)
+                .expect("checked above");
+            m_out_abs = m_out + offset;
+            // Rebase the next stage's input so its transition sits near the
+            // origin, keeping simulation windows short.
+            let s_est = out
+                .to_saturated_ramp(0.0, self.vdd)
+                .map(|sr| sr.s)
+                .unwrap_or(self.input_slew);
+            let shift = (m_out - 2.0 * s_est).max(0.0);
+            // Trim the settled tail so downstream windows stay short, then
+            // rebase the transition near the origin.
+            input = out.truncated(m_out + 4.0 * s_est).shifted(-shift);
+            offset += shift;
+        }
+        Ok(m_out_abs - m_path_in)
+    }
+
+    /// Draws `n` variation samples (LHS with normal marginals).
+    pub fn draw_samples(
+        &self,
+        sources: &VariationSources,
+        n: usize,
+        rng: &mut SampleRng,
+    ) -> Vec<PathSample> {
+        let raw = lhs_normal(rng, n, 7, 1.0);
+        raw.into_iter()
+            .map(|z| {
+                let mut wire = [0.0; 5];
+                for i in 0..5 {
+                    wire[i] = z[i] * sources.wire[i];
+                }
+                PathSample {
+                    wire,
+                    device: DeviceVariation::new(z[5] * sources.dl, z[6] * sources.vt),
+                }
+            })
+            .collect()
+    }
+
+    /// Monte-Carlo path-delay analysis (§4.3.1).
+    ///
+    /// # Errors
+    ///
+    /// Individual sample failures are counted in the result; this method
+    /// itself only fails if *every* sample fails.
+    pub fn monte_carlo(
+        &self,
+        sources: &VariationSources,
+        n: usize,
+        rng: &mut SampleRng,
+    ) -> Result<McPathResult, CoreError> {
+        let samples = self.draw_samples(sources, n, rng);
+        let res = monte_carlo(&samples, |s| self.evaluate_sample(s));
+        if res.values.is_empty() {
+            return Err(CoreError::BadSpec(
+                "all monte-carlo samples failed".into(),
+            ));
+        }
+        Ok(McPathResult {
+            delays: res.values,
+            summary: res.summary,
+            failures: res.failures,
+        })
+    }
+
+    /// One GA stage evaluation: ramp input with slew `s_in` (direction by
+    /// stage parity), returning `(stage delay, output slew)`.
+    fn ga_stage(
+        &self,
+        k: usize,
+        s_in: f64,
+        sample: &PathSample,
+    ) -> Result<(f64, f64), CoreError> {
+        let stage = &self.stages[k];
+        let rising_in = k.is_multiple_of(2);
+        let (v0, v1) = if rising_in {
+            (0.0, self.vdd)
+        } else {
+            (self.vdd, 0.0)
+        };
+        let input = Waveform::ramp(v0, v1, s_in, s_in);
+        let m_in = 1.5 * s_in;
+        let h = self.stage_h();
+        let mut t_end = 3.0 * s_in + 1.0e-9;
+        for _attempt in 0..3 {
+            let res = stage.model.evaluate(
+                &sample.wire,
+                sample.device,
+                std::slice::from_ref(&input),
+                h,
+                t_end,
+            )?;
+            let out = &res.waveforms[stage.out_port];
+            if let Ok(sr) = out.to_saturated_ramp(0.0, self.vdd) {
+                return Ok((sr.m - m_in, sr.s));
+            }
+            t_end *= 2.0;
+        }
+        Err(CoreError::StageStuck { stage: k })
+    }
+
+    /// Gradient-Analysis path-delay statistics (§4.3.2).
+    ///
+    /// Per stage: one nominal evaluation, two input-slew perturbations and
+    /// two per active source; `(M, S)` derivatives chain through eq. (31)
+    /// and the path σ follows from eq. (24).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage-evaluation failures.
+    pub fn gradient_analysis(&self, sources: &VariationSources) -> Result<GaPathResult, CoreError> {
+        let active = sources.active();
+        let n_src = active.len();
+        let nominal = PathSample::default();
+        let mut evaluations = 0usize;
+
+        // dM/dw and dS/dw accumulated along the path, per source.
+        let mut dm = vec![0.0; n_src];
+        let mut ds = vec![0.0; n_src];
+        let mut s_in = self.input_slew;
+        let mut total_delay = 0.0;
+
+        for k in 0..self.stages.len() {
+            let (d0, s_out0) = self.ga_stage(k, s_in, &nominal)?;
+            evaluations += 1;
+            // Input-slew sensitivities (∂Π/∂S_in, ∂Ψ/∂S_in).
+            let ds_in = 0.05 * s_in;
+            let (d_hi, s_hi) = self.ga_stage(k, s_in + ds_in, &nominal)?;
+            let (d_lo, s_lo) = self.ga_stage(k, s_in - ds_in, &nominal)?;
+            evaluations += 2;
+            let dpi_dsin = (d_hi - d_lo) / (2.0 * ds_in);
+            let dpsi_dsin = (s_hi - s_lo) / (2.0 * ds_in);
+            // Per-source sensitivities (∂Π/∂w, ∂Ψ/∂w) at step ±σ.
+            for (l, &(name, sigma)) in active.iter().enumerate() {
+                let mut hi = nominal;
+                let mut lo = nominal;
+                apply_source(&mut hi, name, sigma);
+                apply_source(&mut lo, name, -sigma);
+                let (dh, sh) = self.ga_stage(k, s_in, &hi)?;
+                let (dl_, sl) = self.ga_stage(k, s_in, &lo)?;
+                evaluations += 2;
+                let dpi_dw = (dh - dl_) / (2.0 * sigma);
+                let dpsi_dw = (sh - sl) / (2.0 * sigma);
+                // Eq. (31): chain through the input-slew dependence.
+                let dm_new = dm[l] + dpi_dw + dpi_dsin * ds[l];
+                let ds_new = dpsi_dw + dpsi_dsin * ds[l];
+                dm[l] = dm_new;
+                ds[l] = ds_new;
+            }
+            total_delay += d0;
+            s_in = s_out0;
+        }
+        // Eq. (24) with the source σ's.
+        let sigmas: Vec<f64> = active.iter().map(|&(_, s)| s).collect();
+        let std = linvar_stats::gradient_std(&sigmas, &dm);
+        Ok(GaPathResult {
+            nominal_delay: total_delay,
+            std,
+            sensitivities: dm,
+            evaluations,
+        })
+    }
+}
+
+impl McPathResult {
+    /// Empirical timing yield at the given clock period (s) — the
+    /// fraction of samples meeting it (paper §4, ref \[13\]).
+    pub fn timing_yield(&self, period: f64) -> f64 {
+        linvar_stats::empirical_yield(&self.delays, period)
+    }
+}
+
+impl GaPathResult {
+    /// Normal-model timing yield at the given clock period (s), from the
+    /// GA (mean, σ).
+    pub fn timing_yield(&self, period: f64) -> f64 {
+        linvar_stats::normal_yield(self.nominal_delay, self.std, period)
+    }
+
+    /// Clock period achieving the target yield under the GA normal model.
+    pub fn period_for_yield(&self, target: f64) -> f64 {
+        linvar_stats::period_for_yield(self.nominal_delay, self.std, target)
+    }
+}
+
+/// Applies `value` (normalized units) of the named source to a sample.
+pub(crate) fn apply_source_pub(sample: &mut PathSample, name: &str, value: f64) {
+    apply_source(sample, name, value);
+}
+
+/// Applies `value` (normalized units) of the named source to a sample.
+fn apply_source(sample: &mut PathSample, name: &str, value: f64) {
+    match name {
+        "W" => sample.wire[0] += value,
+        "T" => sample.wire[1] += value,
+        "S" => sample.wire[2] += value,
+        "H" => sample.wire[3] += value,
+        "rho" => sample.wire[4] += value,
+        "DL" => sample.device.dl += value,
+        "VT" => sample.device.vt += value,
+        other => unreachable!("unknown source {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linvar_devices::tech_018;
+    use linvar_stats::rng_from_seed;
+
+    fn small_path() -> PathModel {
+        let spec = PathSpec {
+            cells: vec!["inv".into(), "nand2".into(), "inv".into()],
+            linear_elements_between_stages: 10,
+            input_slew: 50e-12,
+        };
+        PathModel::build(&spec, &tech_018(), &WireTech::m018()).unwrap()
+    }
+
+    #[test]
+    fn nominal_delay_is_positive_and_reasonable() {
+        let model = small_path();
+        let d = model.evaluate_sample(&PathSample::default()).unwrap();
+        // 3 lightly loaded 0.18 µm stages: tens to hundreds of ps.
+        assert!(d > 10e-12 && d < 2e-9, "delay {d}");
+    }
+
+    #[test]
+    fn slower_devices_increase_delay() {
+        let model = small_path();
+        let nominal = model.evaluate_sample(&PathSample::default()).unwrap();
+        let slow = model
+            .evaluate_sample(&PathSample {
+                wire: [0.0; 5],
+                device: DeviceVariation::new(-1.0, 2.0), // longer L, higher VT
+            })
+            .unwrap();
+        assert!(slow > nominal, "{slow} vs {nominal}");
+    }
+
+    #[test]
+    fn monte_carlo_produces_spread() {
+        let model = small_path();
+        let sources = VariationSources::example3(0.33, 0.33);
+        let mut rng = rng_from_seed(5);
+        let mc = model.monte_carlo(&sources, 12, &mut rng).unwrap();
+        assert_eq!(mc.failures, 0);
+        assert_eq!(mc.delays.len(), 12);
+        assert!(mc.summary.std > 0.0);
+        assert!(mc.summary.std < 0.3 * mc.summary.mean, "plausible spread");
+    }
+
+    #[test]
+    fn ga_matches_mc_roughly() {
+        let model = small_path();
+        let sources = VariationSources::example3(0.33, 0.33);
+        let ga = model.gradient_analysis(&sources).unwrap();
+        let mut rng = rng_from_seed(9);
+        let mc = model.monte_carlo(&sources, 24, &mut rng).unwrap();
+        // Means within a few percent; σ within a factor of two (the
+        // paper's Table 5 shows GA σ within ~30 % of MC σ).
+        let mean_err = (ga.nominal_delay - mc.summary.mean).abs() / mc.summary.mean;
+        assert!(mean_err < 0.05, "GA mean off by {mean_err}");
+        assert!(
+            ga.std > 0.3 * mc.summary.std && ga.std < 3.0 * mc.summary.std,
+            "GA std {} vs MC std {}",
+            ga.std,
+            mc.summary.std
+        );
+        assert_eq!(ga.sensitivities.len(), 2);
+        assert!(ga.evaluations > 0);
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        let tech = tech_018();
+        let wire = WireTech::m018();
+        let empty = PathSpec {
+            cells: vec![],
+            linear_elements_between_stages: 10,
+            input_slew: 50e-12,
+        };
+        assert!(PathModel::build(&empty, &tech, &wire).is_err());
+        let bad_slew = PathSpec {
+            cells: vec!["inv".into()],
+            linear_elements_between_stages: 10,
+            input_slew: 0.0,
+        };
+        assert!(PathModel::build(&bad_slew, &tech, &wire).is_err());
+        let bad_cell = PathSpec {
+            cells: vec!["mystery".into()],
+            linear_elements_between_stages: 10,
+            input_slew: 50e-12,
+        };
+        assert!(PathModel::build(&bad_cell, &tech, &wire).is_err());
+    }
+
+    #[test]
+    fn timing_yield_integration() {
+        let model = small_path();
+        let sources = VariationSources::example3(0.33, 0.33);
+        let mut rng = rng_from_seed(3);
+        let mc = model.monte_carlo(&sources, 16, &mut rng).unwrap();
+        let ga = model.gradient_analysis(&sources).unwrap();
+        // Yield is monotone in the period and hits the extremes.
+        assert_eq!(mc.timing_yield(0.0), 0.0);
+        assert_eq!(mc.timing_yield(1.0), 1.0);
+        let p50 = ga.period_for_yield(0.5);
+        assert!((ga.timing_yield(p50) - 0.5).abs() < 1e-6);
+        let p999 = ga.period_for_yield(0.999);
+        assert!(p999 > p50);
+        // GA and MC yields agree loosely near the distribution center.
+        let y_mc = mc.timing_yield(p50);
+        assert!((0.1..=0.9).contains(&y_mc), "MC yield at GA median: {y_mc}");
+    }
+
+    #[test]
+    fn sources_active_enumeration() {
+        let s = VariationSources::example3(0.33, 0.0);
+        assert_eq!(s.active(), vec![("DL", 0.33)]);
+        let s = VariationSources::example3_table4();
+        let names: Vec<&str> = s.active().iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, vec!["W", "H", "DL"]);
+        let s = VariationSources::uniform(0.1);
+        assert_eq!(s.active().len(), 7);
+    }
+}

@@ -1,0 +1,160 @@
+//! SPICE reference flow: the same path stages, simulated in full by the
+//! `linvar-spice` baseline.
+//!
+//! This is the comparator of the paper's Examples 2–3: each stage's
+//! transistor-level equivalent (unit driver inverter + the complete,
+//! un-reduced interconnect netlist frozen at the parameter sample +
+//! receiver load) runs through the conventional Newton/trapezoidal engine.
+//! Both engines share the level-1 device model, so accuracy and runtime
+//! differences isolate the interconnect-modeling strategy — the point the
+//! paper makes under Table 4.
+
+use crate::error::CoreError;
+use crate::path::{PathModel, PathSample};
+use linvar_circuit::{MosType, Netlist, SourceWaveform};
+use linvar_spice::{Transient, TransientOptions};
+use linvar_teta::Waveform;
+
+impl PathModel {
+    /// Evaluates the path delay at one sample using the SPICE baseline,
+    /// stage by stage with waveform propagation — the paper's reference
+    /// flow.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient failures ([`linvar_spice::SpiceError`]) and
+    /// returns [`CoreError::StageStuck`] when an output never transitions.
+    pub fn evaluate_sample_spice(&self, sample: &PathSample) -> Result<f64, CoreError> {
+        let vdd = self.vdd();
+        let mut input = self.input_waveform();
+        let m_path_in = input
+            .crossing(vdd / 2.0, true)
+            .expect("ramp crosses midpoint");
+        let mut offset = 0.0;
+        let mut m_out_abs = m_path_in;
+        let tech = &self.tech;
+        for (k, load) in self.stage_loads().enumerate() {
+            let rising_out = !input.is_rising();
+            // Assemble the transistor-level stage netlist at this sample.
+            let frozen = load.netlist.frozen_at(&sample.wire);
+            let mut nl = Netlist::new();
+            let vdd_node = nl.node("vdd");
+            let in_node = nl.node("stage_in");
+            nl.instantiate(&frozen, "", &[])?;
+            let near_name = frozen
+                .node_name(load.near)
+                .expect("near node exists")
+                .to_string();
+            let far_name = frozen
+                .node_name(load.far)
+                .expect("far node exists")
+                .to_string();
+            let near = nl.find_node(&near_name).expect("instantiated");
+            nl.add_vsource("Vdd", vdd_node, Netlist::GROUND, SourceWaveform::Dc(vdd))?;
+            nl.add_vsource(
+                "Vin",
+                in_node,
+                Netlist::GROUND,
+                SourceWaveform::Pwl(input.points().to_vec()),
+            )?;
+            nl.add_mosfet(
+                "MP",
+                near,
+                in_node,
+                vdd_node,
+                vdd_node,
+                MosType::Pmos,
+                &tech.library.pmos_name(),
+                tech.wp,
+                tech.library.lmin,
+            )?;
+            nl.add_mosfet(
+                "MN",
+                near,
+                in_node,
+                Netlist::GROUND,
+                Netlist::GROUND,
+                MosType::Nmos,
+                &tech.library.nmos_name(),
+                tech.wn,
+                tech.library.lmin,
+            )?;
+            let mut t_end = input.end_time() + 1.0e-9;
+            let mut out: Option<Waveform> = None;
+            for _attempt in 0..3 {
+                let mut opts = TransientOptions::new(t_end, 1e-12);
+                opts.probes.push(far_name.clone());
+                let res = Transient::with_devices(&nl, &tech.library, sample.device, &opts)?
+                    .run()?;
+                let times = res.times.clone();
+                let vals = res.probe(&far_name).expect("probed").to_vec();
+                let w = Waveform::from_points(
+                    times.into_iter().zip(vals).collect::<Vec<_>>(),
+                )
+                .compress(1e-4 * vdd);
+                let settled =
+                    (w.final_value() - if rising_out { vdd } else { 0.0 }).abs() < 0.05 * vdd;
+                if settled && w.crossing(vdd / 2.0, rising_out).is_some() {
+                    out = Some(w);
+                    break;
+                }
+                t_end *= 2.0;
+            }
+            let out = out.ok_or(CoreError::StageStuck { stage: k })?;
+            let m_out = out
+                .crossing(vdd / 2.0, rising_out)
+                .expect("checked above");
+            m_out_abs = m_out + offset;
+            let s_est = out
+                .to_saturated_ramp(0.0, vdd)
+                .map(|sr| sr.s)
+                .unwrap_or(50e-12);
+            let shift = (m_out - 2.0 * s_est).max(0.0);
+            // Trim the settled tail so downstream windows stay short, then
+            // rebase the transition near the origin.
+            input = out.truncated(m_out + 4.0 * s_est).shifted(-shift);
+            offset += shift;
+        }
+        Ok(m_out_abs - m_path_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::path::{PathModel, PathSample, PathSpec};
+    use linvar_devices::tech_018;
+    use linvar_interconnect::WireTech;
+
+    fn path(n_elem: usize) -> PathModel {
+        let spec = PathSpec {
+            cells: vec!["inv".into(), "inv".into()],
+            linear_elements_between_stages: n_elem,
+            input_slew: 50e-12,
+        };
+        PathModel::build(&spec, &tech_018(), &WireTech::m018()).unwrap()
+    }
+
+    #[test]
+    fn spice_and_teta_agree_on_nominal_delay() {
+        let model = path(10);
+        let sample = PathSample::default();
+        let d_teta = model.evaluate_sample(&sample).unwrap();
+        let d_spice = model.evaluate_sample_spice(&sample).unwrap();
+        let rel = (d_teta - d_spice).abs() / d_spice;
+        assert!(
+            rel < 0.10,
+            "teta {d_teta} vs spice {d_spice} ({:.1}% off)",
+            rel * 100.0
+        );
+    }
+
+    #[test]
+    fn spice_reference_sees_wire_variation() {
+        let model = path(30);
+        let mut slow = PathSample::default();
+        slow.wire[4] = 1.5; // high resistivity
+        let nominal = model.evaluate_sample_spice(&PathSample::default()).unwrap();
+        let slowed = model.evaluate_sample_spice(&slow).unwrap();
+        assert!(slowed > nominal, "{slowed} vs {nominal}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Stage-load construction: interconnect + parasitic caps per logic stage.
+//!
+//! A path stage consists of a driving cell, an interconnect line with a
+//! configurable number of linear elements (the knob of the paper's
+//! Table 4), and the next cell's input capacitance as the receiver load.
+//! The builders here produce the *load netlist* shared by the TETA flow
+//! (which reduces it) and the SPICE reference (which simulates it in
+//! full).
+
+use crate::error::CoreError;
+use linvar_circuit::{Netlist, NodeId};
+use linvar_devices::{Cell, CellLibrary};
+use linvar_interconnect::{builder::build_coupled_lines_into, CoupledLineSpec, WireTech};
+
+/// Specification of one stage's linear load.
+#[derive(Debug, Clone)]
+pub struct StageLoadSpec {
+    /// Number of linear circuit elements in the interconnect (each 1 µm
+    /// RC segment contributes a resistor and a capacitor).
+    pub linear_elements: usize,
+    /// Driving cell (its output parasitic loads the near end).
+    pub driver_cell: String,
+    /// Receiving cell (its input capacitance loads the far end).
+    pub receiver_cell: String,
+}
+
+/// A built stage load.
+#[derive(Debug, Clone)]
+pub struct StageLoad {
+    /// Load netlist with ports marked: near (driven) end first, far end
+    /// second.
+    pub netlist: Netlist,
+    /// Near-end (driven) node.
+    pub near: NodeId,
+    /// Far-end (observed) node.
+    pub far: NodeId,
+    /// Total linear element count actually created.
+    pub element_count: usize,
+    /// Line length in meters.
+    pub line_length: f64,
+}
+
+/// Builds the load netlist of one stage.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadSpec`] for unknown cell names and propagates
+/// netlist-construction errors.
+pub fn build_stage_load(
+    spec: &StageLoadSpec,
+    cells: &CellLibrary,
+    wire: &WireTech,
+) -> Result<StageLoad, CoreError> {
+    let driver = lookup(cells, &spec.driver_cell)?;
+    let receiver = lookup(cells, &spec.receiver_cell)?;
+    // Each 1 µm segment is one R plus one C; coupling would add more, but
+    // the Table-4 path loads are single lines.
+    let segments = (spec.linear_elements / 2).max(1);
+    let line_length = segments as f64 * 1e-6;
+    let line_spec = CoupledLineSpec::new(1, line_length, wire.clone());
+    let mut nl = Netlist::new();
+    let built = build_coupled_lines_into(&line_spec, &mut nl, "")?;
+    let near = built.inputs[0];
+    let far = built.outputs[0];
+    nl.add_capacitor("Cdrv", near, Netlist::GROUND, driver.output_cap())?;
+    nl.add_capacitor("Crcv", far, Netlist::GROUND, receiver.input_cap())?;
+    Ok(StageLoad {
+        netlist: nl,
+        near,
+        far,
+        element_count: built.element_count + 2,
+        line_length,
+    })
+}
+
+fn lookup<'a>(cells: &'a CellLibrary, name: &str) -> Result<&'a Cell, CoreError> {
+    cells
+        .get(name)
+        .ok_or_else(|| CoreError::BadSpec(format!("unknown cell {name}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linvar_devices::{tech_018, CellLibrary};
+
+    fn lib() -> CellLibrary {
+        CellLibrary::standard(tech_018())
+    }
+
+    fn spec(n: usize) -> StageLoadSpec {
+        StageLoadSpec {
+            linear_elements: n,
+            driver_cell: "inv".into(),
+            receiver_cell: "nand2".into(),
+        }
+    }
+
+    #[test]
+    fn element_count_tracks_spec() {
+        let cells = lib();
+        let wire = WireTech::m018();
+        let s10 = build_stage_load(&spec(10), &cells, &wire).unwrap();
+        // 5 segments → 5 R + 5 C, plus the two lumped caps.
+        assert_eq!(s10.element_count, 12);
+        assert!((s10.line_length - 5e-6).abs() < 1e-12);
+        let s500 = build_stage_load(&spec(500), &cells, &wire).unwrap();
+        assert_eq!(s500.element_count, 502);
+        assert!(s500.netlist.node_count() > 200);
+    }
+
+    #[test]
+    fn ports_are_near_then_far() {
+        let cells = lib();
+        let wire = WireTech::m018();
+        let s = build_stage_load(&spec(10), &cells, &wire).unwrap();
+        assert_eq!(s.netlist.ports(), &[s.near, s.far]);
+        assert_ne!(s.near, s.far);
+    }
+
+    #[test]
+    fn unknown_cell_rejected() {
+        let cells = lib();
+        let wire = WireTech::m018();
+        let mut s = spec(10);
+        s.driver_cell = "xor9".into();
+        assert!(matches!(
+            build_stage_load(&s, &cells, &wire),
+            Err(CoreError::BadSpec(_))
+        ));
+    }
+
+    #[test]
+    fn tiny_element_count_still_builds() {
+        let cells = lib();
+        let wire = WireTech::m018();
+        let s = build_stage_load(&spec(1), &cells, &wire).unwrap();
+        assert!(s.element_count >= 4);
+    }
+}

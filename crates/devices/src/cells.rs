@@ -1,0 +1,498 @@
+//! Transistor-level standard-cell library.
+//!
+//! The paper's ISCAS-89 experiments use "ten different logic cells"; this
+//! module provides a ten-cell static CMOS library (INV, BUF, NAND2/3,
+//! NOR2/3, AND2, OR2, AOI21, OAI21) built from the level-1 devices of a
+//! [`Technology`]. Each cell is a self-contained [`Netlist`] with nodes
+//! `vdd`, `out` and inputs `a`(, `b`, `c`), ready to be instantiated into a
+//! stage with [`Netlist::instantiate`].
+//!
+//! Cells carry the *sensitization recipe* for timing: when a path enters
+//! through input `a`, [`Cell::side_bias`] lists the rail each side input
+//! must be tied to so that `a` controls the output.
+
+use crate::library::Technology;
+use linvar_circuit::{MosType, Netlist, NodeId};
+
+/// A standard cell: its transistor-level netlist plus timing metadata.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Cell name, e.g. `"nand2"`.
+    pub name: String,
+    /// Input pin names in order (`a` is the timing-path input).
+    pub inputs: Vec<String>,
+    /// Output pin name (always `"out"`).
+    pub output: String,
+    /// Transistor-level netlist with nodes `vdd`, `out`, inputs, internals.
+    pub netlist: Netlist,
+    /// `(side input, tie-high?)` pairs sensitizing the `a → out` arc.
+    pub side_bias: Vec<(String, bool)>,
+    /// Logical inversion of the `a → out` arc (true for inverting cells).
+    pub inverting: bool,
+}
+
+impl Cell {
+    /// Total explicit capacitance attached to the given pin (the input
+    /// loading a driving stage sees, or the output parasitic).
+    fn pin_cap(&self, pin: &str) -> f64 {
+        let Some(node) = self.netlist.find_node(pin) else {
+            return 0.0;
+        };
+        self.netlist
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                linvar_circuit::Element::Capacitor { a, b, value, .. }
+                    if *a == node || *b == node =>
+                {
+                    Some(value.nominal)
+                }
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Capacitive load this cell presents on its path input `a`.
+    pub fn input_cap(&self) -> f64 {
+        self.pin_cap("a")
+    }
+
+    /// Parasitic capacitance at the cell output.
+    pub fn output_cap(&self) -> f64 {
+        self.pin_cap("out")
+    }
+}
+
+/// The ten-cell library for one technology.
+#[derive(Debug, Clone)]
+pub struct CellLibrary {
+    cells: Vec<Cell>,
+    /// The technology the cells are built in.
+    pub tech: Technology,
+}
+
+/// Helper that accumulates transistors and their parasitic capacitors into
+/// a cell netlist.
+struct CellBuilder<'t> {
+    nl: Netlist,
+    tech: &'t Technology,
+    vdd: NodeId,
+    index: usize,
+}
+
+impl<'t> CellBuilder<'t> {
+    fn new(tech: &'t Technology) -> Self {
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        CellBuilder {
+            nl,
+            tech,
+            vdd,
+            index: 0,
+        }
+    }
+
+    fn node(&mut self, name: &str) -> NodeId {
+        self.nl.node(name)
+    }
+
+    /// Adds an NMOS (drain, gate, source), bulk to ground, with width
+    /// scaled by `stack` (series stacks are upsized to preserve drive).
+    fn nmos(&mut self, d: NodeId, g: NodeId, s: NodeId, stack: usize) {
+        self.mos(MosType::Nmos, d, g, s, Netlist::GROUND, stack);
+    }
+
+    /// Adds a PMOS (drain, gate, source), bulk to vdd.
+    fn pmos(&mut self, d: NodeId, g: NodeId, s: NodeId, stack: usize) {
+        let vdd = self.vdd;
+        self.mos(MosType::Pmos, d, g, s, vdd, stack);
+    }
+
+    fn mos(&mut self, ty: MosType, d: NodeId, g: NodeId, s: NodeId, b: NodeId, stack: usize) {
+        self.index += 1;
+        let lib = &self.tech.library;
+        let (model, w) = match ty {
+            MosType::Nmos => (lib.nmos_name(), self.tech.wn),
+            MosType::Pmos => (lib.pmos_name(), self.tech.wp),
+        };
+        let w = w * stack as f64;
+        let l = lib.lmin;
+        let name = format!("M{}", self.index);
+        self.nl
+            .add_mosfet(&name, d, g, s, b, ty, &model, w, l)
+            .expect("cell builder produces unique names and valid nodes");
+        // Parasitic capacitors: total gate oxide to ground, gate-drain
+        // overlap (Miller), and drain junction.
+        let params = lib.get(&model).expect("model registered").clone();
+        let cg = params.cox * w * l;
+        let cgd = params.cgo * w;
+        let cj = params.junction_cap(w);
+        self.nl
+            .add_capacitor(&format!("Cg{}", self.index), g, Netlist::GROUND, cg)
+            .expect("unique name");
+        self.nl
+            .add_capacitor(&format!("Cm{}", self.index), g, d, cgd)
+            .expect("unique name");
+        self.nl
+            .add_capacitor(&format!("Cj{}", self.index), d, Netlist::GROUND, cj)
+            .expect("unique name");
+    }
+
+    fn finish(
+        self,
+        name: &str,
+        inputs: &[&str],
+        side_bias: &[(&str, bool)],
+        inverting: bool,
+    ) -> Cell {
+        Cell {
+            name: name.to_string(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            output: "out".to_string(),
+            netlist: self.nl,
+            side_bias: side_bias
+                .iter()
+                .map(|(n, h)| (n.to_string(), *h))
+                .collect(),
+            inverting,
+        }
+    }
+}
+
+fn inv(tech: &Technology) -> Cell {
+    let mut b = CellBuilder::new(tech);
+    let (a, out, vdd) = (b.node("a"), b.node("out"), b.vdd);
+    b.pmos(out, a, vdd, 1);
+    b.nmos(out, a, Netlist::GROUND, 1);
+    b.finish("inv", &["a"], &[], true)
+}
+
+fn buf(tech: &Technology) -> Cell {
+    let mut b = CellBuilder::new(tech);
+    let (a, x, out, vdd) = (b.node("a"), b.node("x"), b.node("out"), b.vdd);
+    b.pmos(x, a, vdd, 1);
+    b.nmos(x, a, Netlist::GROUND, 1);
+    b.pmos(out, x, vdd, 2);
+    b.nmos(out, x, Netlist::GROUND, 2);
+    b.finish("buf", &["a"], &[], false)
+}
+
+fn nand2(tech: &Technology) -> Cell {
+    let mut b = CellBuilder::new(tech);
+    let (a, bb, out, n1, vdd) = (
+        b.node("a"),
+        b.node("b"),
+        b.node("out"),
+        b.node("n1"),
+        b.vdd,
+    );
+    b.pmos(out, a, vdd, 1);
+    b.pmos(out, bb, vdd, 1);
+    b.nmos(out, a, n1, 2);
+    b.nmos(n1, bb, Netlist::GROUND, 2);
+    b.finish("nand2", &["a", "b"], &[("b", true)], true)
+}
+
+fn nand3(tech: &Technology) -> Cell {
+    let mut b = CellBuilder::new(tech);
+    let (a, bb, c, out, n1, n2, vdd) = (
+        b.node("a"),
+        b.node("b"),
+        b.node("c"),
+        b.node("out"),
+        b.node("n1"),
+        b.node("n2"),
+        b.vdd,
+    );
+    b.pmos(out, a, vdd, 1);
+    b.pmos(out, bb, vdd, 1);
+    b.pmos(out, c, vdd, 1);
+    b.nmos(out, a, n1, 3);
+    b.nmos(n1, bb, n2, 3);
+    b.nmos(n2, c, Netlist::GROUND, 3);
+    b.finish(
+        "nand3",
+        &["a", "b", "c"],
+        &[("b", true), ("c", true)],
+        true,
+    )
+}
+
+fn nor2(tech: &Technology) -> Cell {
+    let mut b = CellBuilder::new(tech);
+    let (a, bb, out, p1, vdd) = (
+        b.node("a"),
+        b.node("b"),
+        b.node("out"),
+        b.node("p1"),
+        b.vdd,
+    );
+    b.pmos(p1, bb, vdd, 2);
+    b.pmos(out, a, p1, 2);
+    b.nmos(out, a, Netlist::GROUND, 1);
+    b.nmos(out, bb, Netlist::GROUND, 1);
+    b.finish("nor2", &["a", "b"], &[("b", false)], true)
+}
+
+fn nor3(tech: &Technology) -> Cell {
+    let mut b = CellBuilder::new(tech);
+    let (a, bb, c, out, p1, p2, vdd) = (
+        b.node("a"),
+        b.node("b"),
+        b.node("c"),
+        b.node("out"),
+        b.node("p1"),
+        b.node("p2"),
+        b.vdd,
+    );
+    b.pmos(p1, c, vdd, 3);
+    b.pmos(p2, bb, p1, 3);
+    b.pmos(out, a, p2, 3);
+    b.nmos(out, a, Netlist::GROUND, 1);
+    b.nmos(out, bb, Netlist::GROUND, 1);
+    b.nmos(out, c, Netlist::GROUND, 1);
+    b.finish(
+        "nor3",
+        &["a", "b", "c"],
+        &[("b", false), ("c", false)],
+        true,
+    )
+}
+
+fn and2(tech: &Technology) -> Cell {
+    let mut b = CellBuilder::new(tech);
+    let (a, bb, x, out, n1, vdd) = (
+        b.node("a"),
+        b.node("b"),
+        b.node("x"),
+        b.node("out"),
+        b.node("n1"),
+        b.vdd,
+    );
+    // NAND2 into x.
+    b.pmos(x, a, vdd, 1);
+    b.pmos(x, bb, vdd, 1);
+    b.nmos(x, a, n1, 2);
+    b.nmos(n1, bb, Netlist::GROUND, 2);
+    // INV x -> out.
+    b.pmos(out, x, vdd, 2);
+    b.nmos(out, x, Netlist::GROUND, 2);
+    b.finish("and2", &["a", "b"], &[("b", true)], false)
+}
+
+fn or2(tech: &Technology) -> Cell {
+    let mut b = CellBuilder::new(tech);
+    let (a, bb, x, out, p1, vdd) = (
+        b.node("a"),
+        b.node("b"),
+        b.node("x"),
+        b.node("out"),
+        b.node("p1"),
+        b.vdd,
+    );
+    // NOR2 into x.
+    b.pmos(p1, bb, vdd, 2);
+    b.pmos(x, a, p1, 2);
+    b.nmos(x, a, Netlist::GROUND, 1);
+    b.nmos(x, bb, Netlist::GROUND, 1);
+    // INV x -> out.
+    b.pmos(out, x, vdd, 2);
+    b.nmos(out, x, Netlist::GROUND, 2);
+    b.finish("or2", &["a", "b"], &[("b", false)], false)
+}
+
+fn aoi21(tech: &Technology) -> Cell {
+    // out = !(a·b + c)
+    let mut b = CellBuilder::new(tech);
+    let (a, bb, c, out, p1, n1, vdd) = (
+        b.node("a"),
+        b.node("b"),
+        b.node("c"),
+        b.node("out"),
+        b.node("p1"),
+        b.node("n1"),
+        b.vdd,
+    );
+    // Pull-up: pc in series with (pa || pb).
+    b.pmos(p1, a, vdd, 2);
+    b.pmos(p1, bb, vdd, 2);
+    b.pmos(out, c, p1, 2);
+    // Pull-down: (na series nb) || nc.
+    b.nmos(out, a, n1, 2);
+    b.nmos(n1, bb, Netlist::GROUND, 2);
+    b.nmos(out, c, Netlist::GROUND, 1);
+    b.finish(
+        "aoi21",
+        &["a", "b", "c"],
+        &[("b", true), ("c", false)],
+        true,
+    )
+}
+
+fn oai21(tech: &Technology) -> Cell {
+    // out = !((a + b)·c)
+    let mut b = CellBuilder::new(tech);
+    let (a, bb, c, out, p1, n1, vdd) = (
+        b.node("a"),
+        b.node("b"),
+        b.node("c"),
+        b.node("out"),
+        b.node("p1"),
+        b.node("n1"),
+        b.vdd,
+    );
+    // Pull-up: (pa series pb) || pc.
+    b.pmos(p1, a, vdd, 2);
+    b.pmos(out, bb, p1, 2);
+    b.pmos(out, c, vdd, 2);
+    // Pull-down: nc in series with (na || nb).
+    b.nmos(out, c, n1, 2);
+    b.nmos(n1, a, Netlist::GROUND, 2);
+    b.nmos(n1, bb, Netlist::GROUND, 2);
+    b.finish(
+        "oai21",
+        &["a", "b", "c"],
+        &[("b", false), ("c", true)],
+        true,
+    )
+}
+
+impl CellLibrary {
+    /// Builds the standard ten-cell library for a technology.
+    pub fn standard(tech: Technology) -> Self {
+        let cells = vec![
+            inv(&tech),
+            buf(&tech),
+            nand2(&tech),
+            nand3(&tech),
+            nor2(&tech),
+            nor3(&tech),
+            and2(&tech),
+            or2(&tech),
+            aoi21(&tech),
+            oai21(&tech),
+        ];
+        CellLibrary { cells, tech }
+    }
+
+    /// Looks up a cell by name.
+    pub fn get(&self, name: &str) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::tech_018;
+
+    #[test]
+    fn library_has_ten_cells() {
+        let lib = CellLibrary::standard(tech_018());
+        assert_eq!(lib.cells().len(), 10);
+        for name in [
+            "inv", "buf", "nand2", "nand3", "nor2", "nor3", "and2", "or2", "aoi21", "oai21",
+        ] {
+            assert!(lib.get(name).is_some(), "missing cell {name}");
+        }
+        assert!(lib.get("xor9").is_none());
+    }
+
+    #[test]
+    fn every_cell_has_a_and_out_and_vdd() {
+        let lib = CellLibrary::standard(tech_018());
+        for cell in lib.cells() {
+            assert!(cell.netlist.find_node("a").is_some(), "{}", cell.name);
+            assert!(cell.netlist.find_node("out").is_some(), "{}", cell.name);
+            assert!(cell.netlist.find_node("vdd").is_some(), "{}", cell.name);
+            assert_eq!(cell.output, "out");
+            assert_eq!(cell.inputs[0], "a");
+        }
+    }
+
+    #[test]
+    fn side_bias_covers_all_side_inputs() {
+        let lib = CellLibrary::standard(tech_018());
+        for cell in lib.cells() {
+            let side_inputs: Vec<&String> = cell.inputs.iter().skip(1).collect();
+            assert_eq!(
+                side_inputs.len(),
+                cell.side_bias.len(),
+                "{} side bias incomplete",
+                cell.name
+            );
+            for (name, _) in &cell.side_bias {
+                assert!(
+                    side_inputs.contains(&name),
+                    "{}: stray bias {}",
+                    cell.name,
+                    name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transistor_counts() {
+        let lib = CellLibrary::standard(tech_018());
+        let count = |name: &str| lib.get(name).unwrap().netlist.mosfets().len();
+        assert_eq!(count("inv"), 2);
+        assert_eq!(count("buf"), 4);
+        assert_eq!(count("nand2"), 4);
+        assert_eq!(count("nand3"), 6);
+        assert_eq!(count("nor2"), 4);
+        assert_eq!(count("nor3"), 6);
+        assert_eq!(count("and2"), 6);
+        assert_eq!(count("or2"), 6);
+        assert_eq!(count("aoi21"), 6);
+        assert_eq!(count("oai21"), 6);
+    }
+
+    #[test]
+    fn cells_carry_parasitic_capacitors() {
+        let lib = CellLibrary::standard(tech_018());
+        let inv = lib.get("inv").unwrap();
+        // 2 transistors × 3 caps each.
+        assert_eq!(inv.netlist.elements().len(), 6);
+    }
+
+    #[test]
+    fn inverting_flags() {
+        let lib = CellLibrary::standard(tech_018());
+        assert!(lib.get("inv").unwrap().inverting);
+        assert!(lib.get("nand2").unwrap().inverting);
+        assert!(!lib.get("buf").unwrap().inverting);
+        assert!(!lib.get("and2").unwrap().inverting);
+    }
+
+    #[test]
+    fn pin_caps_are_positive_and_scale_with_fanin() {
+        let lib = CellLibrary::standard(tech_018());
+        let inv = lib.get("inv").unwrap();
+        let nand3 = lib.get("nand3").unwrap();
+        assert!(inv.input_cap() > 0.0);
+        assert!(inv.output_cap() > 0.0);
+        // nand3 gates one nmos+pmos per input like inv, but bigger devices
+        // (stack upsizing), so its input cap exceeds the inverter's.
+        assert!(nand3.input_cap() > inv.input_cap());
+        // Unknown pin contributes zero.
+        assert_eq!(inv.pin_cap("zz"), 0.0);
+    }
+
+    #[test]
+    fn instantiation_into_stage_netlist() {
+        let lib = CellLibrary::standard(tech_018());
+        let nand = lib.get("nand2").unwrap();
+        let mut stage = Netlist::new();
+        let _vdd = stage.node("vdd");
+        stage.instantiate(&nand.netlist, "u1_", &["vdd"]).unwrap();
+        assert!(stage.find_node("u1_a").is_some());
+        assert!(stage.find_node("u1_out").is_some());
+        assert_eq!(stage.mosfets().len(), 4);
+    }
+}

@@ -1,0 +1,138 @@
+//! Successive-Chords fixed linearizations (the TETA "chord models").
+//!
+//! The Successive Chords (SC) method replaces Newton's per-iteration
+//! tangent with a *fixed* chord conductance chosen once, before the
+//! analysis. Each nonlinear device then looks like a constant conductance
+//! `G_chord` in parallel with an iteration-dependent Norton current source
+//! `i_eq(v) = I(v) − G_chord·v_ds`:
+//!
+//! * the constant conductances can be folded into the linear load *before*
+//!   model order reduction (paper eq. 12), which is what lets the framework
+//!   tolerate non-passive variational macromodels;
+//! * the fixed-point iteration `v ← Z·i_eq(v)` converges for any monotone
+//!   device I/V whose slope never exceeds `G_chord` (the chord is chosen as
+//!   the maximum small-signal output conductance over the operating region,
+//!   making the iteration a contraction);
+//! * crucially for statistics, the chord is computed from *nominal* device
+//!   parameters and **kept constant across all variation samples** — the
+//!   paper's key observation that only a single macromodel
+//!   characterization is needed for an entire Monte-Carlo run.
+
+use crate::level1::MosParams;
+
+/// Fixed linearization of one device: the chord conductance between drain
+/// and source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChordModel {
+    /// Chord (output) conductance in siemens.
+    pub g_chord: f64,
+}
+
+impl ChordModel {
+    /// Norton companion current for the SC iteration: given the device
+    /// current `ids` evaluated at the previous iterate and the previous
+    /// drain-source voltage, returns the equivalent injected current
+    /// `i_eq = ids − g_chord · vds`.
+    pub fn norton_current(&self, ids: f64, vds: f64) -> f64 {
+        ids - self.g_chord * vds
+    }
+}
+
+/// Selects the chord conductance for a device of the given geometry in a
+/// rail-to-rail digital environment with supply `vdd`.
+///
+/// The choice is the maximum output conductance over the switching
+/// trajectory, which for the level-1 model is the triode-region conductance
+/// at `vds → 0` with the gate fully driven:
+/// `G = β·(VDD − |V_T0|)`. Because the device I/V slope never exceeds this
+/// value, the SC fixed-point iteration is a contraction (see module docs).
+///
+/// The chord is evaluated at *nominal* parameters — per the paper, it stays
+/// fixed under device and interconnect variations.
+pub fn chord_conductance(params: &MosParams, width: f64, length: f64, vdd: f64) -> f64 {
+    let leff = params.effective_length(length, 0.0);
+    let beta = params.kp * width / leff;
+    let vov = (vdd - params.vto.abs()).max(0.1 * vdd);
+    // Include the worst-case channel-length-modulation boost so the chord
+    // bounds the slope across the whole vds range.
+    beta * vov * (1.0 + params.lambda * vdd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::tech_018;
+
+    #[test]
+    fn chord_bounds_device_slope() {
+        // The chord conductance must dominate gds at every point of the
+        // output characteristic with the gate fully driven — this is the
+        // contraction condition of the SC iteration.
+        let t = tech_018();
+        let params = t.library.get(&t.library.nmos_name()).unwrap();
+        let (w, l) = (1e-6, 0.18e-6);
+        let g = chord_conductance(params, w, l, t.library.vdd);
+        for i in 0..=100 {
+            let vds = t.library.vdd * i as f64 / 100.0;
+            let op = params.eval(t.library.vdd, vds, 0.0, w, l, 0.0, 0.0);
+            assert!(
+                op.gds <= g * (1.0 + 1e-9),
+                "gds {} exceeds chord {} at vds {}",
+                op.gds,
+                g,
+                vds
+            );
+        }
+    }
+
+    #[test]
+    fn chord_scales_with_width() {
+        let t = tech_018();
+        let params = t.library.get(&t.library.nmos_name()).unwrap();
+        let g1 = chord_conductance(params, 1e-6, 0.18e-6, 1.8);
+        let g2 = chord_conductance(params, 2e-6, 0.18e-6, 1.8);
+        assert!((g2 / g1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norton_current_definition() {
+        let chord = ChordModel { g_chord: 1e-3 };
+        let i = chord.norton_current(5e-4, 1.0);
+        assert!((i - (5e-4 - 1e-3)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sc_iteration_converges_on_inverter_pulldown() {
+        // Scalar demonstration of the SC contraction: an NMOS discharging
+        // a resistive load R from VDD. Exact solution from Newton; SC must
+        // converge to it with the fixed chord.
+        let t = tech_018();
+        let params = t.library.get(&t.library.nmos_name()).unwrap();
+        let (w, l) = (1e-6, 0.18e-6);
+        let vdd = t.library.vdd;
+        let r = 10e3;
+        let g_load = 1.0 / r;
+        let g_chord = chord_conductance(params, w, l, vdd);
+        // Solve: (v - vdd)/r + ids(v) = 0 via SC iteration:
+        // v = (vdd/r - i_eq(v_prev)) / (g_load + g_chord)
+        let mut v = vdd;
+        let mut iterations = 0;
+        loop {
+            let ids = params.eval(vdd, v, 0.0, w, l, 0.0, 0.0).ids;
+            let i_eq = ids - g_chord * v;
+            let v_new = (vdd / r - i_eq) / (g_load + g_chord);
+            iterations += 1;
+            if (v_new - v).abs() < 1e-12 || iterations > 500 {
+                v = v_new;
+                break;
+            }
+            v = v_new;
+        }
+        assert!(iterations < 400, "SC should converge, took {iterations}");
+        // Verify KCL at the solution.
+        let ids = params.eval(vdd, v, 0.0, w, l, 0.0, 0.0).ids;
+        let kcl = (v - vdd) / r + ids;
+        assert!(kcl.abs() < 1e-9, "KCL residual {kcl}");
+        assert!(v > 0.0 && v < vdd);
+    }
+}

@@ -1,0 +1,360 @@
+//! SPICE level-1 (Shichman–Hodges) MOSFET model.
+//!
+//! The level-1 model is the analytical square-law device: cutoff, triode and
+//! saturation regions with channel-length modulation and a body effect. The
+//! paper's Example 3 explicitly uses this model in both SPICE and TETA, so
+//! the two engines in this workspace share this implementation and their
+//! accuracy comparison isolates the *interconnect* modeling difference.
+//!
+//! Dynamic behaviour uses constant effective capacitances (gate-oxide plus
+//! overlap, and drain/source junction), the standard timing-analysis
+//! simplification; both engines stamp the same capacitors, so comparisons
+//! remain apples-to-apples (documented in `DESIGN.md`).
+
+use linvar_circuit::MosType;
+
+/// Level-1 model parameters.
+///
+/// All values are in SI units. Polarity-dependent signs follow the SPICE
+/// convention: `vto` is positive for NMOS and negative for PMOS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosParams {
+    /// Polarity.
+    pub mos_type: MosType,
+    /// Zero-bias threshold voltage (V). Negative for PMOS.
+    pub vto: f64,
+    /// Transconductance parameter KP = µ·Cox (A/V²).
+    pub kp: f64,
+    /// Channel-length modulation λ (1/V).
+    pub lambda: f64,
+    /// Body-effect coefficient γ (√V).
+    pub gamma: f64,
+    /// Surface potential 2φF (V).
+    pub phi: f64,
+    /// Gate-oxide capacitance per area (F/m²).
+    pub cox: f64,
+    /// Gate-source/drain overlap capacitance per width (F/m).
+    pub cgo: f64,
+    /// Junction capacitance per width (F/m) for drain/source diffusions.
+    pub cj_per_width: f64,
+    /// Lateral diffusion LD (m); effective length is `L - 2·LD`.
+    pub ld: f64,
+}
+
+/// Operating-point result of the level-1 evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Level1Op {
+    /// Drain current (A), positive flowing into the drain for NMOS.
+    pub ids: f64,
+    /// Gate transconductance ∂I/∂V_gs (S).
+    pub gm: f64,
+    /// Output conductance ∂I/∂V_ds (S).
+    pub gds: f64,
+}
+
+impl MosParams {
+    /// Effective channel length after lateral diffusion and an optional
+    /// channel-length reduction ΔL (the paper's `DL` variation source).
+    ///
+    /// The result is clamped to 1 % of the drawn length so that extreme
+    /// variation samples cannot produce a non-physical non-positive length.
+    pub fn effective_length(&self, drawn_length: f64, delta_l: f64) -> f64 {
+        (drawn_length - 2.0 * self.ld - delta_l).max(0.01 * drawn_length)
+    }
+
+    /// Threshold voltage including body effect at source-bulk voltage `vsb`
+    /// (NMOS convention: `vsb >= 0` increases the threshold).
+    pub fn threshold(&self, vsb: f64) -> f64 {
+        let vsb_eff = vsb.max(-self.phi * 0.5);
+        let body = self.gamma * ((self.phi + vsb_eff).max(0.0).sqrt() - self.phi.sqrt());
+        match self.mos_type {
+            MosType::Nmos => self.vto + body,
+            MosType::Pmos => self.vto - body,
+        }
+    }
+
+    /// Evaluates drain current and small-signal conductances at the given
+    /// terminal voltages (all referred to the source for NMOS; the method
+    /// handles PMOS polarity and source/drain swap internally).
+    ///
+    /// `width`/`length` are drawn geometry in meters; `delta_l` and
+    /// `delta_vt` apply the paper's `DL`/`VT` fluctuations.
+    ///
+    /// Currents follow the SPICE convention: `ids` flows drain→source for
+    /// NMOS (positive when conducting) and source→drain for PMOS (`ids`
+    /// is then negative in absolute terms when the PMOS conducts with
+    /// `vds < 0`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn eval(
+        &self,
+        vgs: f64,
+        vds: f64,
+        vbs: f64,
+        width: f64,
+        length: f64,
+        delta_l: f64,
+        delta_vt: f64,
+    ) -> Level1Op {
+        match self.mos_type {
+            MosType::Nmos => self.eval_nmos_oriented(vgs, vds, vbs, width, length, delta_l, delta_vt, 1.0),
+            MosType::Pmos => {
+                // Evaluate the mirrored NMOS problem with negated voltages
+                // and |vto|; flip the current sign back. `delta_vt` always
+                // means "increase in threshold magnitude" for both
+                // polarities, so it passes through unchanged.
+                self.eval_nmos_oriented(-vgs, -vds, -vbs, width, length, delta_l, delta_vt, -1.0)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_nmos_oriented(
+        &self,
+        vgs: f64,
+        vds: f64,
+        vbs: f64,
+        width: f64,
+        length: f64,
+        delta_l: f64,
+        delta_vt: f64,
+        sign: f64,
+    ) -> Level1Op {
+        // Source/drain symmetry: if vds < 0, swap roles.
+        if vds < 0.0 {
+            let op = self.eval_forward(vgs - vds, -vds, vbs - vds, width, length, delta_l, delta_vt);
+            // After the swap, the terminal current at the original drain is
+            // -id'(vgs - vds, -vds). Chain rule through the voltage swap:
+            // dI/dvgs = -gm', dI/dvds = gm' + gds'.
+            return Level1Op {
+                ids: sign * -op.ids,
+                gm: -op.gm,
+                gds: op.gds + op.gm,
+            };
+        }
+        let op = self.eval_forward(vgs, vds, vbs, width, length, delta_l, delta_vt);
+        Level1Op {
+            ids: sign * op.ids,
+            gm: op.gm,
+            gds: op.gds,
+        }
+    }
+
+    /// Core square-law evaluation with `vds >= 0`, NMOS orientation.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_forward(
+        &self,
+        vgs: f64,
+        vds: f64,
+        vbs: f64,
+        width: f64,
+        length: f64,
+        delta_l: f64,
+        delta_vt: f64,
+    ) -> Level1Op {
+        let leff = self.effective_length(length, delta_l);
+        let beta = self.kp * width / leff;
+        let vth = self.vto.abs() + delta_vt + {
+            let vsb = -vbs;
+            let vsb_eff = vsb.max(-self.phi * 0.5);
+            self.gamma * ((self.phi + vsb_eff).max(0.0).sqrt() - self.phi.sqrt())
+        };
+        let vov = vgs - vth;
+        if vov <= 0.0 {
+            return Level1Op::default();
+        }
+        let clm = 1.0 + self.lambda * vds;
+        if vds < vov {
+            // Triode region.
+            let ids = beta * (vov * vds - 0.5 * vds * vds) * clm;
+            let gm = beta * vds * clm;
+            let gds = beta * ((vov - vds) * clm + self.lambda * (vov * vds - 0.5 * vds * vds));
+            Level1Op { ids, gm, gds }
+        } else {
+            // Saturation region.
+            let ids = 0.5 * beta * vov * vov * clm;
+            let gm = beta * vov * clm;
+            let gds = 0.5 * beta * vov * vov * self.lambda;
+            Level1Op { ids, gm, gds }
+        }
+    }
+
+    /// Effective gate-source (or gate-drain) capacitance for a device of the
+    /// given drawn geometry: half the oxide capacitance plus overlap.
+    pub fn gate_cap_half(&self, width: f64, length: f64) -> f64 {
+        0.5 * self.cox * width * length + self.cgo * width
+    }
+
+    /// Drain/source junction capacitance for the given width.
+    pub fn junction_cap(&self, width: f64) -> f64 {
+        self.cj_per_width * width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> MosParams {
+        MosParams {
+            mos_type: MosType::Nmos,
+            vto: 0.43,
+            kp: 170e-6,
+            lambda: 0.06,
+            gamma: 0.4,
+            phi: 0.8,
+            cox: 8.6e-3,
+            cgo: 3e-10,
+            cj_per_width: 8e-10,
+            ld: 0.01e-6,
+        }
+    }
+
+    fn pmos() -> MosParams {
+        MosParams {
+            mos_type: MosType::Pmos,
+            vto: -0.40,
+            kp: 60e-6,
+            ..nmos()
+        }
+    }
+
+    #[test]
+    fn cutoff_region_is_zero() {
+        let m = nmos();
+        let op = m.eval(0.2, 1.0, 0.0, 1e-6, 0.18e-6, 0.0, 0.0);
+        assert_eq!(op.ids, 0.0);
+        assert_eq!(op.gm, 0.0);
+        assert_eq!(op.gds, 0.0);
+    }
+
+    #[test]
+    fn saturation_square_law() {
+        let m = nmos();
+        let (w, l) = (1e-6, 0.18e-6);
+        let op = m.eval(1.8, 1.8, 0.0, w, l, 0.0, 0.0);
+        let leff = m.effective_length(l, 0.0);
+        let beta = m.kp * w / leff;
+        let vov = 1.8 - 0.43;
+        let expect = 0.5 * beta * vov * vov * (1.0 + m.lambda * 1.8);
+        assert!((op.ids - expect).abs() < 1e-9 * expect.abs());
+        assert!(op.ids > 0.0);
+        assert!(op.gm > 0.0);
+        assert!(op.gds > 0.0);
+    }
+
+    #[test]
+    fn triode_region_current_and_continuity() {
+        let m = nmos();
+        let (w, l) = (1e-6, 0.18e-6);
+        // Continuity at the triode/saturation boundary vds = vov.
+        let vov = 1.8 - 0.43;
+        let below = m.eval(1.8, vov - 1e-9, 0.0, w, l, 0.0, 0.0);
+        let above = m.eval(1.8, vov + 1e-9, 0.0, w, l, 0.0, 0.0);
+        assert!(
+            (below.ids - above.ids).abs() < 1e-6 * above.ids,
+            "current continuous at boundary"
+        );
+        assert!((below.gm - above.gm).abs() < 1e-3 * above.gm);
+    }
+
+    #[test]
+    fn numeric_gm_gds_match_analytic() {
+        let m = nmos();
+        let (w, l) = (2e-6, 0.18e-6);
+        for &(vgs, vds) in &[(1.0, 0.2), (1.5, 1.5), (1.8, 0.9)] {
+            let op = m.eval(vgs, vds, 0.0, w, l, 0.0, 0.0);
+            let h = 1e-7;
+            let gm_fd = (m.eval(vgs + h, vds, 0.0, w, l, 0.0, 0.0).ids
+                - m.eval(vgs - h, vds, 0.0, w, l, 0.0, 0.0).ids)
+                / (2.0 * h);
+            let gds_fd = (m.eval(vgs, vds + h, 0.0, w, l, 0.0, 0.0).ids
+                - m.eval(vgs, vds - h, 0.0, w, l, 0.0, 0.0).ids)
+                / (2.0 * h);
+            assert!(
+                (op.gm - gm_fd).abs() < 1e-4 * gm_fd.abs().max(1e-12),
+                "gm mismatch at ({vgs},{vds}): {} vs {gm_fd}",
+                op.gm
+            );
+            assert!(
+                (op.gds - gds_fd).abs() < 1e-4 * gds_fd.abs().max(1e-12),
+                "gds mismatch at ({vgs},{vds}): {} vs {gds_fd}",
+                op.gds
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_vds_antisymmetric_current() {
+        // Symmetric device with vbs = 0 and no body tie asymmetry:
+        // swapping drain/source negates the current.
+        let mut m = nmos();
+        m.gamma = 0.0; // remove body effect for exact symmetry
+        let (w, l) = (1e-6, 0.18e-6);
+        let fwd = m.eval(1.8, 0.5, 0.0, w, l, 0.0, 0.0);
+        // Same physical node voltages (Vg=1.8, V1=0.5, V2=0) viewed with
+        // the terminal roles swapped: vgs=1.3, vds=-0.5, vbs=-0.5.
+        let rev = m.eval(1.3, -0.5, -0.5, w, l, 0.0, 0.0);
+        assert!(
+            (fwd.ids + rev.ids).abs() < 1e-9 * fwd.ids.abs(),
+            "fwd {} rev {}",
+            fwd.ids,
+            rev.ids
+        );
+    }
+
+    #[test]
+    fn pmos_conducts_with_negative_voltages() {
+        let m = pmos();
+        let (w, l) = (2e-6, 0.18e-6);
+        // PMOS with source at VDD: vgs = -1.8, vds = -1.8 → conducting.
+        let op = m.eval(-1.8, -1.8, 0.0, w, l, 0.0, 0.0);
+        assert!(op.ids < 0.0, "pmos current flows source→drain: {}", op.ids);
+        assert!(op.gm > 0.0);
+        // Off when gate at source potential.
+        let off = m.eval(0.0, -1.8, 0.0, w, l, 0.0, 0.0);
+        assert_eq!(off.ids, 0.0);
+    }
+
+    #[test]
+    fn delta_vt_shifts_threshold() {
+        let m = nmos();
+        let (w, l) = (1e-6, 0.18e-6);
+        let base = m.eval(1.0, 1.8, 0.0, w, l, 0.0, 0.0).ids;
+        let shifted = m.eval(1.0, 1.8, 0.0, w, l, 0.0, 0.1).ids;
+        assert!(shifted < base, "raising VT lowers current");
+        // A +0.1 VT shift is equivalent to a -0.1 vgs shift.
+        let equiv = m.eval(0.9, 1.8, 0.0, w, l, 0.0, 0.0).ids;
+        assert!((shifted - equiv).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_l_increases_current() {
+        let m = nmos();
+        let (w, l) = (1e-6, 0.18e-6);
+        let base = m.eval(1.8, 1.8, 0.0, w, l, 0.0, 0.0).ids;
+        let shorter = m.eval(1.8, 1.8, 0.0, w, l, 0.02e-6, 0.0).ids;
+        assert!(shorter > base, "channel-length reduction raises current");
+    }
+
+    #[test]
+    fn effective_length_clamps() {
+        let m = nmos();
+        let leff = m.effective_length(0.18e-6, 1.0);
+        assert!(leff > 0.0);
+        assert!((leff - 0.0018e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn body_effect_raises_nmos_threshold() {
+        let m = nmos();
+        assert!(m.threshold(0.5) > m.threshold(0.0));
+        assert!((m.threshold(0.0) - m.vto).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitances_scale_with_geometry() {
+        let m = nmos();
+        assert!(m.gate_cap_half(2e-6, 0.18e-6) > m.gate_cap_half(1e-6, 0.18e-6));
+        assert!(m.junction_cap(2e-6) > m.junction_cap(1e-6));
+    }
+}

@@ -1,0 +1,32 @@
+//! Nonlinear device models, their parameter fluctuations, and the
+//! linear-centric *chord* models of the TETA engine.
+//!
+//! The paper evaluates everything with "the analytical level-1 model from
+//! SPICE3f5" — the Shichman–Hodges square-law MOSFET. This crate provides:
+//!
+//! * [`MosParams`] / [`level1::Level1Op`] — the level-1 I/V equations with
+//!   small-signal derivatives, for both polarities;
+//! * [`ModelLibrary`] with representative 0.18 µm and 0.6 µm technology
+//!   parameter sets ([`tech_018`], [`tech_06`]);
+//! * [`DeviceVariation`] — the ΔL (channel-length reduction) and ΔV_T
+//!   fluctuations of the paper's Example 3;
+//! * [`chord`] — Successive-Chords fixed linearizations: the per-device
+//!   chord conductance and Norton companion current that make nonlinear
+//!   devices look like constant impedances to the linear solver;
+//! * [`cells`] — a transistor-level standard-cell library (the paper's
+//!   benchmark set uses "ten different logic cells").
+//!
+//! Device *instances* live in `linvar-circuit`; this crate resolves their
+//! `model` names to parameters.
+
+pub mod cells;
+pub mod chord;
+pub mod level1;
+pub mod library;
+pub mod variation;
+
+pub use cells::{Cell, CellLibrary};
+pub use chord::{chord_conductance, ChordModel};
+pub use level1::{Level1Op, MosParams};
+pub use library::{tech_018, tech_06, ModelLibrary, Technology};
+pub use variation::DeviceVariation;

@@ -1,0 +1,211 @@
+//! Technology parameter sets and the model library.
+//!
+//! The paper uses 0.18 µm devices for the statistical experiments and a
+//! 0.6 µm inverter for Example 1. Foundry decks are proprietary, so these
+//! are representative public-domain level-1 parameter values with the same
+//! magnitudes (substitution #2 in `DESIGN.md`): the framework behaviour —
+//! delay magnitudes, speedups and distribution shapes — depends only on the
+//! model *class* and on reasonable drive strengths.
+
+use crate::level1::MosParams;
+use linvar_circuit::MosType;
+use std::collections::HashMap;
+
+/// A named collection of MOSFET models plus its supply voltage.
+#[derive(Debug, Clone)]
+pub struct ModelLibrary {
+    models: HashMap<String, MosParams>,
+    /// Nominal supply voltage for the technology (V).
+    pub vdd: f64,
+    /// Human-readable technology label, e.g. `"0.18um"`.
+    pub label: String,
+    /// Minimum drawn channel length (m).
+    pub lmin: f64,
+}
+
+impl ModelLibrary {
+    /// Creates an empty library.
+    pub fn new(label: &str, vdd: f64, lmin: f64) -> Self {
+        ModelLibrary {
+            models: HashMap::new(),
+            vdd,
+            label: label.to_string(),
+            lmin,
+        }
+    }
+
+    /// Registers a model under `name`, replacing any previous definition.
+    pub fn insert(&mut self, name: &str, params: MosParams) {
+        self.models.insert(name.to_string(), params);
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Option<&MosParams> {
+        self.models.get(name)
+    }
+
+    /// Canonical NMOS model name for this library.
+    pub fn nmos_name(&self) -> String {
+        format!("nmos_{}", self.label)
+    }
+
+    /// Canonical PMOS model name for this library.
+    pub fn pmos_name(&self) -> String {
+        format!("pmos_{}", self.label)
+    }
+}
+
+/// Technology descriptor bundling the model library and reference geometry
+/// used by the cell builders.
+#[derive(Debug, Clone)]
+pub struct Technology {
+    /// Device model library.
+    pub library: ModelLibrary,
+    /// Reference NMOS width for a 1x inverter (m).
+    pub wn: f64,
+    /// Reference PMOS width for a 1x inverter (m).
+    pub wp: f64,
+}
+
+/// Representative 0.18 µm technology (VDD = 1.8 V), used by Examples 2–3.
+pub fn tech_018() -> Technology {
+    let mut lib = ModelLibrary::new("0.18um", 1.8, 0.18e-6);
+    // tox ≈ 4 nm → Cox = 3.9 ε0 / tox ≈ 8.6e-3 F/m².
+    let cox = 3.9 * 8.854e-12 / 4.0e-9;
+    lib.insert(
+        &lib.nmos_name(),
+        MosParams {
+            mos_type: MosType::Nmos,
+            vto: 0.43,
+            kp: 170e-6,
+            lambda: 0.06,
+            gamma: 0.40,
+            phi: 0.84,
+            cox,
+            cgo: 3.0e-10,
+            cj_per_width: 8.0e-10,
+            ld: 0.01e-6,
+        },
+    );
+    lib.insert(
+        &lib.pmos_name(),
+        MosParams {
+            mos_type: MosType::Pmos,
+            vto: -0.40,
+            kp: 60e-6,
+            lambda: 0.08,
+            gamma: 0.45,
+            phi: 0.84,
+            cox,
+            cgo: 3.0e-10,
+            cj_per_width: 8.0e-10,
+            ld: 0.01e-6,
+        },
+    );
+    Technology {
+        library: lib,
+        wn: 0.6e-6,
+        wp: 1.5e-6,
+    }
+}
+
+/// Representative 0.6 µm technology (VDD = 5 V), used by Example 1's
+/// "large inverter designed in 0.6 micron CMOS technology".
+pub fn tech_06() -> Technology {
+    let mut lib = ModelLibrary::new("0.6um", 5.0, 0.6e-6);
+    // tox ≈ 10 nm.
+    let cox = 3.9 * 8.854e-12 / 10.0e-9;
+    lib.insert(
+        &lib.nmos_name(),
+        MosParams {
+            mos_type: MosType::Nmos,
+            vto: 0.70,
+            kp: 120e-6,
+            lambda: 0.03,
+            gamma: 0.55,
+            phi: 0.75,
+            cox,
+            cgo: 3.5e-10,
+            cj_per_width: 1.0e-9,
+            ld: 0.05e-6,
+        },
+    );
+    lib.insert(
+        &lib.pmos_name(),
+        MosParams {
+            mos_type: MosType::Pmos,
+            vto: -0.85,
+            kp: 40e-6,
+            lambda: 0.05,
+            gamma: 0.50,
+            phi: 0.75,
+            cox,
+            cgo: 3.5e-10,
+            cj_per_width: 1.0e-9,
+            ld: 0.05e-6,
+        },
+    );
+    Technology {
+        library: lib,
+        wn: 2.0e-6,
+        wp: 5.0e-6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tech_018_has_both_polarities() {
+        let t = tech_018();
+        let n = t.library.get(&t.library.nmos_name()).unwrap();
+        let p = t.library.get(&t.library.pmos_name()).unwrap();
+        assert_eq!(n.mos_type, MosType::Nmos);
+        assert_eq!(p.mos_type, MosType::Pmos);
+        assert!(n.vto > 0.0 && p.vto < 0.0);
+        assert_eq!(t.library.vdd, 1.8);
+    }
+
+    #[test]
+    fn tech_06_is_a_5v_process() {
+        let t = tech_06();
+        assert_eq!(t.library.vdd, 5.0);
+        assert!(t.library.lmin > tech_018().library.lmin);
+    }
+
+    #[test]
+    fn inverter_is_roughly_balanced() {
+        // The P/N width ratio should compensate the mobility ratio so that
+        // pull-up and pull-down drive strengths are within ~2x.
+        let t = tech_018();
+        let n = t.library.get(&t.library.nmos_name()).unwrap();
+        let p = t.library.get(&t.library.pmos_name()).unwrap();
+        let idn = n
+            .eval(t.library.vdd, t.library.vdd, 0.0, t.wn, t.library.lmin, 0.0, 0.0)
+            .ids;
+        let idp = p
+            .eval(-t.library.vdd, -t.library.vdd, 0.0, t.wp, t.library.lmin, 0.0, 0.0)
+            .ids;
+        let ratio = (idn / -idp).abs();
+        assert!(ratio > 0.5 && ratio < 2.0, "drive ratio {ratio}");
+    }
+
+    #[test]
+    fn unknown_model_is_none() {
+        let t = tech_018();
+        assert!(t.library.get("bsim4").is_none());
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut lib = ModelLibrary::new("x", 1.0, 1e-7);
+        let t = tech_018();
+        let m = t.library.get(&t.library.nmos_name()).unwrap().clone();
+        lib.insert("m", m.clone());
+        let mut m2 = m.clone();
+        m2.vto = 0.9;
+        lib.insert("m", m2);
+        assert_eq!(lib.get("m").unwrap().vto, 0.9);
+    }
+}

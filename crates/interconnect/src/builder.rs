@@ -1,0 +1,329 @@
+//! Variational coupled-line netlist builder.
+//!
+//! Builds the paper's Example-2 structures: `n` parallel lines of a given
+//! length, divided into coupled RC segments at each micron, with element
+//! values from the Sakurai formulas and element *sensitivities* computed by
+//! central differences across each parameter's tolerance range. The result
+//! is a [`Netlist`] whose [`VariationalMna`] assembly yields exactly the
+//! paper's `G(w) = G0 + Σ dGi·wi`, `C(w) = C0 + Σ dCi·wi` (eqs. 3–4).
+//!
+//! [`VariationalMna`]: linvar_circuit::VariationalMna
+
+use crate::sakurai::{
+    coupling_cap_per_meter, ground_cap_per_meter, inductance_per_meter, resistance_per_meter,
+};
+use crate::tech::{WireParam, WireTech};
+use linvar_circuit::{CircuitError, Netlist, NodeId, VariationalValue};
+
+/// Specification of a bundle of parallel coupled lines.
+#[derive(Debug, Clone)]
+pub struct CoupledLineSpec {
+    /// Number of parallel lines (≥ 1).
+    pub n_lines: usize,
+    /// Line length in meters.
+    pub length: f64,
+    /// RC segment length in meters (the paper uses 1 µm).
+    pub seg_len: f64,
+    /// Wire technology (geometry + tolerances).
+    pub tech: WireTech,
+    /// Include per-segment self-inductance (RLC line instead of RC).
+    pub with_inductance: bool,
+}
+
+impl CoupledLineSpec {
+    /// Creates a spec with the paper's 1 µm segmentation.
+    pub fn new(n_lines: usize, length: f64, tech: WireTech) -> Self {
+        CoupledLineSpec {
+            n_lines,
+            length,
+            seg_len: 1e-6,
+            tech,
+            with_inductance: false,
+        }
+    }
+
+    /// Enables per-segment self-inductance (builder style).
+    pub fn with_inductance(mut self) -> Self {
+        self.with_inductance = true;
+        self
+    }
+
+    /// Number of segments per line (at least 1).
+    pub fn segments(&self) -> usize {
+        ((self.length / self.seg_len).round() as usize).max(1)
+    }
+}
+
+/// A built bundle of coupled lines inside a netlist.
+#[derive(Debug, Clone)]
+pub struct CoupledLines {
+    /// The variational netlist.
+    pub netlist: Netlist,
+    /// Near-end (driven) node of each line.
+    pub inputs: Vec<NodeId>,
+    /// Far-end node of each line.
+    pub outputs: Vec<NodeId>,
+    /// Count of linear elements (R + C) created.
+    pub element_count: usize,
+}
+
+/// Computes a variational value for one electrical quantity by evaluating
+/// `f` at the nominal geometry and at ±tolerance of each parameter.
+fn variational_from<F>(tech: &WireTech, params: &[usize; 5], f: F) -> VariationalValue
+where
+    F: Fn(f64, f64, f64, f64, f64) -> f64,
+{
+    let nom = f(tech.w0, tech.t0, tech.s0, tech.h0, tech.rho0);
+    let mut v = VariationalValue::new(nom);
+    for p in WireParam::ALL {
+        let mut lo = [tech.w0, tech.t0, tech.s0, tech.h0, tech.rho0];
+        let mut hi = lo;
+        let idx = p.index();
+        lo[idx] -= tech.tolerance(p);
+        hi[idx] += tech.tolerance(p);
+        let f_lo = f(lo[0], lo[1], lo[2], lo[3], lo[4]);
+        let f_hi = f(hi[0], hi[1], hi[2], hi[3], hi[4]);
+        // Central difference per unit of the normalized parameter
+        // (w = ±1 ↔ ±tolerance).
+        let sens = (f_hi - f_lo) / 2.0;
+        if sens != 0.0 {
+            v = v.with_sensitivity(params[idx], sens);
+        }
+    }
+    v
+}
+
+/// Builds the coupled-line bundle into a fresh netlist.
+///
+/// Node names are `l{line}_s{segment}`; the near end of line `i` is
+/// `l{i}_s0`. Wire parameters are declared as `W`, `T`, `S`, `H`, `rho` in
+/// [`WireParam::ALL`] order. All line inputs and outputs are marked as
+/// ports (near ends first), matching the multiport-load view of a logic
+/// stage.
+///
+/// # Errors
+///
+/// Returns [`CircuitError`] if the spec is degenerate (zero lines or
+/// non-positive length).
+pub fn build_coupled_lines(spec: &CoupledLineSpec) -> Result<CoupledLines, CircuitError> {
+    let mut nl = Netlist::new();
+    build_coupled_lines_into(spec, &mut nl, "")
+}
+
+/// Builds the bundle into an existing netlist with a node-name prefix.
+///
+/// # Errors
+///
+/// Returns [`CircuitError`] if the spec is degenerate.
+pub fn build_coupled_lines_into(
+    spec: &CoupledLineSpec,
+    nl: &mut Netlist,
+    prefix: &str,
+) -> Result<CoupledLines, CircuitError> {
+    if spec.n_lines == 0 {
+        return Err(CircuitError::InvalidValue {
+            element: "coupled-lines".into(),
+            value: 0.0,
+            requirement: "need at least one line",
+        });
+    }
+    if !(spec.length > 0.0 && spec.length.is_finite()) {
+        return Err(CircuitError::InvalidValue {
+            element: "coupled-lines".into(),
+            value: spec.length,
+            requirement: "length must be positive",
+        });
+    }
+    let mut params = [0usize; 5];
+    for p in WireParam::ALL {
+        params[p.index()] = nl.params.declare(p.name());
+    }
+    let tech = &spec.tech;
+    let segs = spec.segments();
+    let seg_len = spec.length / segs as f64;
+
+    // Per-segment electrical values (variational).
+    let r_seg = variational_from(tech, &params, |w, t, _s, _h, rho| {
+        resistance_per_meter(rho, w, t) * seg_len
+    });
+    let cg_seg = variational_from(tech, &params, |w, t, _s, h, _rho| {
+        ground_cap_per_meter(w, t, h) * seg_len
+    });
+    let cc_seg = variational_from(tech, &params, |w, t, s, h, _rho| {
+        coupling_cap_per_meter(w, t, s, h) * seg_len
+    });
+    let l_seg = variational_from(tech, &params, |w, _t, _s, h, _rho| {
+        inductance_per_meter(w, h) * seg_len
+    });
+
+    let node = |nl: &mut Netlist, line: usize, seg: usize| -> NodeId {
+        nl.node(&format!("{prefix}l{line}_s{seg}"))
+    };
+
+    let mut inputs = Vec::with_capacity(spec.n_lines);
+    let mut outputs = Vec::with_capacity(spec.n_lines);
+    let mut element_count = 0usize;
+
+    for line in 0..spec.n_lines {
+        let first = node(nl, line, 0);
+        inputs.push(first);
+        let mut prev = first;
+        for seg in 1..=segs {
+            let next = node(nl, line, seg);
+            if spec.with_inductance {
+                // Series R + L per segment: R to a midpoint, L onward.
+                let mid = nl.node(&format!("{prefix}l{line}_m{seg}"));
+                nl.add_variational_resistor(
+                    &format!("{prefix}R_l{line}_s{seg}"),
+                    prev,
+                    mid,
+                    r_seg.clone(),
+                )?;
+                nl.add_variational_inductor(
+                    &format!("{prefix}L_l{line}_s{seg}"),
+                    mid,
+                    next,
+                    l_seg.clone(),
+                )?;
+                element_count += 1;
+            } else {
+                nl.add_variational_resistor(
+                    &format!("{prefix}R_l{line}_s{seg}"),
+                    prev,
+                    next,
+                    r_seg.clone(),
+                )?;
+            }
+            nl.add_variational_capacitor(
+                &format!("{prefix}Cg_l{line}_s{seg}"),
+                next,
+                Netlist::GROUND,
+                cg_seg.clone(),
+            )?;
+            element_count += 2;
+            prev = next;
+        }
+        outputs.push(prev);
+    }
+    // Coupling between adjacent lines, segment by segment.
+    for line in 0..spec.n_lines.saturating_sub(1) {
+        for seg in 1..=segs {
+            let a = node(nl, line, seg);
+            let b = node(nl, line + 1, seg);
+            nl.add_variational_capacitor(
+                &format!("{prefix}Cc_l{line}_{}_s{seg}", line + 1),
+                a,
+                b,
+                cc_seg.clone(),
+            )?;
+            element_count += 1;
+        }
+    }
+    for &n in inputs.iter().chain(&outputs) {
+        nl.mark_port(n)?;
+    }
+    Ok(CoupledLines {
+        netlist: nl.clone(),
+        inputs,
+        outputs,
+        element_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(n: usize, len_um: f64) -> CoupledLineSpec {
+        CoupledLineSpec::new(n, len_um * 1e-6, WireTech::m018())
+    }
+
+    #[test]
+    fn segment_count_follows_micron_rule() {
+        assert_eq!(spec(1, 10.0).segments(), 10);
+        assert_eq!(spec(1, 0.4).segments(), 1, "short lines get one segment");
+        assert_eq!(spec(1, 100.0).segments(), 100);
+    }
+
+    #[test]
+    fn two_lines_ten_microns() {
+        let built = build_coupled_lines(&spec(2, 10.0)).unwrap();
+        assert_eq!(built.inputs.len(), 2);
+        assert_eq!(built.outputs.len(), 2);
+        // Per line: 10 R + 10 Cg; coupling: 10 Cc.
+        assert_eq!(built.element_count, 2 * 20 + 10);
+        assert_eq!(built.netlist.ports().len(), 4);
+        // Nodes: 2 lines × 11 nodes.
+        assert_eq!(built.netlist.node_count(), 22);
+    }
+
+    #[test]
+    fn variational_assembly_has_five_params() {
+        let built = build_coupled_lines(&spec(2, 5.0)).unwrap();
+        let var = built.netlist.assemble_variational().unwrap();
+        assert_eq!(var.param_count(), 5);
+        assert_eq!(var.param_names, vec!["W", "T", "S", "H", "rho"]);
+    }
+
+    #[test]
+    fn widening_metal_lowers_resistance_raises_cap() {
+        let built = build_coupled_lines(&spec(1, 10.0)).unwrap();
+        let var = built.netlist.assemble_variational().unwrap();
+        // +1 unit of W (= +tolerance): conductance up, capacitance up.
+        let (g_hi, c_hi) = var.eval(&[1.0, 0.0, 0.0, 0.0, 0.0]);
+        let (g0, c0) = var.eval(&[0.0; 5]);
+        assert!(g_hi[(0, 0)] > g0[(0, 0)], "wider wire conducts better");
+        // Compare total grounded capacitance at far-end node.
+        let last = var.order() - 1;
+        assert!(c_hi[(last, last)] > c0[(last, last)], "wider wire has more cap");
+    }
+
+    #[test]
+    fn resistivity_only_affects_g() {
+        let built = build_coupled_lines(&spec(1, 5.0)).unwrap();
+        let var = built.netlist.assemble_variational().unwrap();
+        let rho_idx = WireParam::Resistivity.index();
+        assert!(var.dg[rho_idx].max_abs() > 0.0);
+        assert_eq!(var.dc[rho_idx].max_abs(), 0.0);
+        // Spacing only affects coupling C (needs ≥ 2 lines to matter).
+        let s_idx = WireParam::Spacing.index();
+        assert_eq!(var.dg[s_idx].max_abs(), 0.0);
+    }
+
+    #[test]
+    fn spacing_affects_coupling_with_two_lines() {
+        let built = build_coupled_lines(&spec(2, 5.0)).unwrap();
+        let var = built.netlist.assemble_variational().unwrap();
+        let s_idx = WireParam::Spacing.index();
+        assert!(var.dc[s_idx].max_abs() > 0.0, "spacing changes coupling");
+        // Increasing spacing must *reduce* coupling: the off-diagonal C
+        // entry (negative) shrinks in magnitude.
+        let (_, c0) = var.eval(&[0.0; 5]);
+        let mut w = [0.0; 5];
+        w[s_idx] = 1.0;
+        let (_, c_wide) = var.eval(&w);
+        // Find a coupled pair: node of line0 seg1 and line1 seg1.
+        let a = built.netlist.find_node("l0_s1").unwrap().mna_index().unwrap();
+        let b = built.netlist.find_node("l1_s1").unwrap().mna_index().unwrap();
+        assert!(c_wide[(a, b)].abs() < c0[(a, b)].abs());
+    }
+
+    #[test]
+    fn degenerate_specs_rejected() {
+        assert!(build_coupled_lines(&spec(0, 10.0)).is_err());
+        let mut s = spec(1, 10.0);
+        s.length = -1.0;
+        assert!(build_coupled_lines(&s).is_err());
+    }
+
+    #[test]
+    fn prefix_isolates_instances() {
+        let mut nl = Netlist::new();
+        let s = spec(1, 3.0);
+        let a = build_coupled_lines_into(&s, &mut nl, "x_").unwrap();
+        let b = build_coupled_lines_into(&s, &mut nl, "y_").unwrap();
+        assert_ne!(a.inputs[0], b.inputs[0]);
+        assert!(nl.find_node("x_l0_s0").is_some());
+        assert!(nl.find_node("y_l0_s0").is_some());
+    }
+}

@@ -1,0 +1,168 @@
+//! The paper's Example-1 circuit (Figure 2 / Table 2).
+//!
+//! A symmetric two-port coupled RC line modeled in three segments. The
+//! electrical model from Table 2, with every element varying linearly in a
+//! normalized spatial parameter `p` (values at `p = 0` and `p = 0.1`):
+//!
+//! | element | p = 0 | p = 0.1 | sensitivity per unit p |
+//! |---------|-------|---------|------------------------|
+//! | R1      | 10 Ω  | 15 Ω    | 50 Ω                   |
+//! | R2      | 2 Ω   | 2 Ω     | 0                      |
+//! | R3      | 30 Ω  | 40 Ω    | 100 Ω                  |
+//! | C1      | 2 pF  | 3 pF    | 10 pF                  |
+//! | C2      | 2 pF  | 2 pF    | 0                      |
+//! | C3      | 2 pF  | 3 pF    | 10 pF                  |
+//! | CC1     | 2 pF  | 3 pF    | 10 pF                  |
+//! | CC2     | 2 pF  | 2 pF    | 0                      |
+//! | CC3     | 2 pF  | 3 pF    | 10 pF                  |
+//!
+//! Both lines are identical ("symmetric"); coupling capacitors CC1–CC3
+//! connect the corresponding internal nodes. For the reduction experiment
+//! the second port is shunted with 100 Ω, turning the structure into a
+//! one-port load ([`example1_load`]).
+
+use linvar_circuit::{CircuitError, Netlist, NodeId, VariationalValue};
+
+/// Name of the spatial variation parameter declared by these builders.
+pub const P: &str = "p";
+
+/// Element values of Table 2 as `(nominal, sensitivity per unit p)` in
+/// `(R1, R2, R3, C1, C2, C3, CC1, CC2, CC3)` order.
+pub const TABLE2: [(f64, f64); 9] = [
+    (10.0, 50.0),
+    (2.0, 0.0),
+    (30.0, 100.0),
+    (2e-12, 10e-12),
+    (2e-12, 0.0),
+    (2e-12, 10e-12),
+    (2e-12, 10e-12),
+    (2e-12, 0.0),
+    (2e-12, 10e-12),
+];
+
+/// Builds the two-port coupled RC line of Example 1.
+///
+/// Returns the netlist and the two port nodes `(port1, port2)` — the near
+/// ends of line 1 and line 2. Both are marked as ports.
+///
+/// # Errors
+///
+/// Propagates netlist-construction errors (none occur for this fixed
+/// topology).
+pub fn example1_netlist() -> Result<(Netlist, NodeId, NodeId), CircuitError> {
+    let mut nl = Netlist::new();
+    let p = nl.params.declare(P);
+    let val = |i: usize| -> VariationalValue {
+        let (nom, sens) = TABLE2[i];
+        let v = VariationalValue::new(nom);
+        if sens != 0.0 {
+            v.with_sensitivity(p, sens)
+        } else {
+            v
+        }
+    };
+
+    for line in 0..2usize {
+        let mut prev = nl.node(&format!("p{}", line + 1));
+        for seg in 0..3usize {
+            let next = nl.node(&format!("l{}n{}", line + 1, seg + 1));
+            nl.add_variational_resistor(
+                &format!("R{}_l{}", seg + 1, line + 1),
+                prev,
+                next,
+                val(seg),
+            )?;
+            nl.add_variational_capacitor(
+                &format!("C{}_l{}", seg + 1, line + 1),
+                next,
+                Netlist::GROUND,
+                val(3 + seg),
+            )?;
+            prev = next;
+        }
+    }
+    for seg in 0..3usize {
+        let a = nl.node(&format!("l1n{}", seg + 1));
+        let b = nl.node(&format!("l2n{}", seg + 1));
+        nl.add_variational_capacitor(&format!("CC{}", seg + 1), a, b, val(6 + seg))?;
+    }
+    let p1 = nl.node("p1");
+    let p2 = nl.node("p2");
+    nl.mark_port(p1)?;
+    nl.mark_port(p2)?;
+    Ok((nl, p1, p2))
+}
+
+/// Builds the *one-port* Example-1 load: the two-port line with port 2
+/// shunted by 100 Ω, leaving `port1` as the only port — exactly the
+/// configuration reduced with fourth-order variational PACT in the paper.
+///
+/// # Errors
+///
+/// Propagates netlist-construction errors.
+pub fn example1_load() -> Result<(Netlist, NodeId), CircuitError> {
+    let (two_port, _, _) = example1_netlist()?;
+    // Copy into a fresh netlist to reset the port list (ports are
+    // append-only); the empty prefix preserves all node names.
+    let mut nl = Netlist::new();
+    nl.instantiate(&two_port, "", &[])?;
+    let p1 = nl.find_node("p1").expect("copied node");
+    let p2 = nl.find_node("p2").expect("copied node");
+    nl.add_resistor("Rshunt", p2, Netlist::GROUND, 100.0)?;
+    nl.mark_port(p1)?;
+    Ok((nl, p1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_port_topology() {
+        let (nl, p1, p2) = example1_netlist().unwrap();
+        assert_ne!(p1, p2);
+        // 2 ports + 6 internal nodes.
+        assert_eq!(nl.node_count(), 8);
+        // 6 R + 6 C + 3 CC.
+        assert_eq!(nl.elements().len(), 15);
+        assert_eq!(nl.ports().len(), 2);
+        assert_eq!(nl.params.len(), 1);
+    }
+
+    #[test]
+    fn table2_values_at_p0_and_p01() {
+        let (nl, _, _) = example1_netlist().unwrap();
+        let var = nl.assemble_variational().unwrap();
+        let (g0, c0) = var.eval(&[0.0]);
+        let (g1, c1) = var.eval(&[0.1]);
+        // R1 = 10 Ω at p=0: conductance between p1 and l1n1 is 0.1 S.
+        let p1 = nl.find_node("p1").unwrap().mna_index().unwrap();
+        let n1 = nl.find_node("l1n1").unwrap().mna_index().unwrap();
+        assert!((g0[(p1, n1)] + 0.1).abs() < 1e-12);
+        // First-order G at p=0.1: g ≈ 1/10 - (50/100)·0.1 = 0.05 →
+        // off-diagonal -0.05 (the exact value would be 1/15 ≈ 0.0667).
+        assert!((g1[(p1, n1)] + 0.05).abs() < 1e-12);
+        // C1 = 2 pF at p=0 and 3 pF at p=0.1 (exact, C stamps linearly).
+        assert!((c0[(n1, n1)] - 4e-12).abs() < 1e-24, "C1 + CC1 on diagonal");
+        assert!((c1[(n1, n1)] - 6e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn one_port_load_has_single_port_and_shunt() {
+        let (nl, p1) = example1_load().unwrap();
+        assert_eq!(nl.ports(), &[p1]);
+        assert_eq!(nl.elements().len(), 16, "15 elements + shunt");
+        // Shunt connects p2 to ground.
+        assert!(nl.find_node("p2").is_some());
+    }
+
+    #[test]
+    fn symmetry_between_lines() {
+        let (nl, _, _) = example1_netlist().unwrap();
+        let var = nl.assemble_variational().unwrap();
+        let (g0, _) = var.eval(&[0.0]);
+        let p1 = nl.find_node("p1").unwrap().mna_index().unwrap();
+        let p2 = nl.find_node("p2").unwrap().mna_index().unwrap();
+        assert!((g0[(p1, p1)] - g0[(p2, p2)]).abs() < 1e-15, "symmetric ports");
+    }
+}

@@ -1,0 +1,205 @@
+//! H-tree clock distribution builder.
+//!
+//! The variational interconnect methodology was first demonstrated on the
+//! clock network of a gigahertz microprocessor (the paper's refs \[2\]\[3\]:
+//! "Impact of interconnect variations on the clock skew …"). This module
+//! builds a binary H-tree: the root is driven by the clock buffer, each
+//! level halves the branch length, and the leaves are the clock sinks.
+//!
+//! Skew under *global* parameter variation requires an asymmetry to act
+//! on; the builder therefore accepts per-sink load capacitances (latch
+//! bank sizes differ across a real floorplan).
+
+use crate::builder::{build_coupled_lines_into, CoupledLineSpec};
+use crate::tech::WireTech;
+use linvar_circuit::{CircuitError, Netlist, NodeId};
+
+/// Specification of a binary H-tree clock net.
+#[derive(Debug, Clone)]
+pub struct HTreeSpec {
+    /// Number of binary levels (`levels = 3` → 8 sinks).
+    pub levels: usize,
+    /// Root branch length (m); each level halves it.
+    pub root_length: f64,
+    /// RC segment length (m) — coarser than the 1 µm default keeps the
+    /// node count manageable for deep trees.
+    pub seg_len: f64,
+    /// Load capacitance per sink (F), one entry per sink
+    /// (`2^levels` entries); unequal loads model unequal latch banks.
+    pub sink_loads: Vec<f64>,
+    /// Wire technology.
+    pub tech: WireTech,
+}
+
+/// A built H-tree.
+#[derive(Debug, Clone)]
+pub struct HTree {
+    /// The variational netlist (ports: root first, then sinks in order).
+    pub netlist: Netlist,
+    /// Root (driven) node.
+    pub root: NodeId,
+    /// Sink nodes, left-to-right.
+    pub sinks: Vec<NodeId>,
+    /// Total linear element count.
+    pub element_count: usize,
+}
+
+/// Builds the H-tree netlist.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidValue`] for a degenerate spec (zero
+/// levels, wrong number of sink loads, non-positive lengths).
+pub fn build_htree(spec: &HTreeSpec) -> Result<HTree, CircuitError> {
+    let n_sinks = 1usize << spec.levels;
+    if spec.levels == 0 {
+        return Err(CircuitError::InvalidValue {
+            element: "htree".into(),
+            value: 0.0,
+            requirement: "need at least one level",
+        });
+    }
+    if spec.sink_loads.len() != n_sinks {
+        return Err(CircuitError::InvalidValue {
+            element: "htree".into(),
+            value: spec.sink_loads.len() as f64,
+            requirement: "one sink load per leaf (2^levels entries)",
+        });
+    }
+    if !(spec.root_length > 0.0 && spec.seg_len > 0.0) {
+        return Err(CircuitError::InvalidValue {
+            element: "htree".into(),
+            value: spec.root_length.min(spec.seg_len),
+            requirement: "lengths must be positive",
+        });
+    }
+    let mut nl = Netlist::new();
+    let mut element_count = 0usize;
+    // Breadth-first construction: frontier of (node, path-id) pairs.
+    let root = nl.node("clk_root");
+    let mut frontier = vec![(root, String::from("r"))];
+    for level in 0..spec.levels {
+        let length = (spec.root_length / 2f64.powi(level as i32)).max(spec.seg_len);
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for (from, path) in frontier {
+            for side in ["a", "b"] {
+                let branch_path = format!("{path}{side}");
+                let line_spec = CoupledLineSpec {
+                    n_lines: 1,
+                    length,
+                    seg_len: spec.seg_len,
+                    tech: spec.tech.clone(),
+                    with_inductance: false,
+                };
+                let built =
+                    build_coupled_lines_into(&line_spec, &mut nl, &format!("{branch_path}_"))?;
+                element_count += built.element_count;
+                // Splice the branch input onto `from` with a negligible
+                // stitch resistor (ports created by the line builder stay
+                // distinct nodes).
+                nl.add_resistor(
+                    &format!("Rstitch_{branch_path}"),
+                    from,
+                    built.inputs[0],
+                    1e-3,
+                )?;
+                element_count += 1;
+                next.push((built.outputs[0], branch_path));
+            }
+        }
+        frontier = next;
+    }
+    let mut sinks = Vec::with_capacity(n_sinks);
+    for (k, (node, path)) in frontier.into_iter().enumerate() {
+        nl.add_capacitor(&format!("Csink_{path}"), node, Netlist::GROUND, spec.sink_loads[k])?;
+        element_count += 1;
+        sinks.push(node);
+    }
+    // Reset the port list to root-then-sinks (the line builder marked its
+    // own per-branch ports): copy into a fresh netlist.
+    let mut fresh = Netlist::new();
+    fresh.instantiate(&nl, "", &[])?;
+    let root = fresh.find_node("clk_root").expect("copied");
+    let sinks: Vec<NodeId> = sinks
+        .iter()
+        .map(|s| {
+            let name = nl.node_name(*s).expect("named").to_string();
+            fresh.find_node(&name).expect("copied")
+        })
+        .collect();
+    fresh.mark_port(root)?;
+    for &s in &sinks {
+        fresh.mark_port(s)?;
+    }
+    Ok(HTree {
+        netlist: fresh,
+        root,
+        sinks,
+        element_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(levels: usize) -> HTreeSpec {
+        let n = 1usize << levels;
+        HTreeSpec {
+            levels,
+            root_length: 80e-6,
+            seg_len: 4e-6,
+            sink_loads: (0..n).map(|k| 5e-15 * (1.0 + k as f64 * 0.3)).collect(),
+            tech: WireTech::m018(),
+        }
+    }
+
+    #[test]
+    fn tree_shape() {
+        let t = build_htree(&spec(3)).unwrap();
+        assert_eq!(t.sinks.len(), 8);
+        assert_eq!(t.netlist.ports().len(), 9, "root + 8 sinks");
+        assert!(t.element_count > 50);
+    }
+
+    #[test]
+    fn dc_connectivity_root_to_all_sinks() {
+        // Inject current at the root (with a grounding conductance) and
+        // verify every sink sits at the root's DC potential.
+        use linvar_numeric::LuFactor;
+        let t = build_htree(&spec(2)).unwrap();
+        let mut var = t.netlist.assemble_variational().unwrap();
+        let root_idx = var.port_indices[0];
+        var.add_grounded_conductance(root_idx, 1e-3).unwrap();
+        let lu = LuFactor::new(&var.g0).unwrap();
+        let mut rhs = vec![0.0; var.order()];
+        rhs[root_idx] = 1e-3; // 1 mA
+        let v = lu.solve(&rhs).unwrap();
+        for (k, s) in t.sinks.iter().enumerate() {
+            let idx = s.mna_index().unwrap();
+            assert!(
+                (v[idx] - v[root_idx]).abs() < 1e-6 * v[root_idx].abs(),
+                "sink {k} disconnected at DC"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        let mut s = spec(2);
+        s.sink_loads.pop();
+        assert!(build_htree(&s).is_err());
+        let mut s = spec(2);
+        s.levels = 0;
+        assert!(build_htree(&s).is_err());
+        let mut s = spec(2);
+        s.root_length = -1.0;
+        assert!(build_htree(&s).is_err());
+    }
+
+    #[test]
+    fn variational_params_declared() {
+        let t = build_htree(&spec(2)).unwrap();
+        assert_eq!(t.netlist.params.len(), 5);
+    }
+}

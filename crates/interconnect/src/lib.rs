@@ -1,0 +1,33 @@
+//! Interconnect modeling: geometry, Sakurai closed-form electrical
+//! parameters, and variational coupled-line netlist builders.
+//!
+//! The paper's Example 2 builds parallel coupled lines from minimum-width
+//! geometries, computes R/C values with "Sakurai's formulas" [Sakurai,
+//! IEEE T-ED 1993], divides the wires into coupled RC segments at each
+//! micron, and fluctuates the five global wire parameters — width `W`,
+//! thickness `T`, spacing `S`, inter-layer-dielectric height `H` and
+//! resistivity `ρ` — with tolerances from [Nassif, CICC 2001].
+//!
+//! This crate reproduces that pipeline:
+//!
+//! * [`sakurai`] — the closed-form capacitance/resistance expressions;
+//! * [`WireTech`] — nominal geometry plus 3σ tolerances (representative
+//!   values; see substitution #3 in `DESIGN.md`);
+//! * [`CoupledLineSpec`] — builds a variational [`Netlist`]
+//!   whose element sensitivities are derived from the Sakurai formulas by
+//!   central differences across the tolerance range;
+//! * [`example1`] — the exact Table-2 circuit of the paper's Example 1.
+//!
+//! [`Netlist`]: linvar_circuit::Netlist
+
+pub mod builder;
+pub mod example1;
+pub mod htree;
+pub mod sakurai;
+pub mod tech;
+
+pub use builder::{CoupledLineSpec, CoupledLines};
+pub use example1::{example1_load, example1_netlist};
+pub use htree::{build_htree, HTree, HTreeSpec};
+pub use sakurai::{coupling_cap_per_meter, ground_cap_per_meter, inductance_per_meter, resistance_per_meter};
+pub use tech::{WireParam, WireTech, WIRE_PARAM_COUNT};

@@ -1,0 +1,209 @@
+//! Wire technology: nominal geometry and 3σ tolerances.
+//!
+//! The paper takes nominal values and tolerances "from \[14\]" (Nassif,
+//! CICC 2001). That table is not publicly reproducible verbatim, so these
+//! are representative 0.18 µm-generation values with the same relative
+//! tolerance magnitudes (±15–20 % at 3σ) — substitution #3 in `DESIGN.md`.
+//! The statistics pipeline only consumes (nominal, tolerance) pairs, so the
+//! framework behaviour is unchanged by the exact numbers.
+
+/// The five global wire variation parameters of the paper's Example 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireParam {
+    /// Metal width `W`.
+    Width,
+    /// Metal thickness `T`.
+    Thickness,
+    /// Line-to-line spacing `S`.
+    Spacing,
+    /// Inter-layer-dielectric height `H`.
+    IldHeight,
+    /// Resistivity `ρ`.
+    Resistivity,
+}
+
+/// Number of wire variation parameters.
+pub const WIRE_PARAM_COUNT: usize = 5;
+
+impl WireParam {
+    /// All parameters in canonical order (the order of netlist parameter
+    /// declaration).
+    pub const ALL: [WireParam; WIRE_PARAM_COUNT] = [
+        WireParam::Width,
+        WireParam::Thickness,
+        WireParam::Spacing,
+        WireParam::IldHeight,
+        WireParam::Resistivity,
+    ];
+
+    /// Canonical short name used in netlists and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireParam::Width => "W",
+            WireParam::Thickness => "T",
+            WireParam::Spacing => "S",
+            WireParam::IldHeight => "H",
+            WireParam::Resistivity => "rho",
+        }
+    }
+
+    /// Index in [`WireParam::ALL`].
+    pub fn index(self) -> usize {
+        WireParam::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("member of ALL")
+    }
+}
+
+/// Nominal wire geometry plus 3σ tolerances.
+///
+/// The *normalized* variation parameters used throughout the workspace map
+/// `w = ±1` to `±` one full 3σ tolerance, so uniform sampling in `[-1, 1]`
+/// reproduces the paper's "uniform distributions with tolerances specified
+/// in \[14\]".
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTech {
+    /// Nominal width (m).
+    pub w0: f64,
+    /// Nominal thickness (m).
+    pub t0: f64,
+    /// Nominal spacing (m).
+    pub s0: f64,
+    /// Nominal ILD height (m).
+    pub h0: f64,
+    /// Nominal resistivity (Ω·m).
+    pub rho0: f64,
+    /// 3σ tolerance on width (m).
+    pub w_tol: f64,
+    /// 3σ tolerance on thickness (m).
+    pub t_tol: f64,
+    /// 3σ tolerance on spacing (m).
+    pub s_tol: f64,
+    /// 3σ tolerance on ILD height (m).
+    pub h_tol: f64,
+    /// 3σ tolerance on resistivity (Ω·m).
+    pub rho_tol: f64,
+}
+
+impl WireTech {
+    /// Representative 0.18 µm metal layer (minimum-width rules).
+    pub fn m018() -> Self {
+        WireTech {
+            w0: 0.28e-6,
+            t0: 0.45e-6,
+            s0: 0.28e-6,
+            h0: 0.65e-6,
+            rho0: 2.2e-8,
+            w_tol: 0.20 * 0.28e-6,
+            t_tol: 0.20 * 0.45e-6,
+            s_tol: 0.20 * 0.28e-6,
+            h_tol: 0.20 * 0.65e-6,
+            rho_tol: 0.15 * 2.2e-8,
+        }
+    }
+
+    /// Nominal value of a parameter.
+    pub fn nominal(&self, p: WireParam) -> f64 {
+        match p {
+            WireParam::Width => self.w0,
+            WireParam::Thickness => self.t0,
+            WireParam::Spacing => self.s0,
+            WireParam::IldHeight => self.h0,
+            WireParam::Resistivity => self.rho0,
+        }
+    }
+
+    /// 3σ tolerance of a parameter.
+    pub fn tolerance(&self, p: WireParam) -> f64 {
+        match p {
+            WireParam::Width => self.w_tol,
+            WireParam::Thickness => self.t_tol,
+            WireParam::Spacing => self.s_tol,
+            WireParam::IldHeight => self.h_tol,
+            WireParam::Resistivity => self.rho_tol,
+        }
+    }
+
+    /// Physical parameter values at a normalized sample `w` (five entries
+    /// in [`WireParam::ALL`] order; missing entries are nominal).
+    ///
+    /// Spacing narrows when width widens under fixed pitch; the paper
+    /// treats `W` and `S` as independent sources, and so do we — callers
+    /// that want the pitch constraint can correlate the samples instead.
+    pub fn at(&self, w: &[f64]) -> WireGeometry {
+        let get = |p: WireParam| {
+            let wi = w.get(p.index()).copied().unwrap_or(0.0);
+            self.nominal(p) + wi * self.tolerance(p)
+        };
+        WireGeometry {
+            w: get(WireParam::Width).max(0.05 * self.w0),
+            t: get(WireParam::Thickness).max(0.05 * self.t0),
+            s: get(WireParam::Spacing).max(0.05 * self.s0),
+            h: get(WireParam::IldHeight).max(0.05 * self.h0),
+            rho: get(WireParam::Resistivity).max(0.05 * self.rho0),
+        }
+    }
+}
+
+impl Default for WireTech {
+    fn default() -> Self {
+        WireTech::m018()
+    }
+}
+
+/// One concrete wire geometry sample (all SI units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireGeometry {
+    /// Width (m).
+    pub w: f64,
+    /// Thickness (m).
+    pub t: f64,
+    /// Spacing (m).
+    pub s: f64,
+    /// ILD height (m).
+    pub h: f64,
+    /// Resistivity (Ω·m).
+    pub rho: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_order_and_names() {
+        assert_eq!(WireParam::ALL.len(), WIRE_PARAM_COUNT);
+        assert_eq!(WireParam::Width.index(), 0);
+        assert_eq!(WireParam::Resistivity.index(), 4);
+        assert_eq!(WireParam::IldHeight.name(), "H");
+    }
+
+    #[test]
+    fn nominal_sample_is_nominal() {
+        let t = WireTech::m018();
+        let g = t.at(&[0.0; 5]);
+        assert_eq!(g.w, t.w0);
+        assert_eq!(g.rho, t.rho0);
+        // Short sample vector: remaining params nominal.
+        let g = t.at(&[1.0]);
+        assert!((g.w - (t.w0 + t.w_tol)).abs() < 1e-18);
+        assert_eq!(g.t, t.t0);
+    }
+
+    #[test]
+    fn tolerances_are_relative_15_to_20_percent() {
+        let t = WireTech::m018();
+        for p in WireParam::ALL {
+            let rel = t.tolerance(p) / t.nominal(p);
+            assert!((0.1..=0.25).contains(&rel), "{}: rel tol {rel}", p.name());
+        }
+    }
+
+    #[test]
+    fn extreme_samples_stay_physical() {
+        let t = WireTech::m018();
+        let g = t.at(&[-10.0, -10.0, -10.0, -10.0, -10.0]);
+        assert!(g.w > 0.0 && g.t > 0.0 && g.s > 0.0 && g.h > 0.0 && g.rho > 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The benchmark set: real `s27` plus synthetic equivalents.
+//!
+//! `s27` is the public ISCAS-89 benchmark, embedded verbatim. The larger
+//! members are *deterministic synthetic equivalents* (substitution #4 in
+//! `DESIGN.md`): seeded DAG generators that match each circuit's
+//! approximate gate/DFF counts and — the property the path-delay
+//! experiments actually consume — the paper's reported critical-path
+//! stage count. The generator guarantees by construction that the intended
+//! backbone is the unique longest latch-to-latch path.
+
+use crate::netlist::{Gate, GateKind, GateNetlist};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The real s27 netlist (ISCAS-89).
+pub const S27_BENCH: &str = "\
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+";
+
+/// One benchmark circuit plus its provenance metadata.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    /// Gate-level netlist.
+    pub netlist: GateNetlist,
+    /// `false` only for the embedded real s27.
+    pub synthetic: bool,
+    /// Critical-path stage count the paper reports for this circuit
+    /// (Table 5, or Table 4 for s9234).
+    pub paper_stages: usize,
+}
+
+/// Names of the available benchmarks, in the paper's order.
+pub fn benchmark_names() -> &'static [&'static str] {
+    &["s27", "s208", "s832", "s444", "s1423", "s9234"]
+}
+
+/// Loads a benchmark by name.
+pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
+    match name {
+        "s27" => Some(BenchmarkSpec {
+            netlist: crate::netlist::parse_bench("s27", S27_BENCH).expect("embedded s27 parses"),
+            synthetic: false,
+            paper_stages: 5,
+        }),
+        // (gates, dffs, path depth) sized after the real circuits; depths
+        // from the paper's Tables 4/5.
+        "s208" => Some(synthetic("s208", 96, 8, 9, 0x5208)),
+        "s832" => Some(synthetic("s832", 287, 5, 9, 0x5832)),
+        "s444" => Some(synthetic("s444", 181, 21, 12, 0x5444)),
+        "s1423" => Some(synthetic("s1423", 657, 74, 21, 0x51423)),
+        "s9234" => Some(synthetic("s9234", 2000, 135, 58, 0x59234)),
+        _ => None,
+    }
+}
+
+/// Builds a synthetic sequential benchmark: a backbone chain of
+/// `path_depth` inverting gates (the intended critical path) plus filler
+/// logic of strictly smaller depth, `n_dff` flip-flops and a handful of
+/// primary inputs/outputs.
+fn synthetic(
+    name: &str,
+    n_comb_gates: usize,
+    n_dff: usize,
+    path_depth: usize,
+    seed: u64,
+) -> BenchmarkSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_pi = 8.max(n_comb_gates / 40);
+    let inputs: Vec<String> = (0..n_pi).map(|k| format!("PI{k}")).collect();
+    let mut gates: Vec<Gate> = Vec::new();
+    // DFF outputs are sources; their inputs get wired at the end.
+    let dff_outs: Vec<String> = (0..n_dff).map(|k| format!("Q{k}")).collect();
+    // Depth-0 signals available as side inputs.
+    let sources: Vec<String> = inputs.iter().chain(dff_outs.iter()).cloned().collect();
+    let pick = |rng: &mut StdRng, pool: &[String]| -> String {
+        pool[rng.random_range(0..pool.len())].clone()
+    };
+    // Backbone kinds: single-primitive inverting gates only, so the
+    // primitive stage count equals the backbone length.
+    let backbone_kinds = [
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Not,
+        GateKind::Nand,
+        GateKind::Nor,
+    ];
+    let mut prev = pick(&mut rng, &sources);
+    let mut backbone_last = String::new();
+    for d in 0..path_depth {
+        let out = format!("B{d}");
+        let kind = backbone_kinds[rng.random_range(0..backbone_kinds.len())];
+        let mut ins = vec![prev.clone()];
+        if kind != GateKind::Not {
+            // Side inputs come from depth-0 sources only, keeping the
+            // backbone the strict longest path.
+            ins.push(pick(&mut rng, &sources));
+            if rng.random_bool(0.3) {
+                ins.push(pick(&mut rng, &sources));
+            }
+        }
+        gates.push(Gate {
+            output: out.clone(),
+            kind,
+            inputs: ins,
+        });
+        prev = out.clone();
+        backbone_last = out;
+    }
+    // Filler gates: depth strictly below the backbone.
+    let max_filler_depth = path_depth.saturating_sub(1).max(1);
+    // (signal, depth) pools.
+    let mut pool: Vec<(String, usize)> = sources.iter().map(|s| (s.clone(), 0)).collect();
+    let n_filler = n_comb_gates.saturating_sub(path_depth);
+    let filler_kinds = [
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Not,
+        GateKind::Buff,
+        GateKind::Nand,
+        GateKind::Nor,
+    ];
+    let mut filler_outs: Vec<String> = Vec::new();
+    for k in 0..n_filler {
+        let kind = filler_kinds[rng.random_range(0..filler_kinds.len())];
+        let n_in = if matches!(kind, GateKind::Not | GateKind::Buff) {
+            1
+        } else if rng.random_bool(0.25) {
+            3
+        } else {
+            2
+        };
+        // Candidates must leave room to stay under the depth cap. The
+        // filler's multi-primitive kinds (AND/OR) count as 2 primitives —
+        // stay conservative with a -2 margin.
+        let cap = max_filler_depth.saturating_sub(2);
+        let candidates: Vec<usize> = (0..pool.len()).filter(|&i| pool[i].1 <= cap).collect();
+        let mut ins = Vec::with_capacity(n_in);
+        let mut depth = 0usize;
+        for _ in 0..n_in {
+            let idx = candidates[rng.random_range(0..candidates.len())];
+            ins.push(pool[idx].0.clone());
+            depth = depth.max(pool[idx].1);
+        }
+        let out = format!("F{k}");
+        gates.push(Gate {
+            output: out.clone(),
+            kind,
+            inputs: ins,
+        });
+        pool.push((out.clone(), depth + 1));
+        filler_outs.push(out);
+    }
+    // DFF inputs: the backbone end plus random filler outputs.
+    let mut dff_gates: Vec<Gate> = Vec::new();
+    for (k, q) in dff_outs.iter().enumerate() {
+        let d_in = if k == 0 || filler_outs.is_empty() {
+            backbone_last.clone()
+        } else {
+            filler_outs[rng.random_range(0..filler_outs.len())].clone()
+        };
+        dff_gates.push(Gate {
+            output: q.clone(),
+            kind: GateKind::Dff,
+            inputs: vec![d_in],
+        });
+    }
+    gates.extend(dff_gates);
+    // Primary outputs: a few filler outputs.
+    let mut outputs = Vec::new();
+    for k in 0..4.min(filler_outs.len()) {
+        outputs.push(filler_outs[k * filler_outs.len() / 4].clone());
+    }
+    if outputs.is_empty() {
+        outputs.push(backbone_last);
+    }
+    let netlist = GateNetlist::new(name, inputs, outputs, gates);
+    BenchmarkSpec {
+        netlist,
+        synthetic: true,
+        paper_stages: path_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::longest_path;
+
+    #[test]
+    fn s27_is_the_real_netlist() {
+        let b = benchmark("s27").unwrap();
+        assert!(!b.synthetic);
+        assert_eq!(b.netlist.dff_count(), 3);
+        assert_eq!(b.netlist.combinational_count(), 10);
+        assert_eq!(b.netlist.inputs.len(), 4);
+    }
+
+    #[test]
+    fn all_names_resolve() {
+        for name in benchmark_names() {
+            assert!(benchmark(name).is_some(), "missing {name}");
+        }
+        assert!(benchmark("s99999").is_none());
+    }
+
+    #[test]
+    fn synthetic_path_depths_match_paper() {
+        for (name, depth) in [("s208", 9), ("s832", 9), ("s444", 12), ("s1423", 21), ("s9234", 58)]
+        {
+            let b = benchmark(name).unwrap();
+            assert!(b.synthetic);
+            assert_eq!(b.paper_stages, depth);
+            let rep = longest_path(&b.netlist).unwrap();
+            assert_eq!(
+                rep.depth(),
+                depth,
+                "{name}: analyzer found depth {} (path {:?})",
+                rep.depth(),
+                rep.critical_path
+            );
+        }
+    }
+
+    #[test]
+    fn synthetic_sizes_are_plausible() {
+        let b = benchmark("s1423").unwrap();
+        assert!(b.netlist.combinational_count() > 500);
+        assert_eq!(b.netlist.dff_count(), 74);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = benchmark("s444").unwrap();
+        let b = benchmark("s444").unwrap();
+        assert_eq!(a.netlist.gates, b.netlist.gates);
+    }
+
+    #[test]
+    fn critical_path_ends_at_backbone_dff() {
+        let b = benchmark("s208").unwrap();
+        let rep = longest_path(&b.netlist).unwrap();
+        // The backbone feeds Q0's input; the path must run through B gates.
+        assert!(rep.critical_path.iter().all(|g| g.starts_with('B')));
+    }
+}

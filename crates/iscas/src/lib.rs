@@ -1,0 +1,31 @@
+//! ISCAS-89 benchmark substrate: gate-level netlists, a unit-delay timing
+//! analyzer, and latch-to-latch critical-path extraction.
+//!
+//! The paper's Example 3 runs on the ISCAS-89 set: "The gate-level
+//! descriptions of the benchmarks are transformed into transistor level
+//! circuit netlists. In the benchmark set, ten different logic cells are
+//! used. The latch-to-latch paths are extracted and ordered by a
+//! unit-delay based timing analyzer."
+//!
+//! * [`netlist`] — the `.bench` format parser and gate-level data model;
+//! * [`benches`] — the real `s27` netlist (public benchmark, embedded
+//!   verbatim) plus deterministic synthetic equivalents of the larger
+//!   members (s208, s444, s832, s1423, s9234), generated to match the
+//!   paper's reported critical-path stage counts (substitution #4 in
+//!   `DESIGN.md`);
+//! * [`timing`] — levelization and longest-path extraction under the
+//!   unit-delay model;
+//! * [`path`] — decomposition of the extracted gate path into primitive
+//!   (single-stage) cells of the `linvar-devices` library.
+
+pub mod benches;
+pub mod logic;
+pub mod netlist;
+pub mod path;
+pub mod timing;
+
+pub use benches::{benchmark, benchmark_names, BenchmarkSpec};
+pub use logic::{evaluate as logic_evaluate, step as logic_step, LogicState, LogicValues};
+pub use netlist::{parse_bench, Gate, GateKind, GateNetlist};
+pub use path::{decompose_to_primitives, PathStage};
+pub use timing::{longest_path, TimingReport};

@@ -1,0 +1,133 @@
+//! Critical-path decomposition into primitive (single-stack) cells.
+//!
+//! The TETA stage abstraction evaluates one inverting CMOS stage at a
+//! time. Multi-stage gate kinds decompose: `AND → NAND + INV`,
+//! `OR → NOR + INV`, `BUFF → INV + INV`. Fan-in above three decomposes
+//! into trees of 2/3-input primitives, keeping the longest branch on the
+//! path input.
+
+use crate::netlist::{GateKind, GateNetlist};
+use crate::timing::TimingReport;
+
+/// One primitive stage on a critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStage {
+    /// Primitive cell name in the `linvar-devices` library
+    /// (`inv`, `nand2`, `nand3`, `nor2`, `nor3`).
+    pub cell: String,
+    /// Name of the gate (in the gate-level netlist) this stage belongs to.
+    pub gate: String,
+}
+
+/// Decomposes one gate kind with the given fan-in into primitive stages,
+/// path input first.
+pub fn decompose_kind(kind: GateKind, fanin: usize) -> Vec<&'static str> {
+    match kind {
+        GateKind::Not => vec!["inv"],
+        GateKind::Buff => vec!["inv", "inv"],
+        GateKind::Nand => nary("nand", fanin),
+        GateKind::Nor => nary("nor", fanin),
+        GateKind::And => {
+            let mut v = nary("nand", fanin);
+            v.push("inv");
+            v
+        }
+        GateKind::Or => {
+            let mut v = nary("nor", fanin);
+            v.push("inv");
+            v
+        }
+        GateKind::Dff => vec![],
+    }
+}
+
+/// N-ary NAND/NOR as a primitive chain along the path input: the path
+/// input enters a 2- or 3-input primitive; additional inputs beyond three
+/// are reduced by preceding (off-path) gates, which contribute no stages
+/// to the *path*. On-path we therefore need a single primitive, except
+/// that fan-in > 3 inserts one extra inverting pair to restore polarity of
+/// the reduction tree.
+fn nary(base: &'static str, fanin: usize) -> Vec<&'static str> {
+    match (base, fanin) {
+        (_, 0 | 1) => vec!["inv"],
+        ("nand", 2) => vec!["nand2"],
+        ("nand", 3) => vec!["nand3"],
+        ("nor", 2) => vec!["nor2"],
+        ("nor", 3) => vec!["nor3"],
+        // Wide gates: the path input goes through a 3-input primitive and
+        // an inverter pair that merges the off-path reduction tree.
+        ("nand", _) => vec!["nand3", "inv", "inv"],
+        ("nor", _) => vec!["nor3", "inv", "inv"],
+        _ => vec!["inv"],
+    }
+}
+
+/// Decomposes a critical path (from [`crate::timing::longest_path`]) into
+/// primitive stages.
+///
+/// # Errors
+///
+/// Returns a message if a path gate is missing from the netlist.
+pub fn decompose_to_primitives(
+    nl: &GateNetlist,
+    report: &TimingReport,
+) -> Result<Vec<PathStage>, String> {
+    let mut stages = Vec::new();
+    for gname in &report.critical_path {
+        let gate = nl
+            .driver(gname)
+            .ok_or_else(|| format!("path gate {gname} not found"))?;
+        for cell in decompose_kind(gate.kind, gate.inputs.len()) {
+            stages.push(PathStage {
+                cell: cell.to_string(),
+                gate: gname.clone(),
+            });
+        }
+    }
+    Ok(stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benches::benchmark;
+    use crate::timing::longest_path;
+
+    #[test]
+    fn kind_decomposition() {
+        assert_eq!(decompose_kind(GateKind::Not, 1), vec!["inv"]);
+        assert_eq!(decompose_kind(GateKind::Buff, 1), vec!["inv", "inv"]);
+        assert_eq!(decompose_kind(GateKind::Nand, 2), vec!["nand2"]);
+        assert_eq!(decompose_kind(GateKind::Nor, 3), vec!["nor3"]);
+        assert_eq!(decompose_kind(GateKind::And, 2), vec!["nand2", "inv"]);
+        assert_eq!(decompose_kind(GateKind::Or, 2), vec!["nor2", "inv"]);
+        assert_eq!(decompose_kind(GateKind::Nand, 5), vec!["nand3", "inv", "inv"]);
+        assert!(decompose_kind(GateKind::Dff, 1).is_empty());
+    }
+
+    #[test]
+    fn s27_path_decomposes() {
+        let b = benchmark("s27").unwrap();
+        let rep = longest_path(&b.netlist).unwrap();
+        let stages = decompose_to_primitives(&b.netlist, &rep).unwrap();
+        // 6 gates: NOT, AND, OR, NAND, NOR, NOR → AND and OR add one INV
+        // each → 8 primitive stages.
+        assert_eq!(stages.len(), 8, "stages {stages:?}");
+        assert_eq!(stages[0].cell, "inv");
+        assert!(stages.iter().all(|s| [
+            "inv", "nand2", "nand3", "nor2", "nor3"
+        ]
+        .contains(&s.cell.as_str())));
+    }
+
+    #[test]
+    fn synthetic_path_decomposes_to_exactly_paper_stages() {
+        // Synthetic backbones use only single-primitive kinds.
+        for name in ["s208", "s444", "s832"] {
+            let b = benchmark(name).unwrap();
+            let rep = longest_path(&b.netlist).unwrap();
+            let stages = decompose_to_primitives(&b.netlist, &rep).unwrap();
+            assert_eq!(stages.len(), b.paper_stages, "{name}");
+        }
+    }
+}

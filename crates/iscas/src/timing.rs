@@ -1,0 +1,218 @@
+//! Unit-delay timing analysis and critical-path extraction.
+//!
+//! Every combinational gate costs one delay unit; DFF outputs and primary
+//! inputs are timing sources (arrival 0); DFF inputs and primary outputs
+//! are sinks. The longest source-to-sink path is the critical path the
+//! paper's Example 3 analyzes.
+
+use crate::netlist::GateNetlist;
+use std::collections::HashMap;
+
+/// Result of the unit-delay analysis.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Unit-delay arrival time per signal.
+    pub arrival: HashMap<String, usize>,
+    /// Sink signal terminating the critical path.
+    pub critical_sink: String,
+    /// Gates on the critical path, source side first (gate output names).
+    pub critical_path: Vec<String>,
+}
+
+impl TimingReport {
+    /// Length (number of gates) of the critical path.
+    pub fn depth(&self) -> usize {
+        self.critical_path.len()
+    }
+}
+
+/// Runs the unit-delay analysis and extracts the longest path.
+///
+/// # Errors
+///
+/// Returns a message if the combinational graph has a cycle (a netlist
+/// bug) or no sinks.
+pub fn longest_path(nl: &GateNetlist) -> Result<TimingReport, String> {
+    // Arrival times by memoized DFS over the combinational fan-in cones.
+    let mut arrival: HashMap<String, usize> = HashMap::new();
+    let mut best_pred: HashMap<String, Option<String>> = HashMap::new();
+    for s in nl.timing_sources() {
+        arrival.insert(s.clone(), 0);
+        best_pred.insert(s, None);
+    }
+
+    // Iterative DFS with an explicit stack and a visiting set for cycle
+    // detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Visiting,
+        Done,
+    }
+    let mut marks: HashMap<String, Mark> = HashMap::new();
+    for s in arrival.keys() {
+        marks.insert(s.clone(), Mark::Done);
+    }
+
+    fn visit(
+        sig: &str,
+        nl: &GateNetlist,
+        arrival: &mut HashMap<String, usize>,
+        best_pred: &mut HashMap<String, Option<String>>,
+        marks: &mut HashMap<String, Mark>,
+    ) -> Result<usize, String> {
+        if let Some(&a) = arrival.get(sig) {
+            return Ok(a);
+        }
+        match marks.get(sig) {
+            Some(Mark::Visiting) => {
+                return Err(format!("combinational cycle through {sig}"));
+            }
+            Some(Mark::Done) => {}
+            None => {}
+        }
+        let gate = match nl.driver(sig) {
+            Some(g) if !g.kind.is_dff() => g.clone(),
+            // Undriven signal (dangling input) or DFF handled as source.
+            _ => {
+                arrival.insert(sig.to_string(), 0);
+                best_pred.insert(sig.to_string(), None);
+                return Ok(0);
+            }
+        };
+        marks.insert(sig.to_string(), Mark::Visiting);
+        let mut best = 0usize;
+        let mut pred = None;
+        for inp in &gate.inputs {
+            let a = visit(inp, nl, arrival, best_pred, marks)?;
+            if a >= best {
+                best = a;
+                pred = Some(inp.clone());
+            }
+        }
+        let a = best + 1;
+        marks.insert(sig.to_string(), Mark::Done);
+        arrival.insert(sig.to_string(), a);
+        best_pred.insert(sig.to_string(), pred);
+        Ok(a)
+    }
+
+    let sinks = nl.timing_sinks();
+    if sinks.is_empty() {
+        return Err("netlist has no timing sinks".into());
+    }
+    let mut critical_sink = String::new();
+    let mut critical_arrival = 0usize;
+    for sink in &sinks {
+        let a = visit(sink, nl, &mut arrival, &mut best_pred, &mut marks)?;
+        if a > critical_arrival || critical_sink.is_empty() {
+            critical_arrival = a;
+            critical_sink = sink.clone();
+        }
+    }
+    // Trace back the path of gates.
+    let mut path = Vec::new();
+    let mut cur = critical_sink.clone();
+    loop {
+        if nl.driver(&cur).map(|g| !g.kind.is_dff()) == Some(true) {
+            path.push(cur.clone());
+        }
+        match best_pred.get(&cur).and_then(|p| p.clone()) {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    path.reverse();
+    Ok(TimingReport {
+        arrival,
+        critical_sink,
+        critical_path: path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benches::benchmark;
+    use crate::netlist::parse_bench;
+
+    #[test]
+    fn chain_depth() {
+        let nl = parse_bench(
+            "chain",
+            "\
+INPUT(a)
+OUTPUT(y)
+n1 = NOT(a)
+n2 = NOT(n1)
+n3 = NOT(n2)
+y = NOT(n3)
+",
+        )
+        .unwrap();
+        let rep = longest_path(&nl).unwrap();
+        assert_eq!(rep.depth(), 4);
+        assert_eq!(rep.critical_path, vec!["n1", "n2", "n3", "y"]);
+        assert_eq!(rep.critical_sink, "y");
+    }
+
+    #[test]
+    fn dff_breaks_paths() {
+        let nl = parse_bench(
+            "latch",
+            "\
+INPUT(a)
+OUTPUT(y)
+n1 = NOT(a)
+q = DFF(n1)
+n2 = NOT(q)
+n3 = NOT(n2)
+y = NOT(n3)
+",
+        )
+        .unwrap();
+        let rep = longest_path(&nl).unwrap();
+        // Longest latch-to-latch segment: q → n2 → n3 → y (3 gates).
+        assert_eq!(rep.depth(), 3);
+    }
+
+    #[test]
+    fn s27_critical_path() {
+        let nl = benchmark("s27").unwrap().netlist;
+        let rep = longest_path(&nl).unwrap();
+        // Known structure: G0 → G14 → G8 → G15/G16 → G9 → G11 → G10.
+        assert_eq!(rep.depth(), 6, "path {:?}", rep.critical_path);
+        assert_eq!(rep.critical_sink, "G10");
+        assert_eq!(rep.critical_path.first().map(String::as_str), Some("G14"));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let nl = parse_bench(
+            "cyc",
+            "\
+INPUT(a)
+OUTPUT(y)
+n1 = NAND(a, n2)
+n2 = NAND(a, n1)
+y = NOT(n2)
+",
+        )
+        .unwrap();
+        assert!(longest_path(&nl).unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn undriven_signal_is_source() {
+        let nl = parse_bench(
+            "dangling",
+            "\
+INPUT(a)
+OUTPUT(y)
+y = NAND(a, floating)
+",
+        )
+        .unwrap();
+        let rep = longest_path(&nl).unwrap();
+        assert_eq!(rep.depth(), 1);
+    }
+}

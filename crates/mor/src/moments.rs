@@ -1,0 +1,253 @@
+//! Moment computation for linear(ized) interconnect models.
+//!
+//! The transfer function `Z(s) = Brᵀ(G + sC)⁻¹B` expands around `s = 0`
+//! as `Z(s) = m0 + m1·s + m2·s² + …` with
+//! `m_k = (-1)^k · Brᵀ (G⁻¹C)^k G⁻¹ B`. The first moment of an impulse
+//! response is the classical **Elmore delay** bound; projection-based
+//! reduction (PRIMA) matches the leading `q` moments by construction,
+//! which these utilities verify and which the test-suite pins as an
+//! invariant.
+
+use crate::prima::ReducedModel;
+use linvar_numeric::{LuFactor, Matrix, NumericError};
+
+/// Computes the first `count` moments of `Z(s) = Bᵀ(G + sC)⁻¹B`.
+///
+/// Returns `count` matrices of size `Np x Np`; entry `[k]` is `m_k`.
+///
+/// # Errors
+///
+/// Returns [`NumericError::SingularMatrix`] if `G` is singular (floating
+/// network — fold the driver conductances first).
+pub fn moments(g: &Matrix, c: &Matrix, b: &Matrix, count: usize) -> Result<Vec<Matrix>, NumericError> {
+    let lu = LuFactor::new(g)?;
+    let mut out = Vec::with_capacity(count);
+    // v_0 = G⁻¹B; v_{k+1} = -G⁻¹ C v_k; m_k = Bᵀ v_k.
+    let mut v = lu.solve_mat(b)?;
+    for _ in 0..count {
+        out.push(b.transpose().mul_mat(&v));
+        let cv = c.mul_mat(&v);
+        v = lu.solve_mat(&cv)?;
+        v.scale_mut(-1.0);
+    }
+    Ok(out)
+}
+
+/// Moments of a reduced model (same expansion on the reduced matrices).
+///
+/// # Errors
+///
+/// Returns [`NumericError::SingularMatrix`] if `Gr` is singular.
+pub fn reduced_moments(rom: &ReducedModel, count: usize) -> Result<Vec<Matrix>, NumericError> {
+    moments(&rom.gr, &rom.cr, &rom.br, count)
+}
+
+/// Elmore delay of the single-port *driving-point* response:
+/// `T_D = -m1/m0` of `Z(s)` — for a grounded RC network this equals
+/// `Σ_k R_common(port, k)·C_k` with the common-path resistances to the
+/// port itself.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] if the model is not one-port or
+/// `m0` vanishes, and propagates factorization failures.
+pub fn elmore_delay(g: &Matrix, c: &Matrix, b: &Matrix) -> Result<f64, NumericError> {
+    if b.cols() != 1 {
+        return Err(NumericError::InvalidInput(
+            "elmore delay is defined for a one-port response".into(),
+        ));
+    }
+    let ms = moments(g, c, b, 2)?;
+    let m0 = ms[0][(0, 0)];
+    if m0.abs() < 1e-300 {
+        return Err(NumericError::InvalidInput("zero dc response".into()));
+    }
+    Ok(-ms[1][(0, 0)] / m0)
+}
+
+/// Elmore delay of the *transfer* response to node `observe` for a
+/// one-port current drive: `T_D = -m1/m0` of `Z_obs,in(s)` — the classic
+/// `Σ_k R_common(observe, k)·C_k` sum used for far-end RC delay
+/// estimation.
+///
+/// # Errors
+///
+/// Same conditions as [`elmore_delay`], plus
+/// [`NumericError::DimensionMismatch`] for an out-of-range `observe`.
+pub fn elmore_transfer(
+    g: &Matrix,
+    c: &Matrix,
+    b: &Matrix,
+    observe: usize,
+) -> Result<f64, NumericError> {
+    if b.cols() != 1 {
+        return Err(NumericError::InvalidInput(
+            "transfer elmore is defined for a one-port drive".into(),
+        ));
+    }
+    if observe >= g.rows() {
+        return Err(NumericError::DimensionMismatch {
+            expected: format!("node index < {}", g.rows()),
+            found: format!("{observe}"),
+        });
+    }
+    let lu = LuFactor::new(g)?;
+    let v0 = lu.solve(&b.col(0))?;
+    let m0 = v0[observe];
+    let cv = c.mul_vec(&v0);
+    let mut v1 = lu.solve(&cv)?;
+    for x in v1.iter_mut() {
+        *x = -*x;
+    }
+    let m1 = v1[observe];
+    if m0.abs() < 1e-300 {
+        return Err(NumericError::InvalidInput("zero dc transfer".into()));
+    }
+    Ok(-m1 / m0)
+}
+
+/// Number of leading moments of the full model that the reduced model
+/// matches within relative tolerance `tol` (diagnostic used by the
+/// order-sweep ablation).
+pub fn matched_moment_count(
+    g: &Matrix,
+    c: &Matrix,
+    b: &Matrix,
+    rom: &ReducedModel,
+    max_check: usize,
+    tol: f64,
+) -> Result<usize, NumericError> {
+    let full = moments(g, c, b, max_check)?;
+    let red = reduced_moments(rom, max_check)?;
+    let mut matched = 0;
+    for k in 0..max_check {
+        let scale = full[k].max_abs().max(1e-300);
+        if (&full[k] - &red[k]).max_abs() <= tol * scale {
+            matched += 1;
+        } else {
+            break;
+        }
+    }
+    Ok(matched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prima::prima_reduce;
+
+    /// Driver conductance + RC ladder (same helper shape as prima tests).
+    fn ladder(n: usize, r: f64, c: f64, g_drive: f64) -> (Matrix, Matrix, Matrix) {
+        let gv = 1.0 / r;
+        let mut g = Matrix::zeros(n, n);
+        let mut cm = Matrix::zeros(n, n);
+        for i in 1..n {
+            g[(i, i)] += gv;
+            g[(i - 1, i - 1)] += gv;
+            g[(i, i - 1)] -= gv;
+            g[(i - 1, i)] -= gv;
+        }
+        g[(0, 0)] += g_drive;
+        for i in 0..n {
+            cm[(i, i)] = c;
+        }
+        let mut b = Matrix::zeros(n, 1);
+        b[(0, 0)] = 1.0;
+        (g, cm, b)
+    }
+
+    #[test]
+    fn m0_is_dc_impedance() {
+        let (g, c, b) = ladder(10, 10.0, 1e-12, 1e-3);
+        let ms = moments(&g, &c, &b, 1).unwrap();
+        // DC: all ladder R's are bypassed (no DC current flows into caps),
+        // so Z(0) = 1/g_drive = 1000 Ω.
+        assert!((ms[0][(0, 0)] - 1000.0).abs() < 1e-6 * 1000.0);
+    }
+
+    #[test]
+    fn elmore_of_driver_plus_lumped_cap() {
+        // Single node: driver conductance g and cap C: T_D = C/g.
+        let mut g = Matrix::zeros(1, 1);
+        g[(0, 0)] = 1e-3;
+        let c = Matrix::from_diagonal(&[2e-12]);
+        let b = Matrix::from_rows(&[&[1.0]]);
+        let td = elmore_delay(&g, &c, &b).unwrap();
+        assert!((td - 2e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn driving_point_elmore_is_common_path_sum() {
+        // Driving-point Elmore: Σ_k R_common(0, k)·C_k — every node shares
+        // only the driver resistance with the port, so T_D = n·R_drv·C.
+        let n = 6;
+        let (g, c, b) = ladder(n, 10.0, 1e-12, 1e-2);
+        let td = elmore_delay(&g, &c, &b).unwrap();
+        let expect = n as f64 * 100.0 * 1e-12;
+        assert!(
+            (td - expect).abs() < 1e-9 * expect,
+            "elmore {td} vs formula {expect}"
+        );
+    }
+
+    #[test]
+    fn transfer_elmore_matches_classic_sum() {
+        // Far-end transfer Elmore of a driven RC ladder:
+        // Σ_k R_upstream(k)·C_k with the driver resistance included.
+        let n = 6;
+        let (g, c, b) = ladder(n, 10.0, 1e-12, 1e-2);
+        let td = elmore_transfer(&g, &c, &b, n - 1).unwrap();
+        let mut expect = 0.0;
+        for i in 0..n {
+            let r_up = 100.0 + 10.0 * i as f64; // driver 100 Ω + i segments
+            expect += r_up * 1e-12;
+        }
+        assert!(
+            (td - expect).abs() < 1e-9 * expect,
+            "transfer elmore {td} vs formula {expect}"
+        );
+        // Transfer Elmore at the far end exceeds the driving-point value.
+        let dp = elmore_delay(&g, &c, &b).unwrap();
+        assert!(td > dp);
+        // Out-of-range observation node is rejected.
+        assert!(elmore_transfer(&g, &c, &b, 99).is_err());
+    }
+
+    #[test]
+    fn prima_matches_leading_moments() {
+        let (g, c, b) = ladder(20, 5.0, 2e-13, 1e-3);
+        for order in [2usize, 4, 6] {
+            let rom = prima_reduce(&g, &c, &b, order).unwrap();
+            let matched = matched_moment_count(&g, &c, &b, &rom, order + 2, 1e-6).unwrap();
+            assert!(
+                matched >= order,
+                "order-{order} PRIMA must match ≥ {order} moments, got {matched}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiport_m0_is_symmetric() {
+        let n = 8;
+        let (mut g, c, _) = ladder(n, 10.0, 1e-12, 1e-3);
+        g[(n - 1, n - 1)] += 1e-3; // second driver grounds the far end
+        let mut b = Matrix::zeros(n, 2);
+        b[(0, 0)] = 1.0;
+        b[(n - 1, 1)] = 1.0;
+        let ms = moments(&g, &c, &b, 3).unwrap();
+        for m in &ms {
+            assert!(m.is_symmetric(1e-9 * m.max_abs().max(1e-300)), "reciprocal network");
+        }
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let g = Matrix::zeros(2, 2);
+        let c = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[1.0], &[0.0]]);
+        assert!(moments(&g, &c, &b, 2).is_err(), "singular G");
+        let g = Matrix::identity(2);
+        let b2 = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert!(elmore_delay(&g, &c, &b2).is_err(), "multiport elmore");
+    }
+}

@@ -1,0 +1,270 @@
+//! PACT: pole analysis via congruence transformations.
+//!
+//! For a reciprocal RC network with symmetric `G`, `C`, PACT partitions the
+//! unknowns into ports `p` and internals `i`, applies the DC-decoupling
+//! congruence
+//!
+//! ```text
+//! V1 = [[I, 0], [L, I]],   L = -G_ii⁻¹ G_ip
+//! ```
+//!
+//! so that `G' = V1ᵀ G V1 = diag(A, G_ii)` with `A` the exact DC port
+//! admittance, then eigenanalyzes the internal pencil `C'_ii x = µ G_ii x`
+//! and keeps the `k` slowest internal modes (largest time constants µ).
+//! The final reduced model has the paper's eq. (5) block structure:
+//!
+//! ```text
+//! Gr = [[A, 0], [0, I_k]]      Cr = [[B, R], [Rᵀ, diag(µ)]]
+//! ```
+//!
+//! Truncation of fast modes perturbs the transient response only at time
+//! scales below the kept time constants; the DC behaviour is exact.
+
+use crate::prima::ReducedModel;
+use linvar_numeric::sym_eigen::generalized_sym_eigen;
+use linvar_numeric::{LuFactor, Matrix, NumericError};
+
+/// Reduces a symmetric `(G, C)` system with ports listed in `port_indices`
+/// to `n_ports + internal_modes` unknowns.
+///
+/// Also returns the projection matrix `X` (original-order × reduced-order)
+/// so that callers can build variational versions of the same reduction.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] if `G`/`C` are not symmetric, a
+/// port index is out of range or duplicated, and
+/// [`NumericError::SingularMatrix`] if the internal admittance block is
+/// singular (an internal subnetwork with no DC path).
+pub fn pact_reduce(
+    g: &Matrix,
+    c: &Matrix,
+    port_indices: &[usize],
+    internal_modes: usize,
+) -> Result<(ReducedModel, Matrix), NumericError> {
+    let n = g.rows();
+    let np = port_indices.len();
+    let scale = g.max_abs().max(1e-300);
+    if !g.is_symmetric(1e-9 * scale) || !c.is_symmetric(1e-9 * c.max_abs().max(1e-300)) {
+        return Err(NumericError::InvalidInput(
+            "pact requires symmetric G and C".into(),
+        ));
+    }
+    if np == 0 || np > n {
+        return Err(NumericError::InvalidInput("bad port count".into()));
+    }
+    let mut seen = vec![false; n];
+    for &p in port_indices {
+        if p >= n || seen[p] {
+            return Err(NumericError::InvalidInput(format!(
+                "port index {p} out of range or duplicated"
+            )));
+        }
+        seen[p] = true;
+    }
+    // Permutation: ports first, then internals in ascending order.
+    let mut perm: Vec<usize> = port_indices.to_vec();
+    for i in 0..n {
+        if !seen[i] {
+            perm.push(i);
+        }
+    }
+    let gp = permute(g, &perm);
+    let cp = permute(c, &perm);
+    let ni = n - np;
+
+    let _g_pp = gp.submatrix(0, np, 0, np);
+    let g_ip = gp.submatrix(np, n, 0, np);
+    let g_ii = gp.submatrix(np, n, np, n);
+
+    if ni == 0 {
+        // Nothing to reduce: the model is the port block itself.
+        let x = unpermute_basis(&Matrix::identity(n), &perm);
+        let rom = project(g, c, &x, port_indices);
+        return Ok((rom, x));
+    }
+
+    // L = -G_ii⁻¹ G_ip.
+    let lu_ii = LuFactor::new(&g_ii)?;
+    let l = {
+        let sol = lu_ii.solve_mat(&g_ip)?;
+        -&sol
+    };
+    // With V1 = [[I, 0], [L, I]] mapping x = V1·y (x_p = y_p,
+    // x_i = L·y_p + y_i), the internal-internal block of V1ᵀCV1 is exactly
+    // C_ii: the second block-column of V1 is [0; I], so the port mixing only
+    // affects the port block and the off-diagonal coupling R. The internal
+    // pencil is therefore (C_ii, G_ii).
+    let c_ii = cp.submatrix(np, n, np, n);
+    let eig = generalized_sym_eigen(&c_ii, &g_ii)?;
+    let k = internal_modes.min(ni);
+    // Keep the k largest time constants µ (eigenvalues sorted descending).
+    let mut u = Matrix::zeros(ni, k);
+    for j in 0..k {
+        u.set_col(j, &eig.vectors.col(j));
+    }
+    // Full projection X (permuted space): [[I, 0], [L, U]].
+    let q = np + k;
+    let mut xp = Matrix::zeros(n, q);
+    for j in 0..np {
+        xp[(j, j)] = 1.0;
+    }
+    for i in 0..ni {
+        for j in 0..np {
+            xp[(np + i, j)] = l[(i, j)];
+        }
+        for j in 0..k {
+            xp[(np + i, np + j)] = u[(i, j)];
+        }
+    }
+    // Un-permute rows back to original ordering.
+    let x = unpermute_basis(&xp, &perm);
+    let rom = project(g, c, &x, port_indices);
+    Ok((rom, x))
+}
+
+/// Congruence-projects `(G, C)` over basis `x` and builds the reduced
+/// incidence for ports at the given original indices.
+fn project(g: &Matrix, c: &Matrix, x: &Matrix, port_indices: &[usize]) -> ReducedModel {
+    let n = g.rows();
+    let mut b = Matrix::zeros(n, port_indices.len());
+    for (j, &p) in port_indices.iter().enumerate() {
+        b[(p, j)] = 1.0;
+    }
+    ReducedModel {
+        gr: g.congruence(x),
+        cr: c.congruence(x),
+        br: x.transpose().mul_mat(&b),
+    }
+}
+
+fn permute(m: &Matrix, perm: &[usize]) -> Matrix {
+    let n = perm.len();
+    Matrix::from_fn(n, n, |i, j| m[(perm[i], perm[j])])
+}
+
+/// Scatters the rows of a permuted-space basis back to original ordering.
+fn unpermute_basis(xp: &Matrix, perm: &[usize]) -> Matrix {
+    let mut x = Matrix::zeros(xp.rows(), xp.cols());
+    for (permuted_row, &orig_row) in perm.iter().enumerate() {
+        for j in 0..xp.cols() {
+            x[(orig_row, j)] = xp[(permuted_row, j)];
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linvar_numeric::LuFactor;
+
+    /// Grounded RC mesh with two ports.
+    fn two_port_rc(n: usize) -> (Matrix, Matrix, Vec<usize>) {
+        let gv = 0.1;
+        let mut g = Matrix::zeros(n, n);
+        let mut c = Matrix::zeros(n, n);
+        for i in 1..n {
+            g[(i, i)] += gv;
+            g[(i - 1, i - 1)] += gv;
+            g[(i, i - 1)] -= gv;
+            g[(i - 1, i)] -= gv;
+        }
+        // Ground both ends (driver conductances).
+        g[(0, 0)] += gv;
+        g[(n - 1, n - 1)] += gv;
+        for i in 0..n {
+            c[(i, i)] = 1e-12 * (1.0 + 0.3 * (i as f64).sin());
+        }
+        (g, c, vec![0, n - 1])
+    }
+
+    #[test]
+    fn block_structure_matches_paper_eq5() {
+        let (g, c, ports) = two_port_rc(12);
+        let (rom, _x) = pact_reduce(&g, &c, &ports, 4).unwrap();
+        let np = 2;
+        let q = rom.order();
+        assert_eq!(q, np + 4);
+        // Gr = diag(A, I): port-internal coupling of Gr must vanish and the
+        // internal block must be the identity.
+        for i in 0..np {
+            for j in np..q {
+                assert!(rom.gr[(i, j)].abs() < 1e-8 * rom.gr.max_abs());
+            }
+        }
+        for i in np..q {
+            for j in np..q {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (rom.gr[(i, j)] - expect).abs() < 1e-8,
+                    "internal Gr not identity at ({i},{j})"
+                );
+            }
+        }
+        // Cr internal block diagonal (the µ time constants).
+        for i in np..q {
+            for j in np..q {
+                if i != j {
+                    assert!(
+                        rom.cr[(i, j)].abs() < 1e-8 * rom.cr.max_abs(),
+                        "Cr internal block must be diagonal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dc_port_admittance_is_exact() {
+        let (g, c, ports) = two_port_rc(10);
+        let (rom, _) = pact_reduce(&g, &c, &ports, 2).unwrap();
+        // Full DC impedance.
+        let mut b = Matrix::zeros(10, 2);
+        b[(0, 0)] = 1.0;
+        b[(9, 1)] = 1.0;
+        let z_full = {
+            let lu = LuFactor::new(&g).unwrap();
+            b.transpose().mul_mat(&lu.solve_mat(&b).unwrap())
+        };
+        let z_red = rom.dc_impedance().unwrap();
+        assert!(
+            (&z_full - &z_red).max_abs() < 1e-9 * z_full.max_abs(),
+            "PACT DC is exact by construction"
+        );
+    }
+
+    #[test]
+    fn internal_modes_capped_by_internal_count() {
+        let (g, c, ports) = two_port_rc(6);
+        // 4 internal nodes, ask for 10 modes.
+        let (rom, _) = pact_reduce(&g, &c, &ports, 10).unwrap();
+        assert_eq!(rom.order(), 6);
+    }
+
+    #[test]
+    fn asymmetric_input_rejected() {
+        let mut g = Matrix::identity(4);
+        g[(0, 1)] = 0.5;
+        let c = Matrix::identity(4);
+        assert!(pact_reduce(&g, &c, &[0], 2).is_err());
+    }
+
+    #[test]
+    fn bad_ports_rejected() {
+        let (g, c, _) = two_port_rc(5);
+        assert!(pact_reduce(&g, &c, &[], 2).is_err());
+        assert!(pact_reduce(&g, &c, &[9], 2).is_err());
+        assert!(pact_reduce(&g, &c, &[1, 1], 2).is_err());
+    }
+
+    #[test]
+    fn projection_basis_reproduces_rom() {
+        let (g, c, ports) = two_port_rc(8);
+        let (rom, x) = pact_reduce(&g, &c, &ports, 3).unwrap();
+        let gr2 = g.congruence(&x);
+        let cr2 = c.congruence(&x);
+        assert!((&gr2 - &rom.gr).max_abs() < 1e-12 * rom.gr.max_abs().max(1e-12));
+        assert!((&cr2 - &rom.cr).max_abs() < 1e-12 * rom.cr.max_abs().max(1e-24));
+    }
+}

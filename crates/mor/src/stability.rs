@@ -1,0 +1,217 @@
+//! The two-step stabilization of variational macromodels (paper eqs. 21–23).
+//!
+//! Macromodel instability manifests as poles with positive real parts,
+//! caused by the broken congruence of first-order variational reduction,
+//! near-singularities and rounding. Such poles generally carry very small
+//! residues and no significant system information, so the fix is:
+//!
+//! 1. remove every right-half-plane pole;
+//! 2. scale the surviving residues of each `Z_ij` entry by a common factor
+//!    `β_ij = (Σ_all r_k/p_k) / (Σ_stable r_k/p_k)` so the DC (first
+//!    moment) behaviour of the original model is preserved (eq. 23).
+
+use crate::poleres::PoleResidueModel;
+use linvar_numeric::{CMatrix, Complex};
+
+/// What the stabilization pass did, for diagnostics and the Table-3
+/// experiment.
+#[derive(Debug, Clone)]
+pub struct StabilityReport {
+    /// Poles that were removed (positive real part).
+    pub removed_poles: Vec<Complex>,
+    /// β correction factors per port pair (row-major `Np x Np`).
+    pub beta: Vec<f64>,
+    /// Largest |β - 1| over all entries — how much DC correction was needed.
+    pub max_beta_deviation: f64,
+}
+
+impl StabilityReport {
+    /// `true` if the model was already stable (nothing removed).
+    pub fn was_stable(&self) -> bool {
+        self.removed_poles.is_empty()
+    }
+}
+
+/// Stabilizes a pole/residue macromodel, returning the corrected model and
+/// a report of what was removed.
+///
+/// If the model is already stable it is returned unchanged (all β = 1).
+/// If *all* poles of an entry are unstable, that entry's β is left at 1 and
+/// the entry keeps only its direct term — the caller should treat a large
+/// [`StabilityReport::max_beta_deviation`] as a signal that the variational
+/// model left its validity region.
+pub fn stabilize(model: &PoleResidueModel) -> (PoleResidueModel, StabilityReport) {
+    let np = model.port_count();
+    let mut removed_poles = Vec::new();
+    let mut kept: Vec<usize> = Vec::new();
+    for (k, p) in model.poles.iter().enumerate() {
+        if model.pole_is_unstable(*p) {
+            removed_poles.push(*p);
+        } else {
+            kept.push(k);
+        }
+    }
+    if removed_poles.is_empty() {
+        return (
+            model.clone(),
+            StabilityReport {
+                removed_poles,
+                beta: vec![1.0; np * np],
+                max_beta_deviation: 0.0,
+            },
+        );
+    }
+    // DC contribution of a pole set for entry (i, j): Σ -r/p (note eq. 23
+    // uses Σ r/p; the ratio is identical either way).
+    let dc_contribution = |ks: &[usize], i: usize, j: usize| -> Complex {
+        let mut acc = Complex::ZERO;
+        for &k in ks {
+            acc += -(model.residues[k][(i, j)] / model.poles[k]);
+        }
+        acc
+    };
+    let all: Vec<usize> = (0..model.poles.len()).collect();
+    let mut beta = vec![1.0; np * np];
+    let mut max_dev = 0.0_f64;
+    for i in 0..np {
+        for j in 0..np {
+            let dc_all = dc_contribution(&all, i, j);
+            let dc_stable = dc_contribution(&kept, i, j);
+            // β is real for physically meaningful models (conjugate pole
+            // pairs); take the real ratio guarded against tiny denominators.
+            if dc_stable.abs() > 1e-14 * dc_all.abs().max(1e-300) && dc_stable.abs() > 0.0 {
+                let b = (dc_all / dc_stable).re;
+                if b.is_finite() && b != 0.0 {
+                    beta[i * np + j] = b;
+                    max_dev = max_dev.max((b - 1.0).abs());
+                }
+            }
+        }
+    }
+    let poles: Vec<Complex> = kept.iter().map(|&k| model.poles[k]).collect();
+    let residues: Vec<CMatrix> = kept
+        .iter()
+        .map(|&k| {
+            let mut r = model.residues[k].clone();
+            for i in 0..np {
+                for j in 0..np {
+                    r[(i, j)] = r[(i, j)].scale(beta[i * np + j]);
+                }
+            }
+            r
+        })
+        .collect();
+    (
+        PoleResidueModel {
+            poles,
+            residues,
+            direct: model.direct.clone(),
+        },
+        StabilityReport {
+            removed_poles,
+            beta,
+            max_beta_deviation: max_dev,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linvar_numeric::Matrix;
+
+    fn model(poles: &[Complex], res: &[f64]) -> PoleResidueModel {
+        let residues = res
+            .iter()
+            .map(|&r| {
+                let mut m = CMatrix::zeros(1, 1);
+                m[(0, 0)] = Complex::from_real(r);
+                m
+            })
+            .collect();
+        PoleResidueModel {
+            poles: poles.to_vec(),
+            residues,
+            direct: Matrix::zeros(1, 1),
+        }
+    }
+
+    #[test]
+    fn stable_model_is_untouched() {
+        let m = model(
+            &[Complex::from_real(-1e9), Complex::from_real(-5e9)],
+            &[1e9, 2e9],
+        );
+        let (s, rep) = stabilize(&m);
+        assert!(rep.was_stable());
+        assert_eq!(s.pole_count(), 2);
+        assert_eq!(rep.max_beta_deviation, 0.0);
+    }
+
+    #[test]
+    fn unstable_pole_removed_and_dc_preserved() {
+        // Stable pole carrying the response + small unstable artifact.
+        let m = model(
+            &[Complex::from_real(-1e9), Complex::from_real(3e12)],
+            &[1e9, 1e7],
+        );
+        let dc_before = m.dc()[(0, 0)];
+        let (s, rep) = stabilize(&m);
+        assert_eq!(s.pole_count(), 1);
+        assert_eq!(rep.removed_poles.len(), 1);
+        assert!(rep.removed_poles[0].re > 0.0);
+        let dc_after = s.dc()[(0, 0)];
+        assert!(
+            (dc_before - dc_after).abs() < 1e-9 * dc_before.abs(),
+            "β correction must preserve DC: {dc_before} vs {dc_after}"
+        );
+        assert!(s.is_stable());
+    }
+
+    #[test]
+    fn beta_matches_eq23() {
+        let m = model(
+            &[Complex::from_real(-2e9), Complex::from_real(1e12)],
+            &[4e9, -1e8],
+        );
+        let (_, rep) = stabilize(&m);
+        // β = (Σ_all r/p) / (Σ_stable r/p).
+        let all = 4e9 / -2e9 + -1e8 / 1e12;
+        let stable = 4e9 / -2e9;
+        let expected = all / stable;
+        assert!((rep.beta[0] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_pair_handled() {
+        // Complex conjugate stable pair + unstable real pole.
+        let p = Complex::new(-1e9, 2e9);
+        let r = Complex::new(5e8, -1e8);
+        let mut r1 = CMatrix::zeros(1, 1);
+        r1[(0, 0)] = r;
+        let mut r2 = CMatrix::zeros(1, 1);
+        r2[(0, 0)] = r.conj();
+        let mut r3 = CMatrix::zeros(1, 1);
+        r3[(0, 0)] = Complex::from_real(1e6);
+        let m = PoleResidueModel {
+            poles: vec![p, p.conj(), Complex::from_real(8e11)],
+            residues: vec![r1, r2, r3],
+            direct: Matrix::zeros(1, 1),
+        };
+        let dc_before = m.dc()[(0, 0)];
+        let (s, _) = stabilize(&m);
+        assert_eq!(s.pole_count(), 2);
+        let dc_after = s.dc()[(0, 0)];
+        assert!((dc_before - dc_after).abs() < 1e-9 * dc_before.abs().max(1e-12));
+    }
+
+    #[test]
+    fn all_unstable_keeps_direct_only() {
+        let m = model(&[Complex::from_real(1e9)], &[1e9]);
+        let (s, rep) = stabilize(&m);
+        assert_eq!(s.pole_count(), 0);
+        assert_eq!(rep.removed_poles.len(), 1);
+        // β left at 1 — nothing to scale.
+        assert_eq!(rep.beta[0], 1.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Dense complex matrix with LU solve.
+//!
+//! Used for two jobs in the framework: inverting the eigenvector matrix `S`
+//! in the pole/residue transformation (paper eq. 16–19), and the complex
+//! inverse-iteration solves inside the eigenvector computation.
+
+use crate::complex::Complex;
+use crate::error::NumericError;
+use crate::matrix::Matrix;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix of [`Complex`] values.
+///
+/// # Example
+///
+/// ```
+/// use linvar_numeric::{CMatrix, Complex};
+///
+/// let mut m = CMatrix::zeros(2, 2);
+/// m[(0, 0)] = Complex::new(1.0, 1.0);
+/// assert_eq!(m[(0, 0)].im, 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` complex identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Promotes a real matrix to a complex one.
+    pub fn from_real(a: &Matrix) -> Self {
+        let mut m = CMatrix::zeros(a.rows(), a.cols());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                m[(i, j)] = Complex::from_real(a[(i, j)]);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[Complex]) -> Vec<Complex> {
+        assert_eq!(x.len(), self.cols, "complex matvec dimension mismatch");
+        let mut y = vec![Complex::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = Complex::ZERO;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * x[j];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions differ.
+    pub fn mul_mat(&self, other: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, other.rows, "complex matmul dimension mismatch");
+        let mut out = CMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == Complex::ZERO {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let v = aik * other[(k, j)];
+                    out[(i, j)] += v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns column `j` as an owned vector.
+    pub fn col(&self, j: usize) -> Vec<Complex> {
+        assert!(j < self.cols, "column index out of bounds");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Overwrites column `j` with `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.rows()`.
+    pub fn set_col(&mut self, j: usize, v: &[Complex]) {
+        assert_eq!(v.len(), self.rows, "column length mismatch");
+        for (i, &x) in v.iter().enumerate() {
+            self[(i, j)] = x;
+        }
+    }
+
+    /// Maximum modulus over all entries.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, z| m.max(z.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex;
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// LU factorization with partial pivoting of a complex matrix.
+///
+/// Mirrors [`crate::LuFactor`] for [`CMatrix`]; pivoting compares moduli.
+#[derive(Debug, Clone)]
+pub struct CLuFactor {
+    lu: CMatrix,
+    perm: Vec<usize>,
+}
+
+impl CLuFactor {
+    /// Factors the square complex matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] for non-square input and
+    /// [`NumericError::SingularMatrix`] if a pivot modulus underflows.
+    pub fn new(a: &CMatrix) -> Result<Self, NumericError> {
+        if a.rows() != a.cols() {
+            return Err(NumericError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < 1e-300 || !pmax.is_finite() {
+                return Err(NumericError::SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    let v = m * ukj;
+                    lu[(i, j)] -= v;
+                }
+            }
+        }
+        Ok(CLuFactor { lu, perm })
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] on a wrong-length `b`.
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, NumericError> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        let mut x: Vec<Complex> = self.perm.iter().map(|&pi| b[pi]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes the inverse matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors.
+    pub fn inverse(&self) -> Result<CMatrix, NumericError> {
+        let n = self.order();
+        let mut inv = CMatrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = vec![Complex::ZERO; n];
+            e[j] = Complex::ONE;
+            inv.set_col(j, &self.solve(&e)?);
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let i = CMatrix::identity(3);
+        let lu = CLuFactor::new(&i).unwrap();
+        let b = vec![
+            Complex::new(1.0, 2.0),
+            Complex::new(-1.0, 0.5),
+            Complex::new(0.0, -3.0),
+        ];
+        let x = lu.solve(&b).unwrap();
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((*xi - *bi).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn complex_solve_residual() {
+        let mut a = CMatrix::zeros(3, 3);
+        a[(0, 0)] = Complex::new(2.0, 1.0);
+        a[(0, 1)] = Complex::new(0.0, -1.0);
+        a[(1, 0)] = Complex::new(1.0, 0.0);
+        a[(1, 1)] = Complex::new(3.0, 0.5);
+        a[(1, 2)] = Complex::new(0.2, 0.0);
+        a[(2, 1)] = Complex::new(-0.5, 0.25);
+        a[(2, 2)] = Complex::new(1.5, -2.0);
+        let b = vec![
+            Complex::new(1.0, 0.0),
+            Complex::new(0.0, 1.0),
+            Complex::new(2.0, -1.0),
+        ];
+        let lu = CLuFactor::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = a.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((*ri - *bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut a = CMatrix::identity(2);
+        a[(0, 1)] = Complex::new(0.0, 2.0);
+        a[(1, 0)] = Complex::new(-1.0, 0.0);
+        let inv = CLuFactor::new(&a).unwrap().inverse().unwrap();
+        let prod = a.mul_mat(&inv);
+        let mut err = 0.0_f64;
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { Complex::ONE } else { Complex::ZERO };
+                err = err.max((prod[(i, j)] - expect).abs());
+            }
+        }
+        assert!(err < 1e-13);
+    }
+
+    #[test]
+    fn singular_complex_matrix_detected() {
+        let a = CMatrix::zeros(2, 2);
+        assert!(matches!(
+            CLuFactor::new(&a),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn from_real_promotion() {
+        let r = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let c = CMatrix::from_real(&r);
+        assert_eq!(c[(1, 0)], Complex::from_real(3.0));
+        assert_eq!(c[(1, 0)].im, 0.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Minimal complex arithmetic used by the eigensolver and pole/residue models.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// Poles and residues of reduced-order interconnect macromodels are complex
+/// in general; this small value type provides the arithmetic needed by the
+/// pole/residue transformation (paper eqs. 13–20) and by recursive
+/// convolution in the TETA engine.
+///
+/// # Example
+///
+/// ```
+/// use linvar_numeric::Complex;
+///
+/// let z = Complex::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!((z * z.conj()).re, 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Magnitude (modulus), computed with `hypot` for robustness.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^self`.
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Complex::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let m = self.abs();
+        let re = ((m + self.re) / 2.0).max(0.0).sqrt();
+        let im_mag = ((m - self.re) / 2.0).max(0.0).sqrt();
+        Complex::new(re, if self.im >= 0.0 { im_mag } else { -im_mag })
+    }
+
+    /// Multiplicative inverse `1 / self`.
+    ///
+    /// Returns infinities for a zero input, matching IEEE division semantics.
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `true` if both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6e}+{:.6e}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6e}-{:.6e}i", self.re, -self.im)
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        // Smith's algorithm avoids overflow for large components.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            Complex::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            Complex::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert!(close((a / b) * b, a, 1e-14));
+    }
+
+    #[test]
+    fn division_is_robust_to_large_magnitudes() {
+        let a = Complex::new(1e300, 1e300);
+        let b = Complex::new(1e300, -1e300);
+        let q = a / b;
+        assert!(q.is_finite());
+        assert!(close(q, Complex::new(0.0, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn conj_abs_arg() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!((Complex::I.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_on_unit_circle() {
+        let z = Complex::new(0.0, std::f64::consts::PI).exp();
+        assert!(close(z, Complex::new(-1.0, 0.0), 1e-14));
+        // Euler identity halfway.
+        let h = Complex::new(0.0, std::f64::consts::FRAC_PI_2).exp();
+        assert!(close(h, Complex::I, 1e-14));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (1.0, 1.0), (-2.0, -3.0)] {
+            let z = Complex::new(re, im);
+            let s = z.sqrt();
+            assert!(close(s * s, z, 1e-12), "sqrt failed for {z}");
+        }
+    }
+
+    #[test]
+    fn recip_and_identity_constants() {
+        let z = Complex::new(2.0, -1.0);
+        assert!(close(z * z.recip(), Complex::ONE, 1e-14));
+        assert_eq!(Complex::ZERO + Complex::ONE, Complex::ONE);
+        assert_eq!(Complex::I * Complex::I, Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Complex::new(1.0, -2.0)).is_empty());
+    }
+}

@@ -1,0 +1,675 @@
+//! General real eigensolver.
+//!
+//! Eigenvalues are computed by promoting the real matrix to complex,
+//! reducing it to upper Hessenberg form with Householder similarity
+//! transformations, and running the shifted QR iteration (Wilkinson shift,
+//! Givens rotations) to convergence. Right eigenvectors are then recovered by
+//! complex inverse iteration on the *original* matrix, which is cheap and
+//! accurate for the small (order ≤ ~50), diagonalizable matrices produced by
+//! reduced-order modeling.
+//!
+//! This is the kernel behind the pole/residue transformation of the paper
+//! (eqs. 14–20): the poles of `Z(s)` are `1/d_kk` for the eigenvalues `d_kk`
+//! of `T = -G_r⁻¹ C_r`, and the residues need the eigenvector matrix `S` and
+//! its inverse.
+
+use crate::cmatrix::{CLuFactor, CMatrix};
+use crate::complex::Complex;
+use crate::error::NumericError;
+use crate::matrix::Matrix;
+
+/// Full eigendecomposition `A = S D S⁻¹` of a real square matrix.
+///
+/// `values[k]` is the k-th eigenvalue and column `k` of [`vectors`] the
+/// corresponding right eigenvector. Complex eigenvalues appear in conjugate
+/// pairs (the input is real).
+///
+/// [`vectors`]: EigenDecomposition::vectors
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, sorted by descending real part then descending imaginary part.
+    pub values: Vec<Complex>,
+    /// Right eigenvectors; column `k` corresponds to `values[k]`.
+    pub vectors: CMatrix,
+}
+
+impl EigenDecomposition {
+    /// Maximum residual `||A v_k - λ_k v_k||∞` over all eigenpairs, for
+    /// diagnostics and tests.
+    pub fn max_residual(&self, a: &Matrix) -> f64 {
+        let ac = CMatrix::from_real(a);
+        let mut worst = 0.0_f64;
+        for (k, &lam) in self.values.iter().enumerate() {
+            let v = self.vectors.col(k);
+            let av = ac.mul_vec(&v);
+            for (avi, vi) in av.iter().zip(&v) {
+                worst = worst.max((*avi - lam * *vi).abs());
+            }
+        }
+        worst
+    }
+}
+
+/// Maximum QR iterations per eigenvalue before declaring failure.
+const MAX_QR_SWEEPS_PER_EIGENVALUE: usize = 60;
+
+/// Computes all eigenvalues of a real square matrix.
+///
+/// # Errors
+///
+/// Returns [`NumericError::DimensionMismatch`] for non-square input,
+/// [`NumericError::InvalidInput`] for empty or non-finite input, and
+/// [`NumericError::ConvergenceFailure`] if the QR iteration stalls.
+///
+/// # Example
+///
+/// ```
+/// use linvar_numeric::{eigenvalues, Matrix};
+///
+/// # fn main() -> Result<(), linvar_numeric::NumericError> {
+/// // Rotation-like matrix with eigenvalues 1 ± 2i.
+/// let a = Matrix::from_rows(&[&[1.0, -2.0], &[2.0, 1.0]]);
+/// let ev = eigenvalues(&a)?;
+/// assert!((ev[0].im.abs() - 2.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>, NumericError> {
+    check_input(a)?;
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let balanced = balance(a);
+    let mut h = CMatrix::from_real(&balanced);
+    hessenberg_in_place(&mut h);
+    let mut vals = qr_eigenvalues(&mut h)?;
+    sort_eigenvalues(&mut vals);
+    Ok(vals)
+}
+
+/// Computes the full eigendecomposition `A = S D S⁻¹`.
+///
+/// Eigenvectors are obtained by inverse iteration; for clustered eigenvalues
+/// the shifts are perturbed and the vectors orthogonalized within the
+/// cluster, which handles semi-simple multiplicity. Defective (non-
+/// diagonalizable) matrices are outside the scope of this kernel and will
+/// surface as a large [`EigenDecomposition::max_residual`] or a singular `S`.
+///
+/// # Errors
+///
+/// Same conditions as [`eigenvalues`], plus
+/// [`NumericError::ConvergenceFailure`] if inverse iteration cannot produce
+/// an eigenvector with an acceptable residual.
+pub fn eigen_decompose(a: &Matrix) -> Result<EigenDecomposition, NumericError> {
+    check_input(a)?;
+    let n = a.rows();
+    let values = eigenvalues(a)?;
+    let ac = CMatrix::from_real(a);
+    let scale = a.max_abs().max(1e-30);
+    let mut vectors = CMatrix::zeros(n, n);
+
+    // Track how many earlier eigenvalues are (numerically) equal to each one,
+    // so repeated eigenvalues get perturbed shifts and in-cluster
+    // orthogonalization.
+    for k in 0..n {
+        let lam = values[k];
+        let mut cluster: Vec<usize> = Vec::new();
+        for j in 0..k {
+            if (values[j] - lam).abs() <= 1e-8 * scale {
+                cluster.push(j);
+            }
+        }
+        let v = inverse_iteration(&ac, lam, scale, cluster.len(), &vectors, &cluster)?;
+        vectors.set_col(k, &v);
+    }
+    Ok(EigenDecomposition { values, vectors })
+}
+
+fn check_input(a: &Matrix) -> Result<(), NumericError> {
+    if !a.is_square() {
+        return Err(NumericError::DimensionMismatch {
+            expected: "square matrix".into(),
+            found: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    if a.as_slice().iter().any(|x| !x.is_finite()) {
+        return Err(NumericError::InvalidInput(
+            "matrix contains non-finite entries".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Osborne balancing: a diagonal similarity that equalizes row and column
+/// norms, improving eigenvalue accuracy for badly scaled matrices (MNA
+/// matrices mix conductances and capacitances spanning many decades).
+fn balance(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let mut b = a.clone();
+    let radix = 2.0_f64;
+    for _pass in 0..10 {
+        let mut converged = true;
+        for i in 0..n {
+            let mut row_norm = 0.0;
+            let mut col_norm = 0.0;
+            for j in 0..n {
+                if j != i {
+                    row_norm += b[(i, j)].abs();
+                    col_norm += b[(j, i)].abs();
+                }
+            }
+            if row_norm == 0.0 || col_norm == 0.0 {
+                continue;
+            }
+            let mut f = 1.0;
+            let s = row_norm + col_norm;
+            let mut c = col_norm;
+            while c < row_norm / radix {
+                f *= radix;
+                c *= radix * radix;
+            }
+            while c > row_norm * radix {
+                f /= radix;
+                c /= radix * radix;
+            }
+            if (row_norm / f + col_norm * f) < 0.95 * s {
+                converged = false;
+                for j in 0..n {
+                    b[(i, j)] /= f;
+                }
+                for j in 0..n {
+                    b[(j, i)] *= f;
+                }
+            }
+        }
+        if converged {
+            break;
+        }
+    }
+    b
+}
+
+/// In-place reduction to upper Hessenberg form by complex Householder
+/// similarity transformations.
+fn hessenberg_in_place(h: &mut CMatrix) {
+    let n = h.rows();
+    if n < 3 {
+        return;
+    }
+    for k in 0..n - 2 {
+        // Householder vector zeroing h[k+2.., k].
+        let mut x: Vec<Complex> = ((k + 1)..n).map(|i| h[(i, k)]).collect();
+        let xnorm = x.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if xnorm == 0.0 {
+            continue;
+        }
+        // alpha = -e^{i arg(x0)} * ||x||
+        let x0 = x[0];
+        let phase = if x0.abs() == 0.0 {
+            Complex::ONE
+        } else {
+            x0.scale(1.0 / x0.abs())
+        };
+        let alpha = -phase.scale(xnorm);
+        x[0] -= alpha;
+        let vnorm_sqr: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        if vnorm_sqr == 0.0 {
+            continue;
+        }
+        let beta = 2.0 / vnorm_sqr;
+        // Apply P = I - beta v v^H from the left to rows k+1..n.
+        for j in 0..n {
+            let mut dot = Complex::ZERO;
+            for (idx, vi) in x.iter().enumerate() {
+                dot += vi.conj() * h[(k + 1 + idx, j)];
+            }
+            let dot = dot.scale(beta);
+            for (idx, vi) in x.iter().enumerate() {
+                let upd = *vi * dot;
+                h[(k + 1 + idx, j)] -= upd;
+            }
+        }
+        // Apply P from the right to columns k+1..n.
+        for i in 0..n {
+            let mut dot = Complex::ZERO;
+            for (idx, vi) in x.iter().enumerate() {
+                dot += h[(i, k + 1 + idx)] * *vi;
+            }
+            let dot = dot.scale(beta);
+            for (idx, vi) in x.iter().enumerate() {
+                let upd = dot * vi.conj();
+                h[(i, k + 1 + idx)] -= upd;
+            }
+        }
+        // Explicitly zero what should now be zero.
+        for i in (k + 2)..n {
+            h[(i, k)] = Complex::ZERO;
+        }
+    }
+}
+
+/// Shifted QR iteration with Wilkinson shifts on a complex upper Hessenberg
+/// matrix; destroys `h` and returns its eigenvalues.
+fn qr_eigenvalues(h: &mut CMatrix) -> Result<Vec<Complex>, NumericError> {
+    let n = h.rows();
+    let mut vals = vec![Complex::ZERO; n];
+    let mut hi = n; // active block is rows/cols [0, hi)
+    let mut sweeps_for_current = 0usize;
+    let mut total_sweeps = 0usize;
+
+    while hi > 0 {
+        if hi == 1 {
+            vals[0] = h[(0, 0)];
+            break;
+        }
+        // Deflation scan: find the largest lo such that h[lo, lo-1] is negligible.
+        let mut lo = hi - 1;
+        while lo > 0 {
+            let sub = h[(lo, lo - 1)].abs();
+            let diag = h[(lo - 1, lo - 1)].abs() + h[(lo, lo)].abs();
+            if sub <= f64::EPSILON * diag.max(1e-300) {
+                h[(lo, lo - 1)] = Complex::ZERO;
+                break;
+            }
+            lo -= 1;
+        }
+        if lo == hi - 1 {
+            // 1x1 block converged.
+            vals[hi - 1] = h[(hi - 1, hi - 1)];
+            hi -= 1;
+            sweeps_for_current = 0;
+            continue;
+        }
+        if lo == hi - 2 {
+            // Solve the trailing 2x2 block directly.
+            let (l1, l2) = two_by_two_eigenvalues(
+                h[(hi - 2, hi - 2)],
+                h[(hi - 2, hi - 1)],
+                h[(hi - 1, hi - 2)],
+                h[(hi - 1, hi - 1)],
+            );
+            vals[hi - 2] = l1;
+            vals[hi - 1] = l2;
+            hi -= 2;
+            sweeps_for_current = 0;
+            continue;
+        }
+
+        // Wilkinson shift from the trailing 2x2 of the active block.
+        let (l1, l2) = two_by_two_eigenvalues(
+            h[(hi - 2, hi - 2)],
+            h[(hi - 2, hi - 1)],
+            h[(hi - 1, hi - 2)],
+            h[(hi - 1, hi - 1)],
+        );
+        let target = h[(hi - 1, hi - 1)];
+        let mut mu = if (l1 - target).abs() <= (l2 - target).abs() {
+            l1
+        } else {
+            l2
+        };
+        // Occasional exceptional shift to break symmetry-induced cycles.
+        if sweeps_for_current > 0 && sweeps_for_current.is_multiple_of(12) {
+            mu += Complex::new(h[(hi - 1, hi - 2)].abs(), 0.0);
+        }
+
+        qr_sweep(h, lo, hi, mu);
+        sweeps_for_current += 1;
+        total_sweeps += 1;
+        if sweeps_for_current > MAX_QR_SWEEPS_PER_EIGENVALUE {
+            return Err(NumericError::ConvergenceFailure {
+                algorithm: "shifted-qr",
+                iterations: total_sweeps,
+            });
+        }
+    }
+    Ok(vals)
+}
+
+/// Eigenvalues of the complex 2x2 matrix [[a, b], [c, d]].
+fn two_by_two_eigenvalues(a: Complex, b: Complex, c: Complex, d: Complex) -> (Complex, Complex) {
+    let tr = a + d;
+    let half_tr = tr.scale(0.5);
+    let det = a * d - b * c;
+    let disc = (half_tr * half_tr - det).sqrt();
+    (half_tr + disc, half_tr - disc)
+}
+
+/// One implicit-shift QR sweep (explicit formulation: factor `H - µI = QR`
+/// with Givens rotations, then form `RQ + µI`) on the active block `[lo, hi)`.
+fn qr_sweep(h: &mut CMatrix, lo: usize, hi: usize, mu: Complex) {
+    let m = hi - lo;
+    if m < 2 {
+        return;
+    }
+    // Shift the diagonal of the active block.
+    for i in lo..hi {
+        h[(i, i)] -= mu;
+    }
+    // Left-apply Givens rotations to annihilate the subdiagonal.
+    let mut rot: Vec<(Complex, Complex)> = Vec::with_capacity(m - 1);
+    for k in lo..hi - 1 {
+        let a = h[(k, k)];
+        let b = h[(k + 1, k)];
+        let r = (a.norm_sqr() + b.norm_sqr()).sqrt();
+        let (c, s) = if r == 0.0 {
+            (Complex::ONE, Complex::ZERO)
+        } else {
+            (a.conj().scale(1.0 / r), b.conj().scale(1.0 / r))
+        };
+        rot.push((c, s));
+        // Rows k, k+1 of the whole matrix width (only columns >= k matter
+        // inside the block; applying across the full width keeps the
+        // similarity consistent for the deflated parts).
+        for j in k..hi {
+            let t1 = h[(k, j)];
+            let t2 = h[(k + 1, j)];
+            h[(k, j)] = c * t1 + s * t2;
+            h[(k + 1, j)] = -s.conj() * t1 + c.conj() * t2;
+        }
+    }
+    // Right-apply the conjugate transposes: columns k, k+1.
+    for (idx, &(c, s)) in rot.iter().enumerate() {
+        let k = lo + idx;
+        let top = if k + 2 <= hi { (k + 2).min(hi) } else { hi };
+        for i in lo..top {
+            let t1 = h[(i, k)];
+            let t2 = h[(i, k + 1)];
+            h[(i, k)] = t1 * c.conj() + t2 * s.conj();
+            h[(i, k + 1)] = t1 * (-s) + t2 * c;
+        }
+    }
+    // Un-shift the diagonal.
+    for i in lo..hi {
+        h[(i, i)] += mu;
+    }
+}
+
+/// Inverse iteration for the eigenvector of `a` at eigenvalue `lam`.
+///
+/// `cluster_index` selects a deterministic perturbation/start vector for
+/// repeated eigenvalues; previously found vectors of the same cluster (given
+/// by `cluster` column indices into `found`) are projected out.
+fn inverse_iteration(
+    a: &CMatrix,
+    lam: Complex,
+    scale: f64,
+    cluster_index: usize,
+    found: &CMatrix,
+    cluster: &[usize],
+) -> Result<Vec<Complex>, NumericError> {
+    let n = a.rows();
+    if n == 1 {
+        return Ok(vec![Complex::ONE]);
+    }
+    let mut best: Option<(f64, Vec<Complex>)> = None;
+    // Escalating shift perturbations: the factorization of (A - λI) may be
+    // exactly singular; a tiny complex offset fixes that without moving the
+    // dominant eigendirection.
+    for attempt in 0..6 {
+        let eps = 1e-11 * scale * (1.0 + cluster_index as f64) * 10f64.powi(attempt);
+        let shift = lam + Complex::new(eps, eps * 0.5);
+        let mut m = a.clone();
+        for i in 0..n {
+            m[(i, i)] -= shift;
+        }
+        let lu = match CLuFactor::new(&m) {
+            Ok(lu) => lu,
+            Err(_) => continue,
+        };
+        // Deterministic pseudo-random start vector, varied per cluster index.
+        let mut v: Vec<Complex> = (0..n)
+            .map(|i| {
+                let t = (i as f64 + 1.0) * 0.7390851332151607 + cluster_index as f64 * 1.234567;
+                Complex::new(t.sin(), t.cos() * 0.5)
+            })
+            .collect();
+        normalize(&mut v);
+        let mut ok = true;
+        for _ in 0..3 {
+            v = match lu.solve(&v) {
+                Ok(x) => x,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            };
+            // Project out already-found vectors of the same cluster.
+            for &j in cluster {
+                let q = found.col(j);
+                let mut proj = Complex::ZERO;
+                for (qi, vi) in q.iter().zip(&v) {
+                    proj += qi.conj() * *vi;
+                }
+                for (vi, qi) in v.iter_mut().zip(&q) {
+                    *vi -= proj * *qi;
+                }
+            }
+            if v.iter().any(|z| !z.is_finite()) {
+                ok = false;
+                break;
+            }
+            normalize(&mut v);
+        }
+        if !ok {
+            continue;
+        }
+        // Residual check against the *unperturbed* eigenvalue.
+        let av = a.mul_vec(&v);
+        let mut res = 0.0_f64;
+        for (avi, vi) in av.iter().zip(&v) {
+            res = res.max((*avi - lam * *vi).abs());
+        }
+        let rel = res / scale;
+        if best.as_ref().is_none_or(|(b, _)| rel < *b) {
+            best = Some((rel, v));
+        }
+        if best.as_ref().is_some_and(|(b, _)| *b < 1e-8) {
+            break;
+        }
+    }
+    match best {
+        Some((rel, v)) if rel < 1e-4 => Ok(v),
+        _ => Err(NumericError::ConvergenceFailure {
+            algorithm: "inverse-iteration",
+            iterations: 6,
+        }),
+    }
+}
+
+fn normalize(v: &mut [Complex]) {
+    let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        // Also fix the phase so that the largest component is real-positive;
+        // this makes conjugate pairs come out as conjugate vectors.
+        let mut max_idx = 0;
+        let mut max_abs = 0.0;
+        for (i, z) in v.iter().enumerate() {
+            if z.abs() > max_abs {
+                max_abs = z.abs();
+                max_idx = i;
+            }
+        }
+        let phase = if max_abs > 0.0 {
+            v[max_idx].scale(1.0 / max_abs)
+        } else {
+            Complex::ONE
+        };
+        let fix = phase.conj().scale(1.0 / norm);
+        for z in v.iter_mut() {
+            *z *= fix;
+        }
+    }
+}
+
+/// Sorts by descending real part, ties broken by descending imaginary part.
+fn sort_eigenvalues(vals: &mut [Complex]) {
+    vals.sort_by(|a, b| {
+        b.re.partial_cmp(&a.re)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.im.partial_cmp(&a.im).unwrap_or(std::cmp::Ordering::Equal))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_contains_eigenvalue(vals: &[Complex], target: Complex, tol: f64) {
+        assert!(
+            vals.iter().any(|v| (*v - target).abs() < tol),
+            "eigenvalue {target} not found in {vals:?}"
+        );
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_diagonal(&[3.0, -1.0, 0.5]);
+        let ev = eigenvalues(&a).unwrap();
+        assert_contains_eigenvalue(&ev, Complex::from_real(3.0), 1e-10);
+        assert_contains_eigenvalue(&ev, Complex::from_real(-1.0), 1e-10);
+        assert_contains_eigenvalue(&ev, Complex::from_real(0.5), 1e-10);
+    }
+
+    #[test]
+    fn symmetric_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let ev = eigenvalues(&a).unwrap();
+        assert_contains_eigenvalue(&ev, Complex::from_real(3.0), 1e-10);
+        assert_contains_eigenvalue(&ev, Complex::from_real(1.0), 1e-10);
+    }
+
+    #[test]
+    fn complex_pair() {
+        // [[0, -1], [1, 0]] has eigenvalues ±i.
+        let a = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]);
+        let ev = eigenvalues(&a).unwrap();
+        assert_contains_eigenvalue(&ev, Complex::new(0.0, 1.0), 1e-10);
+        assert_contains_eigenvalue(&ev, Complex::new(0.0, -1.0), 1e-10);
+    }
+
+    #[test]
+    fn known_3x3_with_complex_eigenvalues() {
+        // Companion matrix of λ³ - 6λ² + 11λ - 6 = (λ-1)(λ-2)(λ-3).
+        let a = Matrix::from_rows(&[
+            &[6.0, -11.0, 6.0],
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+        ]);
+        let ev = eigenvalues(&a).unwrap();
+        for target in [1.0, 2.0, 3.0] {
+            assert_contains_eigenvalue(&ev, Complex::from_real(target), 1e-8);
+        }
+    }
+
+    #[test]
+    fn eigen_decomposition_residual_small() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.2],
+            &[0.5, 3.0, -0.3],
+            &[0.1, 0.2, 1.0],
+        ]);
+        let dec = eigen_decompose(&a).unwrap();
+        assert!(dec.max_residual(&a) < 1e-8 * a.max_abs());
+    }
+
+    #[test]
+    fn eigen_decomposition_with_complex_pair_residual() {
+        let a = Matrix::from_rows(&[
+            &[1.0, -5.0, 0.0],
+            &[5.0, 1.0, 0.0],
+            &[0.0, 0.0, -2.0],
+        ]);
+        let dec = eigen_decompose(&a).unwrap();
+        assert!(dec.max_residual(&a) < 1e-8 * a.max_abs());
+        let n_complex = dec.values.iter().filter(|v| v.im.abs() > 1e-6).count();
+        assert_eq!(n_complex, 2);
+    }
+
+    #[test]
+    fn repeated_eigenvalue_semi_simple() {
+        // Identity scaled: eigenvalue 2 with multiplicity 3, diagonalizable.
+        let a = &Matrix::identity(3) * 2.0;
+        let dec = eigen_decompose(&a).unwrap();
+        for v in &dec.values {
+            assert!((v.re - 2.0).abs() < 1e-10 && v.im.abs() < 1e-10);
+        }
+        // The eigenvector matrix must be invertible (vectors independent).
+        assert!(CLuFactor::new(&dec.vectors).is_ok());
+    }
+
+    #[test]
+    fn rc_like_matrix_has_real_negative_eigenvalues() {
+        // -G⁻¹C style matrix for a 3-node RC ladder: eigenvalues must be
+        // real and negative (passive RC system poles are on the negative
+        // real axis). Construct T = -G⁻¹C directly.
+        let g = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 2.0],
+        ]);
+        let c = Matrix::from_diagonal(&[1e-12, 2e-12, 1e-12]);
+        let ginv = crate::lu::LuFactor::new(&g).unwrap().inverse().unwrap();
+        let t = -&ginv.mul_mat(&c);
+        let ev = eigenvalues(&t).unwrap();
+        for v in &ev {
+            assert!(v.re < 0.0, "RC eigenvalue should be negative: {v}");
+            assert!(v.im.abs() < 1e-20 + 1e-8 * v.re.abs(), "should be real: {v}");
+        }
+    }
+
+    #[test]
+    fn badly_scaled_matrix_is_balanced() {
+        // Entries spanning 12 decades; balancing keeps accuracy.
+        let a = Matrix::from_rows(&[
+            &[1.0, 1e-9],
+            &[1e9, 2.0],
+        ]);
+        let ev = eigenvalues(&a).unwrap();
+        // Characteristic poly: λ² - 3λ + (2 - 1) = 0 → λ = (3 ± √5)/2.
+        let s5 = 5.0_f64.sqrt();
+        assert_contains_eigenvalue(&ev, Complex::from_real((3.0 + s5) / 2.0), 1e-6);
+        assert_contains_eigenvalue(&ev, Complex::from_real((3.0 - s5) / 2.0), 1e-6);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(eigenvalues(&Matrix::zeros(0, 0)).unwrap().is_empty());
+        let ev = eigenvalues(&Matrix::from_rows(&[&[7.0]])).unwrap();
+        assert_eq!(ev.len(), 1);
+        assert!((ev[0].re - 7.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(eigenvalues(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::NAN;
+        assert!(eigenvalues(&a).is_err());
+    }
+
+    #[test]
+    fn larger_random_matrix_residual() {
+        let n = 12;
+        let mut state = 99_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a = Matrix::from_fn(n, n, |_, _| next());
+        let dec = eigen_decompose(&a).unwrap();
+        assert!(
+            dec.max_residual(&a) < 1e-7 * a.max_abs().max(1.0),
+            "residual {}",
+            dec.max_residual(&a)
+        );
+        // Real matrix ⇒ complex eigenvalues in conjugate pairs.
+        let sum_im: f64 = dec.values.iter().map(|v| v.im).sum();
+        assert!(sum_im.abs() < 1e-8);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type shared by all numerical kernels.
+
+use std::fmt;
+
+/// Error produced by the dense linear-algebra kernels.
+///
+/// Every fallible public function in [`crate`] returns this type so that
+/// callers can propagate failures with `?` and report a meaningful message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NumericError {
+    /// A factorization encountered a pivot below the singularity threshold.
+    SingularMatrix {
+        /// Index of the pivot (row/column) where the factorization broke down.
+        pivot: usize,
+    },
+    /// The operands of a matrix/vector operation have incompatible shapes.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape that was provided.
+        found: String,
+    },
+    /// An iterative algorithm failed to converge within its iteration budget.
+    ConvergenceFailure {
+        /// Name of the algorithm that failed (e.g. `"francis-qr"`).
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input violates a documented precondition (e.g. an empty matrix).
+    InvalidInput(String),
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular to working precision (pivot {pivot})")
+            }
+            NumericError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            NumericError::ConvergenceFailure {
+                algorithm,
+                iterations,
+            } => write!(
+                f,
+                "{algorithm} failed to converge after {iterations} iterations"
+            ),
+            NumericError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NumericError::SingularMatrix { pivot: 3 };
+        assert!(e.to_string().contains("singular"));
+        assert!(e.to_string().contains('3'));
+
+        let e = NumericError::DimensionMismatch {
+            expected: "3x3".into(),
+            found: "2x3".into(),
+        };
+        assert!(e.to_string().contains("3x3"));
+
+        let e = NumericError::ConvergenceFailure {
+            algorithm: "francis-qr",
+            iterations: 30,
+        };
+        assert!(e.to_string().contains("francis-qr"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! Dense numerical linear algebra kernel for the `linvar` workspace.
+//!
+//! The linear-centric simulation framework needs a small but complete set of
+//! dense kernels: real/complex LU factorization, Householder QR and modified
+//! Gram-Schmidt (for the block-Arnoldi PRIMA iteration), a general real
+//! eigensolver (Hessenberg reduction + Francis double-shift QR +
+//! inverse-iteration eigenvectors, used for pole/residue extraction), and a
+//! symmetric Jacobi eigensolver (used by PACT and by PCA).
+//!
+//! All matrices in this workspace are *small and dense* — reduced-order model
+//! matrices of order 4–40, and MNA systems of at most a few thousand unknowns
+//! for the SPICE baseline — so a straightforward, well-tested dense
+//! implementation is the right tool; no sparse machinery is required.
+//!
+//! # Example
+//!
+//! ```
+//! use linvar_numeric::{Matrix, LuFactor};
+//!
+//! # fn main() -> Result<(), linvar_numeric::NumericError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let lu = LuFactor::new(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+// Dense matrix kernels index rows/columns explicitly; iterator
+// adaptors would obscure the classic algorithm shapes.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cmatrix;
+pub mod complex;
+pub mod eigen;
+pub mod error;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod sym_eigen;
+pub mod vector;
+
+pub use cmatrix::{CLuFactor, CMatrix};
+pub use complex::Complex;
+pub use eigen::{eigen_decompose, eigenvalues, EigenDecomposition};
+pub use error::NumericError;
+pub use lu::LuFactor;
+pub use matrix::Matrix;
+pub use qr::{gram_schmidt_orthonormalize, householder_qr, QrFactor};
+pub use sym_eigen::{cholesky, generalized_sym_eigen, jacobi_eigen, SymEigen};

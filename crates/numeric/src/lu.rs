@@ -1,0 +1,258 @@
+//! LU factorization with partial pivoting for real matrices.
+
+use crate::error::NumericError;
+use crate::matrix::Matrix;
+
+/// LU factorization with partial (row) pivoting: `P * A = L * U`.
+///
+/// The factorization is computed once and can then solve many right-hand
+/// sides — the access pattern of both the MNA transient simulators (one
+/// factorization per Newton iteration) and the block-Arnoldi PRIMA iteration
+/// (one factorization of `G`, many solves).
+///
+/// # Example
+///
+/// ```
+/// use linvar_numeric::{LuFactor, Matrix};
+///
+/// # fn main() -> Result<(), linvar_numeric::NumericError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let lu = LuFactor::new(&a)?;
+/// let x = lu.solve(&[3.0, 4.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: row `i` of the factored matrix is row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinant computation.
+    perm_sign: f64,
+}
+
+/// Relative pivot threshold below which the matrix is declared singular.
+const PIVOT_TOL: f64 = 1e-300;
+
+impl LuFactor {
+    /// Factors the square matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `a` is not square and
+    /// [`NumericError::SingularMatrix`] if a pivot underflows.
+    pub fn new(a: &Matrix) -> Result<Self, NumericError> {
+        if !a.is_square() {
+            return Err(NumericError::DimensionMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: find the largest magnitude entry in column k.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < PIVOT_TOL || !pmax.is_finite() {
+                return Err(NumericError::SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        let ukj = lu[(k, j)];
+                        lu[(i, j)] -= m * ukj;
+                    }
+                }
+            }
+        }
+        Ok(LuFactor { lu, perm, perm_sign })
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len()` differs from
+    /// the matrix order.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        // Apply permutation and forward-substitute L y = P b.
+        let mut x: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back-substitute U x = y.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` for a matrix right-hand side, column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.rows()` differs from
+    /// the matrix order.
+    pub fn solve_mat(&self, b: &Matrix) -> Result<Matrix, NumericError> {
+        let n = self.order();
+        if b.rows() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("{n} rows"),
+                found: format!("{} rows", b.rows()),
+            });
+        }
+        let mut x = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve(&b.col(j))?;
+            x.set_col(j, &col);
+        }
+        Ok(x)
+    }
+
+    /// Computes the inverse matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (which cannot occur for a successfully
+    /// constructed factorization of the right shape).
+    pub fn inverse(&self) -> Result<Matrix, NumericError> {
+        self.solve_mat(&Matrix::identity(self.order()))
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.order() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{norm2, sub};
+
+    #[test]
+    fn solve_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = LuFactor::new(&a).unwrap();
+        let x = lu.solve(&[3.0, 4.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-14);
+        assert!((x[1] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = LuFactor::new(&a).unwrap();
+        let x = lu.solve(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn residual_is_small_for_random_system() {
+        // Fixed pseudo-random matrix (LCG) so the test is deterministic.
+        let n = 20;
+        let mut state = 12345_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a = Matrix::from_fn(n, n, |i, j| next() + if i == j { 4.0 } else { 0.0 });
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let lu = LuFactor::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = sub(&a.mul_vec(&x), &b);
+        assert!(norm2(&r) < 1e-10 * norm2(&b).max(1.0));
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            LuFactor::new(&a),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuFactor::new(&a),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_matches_known_value() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let lu = LuFactor::new(&a).unwrap();
+        assert!((lu.determinant() + 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let inv = LuFactor::new(&a).unwrap().inverse().unwrap();
+        let prod = a.mul_mat(&inv);
+        let err = (&prod - &Matrix::identity(3)).max_abs();
+        assert!(err < 1e-13);
+    }
+
+    #[test]
+    fn rhs_length_mismatch() {
+        let a = Matrix::identity(3);
+        let lu = LuFactor::new(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! QR factorization (Householder) and modified Gram-Schmidt orthonormalization.
+//!
+//! The block-Arnoldi iteration in PRIMA orthonormalizes each new block of
+//! Krylov vectors against the accumulated basis; modified Gram-Schmidt with
+//! re-orthogonalization is the standard, numerically adequate choice for the
+//! small bases used here. Householder QR is provided for least-squares
+//! problems (waveform fitting) and as a cross-check.
+
+use crate::error::NumericError;
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Householder QR factorization `A = Q R` of an `m x n` matrix with `m >= n`.
+///
+/// # Example
+///
+/// ```
+/// use linvar_numeric::{householder_qr, Matrix};
+///
+/// # fn main() -> Result<(), linvar_numeric::NumericError> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+/// let qr = householder_qr(&a)?;
+/// // Least-squares fit of y = c0 + c1*x through (0,1), (1,2), (2,3).
+/// let c = qr.solve_least_squares(&[1.0, 2.0, 3.0])?;
+/// assert!((c[0] - 1.0).abs() < 1e-12 && (c[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrFactor {
+    /// Thin Q factor, `m x n` with orthonormal columns.
+    q: Matrix,
+    /// Upper-triangular R factor, `n x n`.
+    r: Matrix,
+}
+
+/// Computes the thin Householder QR factorization of `a`.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] if `a` has more columns than rows
+/// or is empty.
+pub fn householder_qr(a: &Matrix) -> Result<QrFactor, NumericError> {
+    let (m, n) = (a.rows(), a.cols());
+    if m == 0 || n == 0 {
+        return Err(NumericError::InvalidInput("empty matrix".into()));
+    }
+    if m < n {
+        return Err(NumericError::InvalidInput(format!(
+            "householder qr requires rows >= cols, got {m}x{n}"
+        )));
+    }
+    let mut r = a.clone();
+    // Store Householder vectors to accumulate Q afterwards.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for k in 0..n {
+        // Build the Householder vector for column k below the diagonal.
+        let mut v: Vec<f64> = (k..m).map(|i| r[(i, k)]).collect();
+        let alpha = -v[0].signum() * vector::norm2(&v);
+        if alpha == 0.0 {
+            vs.push(vec![0.0; m - k]);
+            continue;
+        }
+        v[0] -= alpha;
+        let vnorm = vector::norm2(&v);
+        if vnorm > 0.0 {
+            vector::scale(1.0 / vnorm, &mut v);
+        }
+        // Apply H = I - 2 v vᵀ to the trailing submatrix of R.
+        for j in k..n {
+            let mut dot = 0.0;
+            for (idx, vi) in v.iter().enumerate() {
+                dot += vi * r[(k + idx, j)];
+            }
+            for (idx, vi) in v.iter().enumerate() {
+                r[(k + idx, j)] -= 2.0 * vi * dot;
+            }
+        }
+        vs.push(v);
+    }
+    // Accumulate thin Q by applying the reflectors to the first n identity columns.
+    let mut q = Matrix::zeros(m, n);
+    for j in 0..n {
+        let mut e = vec![0.0; m];
+        e[j] = 1.0;
+        for k in (0..n).rev() {
+            let v = &vs[k];
+            if v.iter().all(|&x| x == 0.0) {
+                continue;
+            }
+            let mut dot = 0.0;
+            for (idx, vi) in v.iter().enumerate() {
+                dot += vi * e[k + idx];
+            }
+            for (idx, vi) in v.iter().enumerate() {
+                e[k + idx] -= 2.0 * vi * dot;
+            }
+        }
+        q.set_col(j, &e);
+    }
+    // Zero the strictly-lower part of R (numerical noise) and truncate.
+    let r = r.submatrix(0, n, 0, n);
+    let mut r_clean = r.clone();
+    for i in 0..n {
+        for j in 0..i {
+            r_clean[(i, j)] = 0.0;
+        }
+    }
+    Ok(QrFactor { q, r: r_clean })
+}
+
+impl QrFactor {
+    /// The thin orthonormal factor `Q` (`m x n`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor `R` (`n x n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Solves the least-squares problem `min ||A x - b||` via `R x = Qᵀ b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len()` differs from
+    /// the row count, or [`NumericError::SingularMatrix`] if `R` is
+    /// rank-deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+        let (m, n) = (self.q.rows(), self.q.cols());
+        if b.len() != m {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("vector of length {m}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        let qtb = self.q.mul_vec_transposed(b);
+        let mut x = qtb;
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.r[(i, j)] * x[j];
+            }
+            let d = self.r[(i, i)];
+            if d.abs() < 1e-300 {
+                return Err(NumericError::SingularMatrix { pivot: i });
+            }
+            x[i] = acc / d;
+        }
+        x.truncate(n);
+        Ok(x)
+    }
+}
+
+/// Orthonormalizes the columns of `basis ++ candidates` incrementally.
+///
+/// Given an existing orthonormal basis (possibly empty) and a set of new
+/// candidate columns, performs modified Gram-Schmidt with one
+/// re-orthogonalization pass and appends each candidate whose remaining
+/// component exceeds `drop_tol` (relative to its original norm). Candidates
+/// that are (numerically) linearly dependent on the basis are dropped — this
+/// is exactly the deflation step of the block-Arnoldi PRIMA iteration.
+///
+/// Returns the number of columns that were actually appended.
+pub fn gram_schmidt_orthonormalize(
+    basis: &mut Vec<Vec<f64>>,
+    candidates: &[Vec<f64>],
+    drop_tol: f64,
+) -> usize {
+    let mut appended = 0;
+    for cand in candidates {
+        let mut v = cand.clone();
+        let orig_norm = vector::norm2(&v);
+        if orig_norm == 0.0 {
+            continue;
+        }
+        // Two MGS passes for numerical robustness.
+        for _ in 0..2 {
+            for q in basis.iter() {
+                let proj = vector::dot(q, &v);
+                vector::axpy(-proj, q, &mut v);
+            }
+        }
+        // Scale-invariant deflation test: compare the remaining component
+        // to the candidate's own norm (RC Krylov vectors can have norms of
+        // 1e-12 or smaller, so an absolute floor would drop everything).
+        let rem = vector::norm2(&v);
+        if rem > drop_tol * orig_norm {
+            vector::scale(1.0 / rem, &mut v);
+            basis.push(v);
+            appended += 1;
+        }
+    }
+    appended
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+        ]);
+        let qr = householder_qr(&a).unwrap();
+        let rec = qr.q().mul_mat(qr.r());
+        assert!((&rec - &a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 1.0, 0.0],
+            &[0.0, 1.0, 1.0],
+            &[1.0, 0.0, 1.0],
+            &[1.0, 1.0, 1.0],
+        ]);
+        let qr = householder_qr(&a).unwrap();
+        let qtq = qr.q().transpose().mul_mat(qr.q());
+        assert!((&qtq - &Matrix::identity(3)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[&[2.0, -1.0], &[1.0, 3.0], &[0.0, 1.0]]);
+        let qr = householder_qr(&a).unwrap();
+        assert_eq!(qr.r()[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn least_squares_line_fit() {
+        // Fit y = 2 + 3x through noiseless points.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let a = Matrix::from_fn(4, 2, |i, j| if j == 0 { 1.0 } else { xs[i] });
+        let b: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x).collect();
+        let c = householder_qr(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-12);
+        assert!((c[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_matrix_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(householder_qr(&a).is_err());
+    }
+
+    #[test]
+    fn mgs_builds_orthonormal_basis() {
+        let mut basis: Vec<Vec<f64>> = Vec::new();
+        let candidates = vec![
+            vec![1.0, 1.0, 0.0],
+            vec![1.0, 0.0, 1.0],
+            vec![2.0, 1.0, 1.0], // dependent on the first two
+        ];
+        let added = gram_schmidt_orthonormalize(&mut basis, &candidates, 1e-10);
+        assert_eq!(added, 2);
+        assert_eq!(basis.len(), 2);
+        assert!((vector::norm2(&basis[0]) - 1.0).abs() < 1e-14);
+        assert!(vector::dot(&basis[0], &basis[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mgs_drops_zero_candidate() {
+        let mut basis: Vec<Vec<f64>> = vec![vec![1.0, 0.0]];
+        let added = gram_schmidt_orthonormalize(&mut basis, &[vec![0.0, 0.0]], 1e-10);
+        assert_eq!(added, 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Symmetric eigensolver (cyclic Jacobi rotation method).
+//!
+//! Used for two jobs: the internal-block eigenanalysis of PACT (the pencil
+//! `(G_ii, C_ii)` of a reciprocal RC network is symmetric) and Principal
+//! Component Analysis of parameter covariance matrices.
+
+use crate::error::NumericError;
+use crate::matrix::Matrix;
+
+/// Eigendecomposition `A = V Λ Vᵀ` of a real symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `k` corresponds to `values[k]`.
+    pub vectors: Matrix,
+}
+
+/// Computes all eigenvalues and eigenvectors of a symmetric matrix by the
+/// cyclic Jacobi method.
+///
+/// The Jacobi method is unconditionally stable for symmetric input and
+/// delivers small relative errors for the well-conditioned covariance and
+/// RC-pencil matrices used in this workspace.
+///
+/// # Errors
+///
+/// Returns [`NumericError::DimensionMismatch`] if `a` is not square,
+/// [`NumericError::InvalidInput`] if `a` is not symmetric (within a scaled
+/// tolerance) or non-finite, and [`NumericError::ConvergenceFailure`] if the
+/// off-diagonal norm fails to vanish.
+///
+/// # Example
+///
+/// ```
+/// use linvar_numeric::{jacobi_eigen, Matrix};
+///
+/// # fn main() -> Result<(), linvar_numeric::NumericError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let eig = jacobi_eigen(&a)?;
+/// assert!((eig.values[0] - 3.0).abs() < 1e-12);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn jacobi_eigen(a: &Matrix) -> Result<SymEigen, NumericError> {
+    if !a.is_square() {
+        return Err(NumericError::DimensionMismatch {
+            expected: "square matrix".into(),
+            found: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    if a.as_slice().iter().any(|x| !x.is_finite()) {
+        return Err(NumericError::InvalidInput(
+            "matrix contains non-finite entries".into(),
+        ));
+    }
+    let scale = a.max_abs().max(1e-300);
+    if !a.is_symmetric(1e-10 * scale) {
+        return Err(NumericError::InvalidInput(
+            "matrix is not symmetric".into(),
+        ));
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    const MAX_SWEEPS: usize = 100;
+
+    for sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0_f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= 1e-14 * scale {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&x, &y| {
+                m[(y, y)]
+                    .partial_cmp(&m[(x, x)])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let values: Vec<f64> = idx.iter().map(|&i| m[(i, i)]).collect();
+            let mut vectors = Matrix::zeros(n, n);
+            for (col, &i) in idx.iter().enumerate() {
+                vectors.set_col(col, &v.col(i));
+            }
+            return Ok(SymEigen { values, vectors });
+        }
+        let _ = sweep;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation J(p, q, θ) on both sides.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(NumericError::ConvergenceFailure {
+        algorithm: "jacobi",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Solves the symmetric-definite generalized eigenproblem `A x = λ B x`
+/// with `B` symmetric positive definite, via the Cholesky reduction
+/// `B = L Lᵀ`, `C = L⁻¹ A L⁻ᵀ`, `C y = λ y`, `x = L⁻ᵀ y`.
+///
+/// This is the eigenanalysis PACT performs on the internal pencil.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] if `B` is not positive definite,
+/// plus all [`jacobi_eigen`] error conditions for the reduced problem.
+pub fn generalized_sym_eigen(a: &Matrix, b: &Matrix) -> Result<SymEigen, NumericError> {
+    let n = a.rows();
+    if b.rows() != n || b.cols() != n || a.cols() != n {
+        return Err(NumericError::DimensionMismatch {
+            expected: format!("two {n}x{n} matrices"),
+            found: format!("{}x{} and {}x{}", a.rows(), a.cols(), b.rows(), b.cols()),
+        });
+    }
+    let l = cholesky(b)?;
+    // C = L⁻¹ A L⁻ᵀ computed with two triangular solves.
+    // First: W = L⁻¹ A (solve L W = A column by column).
+    let mut w = Matrix::zeros(n, n);
+    for j in 0..n {
+        let col = forward_solve(&l, &a.col(j));
+        w.set_col(j, &col);
+    }
+    // Then: C = W L⁻ᵀ ⇔ Cᵀ = L⁻¹ Wᵀ.
+    let wt = w.transpose();
+    let mut ct = Matrix::zeros(n, n);
+    for j in 0..n {
+        let col = forward_solve(&l, &wt.col(j));
+        ct.set_col(j, &col);
+    }
+    let mut c = ct.transpose();
+    // Symmetrize tiny asymmetry from rounding.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let avg = 0.5 * (c[(i, j)] + c[(j, i)]);
+            c[(i, j)] = avg;
+            c[(j, i)] = avg;
+        }
+    }
+    let eig = jacobi_eigen(&c)?;
+    // Back-transform eigenvectors: x = L⁻ᵀ y.
+    let mut vectors = Matrix::zeros(n, n);
+    for k in 0..n {
+        let y = eig.vectors.col(k);
+        let x = backward_solve_transposed(&l, &y);
+        vectors.set_col(k, &x);
+    }
+    Ok(SymEigen {
+        values: eig.values,
+        vectors,
+    })
+}
+
+/// Cholesky factorization `A = L Lᵀ` (lower triangular).
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] if `a` is not positive definite.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, NumericError> {
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(NumericError::InvalidInput(format!(
+                        "matrix is not positive definite (pivot {i})"
+                    )));
+                }
+                l[(i, i)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L x = b` for lower-triangular `L`.
+fn forward_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let mut acc = x[i];
+        for j in 0..i {
+            acc -= l[(i, j)] * x[j];
+        }
+        x[i] = acc / l[(i, i)];
+    }
+    x
+}
+
+/// Solves `Lᵀ x = b` for lower-triangular `L`.
+fn backward_solve_transposed(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let mut acc = x[i];
+        for j in (i + 1)..n {
+            acc -= l[(j, i)] * x[j];
+        }
+        x[i] = acc / l[(i, i)];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_2x2_known() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let eig = jacobi_eigen(&a).unwrap();
+        assert!((eig.values[0] - 3.0).abs() < 1e-12);
+        assert!((eig.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vectors_are_orthonormal_and_satisfy_equation() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, 0.25],
+            &[0.5, 0.25, 2.0],
+        ]);
+        let eig = jacobi_eigen(&a).unwrap();
+        let vtv = eig.vectors.transpose().mul_mat(&eig.vectors);
+        assert!((&vtv - &Matrix::identity(3)).max_abs() < 1e-12);
+        for k in 0..3 {
+            let v = eig.vectors.col(k);
+            let av = a.mul_vec(&v);
+            for i in 0..3 {
+                assert!((av[i] - eig.values[k] * v[i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn values_sorted_descending() {
+        let a = Matrix::from_diagonal(&[1.0, 5.0, 3.0]);
+        let eig = jacobi_eigen(&a).unwrap();
+        assert_eq!(eig.values, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn asymmetric_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(jacobi_eigen(&a).is_err());
+    }
+
+    #[test]
+    fn cholesky_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let l = cholesky(&a).unwrap();
+        let rec = l.mul_mat(&l.transpose());
+        assert!((&rec - &a).max_abs() < 1e-13);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn generalized_problem_rc_pencil() {
+        // G x = λ C x with G the ladder conductance and C capacitances:
+        // eigenvalues are positive (RC time constants are 1/λ).
+        let g = Matrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]);
+        let c = Matrix::from_diagonal(&[1.0, 2.0]);
+        let eig = generalized_sym_eigen(&g, &c).unwrap();
+        assert_eq!(eig.values.len(), 2);
+        for (k, &lam) in eig.values.iter().enumerate() {
+            assert!(lam > 0.0);
+            // Verify G v = λ C v.
+            let v = eig.vectors.col(k);
+            let gv = g.mul_vec(&v);
+            let cv = c.mul_vec(&v);
+            for i in 0..2 {
+                assert!((gv[i] - lam * cv[i]).abs() < 1e-10, "pair {k} fails");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_eigen() {
+        let eig = jacobi_eigen(&Matrix::identity(4)).unwrap();
+        assert!(eig.values.iter().all(|&v| (v - 1.0).abs() < 1e-14));
+    }
+}

@@ -1,0 +1,123 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! Plain `Vec<f64>`/`&[f64]` are used throughout the workspace for node
+//! voltage vectors, right-hand sides and waveform samples; this module
+//! provides the handful of BLAS-1 style helpers those call sites need.
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Maximum absolute entry (L∞ norm). Returns 0 for an empty slice.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+}
+
+/// `y += alpha * x` in place.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales `x` in place by `alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise difference `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise sum `a + b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Sample standard deviation (unbiased, divides by `n - 1`).
+///
+/// Returns 0 for slices with fewer than two elements.
+pub fn std_dev(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    let ss: f64 = a.iter().map(|x| (x - m) * (x - m)).sum();
+    (ss / (a.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn elementwise() {
+        assert_eq!(sub(&[3.0, 2.0], &[1.0, 1.0]), vec![2.0, 1.0]);
+        assert_eq!(add(&[3.0, 2.0], &[1.0, 1.0]), vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn statistics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-15);
+        // Unbiased sample std of this classic dataset is sqrt(32/7).
+        assert!((std_dev(&xs) - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Small-signal AC analysis of linear networks.
+//!
+//! Solves `(G + jωC)·x = b` over a frequency sweep with a unit stimulus on
+//! one named source. The primary consumer is macromodel validation: the
+//! frequency response of a reduced-order model must track the full
+//! netlist's up to the bandwidth its matched moments cover.
+
+use crate::error::SpiceError;
+use linvar_circuit::Netlist;
+use linvar_numeric::{CLuFactor, CMatrix, Complex};
+use std::collections::HashMap;
+
+/// Result of an AC sweep.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    /// Analysis frequencies (Hz).
+    pub freqs: Vec<f64>,
+    /// Complex node response per probe, index-aligned with `freqs`.
+    pub response: HashMap<String, Vec<Complex>>,
+}
+
+impl AcResult {
+    /// Magnitude response of a probe.
+    pub fn magnitude(&self, probe: &str) -> Option<Vec<f64>> {
+        self.response
+            .get(probe)
+            .map(|v| v.iter().map(|z| z.abs()).collect())
+    }
+}
+
+/// Generates `n` logarithmically spaced frequencies in `[f_lo, f_hi]`.
+///
+/// # Panics
+///
+/// Panics if the bounds are non-positive or reversed, or `n < 2`.
+pub fn log_frequencies(f_lo: f64, f_hi: f64, n: usize) -> Vec<f64> {
+    assert!(f_lo > 0.0 && f_hi > f_lo, "need 0 < f_lo < f_hi");
+    assert!(n >= 2, "need at least two points");
+    let (l0, l1) = (f_lo.log10(), f_hi.log10());
+    (0..n)
+        .map(|k| 10f64.powf(l0 + (l1 - l0) * k as f64 / (n - 1) as f64))
+        .collect()
+}
+
+/// Runs an AC sweep with a unit stimulus on the voltage source named
+/// `source` (all other independent sources are zeroed: voltage sources
+/// become shorts through their branch equations, current sources open).
+///
+/// # Errors
+///
+/// Returns [`SpiceError::BadCircuit`] for unknown source or probe names,
+/// netlists containing MOSFETs (AC analysis here is for the *linear*
+/// loads; linearize devices first), or a singular system.
+pub fn ac_analysis(
+    nl: &Netlist,
+    source: &str,
+    probes: &[&str],
+    freqs: &[f64],
+) -> Result<AcResult, SpiceError> {
+    if !nl.mosfets().is_empty() {
+        return Err(SpiceError::BadCircuit(
+            "ac analysis supports linear netlists only".into(),
+        ));
+    }
+    let mna = nl.assemble_mna()?;
+    let n = mna.g.rows();
+    let source_branch = mna
+        .vsource_names
+        .iter()
+        .position(|s| s == source)
+        .ok_or_else(|| SpiceError::BadCircuit(format!("unknown voltage source {source}")))?;
+    let mut probe_rows = Vec::with_capacity(probes.len());
+    for p in probes {
+        let node = nl
+            .find_node(p)
+            .ok_or_else(|| SpiceError::BadCircuit(format!("unknown probe node {p}")))?;
+        let row = node
+            .mna_index()
+            .ok_or_else(|| SpiceError::BadCircuit("cannot probe ground".into()))?;
+        probe_rows.push((p.to_string(), row));
+    }
+    let mut rhs = vec![Complex::ZERO; n];
+    rhs[mna.node_count + source_branch] = Complex::ONE;
+
+    let mut response: HashMap<String, Vec<Complex>> =
+        probe_rows.iter().map(|(p, _)| (p.clone(), Vec::new())).collect();
+    for &f in freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let mut a = CMatrix::from_real(&mna.g);
+        for i in 0..n {
+            for j in 0..n {
+                let cij = mna.c[(i, j)];
+                if cij != 0.0 {
+                    a[(i, j)] += Complex::new(0.0, omega * cij);
+                }
+            }
+        }
+        let x = CLuFactor::new(&a)?.solve(&rhs)?;
+        for (p, row) in &probe_rows {
+            response.get_mut(p).expect("inserted").push(x[*row]);
+        }
+    }
+    Ok(AcResult {
+        freqs: freqs.to_vec(),
+        response,
+    })
+}
+
+/// AC current-injection sweep into a port node (no sources needed): solves
+/// the node-space system `(G + jωC)·v = e_port` and returns the
+/// driving-point impedance seen at the port. This is the direct
+/// counterpart of a macromodel's `Z(s)` evaluation.
+///
+/// # Errors
+///
+/// Same conditions as [`ac_analysis`].
+pub fn ac_impedance(
+    nl: &Netlist,
+    port: &str,
+    freqs: &[f64],
+) -> Result<Vec<Complex>, SpiceError> {
+    if !nl.mosfets().is_empty() {
+        return Err(SpiceError::BadCircuit(
+            "ac analysis supports linear netlists only".into(),
+        ));
+    }
+    let var = nl.assemble_variational()?;
+    let node = nl
+        .find_node(port)
+        .and_then(|n| n.mna_index())
+        .ok_or_else(|| SpiceError::BadCircuit(format!("unknown port node {port}")))?;
+    let n = var.order();
+    let mut out = Vec::with_capacity(freqs.len());
+    let mut rhs = vec![Complex::ZERO; n];
+    rhs[node] = Complex::ONE;
+    for &f in freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let mut a = CMatrix::from_real(&var.g0);
+        for i in 0..n {
+            for j in 0..n {
+                let cij = var.c0[(i, j)];
+                if cij != 0.0 {
+                    a[(i, j)] += Complex::new(0.0, omega * cij);
+                }
+            }
+        }
+        let x = CLuFactor::new(&a)?.solve(&rhs)?;
+        out.push(x[node]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linvar_circuit::SourceWaveform;
+
+    fn rc_lowpass() -> Netlist {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.add_vsource("V1", inp, Netlist::GROUND, SourceWaveform::Dc(0.0))
+            .unwrap();
+        nl.add_resistor("R1", inp, out, 1000.0).unwrap();
+        nl.add_capacitor("C1", out, Netlist::GROUND, 1e-12).unwrap();
+        nl
+    }
+
+    #[test]
+    fn lowpass_magnitude_and_corner() {
+        let nl = rc_lowpass();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1000.0 * 1e-12); // ≈159 MHz
+        let freqs = [fc / 100.0, fc, fc * 100.0];
+        let res = ac_analysis(&nl, "V1", &["out"], &freqs).unwrap();
+        let mag = res.magnitude("out").unwrap();
+        assert!((mag[0] - 1.0).abs() < 1e-3, "passband gain {}", mag[0]);
+        assert!(
+            (mag[1] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3,
+            "-3dB at corner: {}",
+            mag[1]
+        );
+        assert!(mag[2] < 0.02, "stopband {}", mag[2]);
+        // Phase at the corner is -45°.
+        let phase = res.response["out"][1].arg().to_degrees();
+        assert!((phase + 45.0).abs() < 0.5, "phase {phase}");
+    }
+
+    #[test]
+    fn impedance_of_parallel_rc() {
+        let mut nl = Netlist::new();
+        let p = nl.node("p");
+        nl.add_resistor("R", p, Netlist::GROUND, 500.0).unwrap();
+        nl.add_capacitor("C", p, Netlist::GROUND, 2e-12).unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 500.0 * 2e-12);
+        let z = ac_impedance(&nl, "p", &[fc / 1000.0, fc]).unwrap();
+        assert!((z[0].abs() - 500.0).abs() < 0.5, "dc-ish |Z| {}", z[0].abs());
+        assert!(
+            (z[1].abs() - 500.0 / 2.0_f64.sqrt()).abs() < 1.0,
+            "corner |Z| {}",
+            z[1].abs()
+        );
+    }
+
+    #[test]
+    fn rom_tracks_full_netlist_impedance() {
+        // Reduce a driven RC ladder and compare Z(jω) of the macromodel
+        // with the full netlist over three decades.
+        use linvar_mor::{extract_pole_residue, prima_reduce};
+        let mut nl = Netlist::new();
+        let p = nl.node("p");
+        nl.add_resistor("Rdrv", p, Netlist::GROUND, 300.0).unwrap();
+        let mut prev = p;
+        for k in 0..30 {
+            let next = nl.node(&format!("n{k}"));
+            nl.add_resistor(&format!("R{k}"), prev, next, 5.0).unwrap();
+            nl.add_capacitor(&format!("C{k}"), next, Netlist::GROUND, 20e-15)
+                .unwrap();
+            prev = next;
+        }
+        nl.mark_port(p).unwrap();
+        let var = nl.assemble_variational().unwrap();
+        let b = var.port_incidence();
+        let rom = prima_reduce(&var.g0, &var.c0, &b, 6).unwrap();
+        let pr = extract_pole_residue(&rom).unwrap();
+        let freqs = log_frequencies(1e6, 5e9, 10);
+        let z_full = ac_impedance(&nl, "p", &freqs).unwrap();
+        for (k, &f) in freqs.iter().enumerate() {
+            let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
+            let z_rom = pr.eval(s)[(0, 0)];
+            let err = (z_rom - z_full[k]).abs() / z_full[k].abs();
+            assert!(err < 0.01, "f={f:.2e}: rom {z_rom} vs full {}", z_full[k]);
+        }
+    }
+
+    #[test]
+    fn log_frequencies_are_geometric() {
+        let fs = log_frequencies(1e3, 1e6, 4);
+        assert_eq!(fs.len(), 4);
+        assert!((fs[0] - 1e3).abs() < 1e-9);
+        assert!((fs[3] - 1e6).abs() < 1e-3);
+        let r1 = fs[1] / fs[0];
+        let r2 = fs[2] / fs[1];
+        assert!((r1 - r2).abs() < 1e-9 * r1);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let nl = rc_lowpass();
+        assert!(ac_analysis(&nl, "Vx", &["out"], &[1e6]).is_err());
+        assert!(ac_analysis(&nl, "V1", &["zzz"], &[1e6]).is_err());
+        assert!(ac_impedance(&nl, "zzz", &[1e6]).is_err());
+    }
+}

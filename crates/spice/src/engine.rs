@@ -1,0 +1,1049 @@
+//! The transient analysis engine.
+//!
+//! Modified nodal analysis with trapezoidal companion models for
+//! capacitors, Newton-Raphson linearization for level-1 MOSFETs, gmin
+//! stepping for the DC operating point, and timestep halving with
+//! divergence detection.
+//!
+//! # Linear solve strategy
+//!
+//! The system matrix is `A = A0 + Σ_k u_k·v_kᵀ` where `A0` collects every
+//! *linear* stamp (resistors, capacitor companions, source rows,
+//! pole/residue state rows — all constant for a fixed timestep) and each
+//! MOSFET contributes a rank-one Newton update (its conductance rows `d`
+//! and `s` are negatives of each other). `A0` is factored once per
+//! timestep value and the Newton iterations solve through the Woodbury
+//! identity, which is algebraically exact. A `dense_rebuild` option
+//! re-assembles and refactors the full matrix every iteration instead;
+//! tests cross-check the two paths.
+
+use crate::error::SpiceError;
+use crate::poleres_load::OnePortPoleResidue;
+use linvar_circuit::{Element, Netlist, NodeId};
+use linvar_devices::{DeviceVariation, ModelLibrary, MosParams};
+use linvar_numeric::{LuFactor, Matrix};
+use std::collections::HashMap;
+
+/// Options for a transient analysis.
+#[derive(Debug, Clone)]
+pub struct TransientOptions {
+    /// Stop time (s).
+    pub tstop: f64,
+    /// Nominal timestep (s).
+    pub dt: f64,
+    /// Minimum timestep before declaring divergence (s).
+    pub dt_min: f64,
+    /// Newton iteration limit per timestep.
+    pub max_newton: usize,
+    /// Relative convergence tolerance on voltages.
+    pub reltol: f64,
+    /// Absolute convergence tolerance on voltages (V).
+    pub vabstol: f64,
+    /// Node names whose waveforms are recorded.
+    pub probes: Vec<String>,
+    /// Voltage magnitude treated as numerical blow-up (V).
+    pub v_limit: f64,
+    /// Rebuild and refactor the dense matrix every Newton iteration
+    /// instead of using the Woodbury update (slow; for cross-checking).
+    pub dense_rebuild: bool,
+    /// Always-on conductance from every node to ground (S), for floating
+    /// nodes.
+    pub gmin: f64,
+}
+
+impl TransientOptions {
+    /// Creates options with the given stop time and timestep and library
+    /// defaults for everything else.
+    pub fn new(tstop: f64, dt: f64) -> Self {
+        TransientOptions {
+            tstop,
+            dt,
+            dt_min: dt / 4096.0,
+            max_newton: 80,
+            reltol: 1e-4,
+            vabstol: 1e-6,
+            probes: Vec::new(),
+            v_limit: 1e3,
+            dense_rebuild: false,
+            gmin: 1e-12,
+        }
+    }
+}
+
+/// Result of a transient analysis.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    /// Accepted time points (s).
+    pub times: Vec<f64>,
+    /// Probed waveforms, keyed by node name.
+    pub waveforms: HashMap<String, Vec<f64>>,
+    /// Performance counters for runtime comparisons.
+    pub stats: SolveStats,
+}
+
+impl TransientResult {
+    /// The waveform of a probed node.
+    pub fn probe(&self, node: &str) -> Option<&[f64]> {
+        self.waveforms.get(node).map(|v| v.as_slice())
+    }
+}
+
+/// Work counters of one analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveStats {
+    /// Accepted timesteps.
+    pub steps: usize,
+    /// Total Newton iterations.
+    pub newton_iterations: usize,
+    /// Full dense LU factorizations performed.
+    pub lu_factorizations: usize,
+    /// Triangular solves performed.
+    pub solves: usize,
+}
+
+/// One device's Newton-update row pattern: `(drain, gate, source, gm, gds)`.
+type DeviceRow = (Option<usize>, Option<usize>, Option<usize>, f64, f64);
+
+/// A MOSFET instance resolved against the model library.
+#[derive(Debug, Clone)]
+struct ResolvedMos {
+    d: Option<usize>,
+    g: Option<usize>,
+    s: Option<usize>,
+    b: Option<usize>,
+    params: MosParams,
+    width: f64,
+    length: f64,
+}
+
+/// One independent source resolved to matrix positions.
+#[derive(Debug, Clone)]
+enum ResolvedSource {
+    V {
+        branch_row: usize,
+        waveform: linvar_circuit::SourceWaveform,
+    },
+    I {
+        pos: Option<usize>,
+        neg: Option<usize>,
+        waveform: linvar_circuit::SourceWaveform,
+    },
+}
+
+/// Capacitor with trapezoidal companion state.
+#[derive(Debug, Clone)]
+struct CapState {
+    a: Option<usize>,
+    b: Option<usize>,
+    value: f64,
+    /// Capacitor current at the last accepted time point.
+    i_prev: f64,
+}
+
+/// Inductor with trapezoidal companion state (no extra unknown: the
+/// branch current is reconstructed from the terminal voltages).
+#[derive(Debug, Clone)]
+struct IndState {
+    a: Option<usize>,
+    b: Option<usize>,
+    value: f64,
+    /// Inductor current (a → b) at the last accepted time point.
+    i_prev: f64,
+}
+
+/// Conductance standing in for an inductor at DC (a short).
+const INDUCTOR_DC_SHORT: f64 = 1e6;
+
+/// A prepared transient analysis.
+#[derive(Debug)]
+pub struct Transient<'a> {
+    nl: &'a Netlist,
+    opts: TransientOptions,
+    n_nodes: usize,
+    n_vsrc: usize,
+    /// Total unknowns including pole/residue extras.
+    dim: usize,
+    devices: Vec<ResolvedMos>,
+    sources: Vec<ResolvedSource>,
+    caps: Vec<CapState>,
+    inductors: Vec<IndState>,
+    /// Constant conductance stamps (resistors, vsource incidence).
+    g_static: Matrix,
+    poleres: Option<OnePortPoleResidue>,
+    variation: DeviceVariation,
+}
+
+impl<'a> Transient<'a> {
+    /// Prepares an analysis of a linear (device-free) netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadCircuit`] if the netlist contains MOSFETs
+    /// (use [`Transient::with_devices`]) or has no nodes, or if a probe
+    /// name is unknown.
+    pub fn new(nl: &'a Netlist, opts: &TransientOptions) -> Result<Self, SpiceError> {
+        if !nl.mosfets().is_empty() {
+            return Err(SpiceError::BadCircuit(
+                "netlist has mosfets; use Transient::with_devices".into(),
+            ));
+        }
+        Self::build(nl, None, DeviceVariation::nominal(), opts)
+    }
+
+    /// Prepares an analysis of a netlist with MOSFETs, resolving models
+    /// against `lib` and applying the device variation sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadCircuit`] for unknown model names, empty
+    /// netlists or unknown probe names.
+    pub fn with_devices(
+        nl: &'a Netlist,
+        lib: &ModelLibrary,
+        variation: DeviceVariation,
+        opts: &TransientOptions,
+    ) -> Result<Self, SpiceError> {
+        Self::build(nl, Some(lib), variation, opts)
+    }
+
+    /// Attaches a one-port pole/residue load to the prepared analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadCircuit`] if the load's node is unknown.
+    pub fn with_poleres_load(mut self, load: OnePortPoleResidue) -> Result<Self, SpiceError> {
+        if load.node_index() >= self.n_nodes {
+            return Err(SpiceError::BadCircuit(format!(
+                "pole/residue load node index {} out of range",
+                load.node_index()
+            )));
+        }
+        self.dim = self.n_nodes + self.n_vsrc + load.extra_unknowns();
+        self.poleres = Some(load);
+        Ok(self)
+    }
+
+    fn build(
+        nl: &'a Netlist,
+        lib: Option<&ModelLibrary>,
+        variation: DeviceVariation,
+        opts: &TransientOptions,
+    ) -> Result<Self, SpiceError> {
+        let n_nodes = nl.node_count();
+        if n_nodes == 0 {
+            return Err(SpiceError::BadCircuit("netlist has no nodes".into()));
+        }
+        for p in &opts.probes {
+            if nl.find_node(p).is_none() {
+                return Err(SpiceError::BadCircuit(format!("unknown probe node {p}")));
+            }
+        }
+        let n_vsrc = nl.vsource_count();
+        let dim = n_nodes + n_vsrc;
+        let mut g_static = Matrix::zeros(dim, dim);
+        let mut sources = Vec::new();
+        let mut caps = Vec::new();
+        let mut inductors = Vec::new();
+        let mut branch = n_nodes;
+        let idx = |n: NodeId| n.mna_index();
+        for e in nl.elements() {
+            match e {
+                Element::Resistor { a, b, value, .. } => {
+                    stamp_g(&mut g_static, idx(*a), idx(*b), 1.0 / value.nominal);
+                }
+                Element::Capacitor { a, b, value, .. } => {
+                    caps.push(CapState {
+                        a: idx(*a),
+                        b: idx(*b),
+                        value: value.nominal,
+                        i_prev: 0.0,
+                    });
+                }
+                Element::Inductor { a, b, value, .. } => {
+                    inductors.push(IndState {
+                        a: idx(*a),
+                        b: idx(*b),
+                        value: value.nominal,
+                        i_prev: 0.0,
+                    });
+                }
+                Element::VSource { pos, neg, waveform, .. } => {
+                    if let Some(i) = idx(*pos) {
+                        g_static[(i, branch)] += 1.0;
+                        g_static[(branch, i)] += 1.0;
+                    }
+                    if let Some(j) = idx(*neg) {
+                        g_static[(j, branch)] -= 1.0;
+                        g_static[(branch, j)] -= 1.0;
+                    }
+                    sources.push(ResolvedSource::V {
+                        branch_row: branch,
+                        waveform: waveform.clone(),
+                    });
+                    branch += 1;
+                }
+                Element::ISource { pos, neg, waveform, .. } => {
+                    sources.push(ResolvedSource::I {
+                        pos: idx(*pos),
+                        neg: idx(*neg),
+                        waveform: waveform.clone(),
+                    });
+                }
+            }
+        }
+        // Gmin from every node to ground.
+        for i in 0..n_nodes {
+            g_static[(i, i)] += opts.gmin;
+        }
+        let mut devices = Vec::new();
+        for m in nl.mosfets() {
+            let lib = lib.ok_or_else(|| {
+                SpiceError::BadCircuit("mosfets present but no model library given".into())
+            })?;
+            let params = lib
+                .get(&m.model)
+                .ok_or_else(|| SpiceError::BadCircuit(format!("unknown model {}", m.model)))?
+                .clone();
+            devices.push(ResolvedMos {
+                d: idx(m.drain),
+                g: idx(m.gate),
+                s: idx(m.source),
+                b: idx(m.bulk),
+                params,
+                width: m.width,
+                length: m.length,
+            });
+        }
+        Ok(Transient {
+            nl,
+            opts: opts.clone(),
+            n_nodes,
+            n_vsrc,
+            dim,
+            devices,
+            sources,
+            caps,
+            inductors,
+            g_static,
+            poleres: None,
+            variation,
+        })
+    }
+
+    /// Runs the analysis: DC operating point, then timestepping to `tstop`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::DcOperatingPoint`] or
+    /// [`SpiceError::ConvergenceFailure`] when Newton cannot converge —
+    /// including the voltage blow-up produced by unstable macromodel loads.
+    pub fn run(mut self) -> Result<TransientResult, SpiceError> {
+        let mut stats = SolveStats::default();
+        let opts = self.opts.clone();
+        // ---------------- DC operating point (gmin stepping) -------------
+        let mut x = vec![0.0; self.dim];
+        let mut dc_ok = false;
+        for gmin_exp in [-3.0_f64, -5.0, -7.0, -9.0, -12.0] {
+            let gmin = 10f64.powf(gmin_exp);
+            let mut a0 = self.assemble_static(None, gmin);
+            self.stamp_poleres(&mut a0, None);
+            let dc_cache = self.make_cache(0.0, a0, &mut stats)?;
+            match self.newton(&mut x, &dc_cache, 0.0, None, &mut stats) {
+                Ok(()) => {
+                    dc_ok = true;
+                }
+                Err(_) if gmin_exp > -12.0 => {
+                    // Keep the partial solution as the next starting point.
+                    dc_ok = false;
+                }
+                Err(e) => return Err(match e {
+                    SpiceError::ConvergenceFailure { reason, .. } => {
+                        SpiceError::DcOperatingPoint { reason }
+                    }
+                    other => other,
+                }),
+            }
+        }
+        if !dc_ok {
+            return Err(SpiceError::DcOperatingPoint {
+                reason: "gmin stepping did not converge".into(),
+            });
+        }
+        // Initialize companion currents at the DC point: zero through
+        // capacitors; through each inductor, the current of its DC short.
+        for c in &mut self.caps {
+            c.i_prev = 0.0;
+        }
+        for l in &mut self.inductors {
+            let v = volt(&x, l.a) - volt(&x, l.b);
+            l.i_prev = INDUCTOR_DC_SHORT * v;
+        }
+        if let Some(p) = &mut self.poleres {
+            p.initialize_dc(&x, self.n_nodes + self.n_vsrc);
+        }
+
+        // ---------------- transient loop ---------------------------------
+        let mut times = vec![0.0];
+        let mut waves: HashMap<String, Vec<f64>> = HashMap::new();
+        let probe_idx: Vec<(String, usize)> = opts
+            .probes
+            .iter()
+            .map(|p| {
+                let id = self.nl.find_node(p).expect("validated in build");
+                (p.clone(), id.mna_index().expect("probing ground is useless"))
+            })
+            .collect();
+        for (name, i) in &probe_idx {
+            waves.insert(name.clone(), vec![x[*i]]);
+        }
+
+        let mut t = 0.0;
+        let mut h = opts.dt;
+        let mut good_steps = 0usize;
+        // Factorization cache for the current h.
+        let mut cache: Option<StepCache> = None;
+        while t < opts.tstop - 1e-18 {
+            let h_eff = h.min(opts.tstop - t);
+            let rebuild = match &cache {
+                Some(c) => (c.h - h_eff).abs() > 1e-18 * h_eff,
+                None => true,
+            };
+            if rebuild {
+                let mut a0 = self.assemble_static(Some(h_eff), opts.gmin);
+                self.stamp_poleres(&mut a0, Some(h_eff));
+                cache = Some(self.make_cache(h_eff, a0, &mut stats)?);
+            }
+            let c = cache.as_ref().expect("just built");
+            let mut x_new = x.clone();
+            let t_new = t + h_eff;
+            let res = self.newton(&mut x_new, c, t_new, Some((h_eff, &x)), &mut stats);
+            match res {
+                Ok(()) => {
+                    // Accept the step: update companion states.
+                    self.update_cap_currents(&x_new, &x, h_eff);
+                    if let Some(p) = &mut self.poleres {
+                        p.accept_step(&x_new, self.n_nodes + self.n_vsrc);
+                    }
+                    t = t_new;
+                    x = x_new;
+                    times.push(t);
+                    for (name, i) in &probe_idx {
+                        waves.get_mut(name).expect("inserted").push(x[*i]);
+                    }
+                    stats.steps += 1;
+                    good_steps += 1;
+                    if good_steps >= 8 && h < opts.dt {
+                        h = (h * 2.0).min(opts.dt);
+                        good_steps = 0;
+                        cache = None;
+                    }
+                }
+                Err(SpiceError::ConvergenceFailure { reason, .. }) => {
+                    h /= 2.0;
+                    good_steps = 0;
+                    cache = None;
+                    if h < opts.dt_min {
+                        return Err(SpiceError::ConvergenceFailure { time: t, reason });
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(TransientResult {
+            times,
+            waveforms: waves,
+            stats,
+        })
+    }
+
+    /// Assembles the constant part of the Newton matrix: static stamps plus
+    /// capacitor trapezoidal companions for timestep `h` (`None` = DC).
+    fn assemble_static(&self, h: Option<f64>, extra_gmin: f64) -> Matrix {
+        let mut a = Matrix::zeros(self.dim, self.dim);
+        a.set_block(0, 0, &self.g_static);
+        for i in 0..self.n_nodes {
+            a[(i, i)] += extra_gmin;
+        }
+        if let Some(h) = h {
+            for c in &self.caps {
+                let geq = 2.0 * c.value / h;
+                stamp_g(&mut a, c.a, c.b, geq);
+            }
+            for l in &self.inductors {
+                let geq = h / (2.0 * l.value);
+                stamp_g(&mut a, l.a, l.b, geq);
+            }
+        } else {
+            // DC: inductors are shorts.
+            for l in &self.inductors {
+                stamp_g(&mut a, l.a, l.b, INDUCTOR_DC_SHORT);
+            }
+        }
+        a
+    }
+
+    /// Stamps the pole/residue load's constant rows.
+    fn stamp_poleres(&self, a: &mut Matrix, h: Option<f64>) {
+        if let Some(p) = &self.poleres {
+            p.stamp(a, self.n_nodes + self.n_vsrc, h);
+        }
+    }
+
+    /// RHS vector at time `t` given the previous state (for companions).
+    fn assemble_rhs(&self, t: f64, step: Option<(f64, &[f64])>) -> Vec<f64> {
+        let mut rhs = vec![0.0; self.dim];
+        for s in &self.sources {
+            match s {
+                ResolvedSource::V { branch_row, waveform } => {
+                    rhs[*branch_row] += waveform.eval(t);
+                }
+                ResolvedSource::I { pos, neg, waveform } => {
+                    let i = waveform.eval(t);
+                    if let Some(p) = pos {
+                        rhs[*p] += i;
+                    }
+                    if let Some(n) = neg {
+                        rhs[*n] -= i;
+                    }
+                }
+            }
+        }
+        if let Some((h, x_prev)) = step {
+            for c in &self.caps {
+                let geq = 2.0 * c.value / h;
+                let v_prev = volt(x_prev, c.a) - volt(x_prev, c.b);
+                let ieq = geq * v_prev + c.i_prev;
+                if let Some(i) = c.a {
+                    rhs[i] += ieq;
+                }
+                if let Some(j) = c.b {
+                    rhs[j] -= ieq;
+                }
+            }
+            for l in &self.inductors {
+                let geq = h / (2.0 * l.value);
+                let v_prev = volt(x_prev, l.a) - volt(x_prev, l.b);
+                // Trap: i_{n+1} = i_n + geq·(v_n + v_{n+1}); the history
+                // current i_n + geq·v_n enters the RHS flowing a → b.
+                let ieq = l.i_prev + geq * v_prev;
+                if let Some(i) = l.a {
+                    rhs[i] -= ieq;
+                }
+                if let Some(j) = l.b {
+                    rhs[j] += ieq;
+                }
+            }
+            if let Some(p) = &self.poleres {
+                p.rhs(&mut rhs, self.n_nodes + self.n_vsrc, h);
+            }
+        }
+        rhs
+    }
+
+    /// Builds the per-timestep cache: for the Woodbury path, factor `A0`
+    /// once and pre-solve the device incidence columns.
+    fn make_cache(&self, h: f64, a0: Matrix, stats: &mut SolveStats) -> Result<StepCache, SpiceError> {
+        let ndev = self.devices.len();
+        let (lu0, a0inv_u) = if self.opts.dense_rebuild {
+            (None, Matrix::zeros(0, 0))
+        } else {
+            let lu = LuFactor::new(&a0).map_err(SpiceError::from)?;
+            stats.lu_factorizations += 1;
+            let a0inv_u = if ndev > 0 {
+                // u_k = e_d - e_s (columns).
+                let mut u = Matrix::zeros(self.dim, ndev);
+                for (k, dev) in self.devices.iter().enumerate() {
+                    if let Some(d) = dev.d {
+                        u[(d, k)] += 1.0;
+                    }
+                    if let Some(s) = dev.s {
+                        u[(s, k)] -= 1.0;
+                    }
+                }
+                stats.solves += ndev;
+                lu.solve_mat(&u).map_err(SpiceError::from)?
+            } else {
+                Matrix::zeros(0, 0)
+            };
+            (Some(lu), a0inv_u)
+        };
+        Ok(StepCache {
+            h,
+            a0,
+            lu0,
+            a0inv_u,
+        })
+    }
+
+    /// Newton-Raphson at one time point. `step` carries `(h, previous
+    /// state)` for transient points and is `None` for DC.
+    fn newton(
+        &self,
+        x: &mut Vec<f64>,
+        cache: &StepCache,
+        t: f64,
+        step: Option<(f64, &[f64])>,
+        stats: &mut SolveStats,
+    ) -> Result<(), SpiceError> {
+        let rhs_base = self.assemble_rhs(t, step);
+        let (delta_l, delta_vt) = (self.variation.delta_l(), self.variation.delta_vt());
+        let ndev = self.devices.len();
+        let a0 = &cache.a0;
+        let lu0 = &cache.lu0;
+        let a0inv_u = &cache.a0inv_u;
+
+        for _iter in 0..self.opts.max_newton {
+            stats.newton_iterations += 1;
+            // Device evaluation at the current iterate.
+            let mut rhs = rhs_base.clone();
+            // v-row coefficient vectors for Woodbury (one per device).
+            let mut vrows: Vec<DeviceRow> = Vec::with_capacity(ndev);
+            for dev in &self.devices {
+                let vd = volt(x, dev.d);
+                let vg = volt(x, dev.g);
+                let vs = volt(x, dev.s);
+                let vb = volt(x, dev.b);
+                let op = dev.params.eval(
+                    vg - vs,
+                    vd - vs,
+                    vb - vs,
+                    dev.width,
+                    dev.length,
+                    delta_l,
+                    delta_vt,
+                );
+                // Norton companion: current into drain ≈
+                //   gds·vd + gm·vg - (gm+gds)·vs + ieq
+                let ieq = op.ids - op.gm * (vg - vs) - op.gds * (vd - vs);
+                if let Some(d) = dev.d {
+                    rhs[d] -= ieq;
+                }
+                if let Some(s) = dev.s {
+                    rhs[s] += ieq;
+                }
+                vrows.push((dev.d, dev.g, dev.s, op.gm, op.gds));
+            }
+            // Solve the linearized system.
+            let x_next = if let Some(lu0) = &lu0 {
+                stats.solves += 1;
+                let y = lu0.solve(&rhs).map_err(SpiceError::from)?;
+                if ndev == 0 {
+                    y
+                } else {
+                    // Woodbury: (A0 + U Vᵀ)⁻¹ rhs
+                    //   = y - A0⁻¹U (I + VᵀA0⁻¹U)⁻¹ Vᵀ y.
+                    let vt_dot = |row: &DeviceRow, vec_src: &dyn Fn(usize) -> f64| -> f64 {
+                        let (d, g, s, gm, gds) = *row;
+                        let mut acc = 0.0;
+                        if let Some(d) = d {
+                            acc += gds * vec_src(d);
+                        }
+                        if let Some(g) = g {
+                            acc += gm * vec_src(g);
+                        }
+                        if let Some(s) = s {
+                            acc -= (gm + gds) * vec_src(s);
+                        }
+                        acc
+                    };
+                    let mut small = Matrix::identity(ndev);
+                    for (r, row) in vrows.iter().enumerate() {
+                        for ccol in 0..ndev {
+                            let col = a0inv_u.col(ccol);
+                            small[(r, ccol)] += vt_dot(row, &|i| col[i]);
+                        }
+                    }
+                    let vty: Vec<f64> = vrows.iter().map(|row| vt_dot(row, &|i| y[i])).collect();
+                    let lu_small = LuFactor::new(&small).map_err(SpiceError::from)?;
+                    let z = lu_small.solve(&vty).map_err(SpiceError::from)?;
+                    let mut out = y;
+                    for i in 0..self.dim {
+                        let mut corr = 0.0;
+                        for k in 0..ndev {
+                            corr += a0inv_u[(i, k)] * z[k];
+                        }
+                        out[i] -= corr;
+                    }
+                    out
+                }
+            } else {
+                // Dense rebuild path: stamp devices into a copy and factor.
+                let mut a = a0.clone();
+                for (d, g, s, gm, gds) in &vrows {
+                    stamp_device(&mut a, *d, *g, *s, *gm, *gds);
+                }
+                stats.lu_factorizations += 1;
+                stats.solves += 1;
+                let lu = LuFactor::new(&a).map_err(SpiceError::from)?;
+                lu.solve(&rhs).map_err(SpiceError::from)?
+            };
+            // Convergence / blow-up checks with voltage-step damping.
+            let mut max_dx = 0.0_f64;
+            let mut max_v = 0.0_f64;
+            let mut x_damped = x.clone();
+            for i in 0..self.dim {
+                let mut dx = x_next[i] - x[i];
+                if i < self.n_nodes {
+                    dx = dx.clamp(-1.0, 1.0);
+                }
+                x_damped[i] = x[i] + dx;
+                max_dx = max_dx.max(dx.abs());
+                max_v = max_v.max(x_damped[i].abs());
+                if !x_damped[i].is_finite() {
+                    return Err(SpiceError::ConvergenceFailure {
+                        time: t,
+                        reason: "non-finite solution".into(),
+                    });
+                }
+            }
+            if max_v > self.opts.v_limit {
+                return Err(SpiceError::ConvergenceFailure {
+                    time: t,
+                    reason: "voltage overflow (unstable load?)".into(),
+                });
+            }
+            *x = x_damped;
+            let vnorm = x.iter().take(self.n_nodes).fold(0.0_f64, |m, v| m.max(v.abs()));
+            if max_dx < self.opts.vabstol + self.opts.reltol * vnorm {
+                return Ok(());
+            }
+        }
+        Err(SpiceError::ConvergenceFailure {
+            time: t,
+            reason: "newton iteration limit".into(),
+        })
+    }
+
+    /// Updates capacitor and inductor companion currents after an
+    /// accepted step.
+    fn update_cap_currents(&mut self, x_new: &[f64], x_old: &[f64], h: f64) {
+        for c in &mut self.caps {
+            let geq = 2.0 * c.value / h;
+            let v_new = volt(x_new, c.a) - volt(x_new, c.b);
+            let v_old = volt(x_old, c.a) - volt(x_old, c.b);
+            c.i_prev = geq * (v_new - v_old) - c.i_prev;
+        }
+        for l in &mut self.inductors {
+            let geq = h / (2.0 * l.value);
+            let v_new = volt(x_new, l.a) - volt(x_new, l.b);
+            let v_old = volt(x_old, l.a) - volt(x_old, l.b);
+            l.i_prev += geq * (v_new + v_old);
+        }
+    }
+}
+
+/// Cache of the factorization data for one timestep value.
+#[derive(Debug)]
+struct StepCache {
+    h: f64,
+    a0: Matrix,
+    /// Factorization of `a0` (absent on the `dense_rebuild` path).
+    lu0: Option<LuFactor>,
+    /// `A0⁻¹·U` for the Woodbury device update.
+    a0inv_u: Matrix,
+}
+
+fn volt(x: &[f64], idx: Option<usize>) -> f64 {
+    idx.map_or(0.0, |i| x[i])
+}
+
+fn stamp_g(a: &mut Matrix, i: Option<usize>, j: Option<usize>, g: f64) {
+    if let Some(i) = i {
+        a[(i, i)] += g;
+    }
+    if let Some(j) = j {
+        a[(j, j)] += g;
+    }
+    if let (Some(i), Some(j)) = (i, j) {
+        a[(i, j)] -= g;
+        a[(j, i)] -= g;
+    }
+}
+
+/// Stamps a MOSFET Newton linearization into a dense matrix (used by the
+/// `dense_rebuild` cross-check path).
+fn stamp_device(
+    a: &mut Matrix,
+    d: Option<usize>,
+    g: Option<usize>,
+    s: Option<usize>,
+    gm: f64,
+    gds: f64,
+) {
+    if let Some(d_) = d {
+        if let Some(dd) = d {
+            a[(d_, dd)] += gds;
+        }
+        if let Some(gg) = g {
+            a[(d_, gg)] += gm;
+        }
+        if let Some(ss) = s {
+            a[(d_, ss)] -= gm + gds;
+        }
+    }
+    if let Some(s_) = s {
+        if let Some(dd) = d {
+            a[(s_, dd)] -= gds;
+        }
+        if let Some(gg) = g {
+            a[(s_, gg)] -= gm;
+        }
+        if let Some(ss) = s {
+            a[(s_, ss)] += gm + gds;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linvar_circuit::SourceWaveform;
+    use linvar_devices::tech_018;
+    use linvar_circuit::MosType;
+
+    fn rc_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.add_vsource(
+            "V1",
+            inp,
+            Netlist::GROUND,
+            SourceWaveform::Ramp {
+                v0: 0.0,
+                v1: 1.0,
+                t0: 0.0,
+                tr: 1e-12,
+            },
+        )
+        .unwrap();
+        nl.add_resistor("R1", inp, out, 1000.0).unwrap();
+        nl.add_capacitor("C1", out, Netlist::GROUND, 1e-12).unwrap();
+        nl
+    }
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let nl = rc_netlist();
+        let mut opts = TransientOptions::new(5e-9, 5e-12);
+        opts.probes.push("out".into());
+        let res = Transient::new(&nl, &opts).unwrap().run().unwrap();
+        let tau = 1e-9;
+        let out = res.probe("out").unwrap();
+        for (k, &t) in res.times.iter().enumerate() {
+            let expect = 1.0 - (-t / tau).exp();
+            assert!(
+                (out[k] - expect).abs() < 5e-3,
+                "t={t:.3e}: {} vs {expect}",
+                out[k]
+            );
+        }
+    }
+
+    #[test]
+    fn coupling_cap_conserves_charge() {
+        // Two caps in series from a ramp source: voltage divider by C.
+        let mut nl = Netlist::new();
+        let inp = nl.node("in");
+        let mid = nl.node("mid");
+        nl.add_vsource(
+            "V1",
+            inp,
+            Netlist::GROUND,
+            SourceWaveform::Ramp {
+                v0: 0.0,
+                v1: 2.0,
+                t0: 0.0,
+                tr: 1e-9,
+            },
+        )
+        .unwrap();
+        nl.add_capacitor("C1", inp, mid, 1e-12).unwrap();
+        nl.add_capacitor("C2", mid, Netlist::GROUND, 1e-12).unwrap();
+        let mut opts = TransientOptions::new(2e-9, 2e-12);
+        opts.probes.push("mid".into());
+        // Without the gmin leak the mid node floats; with it the divider
+        // holds at C1/(C1+C2)·Vin = 1 V during the fast ramp.
+        let res = Transient::new(&nl, &opts).unwrap().run().unwrap();
+        let mid_v = res.probe("mid").unwrap();
+        let at_ramp_end = res
+            .times
+            .iter()
+            .position(|&t| t >= 1e-9)
+            .unwrap_or(mid_v.len() - 1);
+        assert!(
+            (mid_v[at_ramp_end] - 1.0).abs() < 0.05,
+            "capacitive divider: {}",
+            mid_v[at_ramp_end]
+        );
+    }
+
+    #[test]
+    fn inverter_switches() {
+        let tech = tech_018();
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.add_vsource("Vdd", vdd, Netlist::GROUND, SourceWaveform::Dc(1.8))
+            .unwrap();
+        nl.add_vsource(
+            "Vin",
+            inp,
+            Netlist::GROUND,
+            SourceWaveform::Ramp {
+                v0: 0.0,
+                v1: 1.8,
+                t0: 50e-12,
+                tr: 50e-12,
+            },
+        )
+        .unwrap();
+        nl.add_mosfet(
+            "MP",
+            out,
+            inp,
+            vdd,
+            vdd,
+            MosType::Pmos,
+            &tech.library.pmos_name(),
+            tech.wp,
+            tech.library.lmin,
+        )
+        .unwrap();
+        nl.add_mosfet(
+            "MN",
+            out,
+            inp,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosType::Nmos,
+            &tech.library.nmos_name(),
+            tech.wn,
+            tech.library.lmin,
+        )
+        .unwrap();
+        nl.add_capacitor("CL", out, Netlist::GROUND, 10e-15).unwrap();
+        let mut opts = TransientOptions::new(1e-9, 1e-12);
+        opts.probes.push("out".into());
+        let res = Transient::with_devices(&nl, &tech.library, DeviceVariation::nominal(), &opts)
+            .unwrap()
+            .run()
+            .unwrap();
+        let out_w = res.probe("out").unwrap();
+        assert!(
+            out_w[0] > 1.7,
+            "output starts high (input low): {}",
+            out_w[0]
+        );
+        let last = *out_w.last().unwrap();
+        assert!(last < 0.1, "output ends low: {last}");
+    }
+
+    #[test]
+    fn woodbury_matches_dense_rebuild() {
+        let tech = tech_018();
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.add_vsource("Vdd", vdd, Netlist::GROUND, SourceWaveform::Dc(1.8))
+            .unwrap();
+        nl.add_vsource(
+            "Vin",
+            inp,
+            Netlist::GROUND,
+            SourceWaveform::Ramp {
+                v0: 1.8,
+                v1: 0.0,
+                t0: 20e-12,
+                tr: 80e-12,
+            },
+        )
+        .unwrap();
+        nl.add_mosfet(
+            "MP",
+            out,
+            inp,
+            vdd,
+            vdd,
+            MosType::Pmos,
+            &tech.library.pmos_name(),
+            tech.wp,
+            tech.library.lmin,
+        )
+        .unwrap();
+        nl.add_mosfet(
+            "MN",
+            out,
+            inp,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosType::Nmos,
+            &tech.library.nmos_name(),
+            tech.wn,
+            tech.library.lmin,
+        )
+        .unwrap();
+        nl.add_resistor("Rload", out, Netlist::GROUND, 1e5).unwrap();
+        nl.add_capacitor("CL", out, Netlist::GROUND, 5e-15).unwrap();
+        let mut opts = TransientOptions::new(0.5e-9, 1e-12);
+        opts.probes.push("out".into());
+        let fast = Transient::with_devices(&nl, &tech.library, DeviceVariation::nominal(), &opts)
+            .unwrap()
+            .run()
+            .unwrap();
+        opts.dense_rebuild = true;
+        let slow = Transient::with_devices(&nl, &tech.library, DeviceVariation::nominal(), &opts)
+            .unwrap()
+            .run()
+            .unwrap();
+        let f = fast.probe("out").unwrap();
+        let s = slow.probe("out").unwrap();
+        assert_eq!(f.len(), s.len());
+        for (a, b) in f.iter().zip(s) {
+            assert!((a - b).abs() < 1e-6, "woodbury {a} vs dense {b}");
+        }
+        // Woodbury must factor far fewer matrices.
+        assert!(fast.stats.lu_factorizations < slow.stats.lu_factorizations / 2);
+    }
+
+    #[test]
+    fn unknown_probe_rejected() {
+        let nl = rc_netlist();
+        let mut opts = TransientOptions::new(1e-9, 1e-12);
+        opts.probes.push("nope".into());
+        assert!(Transient::new(&nl, &opts).is_err());
+    }
+
+    #[test]
+    fn mosfets_require_library() {
+        let tech = tech_018();
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.add_mosfet(
+            "M1",
+            a,
+            a,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosType::Nmos,
+            &tech.library.nmos_name(),
+            1e-6,
+            0.18e-6,
+        )
+        .unwrap();
+        let opts = TransientOptions::new(1e-9, 1e-12);
+        assert!(Transient::new(&nl, &opts).is_err());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let nl = rc_netlist();
+        let opts = TransientOptions::new(1e-9, 10e-12);
+        let res = Transient::new(&nl, &opts).unwrap().run().unwrap();
+        assert!(res.stats.steps > 50);
+        assert!(res.stats.newton_iterations >= res.stats.steps);
+        assert!(res.stats.lu_factorizations >= 1);
+    }
+}

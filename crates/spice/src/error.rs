@@ -1,0 +1,100 @@
+//! Error type of the transient engine.
+
+use linvar_circuit::CircuitError;
+use linvar_numeric::NumericError;
+use std::fmt;
+
+/// Error produced by the SPICE-like transient engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// Newton iteration failed to converge even after timestep reduction.
+    ///
+    /// This is the documented outcome of simulating a non-passive/unstable
+    /// macromodel with a conventional Newton-based simulator (paper §3.1
+    /// and Example 1).
+    ConvergenceFailure {
+        /// Simulation time at which the analysis broke down (s).
+        time: f64,
+        /// Explanation (`"newton iteration limit"`, `"voltage overflow"`, …).
+        reason: String,
+    },
+    /// The DC operating point could not be found.
+    DcOperatingPoint {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// Netlist-level problem (unknown model, missing node, …).
+    BadCircuit(String),
+    /// Propagated netlist-construction error.
+    Circuit(CircuitError),
+    /// Propagated linear-algebra error.
+    Numeric(NumericError),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::ConvergenceFailure { time, reason } => {
+                write!(f, "transient failed to converge at t={time:.3e}s: {reason}")
+            }
+            SpiceError::DcOperatingPoint { reason } => {
+                write!(f, "dc operating point failed: {reason}")
+            }
+            SpiceError::BadCircuit(msg) => write!(f, "bad circuit: {msg}"),
+            SpiceError::Circuit(e) => write!(f, "circuit error: {e}"),
+            SpiceError::Numeric(e) => write!(f, "numeric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpiceError::Circuit(e) => Some(e),
+            SpiceError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for SpiceError {
+    fn from(e: CircuitError) -> Self {
+        SpiceError::Circuit(e)
+    }
+}
+
+impl From<NumericError> for SpiceError {
+    fn from(e: NumericError) -> Self {
+        SpiceError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_time_for_convergence() {
+        let e = SpiceError::ConvergenceFailure {
+            time: 1.5e-9,
+            reason: "newton iteration limit".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("1.5"));
+        assert!(s.contains("newton"));
+    }
+
+    #[test]
+    fn conversions_work() {
+        let e: SpiceError = NumericError::SingularMatrix { pivot: 0 }.into();
+        assert!(matches!(e, SpiceError::Numeric(_)));
+        let e: SpiceError = CircuitError::EmptyNetlist.into();
+        assert!(matches!(e, SpiceError::Circuit(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SpiceError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! `linvar-spice`: the general-purpose transient circuit simulator used as
+//! the paper's baseline (its role is played by SPICE3f5 in the paper; see
+//! substitution #1 in `DESIGN.md`).
+//!
+//! A conventional time-domain engine built from the two standard
+//! techniques the paper names in §3.1: numerical integration (trapezoidal
+//! companion models) and Newton-based nonlinear solution (per-iteration
+//! linearization of the level-1 MOSFETs). Because the Newton linearization
+//! produces an iteration-dependent Norton equivalent, a **non-passive
+//! linear load can make the effective load unstable and the analysis
+//! diverge** — exactly the failure mode Example 1 demonstrates when the raw
+//! variational macromodel is handed to SPICE. The engine detects this and
+//! reports [`SpiceError::ConvergenceFailure`] rather than looping forever.
+//!
+//! # Example
+//!
+//! ```
+//! use linvar_circuit::{Netlist, SourceWaveform};
+//! use linvar_spice::{Transient, TransientOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // RC low-pass step response.
+//! let mut nl = Netlist::new();
+//! let inp = nl.node("in");
+//! let out = nl.node("out");
+//! nl.add_vsource("V1", inp, Netlist::GROUND, SourceWaveform::Ramp {
+//!     v0: 0.0, v1: 1.0, t0: 0.0, tr: 1e-12,
+//! })?;
+//! nl.add_resistor("R1", inp, out, 1000.0)?;
+//! nl.add_capacitor("C1", out, Netlist::GROUND, 1e-12)?;
+//! let mut opts = TransientOptions::new(10e-9, 10e-12);
+//! opts.probes.push("out".into());
+//! let result = Transient::new(&nl, &opts)?.run()?;
+//! let v_end = *result.probe("out").unwrap().last().unwrap();
+//! assert!((v_end - 1.0).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ac;
+pub mod engine;
+pub mod error;
+pub mod measure;
+pub mod poleres_load;
+
+pub use ac::{ac_analysis, ac_impedance, log_frequencies, AcResult};
+pub use engine::{Transient, TransientOptions, TransientResult};
+pub use error::SpiceError;
+pub use measure::{crossing_time, delay_between, slew_time};
+pub use poleres_load::OnePortPoleResidue;

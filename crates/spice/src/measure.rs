@@ -1,0 +1,134 @@
+//! Waveform measurements: threshold crossings, delay and slew.
+
+/// Time at which a sampled waveform crosses `level` in the given direction,
+/// linearly interpolated between samples. Returns the **first** qualifying
+/// crossing at or after `t_start`, or `None`.
+pub fn crossing_time(
+    times: &[f64],
+    values: &[f64],
+    level: f64,
+    rising: bool,
+    t_start: f64,
+) -> Option<f64> {
+    if times.len() != values.len() || times.len() < 2 {
+        return None;
+    }
+    for k in 1..times.len() {
+        if times[k] < t_start {
+            continue;
+        }
+        let (v0, v1) = (values[k - 1], values[k]);
+        let crossed = if rising {
+            v0 < level && v1 >= level
+        } else {
+            v0 > level && v1 <= level
+        };
+        if crossed {
+            let (t0, t1) = (times[k - 1], times[k]);
+            if (v1 - v0).abs() < 1e-30 {
+                return Some(t1);
+            }
+            let t = t0 + (t1 - t0) * (level - v0) / (v1 - v0);
+            if t >= t_start {
+                return Some(t);
+            }
+        }
+    }
+    None
+}
+
+/// 50 %-to-50 % delay between an input and an output waveform sharing a
+/// time axis. Directions are detected from each waveform's start/end
+/// levels. Returns `None` if either waveform never crosses its midpoint.
+pub fn delay_between(
+    times: &[f64],
+    input: &[f64],
+    output: &[f64],
+    v_low: f64,
+    v_high: f64,
+) -> Option<f64> {
+    let mid = 0.5 * (v_low + v_high);
+    let in_rising = *input.last()? > *input.first()?;
+    let out_rising = *output.last()? > *output.first()?;
+    let t_in = crossing_time(times, input, mid, in_rising, 0.0)?;
+    let t_out = crossing_time(times, output, mid, out_rising, t_in)?;
+    Some(t_out - t_in)
+}
+
+/// 10 %–90 % transition time of a waveform between the given rails.
+/// Returns `None` if the waveform does not complete the transition.
+pub fn slew_time(times: &[f64], values: &[f64], v_low: f64, v_high: f64) -> Option<f64> {
+    let swing = v_high - v_low;
+    let rising = *values.last()? > *values.first()?;
+    let (lo_level, hi_level) = (v_low + 0.1 * swing, v_low + 0.9 * swing);
+    if rising {
+        let t0 = crossing_time(times, values, lo_level, true, 0.0)?;
+        let t1 = crossing_time(times, values, hi_level, true, t0)?;
+        Some(t1 - t0)
+    } else {
+        let t0 = crossing_time(times, values, hi_level, false, 0.0)?;
+        let t1 = crossing_time(times, values, lo_level, false, t0)?;
+        Some(t1 - t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_ramp_crossing() {
+        let times = [0.0, 1.0, 2.0];
+        let values = [0.0, 0.5, 1.0];
+        let t = crossing_time(&times, &values, 0.25, true, 0.0).unwrap();
+        assert!((t - 0.5).abs() < 1e-12);
+        assert!(crossing_time(&times, &values, 0.25, false, 0.0).is_none());
+    }
+
+    #[test]
+    fn crossing_respects_t_start() {
+        // Pulse: up then down.
+        let times = [0.0, 1.0, 2.0, 3.0];
+        let values = [0.0, 1.0, 1.0, 0.0];
+        let up = crossing_time(&times, &values, 0.5, true, 0.0).unwrap();
+        assert!((up - 0.5).abs() < 1e-12);
+        let down = crossing_time(&times, &values, 0.5, false, up).unwrap();
+        assert!((down - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_of_shifted_ramps() {
+        let times: Vec<f64> = (0..100).map(|k| k as f64 * 0.1).collect();
+        let input: Vec<f64> = times.iter().map(|&t| ramp(t, 1.0, 2.0)).collect();
+        let output: Vec<f64> = times.iter().map(|&t| 1.0 - ramp(t, 4.0, 2.0)).collect();
+        // Input crosses 0.5 at t=2, output (falling) crosses 0.5 at t=5.
+        let d = delay_between(&times, &input, &output, 0.0, 1.0).unwrap();
+        assert!((d - 3.0).abs() < 1e-9, "delay {d}");
+    }
+
+    fn ramp(t: f64, t0: f64, tr: f64) -> f64 {
+        ((t - t0) / tr).clamp(0.0, 1.0)
+    }
+
+    #[test]
+    fn slew_of_ramp() {
+        let times: Vec<f64> = (0..200).map(|k| k as f64 * 0.05).collect();
+        let values: Vec<f64> = times.iter().map(|&t| ramp(t, 1.0, 4.0)).collect();
+        // 10%→90% of a 4 s full ramp = 3.2 s.
+        let s = slew_time(&times, &values, 0.0, 1.0).unwrap();
+        assert!((s - 3.2).abs() < 0.05, "slew {s}");
+        // Falling version.
+        let fall: Vec<f64> = values.iter().map(|v| 1.0 - v).collect();
+        let s = slew_time(&times, &fall, 0.0, 1.0).unwrap();
+        assert!((s - 3.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(crossing_time(&[], &[], 0.5, true, 0.0).is_none());
+        assert!(crossing_time(&[0.0], &[1.0], 0.5, true, 0.0).is_none());
+        let times = [0.0, 1.0];
+        let flat = [0.2, 0.2];
+        assert!(slew_time(&times, &flat, 0.0, 1.0).is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! Gradient Analysis (paper §4.1.3, eq. 24).
+//!
+//! With uncorrelated variation sources `w_l` of standard deviation
+//! `σ_{w_l}` and first-order performance sensitivities `∂D/∂w_l`, the
+//! performance standard deviation is
+//!
+//! ```text
+//! σ_D = sqrt( Σ_l σ_{w_l}² · (∂D/∂w_l)² )
+//! ```
+//!
+//! The sensitivities are typically computed by central finite differences
+//! around the nominal point — far fewer evaluations than a Monte-Carlo
+//! analysis, at the cost of a linearity assumption that degrades for long
+//! paths and many sources (the trade-off Table 5 of the paper quantifies).
+
+/// Combines per-source standard deviations and sensitivities per eq. (24).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn gradient_std(sigmas: &[f64], sensitivities: &[f64]) -> f64 {
+    assert_eq!(
+        sigmas.len(),
+        sensitivities.len(),
+        "one sensitivity per source"
+    );
+    sigmas
+        .iter()
+        .zip(sensitivities)
+        .map(|(s, g)| (s * g) * (s * g))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Central-difference sensitivities of `f` at the nominal point (all
+/// sources zero), using step `±delta` on one source at a time.
+///
+/// Evaluation count: `2 · n_sources` calls of `f` (the paper quotes "five
+/// simulations per each variation source" for the stage-level version,
+/// which also perturbs the input-waveform parameters; see
+/// `linvar-core::path_analysis`).
+pub fn central_difference_sensitivities<E>(
+    n_sources: usize,
+    delta: f64,
+    mut f: impl FnMut(&[f64]) -> Result<f64, E>,
+) -> Result<Vec<f64>, E> {
+    let mut grads = Vec::with_capacity(n_sources);
+    let mut w = vec![0.0; n_sources];
+    for l in 0..n_sources {
+        w[l] = delta;
+        let hi = f(&w)?;
+        w[l] = -delta;
+        let lo = f(&w)?;
+        w[l] = 0.0;
+        grads.push((hi - lo) / (2.0 * delta));
+    }
+    Ok(grads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq24_known_case() {
+        // σ = sqrt((0.33·2)² + (0.33·(-1))²) for two sources.
+        let s = gradient_std(&[0.33, 0.33], &[2.0, -1.0]);
+        let expect = (0.33_f64 * 0.33 * (4.0 + 1.0)).sqrt();
+        assert!((s - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sensitivity_contributes_nothing() {
+        assert_eq!(gradient_std(&[1.0, 5.0], &[3.0, 0.0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one sensitivity per source")]
+    fn mismatched_lengths_panic() {
+        let _ = gradient_std(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn central_difference_on_quadratic() {
+        // f(w) = 5 + 3w0 - 2w1 + w0²: exact gradient at 0 is (3, -2);
+        // central differences are exact for the quadratic term.
+        let grads = central_difference_sensitivities::<()>(2, 0.1, |w| {
+            Ok(5.0 + 3.0 * w[0] - 2.0 * w[1] + w[0] * w[0])
+        })
+        .unwrap();
+        assert!((grads[0] - 3.0).abs() < 1e-12);
+        assert!((grads[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ga_matches_mc_for_linear_model() {
+        // For a purely linear performance the GA σ must equal the exact σ.
+        let sigmas = [0.2, 0.5, 0.1];
+        let coeffs = [1.0, -2.0, 4.0];
+        let grads = central_difference_sensitivities::<()>(3, 0.05, |w| {
+            Ok(w.iter().zip(&coeffs).map(|(x, c)| x * c).sum())
+        })
+        .unwrap();
+        let ga = gradient_std(&sigmas, &grads);
+        let exact = sigmas
+            .iter()
+            .zip(&coeffs)
+            .map(|(s, c)| (s * c) * (s * c))
+            .sum::<f64>()
+            .sqrt();
+        assert!((ga - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let res = central_difference_sensitivities(1, 0.1, |_| Err("boom"));
+        assert_eq!(res.unwrap_err(), "boom");
+    }
+}

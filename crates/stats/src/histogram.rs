@@ -1,0 +1,201 @@
+//! Fixed-bin histograms with a text renderer (Figures 6 and 7).
+
+/// A fixed-bin histogram of a scalar sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram of `xs` with `bins` equal-width bins spanning
+    /// `[lo, hi]`. Values outside the range clamp into the edge bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(xs: &[f64], bins: usize, lo: f64, hi: f64) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "histogram range must be nonempty");
+        let mut counts = vec![0usize; bins];
+        for &x in xs {
+            let frac = (x - lo) / (hi - lo);
+            let bin = ((frac * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
+            counts[bin] += 1;
+        }
+        Histogram {
+            lo,
+            hi,
+            counts,
+            total: xs.len(),
+        }
+    }
+
+    /// Builds a histogram spanning the sample range with a small margin.
+    pub fn auto(xs: &[f64], bins: usize) -> Self {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
+            (lo.min(0.0), lo.min(0.0) + 1.0)
+        } else {
+            let margin = 0.05 * (hi - lo);
+            (lo - margin, hi + margin)
+        };
+        Histogram::new(xs, bins, lo, hi)
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total sample count.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// `(center, count)` pairs for plotting.
+    pub fn centers(&self) -> Vec<(f64, usize)> {
+        let n = self.counts.len();
+        let w = (self.hi - self.lo) / n as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| (self.lo + (k as f64 + 0.5) * w, c))
+            .collect()
+    }
+
+    /// Renders a horizontal ASCII bar chart (the form Figures 6/7 take in
+    /// the terminal), with bin centers in the given unit scale.
+    pub fn render(&self, label: &str, unit_scale: f64, unit: &str) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = format!("{label} (n={})\n", self.total);
+        for (center, count) in self.centers() {
+            let bar_len = (count * 50).div_ceil(max);
+            out.push_str(&format!(
+                "{:>10.2} {unit} | {:<50} {count}\n",
+                center * unit_scale,
+                "#".repeat(if count == 0 { 0 } else { bar_len }),
+            ));
+        }
+        out
+    }
+
+    /// Overlays two histograms with the same binning, rendering paired
+    /// bars — the side-by-side comparison format of Figures 6 and 7.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different bin counts or ranges.
+    pub fn render_pair(
+        &self,
+        other: &Histogram,
+        label_self: &str,
+        label_other: &str,
+        unit_scale: f64,
+        unit: &str,
+    ) -> String {
+        assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
+        assert!(
+            (self.lo - other.lo).abs() < 1e-12 * (self.hi - self.lo)
+                && (self.hi - other.hi).abs() < 1e-12 * (self.hi - self.lo),
+            "histogram ranges differ"
+        );
+        let max = self
+            .counts
+            .iter()
+            .chain(other.counts.iter())
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut out = format!("{label_self} (#) vs {label_other} (o)\n");
+        for (k, (center, _)) in self.centers().iter().enumerate() {
+            let a = self.counts[k];
+            let b = other.counts[k];
+            let bar_a = "#".repeat((a * 25).div_ceil(max).min(25) * usize::from(a > 0));
+            let bar_b = "o".repeat((b * 25).div_ceil(max).min(25) * usize::from(b > 0));
+            out.push_str(&format!(
+                "{:>10.2} {unit} | {bar_a:<25}|{bar_b:<25} {a:>4} {b:>4}\n",
+                center * unit_scale
+            ));
+        }
+        out
+    }
+
+    /// Shared-range constructor for comparable histograms: bins both
+    /// samples over their combined range.
+    pub fn pair(xs: &[f64], ys: &[f64], bins: usize) -> (Histogram, Histogram) {
+        let all: Vec<f64> = xs.iter().chain(ys).copied().collect();
+        let lo = all.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let margin = 0.05 * (hi - lo).max(1e-30);
+        (
+            Histogram::new(xs, bins, lo - margin, hi + margin),
+            Histogram::new(ys, bins, lo - margin, hi + margin),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_right_bins() {
+        let h = Histogram::new(&[0.1, 0.1, 0.5, 0.9], 2, 0.0, 1.0);
+        assert_eq!(h.counts(), &[2, 2]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let h = Histogram::new(&[-5.0, 5.0], 4, 0.0, 1.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn auto_covers_sample() {
+        let xs = [1.0, 2.0, 3.0];
+        let h = Histogram::auto(&xs, 3);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn centers_are_monotonic() {
+        let h = Histogram::new(&[0.5], 4, 0.0, 1.0);
+        let cs = h.centers();
+        assert_eq!(cs.len(), 4);
+        assert!(cs.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!((cs[0].0 - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_bars() {
+        let h = Histogram::new(&[0.2, 0.2, 0.8], 2, 0.0, 1.0);
+        let s = h.render("demo", 1.0, "V");
+        assert!(s.contains('#'));
+        assert!(s.contains("demo"));
+    }
+
+    #[test]
+    fn paired_rendering() {
+        let (a, b) = Histogram::pair(&[1.0, 2.0, 2.1], &[1.5, 2.5], 5);
+        assert_eq!(a.counts().len(), b.counts().len());
+        let s = a.render_pair(&b, "MC", "GA", 1.0, "ps");
+        assert!(s.contains("MC"));
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    #[should_panic(expected = "bin count mismatch")]
+    fn mismatched_pair_panics() {
+        let a = Histogram::new(&[0.5], 2, 0.0, 1.0);
+        let b = Histogram::new(&[0.5], 3, 0.0, 1.0);
+        let _ = a.render_pair(&b, "a", "b", 1.0, "");
+    }
+}

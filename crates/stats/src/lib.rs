@@ -1,0 +1,34 @@
+//! Statistical methods of the framework (paper §4.1).
+//!
+//! * [`sampling`] — seeded sampling: independent normal/uniform sources and
+//!   **Latin Hypercube Sampling** (the paper's Example 2 uses 100 LHS
+//!   samples);
+//! * [`pca`] — Principal Component Analysis of parameter covariance: the
+//!   dimensionality reduction the paper recommends before sampling
+//!   (§4.1.1), including a synthetic correlated-device-parameter demo that
+//!   reproduces the "60 BSIM3 parameters → ~10 factors" observation of the
+//!   paper's reference \[11\];
+//! * [`montecarlo`] — the generic Monte-Carlo driver with summary
+//!   statistics and standard-error estimates;
+//! * [`gradient`] — Gradient Analysis (§4.1.3, eq. 24): σ of a performance
+//!   from first-order sensitivities of uncorrelated sources;
+//! * [`histogram`] — fixed-bin histograms with a text renderer for the
+//!   paper's Figures 6 and 7.
+
+pub mod gradient;
+pub mod histogram;
+pub mod montecarlo;
+pub mod pca;
+pub mod sampling;
+pub mod summary;
+pub mod timing_yield;
+
+pub use gradient::gradient_std;
+pub use histogram::Histogram;
+pub use montecarlo::{monte_carlo, MonteCarloResult};
+pub use pca::{Pca, PcaModel};
+pub use sampling::{latin_hypercube, lhs_normal, lhs_uniform, normal_samples, rng_from_seed, uniform_samples, SampleRng};
+pub use gradient::central_difference_sensitivities;
+pub use pca::demo_correlated_device_parameters;
+pub use summary::Summary;
+pub use timing_yield::{empirical_yield, normal_cdf, normal_yield, period_for_yield};

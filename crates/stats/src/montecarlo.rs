@@ -1,0 +1,81 @@
+//! The Monte-Carlo driver (paper §4.1.2).
+
+use crate::summary::Summary;
+
+/// Result of a Monte-Carlo analysis.
+#[derive(Debug, Clone)]
+pub struct MonteCarloResult {
+    /// Performance value per sample (failed evaluations are skipped).
+    pub values: Vec<f64>,
+    /// Summary statistics of the values.
+    pub summary: Summary,
+    /// Number of samples whose evaluation failed.
+    pub failures: usize,
+}
+
+/// Evaluates `f` on every sample and summarizes the results.
+///
+/// Sample evaluation returns `Result`; failed samples (for example an SC
+/// divergence on a pathological corner) are counted, not fatal — a
+/// statistical analysis should report partial results with diagnostics
+/// rather than lose an hour of work to one corner.
+pub fn monte_carlo<S, E>(
+    samples: &[S],
+    mut f: impl FnMut(&S) -> Result<f64, E>,
+) -> MonteCarloResult {
+    let mut values = Vec::with_capacity(samples.len());
+    let mut failures = 0usize;
+    for s in samples {
+        match f(s) {
+            Ok(v) => values.push(v),
+            Err(_) => failures += 1,
+        }
+    }
+    let summary = Summary::of(&values);
+    MonteCarloResult {
+        values,
+        summary,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::{lhs_normal, rng_from_seed};
+
+    #[test]
+    fn linear_function_of_normals() {
+        // f(w) = 3 + 2·w0 − w1 with unit normals: mean 3, σ = √5.
+        let mut rng = rng_from_seed(77);
+        let samples = lhs_normal(&mut rng, 2000, 2, 1.0);
+        let res = monte_carlo::<_, std::convert::Infallible>(&samples, |w| {
+            Ok(3.0 + 2.0 * w[0] - w[1])
+        });
+        assert_eq!(res.failures, 0);
+        assert!((res.summary.mean - 3.0).abs() < 0.05);
+        assert!((res.summary.std - 5.0_f64.sqrt()).abs() < 0.05);
+    }
+
+    #[test]
+    fn failures_are_counted_not_fatal() {
+        let samples: Vec<f64> = (0..10).map(|k| k as f64).collect();
+        let res = monte_carlo(&samples, |&x| {
+            if x < 3.0 {
+                Err("corner failed")
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(res.failures, 3);
+        assert_eq!(res.values.len(), 7);
+        assert_eq!(res.summary.n, 7);
+    }
+
+    #[test]
+    fn empty_sample_set() {
+        let res = monte_carlo::<f64, ()>(&[], |_| Ok(0.0));
+        assert_eq!(res.summary.n, 0);
+        assert_eq!(res.failures, 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Principal Component Analysis of parameter covariance (paper §4.1.1).
+//!
+//! Device and wire model parameters are correlated because they share a
+//! few underlying process factors; PCA recovers an uncorrelated factor set
+//! of much lower dimension, shrinking the sampling space of Monte-Carlo
+//! and Gradient Analysis. The paper cites a study in which the variation
+//! of 60 BSIM3 parameters is explained by ~10 factors;
+//! [`demo_correlated_device_parameters`] reproduces that structure
+//! synthetically (substitution #6 in `DESIGN.md`).
+
+use linvar_numeric::{jacobi_eigen, Matrix, NumericError};
+
+/// A fitted PCA model: orthogonal factors of a parameter covariance.
+#[derive(Debug, Clone)]
+pub struct PcaModel {
+    /// Parameter means.
+    pub means: Vec<f64>,
+    /// Factor variances (descending eigenvalues of the covariance).
+    pub variances: Vec<f64>,
+    /// Loading matrix: column `k` is the k-th principal direction.
+    pub loadings: Matrix,
+    /// Number of retained factors.
+    pub retained: usize,
+}
+
+/// PCA fitting entry point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pca {
+    /// Fraction of total variance the retained factors must explain
+    /// (default 0.95).
+    pub explained_fraction: f64,
+}
+
+impl Pca {
+    /// Creates a PCA configuration retaining the given variance fraction.
+    pub fn new(explained_fraction: f64) -> Self {
+        Pca { explained_fraction }
+    }
+
+    /// Fits PCA to a sample matrix (`rows` = observations, `cols` =
+    /// parameters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] for fewer than two
+    /// observations and propagates eigensolver failures.
+    pub fn fit(&self, samples: &Matrix) -> Result<PcaModel, NumericError> {
+        let (n, p) = (samples.rows(), samples.cols());
+        if n < 2 || p == 0 {
+            return Err(NumericError::InvalidInput(
+                "pca needs at least two observations and one parameter".into(),
+            ));
+        }
+        let means: Vec<f64> = (0..p)
+            .map(|j| samples.col(j).iter().sum::<f64>() / n as f64)
+            .collect();
+        // Sample covariance.
+        let mut cov = Matrix::zeros(p, p);
+        for k in 0..n {
+            for i in 0..p {
+                let di = samples[(k, i)] - means[i];
+                for j in i..p {
+                    let dj = samples[(k, j)] - means[j];
+                    cov[(i, j)] += di * dj;
+                }
+            }
+        }
+        for i in 0..p {
+            for j in i..p {
+                let v = cov[(i, j)] / (n as f64 - 1.0);
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+            }
+        }
+        let eig = jacobi_eigen(&cov)?;
+        let total: f64 = eig.values.iter().map(|v| v.max(0.0)).sum();
+        let target = self.explained_fraction.clamp(0.0, 1.0) * total;
+        let mut acc = 0.0;
+        let mut retained = 0;
+        for &v in &eig.values {
+            if acc >= target && retained > 0 {
+                break;
+            }
+            acc += v.max(0.0);
+            retained += 1;
+        }
+        Ok(PcaModel {
+            means,
+            variances: eig.values,
+            loadings: eig.vectors,
+            retained,
+        })
+    }
+}
+
+impl PcaModel {
+    /// Number of original parameters.
+    pub fn param_count(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Maps a factor vector (length ≤ retained) back to parameter space:
+    /// `x = mean + Σ_k f_k·√λ_k·v_k` — the "by-product reverse
+    /// transformation" the paper mentions. Factors are in normalized units
+    /// (unit variance).
+    pub fn to_parameters(&self, factors: &[f64]) -> Vec<f64> {
+        let mut x = self.means.clone();
+        for (k, &f) in factors.iter().enumerate().take(self.retained) {
+            let scale = self.variances[k].max(0.0).sqrt();
+            for (i, xi) in x.iter_mut().enumerate() {
+                *xi += f * scale * self.loadings[(i, k)];
+            }
+        }
+        x
+    }
+
+    /// Projects a parameter vector onto the retained factors (normalized
+    /// units).
+    pub fn to_factors(&self, params: &[f64]) -> Vec<f64> {
+        let centered: Vec<f64> = params
+            .iter()
+            .zip(&self.means)
+            .map(|(x, m)| x - m)
+            .collect();
+        (0..self.retained)
+            .map(|k| {
+                let scale = self.variances[k].max(1e-300).sqrt();
+                let proj: f64 = (0..centered.len())
+                    .map(|i| centered[i] * self.loadings[(i, k)])
+                    .sum();
+                proj / scale
+            })
+            .collect()
+    }
+
+    /// Fraction of total variance explained by the retained factors.
+    pub fn explained(&self) -> f64 {
+        let total: f64 = self.variances.iter().map(|v| v.max(0.0)).sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        self.variances[..self.retained]
+            .iter()
+            .map(|v| v.max(0.0))
+            .sum::<f64>()
+            / total
+    }
+}
+
+/// Generates a synthetic correlated device-parameter sample: `n_params`
+/// observable parameters driven by `n_factors` latent process factors plus
+/// small independent noise — the structure reported for BSIM3 parameter
+/// variations (paper ref. \[11\]).
+///
+/// Returns an `n_samples x n_params` sample matrix.
+pub fn demo_correlated_device_parameters(
+    rng: &mut crate::sampling::SampleRng,
+    n_samples: usize,
+    n_params: usize,
+    n_factors: usize,
+    noise: f64,
+) -> Matrix {
+    use crate::sampling::normal_samples;
+    // Fixed deterministic pseudo-random loading pattern. The argument must
+    // mix `i` and `k` nonlinearly (a linear combination inside `sin` would
+    // make the loading matrix rank-2 by the angle-addition identity).
+    let loading = |i: usize, k: usize| -> f64 {
+        ((i as f64 + 1.37) * (k as f64 + 2.71) * 0.7361).sin()
+    };
+    let mut out = Matrix::zeros(n_samples, n_params);
+    for s in 0..n_samples {
+        let f = normal_samples(rng, n_factors);
+        let eps = normal_samples(rng, n_params);
+        for i in 0..n_params {
+            let mut v = 0.0;
+            for (k, &fk) in f.iter().enumerate() {
+                v += loading(i, k) * fk;
+            }
+            out[(s, i)] = v + noise * eps[i];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::rng_from_seed;
+
+    #[test]
+    fn recovers_low_rank_structure() {
+        // 60 parameters driven by 10 factors: PCA at 95 % must retain a
+        // number of factors close to 10, never anywhere near 60.
+        let mut rng = rng_from_seed(11);
+        let samples = demo_correlated_device_parameters(&mut rng, 400, 60, 10, 0.05);
+        let model = Pca::new(0.95).fit(&samples).unwrap();
+        assert!(
+            (8..=14).contains(&model.retained),
+            "retained {} factors",
+            model.retained
+        );
+        assert!(model.explained() >= 0.95);
+    }
+
+    #[test]
+    fn exact_two_factor_data() {
+        let mut rng = rng_from_seed(5);
+        let samples = demo_correlated_device_parameters(&mut rng, 300, 8, 2, 0.0);
+        let model = Pca::new(0.999).fit(&samples).unwrap();
+        assert_eq!(model.retained, 2, "noise-free rank-2 data");
+    }
+
+    #[test]
+    fn roundtrip_through_factor_space() {
+        let mut rng = rng_from_seed(2);
+        let samples = demo_correlated_device_parameters(&mut rng, 200, 6, 2, 0.0);
+        let model = Pca::new(0.999).fit(&samples).unwrap();
+        // Any sample maps to factors and back with small error.
+        let x: Vec<f64> = (0..6).map(|j| samples[(17, j)]).collect();
+        let f = model.to_factors(&x);
+        let back = model.to_parameters(&f);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn factors_are_uncorrelated() {
+        let mut rng = rng_from_seed(23);
+        let samples = demo_correlated_device_parameters(&mut rng, 500, 10, 3, 0.1);
+        let model = Pca::new(0.99).fit(&samples).unwrap();
+        // Project every sample and check cross-correlations.
+        let n = samples.rows();
+        let k = model.retained;
+        let mut fac = Matrix::zeros(n, k);
+        for s in 0..n {
+            let x: Vec<f64> = (0..10).map(|j| samples[(s, j)]).collect();
+            let f = model.to_factors(&x);
+            for (j, &fj) in f.iter().enumerate() {
+                fac[(s, j)] = fj;
+            }
+        }
+        for a in 0..k {
+            for b in (a + 1)..k {
+                let ca = fac.col(a);
+                let cb = fac.col(b);
+                let corr: f64 =
+                    ca.iter().zip(&cb).map(|(x, y)| x * y).sum::<f64>() / (n as f64 - 1.0);
+                assert!(corr.abs() < 0.1, "factors {a},{b} correlated: {corr}");
+            }
+        }
+    }
+
+    #[test]
+    fn too_few_observations_rejected() {
+        let samples = Matrix::zeros(1, 4);
+        assert!(Pca::new(0.9).fit(&samples).is_err());
+    }
+}

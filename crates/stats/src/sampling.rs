@@ -1,0 +1,222 @@
+//! Seeded random sampling: normal/uniform sources and Latin Hypercube
+//! Sampling.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The deterministic RNG used throughout the workspace. All experiments
+/// seed it explicitly so every table and figure is reproducible.
+pub type SampleRng = StdRng;
+
+/// Creates the workspace RNG from a seed.
+pub fn rng_from_seed(seed: u64) -> SampleRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws `n` standard-normal samples (Box-Muller on the uniform source).
+pub fn normal_samples(rng: &mut SampleRng, n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Box-Muller transform; guard against log(0).
+        let u1: f64 = rng.random::<f64>().max(1e-300);
+        let u2: f64 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        out.push(r * theta.cos());
+        if out.len() < n {
+            out.push(r * theta.sin());
+        }
+    }
+    out
+}
+
+/// Draws `n` uniform samples in `[lo, hi)`.
+pub fn uniform_samples(rng: &mut SampleRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| lo + (hi - lo) * rng.random::<f64>()).collect()
+}
+
+/// Latin Hypercube Sampling: `n` samples in `dims` dimensions, each
+/// marginal stratified into `n` equal-probability bins with one sample per
+/// bin, bins randomly permuted per dimension.
+///
+/// `transform` maps the per-dimension uniform `[0, 1)` stratum draw to the
+/// target distribution (identity for uniform on `[0,1)`); use
+/// [`lhs_uniform`] / [`lhs_normal`] for the common cases.
+pub fn latin_hypercube(
+    rng: &mut SampleRng,
+    n: usize,
+    dims: usize,
+    transform: impl Fn(usize, f64) -> f64,
+) -> Vec<Vec<f64>> {
+    let mut samples = vec![vec![0.0; dims]; n];
+    for d in 0..dims {
+        // A random permutation of the n strata.
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        for (k, sample) in samples.iter_mut().enumerate() {
+            let u = (perm[k] as f64 + rng.random::<f64>()) / n as f64;
+            sample[d] = transform(d, u);
+        }
+    }
+    samples
+}
+
+/// LHS with uniform marginals on `[lo, hi)`.
+pub fn lhs_uniform(rng: &mut SampleRng, n: usize, dims: usize, lo: f64, hi: f64) -> Vec<Vec<f64>> {
+    latin_hypercube(rng, n, dims, |_, u| lo + (hi - lo) * u)
+}
+
+/// LHS with standard-normal marginals (inverse-CDF via the
+/// Acklam/Beasley-Springer-Moro rational approximation).
+pub fn lhs_normal(rng: &mut SampleRng, n: usize, dims: usize, sigma: f64) -> Vec<Vec<f64>> {
+    latin_hypercube(rng, n, dims, |_, u| sigma * inverse_normal_cdf(u))
+}
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, |ε| < 1.2e-9).
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    let p = p.clamp(1e-300, 1.0 - 1e-16);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linvar_numeric::vector::{mean, std_dev};
+
+    #[test]
+    fn normal_samples_have_right_moments() {
+        let mut rng = rng_from_seed(42);
+        let xs = normal_samples(&mut rng, 20_000);
+        assert!(mean(&xs).abs() < 0.03, "mean {}", mean(&xs));
+        assert!((std_dev(&xs) - 1.0).abs() < 0.03, "std {}", std_dev(&xs));
+    }
+
+    #[test]
+    fn uniform_samples_in_range() {
+        let mut rng = rng_from_seed(1);
+        let xs = uniform_samples(&mut rng, 5000, -1.0, 1.0);
+        assert!(xs.iter().all(|&x| (-1.0..1.0).contains(&x)));
+        assert!(mean(&xs).abs() < 0.05);
+        // Uniform on [-1,1) has std 1/√3 ≈ 0.577.
+        assert!((std_dev(&xs) - 1.0 / 3.0_f64.sqrt()).abs() < 0.02);
+    }
+
+    #[test]
+    fn lhs_stratification_property() {
+        // Every dimension must have exactly one sample per stratum.
+        let mut rng = rng_from_seed(7);
+        let n = 50;
+        let samples = lhs_uniform(&mut rng, n, 3, 0.0, 1.0);
+        for d in 0..3 {
+            let mut seen = vec![false; n];
+            for s in &samples {
+                let bin = ((s[d] * n as f64) as usize).min(n - 1);
+                assert!(!seen[bin], "stratum {bin} hit twice in dim {d}");
+                seen[bin] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "all strata covered in dim {d}");
+        }
+    }
+
+    #[test]
+    fn lhs_variance_reduction_on_mean() {
+        // LHS mean estimate of a monotone function has lower variance than
+        // plain MC for equal sample counts.
+        let f = |x: &[f64]| x[0] + x[1] * x[1];
+        let trials = 60;
+        let n = 20;
+        let mut lhs_means = Vec::new();
+        let mut mc_means = Vec::new();
+        for t in 0..trials {
+            let mut rng = rng_from_seed(1000 + t);
+            let lhs = lhs_uniform(&mut rng, n, 2, 0.0, 1.0);
+            lhs_means.push(mean(&lhs.iter().map(|s| f(s)).collect::<Vec<_>>()));
+            let mc: Vec<f64> = (0..n)
+                .map(|_| {
+                    let x = [rng.random::<f64>(), rng.random::<f64>()];
+                    f(&x)
+                })
+                .collect();
+            mc_means.push(mean(&mc));
+        }
+        assert!(
+            std_dev(&lhs_means) < std_dev(&mc_means),
+            "LHS {} vs MC {}",
+            std_dev(&lhs_means),
+            std_dev(&mc_means)
+        );
+    }
+
+    #[test]
+    fn lhs_normal_marginals() {
+        let mut rng = rng_from_seed(3);
+        let samples = lhs_normal(&mut rng, 2000, 1, 2.0);
+        let xs: Vec<f64> = samples.iter().map(|s| s[0]).collect();
+        assert!(mean(&xs).abs() < 0.05);
+        assert!((std_dev(&xs) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn inverse_cdf_reference_points() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-8);
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.025) + 1.959964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.8413) - 1.0).abs() < 1e-3);
+        // Extremes stay finite.
+        assert!(inverse_normal_cdf(1e-300).is_finite());
+        assert!(inverse_normal_cdf(1.0).is_finite());
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let a = normal_samples(&mut rng_from_seed(9), 10);
+        let b = normal_samples(&mut rng_from_seed(9), 10);
+        assert_eq!(a, b);
+    }
+}

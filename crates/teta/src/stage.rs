@@ -1,0 +1,302 @@
+//! Logic-stage assembly: the Table-1 "construction" step.
+//!
+//! A [`StageModel`] packages everything the framework precharacterizes
+//! once per stage:
+//!
+//! 1. the chord output conductances `G_out` of the nonlinear drivers;
+//! 2. the *effective load* — the stage's linear interconnect with `G_out`
+//!    folded onto the driven ports (paper eq. 12);
+//! 3. the variational reduced-order model library of that effective load.
+//!
+//! Evaluating the model at a parameter sample performs the Table-1
+//! "evaluation" steps: first-order ROM evaluation, pole/residue
+//! transformation, stability filtering and the successive-chords transient.
+
+use crate::engine::{DriverSpec, StageSolver, StageSolverOptions, StageStats};
+use crate::error::TetaError;
+use crate::waveform::Waveform;
+use linvar_circuit::{Netlist, NodeId};
+use linvar_devices::{chord_conductance, DeviceVariation, MosParams, Technology};
+use linvar_mor::{extract_pole_residue, stabilize, ReductionMethod, StabilityReport, VariationalRom};
+
+/// A precharacterized logic stage.
+#[derive(Debug, Clone)]
+pub struct StageModel {
+    vrom: VariationalRom,
+    /// The effective-load variational matrices (chords already folded),
+    /// kept for the exact-reduction reference flow.
+    var: linvar_circuit::VariationalMna,
+    /// `(port index, g_out)` of each driven port, in driver order.
+    driver_ports: Vec<(usize, f64)>,
+    nmos: MosParams,
+    pmos: MosParams,
+    wn: f64,
+    wp: f64,
+    length: f64,
+    /// Supply voltage (V).
+    pub vdd: f64,
+}
+
+/// Result of one stage evaluation.
+#[derive(Debug, Clone)]
+pub struct StageResult {
+    /// Waveform at every load port (port-marking order).
+    pub waveforms: Vec<Waveform>,
+    /// What the stability filter did to this sample's macromodel.
+    pub stability: StabilityReport,
+    /// Solver statistics.
+    pub stats: StageStats,
+}
+
+impl StageModel {
+    /// Builds the stage model from the interconnect netlist.
+    ///
+    /// `driven` lists the netlist nodes that carry drivers (each must be a
+    /// marked port of the netlist); every driver is the technology's unit
+    /// equivalent inverter. `method`/`delta` configure the variational
+    /// reduction (see [`VariationalRom::characterize`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TetaError::BadStage`] for nodes that are not ports or
+    /// missing device models, and propagates characterization failures.
+    pub fn build(
+        netlist: &Netlist,
+        driven: &[NodeId],
+        tech: &Technology,
+        method: ReductionMethod,
+        delta: f64,
+    ) -> Result<Self, TetaError> {
+        let mut var = netlist
+            .assemble_variational()
+            .map_err(|e| TetaError::BadStage(e.to_string()))?;
+        let nmos = tech
+            .library
+            .get(&tech.library.nmos_name())
+            .ok_or_else(|| TetaError::BadStage("missing nmos model".into()))?
+            .clone();
+        let pmos = tech
+            .library
+            .get(&tech.library.pmos_name())
+            .ok_or_else(|| TetaError::BadStage("missing pmos model".into()))?
+            .clone();
+        let vdd = tech.library.vdd;
+        let g_out = chord_conductance(&nmos, tech.wn, tech.library.lmin, vdd)
+            + chord_conductance(&pmos, tech.wp, tech.library.lmin, vdd);
+        // Map driven nodes to port positions and fold the chords.
+        let ports = netlist.ports();
+        let mut driver_ports = Vec::with_capacity(driven.len());
+        for node in driven {
+            let port_pos = ports
+                .iter()
+                .position(|p| p == node)
+                .ok_or_else(|| {
+                    TetaError::BadStage(format!(
+                        "driven node {:?} is not a marked port",
+                        netlist.node_name(*node)
+                    ))
+                })?;
+            let mna_idx = var.port_indices[port_pos];
+            var.add_grounded_conductance(mna_idx, g_out)
+                .map_err(|e| TetaError::BadStage(e.to_string()))?;
+            driver_ports.push((port_pos, g_out));
+        }
+        let vrom = VariationalRom::characterize(&var, method, delta)?;
+        Ok(StageModel {
+            vrom,
+            var,
+            driver_ports,
+            nmos,
+            pmos,
+            wn: tech.wn,
+            wp: tech.wp,
+            length: tech.library.lmin,
+            vdd,
+        })
+    }
+
+    /// Number of load ports.
+    pub fn port_count(&self) -> usize {
+        self.vrom.port_count()
+    }
+
+    /// Number of drivers.
+    pub fn driver_count(&self) -> usize {
+        self.driver_ports.len()
+    }
+
+    /// The underlying variational ROM (for diagnostics and benches).
+    pub fn vrom(&self) -> &VariationalRom {
+        &self.vrom
+    }
+
+    /// Evaluates the stage at an interconnect parameter sample `w` and a
+    /// device variation sample, driving each driver port with the
+    /// corresponding input waveform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TetaError::BadStage`] if `inputs.len()` differs from the
+    /// driver count, and propagates pole-extraction or SC-divergence
+    /// failures.
+    pub fn evaluate(
+        &self,
+        w: &[f64],
+        variation: DeviceVariation,
+        inputs: &[Waveform],
+        h: f64,
+        t_end: f64,
+    ) -> Result<StageResult, TetaError> {
+        let rom = self.vrom.evaluate(w);
+        self.evaluate_with_rom(&rom, variation, inputs, h, t_end)
+    }
+
+    /// Reference evaluation: recomputes the *exact* reduction at the
+    /// sample (fresh matrices, fresh basis) instead of the first-order
+    /// variational model — what a non-variational flow would pay for every
+    /// sample. Used by the Figure-6 accuracy comparison.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StageModel::evaluate`].
+    pub fn evaluate_exact(
+        &self,
+        w: &[f64],
+        variation: DeviceVariation,
+        inputs: &[Waveform],
+        h: f64,
+        t_end: f64,
+    ) -> Result<StageResult, TetaError> {
+        let rom = self.vrom.evaluate_exact(&self.var, w)?;
+        self.evaluate_with_rom(&rom, variation, inputs, h, t_end)
+    }
+
+    fn evaluate_with_rom(
+        &self,
+        rom: &linvar_mor::ReducedModel,
+        variation: DeviceVariation,
+        inputs: &[Waveform],
+        h: f64,
+        t_end: f64,
+    ) -> Result<StageResult, TetaError> {
+        if inputs.len() != self.driver_ports.len() {
+            return Err(TetaError::BadStage(format!(
+                "{} inputs for {} drivers",
+                inputs.len(),
+                self.driver_ports.len()
+            )));
+        }
+        let pr = extract_pole_residue(rom)?;
+        let (stable, stability) = stabilize(&pr);
+        let drivers: Vec<DriverSpec> = self
+            .driver_ports
+            .iter()
+            .zip(inputs)
+            .map(|(&(port, g_out), input)| DriverSpec {
+                port,
+                input: input.clone(),
+                nmos: self.nmos.clone(),
+                pmos: self.pmos.clone(),
+                wn: self.wn,
+                wp: self.wp,
+                length: self.length,
+                g_out,
+            })
+            .collect();
+        let mut opts = StageSolverOptions::new(self.vdd, t_end, h);
+        opts.variation = variation;
+        opts.compress_tol = 1e-4 * self.vdd;
+        let (waveforms, stats) = StageSolver::new(&stable, drivers, opts)?.run()?;
+        Ok(StageResult {
+            waveforms,
+            stability,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linvar_devices::tech_018;
+    use linvar_interconnect::{CoupledLineSpec, WireTech};
+
+    /// Single line, 20 µm, driver at the near end, observer at the far end.
+    fn line_stage() -> (StageModel, usize) {
+        let tech = tech_018();
+        let spec = CoupledLineSpec::new(1, 20e-6, WireTech::m018());
+        let built = linvar_interconnect::builder::build_coupled_lines(&spec).unwrap();
+        let model = StageModel::build(
+            &built.netlist,
+            &[built.inputs[0]],
+            &tech,
+            ReductionMethod::Prima { order: 6 },
+            0.02,
+        )
+        .unwrap();
+        // Output port position: far end was marked after the near ends.
+        let out_pos = built
+            .netlist
+            .ports()
+            .iter()
+            .position(|p| *p == built.outputs[0])
+            .unwrap();
+        (model, out_pos)
+    }
+
+    #[test]
+    fn nominal_stage_switches() {
+        let (model, out_pos) = line_stage();
+        let input = Waveform::ramp(0.0, 1.8, 20e-12, 50e-12);
+        let res = model
+            .evaluate(&[0.0; 5], DeviceVariation::nominal(), &[input], 1e-12, 1.5e-9)
+            .unwrap();
+        let out = &res.waveforms[out_pos];
+        assert!(out.initial_value() > 1.7, "far end starts high");
+        assert!(out.final_value() < 0.1, "far end discharges");
+    }
+
+    #[test]
+    fn wire_variation_changes_delay() {
+        let (model, out_pos) = line_stage();
+        let input = Waveform::ramp(0.0, 1.8, 20e-12, 50e-12);
+        let delay = |w: &[f64]| -> f64 {
+            let res = model
+                .evaluate(
+                    w,
+                    DeviceVariation::nominal(),
+                    std::slice::from_ref(&input),
+                    1e-12,
+                    2e-9,
+                )
+                .unwrap();
+            res.waveforms[out_pos].crossing(0.9, false).expect("falls")
+        };
+        let nominal = delay(&[0.0; 5]);
+        // Thicker metal (+T) raises both R⁻¹… T up → R down but C up; use
+        // resistivity which is unambiguous: +rho → slower.
+        let slow = delay(&[0.0, 0.0, 0.0, 0.0, 1.0]);
+        let fast = delay(&[0.0, 0.0, 0.0, 0.0, -1.0]);
+        assert!(slow > nominal && nominal > fast,
+            "rho ordering: {fast} < {nominal} < {slow}");
+    }
+
+    #[test]
+    fn wrong_input_count_rejected() {
+        let (model, _) = line_stage();
+        let res = model.evaluate(&[0.0; 5], DeviceVariation::nominal(), &[], 1e-12, 1e-9);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn stability_report_is_returned() {
+        let (model, _) = line_stage();
+        let input = Waveform::ramp(0.0, 1.8, 10e-12, 40e-12);
+        let res = model
+            .evaluate(&[0.5; 5], DeviceVariation::nominal(), &[input], 1e-12, 1e-9)
+            .unwrap();
+        // Whether or not poles were removed, β must be finite and the
+        // resulting run completed.
+        assert!(res.stability.max_beta_deviation.is_finite());
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's Example 2: efficiency on stages with many wires.
+//!
+//! Sweeps the interconnect size of a logic stage and compares the CPU time
+//! of the framework (one vROM characterization + cheap per-sample
+//! evaluations) against the SPICE baseline (full re-simulation per
+//! sample), plus the delay statistics of both — the content of the
+//! paper's Figures 5 and 6.
+//!
+//! Run with `cargo run --release --example wirelength_sweep`.
+
+use linvar::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = tech_018();
+    let wire = WireTech::m018();
+    let n_teta_samples = 30;
+    let n_spice_samples = 5; // baseline is slow; per-sample time is what matters
+
+    println!("elements | TETA ms/sample | SPICE ms/sample | speedup");
+    for &n_elem in &[10usize, 50, 100, 200] {
+        let spec = PathSpec {
+            cells: vec!["inv".into()],
+            linear_elements_between_stages: n_elem,
+            input_slew: 50e-12,
+        };
+        let model = PathModel::build(&spec, &tech, &wire)?;
+        let sources = VariationSources::example3_table4();
+        let mut rng = rng_from_seed(42);
+        let samples = model.draw_samples(&sources, n_teta_samples, &mut rng);
+
+        let t0 = Instant::now();
+        let mut teta_delays = Vec::new();
+        for s in &samples {
+            teta_delays.push(model.evaluate_sample(s)?);
+        }
+        let teta_ms = t0.elapsed().as_secs_f64() * 1e3 / n_teta_samples as f64;
+
+        let t0 = Instant::now();
+        let mut spice_delays = Vec::new();
+        for s in samples.iter().take(n_spice_samples) {
+            spice_delays.push(model.evaluate_sample_spice(s)?);
+        }
+        let spice_ms = t0.elapsed().as_secs_f64() * 1e3 / n_spice_samples as f64;
+
+        println!(
+            "{n_elem:>8} | {teta_ms:>14.2} | {spice_ms:>15.2} | {:>7.1}x",
+            spice_ms / teta_ms
+        );
+
+        if n_elem == 100 {
+            // Figure-6 style histogram comparison at one size.
+            let t_sum = Summary::of(&teta_delays);
+            let s_sum = Summary::of(&spice_delays);
+            println!(
+                "  accuracy at {n_elem} elements: TETA mean {:.2} ps vs SPICE mean {:.2} ps",
+                t_sum.mean * 1e12,
+                s_sum.mean * 1e12
+            );
+            let hist = Histogram::auto(&teta_delays, 10);
+            print!("{}", hist.render("  TETA delay distribution", 1e12, "ps"));
+        }
+    }
+    Ok(())
+}

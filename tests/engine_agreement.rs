@@ -1,0 +1,81 @@
+//! Engine-agreement tests: the linear-centric engine and the SPICE
+//! baseline must produce the same waveforms on shared configurations —
+//! the paper's "almost SPICE accuracy" claim for TETA, checked across
+//! cell types, loads and variation corners.
+
+use linvar::prelude::*;
+
+fn agreement(cells: Vec<String>, n_elem: usize, sample: PathSample) -> (f64, f64) {
+    let spec = PathSpec {
+        cells,
+        linear_elements_between_stages: n_elem,
+        input_slew: 50e-12,
+    };
+    let model = PathModel::build(&spec, &tech_018(), &WireTech::m018()).expect("builds");
+    let teta = model.evaluate_sample(&sample).expect("teta evaluates");
+    let spice = model.evaluate_sample_spice(&sample).expect("spice evaluates");
+    (teta, spice)
+}
+
+#[test]
+fn agreement_across_cell_types() {
+    for cell in ["inv", "nand2", "nand3", "nor2", "nor3"] {
+        let (teta, spice) = agreement(
+            vec![cell.to_string(), "inv".to_string()],
+            20,
+            PathSample::default(),
+        );
+        let rel = (teta - spice).abs() / spice;
+        assert!(
+            rel < 0.10,
+            "{cell}: teta {:.2}ps vs spice {:.2}ps ({:.1}% off)",
+            teta * 1e12,
+            spice * 1e12,
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn agreement_at_variation_corners() {
+    for (wire, dev) in [
+        ([1.0, 1.0, 1.0, 1.0, 1.0], DeviceVariation::new(0.0, 0.0)),
+        ([-1.0, -1.0, -1.0, -1.0, -1.0], DeviceVariation::new(0.0, 0.0)),
+        ([0.0; 5], DeviceVariation::new(1.0, 1.0)),
+        ([0.0; 5], DeviceVariation::new(-1.0, -1.0)),
+        ([1.0, -1.0, 0.5, -0.5, 1.0], DeviceVariation::new(0.5, -0.5)),
+    ] {
+        let sample = PathSample { wire, device: dev };
+        let (teta, spice) = agreement(vec!["inv".into(), "inv".into()], 30, sample);
+        let rel = (teta - spice).abs() / spice;
+        assert!(
+            rel < 0.10,
+            "corner {wire:?}/{dev:?}: teta {teta:.3e} vs spice {spice:.3e}"
+        );
+    }
+}
+
+#[test]
+fn agreement_on_large_load() {
+    let (teta, spice) = agreement(vec!["inv".into()], 300, PathSample::default());
+    let rel = (teta - spice).abs() / spice;
+    assert!(
+        rel < 0.05,
+        "300 elements: teta {:.2}ps vs spice {:.2}ps",
+        teta * 1e12,
+        spice * 1e12
+    );
+}
+
+#[test]
+fn both_engines_monotone_in_resistivity() {
+    let d = |rho: f64| {
+        let mut s = PathSample::default();
+        s.wire[4] = rho;
+        agreement(vec!["inv".into()], 100, s)
+    };
+    let (t_lo, s_lo) = d(-1.0);
+    let (t_hi, s_hi) = d(1.0);
+    assert!(t_hi > t_lo, "teta monotone in rho");
+    assert!(s_hi > s_lo, "spice monotone in rho");
+}

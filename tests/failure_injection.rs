@@ -1,0 +1,159 @@
+//! Failure-injection tests: every layer must turn bad inputs into typed
+//! errors, never panics, hangs or silent garbage.
+
+use linvar::circuit::{parse_deck, CircuitError, Netlist, SourceWaveform};
+use linvar::prelude::*;
+use linvar::spice::{SpiceError, Transient, TransientOptions};
+
+#[test]
+fn floating_subnetwork_reports_singular_matrix() {
+    // A load with a completely floating line (no driver conductance, no DC
+    // path) must fail characterization with a singular-matrix error, not
+    // hang or produce NaNs.
+    use linvar::interconnect::builder::build_coupled_lines;
+    let spec = CoupledLineSpec::new(2, 10e-6, WireTech::m018());
+    let built = build_coupled_lines(&spec).expect("builds");
+    let tech = tech_018();
+    // Drive only line 0 — line 1 floats.
+    let res = StageModel::build(
+        &built.netlist,
+        &[built.inputs[0]],
+        &tech,
+        ReductionMethod::Prima { order: 6 },
+        0.02,
+    );
+    match res {
+        Err(linvar::teta::TetaError::Numeric(
+            linvar::numeric::NumericError::SingularMatrix { .. },
+        )) => {}
+        other => panic!("expected singular-matrix error, got {other:?}"),
+    }
+}
+
+#[test]
+fn nonsense_decks_produce_line_numbered_errors() {
+    for (deck, needle) in [
+        ("R1 a b -5", "positive"),
+        ("C1 a b 1p q=2", "undeclared"),
+        ("flub", "unknown element"),
+        ("V1 a 0 SIN 1 2", "unknown source"),
+        (".weird", "unknown directive"),
+    ] {
+        match parse_deck(deck) {
+            Err(CircuitError::ParseError { line: 1, message }) => {
+                assert!(
+                    message.to_lowercase().contains(needle),
+                    "deck {deck:?}: message {message:?} missing {needle:?}"
+                );
+            }
+            other => panic!("deck {deck:?}: expected parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn transient_on_shorted_vsources_fails_cleanly() {
+    // Two ideal voltage sources fighting on the same node: singular MNA.
+    let mut nl = Netlist::new();
+    let a = nl.node("a");
+    nl.add_vsource("V1", a, Netlist::GROUND, SourceWaveform::Dc(1.0))
+        .unwrap();
+    nl.add_vsource("V2", a, Netlist::GROUND, SourceWaveform::Dc(2.0))
+        .unwrap();
+    nl.add_resistor("R", a, Netlist::GROUND, 100.0).unwrap();
+    let opts = TransientOptions::new(1e-9, 1e-12);
+    let res = Transient::new(&nl, &opts).unwrap().run();
+    assert!(
+        matches!(res, Err(SpiceError::Numeric(_))),
+        "conflicting sources must fail: {res:?}"
+    );
+}
+
+#[test]
+fn divergent_stage_is_an_error_not_a_hang() {
+    use linvar::mor::PoleResidueModel;
+    use linvar::numeric::{CMatrix, Complex, Matrix};
+    use linvar::teta::{StageSolver, StageSolverOptions};
+    use linvar::teta::engine::DriverSpec;
+    // Hand the solver a stable-but-pathological load whose instantaneous
+    // impedance is enormous: the SC fixed point cannot contract.
+    let mut r = CMatrix::zeros(1, 1);
+    r[(0, 0)] = Complex::from_real(1e20);
+    let load = PoleResidueModel {
+        poles: vec![Complex::from_real(-1e6)],
+        residues: vec![r],
+        direct: Matrix::zeros(1, 1),
+    };
+    let tech = tech_018();
+    let nmos = tech.library.get(&tech.library.nmos_name()).unwrap().clone();
+    let pmos = tech.library.get(&tech.library.pmos_name()).unwrap().clone();
+    let driver = DriverSpec {
+        port: 0,
+        input: Waveform::ramp(0.0, 1.8, 10e-12, 30e-12),
+        nmos,
+        pmos,
+        wn: tech.wn,
+        wp: tech.wp,
+        length: tech.library.lmin,
+        g_out: 1e-3,
+    };
+    let opts = StageSolverOptions::new(1.8, 1e-9, 1e-12);
+    let res = StageSolver::new(&load, vec![driver], opts).unwrap().run();
+    assert!(
+        matches!(res, Err(linvar::teta::TetaError::ScDivergence { .. })),
+        "expected SC divergence, got {res:?}"
+    );
+}
+
+#[test]
+fn empty_path_and_unknown_cells_rejected() {
+    let tech = tech_018();
+    let wire = WireTech::m018();
+    for cells in [vec![], vec!["flipflop9000".to_string()]] {
+        let spec = PathSpec {
+            cells,
+            linear_elements_between_stages: 10,
+            input_slew: 50e-12,
+        };
+        assert!(matches!(
+            PathModel::build(&spec, &tech, &wire),
+            Err(CoreError::BadSpec(_))
+        ));
+    }
+}
+
+#[test]
+fn mc_reports_partial_failures_instead_of_aborting() {
+    // monte_carlo must count per-sample failures, not abort the run.
+    let samples: Vec<f64> = (0..20).map(|k| k as f64).collect();
+    let res = linvar::stats::monte_carlo(&samples, |&x| {
+        if (x as usize).is_multiple_of(5) {
+            Err("corner blew up")
+        } else {
+            Ok(x)
+        }
+    });
+    assert_eq!(res.failures, 4);
+    assert_eq!(res.values.len(), 16);
+}
+
+#[test]
+fn eigen_and_lu_reject_pathological_inputs() {
+    use linvar::numeric::{eigen_decompose, eigenvalues, LuFactor, Matrix, NumericError};
+    // NaN contamination.
+    let mut a = Matrix::identity(3);
+    a[(1, 2)] = f64::INFINITY;
+    assert!(matches!(
+        eigenvalues(&a),
+        Err(NumericError::InvalidInput(_))
+    ));
+    // Exactly singular.
+    let z = Matrix::zeros(4, 4);
+    assert!(matches!(
+        LuFactor::new(&z),
+        Err(NumericError::SingularMatrix { .. })
+    ));
+    // Non-square everywhere.
+    let rect = Matrix::zeros(2, 5);
+    assert!(eigen_decompose(&rect).is_err());
+}

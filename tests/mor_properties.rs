@@ -1,0 +1,149 @@
+//! Property-based tests of the model-order-reduction invariants, using
+//! randomized RC ladder/mesh generators.
+
+use linvar::mor::{extract_pole_residue, prima_reduce, stabilize};
+use linvar::numeric::{LuFactor, Matrix};
+use proptest::prelude::*;
+
+/// Builds a random grounded RC ladder's (G, C, B) from proptest inputs.
+fn ladder(
+    n: usize,
+    r_vals: &[f64],
+    c_vals: &[f64],
+    g_drive: f64,
+) -> (Matrix, Matrix, Matrix) {
+    let mut g = Matrix::zeros(n, n);
+    let mut c = Matrix::zeros(n, n);
+    for i in 1..n {
+        let gv = 1.0 / r_vals[i % r_vals.len()];
+        g[(i, i)] += gv;
+        g[(i - 1, i - 1)] += gv;
+        g[(i, i - 1)] -= gv;
+        g[(i - 1, i)] -= gv;
+    }
+    g[(0, 0)] += g_drive;
+    for i in 0..n {
+        c[(i, i)] = c_vals[i % c_vals.len()];
+    }
+    let mut b = Matrix::zeros(n, 1);
+    b[(0, 0)] = 1.0;
+    (g, c, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PRIMA matches the DC impedance (zeroth moment) of any RC ladder.
+    #[test]
+    fn prima_preserves_dc(
+        n in 5usize..30,
+        r in prop::collection::vec(1.0f64..100.0, 3),
+        c in prop::collection::vec(1e-15f64..1e-12, 3),
+        g_drive in 1e-4f64..1e-2,
+    ) {
+        let (g, cm, b) = ladder(n, &r, &c, g_drive);
+        let rom = prima_reduce(&g, &cm, &b, 4).expect("reduces");
+        let z_full = {
+            let lu = LuFactor::new(&g).expect("nonsingular");
+            b.transpose().mul_mat(&lu.solve_mat(&b).expect("solves"))[(0, 0)]
+        };
+        let z_red = rom.dc_impedance().expect("nonsingular")[(0, 0)];
+        prop_assert!(
+            (z_full - z_red).abs() < 1e-6 * z_full.abs(),
+            "dc {} vs {}", z_full, z_red
+        );
+    }
+
+    /// Nominal (congruence) reduction of a passive RC ladder is stable,
+    /// and the pole/residue DC matches the matrix DC.
+    #[test]
+    fn nominal_reduction_stable_and_consistent(
+        n in 5usize..25,
+        r in prop::collection::vec(1.0f64..50.0, 4),
+        c in prop::collection::vec(1e-14f64..1e-12, 4),
+    ) {
+        let (g, cm, b) = ladder(n, &r, &c, 1e-3);
+        let rom = prima_reduce(&g, &cm, &b, 5).expect("reduces");
+        let pr = extract_pole_residue(&rom).expect("extracts");
+        prop_assert!(pr.is_stable(), "passive RC reduction must be stable");
+        let dc_pr = pr.dc()[(0, 0)];
+        let dc_rom = rom.dc_impedance().expect("nonsingular")[(0, 0)];
+        prop_assert!(
+            (dc_pr - dc_rom).abs() < 1e-5 * dc_rom.abs(),
+            "dc {} vs {}", dc_pr, dc_rom
+        );
+    }
+
+    /// The stability filter's output never contains unstable poles and
+    /// preserves the DC value whenever any stable poles survive.
+    #[test]
+    fn stabilize_postconditions(
+        n in 5usize..20,
+        r in prop::collection::vec(1.0f64..50.0, 3),
+        c in prop::collection::vec(1e-14f64..1e-12, 3),
+        flip in 0usize..5,
+    ) {
+        let (g, cm, b) = ladder(n, &r, &c, 1e-3);
+        let rom = prima_reduce(&g, &cm, &b, 5).expect("reduces");
+        let mut pr = extract_pole_residue(&rom).expect("extracts");
+        // Inject instability: flip the sign of some pole real parts (the
+        // same corruption first-order variational truncation produces).
+        let npoles = pr.poles.len();
+        if npoles > 1 {
+            for k in 0..flip.min(npoles - 1) {
+                pr.poles[k].re = -pr.poles[k].re;
+            }
+        }
+        let dc_before = pr.dc()[(0, 0)];
+        let (stable, report) = stabilize(&pr);
+        prop_assert!(stable.is_stable());
+        prop_assert_eq!(
+            report.removed_poles.len() + stable.pole_count(),
+            pr.pole_count()
+        );
+        if stable.pole_count() > 0 && !report.was_stable() {
+            let dc_after = stable.dc()[(0, 0)];
+            prop_assert!(
+                (dc_before - dc_after).abs() < 1e-6 * dc_before.abs().max(1e-12),
+                "beta correction must preserve DC: {} vs {}", dc_before, dc_after
+            );
+        }
+    }
+
+    /// Z(jω) of the pole/residue form matches a direct complex solve of
+    /// the reduced system at several frequencies.
+    #[test]
+    fn poleres_matches_direct_frequency_response(
+        n in 6usize..20,
+        r in prop::collection::vec(5.0f64..50.0, 3),
+        c in prop::collection::vec(1e-14f64..5e-13, 3),
+    ) {
+        use linvar::numeric::{CLuFactor, CMatrix, Complex};
+        let (g, cm, b) = ladder(n, &r, &c, 1e-3);
+        let rom = prima_reduce(&g, &cm, &b, 6).expect("reduces");
+        let pr = extract_pole_residue(&rom).expect("extracts");
+        for &omega in &[1e8, 1e10] {
+            let s = Complex::new(0.0, omega);
+            let z_pr = pr.eval(s)[(0, 0)];
+            let q = rom.order();
+            let mut a = CMatrix::from_real(&rom.gr);
+            for i in 0..q {
+                for j in 0..q {
+                    a[(i, j)] += s * Complex::from_real(rom.cr[(i, j)]);
+                }
+            }
+            let rhs: Vec<Complex> = (0..q)
+                .map(|i| Complex::from_real(rom.br[(i, 0)]))
+                .collect();
+            let x = CLuFactor::new(&a).expect("factors").solve(&rhs).expect("solves");
+            let mut z_direct = Complex::ZERO;
+            for (i, xi) in x.iter().enumerate() {
+                z_direct += Complex::from_real(rom.br[(i, 0)]) * *xi;
+            }
+            prop_assert!(
+                (z_pr - z_direct).abs() < 1e-5 * z_direct.abs().max(1e-12),
+                "omega {}: {} vs {}", omega, z_pr, z_direct
+            );
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! RLC extension tests: inductors through the whole stack — transient
+//! engine, AC analysis, variational reduction and the TETA flow on RLC
+//! interconnect (the "RC(L)" of the paper's reference [1]).
+
+use linvar::circuit::{Netlist, SourceWaveform};
+use linvar::interconnect::builder::build_coupled_lines;
+use linvar::prelude::*;
+use linvar::spice::{ac_impedance, log_frequencies};
+use linvar::spice::{Transient, TransientOptions};
+
+/// Series RLC driven by a voltage step: underdamped response must ring at
+/// the damped natural frequency and settle to the source value.
+#[test]
+fn series_rlc_step_rings_at_damped_frequency() {
+    let (r, l, c) = (5.0, 10e-9, 1e-12);
+    let mut nl = Netlist::new();
+    let inp = nl.node("in");
+    let mid = nl.node("mid");
+    let out = nl.node("out");
+    nl.add_vsource(
+        "V1",
+        inp,
+        Netlist::GROUND,
+        SourceWaveform::Ramp {
+            v0: 0.0,
+            v1: 1.0,
+            t0: 0.0,
+            tr: 1e-12,
+        },
+    )
+    .unwrap();
+    nl.add_resistor("R1", inp, mid, r).unwrap();
+    nl.add_inductor("L1", mid, out, l).unwrap();
+    nl.add_capacitor("C1", out, Netlist::GROUND, c).unwrap();
+    let mut opts = TransientOptions::new(8e-9, 1e-12);
+    opts.probes.push("out".into());
+    let res = Transient::new(&nl, &opts).unwrap().run().unwrap();
+    let v = res.probe("out").unwrap();
+    // Underdamped: ζ = (R/2)·√(C/L) ≈ 0.025 — strong overshoot expected.
+    let peak = v.iter().cloned().fold(0.0_f64, f64::max);
+    assert!(peak > 1.5, "underdamped overshoot, peak {peak}");
+    // Settles to 1 V.
+    assert!((v.last().unwrap() - 1.0).abs() < 0.05);
+    // Ring period: T = 2π√(LC) ≈ 0.628 ns. Measure peak-to-peak spacing
+    // via the first two upward crossings of 1.0 after the first peak.
+    let t1 = linvar::spice::crossing_time(&res.times, v, 1.0, true, 0.0).unwrap();
+    let t_fall = linvar::spice::crossing_time(&res.times, v, 1.0, false, t1).unwrap();
+    let t2 = linvar::spice::crossing_time(&res.times, v, 1.0, true, t_fall).unwrap();
+    let period = t2 - t1;
+    let expect = 2.0 * std::f64::consts::PI * (l * c).sqrt();
+    assert!(
+        (period - expect).abs() < 0.05 * expect,
+        "period {period} vs 2π√(LC) {expect}"
+    );
+}
+
+/// AC impedance of a parallel RLC tank peaks at the resonant frequency.
+#[test]
+fn parallel_rlc_tank_resonates() {
+    let (r, l, c) = (10e3, 50e-9, 2e-12);
+    let mut nl = Netlist::new();
+    let p = nl.node("p");
+    nl.add_resistor("R", p, Netlist::GROUND, r).unwrap();
+    nl.add_inductor("L", p, Netlist::GROUND, l).unwrap();
+    nl.add_capacitor("C", p, Netlist::GROUND, c).unwrap();
+    let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
+    let freqs = [f0 / 10.0, f0, f0 * 10.0];
+    let z = ac_impedance(&nl, "p", &freqs).unwrap();
+    // At resonance the tank is purely resistive (|Z| = R); off resonance
+    // the L or C branch shorts it down.
+    assert!((z[1].abs() - r).abs() < 0.01 * r, "|Z(f0)| = {}", z[1].abs());
+    assert!(z[0].abs() < 0.2 * r, "below resonance {}", z[0].abs());
+    assert!(z[2].abs() < 0.2 * r, "above resonance {}", z[2].abs());
+}
+
+/// PRIMA reduction of an RLC line: the macromodel's frequency response
+/// must track the full netlist, and complex pole pairs appear.
+#[test]
+fn rlc_line_reduction_tracks_frequency_response() {
+    use linvar::mor::{extract_pole_residue, prima_reduce};
+    use linvar::numeric::Complex;
+    let spec = CoupledLineSpec::new(1, 100e-6, WireTech::m018()).with_inductance();
+    let built = build_coupled_lines(&spec).unwrap();
+    let mut nl = built.netlist.clone();
+    // Driver conductance grounds the port.
+    nl.add_resistor("Rdrv", built.inputs[0], Netlist::GROUND, 200.0)
+        .unwrap();
+    let var = nl.assemble_variational().unwrap();
+    let b = var.port_incidence();
+    let rom = prima_reduce(&var.g0, &var.c0, &b, 10).unwrap();
+    let pr = extract_pole_residue(&rom).unwrap();
+    assert!(pr.is_stable(), "nominal RLC reduction is stable");
+    let port_name = "l0_s0";
+    let freqs = log_frequencies(1e7, 2e10, 8);
+    let z_full = ac_impedance(&nl, port_name, &freqs).unwrap();
+    for (k, &f) in freqs.iter().enumerate() {
+        let s = Complex::new(0.0, 2.0 * std::f64::consts::PI * f);
+        let z_rom = pr.eval(s)[(0, 0)];
+        let err = (z_rom - z_full[k]).abs() / z_full[k].abs();
+        assert!(
+            err < 0.05,
+            "f={f:.2e}: rom {z_rom} vs full {} ({:.1}% err)",
+            z_full[k],
+            err * 100.0
+        );
+    }
+}
+
+/// Full framework flow on an RLC stage: characterize, evaluate at a
+/// variation sample, stabilize, simulate with TETA.
+#[test]
+fn teta_stage_on_rlc_interconnect() {
+    let tech = tech_018();
+    let spec = CoupledLineSpec::new(1, 50e-6, WireTech::m018()).with_inductance();
+    let built = build_coupled_lines(&spec).unwrap();
+    let stage = StageModel::build(
+        &built.netlist,
+        &[built.inputs[0]],
+        &tech,
+        ReductionMethod::Prima { order: 8 },
+        0.02,
+    )
+    .expect("characterizes RLC load");
+    let out_port = built
+        .netlist
+        .ports()
+        .iter()
+        .position(|p| *p == built.outputs[0])
+        .unwrap();
+    for sample in [[0.0; 5], [0.5, -0.5, 0.5, -0.5, 0.5]] {
+        let input = Waveform::ramp(0.0, 1.8, 20e-12, 40e-12);
+        let res = stage
+            .evaluate(&sample, DeviceVariation::nominal(), &[input], 0.5e-12, 2e-9)
+            .expect("evaluates");
+        let out = &res.waveforms[out_port];
+        assert!(out.initial_value() > 1.7, "sample {sample:?}");
+        assert!(out.final_value() < 0.1, "sample {sample:?}");
+    }
+}
+
+/// The deck parser accepts inductor cards end-to-end.
+#[test]
+fn deck_with_inductor_parses_and_simulates() {
+    let deck = "\
+V1 in 0 RAMP 0 1 0 1p
+R1 in a 10
+L1 a out 5n
+C1 out 0 1p
+";
+    let nl = linvar::circuit::parse_deck(deck).unwrap();
+    assert_eq!(nl.inductor_count(), 1);
+    let mut opts = TransientOptions::new(5e-9, 2e-12);
+    opts.probes.push("out".into());
+    let res = Transient::new(&nl, &opts).unwrap().run().unwrap();
+    let v_end = *res.probe("out").unwrap().last().unwrap();
+    assert!((v_end - 1.0).abs() < 0.2, "settles near 1 V: {v_end}");
+}

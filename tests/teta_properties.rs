@@ -1,0 +1,103 @@
+//! Property-based tests of the TETA waveform machinery and the
+//! engine-agreement invariant.
+
+use linvar::teta::Waveform;
+use proptest::prelude::*;
+
+/// Strategy: a strictly increasing time axis with values in [-2, 2].
+fn waveform_strategy() -> impl Strategy<Value = Waveform> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            prop::collection::vec(1e-12f64..1e-9, n),
+            prop::collection::vec(-2.0f64..2.0, n),
+        )
+            .prop_map(|(dts, vals)| {
+                let mut t = 0.0;
+                let points: Vec<(f64, f64)> = dts
+                    .into_iter()
+                    .zip(vals)
+                    .map(|(dt, v)| {
+                        t += dt;
+                        (t, v)
+                    })
+                    .collect();
+                Waveform::from_points(points)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compression never deviates more than its tolerance anywhere.
+    #[test]
+    fn compress_bounds_error(w in waveform_strategy(), tol in 1e-4f64..0.5) {
+        let c = w.compress(tol);
+        prop_assert!(c.points().len() <= w.points().len());
+        // Check on a dense grid spanning the waveform.
+        let t0 = w.points()[0].0;
+        let t1 = w.end_time();
+        for k in 0..=200 {
+            let t = t0 + (t1 - t0) * k as f64 / 200.0;
+            let err = (c.eval(t) - w.eval(t)).abs();
+            prop_assert!(err <= tol * 1.0001, "err {} > tol {} at t={}", err, tol, t);
+        }
+        // Endpoints always survive.
+        prop_assert_eq!(c.points()[0], w.points()[0]);
+        prop_assert_eq!(*c.points().last().unwrap(), *w.points().last().unwrap());
+    }
+
+    /// Shifting is exact and invertible.
+    #[test]
+    fn shift_roundtrip(w in waveform_strategy(), dt in -1e-9f64..1e-9) {
+        let back = w.shifted(dt).shifted(-dt);
+        for (a, b) in w.points().iter().zip(back.points()) {
+            prop_assert!((a.0 - b.0).abs() < 1e-20 + 1e-12 * a.0.abs());
+            prop_assert_eq!(a.1, b.1);
+        }
+        // eval agrees under the shift.
+        let t_mid = (w.points()[0].0 + w.end_time()) / 2.0;
+        prop_assert!((w.shifted(dt).eval(t_mid + dt) - w.eval(t_mid)).abs() < 1e-9);
+    }
+
+    /// Truncation preserves the early samples exactly and extrapolates
+    /// constantly beyond the cut.
+    #[test]
+    fn truncation_properties(w in waveform_strategy()) {
+        let t_cut = (w.points()[0].0 + w.end_time()) / 2.0;
+        let t = w.truncated(t_cut);
+        prop_assert!(t.end_time() <= t_cut);
+        for p in t.points() {
+            prop_assert!((w.eval(p.0) - p.1).abs() < 1e-12);
+        }
+        // After the cut: constant at the last kept value.
+        prop_assert_eq!(t.eval(w.end_time() + 1e-9), t.final_value());
+    }
+
+    /// Saturated-ramp extraction inverts materialization for any (M, S).
+    #[test]
+    fn saturated_ramp_roundtrip(
+        m in 1e-10f64..1e-8,
+        s in 1e-11f64..1e-9,
+        rising in any::<bool>(),
+        vdd in 0.5f64..5.0,
+    ) {
+        let sr = linvar::teta::SaturatedRamp { m, s, rising };
+        let w = sr.to_waveform(0.0, vdd);
+        let back = w.to_saturated_ramp(0.0, vdd).expect("complete transition");
+        prop_assert!((back.m - m).abs() < 1e-12 + 1e-9 * m);
+        prop_assert!((back.s - s).abs() < 1e-12 + 1e-6 * s);
+        prop_assert_eq!(back.rising, rising);
+    }
+
+    /// Crossings returned by `crossing` actually lie on the waveform.
+    #[test]
+    fn crossing_is_on_the_waveform(w in waveform_strategy(), level in -1.5f64..1.5) {
+        for rising in [true, false] {
+            if let Some(t) = w.crossing(level, rising) {
+                prop_assert!((w.eval(t) - level).abs() < 1e-9,
+                    "crossing at t={} evals to {}", t, w.eval(t));
+            }
+        }
+    }
+}
