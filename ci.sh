@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Continuous-integration gate for the linvar workspace.
+#
+# Runs the full quality bar: release build, the complete test suite,
+# clippy with warnings denied, formatting, and the parallel-determinism
+# contract at two explicit worker counts (the suite's internal thread
+# sweeps already cover 1/2/4/8; this re-checks the LINVAR_THREADS knob
+# end-to-end).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> determinism contract at LINVAR_THREADS=1 and LINVAR_THREADS=8"
+LINVAR_THREADS=1 cargo test -q --test parallel_determinism
+LINVAR_THREADS=8 cargo test -q --test parallel_determinism
+
+echo "==> ci green"

@@ -26,7 +26,8 @@ fn rc_ladder(n: usize) -> Netlist {
     let mut prev = inp;
     for k in 0..n {
         let next = nl.node(&format!("n{k}"));
-        nl.add_resistor(&format!("R{k}"), prev, next, 10.0).expect("adds");
+        nl.add_resistor(&format!("R{k}"), prev, next, 10.0)
+            .expect("adds");
         nl.add_capacitor(&format!("C{k}"), next, Netlist::GROUND, 5e-15)
             .expect("adds");
         prev = next;
@@ -42,7 +43,10 @@ fn bench_spice_transient(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rc_ladder_1ns", n), &n, |b, _| {
             b.iter(|| {
                 let opts = TransientOptions::new(1e-9, 1e-12);
-                Transient::new(&nl, &opts).expect("builds").run().expect("runs")
+                Transient::new(&nl, &opts)
+                    .expect("builds")
+                    .run()
+                    .expect("runs")
             });
         });
     }

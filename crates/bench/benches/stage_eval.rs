@@ -27,7 +27,11 @@ fn bench_stage_sample(c: &mut Criterion) {
     for &n_elem in &[10usize, 100, 500] {
         let model = build(n_elem);
         group.bench_with_input(BenchmarkId::new("framework", n_elem), &n_elem, |b, _| {
-            b.iter(|| model.evaluate_sample(black_box(&sample)).expect("evaluates"));
+            b.iter(|| {
+                model
+                    .evaluate_sample(black_box(&sample))
+                    .expect("evaluates")
+            });
         });
         // The baseline at 500 elements takes ~1.3 s per call; keep it in
         // the benchmark — that gap IS the result.

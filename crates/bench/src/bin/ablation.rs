@@ -71,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "{}",
-        render_table(&["ROM order", "delay (ps)", "error vs order-14 (ps)"], &rows)
+        render_table(
+            &["ROM order", "delay (ps)", "error vs order-14 (ps)"],
+            &rows
+        )
     );
 
     // ---------- 2. Stability filter incidence ---------------------------
@@ -111,7 +114,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         render_table(
-            &["sample range (norm. units)", "unstable samples", "worst |beta-1|"],
+            &[
+                "sample range (norm. units)",
+                "unstable samples",
+                "worst |beta-1|"
+            ],
             &rows
         )
     );
@@ -132,7 +139,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for t in 0..trials {
         let mut rng: SampleRng = rng_from_seed(100 + t);
         let lhs = lhs_uniform(&mut rng, n, 5, -1.0, 1.0);
-        let ds: Vec<f64> = lhs.iter().map(|s| stage_delay(&stage, out_pos, s)).collect();
+        let ds: Vec<f64> = lhs
+            .iter()
+            .map(|s| stage_delay(&stage, out_pos, s))
+            .collect();
         lhs_means.push(mean(&ds));
         let mut plain = Vec::with_capacity(n);
         for _ in 0..n {

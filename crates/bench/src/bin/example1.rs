@@ -38,11 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------------- Table 3 ----------------------------------------
     let (nl, port) = example1_load()?;
     let var = nl.assemble_variational()?;
-    let raw = VariationalRom::characterize(
-        &var,
-        ReductionMethod::Pact { internal_modes: 3 },
-        0.02,
-    )?;
+    let raw =
+        VariationalRom::characterize(&var, ReductionMethod::Pact { internal_modes: 3 }, 0.02)?;
     let mut rows = Vec::new();
     let mut worst: Option<(f64, f64)> = None;
     for &p in &[0.0, 0.02, 0.05, 0.06, 0.08, 0.09, 0.1] {
@@ -76,7 +73,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---------------- Figure 3 ---------------------------------------
     let tech = tech_06();
-    let stage = StageModel::build(&nl, &[port], &tech, ReductionMethod::Prima { order: 4 }, 0.02)?;
+    let stage = StageModel::build(
+        &nl,
+        &[port],
+        &tech,
+        ReductionMethod::Prima { order: 4 },
+        0.02,
+    )?;
     let input = Waveform::ramp(tech.library.vdd, 0.0, 1e-9, 2e-9);
     let res = stage.evaluate(
         &[0.1],
@@ -121,13 +124,20 @@ fn spice_on_macromodel(pr: &linvar_mor::PoleResidueModel) -> String {
             "V1",
             inp,
             Netlist::GROUND,
-            SourceWaveform::Ramp { v0: 0.0, v1: 5.0, t0: 1e-9, tr: 2e-9 },
+            SourceWaveform::Ramp {
+                v0: 0.0,
+                v1: 5.0,
+                t0: 1e-9,
+                tr: 2e-9,
+            },
         )?;
         drive.add_resistor("Rdrv", inp, out, 270.0)?;
         let load = OnePortPoleResidue::from_model(pr, out.mna_index().expect("non-ground"))?;
         let mut opts = TransientOptions::new(50e-9, 20e-12);
         opts.probes.push("out".into());
-        Transient::new(&drive, &opts)?.with_poleres_load(load)?.run()?;
+        Transient::new(&drive, &opts)?
+            .with_poleres_load(load)?
+            .run()?;
         Ok(())
     };
     match run() {
@@ -149,25 +159,49 @@ fn spice_exact(
     sim.instantiate(&frozen, "", &[])?;
     let port_name = frozen.node_name(port).expect("port exists").to_string();
     let out = sim.find_node(&port_name).expect("instantiated");
-    sim.add_vsource("Vdd", vdd, Netlist::GROUND, SourceWaveform::Dc(tech.library.vdd))?;
+    sim.add_vsource(
+        "Vdd",
+        vdd,
+        Netlist::GROUND,
+        SourceWaveform::Dc(tech.library.vdd),
+    )?;
     sim.add_vsource(
         "Vin",
         inp,
         Netlist::GROUND,
-        SourceWaveform::Ramp { v0: tech.library.vdd, v1: 0.0, t0: 1e-9, tr: 2e-9 },
+        SourceWaveform::Ramp {
+            v0: tech.library.vdd,
+            v1: 0.0,
+            t0: 1e-9,
+            tr: 2e-9,
+        },
     )?;
     sim.add_mosfet(
-        "MP", out, inp, vdd, vdd, MosType::Pmos,
-        &tech.library.pmos_name(), tech.wp, tech.library.lmin,
+        "MP",
+        out,
+        inp,
+        vdd,
+        vdd,
+        MosType::Pmos,
+        &tech.library.pmos_name(),
+        tech.wp,
+        tech.library.lmin,
     )?;
     sim.add_mosfet(
-        "MN", out, inp, Netlist::GROUND, Netlist::GROUND, MosType::Nmos,
-        &tech.library.nmos_name(), tech.wn, tech.library.lmin,
+        "MN",
+        out,
+        inp,
+        Netlist::GROUND,
+        Netlist::GROUND,
+        MosType::Nmos,
+        &tech.library.nmos_name(),
+        tech.wn,
+        tech.library.lmin,
     )?;
     let mut opts = TransientOptions::new(40e-9, 10e-12);
     opts.probes.push(port_name.clone());
-    let res = Transient::with_devices(&sim, &tech.library, DeviceVariation::nominal(), &opts)?
-        .run()?;
+    let res =
+        Transient::with_devices(&sim, &tech.library, DeviceVariation::nominal(), &opts)?.run()?;
     let pts: Vec<(f64, f64)> = res
         .times
         .iter()

@@ -6,7 +6,8 @@
 //! parameters (W, T, S, H, ρ) fluctuate uniformly within their tolerances;
 //! 100 Latin-Hypercube samples.
 //!
-//! Run with `cargo run --release -p linvar-bench --bin example2`.
+//! Run with `cargo run --release -p linvar-bench --bin example2`
+//! (set `LINVAR_THREADS` to pin the Monte-Carlo worker count).
 
 use linvar_bench::render_table;
 use linvar_circuit::{MosType, Netlist, SourceWaveform};
@@ -14,7 +15,9 @@ use linvar_devices::{tech_018, DeviceVariation};
 use linvar_interconnect::{builder::build_coupled_lines, CoupledLineSpec, WireTech};
 use linvar_mor::ReductionMethod;
 use linvar_spice::{Transient, TransientOptions};
-use linvar_stats::{lhs_uniform, rng_from_seed, Histogram, Summary};
+use linvar_stats::{
+    lhs_uniform, monte_carlo_par, resolve_threads, rng_from_seed, Histogram, Summary,
+};
 use linvar_teta::{StageModel, Waveform};
 use std::time::Instant;
 
@@ -102,18 +105,37 @@ fn spice_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, Box<dyn std::err
         "Vin",
         in_node,
         Netlist::GROUND,
-        SourceWaveform::Ramp { v0: 0.0, v1: vdd, t0: 50e-12, tr: 50e-12 },
+        SourceWaveform::Ramp {
+            v0: 0.0,
+            v1: vdd,
+            t0: 50e-12,
+            tr: 50e-12,
+        },
     )?;
     for (k, near) in stage.inputs.iter().enumerate() {
         let name = frozen.node_name(*near).expect("named").to_string();
         let node = sim.find_node(&name).expect("instantiated");
         sim.add_mosfet(
-            &format!("MP{k}"), node, in_node, vdd_node, vdd_node, MosType::Pmos,
-            &tech.library.pmos_name(), tech.wp, tech.library.lmin,
+            &format!("MP{k}"),
+            node,
+            in_node,
+            vdd_node,
+            vdd_node,
+            MosType::Pmos,
+            &tech.library.pmos_name(),
+            tech.wp,
+            tech.library.lmin,
         )?;
         sim.add_mosfet(
-            &format!("MN{k}"), node, in_node, Netlist::GROUND, Netlist::GROUND, MosType::Nmos,
-            &tech.library.nmos_name(), tech.wn, tech.library.lmin,
+            &format!("MN{k}"),
+            node,
+            in_node,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosType::Nmos,
+            &tech.library.nmos_name(),
+            tech.wn,
+            tech.library.lmin,
         )?;
     }
     let probe_name = frozen
@@ -122,8 +144,8 @@ fn spice_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, Box<dyn std::err
         .to_string();
     let mut opts = TransientOptions::new(2e-9, 1e-12);
     opts.probes.push(probe_name.clone());
-    let res = Transient::with_devices(&sim, &tech.library, DeviceVariation::nominal(), &opts)?
-        .run()?;
+    let res =
+        Transient::with_devices(&sim, &tech.library, DeviceVariation::nominal(), &opts)?.run()?;
     let times = &res.times;
     let vals = res.probe(&probe_name).expect("probed");
     let m_out = linvar_spice::crossing_time(times, vals, vdd / 2.0, false, 0.0)
@@ -132,7 +154,9 @@ fn spice_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, Box<dyn std::err
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("==== Example 2 (paper Figures 5-6) ====\n");
+    let threads = resolve_threads(0);
+    println!("==== Example 2 (paper Figures 5-6) ====");
+    println!("(TETA Monte-Carlo on {threads} worker thread(s); set LINVAR_THREADS to change)\n");
     let mut rng = rng_from_seed(2);
     let samples = lhs_uniform(&mut rng, 100, 5, -1.0, 1.0);
 
@@ -142,10 +166,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let stage = build_stage(len)?;
         let n_teta = 20;
         let t0 = Instant::now();
-        for s in samples.iter().take(n_teta) {
-            teta_delay(&stage, s)?;
+        let mc = monte_carlo_par(&samples[..n_teta], threads, |s| teta_delay(&stage, s));
+        let elapsed = t0.elapsed().as_secs_f64();
+        if let Some(diag) = &mc.first_error {
+            return Err(format!("TETA evaluation failed at {len} um: {diag}").into());
         }
-        let teta_ms = t0.elapsed().as_secs_f64() * 1e3 / n_teta as f64;
+        let teta_ms = elapsed * 1e3 / n_teta as f64;
+        let sps = n_teta as f64 / elapsed;
         let n_spice = 3;
         let t0 = Instant::now();
         for s in samples.iter().take(n_spice) {
@@ -156,6 +183,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{len:.0}"),
             format!("{}", N_LINES * (len as usize) * 3 - (len as usize)),
             format!("{teta_ms:.2}"),
+            format!("{sps:.1}"),
             format!("{spice_ms:.2}"),
             format!("{:.1}", spice_ms / teta_ms),
         ]);
@@ -164,19 +192,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         render_table(
-            &["length (um)", "lin. elements", "TETA ms", "SPICE ms", "speedup"],
+            &[
+                "length (um)",
+                "lin. elements",
+                "TETA ms",
+                "TETA samples/s",
+                "SPICE ms",
+                "speedup"
+            ],
             &rows
         )
     );
 
     // ---------------- Figure 6: delay histograms ----------------------
     let stage = build_stage(50.0)?;
-    let mut reduced = Vec::new();
-    let mut full = Vec::new();
-    for s in &samples {
-        reduced.push(teta_delay(&stage, s)?);
-        full.push(teta_exact_delay(&stage, s)?);
+    let reduced_mc = monte_carlo_par(&samples, threads, |s| teta_delay(&stage, s));
+    let full_mc = monte_carlo_par(&samples, threads, |s| teta_exact_delay(&stage, s));
+    if let Some(diag) = reduced_mc
+        .first_error
+        .as_ref()
+        .or(full_mc.first_error.as_ref())
+    {
+        return Err(format!("Figure-6 evaluation failed: {diag}").into());
     }
+    let reduced = reduced_mc.values;
+    let full = full_mc.values;
     let rs = Summary::of(&reduced);
     let fs = Summary::of(&full);
     println!("Figure 6: probe delay over 100 LHS samples (50 um lines)");
@@ -207,6 +247,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let d_spice = spice_delay(&stage, s)?;
         worst = worst.max((d_teta - d_spice).abs() / d_spice.abs());
     }
-    println!("\nSPICE cross-check on 3 samples: worst relative delay error {:.2}%", worst * 100.0);
+    println!(
+        "\nSPICE cross-check on 3 samples: worst relative delay error {:.2}%",
+        worst * 100.0
+    );
     Ok(())
 }

@@ -6,17 +6,21 @@
 //! (mean, σ), sampled on equal-probability strata so the two histograms
 //! have the same sample count.
 //!
-//! Run with `cargo run --release -p linvar-bench --bin fig7`.
+//! Run with `cargo run --release -p linvar-bench --bin fig7`
+//! (set `LINVAR_THREADS` to pin the Monte-Carlo worker count).
 
 use linvar_core::path::{PathModel, PathSpec, VariationSources};
 use linvar_devices::tech_018;
 use linvar_interconnect::WireTech;
 use linvar_iscas::{benchmark, decompose_to_primitives, longest_path};
 use linvar_stats::sampling::inverse_normal_cdf;
-use linvar_stats::{rng_from_seed, Histogram};
+use linvar_stats::{resolve_threads, Histogram};
+use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("==== Figure 7: MC vs GA delay histograms (DL, VT variations) ====\n");
+    let threads = resolve_threads(0);
+    println!("==== Figure 7: MC vs GA delay histograms (DL, VT variations) ====");
+    println!("(Monte-Carlo on {threads} worker thread(s); set LINVAR_THREADS to change)\n");
     let tech = tech_018();
     let wire = WireTech::m018();
     let sources = VariationSources::example3(0.33, 0.33);
@@ -30,8 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             input_slew: 60e-12,
         };
         let model = PathModel::build(&spec, &tech, &wire)?;
-        let mut rng = rng_from_seed(7);
-        let mc = model.monte_carlo(&sources, 100, &mut rng)?;
+        let t0 = Instant::now();
+        let mc = model.monte_carlo_par(&sources, 100, 7, threads)?;
+        eprintln!(
+            "{circuit}: {:.1} samples/sec",
+            100.0 / t0.elapsed().as_secs_f64()
+        );
         let ga = model.gradient_analysis(&sources)?;
         // Stratified normal sample implied by the GA statistics.
         let n = mc.delays.len();

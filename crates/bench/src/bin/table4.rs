@@ -3,19 +3,22 @@
 //! between stages.
 //!
 //! Per circuit/configuration, the per-sample Monte-Carlo cost of each
-//! engine is measured (the framework on several samples, the baseline on
-//! one — its per-sample cost is deterministic) and the ratio reported.
-//! Pass `--quick` to skip the 500-element column of the two largest
-//! circuits.
+//! engine is measured (the framework on several samples through the
+//! deterministic parallel driver, the baseline on one — its per-sample
+//! cost is deterministic) and the ratio reported. Framework throughput is
+//! reported as samples/sec at the worker count selected by
+//! `LINVAR_THREADS` (default: all available cores). Pass `--quick` to
+//! skip the 500-element column of the two largest circuits.
 //!
-//! Run with `cargo run --release -p linvar-bench --bin table4`.
+//! Run with `cargo run --release -p linvar-bench --bin table4`
+//! (`LINVAR_THREADS=4 cargo run …` to pin the worker count).
 
 use linvar_bench::render_table;
 use linvar_core::path::{PathModel, PathSpec, VariationSources};
 use linvar_devices::tech_018;
 use linvar_interconnect::WireTech;
 use linvar_iscas::{benchmark, decompose_to_primitives, longest_path};
-use linvar_stats::rng_from_seed;
+use linvar_stats::resolve_threads;
 use std::time::Instant;
 
 fn path_cells(circuit: &str) -> Result<Vec<String>, Box<dyn std::error::Error>> {
@@ -27,11 +30,16 @@ fn path_cells(circuit: &str) -> Result<Vec<String>, Box<dyn std::error::Error>> 
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
-    println!("==== Table 4: speedup of the framework vs the SPICE baseline ====\n");
+    let threads = resolve_threads(0);
+    println!("==== Table 4: speedup of the framework vs the SPICE baseline ====");
+    println!(
+        "(framework Monte-Carlo on {threads} worker thread(s); set LINVAR_THREADS to change)\n"
+    );
     let tech = tech_018();
     let wire = WireTech::m018();
     let sources = VariationSources::example3_table4();
     let circuits = ["s27", "s208", "s444", "s1423", "s9234"];
+    let master_seed = 4;
     let mut rows = Vec::new();
     for circuit in circuits {
         let cells = path_cells(circuit)?;
@@ -47,14 +55,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let t_build = Instant::now();
             let model = PathModel::build(&spec, &tech, &wire)?;
             let build_s = t_build.elapsed().as_secs_f64();
-            let mut rng = rng_from_seed(4);
             let n_teta = if n_elem == 500 { 3 } else { 5 };
-            let samples = model.draw_samples(&sources, n_teta, &mut rng);
             let t0 = Instant::now();
-            for s in &samples {
-                model.evaluate_sample(s)?;
+            let mc = model.monte_carlo_par(&sources, n_teta, master_seed, threads)?;
+            let elapsed = t0.elapsed().as_secs_f64();
+            if mc.failures > 0 {
+                eprintln!(
+                    "warning: {circuit}@{n_elem}: {}/{n_teta} samples failed (first: {})",
+                    mc.failures,
+                    mc.first_error.as_deref().unwrap_or("unknown"),
+                );
             }
-            let teta_ms = t0.elapsed().as_secs_f64() * 1e3 / n_teta as f64;
+            let teta_ms = elapsed * 1e3 / n_teta as f64;
+            let sps = n_teta as f64 / elapsed;
+            let mut sample_rng = linvar_stats::rng_from_seed(master_seed);
+            let samples = model.draw_samples(&sources, 1, &mut sample_rng);
             let t0 = Instant::now();
             model.evaluate_sample_spice(&samples[0])?;
             let spice_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -63,6 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{}", model.stage_count()),
                 format!("{n_elem}"),
                 format!("{teta_ms:.1}"),
+                format!("{sps:.1}"),
                 format!("{spice_ms:.1}"),
                 format!("{:.2}", spice_ms / teta_ms),
                 format!("{build_s:.2}"),
@@ -78,6 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "stages",
                 "lin. elements",
                 "framework ms/sample",
+                "samples/sec",
                 "SPICE ms/sample",
                 "speedup",
                 "build s",

@@ -3,19 +3,23 @@
 //! alone and with `std(VT) = 0.33` added.
 //!
 //! Run with `cargo run --release -p linvar-bench --bin table5`
-//! (append `--quick` for 30-sample Monte-Carlo runs).
+//! (append `--quick` for 30-sample Monte-Carlo runs; set `LINVAR_THREADS`
+//! to pin the Monte-Carlo worker count).
 
 use linvar_bench::render_table;
 use linvar_core::path::{PathModel, PathSpec, VariationSources};
 use linvar_devices::tech_018;
 use linvar_interconnect::WireTech;
 use linvar_iscas::{benchmark, decompose_to_primitives, longest_path};
-use linvar_stats::rng_from_seed;
+use linvar_stats::resolve_threads;
+use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
     let n_mc = if quick { 30 } else { 100 };
-    println!("==== Table 5: longest-path delay statistics (GA vs MC, {n_mc} samples) ====\n");
+    let threads = resolve_threads(0);
+    println!("==== Table 5: longest-path delay statistics (GA vs MC, {n_mc} samples) ====");
+    println!("(Monte-Carlo on {threads} worker thread(s); set LINVAR_THREADS to change)\n");
     let tech = tech_018();
     let wire = WireTech::m018();
     let circuits = ["s27", "s208", "s832", "s444", "s1423"];
@@ -34,8 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let model = PathModel::build(&spec, &tech, &wire)?;
             let sources = VariationSources::example3(dl, vt);
             let ga = model.gradient_analysis(&sources)?;
-            let mut rng = rng_from_seed(5);
-            let mc = model.monte_carlo(&sources, n_mc, &mut rng)?;
+            let t0 = Instant::now();
+            let mc = model.monte_carlo_par(&sources, n_mc, 5, threads)?;
+            let sps = n_mc as f64 / t0.elapsed().as_secs_f64();
             let n_stages = model.stage_count();
             rows.push(vec![
                 format!("{circuit} ({n_stages} stages)"),
@@ -53,13 +58,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.2}", mc.summary.mean * 1e12),
                 format!("{:.2}", mc.summary.std * 1e12),
             ]);
-            eprintln!("done: {circuit} DL={dl} VT={vt}");
+            eprintln!("done: {circuit} DL={dl} VT={vt} ({sps:.1} samples/sec)");
         }
     }
     println!(
         "{}",
         render_table(
-            &["circuit", "std(DL)", "std(VT)", "method", "mean (ps)", "std (ps)"],
+            &[
+                "circuit",
+                "std(DL)",
+                "std(VT)",
+                "method",
+                "mean (ps)",
+                "std (ps)"
+            ],
             &rows
         )
     );

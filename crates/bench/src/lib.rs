@@ -57,10 +57,7 @@ mod tests {
     fn table_contains_all_cells() {
         let t = render_table(
             &["a", "b"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         for needle in ["a", "b", "1", "2", "333", "4"] {
             assert!(t.contains(needle), "missing {needle} in:\n{t}");

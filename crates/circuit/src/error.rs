@@ -38,7 +38,10 @@ impl fmt::Display for CircuitError {
                 element,
                 value,
                 requirement,
-            } => write!(f, "element {element} has invalid value {value}: {requirement}"),
+            } => write!(
+                f,
+                "element {element} has invalid value {value}: {requirement}"
+            ),
             CircuitError::UnknownNode(id) => write!(f, "unknown node id {id}"),
             CircuitError::UnknownParameter(p) => write!(f, "unknown variation parameter {p}"),
             CircuitError::DuplicateElement(n) => write!(f, "duplicate element name {n}"),

@@ -250,11 +250,7 @@ impl Netlist {
                 Element::VSource { .. } | Element::ISource { .. } => {}
             }
         }
-        let port_indices = self
-            .ports()
-            .iter()
-            .filter_map(|p| p.mna_index())
-            .collect();
+        let port_indices = self.ports().iter().filter_map(|p| p.mna_index()).collect();
         Ok(VariationalMna {
             g0,
             c0,
@@ -327,7 +323,7 @@ mod tests {
         let nl = divider();
         let mna = nl.assemble_mna().unwrap();
         assert_eq!(mna.g.rows(), 3); // 2 nodes + 1 vsource branch
-        // Solve G x = b with b enforcing V1 = 1.
+                                     // Solve G x = b with b enforcing V1 = 1.
         let mut b = vec![0.0; 3];
         b[2] = 1.0;
         let x = LuFactor::new(&mna.g).unwrap().solve(&b).unwrap();
@@ -389,7 +385,10 @@ mod tests {
         let (g, c) = var.eval(&[0.1]);
         // Exact: 1/15 S; first-order: 1/10 - 50/100*0.1 = 0.05 S.
         assert!((g[(0, 0)] - 0.05).abs() < 1e-12);
-        assert!((1.0 / 15.0 - g[(0, 0)]).abs() < 0.02, "first-order is close");
+        assert!(
+            (1.0 / 15.0 - g[(0, 0)]).abs() < 0.02,
+            "first-order is close"
+        );
         // C exact: 2p + 0.1*10p = 3 pF.
         assert!((c[(0, 0)] - 3e-12).abs() < 1e-24);
 

@@ -61,7 +61,11 @@ impl Netlist {
     /// Returns the node with the given name, creating it if necessary.
     /// The names `"0"` and `"gnd"` refer to ground.
     pub fn node(&mut self, name: &str) -> NodeId {
-        let key = if name.eq_ignore_ascii_case("gnd") { "0" } else { name };
+        let key = if name.eq_ignore_ascii_case("gnd") {
+            "0"
+        } else {
+            name
+        };
         if let Some(&id) = self.name_to_node.get(key) {
             return id;
         }
@@ -84,7 +88,11 @@ impl Netlist {
 
     /// Looks up a node by name without creating it.
     pub fn find_node(&self, name: &str) -> Option<NodeId> {
-        let key = if name.eq_ignore_ascii_case("gnd") { "0" } else { name };
+        let key = if name.eq_ignore_ascii_case("gnd") {
+            "0"
+        } else {
+            name
+        };
         self.name_to_node.get(key).copied()
     }
 
@@ -578,7 +586,9 @@ mod tests {
             .add_variational_resistor("R1", a, Netlist::GROUND, v.clone())
             .is_err());
         nl.params.declare("p");
-        assert!(nl.add_variational_resistor("R2", a, Netlist::GROUND, v).is_ok());
+        assert!(nl
+            .add_variational_resistor("R2", a, Netlist::GROUND, v)
+            .is_ok());
     }
 
     #[test]
@@ -664,7 +674,8 @@ mod tests {
         sub.params.declare("width");
         let a = sub.node("a");
         let v = VariationalValue::new(10.0).with_sensitivity(0, 1.0);
-        sub.add_variational_resistor("R", a, Netlist::GROUND, v).unwrap();
+        sub.add_variational_resistor("R", a, Netlist::GROUND, v)
+            .unwrap();
 
         let mut top = Netlist::new();
         top.params.declare("rho"); // pre-existing unrelated parameter

@@ -98,8 +98,8 @@ pub fn parse_deck(deck: &str) -> Result<Netlist, CircuitError> {
                         .params
                         .index_of(pname)
                         .ok_or_else(|| err(format!("undeclared parameter {pname}")))?;
-                    let s = parse_value(sens)
-                        .ok_or_else(|| err(format!("bad sensitivity {sens}")))?;
+                    let s =
+                        parse_value(sens).ok_or_else(|| err(format!("bad sensitivity {sens}")))?;
                     value = value.with_sensitivity(pidx, s);
                 }
                 let res = match kind {

@@ -8,6 +8,9 @@
 //! * [`PathModel::monte_carlo`] (§4.3.1) — per sample, the stages are
 //!   simulated in topological order and the *full piecewise-linear output
 //!   waveform* is propagated to the next stage's input;
+//!   [`PathModel::monte_carlo_par`] runs the same analysis across worker
+//!   threads with bitwise-identical results (the sample set is a pure
+//!   function of the master seed, evaluation is read-only `&self`);
 //! * [`PathModel::gradient_analysis`] (§4.3.2) — one nominal pass plus
 //!   central-difference perturbations of the input-slew and every
 //!   variation source per stage; the saturated-ramp parameters `(M, S)`
@@ -21,7 +24,7 @@ use crate::stage_builder::{build_stage_load, StageLoad, StageLoadSpec};
 use linvar_devices::{CellLibrary, DeviceVariation, Technology};
 use linvar_interconnect::WireTech;
 use linvar_mor::ReductionMethod;
-use linvar_stats::{lhs_normal, monte_carlo, SampleRng, Summary};
+use linvar_stats::{lhs_normal, monte_carlo, monte_carlo_par, rng_from_seed, SampleRng, Summary};
 use linvar_teta::{StageModel, Waveform};
 
 /// Specification of a critical path.
@@ -111,12 +114,16 @@ pub struct PathSample {
 /// Result of the Monte-Carlo path analysis.
 #[derive(Debug, Clone)]
 pub struct McPathResult {
-    /// Path delay per successful sample (s).
+    /// Path delay per successful sample (s), in sample-index order.
     pub delays: Vec<f64>,
     /// Summary statistics.
     pub summary: Summary,
     /// Samples whose evaluation failed.
     pub failures: usize,
+    /// Indices of the failed samples, ascending.
+    pub failed_indices: Vec<usize>,
+    /// Diagnostic of the lowest-index failure, if any.
+    pub first_error: Option<String>,
 }
 
 /// Result of the Gradient-Analysis path analysis.
@@ -149,6 +156,17 @@ pub struct PathModel {
     input_slew: f64,
     pub(crate) tech: Technology,
 }
+
+// The parallel Monte-Carlo driver shares one PathModel across worker
+// threads with `&self` evaluation. Regressing these bounds (e.g. by adding
+// interior mutability to a stage model) must be a compile error, not a
+// latent data race.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<PathModel>();
+    assert_sync_send::<StageEntry>();
+    assert_sync_send::<McPathResult>();
+};
 
 impl PathModel {
     /// Builds and precharacterizes the path: one effective-load vROM per
@@ -281,9 +299,7 @@ impl PathModel {
                     t_end,
                 )?;
                 let w = &res.waveforms[stage.out_port];
-                let settled = (w.final_value()
-                    - if rising_out { self.vdd } else { 0.0 })
-                .abs()
+                let settled = (w.final_value() - if rising_out { self.vdd } else { 0.0 }).abs()
                     < 0.05 * self.vdd;
                 if settled && w.crossing(self.vdd / 2.0, rising_out).is_some() {
                     out = Some(w.clone());
@@ -347,26 +363,55 @@ impl PathModel {
     ) -> Result<McPathResult, CoreError> {
         let samples = self.draw_samples(sources, n, rng);
         let res = monte_carlo(&samples, |s| self.evaluate_sample(s));
+        Self::mc_result(res)
+    }
+
+    /// Deterministic parallel Monte-Carlo path-delay analysis.
+    ///
+    /// Samples are drawn exactly as [`PathModel::monte_carlo`] would with
+    /// `rng_from_seed(master_seed)`, then evaluated across `threads`
+    /// scoped workers (`0` = auto: `LINVAR_THREADS`, then available
+    /// parallelism). Stage models are read-only during evaluation
+    /// ([`PathModel`] is `Sync` — statically asserted below), so the
+    /// result is **bitwise-identical** to the serial driver for the same
+    /// master seed, at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Individual sample failures are counted in the result; this method
+    /// itself only fails if *every* sample fails.
+    pub fn monte_carlo_par(
+        &self,
+        sources: &VariationSources,
+        n: usize,
+        master_seed: u64,
+        threads: usize,
+    ) -> Result<McPathResult, CoreError> {
+        let mut rng = rng_from_seed(master_seed);
+        let samples = self.draw_samples(sources, n, &mut rng);
+        let res = monte_carlo_par(&samples, threads, |s| self.evaluate_sample(s));
+        Self::mc_result(res)
+    }
+
+    fn mc_result(res: linvar_stats::MonteCarloResult) -> Result<McPathResult, CoreError> {
         if res.values.is_empty() {
-            return Err(CoreError::BadSpec(
-                "all monte-carlo samples failed".into(),
-            ));
+            return Err(CoreError::BadSpec(match &res.first_error {
+                Some(diag) => format!("all monte-carlo samples failed; first error: {diag}"),
+                None => "all monte-carlo samples failed".to_string(),
+            }));
         }
         Ok(McPathResult {
             delays: res.values,
             summary: res.summary,
             failures: res.failures,
+            failed_indices: res.failed_indices,
+            first_error: res.first_error,
         })
     }
 
     /// One GA stage evaluation: ramp input with slew `s_in` (direction by
     /// stage parity), returning `(stage delay, output slew)`.
-    fn ga_stage(
-        &self,
-        k: usize,
-        s_in: f64,
-        sample: &PathSample,
-    ) -> Result<(f64, f64), CoreError> {
+    fn ga_stage(&self, k: usize, s_in: f64, sample: &PathSample) -> Result<(f64, f64), CoreError> {
         let stage = &self.stages[k];
         let rising_in = k.is_multiple_of(2);
         let (v0, v1) = if rising_in {
@@ -544,6 +589,28 @@ mod tests {
         assert_eq!(mc.delays.len(), 12);
         assert!(mc.summary.std > 0.0);
         assert!(mc.summary.std < 0.3 * mc.summary.mean, "plausible spread");
+    }
+
+    #[test]
+    fn parallel_mc_is_bitwise_identical_to_serial() {
+        let model = small_path();
+        let sources = VariationSources::example3(0.33, 0.33);
+        let seed = 21;
+        let serial = model
+            .monte_carlo(&sources, 8, &mut rng_from_seed(seed))
+            .unwrap();
+        for threads in [1, 2, 4] {
+            let par = model.monte_carlo_par(&sources, 8, seed, threads).unwrap();
+            let serial_bits: Vec<u64> = serial.delays.iter().map(|d| d.to_bits()).collect();
+            let par_bits: Vec<u64> = par.delays.iter().map(|d| d.to_bits()).collect();
+            assert_eq!(par_bits, serial_bits, "delays at {threads} threads");
+            assert_eq!(par.failures, serial.failures);
+            assert_eq!(
+                par.summary.mean.to_bits(),
+                serial.summary.mean.to_bits(),
+                "mean at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -84,14 +84,12 @@ impl PathModel {
             for _attempt in 0..3 {
                 let mut opts = TransientOptions::new(t_end, 1e-12);
                 opts.probes.push(far_name.clone());
-                let res = Transient::with_devices(&nl, &tech.library, sample.device, &opts)?
-                    .run()?;
+                let res =
+                    Transient::with_devices(&nl, &tech.library, sample.device, &opts)?.run()?;
                 let times = res.times.clone();
                 let vals = res.probe(&far_name).expect("probed").to_vec();
-                let w = Waveform::from_points(
-                    times.into_iter().zip(vals).collect::<Vec<_>>(),
-                )
-                .compress(1e-4 * vdd);
+                let w = Waveform::from_points(times.into_iter().zip(vals).collect::<Vec<_>>())
+                    .compress(1e-4 * vdd);
                 let settled =
                     (w.final_value() - if rising_out { vdd } else { 0.0 }).abs() < 0.05 * vdd;
                 if settled && w.crossing(vdd / 2.0, rising_out).is_some() {
@@ -101,9 +99,7 @@ impl PathModel {
                 t_end *= 2.0;
             }
             let out = out.ok_or(CoreError::StageStuck { stage: k })?;
-            let m_out = out
-                .crossing(vdd / 2.0, rising_out)
-                .expect("checked above");
+            let m_out = out.crossing(vdd / 2.0, rising_out).expect("checked above");
             m_out_abs = m_out + offset;
             let s_est = out
                 .to_saturated_ramp(0.0, vdd)

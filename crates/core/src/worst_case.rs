@@ -54,9 +54,7 @@ impl PathModel {
         let nominal = self.evaluate_sample(&PathSample::default())?;
         evaluations += 1;
 
-        let gradient_signs = |at: &PathSample,
-                              evals: &mut usize|
-         -> Result<Vec<f64>, CoreError> {
+        let gradient_signs = |at: &PathSample, evals: &mut usize| -> Result<Vec<f64>, CoreError> {
             let mut signs = Vec::with_capacity(active.len());
             for &(name, sigma) in &active {
                 let mut hi = *at;
@@ -141,7 +139,10 @@ mod tests {
             vt: 1.0 / 3.0,
         };
         let wc = model.worst_case_corner(&sources, 3.0).unwrap();
-        assert!(wc.delay >= wc.naive_corner_delay - 1e-15, "true corner dominates");
+        assert!(
+            wc.delay >= wc.naive_corner_delay - 1e-15,
+            "true corner dominates"
+        );
         assert!(wc.delay > wc.nominal, "worst case above nominal");
         // The corner must mix signs (W helps while rho hurts, DL reduces
         // delay while VT increases it).

@@ -150,10 +150,7 @@ impl<'t> CellBuilder<'t> {
             inputs: inputs.iter().map(|s| s.to_string()).collect(),
             output: "out".to_string(),
             netlist: self.nl,
-            side_bias: side_bias
-                .iter()
-                .map(|(n, h)| (n.to_string(), *h))
-                .collect(),
+            side_bias: side_bias.iter().map(|(n, h)| (n.to_string(), *h)).collect(),
             inverting,
         }
     }
@@ -179,13 +176,7 @@ fn buf(tech: &Technology) -> Cell {
 
 fn nand2(tech: &Technology) -> Cell {
     let mut b = CellBuilder::new(tech);
-    let (a, bb, out, n1, vdd) = (
-        b.node("a"),
-        b.node("b"),
-        b.node("out"),
-        b.node("n1"),
-        b.vdd,
-    );
+    let (a, bb, out, n1, vdd) = (b.node("a"), b.node("b"), b.node("out"), b.node("n1"), b.vdd);
     b.pmos(out, a, vdd, 1);
     b.pmos(out, bb, vdd, 1);
     b.nmos(out, a, n1, 2);
@@ -210,23 +201,12 @@ fn nand3(tech: &Technology) -> Cell {
     b.nmos(out, a, n1, 3);
     b.nmos(n1, bb, n2, 3);
     b.nmos(n2, c, Netlist::GROUND, 3);
-    b.finish(
-        "nand3",
-        &["a", "b", "c"],
-        &[("b", true), ("c", true)],
-        true,
-    )
+    b.finish("nand3", &["a", "b", "c"], &[("b", true), ("c", true)], true)
 }
 
 fn nor2(tech: &Technology) -> Cell {
     let mut b = CellBuilder::new(tech);
-    let (a, bb, out, p1, vdd) = (
-        b.node("a"),
-        b.node("b"),
-        b.node("out"),
-        b.node("p1"),
-        b.vdd,
-    );
+    let (a, bb, out, p1, vdd) = (b.node("a"), b.node("b"), b.node("out"), b.node("p1"), b.vdd);
     b.pmos(p1, bb, vdd, 2);
     b.pmos(out, a, p1, 2);
     b.nmos(out, a, Netlist::GROUND, 1);

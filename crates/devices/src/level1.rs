@@ -96,7 +96,9 @@ impl MosParams {
         delta_vt: f64,
     ) -> Level1Op {
         match self.mos_type {
-            MosType::Nmos => self.eval_nmos_oriented(vgs, vds, vbs, width, length, delta_l, delta_vt, 1.0),
+            MosType::Nmos => {
+                self.eval_nmos_oriented(vgs, vds, vbs, width, length, delta_l, delta_vt, 1.0)
+            }
             MosType::Pmos => {
                 // Evaluate the mirrored NMOS problem with negated voltages
                 // and |vto|; flip the current sign back. `delta_vt` always
@@ -121,7 +123,8 @@ impl MosParams {
     ) -> Level1Op {
         // Source/drain symmetry: if vds < 0, swap roles.
         if vds < 0.0 {
-            let op = self.eval_forward(vgs - vds, -vds, vbs - vds, width, length, delta_l, delta_vt);
+            let op =
+                self.eval_forward(vgs - vds, -vds, vbs - vds, width, length, delta_l, delta_vt);
             // After the swap, the terminal current at the original drain is
             // -id'(vgs - vds, -vds). Chain rule through the voltage swap:
             // dI/dvgs = -gm', dI/dvds = gm' + gds'.

@@ -182,10 +182,26 @@ mod tests {
         let n = t.library.get(&t.library.nmos_name()).unwrap();
         let p = t.library.get(&t.library.pmos_name()).unwrap();
         let idn = n
-            .eval(t.library.vdd, t.library.vdd, 0.0, t.wn, t.library.lmin, 0.0, 0.0)
+            .eval(
+                t.library.vdd,
+                t.library.vdd,
+                0.0,
+                t.wn,
+                t.library.lmin,
+                0.0,
+                0.0,
+            )
             .ids;
         let idp = p
-            .eval(-t.library.vdd, -t.library.vdd, 0.0, t.wp, t.library.lmin, 0.0, 0.0)
+            .eval(
+                -t.library.vdd,
+                -t.library.vdd,
+                0.0,
+                t.wp,
+                t.library.lmin,
+                0.0,
+                0.0,
+            )
             .ids;
         let ratio = (idn / -idp).abs();
         assert!(ratio > 0.5 && ratio < 2.0, "drive ratio {ratio}");

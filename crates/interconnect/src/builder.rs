@@ -275,7 +275,10 @@ mod tests {
         assert!(g_hi[(0, 0)] > g0[(0, 0)], "wider wire conducts better");
         // Compare total grounded capacitance at far-end node.
         let last = var.order() - 1;
-        assert!(c_hi[(last, last)] > c0[(last, last)], "wider wire has more cap");
+        assert!(
+            c_hi[(last, last)] > c0[(last, last)],
+            "wider wire has more cap"
+        );
     }
 
     #[test]
@@ -303,8 +306,18 @@ mod tests {
         w[s_idx] = 1.0;
         let (_, c_wide) = var.eval(&w);
         // Find a coupled pair: node of line0 seg1 and line1 seg1.
-        let a = built.netlist.find_node("l0_s1").unwrap().mna_index().unwrap();
-        let b = built.netlist.find_node("l1_s1").unwrap().mna_index().unwrap();
+        let a = built
+            .netlist
+            .find_node("l0_s1")
+            .unwrap()
+            .mna_index()
+            .unwrap();
+        let b = built
+            .netlist
+            .find_node("l1_s1")
+            .unwrap()
+            .mna_index()
+            .unwrap();
         assert!(c_wide[(a, b)].abs() < c0[(a, b)].abs());
     }
 

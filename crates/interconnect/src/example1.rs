@@ -163,6 +163,9 @@ mod tests {
         let (g0, _) = var.eval(&[0.0]);
         let p1 = nl.find_node("p1").unwrap().mna_index().unwrap();
         let p2 = nl.find_node("p2").unwrap().mna_index().unwrap();
-        assert!((g0[(p1, p1)] - g0[(p2, p2)]).abs() < 1e-15, "symmetric ports");
+        assert!(
+            (g0[(p1, p1)] - g0[(p2, p2)]).abs() < 1e-15,
+            "symmetric ports"
+        );
     }
 }

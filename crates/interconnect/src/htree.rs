@@ -111,7 +111,12 @@ pub fn build_htree(spec: &HTreeSpec) -> Result<HTree, CircuitError> {
     }
     let mut sinks = Vec::with_capacity(n_sinks);
     for (k, (node, path)) in frontier.into_iter().enumerate() {
-        nl.add_capacitor(&format!("Csink_{path}"), node, Netlist::GROUND, spec.sink_loads[k])?;
+        nl.add_capacitor(
+            &format!("Csink_{path}"),
+            node,
+            Netlist::GROUND,
+            spec.sink_loads[k],
+        )?;
         element_count += 1;
         sinks.push(node);
     }

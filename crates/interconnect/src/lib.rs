@@ -29,5 +29,7 @@ pub mod tech;
 pub use builder::{CoupledLineSpec, CoupledLines};
 pub use example1::{example1_load, example1_netlist};
 pub use htree::{build_htree, HTree, HTreeSpec};
-pub use sakurai::{coupling_cap_per_meter, ground_cap_per_meter, inductance_per_meter, resistance_per_meter};
+pub use sakurai::{
+    coupling_cap_per_meter, ground_cap_per_meter, inductance_per_meter, resistance_per_meter,
+};
 pub use tech::{WireParam, WireTech, WIRE_PARAM_COUNT};

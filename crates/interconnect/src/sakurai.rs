@@ -61,7 +61,10 @@ pub fn inductance_per_meter(w: f64, h: f64) -> f64 {
 ///
 /// Panics (debug assertion) if any dimension is non-positive.
 pub fn resistance_per_meter(rho: f64, w: f64, t: f64) -> f64 {
-    debug_assert!(rho > 0.0 && w > 0.0 && t > 0.0, "dimensions must be positive");
+    debug_assert!(
+        rho > 0.0 && w > 0.0 && t > 0.0,
+        "dimensions must be positive"
+    );
     rho / (w * t)
 }
 
@@ -113,9 +116,18 @@ mod tests {
     #[test]
     fn ground_cap_monotonic_in_geometry() {
         let base = ground_cap_per_meter(W, T, H);
-        assert!(ground_cap_per_meter(1.5 * W, T, H) > base, "wider → more cap");
-        assert!(ground_cap_per_meter(W, 1.5 * T, H) > base, "thicker → more fringe");
-        assert!(ground_cap_per_meter(W, T, 1.5 * H) < base, "higher → less cap");
+        assert!(
+            ground_cap_per_meter(1.5 * W, T, H) > base,
+            "wider → more cap"
+        );
+        assert!(
+            ground_cap_per_meter(W, 1.5 * T, H) > base,
+            "thicker → more fringe"
+        );
+        assert!(
+            ground_cap_per_meter(W, T, 1.5 * H) < base,
+            "higher → less cap"
+        );
     }
 
     #[test]
@@ -124,7 +136,10 @@ mod tests {
         // 2.2e-8 / (0.28e-6 · 0.45e-6) ≈ 1.746e5 Ω/m ≈ 0.175 Ω/µm.
         assert!((r - RHO / (W * T)).abs() < 1e-6 * r);
         let per_um = r * 1e-6;
-        assert!(per_um > 0.05 && per_um < 1.0, "R = {per_um} Ω/µm out of range");
+        assert!(
+            per_um > 0.05 && per_um < 1.0,
+            "R = {per_um} Ω/µm out of range"
+        );
     }
 
     #[test]

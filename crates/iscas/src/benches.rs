@@ -224,8 +224,13 @@ mod tests {
 
     #[test]
     fn synthetic_path_depths_match_paper() {
-        for (name, depth) in [("s208", 9), ("s832", 9), ("s444", 12), ("s1423", 21), ("s9234", 58)]
-        {
+        for (name, depth) in [
+            ("s208", 9),
+            ("s832", 9),
+            ("s444", 12),
+            ("s1423", 21),
+            ("s9234", 58),
+        ] {
             let b = benchmark(name).unwrap();
             assert!(b.synthetic);
             assert_eq!(b.paper_stages, depth);

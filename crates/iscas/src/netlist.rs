@@ -251,10 +251,18 @@ y = NOT(d)
 
     #[test]
     fn parse_errors_name_lines() {
-        assert!(parse_bench("x", "junk line").unwrap_err().contains("line 1"));
-        assert!(parse_bench("x", "y = XYZ(a, b)").unwrap_err().contains("unknown gate"));
-        assert!(parse_bench("x", "y = NOT(a, b)").unwrap_err().contains("single-input"));
-        assert!(parse_bench("x", "y = NAND(a)").unwrap_err().contains("multi-input"));
+        assert!(parse_bench("x", "junk line")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(parse_bench("x", "y = XYZ(a, b)")
+            .unwrap_err()
+            .contains("unknown gate"));
+        assert!(parse_bench("x", "y = NOT(a, b)")
+            .unwrap_err()
+            .contains("single-input"));
+        assert!(parse_bench("x", "y = NAND(a)")
+            .unwrap_err()
+            .contains("multi-input"));
         assert!(parse_bench("x", "INPUT(a").is_err());
     }
 

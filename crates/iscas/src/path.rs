@@ -101,7 +101,10 @@ mod tests {
         assert_eq!(decompose_kind(GateKind::Nor, 3), vec!["nor3"]);
         assert_eq!(decompose_kind(GateKind::And, 2), vec!["nand2", "inv"]);
         assert_eq!(decompose_kind(GateKind::Or, 2), vec!["nor2", "inv"]);
-        assert_eq!(decompose_kind(GateKind::Nand, 5), vec!["nand3", "inv", "inv"]);
+        assert_eq!(
+            decompose_kind(GateKind::Nand, 5),
+            vec!["nand3", "inv", "inv"]
+        );
         assert!(decompose_kind(GateKind::Dff, 1).is_empty());
     }
 
@@ -114,10 +117,9 @@ mod tests {
         // each → 8 primitive stages.
         assert_eq!(stages.len(), 8, "stages {stages:?}");
         assert_eq!(stages[0].cell, "inv");
-        assert!(stages.iter().all(|s| [
-            "inv", "nand2", "nand3", "nor2", "nor3"
-        ]
-        .contains(&s.cell.as_str())));
+        assert!(stages
+            .iter()
+            .all(|s| ["inv", "nand2", "nand3", "nor2", "nor3"].contains(&s.cell.as_str())));
     }
 
     #[test]

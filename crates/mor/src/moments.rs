@@ -19,7 +19,12 @@ use linvar_numeric::{LuFactor, Matrix, NumericError};
 ///
 /// Returns [`NumericError::SingularMatrix`] if `G` is singular (floating
 /// network — fold the driver conductances first).
-pub fn moments(g: &Matrix, c: &Matrix, b: &Matrix, count: usize) -> Result<Vec<Matrix>, NumericError> {
+pub fn moments(
+    g: &Matrix,
+    c: &Matrix,
+    b: &Matrix,
+    count: usize,
+) -> Result<Vec<Matrix>, NumericError> {
     let lu = LuFactor::new(g)?;
     let mut out = Vec::with_capacity(count);
     // v_0 = G⁻¹B; v_{k+1} = -G⁻¹ C v_k; m_k = Bᵀ v_k.
@@ -236,7 +241,10 @@ mod tests {
         b[(n - 1, 1)] = 1.0;
         let ms = moments(&g, &c, &b, 3).unwrap();
         for m in &ms {
-            assert!(m.is_symmetric(1e-9 * m.max_abs().max(1e-300)), "reciprocal network");
+            assert!(
+                m.is_symmetric(1e-9 * m.max_abs().max(1e-300)),
+                "reciprocal network"
+            );
         }
     }
 

@@ -14,7 +14,9 @@
 //! and shared by all `Np²` entries — the efficiency note under eq. (20).
 
 use crate::prima::ReducedModel;
-use linvar_numeric::{eigen_decompose, CLuFactor, CMatrix, Complex, LuFactor, Matrix, NumericError};
+use linvar_numeric::{
+    eigen_decompose, CLuFactor, CMatrix, Complex, LuFactor, Matrix, NumericError,
+};
 
 /// A multiport impedance macromodel in pole/residue form:
 /// `Z(s) = direct + Σ_k R_k / (s - p_k)`.

@@ -53,12 +53,19 @@ impl ReducedModel {
 ///
 /// Returns [`NumericError::SingularMatrix`] if `G` is singular, or
 /// [`NumericError::InvalidInput`] for an empty port set or zero order.
-pub fn prima_basis(g: &Matrix, c: &Matrix, b: &Matrix, order: usize) -> Result<Matrix, NumericError> {
+pub fn prima_basis(
+    g: &Matrix,
+    c: &Matrix,
+    b: &Matrix,
+    order: usize,
+) -> Result<Matrix, NumericError> {
     if b.cols() == 0 {
         return Err(NumericError::InvalidInput("no ports".into()));
     }
     if order == 0 {
-        return Err(NumericError::InvalidInput("reduction order must be >= 1".into()));
+        return Err(NumericError::InvalidInput(
+            "reduction order must be >= 1".into(),
+        ));
     }
     let n = g.rows();
     let lu = LuFactor::new(g)?;

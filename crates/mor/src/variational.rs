@@ -271,7 +271,8 @@ mod tests {
         let mut prev = nl.node("n0");
         nl.mark_port(prev).unwrap();
         // Driver conductance grounds the port (G_SC folding).
-        nl.add_resistor("Rdrv", prev, Netlist::GROUND, 50.0).unwrap();
+        nl.add_resistor("Rdrv", prev, Netlist::GROUND, 50.0)
+            .unwrap();
         for i in 1..=n {
             let next = nl.node(&format!("n{i}"));
             nl.add_variational_resistor(
@@ -296,8 +297,8 @@ mod tests {
     #[test]
     fn nominal_evaluation_matches_direct_reduction() {
         let var = var_ladder(10);
-        let rom = VariationalRom::characterize(&var, ReductionMethod::Prima { order: 4 }, 0.01)
-            .unwrap();
+        let rom =
+            VariationalRom::characterize(&var, ReductionMethod::Prima { order: 4 }, 0.01).unwrap();
         let at0 = rom.evaluate(&[0.0]);
         let exact = rom.evaluate_exact(&var, &[0.0]).unwrap();
         assert!((&at0.gr - &exact.gr).max_abs() < 1e-9 * exact.gr.max_abs());
@@ -307,8 +308,8 @@ mod tests {
     #[test]
     fn first_order_tracks_exact_for_small_w() {
         let var = var_ladder(10);
-        let rom = VariationalRom::characterize(&var, ReductionMethod::Prima { order: 4 }, 0.01)
-            .unwrap();
+        let rom =
+            VariationalRom::characterize(&var, ReductionMethod::Prima { order: 4 }, 0.01).unwrap();
         let w = [0.05];
         let approx = rom.evaluate(&w);
         let exact = rom.evaluate_exact(&var, &w).unwrap();
@@ -324,8 +325,8 @@ mod tests {
     #[test]
     fn first_order_error_grows_quadratically() {
         let var = var_ladder(8);
-        let rom = VariationalRom::characterize(&var, ReductionMethod::Prima { order: 3 }, 0.01)
-            .unwrap();
+        let rom =
+            VariationalRom::characterize(&var, ReductionMethod::Prima { order: 3 }, 0.01).unwrap();
         let err_at = |wv: f64| -> f64 {
             let a = rom.evaluate(&[wv]).dc_impedance().unwrap()[(0, 0)];
             let e = rom
@@ -347,17 +348,18 @@ mod tests {
     #[test]
     fn pact_method_also_characterizes() {
         let var = var_ladder(10);
-        let rom = VariationalRom::characterize(
-            &var,
-            ReductionMethod::Pact { internal_modes: 3 },
-            0.01,
-        )
-        .unwrap();
+        let rom =
+            VariationalRom::characterize(&var, ReductionMethod::Pact { internal_modes: 3 }, 0.01)
+                .unwrap();
         assert_eq!(rom.order(), 1 + 3, "ports + internal modes");
         assert_eq!(rom.port_count(), 1);
         assert_eq!(rom.param_count(), 1);
         let z0 = rom.evaluate(&[0.0]).dc_impedance().unwrap()[(0, 0)];
-        let ze = rom.evaluate_exact(&var, &[0.0]).unwrap().dc_impedance().unwrap()[(0, 0)];
+        let ze = rom
+            .evaluate_exact(&var, &[0.0])
+            .unwrap()
+            .dc_impedance()
+            .unwrap()[(0, 0)];
         assert!((z0 - ze).abs() < 1e-8 * ze.abs());
     }
 
@@ -367,12 +369,10 @@ mod tests {
         assert!(
             VariationalRom::characterize(&var, ReductionMethod::Prima { order: 2 }, 0.0).is_err()
         );
-        assert!(VariationalRom::characterize(
-            &var,
-            ReductionMethod::Prima { order: 2 },
-            f64::NAN
-        )
-        .is_err());
+        assert!(
+            VariationalRom::characterize(&var, ReductionMethod::Prima { order: 2 }, f64::NAN)
+                .is_err()
+        );
     }
 
     #[test]
@@ -389,8 +389,8 @@ mod tests {
     #[test]
     fn evaluate_with_short_sample_vector() {
         let var = var_ladder(5);
-        let rom = VariationalRom::characterize(&var, ReductionMethod::Prima { order: 3 }, 0.01)
-            .unwrap();
+        let rom =
+            VariationalRom::characterize(&var, ReductionMethod::Prima { order: 3 }, 0.01).unwrap();
         let a = rom.evaluate(&[]);
         let b = rom.evaluate(&[0.0]);
         assert!((&a.gr - &b.gr).max_abs() == 0.0);

@@ -552,11 +552,7 @@ mod tests {
     #[test]
     fn known_3x3_with_complex_eigenvalues() {
         // Companion matrix of λ³ - 6λ² + 11λ - 6 = (λ-1)(λ-2)(λ-3).
-        let a = Matrix::from_rows(&[
-            &[6.0, -11.0, 6.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-        ]);
+        let a = Matrix::from_rows(&[&[6.0, -11.0, 6.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
         let ev = eigenvalues(&a).unwrap();
         for target in [1.0, 2.0, 3.0] {
             assert_contains_eigenvalue(&ev, Complex::from_real(target), 1e-8);
@@ -565,22 +561,14 @@ mod tests {
 
     #[test]
     fn eigen_decomposition_residual_small() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.2],
-            &[0.5, 3.0, -0.3],
-            &[0.1, 0.2, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.2], &[0.5, 3.0, -0.3], &[0.1, 0.2, 1.0]]);
         let dec = eigen_decompose(&a).unwrap();
         assert!(dec.max_residual(&a) < 1e-8 * a.max_abs());
     }
 
     #[test]
     fn eigen_decomposition_with_complex_pair_residual() {
-        let a = Matrix::from_rows(&[
-            &[1.0, -5.0, 0.0],
-            &[5.0, 1.0, 0.0],
-            &[0.0, 0.0, -2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, -5.0, 0.0], &[5.0, 1.0, 0.0], &[0.0, 0.0, -2.0]]);
         let dec = eigen_decompose(&a).unwrap();
         assert!(dec.max_residual(&a) < 1e-8 * a.max_abs());
         let n_complex = dec.values.iter().filter(|v| v.im.abs() > 1e-6).count();
@@ -604,28 +592,24 @@ mod tests {
         // -G⁻¹C style matrix for a 3-node RC ladder: eigenvalues must be
         // real and negative (passive RC system poles are on the negative
         // real axis). Construct T = -G⁻¹C directly.
-        let g = Matrix::from_rows(&[
-            &[2.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 2.0],
-        ]);
+        let g = Matrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]]);
         let c = Matrix::from_diagonal(&[1e-12, 2e-12, 1e-12]);
         let ginv = crate::lu::LuFactor::new(&g).unwrap().inverse().unwrap();
         let t = -&ginv.mul_mat(&c);
         let ev = eigenvalues(&t).unwrap();
         for v in &ev {
             assert!(v.re < 0.0, "RC eigenvalue should be negative: {v}");
-            assert!(v.im.abs() < 1e-20 + 1e-8 * v.re.abs(), "should be real: {v}");
+            assert!(
+                v.im.abs() < 1e-20 + 1e-8 * v.re.abs(),
+                "should be real: {v}"
+            );
         }
     }
 
     #[test]
     fn badly_scaled_matrix_is_balanced() {
         // Entries spanning 12 decades; balancing keeps accuracy.
-        let a = Matrix::from_rows(&[
-            &[1.0, 1e-9],
-            &[1e9, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 1e-9], &[1e9, 2.0]]);
         let ev = eigenvalues(&a).unwrap();
         // Characteristic poly: λ² - 3λ + (2 - 1) = 0 → λ = (3 ± √5)/2.
         let s5 = 5.0_f64.sqrt();

@@ -90,7 +90,11 @@ impl LuFactor {
                 }
             }
         }
-        Ok(LuFactor { lu, perm, perm_sign })
+        Ok(LuFactor {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Matrix order.
@@ -204,7 +208,9 @@ mod tests {
         let n = 20;
         let mut state = 12345_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let a = Matrix::from_fn(n, n, |i, j| next() + if i == j { 4.0 } else { 0.0 });

@@ -62,7 +62,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "inconsistent row lengths");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix from a closure evaluated at every `(row, col)`.
@@ -349,7 +353,11 @@ impl Add<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
         let mut out = self.clone();
         out.axpy(1.0, rhs).expect("shapes already checked");
         out
@@ -360,7 +368,11 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub shape mismatch"
+        );
         let mut out = self.clone();
         out.axpy(-1.0, rhs).expect("shapes already checked");
         out

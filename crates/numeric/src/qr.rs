@@ -201,11 +201,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_input() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let qr = householder_qr(&a).unwrap();
         let rec = qr.q().mul_mat(qr.r());
         assert!((&rec - &a).max_abs() < 1e-12);

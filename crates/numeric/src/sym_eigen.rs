@@ -57,9 +57,7 @@ pub fn jacobi_eigen(a: &Matrix) -> Result<SymEigen, NumericError> {
     }
     let scale = a.max_abs().max(1e-300);
     if !a.is_symmetric(1e-10 * scale) {
-        return Err(NumericError::InvalidInput(
-            "matrix is not symmetric".into(),
-        ));
+        return Err(NumericError::InvalidInput("matrix is not symmetric".into()));
     }
     let n = a.rows();
     let mut m = a.clone();
@@ -255,11 +253,7 @@ mod tests {
 
     #[test]
     fn vectors_are_orthonormal_and_satisfy_equation() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.25],
-            &[0.5, 0.25, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.25], &[0.5, 0.25, 2.0]]);
         let eig = jacobi_eigen(&a).unwrap();
         let vtv = eig.vectors.transpose().mul_mat(&eig.vectors);
         assert!((&vtv - &Matrix::identity(3)).max_abs() < 1e-12);

@@ -82,8 +82,10 @@ pub fn ac_analysis(
     let mut rhs = vec![Complex::ZERO; n];
     rhs[mna.node_count + source_branch] = Complex::ONE;
 
-    let mut response: HashMap<String, Vec<Complex>> =
-        probe_rows.iter().map(|(p, _)| (p.clone(), Vec::new())).collect();
+    let mut response: HashMap<String, Vec<Complex>> = probe_rows
+        .iter()
+        .map(|(p, _)| (p.clone(), Vec::new()))
+        .collect();
     for &f in freqs {
         let omega = 2.0 * std::f64::consts::PI * f;
         let mut a = CMatrix::from_real(&mna.g);
@@ -114,11 +116,7 @@ pub fn ac_analysis(
 /// # Errors
 ///
 /// Same conditions as [`ac_analysis`].
-pub fn ac_impedance(
-    nl: &Netlist,
-    port: &str,
-    freqs: &[f64],
-) -> Result<Vec<Complex>, SpiceError> {
+pub fn ac_impedance(nl: &Netlist, port: &str, freqs: &[f64]) -> Result<Vec<Complex>, SpiceError> {
     if !nl.mosfets().is_empty() {
         return Err(SpiceError::BadCircuit(
             "ac analysis supports linear netlists only".into(),
@@ -193,7 +191,11 @@ mod tests {
         nl.add_capacitor("C", p, Netlist::GROUND, 2e-12).unwrap();
         let fc = 1.0 / (2.0 * std::f64::consts::PI * 500.0 * 2e-12);
         let z = ac_impedance(&nl, "p", &[fc / 1000.0, fc]).unwrap();
-        assert!((z[0].abs() - 500.0).abs() < 0.5, "dc-ish |Z| {}", z[0].abs());
+        assert!(
+            (z[0].abs() - 500.0).abs() < 0.5,
+            "dc-ish |Z| {}",
+            z[0].abs()
+        );
         assert!(
             (z[1].abs() - 500.0 / 2.0_f64.sqrt()).abs() < 1.0,
             "corner |Z| {}",

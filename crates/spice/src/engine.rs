@@ -267,7 +267,9 @@ impl<'a> Transient<'a> {
                         i_prev: 0.0,
                     });
                 }
-                Element::VSource { pos, neg, waveform, .. } => {
+                Element::VSource {
+                    pos, neg, waveform, ..
+                } => {
                     if let Some(i) = idx(*pos) {
                         g_static[(i, branch)] += 1.0;
                         g_static[(branch, i)] += 1.0;
@@ -282,7 +284,9 @@ impl<'a> Transient<'a> {
                     });
                     branch += 1;
                 }
-                Element::ISource { pos, neg, waveform, .. } => {
+                Element::ISource {
+                    pos, neg, waveform, ..
+                } => {
                     sources.push(ResolvedSource::I {
                         pos: idx(*pos),
                         neg: idx(*neg),
@@ -356,12 +360,14 @@ impl<'a> Transient<'a> {
                     // Keep the partial solution as the next starting point.
                     dc_ok = false;
                 }
-                Err(e) => return Err(match e {
-                    SpiceError::ConvergenceFailure { reason, .. } => {
-                        SpiceError::DcOperatingPoint { reason }
-                    }
-                    other => other,
-                }),
+                Err(e) => {
+                    return Err(match e {
+                        SpiceError::ConvergenceFailure { reason, .. } => {
+                            SpiceError::DcOperatingPoint { reason }
+                        }
+                        other => other,
+                    })
+                }
             }
         }
         if !dc_ok {
@@ -390,7 +396,10 @@ impl<'a> Transient<'a> {
             .iter()
             .map(|p| {
                 let id = self.nl.find_node(p).expect("validated in build");
-                (p.clone(), id.mna_index().expect("probing ground is useless"))
+                (
+                    p.clone(),
+                    id.mna_index().expect("probing ground is useless"),
+                )
             })
             .collect();
         for (name, i) in &probe_idx {
@@ -494,7 +503,10 @@ impl<'a> Transient<'a> {
         let mut rhs = vec![0.0; self.dim];
         for s in &self.sources {
             match s {
-                ResolvedSource::V { branch_row, waveform } => {
+                ResolvedSource::V {
+                    branch_row,
+                    waveform,
+                } => {
                     rhs[*branch_row] += waveform.eval(t);
                 }
                 ResolvedSource::I { pos, neg, waveform } => {
@@ -542,7 +554,12 @@ impl<'a> Transient<'a> {
 
     /// Builds the per-timestep cache: for the Woodbury path, factor `A0`
     /// once and pre-solve the device incidence columns.
-    fn make_cache(&self, h: f64, a0: Matrix, stats: &mut SolveStats) -> Result<StepCache, SpiceError> {
+    fn make_cache(
+        &self,
+        h: f64,
+        a0: Matrix,
+        stats: &mut SolveStats,
+    ) -> Result<StepCache, SpiceError> {
         let ndev = self.devices.len();
         let (lu0, a0inv_u) = if self.opts.dense_rebuild {
             (None, Matrix::zeros(0, 0))
@@ -703,7 +720,10 @@ impl<'a> Transient<'a> {
                 });
             }
             *x = x_damped;
-            let vnorm = x.iter().take(self.n_nodes).fold(0.0_f64, |m, v| m.max(v.abs()));
+            let vnorm = x
+                .iter()
+                .take(self.n_nodes)
+                .fold(0.0_f64, |m, v| m.max(v.abs()));
             if max_dx < self.opts.vabstol + self.opts.reltol * vnorm {
                 return Ok(());
             }
@@ -797,9 +817,9 @@ fn stamp_device(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use linvar_circuit::MosType;
     use linvar_circuit::SourceWaveform;
     use linvar_devices::tech_018;
-    use linvar_circuit::MosType;
 
     fn rc_netlist() -> Netlist {
         let mut nl = Netlist::new();
@@ -923,7 +943,8 @@ mod tests {
             tech.library.lmin,
         )
         .unwrap();
-        nl.add_capacitor("CL", out, Netlist::GROUND, 10e-15).unwrap();
+        nl.add_capacitor("CL", out, Netlist::GROUND, 10e-15)
+            .unwrap();
         let mut opts = TransientOptions::new(1e-9, 1e-12);
         opts.probes.push("out".into());
         let res = Transient::with_devices(&nl, &tech.library, DeviceVariation::nominal(), &opts)

@@ -8,8 +8,10 @@
 //!   (§4.1.1), including a synthetic correlated-device-parameter demo that
 //!   reproduces the "60 BSIM3 parameters → ~10 factors" observation of the
 //!   paper's reference \[11\];
-//! * [`montecarlo`] — the generic Monte-Carlo driver with summary
-//!   statistics and standard-error estimates;
+//! * [`montecarlo`] — the generic Monte-Carlo driver (serial and
+//!   deterministic parallel — see DESIGN.md, "Parallel execution &
+//!   determinism contract") with summary statistics, standard-error
+//!   estimates and per-sample failure diagnostics;
 //! * [`gradient`] — Gradient Analysis (§4.1.3, eq. 24): σ of a performance
 //!   from first-order sensitivities of uncorrelated sources;
 //! * [`histogram`] — fixed-bin histograms with a text renderer for the
@@ -23,12 +25,15 @@ pub mod sampling;
 pub mod summary;
 pub mod timing_yield;
 
+pub use gradient::central_difference_sensitivities;
 pub use gradient::gradient_std;
 pub use histogram::Histogram;
-pub use montecarlo::{monte_carlo, MonteCarloResult};
-pub use pca::{Pca, PcaModel};
-pub use sampling::{latin_hypercube, lhs_normal, lhs_uniform, normal_samples, rng_from_seed, uniform_samples, SampleRng};
-pub use gradient::central_difference_sensitivities;
+pub use montecarlo::{monte_carlo, monte_carlo_par, resolve_threads, MonteCarloResult};
 pub use pca::demo_correlated_device_parameters;
+pub use pca::{Pca, PcaModel};
+pub use sampling::{
+    latin_hypercube, latin_hypercube_streamed, lhs_normal, lhs_normal_streamed, lhs_uniform,
+    normal_samples, rng_from_seed, uniform_samples, SampleRng, SeedStream,
+};
 pub use summary::Summary;
 pub use timing_yield::{empirical_yield, normal_cdf, normal_yield, period_for_yield};

@@ -1,41 +1,199 @@
-//! The Monte-Carlo driver (paper §4.1.2).
+//! The Monte-Carlo driver (paper §4.1.2): serial and deterministic
+//! parallel execution.
+//!
+//! The parallel driver [`monte_carlo_par`] shards samples across scoped
+//! worker threads in fixed-size chunks handed out through an atomic
+//! cursor, evaluates each sample independently, and merges per-worker
+//! results back **in sample-index order**. Because every sample's result
+//! is a pure function of the sample itself (the evaluator must be
+//! deterministic — enforced by the `Fn` bound, no shared mutable state),
+//! the merged output is bitwise-identical at any thread count and equal
+//! to the serial driver's output. See DESIGN.md, "Parallel execution &
+//! determinism contract".
 
 use crate::summary::Summary;
+use std::fmt::Display;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Result of a Monte-Carlo analysis.
 #[derive(Debug, Clone)]
 pub struct MonteCarloResult {
-    /// Performance value per sample (failed evaluations are skipped).
+    /// Performance value per successful sample, in sample-index order
+    /// (failed evaluations are skipped).
     pub values: Vec<f64>,
     /// Summary statistics of the values.
     pub summary: Summary,
     /// Number of samples whose evaluation failed.
     pub failures: usize,
+    /// Indices of the failed samples, ascending.
+    pub failed_indices: Vec<usize>,
+    /// Diagnostic of the failure with the smallest sample index (panics in
+    /// the evaluator are captured as `"panic: …"`). `None` when every
+    /// sample succeeded.
+    pub first_error: Option<String>,
+}
+
+impl MonteCarloResult {
+    fn from_ordered(outcomes: Vec<Result<f64, String>>) -> MonteCarloResult {
+        let mut values = Vec::with_capacity(outcomes.len());
+        let mut failed_indices = Vec::new();
+        let mut first_error = None;
+        for (idx, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(v) => values.push(v),
+                Err(msg) => {
+                    if first_error.is_none() {
+                        first_error = Some(msg);
+                    }
+                    failed_indices.push(idx);
+                }
+            }
+        }
+        let summary = Summary::of(&values);
+        MonteCarloResult {
+            values,
+            summary,
+            failures: failed_indices.len(),
+            failed_indices,
+            first_error,
+        }
+    }
 }
 
 /// Evaluates `f` on every sample and summarizes the results.
 ///
 /// Sample evaluation returns `Result`; failed samples (for example an SC
-/// divergence on a pathological corner) are counted, not fatal — a
-/// statistical analysis should report partial results with diagnostics
-/// rather than lose an hour of work to one corner.
-pub fn monte_carlo<S, E>(
+/// divergence on a pathological corner) are counted and recorded with
+/// their index and first diagnostic, not fatal — a statistical analysis
+/// should report partial results with diagnostics rather than lose an
+/// hour of work to one corner.
+pub fn monte_carlo<S, E: Display>(
     samples: &[S],
     mut f: impl FnMut(&S) -> Result<f64, E>,
 ) -> MonteCarloResult {
-    let mut values = Vec::with_capacity(samples.len());
-    let mut failures = 0usize;
-    for s in samples {
-        match f(s) {
-            Ok(v) => values.push(v),
-            Err(_) => failures += 1,
-        }
+    let outcomes = samples
+        .iter()
+        .map(|s| f(s).map_err(|e| e.to_string()))
+        .collect();
+    MonteCarloResult::from_ordered(outcomes)
+}
+
+/// Resolves the worker count for the parallel driver.
+///
+/// `requested` = 0 means "auto": the `LINVAR_THREADS` environment
+/// variable if set to a positive integer, otherwise the machine's
+/// available parallelism.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
     }
-    let summary = Summary::of(&values);
-    MonteCarloResult {
-        values,
-        summary,
-        failures,
+    if let Some(n) = std::env::var("LINVAR_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of samples each worker claims per trip to the shared cursor.
+/// Small enough to balance load on heterogeneous per-sample cost, large
+/// enough that cursor contention is negligible.
+const CHUNK: usize = 4;
+
+/// Parallel Monte-Carlo: evaluates `f` on every sample across `threads`
+/// scoped workers and summarizes the results.
+///
+/// **Determinism contract:** the output — `values` order, summary,
+/// failure bookkeeping — is bitwise-identical to [`monte_carlo`] with the
+/// same deterministic evaluator, at *any* thread count. Workers claim
+/// fixed-size chunks of sample indices from an atomic cursor (so the
+/// assignment of samples to workers varies run to run), but every result
+/// is keyed by sample index and merged in index order, which erases the
+/// scheduling from the output.
+///
+/// A panicking evaluator does not poison the run: the panic is caught per
+/// sample and recorded as a counted failure with a `"panic: …"`
+/// diagnostic.
+///
+/// `threads` = 0 resolves via [`resolve_threads`] (`LINVAR_THREADS`, then
+/// available parallelism).
+pub fn monte_carlo_par<S, E>(
+    samples: &[S],
+    threads: usize,
+    f: impl Fn(&S) -> Result<f64, E> + Sync,
+) -> MonteCarloResult
+where
+    S: Sync,
+    E: Display,
+{
+    let n = samples.len();
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        // One worker degenerates to the serial driver (same code path the
+        // contract is stated against), minus thread-spawn overhead.
+        return monte_carlo(samples, |s| contained(&f, s));
+    }
+
+    let cursor = AtomicUsize::new(0);
+    // Each worker appends (index, outcome) pairs to its own slot; the
+    // Mutex is locked once per worker at the very end, not per sample.
+    let collected: Mutex<Vec<(usize, Result<f64, String>)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, Result<f64, String>)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + CHUNK).min(n);
+                    for (idx, s) in samples[start..end].iter().enumerate() {
+                        local.push((start + idx, contained(&f, s)));
+                    }
+                }
+                collected
+                    .lock()
+                    .expect("no worker holds this lock across a panic")
+                    .append(&mut local);
+            });
+        }
+    });
+
+    let mut outcomes: Vec<Option<Result<f64, String>>> = (0..n).map(|_| None).collect();
+    for (idx, outcome) in collected.into_inner().expect("workers joined") {
+        outcomes[idx] = Some(outcome);
+    }
+    MonteCarloResult::from_ordered(
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every index evaluated exactly once"))
+            .collect(),
+    )
+}
+
+/// Runs one evaluation with panic containment: a panicking evaluator
+/// surfaces as an `Err` diagnostic instead of unwinding across the worker.
+fn contained<S, E: Display>(
+    f: &(impl Fn(&S) -> Result<f64, E> + Sync),
+    s: &S,
+) -> Result<f64, String> {
+    match catch_unwind(AssertUnwindSafe(|| f(s).map_err(|e| e.to_string()))) {
+        Ok(res) => res,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic payload".to_string());
+            Err(format!("panic: {msg}"))
+        }
     }
 }
 
@@ -49,9 +207,8 @@ mod tests {
         // f(w) = 3 + 2·w0 − w1 with unit normals: mean 3, σ = √5.
         let mut rng = rng_from_seed(77);
         let samples = lhs_normal(&mut rng, 2000, 2, 1.0);
-        let res = monte_carlo::<_, std::convert::Infallible>(&samples, |w| {
-            Ok(3.0 + 2.0 * w[0] - w[1])
-        });
+        let res =
+            monte_carlo::<_, std::convert::Infallible>(&samples, |w| Ok(3.0 + 2.0 * w[0] - w[1]));
         assert_eq!(res.failures, 0);
         assert!((res.summary.mean - 3.0).abs() < 0.05);
         assert!((res.summary.std - 5.0_f64.sqrt()).abs() < 0.05);
@@ -60,22 +217,99 @@ mod tests {
     #[test]
     fn failures_are_counted_not_fatal() {
         let samples: Vec<f64> = (0..10).map(|k| k as f64).collect();
-        let res = monte_carlo(&samples, |&x| {
-            if x < 3.0 {
-                Err("corner failed")
-            } else {
-                Ok(x)
-            }
-        });
+        let res = monte_carlo(
+            &samples,
+            |&x| {
+                if x < 3.0 {
+                    Err("corner failed")
+                } else {
+                    Ok(x)
+                }
+            },
+        );
         assert_eq!(res.failures, 3);
         assert_eq!(res.values.len(), 7);
         assert_eq!(res.summary.n, 7);
+        assert_eq!(res.failed_indices, vec![0, 1, 2]);
+        assert_eq!(res.first_error.as_deref(), Some("corner failed"));
     }
 
     #[test]
     fn empty_sample_set() {
-        let res = monte_carlo::<f64, ()>(&[], |_| Ok(0.0));
+        let res = monte_carlo::<f64, &str>(&[], |_| Ok(0.0));
         assert_eq!(res.summary.n, 0);
         assert_eq!(res.failures, 0);
+        assert!(res.first_error.is_none());
+        let res = monte_carlo_par::<f64, &str>(&[], 4, |_| Ok(0.0));
+        assert_eq!(res.summary.n, 0);
+        assert_eq!(res.failures, 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let mut rng = rng_from_seed(13);
+        let samples = lhs_normal(&mut rng, 500, 3, 1.0);
+        let f = |w: &Vec<f64>| -> Result<f64, &'static str> {
+            if w[0] > 1.8 {
+                Err("tail corner rejected")
+            } else {
+                Ok((w[0] * 1.5 - w[1]).exp() + w[2])
+            }
+        };
+        let serial = monte_carlo(&samples, f);
+        for threads in [1, 2, 3, 8] {
+            let par = monte_carlo_par(&samples, threads, f);
+            assert_eq!(par.values, serial.values, "values at {threads} threads");
+            assert_eq!(par.failed_indices, serial.failed_indices);
+            assert_eq!(par.first_error, serial.first_error);
+            assert_eq!(par.summary.mean.to_bits(), serial.summary.mean.to_bits());
+            assert_eq!(par.summary.std.to_bits(), serial.summary.std.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_contains_panics_as_failures() {
+        let samples: Vec<usize> = (0..40).collect();
+        let res = monte_carlo_par(&samples, 4, |&k| -> Result<f64, &str> {
+            if k == 17 {
+                panic!("evaluator exploded on sample {k}");
+            }
+            Ok(k as f64)
+        });
+        assert_eq!(res.failures, 1);
+        assert_eq!(res.failed_indices, vec![17]);
+        assert_eq!(res.values.len(), 39);
+        let msg = res.first_error.expect("diagnostic recorded");
+        assert!(msg.contains("panic"), "diagnostic {msg:?}");
+        assert!(msg.contains("17"), "diagnostic {msg:?}");
+    }
+
+    #[test]
+    fn first_error_is_lowest_index_regardless_of_schedule() {
+        let samples: Vec<usize> = (0..64).collect();
+        for threads in [2, 5, 8] {
+            let res = monte_carlo_par(&samples, threads, |&k| {
+                if k % 10 == 3 {
+                    Err(format!("failed at {k}"))
+                } else {
+                    Ok(k as f64)
+                }
+            });
+            assert_eq!(res.first_error.as_deref(), Some("failed at 3"));
+            assert_eq!(res.failed_indices, vec![3, 13, 23, 33, 43, 53, 63]);
+        }
+    }
+
+    #[test]
+    fn thread_resolution_prefers_explicit_request() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn oversubscribed_threads_are_harmless() {
+        let samples: Vec<f64> = (0..5).map(|k| k as f64).collect();
+        let res = monte_carlo_par::<_, &str>(&samples, 64, |&x| Ok(2.0 * x));
+        assert_eq!(res.values, vec![0.0, 2.0, 4.0, 6.0, 8.0]);
     }
 }

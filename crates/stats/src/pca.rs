@@ -117,11 +117,7 @@ impl PcaModel {
     /// Projects a parameter vector onto the retained factors (normalized
     /// units).
     pub fn to_factors(&self, params: &[f64]) -> Vec<f64> {
-        let centered: Vec<f64> = params
-            .iter()
-            .zip(&self.means)
-            .map(|(x, m)| x - m)
-            .collect();
+        let centered: Vec<f64> = params.iter().zip(&self.means).map(|(x, m)| x - m).collect();
         (0..self.retained)
             .map(|k| {
                 let scale = self.variances[k].max(1e-300).sqrt();
@@ -164,9 +160,8 @@ pub fn demo_correlated_device_parameters(
     // Fixed deterministic pseudo-random loading pattern. The argument must
     // mix `i` and `k` nonlinearly (a linear combination inside `sin` would
     // make the loading matrix rank-2 by the angle-addition identity).
-    let loading = |i: usize, k: usize| -> f64 {
-        ((i as f64 + 1.37) * (k as f64 + 2.71) * 0.7361).sin()
-    };
+    let loading =
+        |i: usize, k: usize| -> f64 { ((i as f64 + 1.37) * (k as f64 + 2.71) * 0.7361).sin() };
     let mut out = Matrix::zeros(n_samples, n_params);
     for s in 0..n_samples {
         let f = normal_samples(rng, n_factors);

@@ -13,6 +13,42 @@ pub fn rng_from_seed(seed: u64) -> SampleRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// SplitMix64 finalizer: a bijective avalanche mix of a 64-bit word.
+#[inline]
+fn splitmix64_mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-sample seed streams: the determinism backbone of the parallel
+/// Monte-Carlo engine.
+///
+/// `SampleRng::stream(master_seed, index)` derives an independent
+/// generator whose output is a **pure function of `(master_seed, index)`**
+/// — no shared state, no draw-order dependence. A parallel driver can hand
+/// stream `k` to whichever worker evaluates sample `k` and obtain results
+/// bitwise-identical to a serial run at any thread count.
+///
+/// The derivation applies the SplitMix64 avalanche mix twice
+/// (`mix(mix(seed) ^ mix(index ^ tag))`), so structured inputs — seeds
+/// 0/1/2, consecutive indices — still land far apart in state space.
+pub trait SeedStream: Sized {
+    /// Derives the generator for sample `index` under `master_seed`.
+    fn stream(master_seed: u64, index: u64) -> Self;
+}
+
+impl SeedStream for SampleRng {
+    fn stream(master_seed: u64, index: u64) -> SampleRng {
+        // Distinct tags keep `stream(s, i)` decorrelated from
+        // `stream(i, s)` and from plain `rng_from_seed(s)`.
+        const INDEX_TAG: u64 = 0xA076_1D64_78BD_642F;
+        let mixed = splitmix64_mix(splitmix64_mix(master_seed) ^ splitmix64_mix(index ^ INDEX_TAG));
+        StdRng::seed_from_u64(mixed)
+    }
+}
+
 /// Draws `n` standard-normal samples (Box-Muller on the uniform source).
 pub fn normal_samples(rng: &mut SampleRng, n: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(n);
@@ -32,7 +68,9 @@ pub fn normal_samples(rng: &mut SampleRng, n: usize) -> Vec<f64> {
 
 /// Draws `n` uniform samples in `[lo, hi)`.
 pub fn uniform_samples(rng: &mut SampleRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
-    (0..n).map(|_| lo + (hi - lo) * rng.random::<f64>()).collect()
+    (0..n)
+        .map(|_| lo + (hi - lo) * rng.random::<f64>())
+        .collect()
 }
 
 /// Latin Hypercube Sampling: `n` samples in `dims` dimensions, each
@@ -62,6 +100,54 @@ pub fn latin_hypercube(
         }
     }
     samples
+}
+
+/// Latin Hypercube Sampling on per-sample seed streams.
+///
+/// Functionally the same stratification as [`latin_hypercube`], but the
+/// randomness is organized for parallel evaluation: the stratum
+/// permutation of dimension `d` comes from the stream
+/// `(master_seed ⊕ salt, d)` and the within-stratum jitter of sample `k`
+/// comes from the stream `(master_seed, k)`. Sample `k` is therefore a
+/// pure function of `(master_seed, k)` plus the per-dimension
+/// permutations — independent of evaluation order and thread count.
+pub fn latin_hypercube_streamed(
+    master_seed: u64,
+    n: usize,
+    dims: usize,
+    transform: impl Fn(usize, f64) -> f64,
+) -> Vec<Vec<f64>> {
+    // Salt separates the permutation streams from the per-sample jitter
+    // streams; without it, dimension d and sample d would share a stream.
+    const PERM_SALT: u64 = 0x5851_F42D_4C95_7F2D;
+    let perms: Vec<Vec<usize>> = (0..dims)
+        .map(|d| {
+            let mut rng = SampleRng::stream(master_seed ^ PERM_SALT, d as u64);
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.random_range(0..=i);
+                perm.swap(i, j);
+            }
+            perm
+        })
+        .collect();
+    (0..n)
+        .map(|k| {
+            let mut srng = SampleRng::stream(master_seed, k as u64);
+            (0..dims)
+                .map(|d| {
+                    let u = (perms[d][k] as f64 + srng.random::<f64>()) / n as f64;
+                    transform(d, u)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Streamed LHS with standard-normal marginals scaled by `sigma`
+/// (see [`latin_hypercube_streamed`]).
+pub fn lhs_normal_streamed(master_seed: u64, n: usize, dims: usize, sigma: f64) -> Vec<Vec<f64>> {
+    latin_hypercube_streamed(master_seed, n, dims, |_, u| sigma * inverse_normal_cdf(u))
 }
 
 /// LHS with uniform marginals on `[lo, hi)`.
@@ -218,5 +304,50 @@ mod tests {
         let a = normal_samples(&mut rng_from_seed(9), 10);
         let b = normal_samples(&mut rng_from_seed(9), 10);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_streams_reproduce_and_separate() {
+        // Same (seed, index) → identical stream.
+        let a = normal_samples(&mut SampleRng::stream(3, 17), 8);
+        let b = normal_samples(&mut SampleRng::stream(3, 17), 8);
+        assert_eq!(a, b);
+        // Different index or different seed → different stream.
+        let c = normal_samples(&mut SampleRng::stream(3, 18), 8);
+        let d = normal_samples(&mut SampleRng::stream(4, 17), 8);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn streamed_lhs_keeps_stratification() {
+        let n = 40;
+        let samples = latin_hypercube_streamed(11, n, 3, |_, u| u);
+        for d in 0..3 {
+            let mut seen = vec![false; n];
+            for s in &samples {
+                let bin = ((s[d] * n as f64) as usize).min(n - 1);
+                assert!(!seen[bin], "stratum {bin} hit twice in dim {d}");
+                seen[bin] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "all strata covered in dim {d}");
+        }
+    }
+
+    #[test]
+    fn streamed_lhs_is_a_pure_function_of_seed() {
+        let a = lhs_normal_streamed(5, 30, 7, 1.0);
+        let b = lhs_normal_streamed(5, 30, 7, 1.0);
+        assert_eq!(a, b);
+        let c = lhs_normal_streamed(6, 30, 7, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn streamed_lhs_normal_marginals() {
+        let samples = lhs_normal_streamed(8, 2000, 1, 1.5);
+        let xs: Vec<f64> = samples.iter().map(|s| s[0]).collect();
+        assert!(mean(&xs).abs() < 0.05);
+        assert!((std_dev(&xs) - 1.5).abs() < 0.05);
     }
 }

@@ -57,6 +57,50 @@ impl Summary {
     }
 }
 
+impl Summary {
+    /// Merges two disjoint-sample summaries into the summary of the pooled
+    /// sample (Chan et al. pairwise update: pooled mean from weighted
+    /// means, pooled sum of squared deviations from the parts plus the
+    /// between-part term).
+    ///
+    /// Up to floating-point rounding, `of(a ++ b) == of(a).merge(of(b))`
+    /// and the operation is associative — the algebra the parallel
+    /// Monte-Carlo driver's ordered result merge relies on (property
+    /// tested in `crates/stats/tests/parallel_properties.rs`).
+    pub fn merge(&self, other: &Summary) -> Summary {
+        if self.n == 0 {
+            return *other;
+        }
+        if other.n == 0 {
+            return *self;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let n = self.n + other.n;
+        let nf = n1 + n2;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * n2 / nf;
+        // Sums of squared deviations about each part's own mean.
+        let m2_1 = self.std * self.std * (n1 - 1.0).max(0.0);
+        let m2_2 = other.std * other.std * (n2 - 1.0).max(0.0);
+        let m2 = m2_1 + m2_2 + delta * delta * n1 * n2 / nf;
+        let std = if n > 1 { (m2 / (nf - 1.0)).sqrt() } else { 0.0 };
+        Summary {
+            n,
+            mean,
+            std,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            std_err_mean: std / nf.sqrt(),
+            rel_err_std: if n > 1 {
+                1.0 / (2.0 * (nf - 1.0)).sqrt()
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
 impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -100,6 +144,27 @@ mod tests {
         let s = Summary::of(&[3.0]);
         assert_eq!(s.mean, 3.0);
         assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn merge_agrees_with_pooled_summary() {
+        let a = [2.0, 4.0, 4.0, 4.0];
+        let b = [5.0, 5.0, 7.0, 9.0];
+        let pooled = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let merged = Summary::of(&a).merge(&Summary::of(&b));
+        assert_eq!(merged.n, pooled.n);
+        assert!((merged.mean - pooled.mean).abs() < 1e-12);
+        assert!((merged.std - pooled.std).abs() < 1e-12);
+        assert_eq!(merged.min, pooled.min);
+        assert_eq!(merged.max, pooled.max);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        let e = Summary::of(&[]);
+        assert_eq!(s.merge(&e), s);
+        assert_eq!(e.merge(&s), s);
     }
 
     #[test]

@@ -111,7 +111,10 @@ mod tests {
         for target in [0.5, 0.9, 0.99, 0.999] {
             let period = period_for_yield(mean, std, target);
             let back = normal_yield(mean, std, period);
-            assert!((back - target).abs() < 1e-4, "{target} -> {period} -> {back}");
+            assert!(
+                (back - target).abs() < 1e-4,
+                "{target} -> {period} -> {back}"
+            );
         }
         // 50 % yield at exactly the mean.
         assert!((period_for_yield(mean, std, 0.5) - mean).abs() < 1e-6);

@@ -28,8 +28,8 @@ fn coefficients(p: Complex, h: f64) -> (Complex, Complex, Complex) {
         // ∫₀ʰ e^{a(h-u)} du            = h(1 + ah/2 + (ah)²/6)
         // ∫₀ʰ e^{a(h-u)}(u/h) du       = h(1/2 + ah/6 + (ah)²/24)
         let c_total = (Complex::ONE + ah.scale(0.5) + (ah * ah).scale(1.0 / 6.0)).scale(h);
-        let c1 = (Complex::from_real(0.5) + ah.scale(1.0 / 6.0) + (ah * ah).scale(1.0 / 24.0))
-            .scale(h);
+        let c1 =
+            (Complex::from_real(0.5) + ah.scale(1.0 / 6.0) + (ah * ah).scale(1.0 / 24.0)).scale(h);
         return (e, c_total - c1, c1);
     }
     // c1 = (E - 1 - a·h)/(a²·h); c0 = (E - 1)/a - c1.
@@ -235,7 +235,10 @@ mod tests {
         for _ in 0..100 {
             let hist = conv.history();
             let v = conv.voltages(&[i], &hist)[0];
-            assert!((v - r * i).abs() < 1e-6 * (r * i), "steady state drift: {v}");
+            assert!(
+                (v - r * i).abs() < 1e-6 * (r * i),
+                "steady state drift: {v}"
+            );
             conv.advance(&[i]);
         }
     }

@@ -147,9 +147,7 @@ impl StageSolver {
         let dl = self.opts.variation.delta_l();
         let dvt = self.opts.variation.delta_vt();
         let vdd = self.opts.vdd;
-        let n = d
-            .nmos
-            .eval(vin, vout, 0.0, d.wn, d.length, dl, dvt);
+        let n = d.nmos.eval(vin, vout, 0.0, d.wn, d.length, dl, dvt);
         let p = d
             .pmos
             .eval(vin - vdd, vout - vdd, 0.0, d.wp, d.length, dl, dvt);
@@ -222,9 +220,7 @@ impl StageSolver {
         self.conv.initialize_dc(&i);
 
         // ---- time loop ---------------------------------------------------
-        let mut recorded: Vec<Vec<(f64, f64)>> = (0..np)
-            .map(|p| vec![(0.0, v[p])])
-            .collect();
+        let mut recorded: Vec<Vec<(f64, f64)>> = (0..np).map(|p| vec![(0.0, v[p])]).collect();
         let mut t = 0.0;
         for _ in 0..steps {
             t += h;
@@ -344,7 +340,11 @@ mod tests {
             .run()
             .unwrap();
         let out = &waves[0];
-        assert!(out.initial_value() > 1.7, "starts at VDD: {}", out.initial_value());
+        assert!(
+            out.initial_value() > 1.7,
+            "starts at VDD: {}",
+            out.initial_value()
+        );
         assert!(out.final_value() < 0.05, "ends at 0: {}", out.final_value());
         assert!(!out.is_rising());
         assert!(stats.steps > 100);
@@ -375,10 +375,11 @@ mod tests {
         let input = Waveform::ramp(0.0, 1.8, 10e-12, 40e-12);
         let mut opts = StageSolverOptions::new(1.8, 3e-9, 1e-12);
         let delay_at = |opts: &StageSolverOptions| -> f64 {
-            let (waves, _) = StageSolver::new(&load, vec![unit_driver(input.clone(), g_out)], opts.clone())
-                .unwrap()
-                .run()
-                .unwrap();
+            let (waves, _) =
+                StageSolver::new(&load, vec![unit_driver(input.clone(), g_out)], opts.clone())
+                    .unwrap()
+                    .run()
+                    .unwrap();
             waves[0].crossing(0.9, false).expect("output falls")
         };
         let nominal = delay_at(&opts);
@@ -456,7 +457,10 @@ mod tests {
         // The observed port must move with the driven one (transfer 0.8).
         let v0 = waves[0].final_value();
         let v1 = waves[1].final_value();
-        assert!((v1 - 0.8 * v0).abs() < 0.15 + 0.1 * v0.abs(), "v0={v0} v1={v1}");
+        assert!(
+            (v1 - 0.8 * v0).abs() < 0.15 + 0.1 * v0.abs(),
+            "v0={v0} v1={v1}"
+        );
     }
 
     #[test]

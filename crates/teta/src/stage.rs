@@ -17,7 +17,9 @@ use crate::error::TetaError;
 use crate::waveform::Waveform;
 use linvar_circuit::{Netlist, NodeId};
 use linvar_devices::{chord_conductance, DeviceVariation, MosParams, Technology};
-use linvar_mor::{extract_pole_residue, stabilize, ReductionMethod, StabilityReport, VariationalRom};
+use linvar_mor::{
+    extract_pole_residue, stabilize, ReductionMethod, StabilityReport, VariationalRom,
+};
 
 /// A precharacterized logic stage.
 #[derive(Debug, Clone)]
@@ -36,6 +38,14 @@ pub struct StageModel {
     /// Supply voltage (V).
     pub vdd: f64,
 }
+
+// Stage models are built once and evaluated read-only from many threads by
+// the parallel Monte-Carlo engine; `Sync + Send` is part of the public
+// contract and must not regress silently.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<StageModel>();
+};
 
 /// Result of one stage evaluation.
 #[derive(Debug, Clone)]
@@ -87,15 +97,12 @@ impl StageModel {
         let ports = netlist.ports();
         let mut driver_ports = Vec::with_capacity(driven.len());
         for node in driven {
-            let port_pos = ports
-                .iter()
-                .position(|p| p == node)
-                .ok_or_else(|| {
-                    TetaError::BadStage(format!(
-                        "driven node {:?} is not a marked port",
-                        netlist.node_name(*node)
-                    ))
-                })?;
+            let port_pos = ports.iter().position(|p| p == node).ok_or_else(|| {
+                TetaError::BadStage(format!(
+                    "driven node {:?} is not a marked port",
+                    netlist.node_name(*node)
+                ))
+            })?;
             let mna_idx = var.port_indices[port_pos];
             var.add_grounded_conductance(mna_idx, g_out)
                 .map_err(|e| TetaError::BadStage(e.to_string()))?;
@@ -249,7 +256,13 @@ mod tests {
         let (model, out_pos) = line_stage();
         let input = Waveform::ramp(0.0, 1.8, 20e-12, 50e-12);
         let res = model
-            .evaluate(&[0.0; 5], DeviceVariation::nominal(), &[input], 1e-12, 1.5e-9)
+            .evaluate(
+                &[0.0; 5],
+                DeviceVariation::nominal(),
+                &[input],
+                1e-12,
+                1.5e-9,
+            )
             .unwrap();
         let out = &res.waveforms[out_pos];
         assert!(out.initial_value() > 1.7, "far end starts high");
@@ -277,8 +290,10 @@ mod tests {
         // resistivity which is unambiguous: +rho → slower.
         let slow = delay(&[0.0, 0.0, 0.0, 0.0, 1.0]);
         let fast = delay(&[0.0, 0.0, 0.0, 0.0, -1.0]);
-        assert!(slow > nominal && nominal > fast,
-            "rho ordering: {fast} < {nominal} < {slow}");
+        assert!(
+            slow > nominal && nominal > fast,
+            "rho ordering: {fast} < {nominal} < {slow}"
+        );
     }
 
     #[test]

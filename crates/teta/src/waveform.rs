@@ -24,7 +24,10 @@ impl Waveform {
     /// Panics if times are not strictly increasing.
     pub fn from_points(points: Vec<(f64, f64)>) -> Self {
         for w in points.windows(2) {
-            assert!(w[0].0 < w[1].0, "waveform times must be strictly increasing");
+            assert!(
+                w[0].0 < w[1].0,
+                "waveform times must be strictly increasing"
+            );
         }
         Waveform { points }
     }

@@ -16,7 +16,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let levels = 3;
     let n_sinks = 1usize << levels;
     // Unequal latch banks: loads from 4 fF to ~18 fF across the floorplan.
-    let sink_loads: Vec<f64> = (0..n_sinks).map(|k| 4e-15 * (1.0 + 0.5 * k as f64)).collect();
+    let sink_loads: Vec<f64> = (0..n_sinks)
+        .map(|k| 4e-15 * (1.0 + 0.5 * k as f64))
+        .collect();
     let spec = HTreeSpec {
         levels,
         root_length: 100e-6,

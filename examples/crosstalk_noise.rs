@@ -54,13 +54,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let nominal = noise_at(&[0.0; 5])?;
-    println!("nominal victim noise peak: {:.1} mV ({:.1}% of VDD)",
-        nominal * 1e3, nominal / vdd * 100.0);
+    println!(
+        "nominal victim noise peak: {:.1} mV ({:.1}% of VDD)",
+        nominal * 1e3,
+        nominal / vdd * 100.0
+    );
 
     // Spacing is the dominant knob: tighter spacing → more coupling.
     let tight = noise_at(&[0.0, 0.0, -1.0, 0.0, 0.0])?;
     let loose = noise_at(&[0.0, 0.0, 1.0, 0.0, 0.0])?;
-    println!("spacing -tol : {:.1} mV   spacing +tol : {:.1} mV", tight * 1e3, loose * 1e3);
+    println!(
+        "spacing -tol : {:.1} mV   spacing +tol : {:.1} mV",
+        tight * 1e3,
+        loose * 1e3
+    );
 
     // Distribution over all five wire parameters.
     let mut rng = rng_from_seed(13);

@@ -24,11 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.retained,
         model.explained() * 100.0
     );
-    println!("leading factor variances: {:?}",
+    println!(
+        "leading factor variances: {:?}",
         model.variances[..6.min(model.variances.len())]
             .iter()
             .map(|v| format!("{v:.2}"))
-            .collect::<Vec<_>>());
+            .collect::<Vec<_>>()
+    );
 
     // --- Part 2: correlated DL/VT sampling via a factor model ----------
     // Two observable sources driven by two latent factors:
@@ -72,10 +74,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let corr_sum = run(&correlated)?;
     let ind_sum = run(&indep)?;
-    println!("\npath delay with correlated DL/VT : mean {:.2} ps, std {:.2} ps",
-        corr_sum.mean * 1e12, corr_sum.std * 1e12);
-    println!("path delay, independence assumed : mean {:.2} ps, std {:.2} ps",
-        ind_sum.mean * 1e12, ind_sum.std * 1e12);
+    println!(
+        "\npath delay with correlated DL/VT : mean {:.2} ps, std {:.2} ps",
+        corr_sum.mean * 1e12,
+        corr_sum.std * 1e12
+    );
+    println!(
+        "path delay, independence assumed : mean {:.2} ps, std {:.2} ps",
+        ind_sum.mean * 1e12,
+        ind_sum.std * 1e12
+    );
     println!("\n(DL and VT push delay in opposite directions for this path, so");
     println!(" ignoring their correlation misestimates the spread — the reason");
     println!(" the paper recommends PCA before sampling.)");

@@ -44,16 +44,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let var = nl.assemble_variational()?;
     let order = 6.min(var.order());
     let vrom = VariationalRom::characterize(&var, ReductionMethod::Prima { order }, 0.02)?;
-    println!("variational ROM: order {order}, {} parameter(s)\n", vrom.param_count());
+    println!(
+        "variational ROM: order {order}, {} parameter(s)\n",
+        vrom.param_count()
+    );
 
     for sample in [-1.0, 0.0, 1.0] {
         let w: Vec<f64> = vec![sample; var.param_count()];
         let pr = extract_pole_residue(&vrom.evaluate(&w))?;
         let (stable, report) = stabilize(&pr);
-        println!("w = {sample:+}: {} poles ({} removed by the filter)",
-            pr.pole_count(), report.removed_poles.len());
+        println!(
+            "w = {sample:+}: {} poles ({} removed by the filter)",
+            pr.pole_count(),
+            report.removed_poles.len()
+        );
         for (k, p) in stable.poles.iter().enumerate() {
-            let tau = if p.re != 0.0 { -1.0 / p.re } else { f64::INFINITY };
+            let tau = if p.re != 0.0 {
+                -1.0 / p.re
+            } else {
+                f64::INFINITY
+            };
             println!("  pole {k}: {p}   (tau = {:.3e} s)", tau);
         }
         let dc = stable.dc();

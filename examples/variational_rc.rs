@@ -28,19 +28,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- Table 3: raw variational PACT (order 4 = 1 port + 3 modes) ----
-    let raw = VariationalRom::characterize(
-        &var,
-        ReductionMethod::Pact { internal_modes: 3 },
-        0.02,
-    )?;
+    let raw =
+        VariationalRom::characterize(&var, ReductionMethod::Pact { internal_modes: 3 }, 0.02)?;
     println!("\np      unstable poles of the raw variational macromodel");
     let mut p_unstable: Option<(f64, f64)> = None; // (p, worst Re)
     for &p in &[0.0, 0.02, 0.05, 0.06, 0.08, 0.09, 0.1] {
         let pr = extract_pole_residue(&raw.evaluate(&[p]))?;
         let unstable = pr.unstable_poles();
-        if let Some(worst) = unstable.iter().map(|z| z.re).fold(None, |m: Option<f64>, x| {
-            Some(m.map_or(x, |m| m.max(x)))
-        }) {
+        if let Some(worst) = unstable
+            .iter()
+            .map(|z| z.re)
+            .fold(None, |m: Option<f64>, x| Some(m.map_or(x, |m| m.max(x))))
+        {
             if p > 0.0 && p_unstable.is_none_or(|(_, w)| worst > w) {
                 p_unstable = Some((p, worst));
             }
@@ -67,15 +66,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "V1",
             inp,
             Netlist::GROUND,
-            SourceWaveform::Ramp { v0: 0.0, v1: 5.0, t0: 1e-9, tr: 2e-9 },
+            SourceWaveform::Ramp {
+                v0: 0.0,
+                v1: 5.0,
+                t0: 1e-9,
+                tr: 2e-9,
+            },
         )?;
         drive.add_resistor("Rdrv", inp, out, 270.0)?;
         let load = OnePortPoleResidue::from_model(&pr, out.mna_index().unwrap())?;
         let mut opts = TransientOptions::new(50e-9, 20e-12);
         opts.probes.push("out".into());
-        match Transient::new(&drive, &opts)?.with_poleres_load(load)?.run() {
-            Err(e) => println!("\nSPICE on the raw macromodel at p={p}: FAILED as expected\n  ({e})"),
-            Ok(_) => println!("\nSPICE on the raw macromodel at p={p}: converged (mild instability)"),
+        match Transient::new(&drive, &opts)?
+            .with_poleres_load(load)?
+            .run()
+        {
+            Err(e) => {
+                println!("\nSPICE on the raw macromodel at p={p}: FAILED as expected\n  ({e})")
+            }
+            Ok(_) => {
+                println!("\nSPICE on the raw macromodel at p={p}: converged (mild instability)")
+            }
         }
     } else {
         println!("\n(no unstable sample found in the sweep — numerics differ from the paper)");
@@ -128,7 +139,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (v_ext.eval(t) - v_macro.eval(t)).abs()
         })
         .fold(0.0, f64::max);
-    println!("\nmax |extreme - macromodel| = {:.3} V (VDD = {} V)", err, tech.library.vdd);
+    println!(
+        "\nmax |extreme - macromodel| = {:.3} V (VDD = {} V)",
+        err, tech.library.vdd
+    );
     Ok(())
 }
 
@@ -159,27 +173,49 @@ fn spice_exact(
     sim.instantiate(&frozen, "", &[])?;
     let port_name = frozen.node_name(port).expect("port exists").to_string();
     let out = sim.find_node(&port_name).expect("instantiated");
-    sim.add_vsource("Vdd", vdd, Netlist::GROUND, SourceWaveform::Dc(tech.library.vdd))?;
+    sim.add_vsource(
+        "Vdd",
+        vdd,
+        Netlist::GROUND,
+        SourceWaveform::Dc(tech.library.vdd),
+    )?;
     sim.add_vsource(
         "Vin",
         inp,
         Netlist::GROUND,
-        SourceWaveform::Ramp { v0: tech.library.vdd, v1: 0.0, t0: 1e-9, tr: 2e-9 },
+        SourceWaveform::Ramp {
+            v0: tech.library.vdd,
+            v1: 0.0,
+            t0: 1e-9,
+            tr: 2e-9,
+        },
     )?;
     sim.add_mosfet(
-        "MP", out, inp, vdd, vdd,
+        "MP",
+        out,
+        inp,
+        vdd,
+        vdd,
         linvar::circuit::MosType::Pmos,
-        &tech.library.pmos_name(), tech.wp, tech.library.lmin,
+        &tech.library.pmos_name(),
+        tech.wp,
+        tech.library.lmin,
     )?;
     sim.add_mosfet(
-        "MN", out, inp, Netlist::GROUND, Netlist::GROUND,
+        "MN",
+        out,
+        inp,
+        Netlist::GROUND,
+        Netlist::GROUND,
         linvar::circuit::MosType::Nmos,
-        &tech.library.nmos_name(), tech.wn, tech.library.lmin,
+        &tech.library.nmos_name(),
+        tech.wn,
+        tech.library.lmin,
     )?;
     let mut opts = TransientOptions::new(40e-9, 10e-12);
     opts.probes.push(port_name.clone());
-    let res = Transient::with_devices(&sim, &tech.library, DeviceVariation::nominal(), &opts)?
-        .run()?;
+    let res =
+        Transient::with_devices(&sim, &tech.library, DeviceVariation::nominal(), &opts)?.run()?;
     let pts: Vec<(f64, f64)> = res
         .times
         .iter()

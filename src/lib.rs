@@ -56,8 +56,7 @@ pub mod prelude {
     pub use linvar_devices::{tech_018, tech_06, CellLibrary, DeviceVariation, Technology};
     pub use linvar_interconnect::{CoupledLineSpec, WireParam, WireTech};
     pub use linvar_mor::{
-        extract_pole_residue, pact_reduce, prima_reduce, stabilize, ReductionMethod,
-        VariationalRom,
+        extract_pole_residue, pact_reduce, prima_reduce, stabilize, ReductionMethod, VariationalRom,
     };
     pub use linvar_spice::{Transient, TransientOptions};
     pub use linvar_stats::{rng_from_seed, Histogram, Summary};

@@ -42,24 +42,32 @@ fn every_cell_realizes_its_boolean_function() {
             let vdd_node = nl.node("vdd");
             nl.add_vsource("Vdd", vdd_node, Netlist::GROUND, SourceWaveform::Dc(vdd))
                 .expect("adds");
-            nl.instantiate(&cell.netlist, "u_", &["vdd"]).expect("instantiates");
+            nl.instantiate(&cell.netlist, "u_", &["vdd"])
+                .expect("instantiates");
             for (k, pin) in cell.inputs.iter().enumerate() {
                 let node = nl.find_node(&format!("u_{pin}")).expect("input exists");
                 let level = if ins[k] { vdd } else { 0.0 };
-                nl.add_vsource(&format!("Vin{k}"), node, Netlist::GROUND, SourceWaveform::Dc(level))
-                    .expect("adds");
+                nl.add_vsource(
+                    &format!("Vin{k}"),
+                    node,
+                    Netlist::GROUND,
+                    SourceWaveform::Dc(level),
+                )
+                .expect("adds");
             }
             // A short settle transient reads the DC point robustly.
             let mut opts = TransientOptions::new(0.5e-9, 2e-12);
             opts.probes.push("u_out".into());
-            let res = Transient::with_devices(&nl, &tech.library, DeviceVariation::nominal(), &opts)
-                .expect("builds")
-                .run()
-                .unwrap_or_else(|e| panic!("{} pattern {pattern:b}: {e}", cell.name));
+            let res =
+                Transient::with_devices(&nl, &tech.library, DeviceVariation::nominal(), &opts)
+                    .expect("builds")
+                    .run()
+                    .unwrap_or_else(|e| panic!("{} pattern {pattern:b}: {e}", cell.name));
             let v_out = *res.probe("u_out").expect("probed").last().expect("samples");
             let logic = v_out > vdd / 2.0;
             assert_eq!(
-                logic, expect,
+                logic,
+                expect,
                 "{} inputs {ins:?}: out = {v_out:.3} V, expected {}",
                 cell.name,
                 if expect { "high" } else { "low" }

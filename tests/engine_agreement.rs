@@ -13,7 +13,9 @@ fn agreement(cells: Vec<String>, n_elem: usize, sample: PathSample) -> (f64, f64
     };
     let model = PathModel::build(&spec, &tech_018(), &WireTech::m018()).expect("builds");
     let teta = model.evaluate_sample(&sample).expect("teta evaluates");
-    let spice = model.evaluate_sample_spice(&sample).expect("spice evaluates");
+    let spice = model
+        .evaluate_sample_spice(&sample)
+        .expect("spice evaluates");
     (teta, spice)
 }
 
@@ -40,7 +42,10 @@ fn agreement_across_cell_types() {
 fn agreement_at_variation_corners() {
     for (wire, dev) in [
         ([1.0, 1.0, 1.0, 1.0, 1.0], DeviceVariation::new(0.0, 0.0)),
-        ([-1.0, -1.0, -1.0, -1.0, -1.0], DeviceVariation::new(0.0, 0.0)),
+        (
+            [-1.0, -1.0, -1.0, -1.0, -1.0],
+            DeviceVariation::new(0.0, 0.0),
+        ),
         ([0.0; 5], DeviceVariation::new(1.0, 1.0)),
         ([0.0; 5], DeviceVariation::new(-1.0, -1.0)),
         ([1.0, -1.0, 0.5, -0.5, 1.0], DeviceVariation::new(0.5, -0.5)),

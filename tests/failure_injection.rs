@@ -23,9 +23,9 @@ fn floating_subnetwork_reports_singular_matrix() {
         0.02,
     );
     match res {
-        Err(linvar::teta::TetaError::Numeric(
-            linvar::numeric::NumericError::SingularMatrix { .. },
-        )) => {}
+        Err(linvar::teta::TetaError::Numeric(linvar::numeric::NumericError::SingularMatrix {
+            ..
+        })) => {}
         other => panic!("expected singular-matrix error, got {other:?}"),
     }
 }
@@ -73,8 +73,8 @@ fn transient_on_shorted_vsources_fails_cleanly() {
 fn divergent_stage_is_an_error_not_a_hang() {
     use linvar::mor::PoleResidueModel;
     use linvar::numeric::{CMatrix, Complex, Matrix};
-    use linvar::teta::{StageSolver, StageSolverOptions};
     use linvar::teta::engine::DriverSpec;
+    use linvar::teta::{StageSolver, StageSolverOptions};
     // Hand the solver a stable-but-pathological load whose instantaneous
     // impedance is enormous: the SC fixed point cannot contract.
     let mut r = CMatrix::zeros(1, 1);
@@ -135,6 +135,54 @@ fn mc_reports_partial_failures_instead_of_aborting() {
     });
     assert_eq!(res.failures, 4);
     assert_eq!(res.values.len(), 16);
+    // The diagnostics must name the failing samples and keep the
+    // lowest-index error message for the caller to report.
+    assert_eq!(res.failed_indices, vec![0, 5, 10, 15]);
+    assert_eq!(res.first_error.as_deref(), Some("corner blew up"));
+}
+
+#[test]
+fn parallel_mc_reports_identical_diagnostics() {
+    // The parallel driver must produce the same failure bookkeeping as the
+    // serial one, independent of worker count and scheduling.
+    let samples: Vec<f64> = (0..20).map(|k| k as f64).collect();
+    let eval = |&x: &f64| {
+        if (x as usize).is_multiple_of(5) {
+            Err(format!("corner {x} blew up"))
+        } else {
+            Ok(x)
+        }
+    };
+    let serial = linvar::stats::monte_carlo(&samples, eval);
+    for threads in [1, 2, 8] {
+        let par = linvar::stats::monte_carlo_par(&samples, threads, eval);
+        assert_eq!(par.failures, serial.failures);
+        assert_eq!(par.failed_indices, serial.failed_indices);
+        assert_eq!(par.first_error, serial.first_error);
+        assert_eq!(par.values, serial.values);
+    }
+}
+
+#[test]
+fn worker_panic_is_contained_and_counted() {
+    // A panicking evaluator must never tear down the run (or poison other
+    // workers): the panic is caught, converted to a counted failure, and
+    // every healthy sample still produces its value.
+    let samples: Vec<usize> = (0..32).collect();
+    for threads in [1, 4] {
+        let res = linvar::stats::monte_carlo_par(&samples, threads, |&k| {
+            if k == 13 {
+                panic!("injected worker panic at sample {k}");
+            }
+            Ok::<f64, String>(k as f64)
+        });
+        assert_eq!(res.failures, 1, "threads={threads}");
+        assert_eq!(res.failed_indices, vec![13]);
+        assert_eq!(res.values.len(), 31);
+        let diag = res.first_error.expect("panic recorded as diagnostic");
+        assert!(diag.contains("panic"), "diagnostic {diag:?}");
+        assert!(diag.contains("13"), "diagnostic {diag:?}");
+    }
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //! construction (chords → effective load → vROM library) and per-sample
 //! evaluation (first-order ROM → pole/residue → stability filter → TETA).
 
-use linvar::prelude::*;
 use linvar::interconnect::builder::build_coupled_lines;
+use linvar::prelude::*;
 
 #[test]
 fn table1_flow_end_to_end() {
@@ -82,8 +82,14 @@ fn single_characterization_serves_all_samples() {
     let nominal = delay(&[0.0; 5], DeviceVariation::nominal());
     let wire_var = delay(&[1.0, 0.0, 0.0, 0.0, 1.0], DeviceVariation::nominal());
     let dev_var = delay(&[0.0; 5], DeviceVariation::new(0.0, 2.0));
-    assert!((wire_var - nominal).abs() > 1e-13, "wire params must matter");
-    assert!((dev_var - nominal).abs() > 1e-13, "device params must matter");
+    assert!(
+        (wire_var - nominal).abs() > 1e-13,
+        "wire params must matter"
+    );
+    assert!(
+        (dev_var - nominal).abs() > 1e-13,
+        "device params must matter"
+    );
 }
 
 #[test]

@@ -6,12 +6,7 @@ use linvar::numeric::{LuFactor, Matrix};
 use proptest::prelude::*;
 
 /// Builds a random grounded RC ladder's (G, C, B) from proptest inputs.
-fn ladder(
-    n: usize,
-    r_vals: &[f64],
-    c_vals: &[f64],
-    g_drive: f64,
-) -> (Matrix, Matrix, Matrix) {
+fn ladder(n: usize, r_vals: &[f64], c_vals: &[f64], g_drive: f64) -> (Matrix, Matrix, Matrix) {
     let mut g = Matrix::zeros(n, n);
     let mut c = Matrix::zeros(n, n);
     for i in 1..n {

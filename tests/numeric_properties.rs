@@ -1,8 +1,6 @@
 //! Property-based tests of the numeric kernels on random inputs.
 
-use linvar::numeric::{
-    eigen_decompose, householder_qr, jacobi_eigen, LuFactor, Matrix,
-};
+use linvar::numeric::{eigen_decompose, householder_qr, jacobi_eigen, LuFactor, Matrix};
 use proptest::prelude::*;
 
 fn random_matrix(n: usize, seed: &[f64], diag_boost: f64) -> Matrix {

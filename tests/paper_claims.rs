@@ -13,12 +13,8 @@ use linvar::prelude::*;
 fn example1_instability_exists_and_filter_repairs() {
     let (nl, _port) = example1_load().expect("builds");
     let var = nl.assemble_variational().expect("assembles");
-    let raw = VariationalRom::characterize(
-        &var,
-        ReductionMethod::Pact { internal_modes: 3 },
-        0.02,
-    )
-    .expect("characterizes");
+    let raw = VariationalRom::characterize(&var, ReductionMethod::Pact { internal_modes: 3 }, 0.02)
+        .expect("characterizes");
     let mut any_unstable = false;
     for &p in &[0.0, 0.02, 0.04, 0.05, 0.06, 0.08, 0.1] {
         let pr = extract_pole_residue(&raw.evaluate(&[p])).expect("extracts");
@@ -135,7 +131,9 @@ fn framework_cost_is_flat_in_interconnect_size() {
             input_slew: 50e-12,
         };
         let model = PathModel::build(&spec, &tech, &wire).expect("builds");
-        let d = model.evaluate_sample(&PathSample::default()).expect("evaluates");
+        let d = model
+            .evaluate_sample(&PathSample::default())
+            .expect("evaluates");
         assert!(d > 0.0 && d < 1e-9, "delay {d} at {n_elem} elements");
     }
 }

@@ -1,0 +1,98 @@
+//! End-to-end determinism contract of the parallel Monte-Carlo engine:
+//! the same master seed must produce bitwise-identical results at any
+//! worker count, and the parallel driver must agree exactly with the
+//! serial one. Exercised on the s27 longest path — the full stack from
+//! ISCAS netlist through decomposition, path modelling and TETA
+//! evaluation, not a toy closure.
+
+use linvar::iscas::{benchmark, decompose_to_primitives, longest_path};
+use linvar::prelude::*;
+use linvar::stats::{monte_carlo, monte_carlo_par};
+
+const MASTER_SEED: u64 = 2002;
+const N_SAMPLES: usize = 12;
+
+fn s27_model() -> PathModel {
+    let bench = benchmark("s27").expect("embedded benchmark");
+    let report = longest_path(&bench.netlist).expect("has a path");
+    let stages = decompose_to_primitives(&bench.netlist, &report).expect("decomposes");
+    let spec = PathSpec {
+        cells: stages.into_iter().map(|s| s.cell).collect(),
+        linear_elements_between_stages: 10,
+        input_slew: 60e-12,
+    };
+    PathModel::build(&spec, &tech_018(), &WireTech::m018()).expect("builds")
+}
+
+#[test]
+fn s27_path_mc_is_invariant_under_thread_count() {
+    let model = s27_model();
+    let sources = VariationSources::example3(0.33, 0.33);
+    let reference = model
+        .monte_carlo_par(&sources, N_SAMPLES, MASTER_SEED, 1)
+        .expect("1-thread run");
+    assert_eq!(reference.delays.len(), N_SAMPLES);
+    assert_eq!(reference.failures, 0, "{:?}", reference.first_error);
+    for threads in [2usize, 8] {
+        let run = model
+            .monte_carlo_par(&sources, N_SAMPLES, MASTER_SEED, threads)
+            .expect("parallel run");
+        let ref_bits: Vec<u64> = reference.delays.iter().map(|d| d.to_bits()).collect();
+        let run_bits: Vec<u64> = run.delays.iter().map(|d| d.to_bits()).collect();
+        assert_eq!(run_bits, ref_bits, "delays diverged at {threads} threads");
+        assert_eq!(
+            run.summary.mean.to_bits(),
+            reference.summary.mean.to_bits(),
+            "summary mean diverged at {threads} threads"
+        );
+        assert_eq!(
+            run.summary.std.to_bits(),
+            reference.summary.std.to_bits(),
+            "summary std diverged at {threads} threads"
+        );
+        assert_eq!(run.failed_indices, reference.failed_indices);
+        assert_eq!(run.first_error, reference.first_error);
+    }
+}
+
+#[test]
+fn s27_parallel_agrees_exactly_with_serial_driver() {
+    let model = s27_model();
+    let sources = VariationSources::example3(0.33, 0.33);
+
+    // Serial path through PathModel::monte_carlo with the same master seed.
+    let mut rng = rng_from_seed(MASTER_SEED);
+    let serial = model
+        .monte_carlo(&sources, N_SAMPLES, &mut rng)
+        .expect("serial run");
+    let parallel = model
+        .monte_carlo_par(&sources, N_SAMPLES, MASTER_SEED, 4)
+        .expect("parallel run");
+
+    let s_bits: Vec<u64> = serial.delays.iter().map(|d| d.to_bits()).collect();
+    let p_bits: Vec<u64> = parallel.delays.iter().map(|d| d.to_bits()).collect();
+    assert_eq!(p_bits, s_bits, "serial and parallel drivers disagree");
+    assert_eq!(
+        parallel.summary.mean.to_bits(),
+        serial.summary.mean.to_bits()
+    );
+    assert_eq!(parallel.summary.std.to_bits(), serial.summary.std.to_bits());
+}
+
+#[test]
+fn raw_drivers_agree_on_the_s27_workload() {
+    // Same contract one layer down: the raw stats drivers over the exact
+    // sample set drawn by the path model.
+    let model = s27_model();
+    let sources = VariationSources::example3(0.33, 0.33);
+    let mut rng = rng_from_seed(MASTER_SEED);
+    let samples = model.draw_samples(&sources, N_SAMPLES, &mut rng);
+
+    let serial = monte_carlo(&samples, |s| model.evaluate_sample(s));
+    for threads in [1usize, 2, 8] {
+        let par = monte_carlo_par(&samples, threads, |s| model.evaluate_sample(s));
+        let s_bits: Vec<u64> = serial.values.iter().map(|v| v.to_bits()).collect();
+        let p_bits: Vec<u64> = par.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(p_bits, s_bits, "threads={threads}");
+    }
+}

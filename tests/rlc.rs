@@ -68,7 +68,11 @@ fn parallel_rlc_tank_resonates() {
     let z = ac_impedance(&nl, "p", &freqs).unwrap();
     // At resonance the tank is purely resistive (|Z| = R); off resonance
     // the L or C branch shorts it down.
-    assert!((z[1].abs() - r).abs() < 0.01 * r, "|Z(f0)| = {}", z[1].abs());
+    assert!(
+        (z[1].abs() - r).abs() < 0.01 * r,
+        "|Z(f0)| = {}",
+        z[1].abs()
+    );
     assert!(z[0].abs() < 0.2 * r, "below resonance {}", z[0].abs());
     assert!(z[2].abs() < 0.2 * r, "above resonance {}", z[2].abs());
 }

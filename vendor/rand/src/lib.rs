@@ -1,0 +1,246 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the narrow slice of `rand`'s API it actually uses: a seedable
+//! deterministic generator ([`rngs::StdRng`], here xoshiro256++ seeded by
+//! SplitMix64), the [`SeedableRng`] constructor trait, and the [`RngExt`]
+//! convenience methods (`random`, `random_range`, `random_bool`).
+//!
+//! Determinism is the contract that matters to `linvar`: the same seed must
+//! produce the same stream on every platform and at every optimization
+//! level, forever. Owning the generator means no upstream algorithm change
+//! can silently invalidate recorded experiment tables.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 — the canonical 64-bit seed mixer (Steele et al., "Fast
+/// splittable pseudorandom number generators"). Used both to expand seeds
+/// into xoshiro state and by callers that need to derive independent
+/// sub-seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman & Vigna).
+    /// Small state, excellent statistical quality, and — unlike the real
+    /// `rand::rngs::StdRng` — a stream we fully control.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the seed through SplitMix64 as the xoshiro authors
+            // recommend; guards against the all-zero state.
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from a generator.
+pub trait Random {
+    /// Draws one value.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for u64 {
+    #[inline]
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for bool {
+    #[inline]
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a uniform integer can be drawn from.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draws uniformly from the range. Panics on an empty range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Widening-multiply range reduction (Lemire); the bias at 64-bit word
+    // width is < n/2^64, far below anything observable in our sample sizes,
+    // and the mapping is deterministic, which is the property we need.
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + uniform_below(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + uniform_below(rng, (hi - lo) as u64 + 1) as usize
+    }
+}
+
+impl SampleRange for std::ops::Range<u64> {
+    type Output = u64;
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + uniform_below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        self.start + (self.end - self.start) * f64::random(rng)
+    }
+}
+
+/// Convenience drawing methods, blanket-implemented for every generator.
+pub trait RngExt: RngCore {
+    /// Draws a value of type `T` uniformly.
+    #[inline]
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Draws uniformly from `range`.
+    #[inline]
+    fn random_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams nearly identical: {same} collisions");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..=4usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean: f64 = (0..20_000).map(|_| rng.random::<f64>()).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
