@@ -26,4 +26,26 @@ echo "==> determinism contract at LINVAR_THREADS=1 and LINVAR_THREADS=8"
 LINVAR_THREADS=1 cargo test -q --test parallel_determinism
 LINVAR_THREADS=8 cargo test -q --test parallel_determinism
 
+echo "==> fault matrix (injected failures across the solver stack)"
+cargo test -q --test fault_matrix
+cargo test -q --test failure_injection
+
+echo "==> no-panic smoke pass (examples must not panic)"
+smoke_log=$(mktemp)
+trap 'rm -f "$smoke_log"' EXIT
+for ex in quickstart variational_rc reduce_deck; do
+    echo "    example $ex"
+    if ! RUST_BACKTRACE=1 LINVAR_THREADS=2 \
+        cargo run --release -q --example "$ex" >"$smoke_log" 2>&1; then
+        echo "example $ex failed:" >&2
+        cat "$smoke_log" >&2
+        exit 1
+    fi
+    if grep -q "panicked at" "$smoke_log"; then
+        echo "example $ex panicked:" >&2
+        cat "$smoke_log" >&2
+        exit 1
+    fi
+done
+
 echo "==> ci green"

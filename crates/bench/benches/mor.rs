@@ -70,7 +70,9 @@ fn bench_poleres(c: &mut Criterion) {
     let var = line_var(100);
     let vrom = VariationalRom::characterize(&var, ReductionMethod::Prima { order: 8 }, 0.02)
         .expect("characterizes");
-    let rom = vrom.evaluate(&[0.5, 0.5, -0.5, 0.5, 0.5]);
+    let rom = vrom
+        .evaluate(&[0.5, 0.5, -0.5, 0.5, 0.5])
+        .expect("evaluates");
     group.bench_function("extract_order8", |b| {
         b.iter(|| extract_pole_residue(black_box(&rom)).expect("extracts"));
     });

@@ -98,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut unstable = 0usize;
         let mut worst_beta = 0.0_f64;
         for s in &samples {
-            let pr = extract_pole_residue(&vrom.evaluate(s))?;
+            let pr = extract_pole_residue(&vrom.evaluate(s)?)?;
             if !pr.is_stable() {
                 unstable += 1;
                 let (_, rep) = linvar_mor::stabilize(&pr);

@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     let mut worst: Option<(f64, f64)> = None;
     for &p in &[0.0, 0.02, 0.05, 0.06, 0.08, 0.09, 0.1] {
-        let pr = extract_pole_residue(&raw.evaluate(&[p]))?;
+        let pr = extract_pole_residue(&raw.evaluate(&[p])?)?;
         let unstable = pr.unstable_poles();
         let cell = if unstable.is_empty() {
             "-".to_string()
@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // SPICE on the most unstable raw model → divergence, as in the paper.
     if let Some((p, _)) = worst {
-        let pr = extract_pole_residue(&raw.evaluate(&[p]))?;
+        let pr = extract_pole_residue(&raw.evaluate(&[p])?)?;
         let outcome = spice_on_macromodel(&pr);
         println!("SPICE with the raw macromodel subcircuit at p={p}: {outcome}\n");
     }

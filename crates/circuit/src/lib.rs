@@ -30,6 +30,10 @@
 //! # }
 //! ```
 
+// User-reachable library paths must surface typed errors, never panic.
+// Tests are exempt: unwrap/expect on known-good fixtures is idiomatic there.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod element;
 pub mod error;
 pub mod mna;

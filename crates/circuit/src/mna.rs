@@ -13,7 +13,7 @@
 use crate::element::Element;
 use crate::error::CircuitError;
 use crate::netlist::Netlist;
-use linvar_numeric::Matrix;
+use linvar_numeric::{Matrix, NumericError};
 
 /// Assembled nominal MNA system.
 ///
@@ -53,18 +53,24 @@ impl VariationalMna {
     ///
     /// Entries of `w` beyond the declared parameters are ignored; missing
     /// entries are treated as 0 (nominal).
-    pub fn eval(&self, w: &[f64]) -> (Matrix, Matrix) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if a sensitivity matrix
+    /// disagrees in shape with the nominal matrices (possible only if the
+    /// struct fields were mutated inconsistently after assembly).
+    pub fn eval(&self, w: &[f64]) -> Result<(Matrix, Matrix), NumericError> {
         let mut g = self.g0.clone();
         let mut c = self.c0.clone();
         for (i, (dg, dc)) in self.dg.iter().zip(&self.dc).enumerate() {
             if let Some(&wi) = w.get(i) {
                 if wi != 0.0 {
-                    g.axpy(wi, dg).expect("matching shapes by construction");
-                    c.axpy(wi, dc).expect("matching shapes by construction");
+                    g.axpy(wi, dg)?;
+                    c.axpy(wi, dc)?;
                 }
             }
         }
-        (g, c)
+        Ok((g, c))
     }
 
     /// Number of variation parameters.
@@ -382,7 +388,7 @@ mod tests {
         .unwrap();
         let var = nl.assemble_variational().unwrap();
         assert_eq!(var.param_count(), 1);
-        let (g, c) = var.eval(&[0.1]);
+        let (g, c) = var.eval(&[0.1]).unwrap();
         // Exact: 1/15 S; first-order: 1/10 - 50/100*0.1 = 0.05 S.
         assert!((g[(0, 0)] - 0.05).abs() < 1e-12);
         assert!(
@@ -411,9 +417,9 @@ mod tests {
         )
         .unwrap();
         let var = nl.assemble_variational().unwrap();
-        let (g, _) = var.eval(&[0.0]);
+        let (g, _) = var.eval(&[0.0]).unwrap();
         assert_eq!(g, var.g0);
-        let (g, _) = var.eval(&[]);
+        let (g, _) = var.eval(&[]).unwrap();
         assert_eq!(g, var.g0);
     }
 

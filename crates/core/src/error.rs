@@ -84,7 +84,11 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: CoreError = NumericError::SingularMatrix { pivot: 1 }.into();
+        let e: CoreError = NumericError::SingularMatrix {
+            pivot: 1,
+            condition: None,
+        }
+        .into();
         assert!(e.to_string().contains("numeric"));
         let e = CoreError::StageStuck { stage: 3 };
         assert!(e.to_string().contains('3'));

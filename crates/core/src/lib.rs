@@ -49,11 +49,17 @@
 
 pub mod error;
 pub mod path;
+pub mod recovery;
 pub mod spice_ref;
 pub mod stage_builder;
 pub mod worst_case;
 
 pub use error::CoreError;
 pub use path::{GaPathResult, McPathResult, PathModel, PathSpec, VariationSources};
+pub use recovery::{DegradationReport, EngineRung, McRecoveryResult};
 pub use stage_builder::{StageLoad, StageLoadSpec};
 pub use worst_case::WorstCaseResult;
+
+// Policy types of the statistics layer, re-exported so callers of the
+// recovering Monte-Carlo drivers need only this crate.
+pub use linvar_stats::{HealthSummary, RecoveryPolicy, SampleHealth, SampleStatus};

@@ -20,12 +20,17 @@
 //! [`StageModel`]: linvar_teta::StageModel
 
 use crate::error::CoreError;
+use crate::recovery::{DegradationReport, EngineRung, McRecoveryResult};
 use crate::stage_builder::{build_stage_load, StageLoad, StageLoadSpec};
 use linvar_devices::{CellLibrary, DeviceVariation, Technology};
 use linvar_interconnect::WireTech;
 use linvar_mor::ReductionMethod;
-use linvar_stats::{lhs_normal, monte_carlo, monte_carlo_par, rng_from_seed, SampleRng, Summary};
+use linvar_stats::{
+    lhs_normal, monte_carlo, monte_carlo_par, monte_carlo_par_with_policy, rng_from_seed,
+    RecoveryPolicy, SampleRng, SampleStatus, Summary,
+};
 use linvar_teta::{StageModel, Waveform};
+use std::sync::Mutex;
 
 /// Specification of a critical path.
 #[derive(Debug, Clone)]
@@ -255,9 +260,9 @@ impl PathModel {
         self.stages.iter().map(|s| s.cell.as_str()).collect()
     }
 
-    /// The stage loads (for the SPICE reference flow).
-    pub(crate) fn stage_loads(&self) -> impl Iterator<Item = &StageLoad> {
-        self.stages.iter().map(|s| &s.load)
+    /// The raw load of stage `k` (for the SPICE reference flow).
+    pub(crate) fn stage_load(&self, k: usize) -> &StageLoad {
+        &self.stages[k].load
     }
 
     /// The path input waveform: a rising saturated ramp.
@@ -406,6 +411,208 @@ impl PathModel {
             failures: res.failures,
             failed_indices: res.failed_indices,
             first_error: res.first_error,
+        })
+    }
+
+    /// Evaluates the path delay at one sample under the per-stage
+    /// failure-recovery ladder.
+    ///
+    /// Each stage runs [`linvar_teta::StageModel::evaluate_recovering`]
+    /// (vROM with order degradation, SC retry schedule, exact reduction,
+    /// unreduced MNA); if the whole TETA ladder is exhausted for a stage
+    /// and `spice_fallback` is set, that stage alone is served by the
+    /// baseline SPICE engine. The returned [`DegradationReport`] names the
+    /// most severe rung used along the path (`sample_index` is left 0 for
+    /// the caller to fill).
+    ///
+    /// # Errors
+    ///
+    /// Returns the stage's terminal error when the ladder is exhausted and
+    /// SPICE fallback is disabled (or itself fails).
+    pub fn evaluate_sample_recovering(
+        &self,
+        sample: &PathSample,
+        spice_fallback: bool,
+    ) -> Result<(f64, DegradationReport), CoreError> {
+        let mut input = self.input_waveform();
+        let m_path_in = input
+            .crossing(self.vdd / 2.0, true)
+            .expect("ramp crosses midpoint");
+        let mut offset = 0.0;
+        let mut m_out_abs = m_path_in;
+        let h = self.stage_h();
+        let mut report = DegradationReport::clean();
+        for (k, stage) in self.stages.iter().enumerate() {
+            let rising_out = !input.is_rising();
+            let mut t_end = input.end_time() + 1.0e-9;
+            let mut out = None;
+            let mut stage_rec = None;
+            let mut ladder_err: Option<CoreError> = None;
+            for _attempt in 0..3 {
+                match stage.model.evaluate_recovering(
+                    &sample.wire,
+                    sample.device,
+                    std::slice::from_ref(&input),
+                    h,
+                    t_end,
+                ) {
+                    Ok((res, rec)) => {
+                        let w = &res.waveforms[stage.out_port];
+                        let settled = (w.final_value() - if rising_out { self.vdd } else { 0.0 })
+                            .abs()
+                            < 0.05 * self.vdd;
+                        if settled && w.crossing(self.vdd / 2.0, rising_out).is_some() {
+                            out = Some(w.clone());
+                            stage_rec = Some(rec);
+                            break;
+                        }
+                        t_end *= 2.0;
+                    }
+                    Err(e) => {
+                        ladder_err = Some(e.into());
+                        break;
+                    }
+                }
+            }
+            let out = match (out, spice_fallback) {
+                (Some(w), _) => w,
+                (None, true) => {
+                    let w = self.spice_stage_output(k, &input, sample, rising_out)?;
+                    report.rung = report.rung.worst(EngineRung::SpiceBaseline);
+                    report.notes.push(format!(
+                        "stage {k} ({}): served by baseline SPICE",
+                        stage.cell
+                    ));
+                    w
+                }
+                (None, false) => {
+                    return Err(ladder_err.unwrap_or(CoreError::StageStuck { stage: k }))
+                }
+            };
+            if let Some(rec) = stage_rec {
+                report.sc_retries += rec.sc_retries;
+                let rung = EngineRung::from_stage(&rec);
+                report.rung = report.rung.worst(rung);
+                if !rec.was_clean() {
+                    report.notes.push(format!(
+                        "stage {k} ({}): {rung}, order {}→{}, {} SC retr{}",
+                        stage.cell,
+                        rec.original_order,
+                        rec.served_order,
+                        rec.sc_retries,
+                        if rec.sc_retries == 1 { "y" } else { "ies" }
+                    ));
+                }
+            }
+            let m_out = out
+                .crossing(self.vdd / 2.0, rising_out)
+                .expect("checked above");
+            m_out_abs = m_out + offset;
+            let s_est = out
+                .to_saturated_ramp(0.0, self.vdd)
+                .map(|sr| sr.s)
+                .unwrap_or(self.input_slew);
+            let shift = (m_out - 2.0 * s_est).max(0.0);
+            input = out.truncated(m_out + 4.0 * s_est).shifted(-shift);
+            offset += shift;
+        }
+        Ok((m_out_abs - m_path_in, report))
+    }
+
+    /// Deterministic parallel Monte-Carlo with the failure-recovery
+    /// ladder.
+    ///
+    /// Attempt mapping per sample: attempt 0 is the fast path
+    /// ([`PathModel::evaluate_sample`]); attempts `1..=max_retries` run
+    /// the per-stage TETA recovery ladder
+    /// ([`PathModel::evaluate_sample_recovering`], with per-stage SPICE
+    /// fallback when the policy allows fallback); the final fallback
+    /// attempt runs the whole path through the baseline SPICE engine.
+    /// Every assisted sample gets a [`DegradationReport`]; the run-level
+    /// health tally distinguishes clean / recovered / degraded / failed.
+    ///
+    /// Inherits both determinism contracts: the sample set is a pure
+    /// function of `master_seed`, every attempt is a pure function of
+    /// `(sample, attempt)`, and results merge in sample-index order — so
+    /// the result (reports included) is **bitwise-identical at any thread
+    /// count**, fail-fast truncation included.
+    ///
+    /// Unlike [`PathModel::monte_carlo_par`], an all-failed run is not an
+    /// error: the health summary *is* the answer.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible beyond sample bookkeeping; returns `Result`
+    /// so stricter run-level gates can be added without an API break.
+    pub fn monte_carlo_par_recovering(
+        &self,
+        sources: &VariationSources,
+        n: usize,
+        master_seed: u64,
+        threads: usize,
+        policy: RecoveryPolicy,
+    ) -> Result<McRecoveryResult, CoreError> {
+        let mut rng = rng_from_seed(master_seed);
+        let samples = self.draw_samples(sources, n, &mut rng);
+        let indexed: Vec<(usize, PathSample)> = samples.into_iter().enumerate().collect();
+        // Side channel for the degradation reports: keyed by sample index,
+        // written at most once per sample (only the succeeding attempt
+        // writes), sorted after the merge — deterministic because each
+        // report is a pure function of its sample.
+        let reports: Mutex<Vec<DegradationReport>> = Mutex::new(Vec::new());
+        let res = monte_carlo_par_with_policy(
+            &indexed,
+            threads,
+            policy,
+            |&(idx, ref sample), attempt| -> Result<(f64, SampleStatus), String> {
+                if attempt == 0 {
+                    return self
+                        .evaluate_sample(sample)
+                        .map(|d| (d, SampleStatus::Clean))
+                        .map_err(|e| e.to_string());
+                }
+                if policy.is_fallback_attempt(attempt) {
+                    let d = self
+                        .evaluate_sample_spice(sample)
+                        .map_err(|e| e.to_string())?;
+                    let mut report = DegradationReport::clean();
+                    report.sample_index = idx;
+                    report.rung = EngineRung::SpiceBaseline;
+                    report
+                        .notes
+                        .push("whole path served by baseline SPICE".into());
+                    reports.lock().expect("reports lock").push(report);
+                    return Ok((d, SampleStatus::Degraded));
+                }
+                let (d, mut report) = self
+                    .evaluate_sample_recovering(sample, policy.allow_fallback)
+                    .map_err(|e| e.to_string())?;
+                report.sample_index = idx;
+                let status = report.status();
+                if !report.is_clean() {
+                    reports.lock().expect("reports lock").push(report);
+                }
+                Ok((d, status))
+            },
+        );
+        let mut reports = reports.into_inner().expect("workers joined");
+        // Drop reports for samples beyond a fail-fast truncation point
+        // (they were evaluated before the cancellation propagated but are
+        // not part of the run's output).
+        if let Some(cut) = res.truncated_at {
+            reports.retain(|r| r.sample_index <= cut);
+        }
+        reports.sort_by_key(|r| r.sample_index);
+        Ok(McRecoveryResult {
+            delays: res.values,
+            summary: res.summary,
+            failures: res.failures,
+            failed_indices: res.failed_indices,
+            first_error: res.first_error,
+            sample_health: res.sample_health,
+            health: res.health,
+            truncated_at: res.truncated_at,
+            reports,
         })
     }
 
@@ -611,6 +818,37 @@ mod tests {
                 "mean at {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn recovering_mc_is_bitwise_identical_across_threads() {
+        let model = small_path();
+        let sources = VariationSources::example3(0.33, 0.33);
+        let policy = RecoveryPolicy::default();
+        let seed = 21;
+        let base = model
+            .monte_carlo_par_recovering(&sources, 8, seed, 1, policy)
+            .unwrap();
+        // A moderate spread is served entirely by the fast path.
+        assert!(base.health.all_clean(), "health: {:?}", base.health);
+        assert!(base.reports.is_empty());
+        assert!(base.truncated_at.is_none());
+        assert_eq!(base.health.total(), 8);
+        let base_bits: Vec<u64> = base.delays.iter().map(|d| d.to_bits()).collect();
+        for threads in [2, 4] {
+            let par = model
+                .monte_carlo_par_recovering(&sources, 8, seed, threads, policy)
+                .unwrap();
+            let par_bits: Vec<u64> = par.delays.iter().map(|d| d.to_bits()).collect();
+            assert_eq!(par_bits, base_bits, "delays at {threads} threads");
+            assert_eq!(par.sample_health, base.sample_health);
+            assert_eq!(par.health, base.health);
+            assert_eq!(par.reports, base.reports);
+        }
+        // On a clean run the recovering driver reproduces the plain one.
+        let plain = model.monte_carlo_par(&sources, 8, seed, 2).unwrap();
+        let plain_bits: Vec<u64> = plain.delays.iter().map(|d| d.to_bits()).collect();
+        assert_eq!(plain_bits, base_bits);
     }
 
     #[test]

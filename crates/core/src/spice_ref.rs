@@ -32,73 +32,9 @@ impl PathModel {
             .expect("ramp crosses midpoint");
         let mut offset = 0.0;
         let mut m_out_abs = m_path_in;
-        let tech = &self.tech;
-        for (k, load) in self.stage_loads().enumerate() {
+        for k in 0..self.stage_count() {
             let rising_out = !input.is_rising();
-            // Assemble the transistor-level stage netlist at this sample.
-            let frozen = load.netlist.frozen_at(&sample.wire);
-            let mut nl = Netlist::new();
-            let vdd_node = nl.node("vdd");
-            let in_node = nl.node("stage_in");
-            nl.instantiate(&frozen, "", &[])?;
-            let near_name = frozen
-                .node_name(load.near)
-                .expect("near node exists")
-                .to_string();
-            let far_name = frozen
-                .node_name(load.far)
-                .expect("far node exists")
-                .to_string();
-            let near = nl.find_node(&near_name).expect("instantiated");
-            nl.add_vsource("Vdd", vdd_node, Netlist::GROUND, SourceWaveform::Dc(vdd))?;
-            nl.add_vsource(
-                "Vin",
-                in_node,
-                Netlist::GROUND,
-                SourceWaveform::Pwl(input.points().to_vec()),
-            )?;
-            nl.add_mosfet(
-                "MP",
-                near,
-                in_node,
-                vdd_node,
-                vdd_node,
-                MosType::Pmos,
-                &tech.library.pmos_name(),
-                tech.wp,
-                tech.library.lmin,
-            )?;
-            nl.add_mosfet(
-                "MN",
-                near,
-                in_node,
-                Netlist::GROUND,
-                Netlist::GROUND,
-                MosType::Nmos,
-                &tech.library.nmos_name(),
-                tech.wn,
-                tech.library.lmin,
-            )?;
-            let mut t_end = input.end_time() + 1.0e-9;
-            let mut out: Option<Waveform> = None;
-            for _attempt in 0..3 {
-                let mut opts = TransientOptions::new(t_end, 1e-12);
-                opts.probes.push(far_name.clone());
-                let res =
-                    Transient::with_devices(&nl, &tech.library, sample.device, &opts)?.run()?;
-                let times = res.times.clone();
-                let vals = res.probe(&far_name).expect("probed").to_vec();
-                let w = Waveform::from_points(times.into_iter().zip(vals).collect::<Vec<_>>())
-                    .compress(1e-4 * vdd);
-                let settled =
-                    (w.final_value() - if rising_out { vdd } else { 0.0 }).abs() < 0.05 * vdd;
-                if settled && w.crossing(vdd / 2.0, rising_out).is_some() {
-                    out = Some(w);
-                    break;
-                }
-                t_end *= 2.0;
-            }
-            let out = out.ok_or(CoreError::StageStuck { stage: k })?;
+            let out = self.spice_stage_output(k, &input, sample, rising_out)?;
             let m_out = out.crossing(vdd / 2.0, rising_out).expect("checked above");
             m_out_abs = m_out + offset;
             let s_est = out
@@ -112,6 +48,83 @@ impl PathModel {
             offset += shift;
         }
         Ok(m_out_abs - m_path_in)
+    }
+
+    /// Simulates one path stage through the SPICE baseline: unit driver
+    /// inverter + the complete interconnect netlist frozen at the sample,
+    /// driven by `input`. Grows the window up to three times if the output
+    /// has not settled. This is both a building block of the reference
+    /// flow above and the final rung of the per-stage recovery ladder.
+    pub(crate) fn spice_stage_output(
+        &self,
+        k: usize,
+        input: &Waveform,
+        sample: &PathSample,
+        rising_out: bool,
+    ) -> Result<Waveform, CoreError> {
+        let vdd = self.vdd();
+        let tech = &self.tech;
+        let load = self.stage_load(k);
+        // Assemble the transistor-level stage netlist at this sample.
+        let frozen = load.netlist.frozen_at(&sample.wire);
+        let mut nl = Netlist::new();
+        let vdd_node = nl.node("vdd");
+        let in_node = nl.node("stage_in");
+        nl.instantiate(&frozen, "", &[])?;
+        let near_name = frozen
+            .node_name(load.near)
+            .expect("near node exists")
+            .to_string();
+        let far_name = frozen
+            .node_name(load.far)
+            .expect("far node exists")
+            .to_string();
+        let near = nl.find_node(&near_name).expect("instantiated");
+        nl.add_vsource("Vdd", vdd_node, Netlist::GROUND, SourceWaveform::Dc(vdd))?;
+        nl.add_vsource(
+            "Vin",
+            in_node,
+            Netlist::GROUND,
+            SourceWaveform::Pwl(input.points().to_vec()),
+        )?;
+        nl.add_mosfet(
+            "MP",
+            near,
+            in_node,
+            vdd_node,
+            vdd_node,
+            MosType::Pmos,
+            &tech.library.pmos_name(),
+            tech.wp,
+            tech.library.lmin,
+        )?;
+        nl.add_mosfet(
+            "MN",
+            near,
+            in_node,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosType::Nmos,
+            &tech.library.nmos_name(),
+            tech.wn,
+            tech.library.lmin,
+        )?;
+        let mut t_end = input.end_time() + 1.0e-9;
+        for _attempt in 0..3 {
+            let mut opts = TransientOptions::new(t_end, 1e-12);
+            opts.probes.push(far_name.clone());
+            let res = Transient::with_devices(&nl, &tech.library, sample.device, &opts)?.run()?;
+            let times = res.times.clone();
+            let vals = res.probe(&far_name).expect("probed").to_vec();
+            let w = Waveform::from_points(times.into_iter().zip(vals).collect::<Vec<_>>())
+                .compress(1e-4 * vdd);
+            let settled = (w.final_value() - if rising_out { vdd } else { 0.0 }).abs() < 0.05 * vdd;
+            if settled && w.crossing(vdd / 2.0, rising_out).is_some() {
+                return Ok(w);
+            }
+            t_end *= 2.0;
+        }
+        Err(CoreError::StageStuck { stage: k })
     }
 }
 

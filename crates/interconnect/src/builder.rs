@@ -270,8 +270,8 @@ mod tests {
         let built = build_coupled_lines(&spec(1, 10.0)).unwrap();
         let var = built.netlist.assemble_variational().unwrap();
         // +1 unit of W (= +tolerance): conductance up, capacitance up.
-        let (g_hi, c_hi) = var.eval(&[1.0, 0.0, 0.0, 0.0, 0.0]);
-        let (g0, c0) = var.eval(&[0.0; 5]);
+        let (g_hi, c_hi) = var.eval(&[1.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let (g0, c0) = var.eval(&[0.0; 5]).unwrap();
         assert!(g_hi[(0, 0)] > g0[(0, 0)], "wider wire conducts better");
         // Compare total grounded capacitance at far-end node.
         let last = var.order() - 1;
@@ -301,10 +301,10 @@ mod tests {
         assert!(var.dc[s_idx].max_abs() > 0.0, "spacing changes coupling");
         // Increasing spacing must *reduce* coupling: the off-diagonal C
         // entry (negative) shrinks in magnitude.
-        let (_, c0) = var.eval(&[0.0; 5]);
+        let (_, c0) = var.eval(&[0.0; 5]).unwrap();
         let mut w = [0.0; 5];
         w[s_idx] = 1.0;
-        let (_, c_wide) = var.eval(&w);
+        let (_, c_wide) = var.eval(&w).unwrap();
         // Find a coupled pair: node of line0 seg1 and line1 seg1.
         let a = built
             .netlist

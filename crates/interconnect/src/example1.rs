@@ -133,8 +133,8 @@ mod tests {
     fn table2_values_at_p0_and_p01() {
         let (nl, _, _) = example1_netlist().unwrap();
         let var = nl.assemble_variational().unwrap();
-        let (g0, c0) = var.eval(&[0.0]);
-        let (g1, c1) = var.eval(&[0.1]);
+        let (g0, c0) = var.eval(&[0.0]).unwrap();
+        let (g1, c1) = var.eval(&[0.1]).unwrap();
         // R1 = 10 Ω at p=0: conductance between p1 and l1n1 is 0.1 S.
         let p1 = nl.find_node("p1").unwrap().mna_index().unwrap();
         let n1 = nl.find_node("l1n1").unwrap().mna_index().unwrap();
@@ -160,7 +160,7 @@ mod tests {
     fn symmetry_between_lines() {
         let (nl, _, _) = example1_netlist().unwrap();
         let var = nl.assemble_variational().unwrap();
-        let (g0, _) = var.eval(&[0.0]);
+        let (g0, _) = var.eval(&[0.0]).unwrap();
         let p1 = nl.find_node("p1").unwrap().mna_index().unwrap();
         let p2 = nl.find_node("p2").unwrap().mna_index().unwrap();
         assert!(

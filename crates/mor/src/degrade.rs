@@ -1,0 +1,200 @@
+//! Order-degradation ladder for variational reduced models.
+//!
+//! First-order variational macromodels are "inherently non-passive,
+//! possibly unstable" (paper §3.3): at large parameter excursions the
+//! stabilization pass may strip *every* pole, or the β DC-rescale of
+//! eq. (23) may swing far from 1, meaning the served model no longer
+//! represents the load. Rather than failing the sample outright, the
+//! recovery ladder walks the reduced order down `q → q-1 → … → 1` —
+//! cheap, because the PRIMA basis is nested so truncation
+//! ([`ReducedModel::truncated`]) is a sub-block copy — and serves the
+//! first order whose stabilized pole/residue model is healthy. The caller
+//! learns what happened from the [`MorDegradation`] report and can fall
+//! back further (exact reduction, unreduced MNA, baseline SPICE) when the
+//! ladder is exhausted.
+
+use crate::poleres::{extract_pole_residue, PoleResidueModel};
+use crate::prima::ReducedModel;
+use crate::stability::{stabilize, StabilityReport};
+use linvar_numeric::NumericError;
+
+/// Default tolerance on `|β - 1|` above which the DC rescale is considered
+/// to have left the model's validity region.
+pub const DEFAULT_BETA_TOL: f64 = 0.5;
+
+/// What the order-degradation ladder did to serve a stabilized model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MorDegradation {
+    /// Order of the model handed to the ladder.
+    pub original_order: usize,
+    /// Orders tried, in ladder order (highest first).
+    pub attempted_orders: Vec<usize>,
+    /// Order of the model that was finally served.
+    pub served_order: usize,
+    /// Number of right-half-plane poles removed from the served model.
+    pub removed_poles: usize,
+    /// `max |β - 1|` of the served model's DC rescale.
+    pub max_beta_deviation: f64,
+}
+
+impl MorDegradation {
+    /// `true` when a lower order than requested had to serve the sample.
+    pub fn degraded(&self) -> bool {
+        self.served_order < self.original_order
+    }
+}
+
+/// Is a stabilized pole/residue model fit to serve a transient stage?
+///
+/// Healthy means: stabilization left at least one pole (unless the input
+/// had none to begin with) and the DC rescale stayed within `beta_tol`.
+fn is_healthy(
+    original: &PoleResidueModel,
+    stable: &PoleResidueModel,
+    report: &StabilityReport,
+    beta_tol: f64,
+) -> bool {
+    (stable.pole_count() > 0 || original.pole_count() == 0) && report.max_beta_deviation <= beta_tol
+}
+
+/// Extracts and stabilizes a pole/residue model, degrading the reduced
+/// order until a healthy model is found.
+///
+/// Tries the full order first; on an unhealthy stabilization (zero stable
+/// poles, β deviation beyond `beta_tol`) or an extraction failure
+/// (singular `Gr`, eigensolver non-convergence), truncates to the next
+/// lower order and retries. Returns the stabilized model, the stability
+/// report of the served order, and the [`MorDegradation`] trail.
+///
+/// # Errors
+///
+/// Returns the last extraction error — or [`NumericError::InvalidInput`]
+/// if every order extracted but none was healthy — once the ladder is
+/// exhausted. Callers should treat this as "degrade past MOR": serve the
+/// stage from an exact reduction, the unreduced MNA, or baseline SPICE.
+pub fn extract_stabilized_degrading(
+    rom: &ReducedModel,
+    beta_tol: f64,
+) -> Result<(PoleResidueModel, StabilityReport, MorDegradation), NumericError> {
+    let q0 = rom.order();
+    if q0 == 0 {
+        return Err(NumericError::InvalidInput(
+            "cannot stabilize an order-0 model".into(),
+        ));
+    }
+    let mut attempted = Vec::new();
+    let mut last_err: Option<NumericError> = None;
+    for q in (1..=q0).rev() {
+        attempted.push(q);
+        let candidate = if q == q0 {
+            rom.clone()
+        } else {
+            rom.truncated(q)
+        };
+        match extract_pole_residue(&candidate) {
+            Ok(pr) => {
+                let (stable, report) = stabilize(&pr);
+                if is_healthy(&pr, &stable, &report, beta_tol) {
+                    let degradation = MorDegradation {
+                        original_order: q0,
+                        attempted_orders: attempted,
+                        served_order: q,
+                        removed_poles: report.removed_poles.len(),
+                        max_beta_deviation: report.max_beta_deviation,
+                    };
+                    return Ok((stable, report, degradation));
+                }
+            }
+            Err(
+                e @ (NumericError::SingularMatrix { .. } | NumericError::ConvergenceFailure { .. }),
+            ) => {
+                last_err = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        NumericError::InvalidInput(format!(
+            "order-degradation ladder exhausted: no healthy stabilized model \
+             at any order {q0}..=1 (beta tolerance {beta_tol})"
+        ))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linvar_numeric::{Matrix, NumericError};
+
+    /// Grounded RC ladder reduced model (symmetric, passive — healthy).
+    fn healthy_rom(n: usize) -> ReducedModel {
+        let mut g = Matrix::zeros(n, n);
+        let mut c = Matrix::zeros(n, n);
+        for i in 0..n {
+            g[(i, i)] = 2.0e-3;
+            c[(i, i)] = 1e-12;
+            if i + 1 < n {
+                g[(i, i + 1)] = -1.0e-3;
+                g[(i + 1, i)] = -1.0e-3;
+            }
+        }
+        let mut b = Matrix::zeros(n, 1);
+        b[(0, 0)] = 1.0;
+        ReducedModel {
+            gr: g,
+            cr: c,
+            br: b,
+        }
+    }
+
+    #[test]
+    fn healthy_model_served_at_full_order() {
+        let rom = healthy_rom(5);
+        let (stable, _, deg) = extract_stabilized_degrading(&rom, DEFAULT_BETA_TOL).unwrap();
+        assert_eq!(deg.served_order, 5);
+        assert!(!deg.degraded());
+        assert_eq!(deg.attempted_orders, vec![5]);
+        assert!(stable.is_stable());
+    }
+
+    #[test]
+    fn all_rhp_model_exhausts_ladder_without_panicking() {
+        // Gr negative definite ⇒ every pole in the right half plane at
+        // every truncation order: the ladder must walk down and fail with
+        // a typed error, never panic.
+        let n = 4;
+        let mut rom = healthy_rom(n);
+        rom.gr.scale_mut(-1.0);
+        let res = extract_stabilized_degrading(&rom, DEFAULT_BETA_TOL);
+        match res {
+            Err(NumericError::InvalidInput(msg)) => {
+                assert!(msg.contains("ladder exhausted"), "msg: {msg}");
+            }
+            other => panic!("expected exhausted ladder, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_model_degrades_to_lower_order() {
+        // Diagonal model with one RHP state: at full order the lone stable
+        // pole still serves (one removed pole); shrink the tolerance so a
+        // nonzero β deviation forces the ladder down to the stable leading
+        // block.
+        let mut rom = healthy_rom(2);
+        rom.gr = Matrix::from_rows(&[&[1.0e-3, 0.0], &[0.0, -2.0e-3]]);
+        rom.cr = Matrix::from_rows(&[&[1e-12, 0.0], &[0.0, 1e-12]]);
+        rom.br = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let (stable, _, deg) = extract_stabilized_degrading(&rom, 1e-12).unwrap();
+        assert!(deg.degraded(), "degradation: {deg:?}");
+        assert_eq!(deg.served_order, 1);
+        assert!(stable.is_stable());
+    }
+
+    #[test]
+    fn truncation_is_clamped() {
+        let rom = healthy_rom(3);
+        assert_eq!(rom.truncated(0).order(), 1);
+        assert_eq!(rom.truncated(99).order(), 3);
+        assert_eq!(rom.truncated(2).port_count(), 1);
+    }
+}

@@ -23,7 +23,11 @@
 // Dense matrix kernels index rows/columns explicitly; iterator
 // adaptors would obscure the classic algorithm shapes.
 #![allow(clippy::needless_range_loop)]
+// User-reachable library paths must surface typed errors, never panic.
+// Tests are exempt: unwrap/expect on known-good fixtures is idiomatic there.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod degrade;
 pub mod moments;
 pub mod pact;
 pub mod poleres;
@@ -31,9 +35,10 @@ pub mod prima;
 pub mod stability;
 pub mod variational;
 
+pub use degrade::{extract_stabilized_degrading, MorDegradation, DEFAULT_BETA_TOL};
 pub use moments::{elmore_delay, elmore_transfer, matched_moment_count, moments, reduced_moments};
 pub use pact::pact_reduce;
 pub use poleres::{extract_pole_residue, PoleResidueModel};
-pub use prima::{prima_basis, prima_reduce, ReducedModel};
+pub use prima::{prima_basis, prima_project, prima_reduce, ReducedModel};
 pub use stability::{stabilize, StabilityReport};
 pub use variational::{ReductionMethod, VariationalRom};

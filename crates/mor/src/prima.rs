@@ -29,6 +29,26 @@ impl ReducedModel {
         self.br.cols()
     }
 
+    /// Restriction of the model to its leading `q` reduced states.
+    ///
+    /// The PRIMA basis is nested (block-Krylov vectors in construction
+    /// order), so the leading `q × q` sub-blocks of `Gr`/`Cr` and the
+    /// leading `q` rows of `Br` form the model that a reduction of order
+    /// `q` would have produced over the same leading basis vectors. This is
+    /// the cheap step behind the order-degradation ladder
+    /// ([`crate::degrade`]): no re-factorization of the full system needed.
+    ///
+    /// `q` is clamped to `1..=order()`.
+    pub fn truncated(&self, q: usize) -> ReducedModel {
+        let q = q.clamp(1, self.order().max(1));
+        let np = self.port_count();
+        ReducedModel {
+            gr: Matrix::from_fn(q, q, |i, j| self.gr[(i, j)]),
+            cr: Matrix::from_fn(q, q, |i, j| self.cr[(i, j)]),
+            br: Matrix::from_fn(q, np, |i, j| self.br[(i, j)]),
+        }
+    }
+
     /// DC port impedance matrix `Z(0) = Brᵀ Gr⁻¹ Br`.
     ///
     /// # Errors

@@ -133,9 +133,9 @@ impl VariationalRom {
         for i in 0..np {
             let mut w = vec![0.0; np];
             w[i] = delta;
-            let (g_hi, c_hi) = var.eval(&w);
+            let (g_hi, c_hi) = var.eval(&w)?;
             w[i] = -delta;
-            let (g_lo, c_lo) = var.eval(&w);
+            let (g_lo, c_lo) = var.eval(&w)?;
             let x_hi = basis_at(&g_hi, &c_hi, &b, &var.port_indices, method)?;
             let x_lo = basis_at(&g_lo, &c_lo, &b, &var.port_indices, method)?;
             if x_hi.cols() != q || x_lo.cols() != q {
@@ -193,20 +193,26 @@ impl VariationalRom {
 
     /// Evaluates the first-order variational reduced model at sample `w`
     /// (paper eq. 11 — higher-order terms dropped, congruence broken).
-    pub fn evaluate(&self, w: &[f64]) -> ReducedModel {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if a sensitivity matrix
+    /// disagrees in shape with the nominal reduced matrices (possible only
+    /// through inconsistent mutation after characterization).
+    pub fn evaluate(&self, w: &[f64]) -> Result<ReducedModel, NumericError> {
         let mut gr = self.gr0.clone();
         let mut cr = self.cr0.clone();
         let mut br = self.br0.clone();
         for (i, ((dg, dc), db)) in self.dgr.iter().zip(&self.dcr).zip(&self.dbr).enumerate() {
             if let Some(&wi) = w.get(i) {
                 if wi != 0.0 {
-                    gr.axpy(wi, dg).expect("matching shapes");
-                    cr.axpy(wi, dc).expect("matching shapes");
-                    br.axpy(wi, db).expect("matching shapes");
+                    gr.axpy(wi, dg)?;
+                    cr.axpy(wi, dc)?;
+                    br.axpy(wi, db)?;
                 }
             }
         }
-        ReducedModel { gr, cr, br }
+        Ok(ReducedModel { gr, cr, br })
     }
 
     /// Reference evaluation: recomputes the *exact* reduction at sample `w`
@@ -222,7 +228,7 @@ impl VariationalRom {
         var: &VariationalMna,
         w: &[f64],
     ) -> Result<ReducedModel, NumericError> {
-        let (g, c) = var.eval(w);
+        let (g, c) = var.eval(w)?;
         let b = var.port_incidence();
         let x = basis_at(&g, &c, &b, &var.port_indices, self.method)?;
         Ok(prima_project(&g, &c, &b, &x))
@@ -299,7 +305,7 @@ mod tests {
         let var = var_ladder(10);
         let rom =
             VariationalRom::characterize(&var, ReductionMethod::Prima { order: 4 }, 0.01).unwrap();
-        let at0 = rom.evaluate(&[0.0]);
+        let at0 = rom.evaluate(&[0.0]).unwrap();
         let exact = rom.evaluate_exact(&var, &[0.0]).unwrap();
         assert!((&at0.gr - &exact.gr).max_abs() < 1e-9 * exact.gr.max_abs());
         assert!((&at0.cr - &exact.cr).max_abs() < 1e-9 * exact.cr.max_abs());
@@ -311,7 +317,7 @@ mod tests {
         let rom =
             VariationalRom::characterize(&var, ReductionMethod::Prima { order: 4 }, 0.01).unwrap();
         let w = [0.05];
-        let approx = rom.evaluate(&w);
+        let approx = rom.evaluate(&w).unwrap();
         let exact = rom.evaluate_exact(&var, &w).unwrap();
         // DC impedance comparison is basis-independent.
         let z_a = approx.dc_impedance().unwrap()[(0, 0)];
@@ -328,7 +334,7 @@ mod tests {
         let rom =
             VariationalRom::characterize(&var, ReductionMethod::Prima { order: 3 }, 0.01).unwrap();
         let err_at = |wv: f64| -> f64 {
-            let a = rom.evaluate(&[wv]).dc_impedance().unwrap()[(0, 0)];
+            let a = rom.evaluate(&[wv]).unwrap().dc_impedance().unwrap()[(0, 0)];
             let e = rom
                 .evaluate_exact(&var, &[wv])
                 .unwrap()
@@ -354,7 +360,7 @@ mod tests {
         assert_eq!(rom.order(), 1 + 3, "ports + internal modes");
         assert_eq!(rom.port_count(), 1);
         assert_eq!(rom.param_count(), 1);
-        let z0 = rom.evaluate(&[0.0]).dc_impedance().unwrap()[(0, 0)];
+        let z0 = rom.evaluate(&[0.0]).unwrap().dc_impedance().unwrap()[(0, 0)];
         let ze = rom
             .evaluate_exact(&var, &[0.0])
             .unwrap()
@@ -391,8 +397,8 @@ mod tests {
         let var = var_ladder(5);
         let rom =
             VariationalRom::characterize(&var, ReductionMethod::Prima { order: 3 }, 0.01).unwrap();
-        let a = rom.evaluate(&[]);
-        let b = rom.evaluate(&[0.0]);
+        let a = rom.evaluate(&[]).unwrap();
+        let b = rom.evaluate(&[0.0]).unwrap();
         assert!((&a.gr - &b.gr).max_abs() == 0.0);
     }
 }

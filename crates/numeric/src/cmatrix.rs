@@ -184,7 +184,10 @@ impl CLuFactor {
                 }
             }
             if pmax < 1e-300 || !pmax.is_finite() {
-                return Err(NumericError::SingularMatrix { pivot: k });
+                return Err(NumericError::SingularMatrix {
+                    pivot: k,
+                    condition: None,
+                });
             }
             if p != k {
                 for j in 0..n {

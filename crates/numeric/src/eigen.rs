@@ -126,6 +126,35 @@ pub fn eigen_decompose(a: &Matrix) -> Result<EigenDecomposition, NumericError> {
     Ok(EigenDecomposition { values, vectors })
 }
 
+/// Eigendecomposition with one bounded recovery retry.
+///
+/// The shifted-QR iteration already escalates through exceptional shifts
+/// internally; if it still fails to converge (or inverse iteration cannot
+/// produce an eigenvector), this wrapper retries exactly once on a copy of
+/// `a` with a tiny graded diagonal perturbation (`~1e-10 · max|a_ij|`, varied
+/// per row to break symmetry). The returned flag is `true` when the
+/// perturbed retry served the result, so callers can record the degradation.
+///
+/// # Errors
+///
+/// Propagates the underlying error if the perturbed retry also fails, and
+/// any non-convergence-class error (bad shape, non-finite entries) directly.
+pub fn eigen_decompose_recovering(a: &Matrix) -> Result<(EigenDecomposition, bool), NumericError> {
+    match eigen_decompose(a) {
+        Ok(dec) => Ok((dec, false)),
+        Err(NumericError::ConvergenceFailure { .. }) => {
+            let eps = 1e-10 * a.max_abs().max(1e-30);
+            let mut perturbed = a.clone();
+            for i in 0..a.rows() {
+                perturbed[(i, i)] += eps * (1.0 + i as f64 * 1e-3);
+            }
+            let dec = eigen_decompose(&perturbed)?;
+            Ok((dec, true))
+        }
+        Err(e) => Err(e),
+    }
+}
+
 fn check_input(a: &Matrix) -> Result<(), NumericError> {
     if !a.is_square() {
         return Err(NumericError::DimensionMismatch {

@@ -6,12 +6,18 @@ use std::fmt;
 ///
 /// Every fallible public function in [`crate`] returns this type so that
 /// callers can propagate failures with `?` and report a meaningful message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum NumericError {
     /// A factorization encountered a pivot below the singularity threshold.
     SingularMatrix {
         /// Index of the pivot (row/column) where the factorization broke down.
         pivot: usize,
+        /// Rough condition estimate at breakdown — the ratio of the largest
+        /// pivot magnitude accepted so far to the failing pivot magnitude —
+        /// when the factorization can provide one. Recovery layers use this
+        /// to distinguish "structurally singular" (∞ or absent) from
+        /// "near-singular, worth a perturbed retry".
+        condition: Option<f64>,
     },
     /// The operands of a matrix/vector operation have incompatible shapes.
     DimensionMismatch {
@@ -34,8 +40,12 @@ pub enum NumericError {
 impl fmt::Display for NumericError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NumericError::SingularMatrix { pivot } => {
-                write!(f, "matrix is singular to working precision (pivot {pivot})")
+            NumericError::SingularMatrix { pivot, condition } => {
+                write!(f, "matrix is singular to working precision (pivot {pivot}")?;
+                if let Some(cond) = condition {
+                    write!(f, ", condition estimate {cond:.3e}")?;
+                }
+                write!(f, ")")
             }
             NumericError::DimensionMismatch { expected, found } => {
                 write!(f, "dimension mismatch: expected {expected}, found {found}")
@@ -60,9 +70,18 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = NumericError::SingularMatrix { pivot: 3 };
+        let e = NumericError::SingularMatrix {
+            pivot: 3,
+            condition: None,
+        };
         assert!(e.to_string().contains("singular"));
         assert!(e.to_string().contains('3'));
+
+        let e = NumericError::SingularMatrix {
+            pivot: 3,
+            condition: Some(1e18),
+        };
+        assert!(e.to_string().contains("condition estimate"));
 
         let e = NumericError::DimensionMismatch {
             expected: "3x3".into(),

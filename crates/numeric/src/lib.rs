@@ -42,9 +42,9 @@ pub mod vector;
 
 pub use cmatrix::{CLuFactor, CMatrix};
 pub use complex::Complex;
-pub use eigen::{eigen_decompose, eigenvalues, EigenDecomposition};
+pub use eigen::{eigen_decompose, eigen_decompose_recovering, eigenvalues, EigenDecomposition};
 pub use error::NumericError;
-pub use lu::LuFactor;
+pub use lu::{FactorRecovery, LuFactor};
 pub use matrix::Matrix;
 pub use qr::{gram_schmidt_orthonormalize, householder_qr, QrFactor};
 pub use sym_eigen::{cholesky, generalized_sym_eigen, jacobi_eigen, SymEigen};

@@ -36,6 +36,25 @@ pub struct LuFactor {
 /// Relative pivot threshold below which the matrix is declared singular.
 const PIVOT_TOL: f64 = 1e-300;
 
+/// What [`LuFactor::new_recovering`] had to do to obtain a factorization.
+///
+/// The recovery ladder for a near-singular system is: factor as-is, and if
+/// that breaks down retry exactly once with a small diagonal perturbation
+/// (Tikhonov-style regularization scaled to the matrix magnitude). The report
+/// lets callers attribute the result — a perturbed factorization solves a
+/// slightly different system and downstream layers may want to degrade
+/// further or discard the sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorRecovery {
+    /// `true` if the diagonal had to be perturbed to complete the factorization.
+    pub perturbed: bool,
+    /// Magnitude of the diagonal perturbation applied (`0.0` when clean).
+    pub perturbation: f64,
+    /// Cheap condition estimate of the factored matrix: the ratio of the
+    /// largest to the smallest `|U|` diagonal magnitude.
+    pub condition_estimate: f64,
+}
+
 impl LuFactor {
     /// Factors the square matrix `a`.
     ///
@@ -54,6 +73,7 @@ impl LuFactor {
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
         let mut perm_sign = 1.0;
+        let mut max_pivot: f64 = 0.0;
 
         for k in 0..n {
             // Partial pivoting: find the largest magnitude entry in column k.
@@ -67,8 +87,21 @@ impl LuFactor {
                 }
             }
             if pmax < PIVOT_TOL || !pmax.is_finite() {
-                return Err(NumericError::SingularMatrix { pivot: k });
+                let condition = if pmax.is_finite() && max_pivot > 0.0 {
+                    Some(if pmax > 0.0 {
+                        max_pivot / pmax
+                    } else {
+                        f64::INFINITY
+                    })
+                } else {
+                    None
+                };
+                return Err(NumericError::SingularMatrix {
+                    pivot: k,
+                    condition,
+                });
             }
+            max_pivot = max_pivot.max(pmax);
             if p != k {
                 for j in 0..n {
                     let tmp = lu[(k, j)];
@@ -95,6 +128,75 @@ impl LuFactor {
             perm,
             perm_sign,
         })
+    }
+
+    /// Factors `a`, retrying once with a diagonal perturbation on breakdown.
+    ///
+    /// This is the first rung of the workspace recovery ladder: a pivot
+    /// underflow triggers exactly one retry on `a + εI` with
+    /// `ε = 1e-12 · max|a_ij|` (clamped to a tiny absolute floor so exact
+    /// zero matrices still regularize). The returned [`FactorRecovery`]
+    /// records whether the perturbation was needed and carries a cheap
+    /// condition estimate so callers can decide whether to trust the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if `a` is not square or if even the
+    /// perturbed matrix fails to factor.
+    pub fn new_recovering(a: &Matrix) -> Result<(Self, FactorRecovery), NumericError> {
+        match Self::new(a) {
+            Ok(lu) => {
+                let condition_estimate = lu.condition_estimate();
+                Ok((
+                    lu,
+                    FactorRecovery {
+                        perturbed: false,
+                        perturbation: 0.0,
+                        condition_estimate,
+                    },
+                ))
+            }
+            Err(NumericError::SingularMatrix { .. }) => {
+                let eps = 1e-12 * a.max_abs().max(1e-6);
+                let mut regularized = a.clone();
+                for i in 0..a.rows() {
+                    regularized[(i, i)] += eps;
+                }
+                let lu = Self::new(&regularized)?;
+                let condition_estimate = lu.condition_estimate();
+                Ok((
+                    lu,
+                    FactorRecovery {
+                        perturbed: true,
+                        perturbation: eps,
+                        condition_estimate,
+                    },
+                ))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Cheap condition estimate: ratio of the largest to the smallest `|U|`
+    /// diagonal magnitude. A crude bound, but enough to flag factorizations
+    /// that survived pivoting yet sit close to singularity.
+    pub fn condition_estimate(&self) -> f64 {
+        let n = self.order();
+        if n == 0 {
+            return 1.0;
+        }
+        let mut umax: f64 = 0.0;
+        let mut umin = f64::INFINITY;
+        for i in 0..n {
+            let d = self.lu[(i, i)].abs();
+            umax = umax.max(d);
+            umin = umin.min(d);
+        }
+        if umin > 0.0 {
+            umax / umin
+        } else {
+            f64::INFINITY
+        }
     }
 
     /// Matrix order.
@@ -253,6 +355,39 @@ mod tests {
         let prod = a.mul_mat(&inv);
         let err = (&prod - &Matrix::identity(3)).max_abs();
         assert!(err < 1e-13);
+    }
+
+    #[test]
+    fn singular_error_carries_condition_estimate() {
+        // Nearly-dependent rows: breakdown happens after a healthy pivot,
+        // so a finite condition estimate must be attached.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        match LuFactor::new(&a) {
+            Err(NumericError::SingularMatrix { condition, .. }) => {
+                assert!(condition.is_some(), "expected condition estimate");
+            }
+            other => panic!("expected singular error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovering_factorization_perturbs_singular_systems() {
+        // Clean matrix: no perturbation.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let (lu, rec) = LuFactor::new_recovering(&a).unwrap();
+        assert!(!rec.perturbed);
+        assert_eq!(rec.perturbation, 0.0);
+        assert!(rec.condition_estimate.is_finite());
+        assert!(lu.solve(&[3.0, 4.0]).is_ok());
+
+        // Exactly singular: one diagonal-perturbation retry succeeds and is
+        // reported as such; the solution is finite (if inaccurate).
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let (lu, rec) = LuFactor::new_recovering(&s).unwrap();
+        assert!(rec.perturbed);
+        assert!(rec.perturbation > 0.0);
+        let x = lu.solve(&[1.0, 2.0]).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
     }
 
     #[test]

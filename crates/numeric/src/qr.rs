@@ -144,7 +144,10 @@ impl QrFactor {
             }
             let d = self.r[(i, i)];
             if d.abs() < 1e-300 {
-                return Err(NumericError::SingularMatrix { pivot: i });
+                return Err(NumericError::SingularMatrix {
+                    pivot: i,
+                    condition: None,
+                });
             }
             x[i] = acc / d;
         }

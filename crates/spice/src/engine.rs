@@ -79,6 +79,49 @@ pub struct TransientResult {
     pub waveforms: HashMap<String, Vec<f64>>,
     /// Performance counters for runtime comparisons.
     pub stats: SolveStats,
+    /// What the failure-recovery ladder had to do to complete the run.
+    pub recovery: RecoveryLog,
+}
+
+/// Which rung of the DC recovery ladder produced the operating point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DcStrategy {
+    /// Plain damped Newton from a zero initial guess, no artificial
+    /// conductance beyond the always-on `gmin` option.
+    #[default]
+    DirectNewton,
+    /// Continuation over a decreasing extra node-to-ground conductance,
+    /// relaxed to zero for the final reported solve.
+    GminStepping,
+    /// Continuation over the source amplitudes ramped from 10% to 100%.
+    SourceStepping,
+}
+
+/// Recovery actions recorded during one analysis.
+///
+/// A run that needed no recovery reports the default value: `DirectNewton`,
+/// zero counted steps, and no timestep halvings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryLog {
+    /// Ladder rung that produced the DC operating point.
+    pub dc_strategy: DcStrategy,
+    /// Number of gmin continuation solves performed (including the final
+    /// relax-to-zero solve).
+    pub dc_gmin_steps: usize,
+    /// Number of source-stepping continuation solves performed.
+    pub dc_source_steps: usize,
+    /// Timestep halvings during the sweep (exponential backoff events).
+    pub timestep_halvings: usize,
+    /// Smallest timestep actually used by an accepted step (s); equals the
+    /// nominal `dt` when no halving was needed, 0.0 if no steps were taken.
+    pub min_timestep_used: f64,
+}
+
+impl RecoveryLog {
+    /// `true` if the run completed without any recovery action.
+    pub fn was_clean(&self) -> bool {
+        self.dc_strategy == DcStrategy::DirectNewton && self.timestep_halvings == 0
+    }
 }
 
 impl TransientResult {
@@ -171,6 +214,9 @@ pub struct Transient<'a> {
     g_static: Matrix,
     poleres: Option<OnePortPoleResidue>,
     variation: DeviceVariation,
+    /// Amplitude scale on every independent source (1.0 except while the
+    /// DC source-stepping rung is active).
+    source_scale: f64,
 }
 
 impl<'a> Transient<'a> {
@@ -331,6 +377,7 @@ impl<'a> Transient<'a> {
             g_static,
             poleres: None,
             variation,
+            source_scale: 1.0,
         })
     }
 
@@ -343,36 +390,69 @@ impl<'a> Transient<'a> {
     /// including the voltage blow-up produced by unstable macromodel loads.
     pub fn run(mut self) -> Result<TransientResult, SpiceError> {
         let mut stats = SolveStats::default();
+        let mut recovery = RecoveryLog::default();
         let opts = self.opts.clone();
-        // ---------------- DC operating point (gmin stepping) -------------
+        // ---------------- DC operating point (recovery ladder) -----------
+        // Rung 0: plain damped Newton, no artificial conductance, so a
+        // well-behaved circuit reports an operating point with nothing
+        // extra stamped into it.
         let mut x = vec![0.0; self.dim];
-        let mut dc_ok = false;
-        for gmin_exp in [-3.0_f64, -5.0, -7.0, -9.0, -12.0] {
-            let gmin = 10f64.powf(gmin_exp);
-            let mut a0 = self.assemble_static(None, gmin);
-            self.stamp_poleres(&mut a0, None);
-            let dc_cache = self.make_cache(0.0, a0, &mut stats)?;
-            match self.newton(&mut x, &dc_cache, 0.0, None, &mut stats) {
-                Ok(()) => {
-                    dc_ok = true;
-                }
-                Err(_) if gmin_exp > -12.0 => {
-                    // Keep the partial solution as the next starting point.
-                    dc_ok = false;
-                }
-                Err(e) => {
-                    return Err(match e {
-                        SpiceError::ConvergenceFailure { reason, .. } => {
-                            SpiceError::DcOperatingPoint { reason }
-                        }
-                        other => other,
-                    })
+        let mut last_err = self.solve_dc(&mut x, 0.0, &mut stats).err();
+        if last_err.is_some() {
+            // Rung 1: gmin stepping — continuation over a decreasing extra
+            // node-to-ground conductance. Unlike the classic loop that
+            // leaves the last gmin stamped, the ladder finishes with a
+            // relax-to-zero solve from the converged continuation point.
+            recovery.dc_strategy = DcStrategy::GminStepping;
+            x = vec![0.0; self.dim];
+            let mut converged = false;
+            for gmin_exp in [-3.0_f64, -5.0, -7.0, -9.0, -12.0] {
+                let gmin = 10f64.powf(gmin_exp);
+                recovery.dc_gmin_steps += 1;
+                match self.solve_dc(&mut x, gmin, &mut stats) {
+                    Ok(()) => converged = true,
+                    Err(e) => {
+                        // Keep the partial solution as the next start.
+                        converged = false;
+                        last_err = Some(e);
+                    }
                 }
             }
+            if converged {
+                recovery.dc_gmin_steps += 1;
+                last_err = self.solve_dc(&mut x, 0.0, &mut stats).err();
+            }
         }
-        if !dc_ok {
-            return Err(SpiceError::DcOperatingPoint {
-                reason: "gmin stepping did not converge".into(),
+        if last_err.is_some() {
+            // Rung 2: source stepping — ramp every independent source from
+            // 10% to full amplitude with continuation, then solve clean.
+            recovery.dc_strategy = DcStrategy::SourceStepping;
+            x = vec![0.0; self.dim];
+            let mut ramp_ok = true;
+            for k in 1..=10u32 {
+                self.source_scale = f64::from(k) / 10.0;
+                recovery.dc_source_steps += 1;
+                if let Err(e) = self.solve_dc(&mut x, 1e-9, &mut stats) {
+                    last_err = Some(e);
+                    ramp_ok = false;
+                    break;
+                }
+            }
+            self.source_scale = 1.0;
+            if ramp_ok {
+                recovery.dc_source_steps += 1;
+                last_err = self.solve_dc(&mut x, 0.0, &mut stats).err();
+            }
+        }
+        if let Some(e) = last_err {
+            return Err(match e {
+                SpiceError::ConvergenceFailure { reason, .. } => SpiceError::DcOperatingPoint {
+                    reason: format!(
+                        "dc recovery ladder exhausted (direct newton, gmin stepping, \
+                         source stepping): {reason}"
+                    ),
+                },
+                other => other,
             });
         }
         // Initialize companion currents at the DC point: zero through
@@ -441,6 +521,11 @@ impl<'a> Transient<'a> {
                     }
                     stats.steps += 1;
                     good_steps += 1;
+                    recovery.min_timestep_used = if recovery.min_timestep_used == 0.0 {
+                        h_eff
+                    } else {
+                        recovery.min_timestep_used.min(h_eff)
+                    };
                     if good_steps >= 8 && h < opts.dt {
                         h = (h * 2.0).min(opts.dt);
                         good_steps = 0;
@@ -448,9 +533,12 @@ impl<'a> Transient<'a> {
                     }
                 }
                 Err(SpiceError::ConvergenceFailure { reason, .. }) => {
+                    // Exponential backoff on the timestep, with the dt_min
+                    // floor bounding the retry ladder.
                     h /= 2.0;
                     good_steps = 0;
                     cache = None;
+                    recovery.timestep_halvings += 1;
                     if h < opts.dt_min {
                         return Err(SpiceError::ConvergenceFailure { time: t, reason });
                     }
@@ -462,7 +550,22 @@ impl<'a> Transient<'a> {
             times,
             waveforms: waves,
             stats,
+            recovery,
         })
+    }
+
+    /// One DC solve at the given extra node-to-ground conductance, starting
+    /// from (and refining) `x`. Sources are scaled by `self.source_scale`.
+    fn solve_dc(
+        &self,
+        x: &mut Vec<f64>,
+        extra_gmin: f64,
+        stats: &mut SolveStats,
+    ) -> Result<(), SpiceError> {
+        let mut a0 = self.assemble_static(None, extra_gmin);
+        self.stamp_poleres(&mut a0, None);
+        let cache = self.make_cache(0.0, a0, stats)?;
+        self.newton(x, &cache, 0.0, None, stats)
     }
 
     /// Assembles the constant part of the Newton matrix: static stamps plus
@@ -507,10 +610,10 @@ impl<'a> Transient<'a> {
                     branch_row,
                     waveform,
                 } => {
-                    rhs[*branch_row] += waveform.eval(t);
+                    rhs[*branch_row] += self.source_scale * waveform.eval(t);
                 }
                 ResolvedSource::I { pos, neg, waveform } => {
-                    let i = waveform.eval(t);
+                    let i = self.source_scale * waveform.eval(t);
                     if let Some(p) = pos {
                         rhs[*p] += i;
                     }
@@ -1066,5 +1169,63 @@ mod tests {
         assert!(res.stats.steps > 50);
         assert!(res.stats.newton_iterations >= res.stats.steps);
         assert!(res.stats.lu_factorizations >= 1);
+    }
+
+    #[test]
+    fn well_behaved_circuits_need_no_recovery() {
+        // Linear RC network: rung 0 (direct Newton, zero extra gmin) must
+        // serve the operating point, and the sweep never halves the step.
+        let nl = rc_netlist();
+        let opts = TransientOptions::new(1e-9, 10e-12);
+        let res = Transient::new(&nl, &opts).unwrap().run().unwrap();
+        assert_eq!(res.recovery.dc_strategy, DcStrategy::DirectNewton);
+        assert_eq!(res.recovery.dc_gmin_steps, 0);
+        assert_eq!(res.recovery.dc_source_steps, 0);
+        assert_eq!(res.recovery.timestep_halvings, 0);
+        assert!((res.recovery.min_timestep_used - 10e-12).abs() < 1e-15);
+        assert!(res.recovery.was_clean());
+
+        // Device circuit: the inverter's DC point also comes from rung 0.
+        let tech = tech_018();
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let inp = nl.node("in");
+        let out = nl.node("out");
+        nl.add_vsource("Vdd", vdd, Netlist::GROUND, SourceWaveform::Dc(1.8))
+            .unwrap();
+        nl.add_vsource("Vin", inp, Netlist::GROUND, SourceWaveform::Dc(0.0))
+            .unwrap();
+        nl.add_mosfet(
+            "MP",
+            out,
+            inp,
+            vdd,
+            vdd,
+            MosType::Pmos,
+            &tech.library.pmos_name(),
+            tech.wp,
+            tech.library.lmin,
+        )
+        .unwrap();
+        nl.add_mosfet(
+            "MN",
+            out,
+            inp,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosType::Nmos,
+            &tech.library.nmos_name(),
+            tech.wn,
+            tech.library.lmin,
+        )
+        .unwrap();
+        nl.add_capacitor("CL", out, Netlist::GROUND, 10e-15)
+            .unwrap();
+        let opts = TransientOptions::new(50e-12, 1e-12);
+        let res = Transient::with_devices(&nl, &tech.library, DeviceVariation::nominal(), &opts)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(res.recovery.dc_strategy, DcStrategy::DirectNewton);
     }
 }

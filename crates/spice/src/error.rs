@@ -86,7 +86,11 @@ mod tests {
 
     #[test]
     fn conversions_work() {
-        let e: SpiceError = NumericError::SingularMatrix { pivot: 0 }.into();
+        let e: SpiceError = NumericError::SingularMatrix {
+            pivot: 0,
+            condition: None,
+        }
+        .into();
         assert!(matches!(e, SpiceError::Numeric(_)));
         let e: SpiceError = CircuitError::EmptyNetlist.into();
         assert!(matches!(e, SpiceError::Circuit(_)));

@@ -44,7 +44,7 @@ pub mod measure;
 pub mod poleres_load;
 
 pub use ac::{ac_analysis, ac_impedance, log_frequencies, AcResult};
-pub use engine::{Transient, TransientOptions, TransientResult};
+pub use engine::{DcStrategy, RecoveryLog, Transient, TransientOptions, TransientResult};
 pub use error::SpiceError;
 pub use measure::{crossing_time, delay_between, slew_time};
 pub use poleres_load::OnePortPoleResidue;

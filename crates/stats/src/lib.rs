@@ -28,7 +28,10 @@ pub mod timing_yield;
 pub use gradient::central_difference_sensitivities;
 pub use gradient::gradient_std;
 pub use histogram::Histogram;
-pub use montecarlo::{monte_carlo, monte_carlo_par, resolve_threads, MonteCarloResult};
+pub use montecarlo::{
+    monte_carlo, monte_carlo_par, monte_carlo_par_with_policy, monte_carlo_with_policy,
+    resolve_threads, HealthSummary, MonteCarloResult, RecoveryPolicy, SampleHealth, SampleStatus,
+};
 pub use pca::demo_correlated_device_parameters;
 pub use pca::{Pca, PcaModel};
 pub use sampling::{

@@ -17,6 +17,111 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// How a sample was ultimately served. Ordered worst-last so
+/// [`Ord::max`] implements "floor the status by how hard we had to try".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SampleStatus {
+    /// First attempt, fast path, no assistance.
+    Clean,
+    /// A retry rung served the sample at full fidelity.
+    Recovered,
+    /// A fallback rung served the sample at reduced fidelity.
+    Degraded,
+    /// Every attempt in the budget failed.
+    Failed,
+}
+
+/// Per-sample recovery record, in sample-index order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleHealth {
+    /// Sample index.
+    pub index: usize,
+    /// Final status of the sample.
+    pub status: SampleStatus,
+    /// Attempts spent (1 = clean first try).
+    pub attempts: usize,
+}
+
+/// Run-level health summary: how many samples landed in each status.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthSummary {
+    /// Samples served on the first attempt.
+    pub n_clean: usize,
+    /// Samples served by a retry.
+    pub n_recovered: usize,
+    /// Samples served by a fallback.
+    pub n_degraded: usize,
+    /// Samples lost after exhausting the attempt budget.
+    pub n_failed: usize,
+}
+
+impl HealthSummary {
+    fn count(&mut self, status: SampleStatus) {
+        match status {
+            SampleStatus::Clean => self.n_clean += 1,
+            SampleStatus::Recovered => self.n_recovered += 1,
+            SampleStatus::Degraded => self.n_degraded += 1,
+            SampleStatus::Failed => self.n_failed += 1,
+        }
+    }
+
+    /// Total samples accounted for.
+    pub fn total(&self) -> usize {
+        self.n_clean + self.n_recovered + self.n_degraded + self.n_failed
+    }
+
+    /// `true` when every sample was served on its first attempt.
+    pub fn all_clean(&self) -> bool {
+        self.n_recovered == 0 && self.n_degraded == 0 && self.n_failed == 0
+    }
+}
+
+/// How the Monte-Carlo driver spends effort on failing samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Retry attempts after the fast path (full-fidelity rungs).
+    pub max_retries: usize,
+    /// Grant one final reduced-fidelity fallback attempt.
+    pub allow_fallback: bool,
+    /// Abort the run at the first sample that exhausts its budget
+    /// (deterministically: the run is truncated at the smallest failing
+    /// sample index, regardless of thread count). `false` quarantines
+    /// failures and keeps going.
+    pub fail_fast: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 2,
+            allow_fallback: true,
+            fail_fast: false,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No retries, no fallback, stop at the first failure.
+    pub fn strict() -> Self {
+        RecoveryPolicy {
+            max_retries: 0,
+            allow_fallback: false,
+            fail_fast: true,
+        }
+    }
+
+    /// Total attempts a sample may consume: the fast path, the retries,
+    /// and the optional fallback.
+    pub fn attempt_budget(&self) -> usize {
+        1 + self.max_retries + usize::from(self.allow_fallback)
+    }
+
+    /// Is `attempt` (0-based) the reduced-fidelity fallback attempt?
+    pub fn is_fallback_attempt(&self, attempt: usize) -> bool {
+        self.allow_fallback && attempt + 1 == self.attempt_budget()
+    }
+}
+
 /// Result of a Monte-Carlo analysis.
 #[derive(Debug, Clone)]
 pub struct MonteCarloResult {
@@ -33,15 +138,55 @@ pub struct MonteCarloResult {
     /// the evaluator are captured as `"panic: …"`). `None` when every
     /// sample succeeded.
     pub first_error: Option<String>,
+    /// Per-sample status and attempt count, in sample-index order. The
+    /// plain drivers report every successful sample as `Clean` with one
+    /// attempt; the policy drivers record the real recovery trail.
+    pub sample_health: Vec<SampleHealth>,
+    /// Run-level tally of `sample_health`.
+    pub health: HealthSummary,
+    /// Index of the failing sample a fail-fast policy stopped at; samples
+    /// beyond it were not evaluated. `None` for complete runs.
+    pub truncated_at: Option<usize>,
+}
+
+/// One sample's final outcome, before aggregation.
+struct Outcome {
+    res: Result<f64, String>,
+    status: SampleStatus,
+    attempts: usize,
 }
 
 impl MonteCarloResult {
     fn from_ordered(outcomes: Vec<Result<f64, String>>) -> MonteCarloResult {
+        let outcomes = outcomes
+            .into_iter()
+            .map(|res| Outcome {
+                status: if res.is_ok() {
+                    SampleStatus::Clean
+                } else {
+                    SampleStatus::Failed
+                },
+                attempts: 1,
+                res,
+            })
+            .collect();
+        MonteCarloResult::from_outcomes(outcomes, None)
+    }
+
+    fn from_outcomes(outcomes: Vec<Outcome>, truncated_at: Option<usize>) -> MonteCarloResult {
         let mut values = Vec::with_capacity(outcomes.len());
         let mut failed_indices = Vec::new();
         let mut first_error = None;
+        let mut sample_health = Vec::with_capacity(outcomes.len());
+        let mut health = HealthSummary::default();
         for (idx, outcome) in outcomes.into_iter().enumerate() {
-            match outcome {
+            health.count(outcome.status);
+            sample_health.push(SampleHealth {
+                index: idx,
+                status: outcome.status,
+                attempts: outcome.attempts,
+            });
+            match outcome.res {
                 Ok(v) => values.push(v),
                 Err(msg) => {
                     if first_error.is_none() {
@@ -58,6 +203,9 @@ impl MonteCarloResult {
             failures: failed_indices.len(),
             failed_indices,
             first_error,
+            sample_health,
+            health,
+            truncated_at,
         }
     }
 }
@@ -186,15 +334,180 @@ fn contained<S, E: Display>(
 ) -> Result<f64, String> {
     match catch_unwind(AssertUnwindSafe(|| f(s).map_err(|e| e.to_string()))) {
         Ok(res) => res,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "unknown panic payload".to_string());
-            Err(format!("panic: {msg}"))
+        Err(payload) => Err(format!("panic: {}", panic_message(payload.as_ref()))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic payload".to_string())
+}
+
+/// Runs one sample under a [`RecoveryPolicy`]: walks the attempt budget,
+/// containing panics per attempt, and floors the reported status by the
+/// effort spent (retry ⇒ at least `Recovered`, fallback attempt ⇒ at
+/// least `Degraded`).
+fn evaluate_with_policy<S, E: Display>(
+    f: &(impl Fn(&S, usize) -> Result<(f64, SampleStatus), E> + Sync),
+    s: &S,
+    policy: RecoveryPolicy,
+) -> Outcome {
+    let budget = policy.attempt_budget();
+    let mut last: Option<String> = None;
+    for attempt in 0..budget {
+        let res = match catch_unwind(AssertUnwindSafe(|| {
+            f(s, attempt).map_err(|e| e.to_string())
+        })) {
+            Ok(res) => res,
+            Err(payload) => Err(format!("panic: {}", panic_message(payload.as_ref()))),
+        };
+        match res {
+            Ok((v, status)) => {
+                let floor = if policy.is_fallback_attempt(attempt) {
+                    SampleStatus::Degraded
+                } else if attempt > 0 {
+                    SampleStatus::Recovered
+                } else {
+                    SampleStatus::Clean
+                };
+                return Outcome {
+                    res: Ok(v),
+                    status: status.max(floor),
+                    attempts: attempt + 1,
+                };
+            }
+            Err(msg) => last = Some(msg),
         }
     }
+    Outcome {
+        res: Err(last.unwrap_or_else(|| "empty attempt budget".to_string())),
+        status: SampleStatus::Failed,
+        attempts: budget,
+    }
+}
+
+/// Serial Monte-Carlo under a [`RecoveryPolicy`].
+///
+/// The evaluator receives `(sample, attempt)` — attempt 0 is the fast
+/// path, attempts `1..=max_retries` are recovery rungs, and (when
+/// `allow_fallback`) the final attempt is the reduced-fidelity fallback.
+/// It reports the status it *earned*; the driver floors it by the attempt
+/// number, so an evaluator that ignores `attempt` still yields honest
+/// health bookkeeping.
+///
+/// With `fail_fast`, the run stops at the first sample that exhausts its
+/// budget; [`MonteCarloResult::truncated_at`] records where.
+pub fn monte_carlo_with_policy<S, E: Display>(
+    samples: &[S],
+    policy: RecoveryPolicy,
+    f: impl Fn(&S, usize) -> Result<(f64, SampleStatus), E> + Sync,
+) -> MonteCarloResult {
+    let mut outcomes = Vec::with_capacity(samples.len());
+    let mut truncated_at = None;
+    for (idx, s) in samples.iter().enumerate() {
+        let outcome = evaluate_with_policy(&f, s, policy);
+        let failed = outcome.status == SampleStatus::Failed;
+        outcomes.push(outcome);
+        if failed && policy.fail_fast {
+            truncated_at = Some(idx);
+            break;
+        }
+    }
+    MonteCarloResult::from_outcomes(outcomes, truncated_at)
+}
+
+/// Parallel Monte-Carlo under a [`RecoveryPolicy`].
+///
+/// Same determinism contract as [`monte_carlo_par`]: bitwise-identical to
+/// [`monte_carlo_with_policy`] at any thread count. `fail_fast` is honored
+/// deterministically — workers publish the smallest failing index through
+/// an atomic and stop claiming work beyond it, and the merged run is
+/// truncated at that index exactly as the serial driver would have
+/// stopped. Which *extra* samples the workers happened to evaluate before
+/// the cancellation propagated is scheduling-dependent, but those samples
+/// are dropped from the output, so the result is not.
+pub fn monte_carlo_par_with_policy<S, E>(
+    samples: &[S],
+    threads: usize,
+    policy: RecoveryPolicy,
+    f: impl Fn(&S, usize) -> Result<(f64, SampleStatus), E> + Sync,
+) -> MonteCarloResult
+where
+    S: Sync,
+    E: Display,
+{
+    let n = samples.len();
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return monte_carlo_with_policy(samples, policy, f);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    // Smallest failing sample index seen so far; only ever decreases
+    // (fetch_min), so a stale read can only delay cancellation, never
+    // cancel work that the serial driver would have performed.
+    let min_failed = AtomicUsize::new(usize::MAX);
+    let collected: Mutex<Vec<(usize, Outcome)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, Outcome)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    if policy.fail_fast && min_failed.load(Ordering::Relaxed) < start {
+                        // Everything from here on is beyond the truncation
+                        // point; the cursor only grows, so stop entirely.
+                        break;
+                    }
+                    let end = (start + CHUNK).min(n);
+                    for (off, s) in samples[start..end].iter().enumerate() {
+                        let idx = start + off;
+                        if policy.fail_fast && idx > min_failed.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        let outcome = evaluate_with_policy(&f, s, policy);
+                        if policy.fail_fast && outcome.status == SampleStatus::Failed {
+                            min_failed.fetch_min(idx, Ordering::Relaxed);
+                        }
+                        local.push((idx, outcome));
+                    }
+                }
+                collected
+                    .lock()
+                    .expect("no worker holds this lock across a panic")
+                    .append(&mut local);
+            });
+        }
+    });
+
+    let mut slots: Vec<Option<Outcome>> = (0..n).map(|_| None).collect();
+    for (idx, outcome) in collected.into_inner().expect("workers joined") {
+        slots[idx] = Some(outcome);
+    }
+    // Deterministic truncation: cut at the smallest failing index, exactly
+    // where the serial driver stops. Indices at or below the cut are
+    // guaranteed evaluated (cancellation only skips indices strictly
+    // beyond an observed — hence ≥ final — minimum).
+    let truncated_at = if policy.fail_fast {
+        slots
+            .iter()
+            .position(|o| matches!(o, Some(out) if out.status == SampleStatus::Failed))
+    } else {
+        None
+    };
+    let keep = truncated_at.map_or(n, |cut| cut + 1);
+    let outcomes = slots
+        .into_iter()
+        .take(keep)
+        .map(|o| o.expect("every index up to the truncation point evaluated"))
+        .collect();
+    MonteCarloResult::from_outcomes(outcomes, truncated_at)
 }
 
 #[cfg(test)]
@@ -298,6 +611,165 @@ mod tests {
             assert_eq!(res.first_error.as_deref(), Some("failed at 3"));
             assert_eq!(res.failed_indices, vec![3, 13, 23, 33, 43, 53, 63]);
         }
+    }
+
+    #[test]
+    fn policy_floors_statuses_by_attempt() {
+        // Samples: value k. k % 4 == 1 fails once then recovers; k % 4 == 2
+        // fails until the fallback attempt; k % 4 == 3 always fails.
+        let samples: Vec<usize> = (0..16).collect();
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            allow_fallback: true,
+            fail_fast: false,
+        };
+        assert_eq!(policy.attempt_budget(), 3);
+        let f = |&k: &usize, attempt: usize| -> Result<(f64, SampleStatus), String> {
+            match k % 4 {
+                0 => Ok((k as f64, SampleStatus::Clean)),
+                1 if attempt >= 1 => Ok((k as f64, SampleStatus::Clean)),
+                2 if attempt >= 2 => Ok((k as f64, SampleStatus::Clean)),
+                _ => Err(format!("sample {k} attempt {attempt}")),
+            }
+        };
+        let res = monte_carlo_with_policy(&samples, policy, f);
+        assert_eq!(res.health.n_clean, 4);
+        assert_eq!(res.health.n_recovered, 4);
+        assert_eq!(res.health.n_degraded, 4);
+        assert_eq!(res.health.n_failed, 4);
+        assert_eq!(res.failures, 4);
+        // Per-sample attempts: clean 1, recovered 2, degraded 3, failed 3.
+        assert_eq!(res.sample_health[0].attempts, 1);
+        assert_eq!(res.sample_health[1].status, SampleStatus::Recovered);
+        assert_eq!(res.sample_health[1].attempts, 2);
+        assert_eq!(res.sample_health[2].status, SampleStatus::Degraded);
+        assert_eq!(res.sample_health[2].attempts, 3);
+        assert_eq!(res.sample_health[3].status, SampleStatus::Failed);
+        assert_eq!(res.sample_health[3].attempts, 3);
+        assert!(res.truncated_at.is_none());
+    }
+
+    #[test]
+    fn policy_parallel_matches_serial_bitwise() {
+        // Injected-failure schedule: deterministic function of (index,
+        // attempt). The merged result must be bitwise identical at 1, 2
+        // and 8 threads, including the health bookkeeping.
+        let mut rng = rng_from_seed(99);
+        let samples = lhs_normal(&mut rng, 300, 2, 1.0);
+        let policy = RecoveryPolicy::default();
+        let f = |w: &Vec<f64>, attempt: usize| -> Result<(f64, SampleStatus), String> {
+            // Tail corners need one retry; extreme corners need fallback.
+            let severity = w[0].abs() + w[1].abs();
+            let needed = if severity > 3.5 {
+                policy.attempt_budget() - 1
+            } else if severity > 2.5 {
+                1
+            } else {
+                0
+            };
+            if attempt < needed {
+                Err(format!("needs attempt {needed}"))
+            } else {
+                Ok(((w[0] - 0.3 * w[1]).exp(), SampleStatus::Clean))
+            }
+        };
+        let serial = monte_carlo_with_policy(&samples, policy, f);
+        assert!(serial.health.n_recovered > 0, "schedule exercises retries");
+        for threads in [1, 2, 8] {
+            let par = monte_carlo_par_with_policy(&samples, threads, policy, f);
+            assert_eq!(par.values, serial.values, "values at {threads} threads");
+            assert_eq!(par.sample_health, serial.sample_health);
+            assert_eq!(par.health, serial.health);
+            assert_eq!(par.summary.mean.to_bits(), serial.summary.mean.to_bits());
+            assert_eq!(par.truncated_at, serial.truncated_at);
+        }
+    }
+
+    #[test]
+    fn fail_fast_truncates_deterministically() {
+        let samples: Vec<usize> = (0..200).collect();
+        let policy = RecoveryPolicy {
+            max_retries: 0,
+            allow_fallback: false,
+            fail_fast: true,
+        };
+        let f = |&k: &usize, _attempt: usize| -> Result<(f64, SampleStatus), String> {
+            if k == 73 || k == 150 {
+                Err(format!("hard failure at {k}"))
+            } else {
+                Ok((k as f64, SampleStatus::Clean))
+            }
+        };
+        let serial = monte_carlo_with_policy(&samples, policy, f);
+        assert_eq!(serial.truncated_at, Some(73));
+        assert_eq!(serial.values.len(), 73);
+        assert_eq!(serial.failed_indices, vec![73]);
+        for threads in [1, 2, 8] {
+            let par = monte_carlo_par_with_policy(&samples, threads, policy, f);
+            assert_eq!(par.truncated_at, Some(73), "at {threads} threads");
+            assert_eq!(par.values, serial.values);
+            assert_eq!(par.failed_indices, serial.failed_indices);
+            assert_eq!(par.sample_health, serial.sample_health);
+            assert_eq!(par.first_error, serial.first_error);
+        }
+    }
+
+    #[test]
+    fn panicking_attempts_consume_budget_then_quarantine() {
+        let samples: Vec<usize> = (0..20).collect();
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            allow_fallback: true,
+            fail_fast: false,
+        };
+        let res = monte_carlo_par_with_policy(
+            &samples,
+            4,
+            policy,
+            |&k, attempt| -> Result<(f64, SampleStatus), String> {
+                if k == 7 {
+                    panic!("evaluator exploded on sample {k} attempt {attempt}");
+                }
+                if k == 11 && attempt == 0 {
+                    panic!("transient panic");
+                }
+                Ok((k as f64, SampleStatus::Clean))
+            },
+        );
+        // Sample 7 panics on every attempt: failed, budget consumed.
+        assert_eq!(res.failed_indices, vec![7]);
+        assert_eq!(res.sample_health[7].attempts, policy.attempt_budget());
+        assert!(res.first_error.as_deref().unwrap().contains("panic"));
+        // Sample 11 panics once, then recovers.
+        assert_eq!(res.sample_health[11].status, SampleStatus::Recovered);
+        assert_eq!(res.health.n_failed, 1);
+        assert_eq!(res.health.n_recovered, 1);
+        assert_eq!(res.health.n_clean, 18);
+    }
+
+    #[test]
+    fn strict_policy_is_single_attempt() {
+        let policy = RecoveryPolicy::strict();
+        assert_eq!(policy.attempt_budget(), 1);
+        assert!(!policy.is_fallback_attempt(0));
+        let samples = [1.0_f64, 2.0, 3.0];
+        let res = monte_carlo_with_policy(
+            &samples,
+            policy,
+            |&x, _| -> Result<(f64, SampleStatus), String> { Ok((x, SampleStatus::Clean)) },
+        );
+        assert!(res.health.all_clean());
+        assert_eq!(res.health.total(), 3);
+    }
+
+    #[test]
+    fn legacy_drivers_report_clean_health() {
+        let samples: Vec<f64> = (0..6).map(|k| k as f64).collect();
+        let res = monte_carlo(&samples, |&x| if x < 2.0 { Err("corner") } else { Ok(x) });
+        assert_eq!(res.health.n_clean, 4);
+        assert_eq!(res.health.n_failed, 2);
+        assert!(res.truncated_at.is_none());
+        assert_eq!(res.sample_health.len(), 6);
     }
 
     #[test]

@@ -62,6 +62,12 @@ pub struct StageSolverOptions {
     /// Adaptive-breakpoint compression tolerance for the recorded
     /// waveforms (V); 0 disables compression.
     pub compress_tol: f64,
+    /// SC under-relaxation factor in `(0, 1]`. `1.0` is the plain chord
+    /// fixed point; smaller values damp the update
+    /// `v ← v + λ·(v_new − v)`, trading iterations for contraction — the
+    /// recovery ladder's "chord re-selection" analog when the plain
+    /// iteration diverges.
+    pub sc_damping: f64,
 }
 
 impl StageSolverOptions {
@@ -75,6 +81,7 @@ impl StageSolverOptions {
             max_iterations: 400,
             variation: DeviceVariation::nominal(),
             compress_tol: 0.0,
+            sc_damping: 1.0,
         }
     }
 }
@@ -134,6 +141,12 @@ impl StageSolver {
         if !(opts.h > 0.0 && opts.t_end > opts.h) {
             return Err(TetaError::BadStage("bad time axis".into()));
         }
+        if !(opts.sc_damping > 0.0 && opts.sc_damping <= 1.0) {
+            return Err(TetaError::BadStage(format!(
+                "sc_damping must be in (0, 1], got {}",
+                opts.sc_damping
+            )));
+        }
         Ok(StageSolver {
             conv: RecursiveConvolution::new(load, opts.h),
             drivers,
@@ -154,6 +167,20 @@ impl StageSolver {
         // Injection into the port: -ids_n - ids_p; add back the chord
         // conductance that lives inside the load.
         -(n.ids + p.ids) + d.g_out * vout
+    }
+
+    /// Applies SC under-relaxation `v_new ← v + λ·(v_new − v)` in place.
+    ///
+    /// At `λ = 1.0` this is a no-op branch (not an algebraic identity):
+    /// the undamped path must remain bitwise identical to the legacy
+    /// iteration so determinism guarantees carry over.
+    fn damp(&self, v_new: &mut [f64], v: &[f64]) {
+        let lambda = self.opts.sc_damping;
+        if lambda < 1.0 {
+            for (a, b) in v_new.iter_mut().zip(v) {
+                *a = *b + lambda * (*a - *b);
+            }
+        }
     }
 
     /// Runs the stage, returning one waveform per load port and the SC
@@ -190,7 +217,8 @@ impl StageSolver {
             for d in &self.drivers {
                 i[d.port] = self.i_eq(d, d.input.eval(0.0), v[d.port]);
             }
-            let v_new = zdc.mul_vec(&i);
+            let mut v_new = zdc.mul_vec(&i);
+            self.damp(&mut v_new, &v);
             // NaN-aware convergence check: `f64::max` ignores NaN, so an
             // exploding fixed point could otherwise masquerade as
             // converged.
@@ -236,7 +264,8 @@ impl StageSolver {
                 for d in &self.drivers {
                     i_new[d.port] = self.i_eq(d, d.input.eval(t), v[d.port]);
                 }
-                let v_new = self.conv.voltages(&i_new, &hist);
+                let mut v_new = self.conv.voltages(&i_new, &hist);
+                self.damp(&mut v_new, &v);
                 let mut delta = 0.0_f64;
                 let mut finite = true;
                 for (a, b) in v_new.iter().zip(&v) {
@@ -461,6 +490,25 @@ mod tests {
             (v1 - 0.8 * v0).abs() < 0.15 + 0.1 * v0.abs(),
             "v0={v0} v1={v1}"
         );
+    }
+
+    #[test]
+    fn damped_iteration_still_converges() {
+        let g_out = unit_gout();
+        let load = chord_rc_load(g_out, 20e-15);
+        let input = Waveform::ramp(0.0, 1.8, 20e-12, 50e-12);
+        let mut opts = StageSolverOptions::new(1.8, 1e-9, 1e-12);
+        opts.sc_damping = 0.6;
+        let (waves, stats) = StageSolver::new(&load, vec![unit_driver(input.clone(), g_out)], opts)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(waves[0].final_value() < 0.05);
+        assert!(stats.steps > 0);
+        // Out-of-range damping is a configuration error, not a panic.
+        let mut bad = StageSolverOptions::new(1.8, 1e-9, 1e-12);
+        bad.sc_damping = 0.0;
+        assert!(StageSolver::new(&load, vec![unit_driver(input, g_out)], bad).is_err());
     }
 
     #[test]

@@ -18,7 +18,8 @@ use crate::waveform::Waveform;
 use linvar_circuit::{Netlist, NodeId};
 use linvar_devices::{chord_conductance, DeviceVariation, MosParams, Technology};
 use linvar_mor::{
-    extract_pole_residue, stabilize, ReductionMethod, StabilityReport, VariationalRom,
+    extract_pole_residue, extract_stabilized_degrading, stabilize, PoleResidueModel, ReducedModel,
+    ReductionMethod, StabilityReport, VariationalRom, DEFAULT_BETA_TOL,
 };
 
 /// A precharacterized logic stage.
@@ -56,6 +57,53 @@ pub struct StageResult {
     pub stability: StabilityReport,
     /// Solver statistics.
     pub stats: StageStats,
+}
+
+/// What [`StageModel::evaluate_recovering`] had to do to serve a sample.
+///
+/// The ladder, in order: first-order variational ROM with the MOR
+/// order-degradation ladder, SC retry schedule (step refinement plus
+/// under-relaxation, the chord re-selection analog), the exact per-sample
+/// reduction, and finally the unreduced MNA load. A clean evaluation uses
+/// the first rung at full order with the plain SC iteration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageRecovery {
+    /// SC attempts that failed before one succeeded (0 = first try).
+    pub sc_retries: usize,
+    /// Reduced order of the variational ROM as characterized.
+    pub original_order: usize,
+    /// Order of the model that finally served the sample (full MNA
+    /// dimension when `unreduced_fallback` is set).
+    pub served_order: usize,
+    /// Right-half-plane poles the stability filter removed.
+    pub removed_poles: usize,
+    /// `max |β - 1|` of the served model's DC rescale.
+    pub max_beta_deviation: f64,
+    /// The exact per-sample reduction replaced the variational ROM.
+    pub exact_reduction: bool,
+    /// The unreduced MNA load replaced every reduced model.
+    pub unreduced_fallback: bool,
+}
+
+impl StageRecovery {
+    /// `true` when the fast path served the sample unassisted.
+    pub fn was_clean(&self) -> bool {
+        self.sc_retries == 0
+            && self.served_order == self.original_order
+            && !self.exact_reduction
+            && !self.unreduced_fallback
+    }
+}
+
+/// SC retry schedule: `(timestep divisor, damping)` per attempt. The first
+/// entry is the plain iteration; later entries refine the step and damp the
+/// fixed point.
+const SC_SCHEDULE: [(f64, f64); 3] = [(1.0, 1.0), (2.0, 0.7), (4.0, 0.5)];
+
+/// Is this error worth another rung, or a configuration mistake that every
+/// rung would repeat?
+fn recoverable(e: &TetaError) -> bool {
+    matches!(e, TetaError::ScDivergence { .. } | TetaError::Numeric(_))
 }
 
 impl StageModel {
@@ -154,8 +202,193 @@ impl StageModel {
         h: f64,
         t_end: f64,
     ) -> Result<StageResult, TetaError> {
-        let rom = self.vrom.evaluate(w);
+        let rom = self.vrom.evaluate(w)?;
         self.evaluate_with_rom(&rom, variation, inputs, h, t_end)
+    }
+
+    /// Evaluates the stage under the failure-recovery ladder.
+    ///
+    /// Rungs, in order; each reduced-model rung gets the full SC retry
+    /// schedule (plain iteration, then step refinement with damping):
+    ///
+    /// 1. first-order variational ROM, passed through the MOR
+    ///    order-degradation ladder ([`extract_stabilized_degrading`]);
+    /// 2. exact per-sample reduction (fresh matrices, fresh basis);
+    /// 3. the unreduced MNA load — no reduction at all, pole/residue
+    ///    extraction straight from `(G(w), C(w))`.
+    ///
+    /// Configuration errors ([`TetaError::BadStage`]) abort immediately:
+    /// every rung would repeat them. On success the [`StageRecovery`]
+    /// records which rung and retry served the sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last rung's error once the ladder is exhausted. Callers
+    /// with access to a SPICE engine should treat that as "degrade to
+    /// baseline SPICE".
+    pub fn evaluate_recovering(
+        &self,
+        w: &[f64],
+        variation: DeviceVariation,
+        inputs: &[Waveform],
+        h: f64,
+        t_end: f64,
+    ) -> Result<(StageResult, StageRecovery), TetaError> {
+        let mut recovery = StageRecovery::default();
+        let mut sc_retries = 0usize;
+        let mut last_err: Option<TetaError> = None;
+
+        // Rung 1: variational ROM + order-degradation ladder.
+        let rung1 = self
+            .vrom
+            .evaluate(w)
+            .map_err(TetaError::from)
+            .and_then(|rom| {
+                recovery.original_order = rom.order();
+                extract_stabilized_degrading(&rom, DEFAULT_BETA_TOL).map_err(TetaError::from)
+            });
+        match rung1 {
+            Ok((stable, stability, deg)) => {
+                recovery.served_order = deg.served_order;
+                recovery.removed_poles = deg.removed_poles;
+                recovery.max_beta_deviation = deg.max_beta_deviation;
+                match self.sc_attempts(
+                    &stable,
+                    &stability,
+                    variation,
+                    inputs,
+                    h,
+                    t_end,
+                    &mut sc_retries,
+                )? {
+                    Ok(res) => {
+                        recovery.sc_retries = sc_retries;
+                        return Ok((res, recovery));
+                    }
+                    Err(e) => drop(last_err.get_or_insert(e)),
+                }
+            }
+            Err(e) if recoverable(&e) => drop(last_err.get_or_insert(e)),
+            Err(e) => return Err(e),
+        }
+
+        // Rung 2: exact reduction at the sample.
+        let rung2 = self
+            .vrom
+            .evaluate_exact(&self.var, w)
+            .map_err(TetaError::from)
+            .and_then(|rom| {
+                extract_stabilized_degrading(&rom, DEFAULT_BETA_TOL).map_err(TetaError::from)
+            });
+        match rung2 {
+            Ok((stable, stability, deg)) => {
+                match self.sc_attempts(
+                    &stable,
+                    &stability,
+                    variation,
+                    inputs,
+                    h,
+                    t_end,
+                    &mut sc_retries,
+                )? {
+                    Ok(res) => {
+                        recovery.exact_reduction = true;
+                        recovery.served_order = deg.served_order;
+                        recovery.removed_poles = deg.removed_poles;
+                        recovery.max_beta_deviation = deg.max_beta_deviation;
+                        recovery.sc_retries = sc_retries;
+                        return Ok((res, recovery));
+                    }
+                    Err(e) => drop(last_err.get_or_insert(e)),
+                }
+            }
+            Err(e) if recoverable(&e) => drop(last_err.get_or_insert(e)),
+            Err(e) => return Err(e),
+        }
+
+        // Rung 3: the unreduced MNA load — stabilize the full node-space
+        // pencil directly. Expensive (dense eigensolve at full dimension)
+        // but the most faithful model short of baseline SPICE.
+        let rung3 = self
+            .var
+            .eval(w)
+            .map_err(TetaError::from)
+            .and_then(|(g, c)| {
+                let full = ReducedModel {
+                    gr: g,
+                    cr: c,
+                    br: self.var.port_incidence(),
+                };
+                let pr = extract_pole_residue(&full)?;
+                Ok((full.order(), stabilize(&pr)))
+            });
+        match rung3 {
+            Ok((order, (stable, stability))) => {
+                match self.sc_attempts(
+                    &stable,
+                    &stability,
+                    variation,
+                    inputs,
+                    h,
+                    t_end,
+                    &mut sc_retries,
+                )? {
+                    Ok(res) => {
+                        recovery.unreduced_fallback = true;
+                        recovery.served_order = order;
+                        recovery.removed_poles = stability.removed_poles.len();
+                        recovery.max_beta_deviation = stability.max_beta_deviation;
+                        recovery.sc_retries = sc_retries;
+                        return Ok((res, recovery));
+                    }
+                    Err(e) => drop(last_err.get_or_insert(e)),
+                }
+            }
+            Err(e) if recoverable(&e) => drop(last_err.get_or_insert(e)),
+            Err(e) => return Err(e),
+        }
+
+        Err(last_err.unwrap_or_else(|| {
+            TetaError::BadStage("stage recovery ladder exhausted with no recorded error".into())
+        }))
+    }
+
+    /// Runs the SC retry schedule against one stabilized model. The outer
+    /// `Result` carries unrecoverable configuration errors (abort the
+    /// ladder); the inner one reports whether any attempt converged.
+    #[allow(clippy::too_many_arguments)]
+    fn sc_attempts(
+        &self,
+        stable: &PoleResidueModel,
+        stability: &StabilityReport,
+        variation: DeviceVariation,
+        inputs: &[Waveform],
+        h: f64,
+        t_end: f64,
+        sc_retries: &mut usize,
+    ) -> Result<Result<StageResult, TetaError>, TetaError> {
+        let mut last: Option<TetaError> = None;
+        for &(refine, damping) in &SC_SCHEDULE {
+            match self.run_sc(
+                stable,
+                stability.clone(),
+                variation,
+                inputs,
+                h / refine,
+                t_end,
+                damping,
+            ) {
+                Ok(res) => return Ok(Ok(res)),
+                Err(e) if recoverable(&e) => {
+                    *sc_retries += 1;
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Err(last.unwrap_or_else(|| {
+            TetaError::BadStage("empty SC retry schedule".into())
+        })))
     }
 
     /// Reference evaluation: recomputes the *exact* reduction at the
@@ -186,6 +419,23 @@ impl StageModel {
         h: f64,
         t_end: f64,
     ) -> Result<StageResult, TetaError> {
+        let pr = extract_pole_residue(rom)?;
+        let (stable, stability) = stabilize(&pr);
+        self.run_sc(&stable, stability, variation, inputs, h, t_end, 1.0)
+    }
+
+    /// One successive-chords run against a stabilized load model.
+    #[allow(clippy::too_many_arguments)]
+    fn run_sc(
+        &self,
+        stable: &PoleResidueModel,
+        stability: StabilityReport,
+        variation: DeviceVariation,
+        inputs: &[Waveform],
+        h: f64,
+        t_end: f64,
+        sc_damping: f64,
+    ) -> Result<StageResult, TetaError> {
         if inputs.len() != self.driver_ports.len() {
             return Err(TetaError::BadStage(format!(
                 "{} inputs for {} drivers",
@@ -193,8 +443,6 @@ impl StageModel {
                 self.driver_ports.len()
             )));
         }
-        let pr = extract_pole_residue(rom)?;
-        let (stable, stability) = stabilize(&pr);
         let drivers: Vec<DriverSpec> = self
             .driver_ports
             .iter()
@@ -213,7 +461,8 @@ impl StageModel {
         let mut opts = StageSolverOptions::new(self.vdd, t_end, h);
         opts.variation = variation;
         opts.compress_tol = 1e-4 * self.vdd;
-        let (waveforms, stats) = StageSolver::new(&stable, drivers, opts)?.run()?;
+        opts.sc_damping = sc_damping;
+        let (waveforms, stats) = StageSolver::new(stable, drivers, opts)?.run()?;
         Ok(StageResult {
             waveforms,
             stability,
@@ -301,6 +550,39 @@ mod tests {
         let (model, _) = line_stage();
         let res = model.evaluate(&[0.0; 5], DeviceVariation::nominal(), &[], 1e-12, 1e-9);
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn clean_sample_recovering_matches_plain_evaluate() {
+        let (model, out_pos) = line_stage();
+        let input = Waveform::ramp(0.0, 1.8, 20e-12, 50e-12);
+        let plain = model
+            .evaluate(
+                &[0.0; 5],
+                DeviceVariation::nominal(),
+                std::slice::from_ref(&input),
+                1e-12,
+                1.5e-9,
+            )
+            .unwrap();
+        let (recovered, recovery) = model
+            .evaluate_recovering(
+                &[0.0; 5],
+                DeviceVariation::nominal(),
+                &[input],
+                1e-12,
+                1.5e-9,
+            )
+            .unwrap();
+        assert!(recovery.was_clean(), "recovery: {recovery:?}");
+        assert_eq!(recovery.sc_retries, 0);
+        assert!(!recovery.exact_reduction && !recovery.unreduced_fallback);
+        // The clean rung is the same computation as the plain flow:
+        // identical waveforms, bitwise.
+        assert_eq!(
+            plain.waveforms[out_pos].points(),
+            recovered.waveforms[out_pos].points()
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for sample in [-1.0, 0.0, 1.0] {
         let w: Vec<f64> = vec![sample; var.param_count()];
-        let pr = extract_pole_residue(&vrom.evaluate(&w))?;
+        let pr = extract_pole_residue(&vrom.evaluate(&w)?)?;
         let (stable, report) = stabilize(&pr);
         println!(
             "w = {sample:+}: {} poles ({} removed by the filter)",

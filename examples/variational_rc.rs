@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\np      unstable poles of the raw variational macromodel");
     let mut p_unstable: Option<(f64, f64)> = None; // (p, worst Re)
     for &p in &[0.0, 0.02, 0.05, 0.06, 0.08, 0.09, 0.1] {
-        let pr = extract_pole_residue(&raw.evaluate(&[p]))?;
+        let pr = extract_pole_residue(&raw.evaluate(&[p])?)?;
         let unstable = pr.unstable_poles();
         if let Some(worst) = unstable
             .iter()
@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- SPICE on a raw (unstable) macromodel: expect divergence -------
     if let Some((p, _)) = p_unstable {
-        let pr = extract_pole_residue(&raw.evaluate(&[p]))?;
+        let pr = extract_pole_residue(&raw.evaluate(&[p])?)?;
         let mut drive = Netlist::new();
         let inp = drive.node("in");
         let out = drive.node("out");

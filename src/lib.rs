@@ -52,15 +52,19 @@ pub mod prelude {
     pub use linvar_core::path::{
         GaPathResult, McPathResult, PathModel, PathSample, PathSpec, VariationSources,
     };
-    pub use linvar_core::CoreError;
+    pub use linvar_core::{CoreError, DegradationReport, EngineRung, McRecoveryResult};
     pub use linvar_devices::{tech_018, tech_06, CellLibrary, DeviceVariation, Technology};
     pub use linvar_interconnect::{CoupledLineSpec, WireParam, WireTech};
     pub use linvar_mor::{
-        extract_pole_residue, pact_reduce, prima_reduce, stabilize, ReductionMethod, VariationalRom,
+        extract_pole_residue, pact_reduce, prima_reduce, stabilize, MorDegradation,
+        ReductionMethod, VariationalRom,
     };
-    pub use linvar_spice::{Transient, TransientOptions};
-    pub use linvar_stats::{rng_from_seed, Histogram, Summary};
-    pub use linvar_teta::{StageModel, StageSolver, Waveform};
+    pub use linvar_spice::{DcStrategy, RecoveryLog, Transient, TransientOptions};
+    pub use linvar_stats::{
+        rng_from_seed, HealthSummary, Histogram, RecoveryPolicy, SampleHealth, SampleStatus,
+        Summary,
+    };
+    pub use linvar_teta::{StageModel, StageRecovery, StageSolver, Waveform};
 }
 
 #[cfg(test)]

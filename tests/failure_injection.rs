@@ -186,6 +186,47 @@ fn worker_panic_is_contained_and_counted() {
 }
 
 #[test]
+fn mutated_variational_model_reports_dimension_mismatch() {
+    // Inconsistent post-assembly mutation of a variational model — a
+    // sensitivity matrix of the wrong shape — must surface as a typed
+    // dimension error from `eval`, not an index panic.
+    use linvar::interconnect::builder::build_coupled_lines;
+    use linvar::numeric::{Matrix, NumericError};
+    let spec = CoupledLineSpec::new(2, 10e-6, WireTech::m018());
+    let built = build_coupled_lines(&spec).expect("builds");
+    let mut var = built.netlist.assemble_variational().expect("assembles");
+    assert!(!var.dg.is_empty(), "model carries sensitivities");
+    var.dg[0] = Matrix::zeros(1, 1); // wrong shape
+    let res = var.eval(&[1.0, 0.0, 0.0, 0.0, 0.0]);
+    assert!(
+        matches!(res, Err(NumericError::DimensionMismatch { .. })),
+        "expected dimension mismatch, got {res:?}"
+    );
+}
+
+#[test]
+fn all_failed_policy_run_reports_health_instead_of_panicking() {
+    // A run where every sample exhausts its budget is still a result:
+    // the health summary is the product, and nothing panics.
+    use linvar::stats::monte_carlo_par_with_policy;
+    let samples: Vec<usize> = (0..16).collect();
+    let policy = RecoveryPolicy::default();
+    let res = monte_carlo_par_with_policy(&samples, 4, policy, |&k, attempt| {
+        Err::<(f64, SampleStatus), String>(format!("sample {k} attempt {attempt} refused"))
+    });
+    assert_eq!(res.health.n_failed, 16);
+    assert_eq!(res.health.total(), 16);
+    assert!(res.values.is_empty());
+    assert_eq!(res.failed_indices.len(), 16);
+    assert!(res
+        .sample_health
+        .iter()
+        .all(|h| h.attempts == policy.attempt_budget()));
+    let diag = res.first_error.expect("lowest-index diagnostic kept");
+    assert!(diag.contains("sample 0"), "{diag}");
+}
+
+#[test]
 fn eigen_and_lu_reject_pathological_inputs() {
     use linvar::numeric::{eigen_decompose, eigenvalues, LuFactor, Matrix, NumericError};
     // NaN contamination.

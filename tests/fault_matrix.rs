@@ -1,0 +1,326 @@
+//! Fault matrix: one injected failure per solver-stack layer, asserting
+//! the recovery ladder's response — a typed error or a named degradation
+//! rung, never a panic across a public API, and bitwise-identical results
+//! at any thread count.
+//!
+//! Layer map (see DESIGN.md, "Failure semantics & degradation ladder"):
+//! numeric → LU singularity; mor → order-degradation ladder; teta → SC
+//! divergence under damping; spice → DC continuation rungs; stats →
+//! quarantine/fail-fast policies; core → whole-path recovering driver.
+
+use linvar::numeric::{Complex, LuFactor, Matrix, NumericError};
+use linvar::prelude::*;
+
+// ---------------------------------------------------------------- numeric
+
+#[test]
+fn lu_singularity_reports_condition_and_perturbation_recovers() {
+    // Exactly singular: duplicate rows cancel exactly in elimination
+    // (no rounding rescues the pivot).
+    let mut a = Matrix::zeros(3, 3);
+    let rows = [[1.0, 2.0, 3.0], [1.0, 2.0, 3.0], [0.0, 0.0, 1.0]];
+    for (i, r) in rows.iter().enumerate() {
+        for (j, v) in r.iter().enumerate() {
+            a[(i, j)] = *v;
+        }
+    }
+    match LuFactor::new(&a) {
+        Err(NumericError::SingularMatrix { .. }) => {}
+        other => panic!("expected singular-matrix error, got {other:?}"),
+    }
+    // The recovering factorization perturbs the diagonal and reports it,
+    // together with a finite condition estimate of what it factored.
+    let (lu, rec) = LuFactor::new_recovering(&a).expect("perturbation recovers");
+    assert!(rec.perturbed, "must record the diagonal perturbation");
+    assert!(rec.perturbation > 0.0);
+    assert!(
+        rec.condition_estimate.is_finite(),
+        "recovered factorization reports a condition estimate: {rec:?}"
+    );
+    let x = lu.solve(&[1.0, 1.0, 1.0]).expect("factored system solves");
+    assert!(x.iter().all(|v| v.is_finite()));
+}
+
+// -------------------------------------------------------------------- mor
+
+#[test]
+fn mor_order_ladder_degrades_or_exhausts_with_typed_errors() {
+    // All-RHP model: every order of the ladder strips every pole, so the
+    // ladder must exhaust with a typed error — not panic, not serve an
+    // empty model.
+    let all_rhp = linvar::mor::ReducedModel {
+        gr: Matrix::from_fn(2, 2, |i, j| if i == j { -1e-3 } else { 0.0 }),
+        cr: Matrix::from_fn(2, 2, |i, j| if i == j { 1e-15 } else { 0.0 }),
+        br: Matrix::from_fn(2, 1, |_, _| 1.0),
+    };
+    assert!(
+        linvar::mor::extract_stabilized_degrading(&all_rhp, DEFAULT_BETA_TOL).is_err(),
+        "an all-RHP pencil must exhaust the order ladder"
+    );
+
+    // Mixed model: one stable, one unstable mode. The ladder serves a
+    // lower order and the degradation report names it.
+    let mixed = linvar::mor::ReducedModel {
+        gr: Matrix::from_fn(2, 2, |i, j| match (i, j) {
+            (0, 0) => 1e-3,
+            (1, 1) => -2e-3,
+            _ => 0.0,
+        }),
+        cr: Matrix::from_fn(2, 2, |i, j| if i == j { 1e-15 } else { 0.0 }),
+        br: Matrix::from_fn(2, 1, |_, _| 1.0),
+    };
+    // A β tolerance the pole-stripped order-2 model cannot meet, but the
+    // order-1 truncation (purely stable) meets exactly.
+    let (pr, _report, deg) = linvar::mor::extract_stabilized_degrading(&mixed, 0.4)
+        .expect("the stable mode must survive the ladder");
+    assert_eq!(deg.original_order, 2);
+    assert!(
+        deg.served_order < deg.original_order,
+        "served order must drop: {deg:?}"
+    );
+    assert!(!deg.attempted_orders.is_empty());
+    assert!(
+        pr.poles.iter().all(|p| p.re < 0.0),
+        "served model must be stable: {:?}",
+        pr.poles
+    );
+}
+
+use linvar::mor::DEFAULT_BETA_TOL;
+
+// ------------------------------------------------------------------- teta
+
+#[test]
+fn sc_divergence_stays_typed_under_damped_chords() {
+    use linvar::mor::PoleResidueModel;
+    use linvar::numeric::CMatrix;
+    use linvar::teta::engine::DriverSpec;
+    use linvar::teta::{StageSolver, StageSolverOptions, TetaError};
+    // The pathological load of `failure_injection`: instantaneous
+    // impedance so large the SC fixed point cannot contract. Even with
+    // chord re-selection (damping) the solver must give up with a typed
+    // divergence error, not hang or panic.
+    let mut r = CMatrix::zeros(1, 1);
+    r[(0, 0)] = Complex::from_real(1e20);
+    let load = PoleResidueModel {
+        poles: vec![Complex::from_real(-1e6)],
+        residues: vec![r],
+        direct: Matrix::zeros(1, 1),
+    };
+    let tech = tech_018();
+    let nmos = tech.library.get(&tech.library.nmos_name()).unwrap().clone();
+    let pmos = tech.library.get(&tech.library.pmos_name()).unwrap().clone();
+    let driver = DriverSpec {
+        port: 0,
+        input: Waveform::ramp(0.0, 1.8, 10e-12, 30e-12),
+        nmos,
+        pmos,
+        wn: tech.wn,
+        wp: tech.wp,
+        length: tech.library.lmin,
+        g_out: 1e-3,
+    };
+    let mut opts = StageSolverOptions::new(1.8, 1e-9, 1e-12);
+    opts.sc_damping = 0.5;
+    let res = StageSolver::new(&load, vec![driver], opts).unwrap().run();
+    assert!(
+        matches!(res, Err(TetaError::ScDivergence { .. })),
+        "expected typed SC divergence under damping, got {res:?}"
+    );
+}
+
+// ------------------------------------------------------------------ spice
+
+#[test]
+fn dc_ladder_escalates_when_direct_newton_is_starved() {
+    use linvar::circuit::{MosType, Netlist, SourceWaveform};
+    // An inverter biased at midrail with a Newton budget too small for a
+    // cold start: rung 0 (direct Newton) fails, and the continuation rungs
+    // — which approach the solution through a chain of warm starts — must
+    // serve the operating point and say so in the recovery log.
+    let tech = tech_018();
+    let mut nl = Netlist::new();
+    let vdd = nl.node("vdd");
+    let inp = nl.node("in");
+    let out = nl.node("out");
+    nl.add_vsource("Vdd", vdd, Netlist::GROUND, SourceWaveform::Dc(1.8))
+        .unwrap();
+    nl.add_vsource("Vin", inp, Netlist::GROUND, SourceWaveform::Dc(0.9))
+        .unwrap();
+    nl.add_mosfet(
+        "MP",
+        out,
+        inp,
+        vdd,
+        vdd,
+        MosType::Pmos,
+        &tech.library.pmos_name(),
+        tech.wp,
+        tech.library.lmin,
+    )
+    .unwrap();
+    nl.add_mosfet(
+        "MN",
+        out,
+        inp,
+        Netlist::GROUND,
+        Netlist::GROUND,
+        MosType::Nmos,
+        &tech.library.nmos_name(),
+        tech.wn,
+        tech.library.lmin,
+    )
+    .unwrap();
+    nl.add_capacitor("CL", out, Netlist::GROUND, 10e-15)
+        .unwrap();
+    let mut opts = TransientOptions::new(10e-12, 1e-12);
+    opts.max_newton = 2;
+    let res = Transient::with_devices(&nl, &tech.library, DeviceVariation::nominal(), &opts)
+        .unwrap()
+        .run()
+        .expect("continuation rungs must rescue the starved Newton");
+    assert_ne!(
+        res.recovery.dc_strategy,
+        DcStrategy::DirectNewton,
+        "recovery log must name the continuation rung: {:?}",
+        res.recovery
+    );
+    assert!(!res.recovery.was_clean());
+}
+
+// ------------------------------------------------------------------ stats
+
+#[test]
+fn panicking_evaluator_is_quarantined_bitwise_across_threads() {
+    use linvar::stats::{monte_carlo_par_with_policy, monte_carlo_with_policy};
+    // Samples whose evaluator panics on every attempt must consume the
+    // full attempt budget, land as Failed with a panic diagnostic, and
+    // never tear down the run — identically at every thread count.
+    let samples: Vec<usize> = (0..90).collect();
+    let policy = RecoveryPolicy::default();
+    let eval = |&k: &usize, attempt: usize| -> Result<(f64, SampleStatus), String> {
+        if k % 9 == 0 {
+            panic!("injected panic at sample {k} attempt {attempt}");
+        }
+        Ok((k as f64 * 1.5, SampleStatus::Clean))
+    };
+    let serial = monte_carlo_with_policy(&samples, policy, eval);
+    assert_eq!(serial.health.n_failed, 10);
+    assert_eq!(serial.health.n_clean, 80);
+    let budget = policy.attempt_budget();
+    for h in &serial.sample_health {
+        if h.status == SampleStatus::Failed {
+            assert_eq!(h.attempts, budget, "panics must consume the budget");
+        }
+    }
+    let diag = serial.first_error.as_deref().expect("diagnostic kept");
+    assert!(diag.contains("panic"), "diagnostic {diag:?}");
+    for threads in [1, 2, 8] {
+        let par = monte_carlo_par_with_policy(&samples, threads, policy, eval);
+        assert_eq!(par.values, serial.values, "threads={threads}");
+        assert_eq!(par.sample_health, serial.sample_health);
+        assert_eq!(par.health, serial.health);
+        assert_eq!(par.failed_indices, serial.failed_indices);
+        assert_eq!(par.first_error, serial.first_error);
+    }
+}
+
+#[test]
+fn fail_fast_truncates_at_the_same_sample_at_any_thread_count() {
+    use linvar::stats::{monte_carlo_par_with_policy, monte_carlo_with_policy};
+    // Deterministic injected-failure schedule: sample 41 fails every
+    // attempt under a fail-fast strict policy. The run must truncate at
+    // index 41 regardless of scheduling.
+    let samples: Vec<usize> = (0..120).collect();
+    let policy = RecoveryPolicy::strict();
+    let eval = |&k: &usize, _attempt: usize| -> Result<(f64, SampleStatus), String> {
+        if k == 41 || k == 97 {
+            Err(format!("injected failure at {k}"))
+        } else {
+            Ok((f64::sin(k as f64), SampleStatus::Clean))
+        }
+    };
+    let serial = monte_carlo_with_policy(&samples, policy, eval);
+    assert_eq!(serial.truncated_at, Some(41));
+    assert_eq!(serial.failed_indices, vec![41]);
+    assert_eq!(
+        serial.first_error.as_deref(),
+        Some("injected failure at 41")
+    );
+    for threads in [1, 2, 8] {
+        let par = monte_carlo_par_with_policy(&samples, threads, policy, eval);
+        assert_eq!(par.truncated_at, Some(41), "threads={threads}");
+        assert_eq!(par.values, serial.values);
+        assert_eq!(par.sample_health, serial.sample_health);
+        assert_eq!(par.failed_indices, serial.failed_indices);
+        assert_eq!(par.first_error, serial.first_error);
+    }
+}
+
+// ------------------------------------------------------------------- core
+
+#[test]
+fn path_recovering_driver_is_deterministic_and_reports_health() {
+    // The whole-path recovering Monte-Carlo driver: bitwise identical
+    // delays and health at every thread count, with the degradation
+    // reports empty when the fast path serves every sample.
+    let spec = PathSpec {
+        cells: vec!["inv".into(), "inv".into()],
+        linear_elements_between_stages: 10,
+        input_slew: 50e-12,
+    };
+    let model = PathModel::build(&spec, &tech_018(), &WireTech::m018()).unwrap();
+    let sources = VariationSources::example3(0.33, 0.33);
+    let policy = RecoveryPolicy::default();
+    let base = model
+        .monte_carlo_par_recovering(&sources, 4, 7, 1, policy)
+        .unwrap();
+    assert_eq!(base.health.total(), 4);
+    assert_eq!(base.sample_health.len(), 4);
+    assert_eq!(base.failures, base.health.n_failed);
+    for threads in [2, 4] {
+        let par = model
+            .monte_carlo_par_recovering(&sources, 4, 7, threads, policy)
+            .unwrap();
+        assert_eq!(par.delays, base.delays, "threads={threads}");
+        assert_eq!(par.sample_health, base.sample_health);
+        assert_eq!(par.health, base.health);
+        assert_eq!(par.reports, base.reports);
+    }
+    if base.health.all_clean() {
+        assert!(base.reports.is_empty(), "clean runs carry no reports");
+    } else {
+        // Any assisted sample must carry a report naming its rung.
+        assert!(!base.reports.is_empty());
+    }
+}
+
+#[test]
+fn degradation_report_display_names_the_serving_rung() {
+    let report = DegradationReport {
+        sample_index: 7,
+        rung: EngineRung::UnreducedMna,
+        sc_retries: 3,
+        notes: vec!["stage 1 (nand2): served by the unreduced MNA load".into()],
+    };
+    let text = report.to_string();
+    assert!(text.contains("sample 7"), "{text}");
+    assert!(text.contains("unreduced MNA"), "{text}");
+    assert!(text.contains("3 SC retries"), "{text}");
+    assert_eq!(report.status(), SampleStatus::Degraded);
+    // Every rung renders a distinct human-readable name.
+    let rungs = [
+        EngineRung::VariationalRom,
+        EngineRung::RefinedSc,
+        EngineRung::ExactReduction,
+        EngineRung::DegradedOrder(3),
+        EngineRung::UnreducedMna,
+        EngineRung::SpiceBaseline,
+    ];
+    let names: Vec<String> = rungs.iter().map(|r| r.to_string()).collect();
+    for (i, a) in names.iter().enumerate() {
+        for b in names.iter().skip(i + 1) {
+            assert_ne!(a, b);
+        }
+    }
+}

@@ -17,7 +17,7 @@ fn example1_instability_exists_and_filter_repairs() {
         .expect("characterizes");
     let mut any_unstable = false;
     for &p in &[0.0, 0.02, 0.04, 0.05, 0.06, 0.08, 0.1] {
-        let pr = extract_pole_residue(&raw.evaluate(&[p])).expect("extracts");
+        let pr = extract_pole_residue(&raw.evaluate(&[p]).expect("evaluates")).expect("extracts");
         if !pr.is_stable() {
             any_unstable = true;
         }
