@@ -30,9 +30,14 @@ echo "==> fault matrix (injected failures across the solver stack)"
 cargo test -q --test fault_matrix
 cargo test -q --test failure_injection
 
+echo "==> durable campaigns (kill-and-resume determinism, corruption rejection)"
+cargo test -q --test campaign_resume
+cargo test -q -p linvar-stats --test checkpoint_corruption
+
 echo "==> no-panic smoke pass (examples must not panic)"
 smoke_log=$(mktemp)
-trap 'rm -f "$smoke_log"' EXIT
+ckdir=$(mktemp -d)
+trap 'rm -f "$smoke_log"; rm -rf "$ckdir"' EXIT
 for ex in quickstart variational_rc reduce_deck; do
     echo "    example $ex"
     if ! RUST_BACKTRACE=1 LINVAR_THREADS=2 \
@@ -47,5 +52,45 @@ for ex in quickstart variational_rc reduce_deck; do
         exit 1
     fi
 done
+
+echo "==> interrupted-resume smoke (table4 --quick, deadline + checkpoint + resume)"
+# Clean reference: the deterministic 'mc' stat lines of an uninterrupted run.
+LINVAR_THREADS=2 cargo run --release -q -p linvar-bench --bin table4 -- --quick \
+    >"$ckdir/clean.out" 2>&1
+grep '^mc ' "$ckdir/clean.out" >"$ckdir/clean.mc"
+if ! [ -s "$ckdir/clean.mc" ]; then
+    echo "clean table4 run printed no mc lines:" >&2
+    cat "$ckdir/clean.out" >&2
+    exit 1
+fi
+# Interrupted run: a 2-second budget must truncate gracefully (exit 0) and
+# leave resumable snapshots behind.
+if ! LINVAR_THREADS=2 cargo run --release -q -p linvar-bench --bin table4 -- --quick \
+    --deadline 2 --checkpoint "$ckdir/t4" >"$ckdir/cut.out" 2>&1; then
+    echo "deadline-truncated table4 run did not exit cleanly:" >&2
+    cat "$ckdir/cut.out" >&2
+    exit 1
+fi
+# Resume at a different worker count: final stats must be bitwise-identical
+# to the uninterrupted reference.
+LINVAR_THREADS=4 cargo run --release -q -p linvar-bench --bin table4 -- --quick \
+    --resume "$ckdir/t4" --checkpoint "$ckdir/t4" >"$ckdir/resume.out" 2>&1
+grep '^mc ' "$ckdir/resume.out" >"$ckdir/resume.mc"
+if ! diff -u "$ckdir/clean.mc" "$ckdir/resume.mc"; then
+    echo "resumed table4 stats differ from the uninterrupted run" >&2
+    exit 1
+fi
+
+echo "==> corruption-rejection smoke (damaged snapshot must refuse, exit 3)"
+ck=$(ls "$ckdir"/t4.*.ckpt | head -n 1)
+printf 'X' | dd of="$ck" bs=1 seek=40 conv=notrunc 2>/dev/null
+status=0
+LINVAR_THREADS=2 cargo run --release -q -p linvar-bench --bin table4 -- --quick \
+    --resume "$ckdir/t4" >"$ckdir/corrupt.out" 2>&1 || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "corrupted snapshot was not rejected with exit 3 (got $status):" >&2
+    cat "$ckdir/corrupt.out" >&2
+    exit 1
+fi
 
 echo "==> ci green"

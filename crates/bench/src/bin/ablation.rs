@@ -12,7 +12,9 @@
 //!
 //! Run with `cargo run --release -p linvar-bench --bin ablation`.
 
-use linvar_bench::render_table;
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use linvar_bench::{render_table, BenchError};
 use linvar_devices::{tech_018, DeviceVariation};
 use linvar_interconnect::{builder::build_coupled_lines, CoupledLineSpec, WireTech};
 use linvar_mor::{extract_pole_residue, ReductionMethod, VariationalRom};
@@ -20,17 +22,22 @@ use linvar_numeric::vector::{mean, std_dev};
 use linvar_stats::{lhs_uniform, rng_from_seed, uniform_samples, SampleRng};
 use linvar_teta::{StageModel, Waveform};
 
-fn stage_delay(stage: &StageModel, out_port: usize, w: &[f64]) -> f64 {
+fn stage_delay(stage: &StageModel, out_port: usize, w: &[f64]) -> Result<f64, BenchError> {
     let input = Waveform::ramp(0.0, 1.8, 20e-12, 50e-12);
-    let res = stage
-        .evaluate(w, DeviceVariation::nominal(), &[input], 1e-12, 2e-9)
-        .expect("stage evaluates");
+    let res = stage.evaluate(w, DeviceVariation::nominal(), &[input], 1e-12, 2e-9)?;
     res.waveforms[out_port]
         .crossing(0.9, false)
-        .expect("output falls")
+        .ok_or_else(|| "stage output did not fall".into())
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("ablation: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn run() -> Result<(), BenchError> {
     let tech = tech_018();
     let spec = CoupledLineSpec::new(1, 60e-6, WireTech::m018());
     let built = build_coupled_lines(&spec)?;
@@ -39,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .ports()
         .iter()
         .position(|p| *p == built.outputs[0])
-        .expect("port");
+        .ok_or("line far end is not a port")?;
 
     // ---------- 1. ROM order sweep --------------------------------------
     println!("==== Ablation 1: reduction order vs delay accuracy ====\n");
@@ -51,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ReductionMethod::Prima { order: 14 },
             0.02,
         )?;
-        stage_delay(&stage, out_pos, &[0.5, -0.5, 0.5, -0.5, 0.5])
+        stage_delay(&stage, out_pos, &[0.5, -0.5, 0.5, -0.5, 0.5])?
     };
     let mut rows = Vec::new();
     for order in [2usize, 3, 4, 6, 8, 10] {
@@ -62,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ReductionMethod::Prima { order },
             0.02,
         )?;
-        let d = stage_delay(&stage, out_pos, &[0.5, -0.5, 0.5, -0.5, 0.5]);
+        let d = stage_delay(&stage, out_pos, &[0.5, -0.5, 0.5, -0.5, 0.5])?;
         rows.push(vec![
             format!("{order}"),
             format!("{:.3}", d * 1e12),
@@ -82,8 +89,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let var = {
         let mut v = built.netlist.assemble_variational()?;
         // Fold a unit-driver conductance like the stage builder does.
-        let nmos = tech.library.get(&tech.library.nmos_name()).expect("model");
-        let pmos = tech.library.get(&tech.library.pmos_name()).expect("model");
+        let nmos = tech
+            .library
+            .get(&tech.library.nmos_name())
+            .ok_or("nmos model missing from the library")?;
+        let pmos = tech
+            .library
+            .get(&tech.library.pmos_name())
+            .ok_or("pmos model missing from the library")?;
         let g_out = linvar_devices::chord_conductance(nmos, tech.wn, tech.library.lmin, 1.8)
             + linvar_devices::chord_conductance(pmos, tech.wp, tech.library.lmin, 1.8);
         let idx = v.port_indices[0];
@@ -142,12 +155,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ds: Vec<f64> = lhs
             .iter()
             .map(|s| stage_delay(&stage, out_pos, s))
-            .collect();
+            .collect::<Result<_, _>>()?;
         lhs_means.push(mean(&ds));
         let mut plain = Vec::with_capacity(n);
         for _ in 0..n {
             let s = uniform_samples(&mut rng, 5, -1.0, 1.0);
-            plain.push(stage_delay(&stage, out_pos, &s));
+            plain.push(stage_delay(&stage, out_pos, &s)?);
         }
         mc_means.push(mean(&plain));
     }
@@ -170,7 +183,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ReductionMethod::Prima { order: 6 },
             delta,
         )?;
-        let d = stage_delay(&stage, out_pos, &[0.8, 0.0, 0.0, -0.8, 0.0]);
+        let d = stage_delay(&stage, out_pos, &[0.8, 0.0, 0.0, -0.8, 0.0])?;
         rows.push(vec![format!("{delta}"), format!("{:.3}", d * 1e12)]);
     }
     println!(

@@ -4,7 +4,9 @@
 //!
 //! Run with `cargo run --release -p linvar-bench --bin example1`.
 
-use linvar_bench::render_table;
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use linvar_bench::{render_table, BenchError};
 use linvar_circuit::{MosType, Netlist, SourceWaveform};
 use linvar_devices::{tech_06, DeviceVariation, Technology};
 use linvar_interconnect::example1::{example1_load, TABLE2};
@@ -12,7 +14,14 @@ use linvar_mor::{extract_pole_residue, ReductionMethod, VariationalRom};
 use linvar_spice::{OnePortPoleResidue, Transient, TransientOptions};
 use linvar_teta::{StageModel, Waveform};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("example1: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn run() -> Result<(), BenchError> {
     println!("==== Example 1 (paper Tables 2-3, Figure 3) ====\n");
 
     // ---------------- Table 2 ----------------------------------------
@@ -116,7 +125,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn spice_on_macromodel(pr: &linvar_mor::PoleResidueModel) -> String {
-    let run = || -> Result<(), Box<dyn std::error::Error>> {
+    let run = || -> Result<(), BenchError> {
         let mut drive = Netlist::new();
         let inp = drive.node("in");
         let out = drive.node("out");
@@ -132,7 +141,8 @@ fn spice_on_macromodel(pr: &linvar_mor::PoleResidueModel) -> String {
             },
         )?;
         drive.add_resistor("Rdrv", inp, out, 270.0)?;
-        let load = OnePortPoleResidue::from_model(pr, out.mna_index().expect("non-ground"))?;
+        let idx = out.mna_index().ok_or("macromodel port is grounded")?;
+        let load = OnePortPoleResidue::from_model(pr, idx)?;
         let mut opts = TransientOptions::new(50e-9, 20e-12);
         opts.probes.push("out".into());
         Transient::new(&drive, &opts)?
@@ -151,14 +161,19 @@ fn spice_exact(
     port: linvar_circuit::NodeId,
     tech: &Technology,
     p: f64,
-) -> Result<Waveform, Box<dyn std::error::Error>> {
+) -> Result<Waveform, BenchError> {
     let frozen = nl.frozen_at(&[p]);
     let mut sim = Netlist::new();
     let vdd = sim.node("vdd");
     let inp = sim.node("in");
     sim.instantiate(&frozen, "", &[])?;
-    let port_name = frozen.node_name(port).expect("port exists").to_string();
-    let out = sim.find_node(&port_name).expect("instantiated");
+    let port_name = frozen
+        .node_name(port)
+        .ok_or("load port is unnamed")?
+        .to_string();
+    let out = sim
+        .find_node(&port_name)
+        .ok_or("load port missing after instantiation")?;
     sim.add_vsource(
         "Vdd",
         vdd,
@@ -202,11 +217,12 @@ fn spice_exact(
     opts.probes.push(port_name.clone());
     let res =
         Transient::with_devices(&sim, &tech.library, DeviceVariation::nominal(), &opts)?.run()?;
+    let probed = res.probe(&port_name).ok_or("probe was not recorded")?;
     let pts: Vec<(f64, f64)> = res
         .times
         .iter()
         .copied()
-        .zip(res.probe(&port_name).expect("probed").iter().copied())
+        .zip(probed.iter().copied())
         .collect();
     Ok(Waveform::from_points(pts).compress(1e-3))
 }

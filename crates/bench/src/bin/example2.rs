@@ -6,23 +6,36 @@
 //! parameters (W, T, S, H, ρ) fluctuate uniformly within their tolerances;
 //! 100 Latin-Hypercube samples.
 //!
+//! Flags: `--checkpoint <prefix>` / `--resume <prefix>` /
+//! `--deadline <secs>` run the two Figure-6 Monte-Carlo sweeps as durable
+//! campaigns (snapshots `<prefix>.fig6-reduced.ckpt` and
+//! `<prefix>.fig6-full.ckpt`). Completed sweeps print deterministic `mc …`
+//! lines with the statistics as raw `f64` bit patterns.
+//!
 //! Run with `cargo run --release -p linvar-bench --bin example2`
 //! (set `LINVAR_THREADS` to pin the Monte-Carlo worker count).
 
-use linvar_bench::render_table;
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use linvar_bench::{bits_hex, render_table, BenchArgs, BenchError};
 use linvar_circuit::{MosType, Netlist, SourceWaveform};
 use linvar_devices::{tech_018, DeviceVariation};
 use linvar_interconnect::{builder::build_coupled_lines, CoupledLineSpec, WireTech};
 use linvar_mor::ReductionMethod;
 use linvar_spice::{Transient, TransientOptions};
 use linvar_stats::{
-    lhs_uniform, monte_carlo_par, resolve_threads, rng_from_seed, Histogram, Summary,
+    fingerprint_str, fingerprint_words, lhs_uniform, monte_carlo_par, resolve_threads,
+    rng_from_seed, run_campaign, CampaignFingerprint, CampaignResult, CampaignVerdict, Histogram,
+    RecoveryPolicy, SampleStatus,
 };
 use linvar_teta::{StageModel, Waveform};
 use std::time::Instant;
 
 const N_LINES: usize = 4;
 const PROBE_LINE: usize = 1;
+const MASTER_SEED: u64 = 2;
+const N_SAMPLES: usize = 100;
+const FIG6_LENGTH_UM: f64 = 50.0;
 
 struct FourPortStage {
     model: StageModel,
@@ -32,7 +45,7 @@ struct FourPortStage {
     probe_port: usize,
 }
 
-fn build_stage(length_um: f64) -> Result<FourPortStage, Box<dyn std::error::Error>> {
+fn build_stage(length_um: f64) -> Result<FourPortStage, BenchError> {
     let tech = tech_018();
     let spec = CoupledLineSpec::new(N_LINES, length_um * 1e-6, WireTech::m018());
     let built = build_coupled_lines(&spec)?;
@@ -49,7 +62,7 @@ fn build_stage(length_um: f64) -> Result<FourPortStage, Box<dyn std::error::Erro
         .ports()
         .iter()
         .position(|p| *p == probe_far)
-        .expect("far end is a port");
+        .ok_or("probe far end is not a port")?;
     Ok(FourPortStage {
         model,
         netlist: built.netlist,
@@ -60,7 +73,7 @@ fn build_stage(length_um: f64) -> Result<FourPortStage, Box<dyn std::error::Erro
 }
 
 /// TETA evaluation of the stage at a wire sample; returns the probe delay.
-fn teta_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, Box<dyn std::error::Error>> {
+fn teta_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, BenchError> {
     let vdd = 1.8;
     let input = Waveform::ramp(0.0, vdd, 50e-12, 50e-12);
     let m_in = 75e-12;
@@ -76,7 +89,7 @@ fn teta_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, Box<dyn std::erro
 }
 
 /// Same evaluation through the exact (per-sample re-reduced) model.
-fn teta_exact_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, Box<dyn std::error::Error>> {
+fn teta_exact_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, BenchError> {
     let vdd = 1.8;
     let input = Waveform::ramp(0.0, vdd, 50e-12, 50e-12);
     let m_in = 75e-12;
@@ -92,7 +105,7 @@ fn teta_exact_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, Box<dyn std
 }
 
 /// SPICE evaluation: four transistor inverters driving the frozen bundle.
-fn spice_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, Box<dyn std::error::Error>> {
+fn spice_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, BenchError> {
     let tech = tech_018();
     let vdd = tech.library.vdd;
     let frozen = stage.netlist.frozen_at(w);
@@ -113,8 +126,13 @@ fn spice_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, Box<dyn std::err
         },
     )?;
     for (k, near) in stage.inputs.iter().enumerate() {
-        let name = frozen.node_name(*near).expect("named").to_string();
-        let node = sim.find_node(&name).expect("instantiated");
+        let name = frozen
+            .node_name(*near)
+            .ok_or("stage input is unnamed")?
+            .to_string();
+        let node = sim
+            .find_node(&name)
+            .ok_or("stage input missing after instantiation")?;
         sim.add_mosfet(
             &format!("MP{k}"),
             node,
@@ -140,29 +158,65 @@ fn spice_delay(stage: &FourPortStage, w: &[f64]) -> Result<f64, Box<dyn std::err
     }
     let probe_name = frozen
         .node_name(stage.probe_far)
-        .expect("named")
+        .ok_or("probe node is unnamed")?
         .to_string();
     let mut opts = TransientOptions::new(2e-9, 1e-12);
     opts.probes.push(probe_name.clone());
     let res =
         Transient::with_devices(&sim, &tech.library, DeviceVariation::nominal(), &opts)?.run()?;
     let times = &res.times;
-    let vals = res.probe(&probe_name).expect("probed");
+    let vals = res.probe(&probe_name).ok_or("probe was not recorded")?;
     let m_out = linvar_spice::crossing_time(times, vals, vdd / 2.0, false, 0.0)
         .ok_or("spice probe did not switch")?;
     Ok(m_out - 75e-12)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// Identity of one Figure-6 campaign: the sampling scheme (uniform LHS
+/// over the 5 wire sources), the stage geometry, and which engine.
+fn fig6_fingerprint(variant: &str) -> CampaignFingerprint {
+    CampaignFingerprint {
+        master_seed: MASTER_SEED,
+        n_samples: N_SAMPLES,
+        policy: RecoveryPolicy {
+            max_retries: 0,
+            allow_fallback: false,
+            fail_fast: false,
+        },
+        model: fingerprint_words([
+            fingerprint_str("example2-fig6"),
+            fingerprint_str(variant),
+            N_LINES as u64,
+            FIG6_LENGTH_UM.to_bits(),
+        ]),
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("example2: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::parse(std::env::args().skip(1))?;
+    if args.quick {
+        return Err(BenchError::Usage("example2 has no --quick mode".into()));
+    }
+    let run_start = Instant::now();
     let threads = resolve_threads(0);
     println!("==== Example 2 (paper Figures 5-6) ====");
     println!("(TETA Monte-Carlo on {threads} worker thread(s); set LINVAR_THREADS to change)\n");
-    let mut rng = rng_from_seed(2);
-    let samples = lhs_uniform(&mut rng, 100, 5, -1.0, 1.0);
+    let mut rng = rng_from_seed(MASTER_SEED);
+    let samples = lhs_uniform(&mut rng, N_SAMPLES, 5, -1.0, 1.0);
 
     // ---------------- Figure 5: CPU time vs wirelength ----------------
     let mut rows = Vec::new();
     for &len in &[10.0, 25.0, 50.0, 100.0] {
+        if args.deadline_exhausted(run_start) {
+            eprintln!("deadline: skipping the Figure-5 {len} um measurement");
+            continue;
+        }
         let stage = build_stage(len)?;
         let n_teta = 20;
         let t0 = Instant::now();
@@ -205,9 +259,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---------------- Figure 6: delay histograms ----------------------
-    let stage = build_stage(50.0)?;
-    let reduced_mc = monte_carlo_par(&samples, threads, |s| teta_delay(&stage, s));
-    let full_mc = monte_carlo_par(&samples, threads, |s| teta_exact_delay(&stage, s));
+    let stage = build_stage(FIG6_LENGTH_UM)?;
+    let fig6 = |variant: &str,
+                eval: &(dyn Fn(&Vec<f64>) -> Result<f64, BenchError> + Sync)|
+     -> Result<CampaignResult, BenchError> {
+        let fp = fig6_fingerprint(variant);
+        let config = args.campaign_config(&format!("fig6-{variant}"), run_start);
+        let res = run_campaign(
+            &samples,
+            threads,
+            fp.policy,
+            &config,
+            fp,
+            |s: &Vec<f64>, _attempt| -> Result<(f64, SampleStatus), String> {
+                eval(s)
+                    .map(|d| (d, SampleStatus::Clean))
+                    .map_err(|e| e.to_string())
+            },
+        )?;
+        if res.verdict == CampaignVerdict::Complete {
+            println!(
+                "mc fig6-{variant}: n={} mean={} std={} failures={}",
+                res.summary.n,
+                bits_hex(res.summary.mean),
+                bits_hex(res.summary.std),
+                res.failures
+            );
+        }
+        Ok(res)
+    };
+    let reduced_mc = fig6("reduced", &|s| teta_delay(&stage, s))?;
+    let full_mc = fig6("full", &|s| teta_exact_delay(&stage, s))?;
+    if reduced_mc.verdict != CampaignVerdict::Complete
+        || full_mc.verdict != CampaignVerdict::Complete
+    {
+        println!(
+            "note: the Figure-6 sweeps hit the deadline; rerun with --resume to \
+             finish from the snapshots"
+        );
+        return Ok(());
+    }
     if let Some(diag) = reduced_mc
         .first_error
         .as_ref()
@@ -217,9 +308,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let reduced = reduced_mc.values;
     let full = full_mc.values;
-    let rs = Summary::of(&reduced);
-    let fs = Summary::of(&full);
-    println!("Figure 6: probe delay over 100 LHS samples (50 um lines)");
+    let rs = reduced_mc.summary;
+    let fs = full_mc.summary;
+    println!("Figure 6: probe delay over {N_SAMPLES} LHS samples (50 um lines)");
     println!(
         "  variational ROM : mean {:.3} ps, std {:.3} ps",
         rs.mean * 1e12,
@@ -241,6 +332,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         h_red.render_pair(&h_full, "variational ROM", "exact reduction", 1e12, "ps")
     );
     // SPICE cross-check on a few samples.
+    if args.deadline_exhausted(run_start) {
+        eprintln!("deadline: skipping the SPICE cross-check");
+        return Ok(());
+    }
     let mut worst = 0.0_f64;
     for s in samples.iter().take(3) {
         let d_teta = teta_delay(&stage, s)?;

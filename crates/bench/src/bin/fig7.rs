@@ -6,10 +6,19 @@
 //! (mean, σ), sampled on equal-probability strata so the two histograms
 //! have the same sample count.
 //!
+//! Flags: `--checkpoint <prefix>` / `--resume <prefix>` /
+//! `--deadline <secs>` run the Monte-Carlo portion as a durable campaign
+//! (one snapshot per circuit). Completed circuits print a deterministic
+//! `mc …` line with the statistics as raw `f64` bit patterns.
+//!
 //! Run with `cargo run --release -p linvar-bench --bin fig7`
 //! (set `LINVAR_THREADS` to pin the Monte-Carlo worker count).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use linvar_bench::{bits_hex, BenchArgs, BenchError};
 use linvar_core::path::{PathModel, PathSpec, VariationSources};
+use linvar_core::{CampaignVerdict, RecoveryPolicy};
 use linvar_devices::tech_018;
 use linvar_interconnect::WireTech;
 use linvar_iscas::{benchmark, decompose_to_primitives, longest_path};
@@ -17,14 +26,32 @@ use linvar_stats::sampling::inverse_normal_cdf;
 use linvar_stats::{resolve_threads, Histogram};
 use std::time::Instant;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("fig7: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::parse(std::env::args().skip(1))?;
+    if args.quick {
+        return Err(BenchError::Usage("fig7 has no --quick mode".into()));
+    }
+    let run_start = Instant::now();
     let threads = resolve_threads(0);
     println!("==== Figure 7: MC vs GA delay histograms (DL, VT variations) ====");
     println!("(Monte-Carlo on {threads} worker thread(s); set LINVAR_THREADS to change)\n");
     let tech = tech_018();
     let wire = WireTech::m018();
     let sources = VariationSources::example3(0.33, 0.33);
+    let mut truncated = 0usize;
     for circuit in ["s27", "s208"] {
+        if args.deadline_exhausted(run_start) {
+            truncated += 1;
+            eprintln!("deadline: skipping {circuit} (no budget left)");
+            continue;
+        }
         let bench = benchmark(circuit).ok_or("unknown benchmark")?;
         let report = longest_path(&bench.netlist)?;
         let stages = decompose_to_primitives(&bench.netlist, &report)?;
@@ -34,12 +61,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             input_slew: 60e-12,
         };
         let model = PathModel::build(&spec, &tech, &wire)?;
+        let config = args.campaign_config(circuit, run_start);
         let t0 = Instant::now();
-        let mc = model.monte_carlo_par(&sources, 100, 7, threads)?;
-        eprintln!(
-            "{circuit}: {:.1} samples/sec",
-            100.0 / t0.elapsed().as_secs_f64()
+        let mc = model.monte_carlo_campaign(
+            &sources,
+            100,
+            7,
+            threads,
+            RecoveryPolicy::default(),
+            &config,
+        )?;
+        if let CampaignVerdict::Truncated { remaining } = mc.verdict {
+            truncated += 1;
+            eprintln!(
+                "deadline: {circuit} truncated with {remaining}/100 samples pending; \
+                 resume with --resume to finish"
+            );
+            continue;
+        }
+        println!(
+            "mc {circuit}: n={} mean={} std={} failures={}",
+            mc.summary.n,
+            bits_hex(mc.summary.mean),
+            bits_hex(mc.summary.std),
+            mc.failures
         );
+        if mc.evaluated > 0 {
+            eprintln!(
+                "{circuit}: {:.1} samples/sec",
+                mc.evaluated as f64 / t0.elapsed().as_secs_f64()
+            );
+        } else {
+            eprintln!("{circuit}: restored from snapshot");
+        }
         let ga = model.gradient_analysis(&sources)?;
         // Stratified normal sample implied by the GA statistics.
         let n = mc.delays.len();
@@ -59,6 +113,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         print!("{}", h_mc.render_pair(&h_ga, "MC", "GA", 1e12, "ps"));
         println!();
+    }
+    if truncated > 0 {
+        println!(
+            "note: {truncated} circuit(s) hit the deadline; rerun with --resume \
+             to finish from the snapshots"
+        );
     }
     Ok(())
 }

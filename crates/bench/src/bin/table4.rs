@@ -4,32 +4,50 @@
 //!
 //! Per circuit/configuration, the per-sample Monte-Carlo cost of each
 //! engine is measured (the framework on several samples through the
-//! deterministic parallel driver, the baseline on one — its per-sample
-//! cost is deterministic) and the ratio reported. Framework throughput is
+//! durable campaign driver, the baseline on one — its per-sample cost is
+//! deterministic) and the ratio reported. Framework throughput is
 //! reported as samples/sec at the worker count selected by
-//! `LINVAR_THREADS` (default: all available cores). Pass `--quick` to
-//! skip the 500-element column of the two largest circuits.
+//! `LINVAR_THREADS` (default: all available cores).
+//!
+//! Flags: `--quick` skips the 500-element column of the two largest
+//! circuits; `--checkpoint <prefix>` / `--resume <prefix>` /
+//! `--deadline <secs>` run the Monte-Carlo portions as durable campaigns
+//! (one snapshot per circuit/configuration under the prefix). Completed
+//! configurations print a deterministic `mc <circuit>@<elements>: …`
+//! line with the statistics as raw `f64` bit patterns — identical
+//! between a clean run and any interrupted-and-resumed schedule.
 //!
 //! Run with `cargo run --release -p linvar-bench --bin table4`
 //! (`LINVAR_THREADS=4 cargo run …` to pin the worker count).
 
-use linvar_bench::render_table;
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use linvar_bench::{bits_hex, render_table, BenchArgs, BenchError};
 use linvar_core::path::{PathModel, PathSpec, VariationSources};
+use linvar_core::{CampaignVerdict, RecoveryPolicy};
 use linvar_devices::tech_018;
 use linvar_interconnect::WireTech;
 use linvar_iscas::{benchmark, decompose_to_primitives, longest_path};
 use linvar_stats::resolve_threads;
 use std::time::Instant;
 
-fn path_cells(circuit: &str) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+fn path_cells(circuit: &str) -> Result<Vec<String>, BenchError> {
     let bench = benchmark(circuit).ok_or_else(|| format!("unknown benchmark {circuit}"))?;
     let report = longest_path(&bench.netlist)?;
     let stages = decompose_to_primitives(&bench.netlist, &report)?;
     Ok(stages.into_iter().map(|s| s.cell).collect())
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = std::env::args().any(|a| a == "--quick");
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("table4: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::parse(std::env::args().skip(1))?;
+    let run_start = Instant::now();
     let threads = resolve_threads(0);
     println!("==== Table 4: speedup of the framework vs the SPICE baseline ====");
     println!(
@@ -41,10 +59,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuits = ["s27", "s208", "s444", "s1423", "s9234"];
     let master_seed = 4;
     let mut rows = Vec::new();
+    let mut truncated = 0usize;
     for circuit in circuits {
         let cells = path_cells(circuit)?;
         for &n_elem in &[10usize, 500] {
-            if quick && n_elem == 500 && (circuit == "s1423" || circuit == "s9234") {
+            if args.quick && n_elem == 500 && (circuit == "s1423" || circuit == "s9234") {
+                continue;
+            }
+            if args.deadline_exhausted(run_start) {
+                // No budget left even to build the model — leave this
+                // configuration entirely to a resumed run.
+                truncated += 1;
+                eprintln!("deadline: skipping {circuit}@{n_elem} (no budget left)");
                 continue;
             }
             let spec = PathSpec {
@@ -56,9 +82,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let model = PathModel::build(&spec, &tech, &wire)?;
             let build_s = t_build.elapsed().as_secs_f64();
             let n_teta = if n_elem == 500 { 3 } else { 5 };
+            let config = args.campaign_config(&format!("{circuit}.{n_elem}"), run_start);
             let t0 = Instant::now();
-            let mc = model.monte_carlo_par(&sources, n_teta, master_seed, threads)?;
+            let mc = model.monte_carlo_campaign(
+                &sources,
+                n_teta,
+                master_seed,
+                threads,
+                RecoveryPolicy::default(),
+                &config,
+            )?;
             let elapsed = t0.elapsed().as_secs_f64();
+            if let CampaignVerdict::Truncated { remaining } = mc.verdict {
+                truncated += 1;
+                eprintln!(
+                    "deadline: {circuit}@{n_elem} truncated with {remaining}/{n_teta} samples \
+                     pending ({} completed this run); resume with --resume to finish",
+                    mc.evaluated
+                );
+                continue;
+            }
             if mc.failures > 0 {
                 eprintln!(
                     "warning: {circuit}@{n_elem}: {}/{n_teta} samples failed (first: {})",
@@ -66,21 +109,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     mc.first_error.as_deref().unwrap_or("unknown"),
                 );
             }
-            let teta_ms = elapsed * 1e3 / n_teta as f64;
-            let sps = n_teta as f64 / elapsed;
+            // Deterministic statistics line: bit patterns, not timings —
+            // identical between clean and interrupted-resumed schedules.
+            println!(
+                "mc {circuit}@{n_elem}: n={} mean={} std={} failures={}",
+                mc.summary.n,
+                bits_hex(mc.summary.mean),
+                bits_hex(mc.summary.std),
+                mc.failures
+            );
+            if args.deadline_exhausted(run_start) {
+                // The campaign finished (e.g. entirely from the resume
+                // snapshot) but there is no budget left for the SPICE
+                // measurement; skip the timing row rather than run over.
+                truncated += 1;
+                eprintln!("deadline: skipping the {circuit}@{n_elem} SPICE measurement");
+                continue;
+            }
+            // Throughput of the samples evaluated in *this* run; a fully
+            // resumed campaign evaluates none, so no rate is measurable.
+            let timing = if mc.evaluated > 0 {
+                Some((
+                    elapsed * 1e3 / mc.evaluated as f64,
+                    mc.evaluated as f64 / elapsed,
+                ))
+            } else {
+                None
+            };
             let mut sample_rng = linvar_stats::rng_from_seed(master_seed);
             let samples = model.draw_samples(&sources, 1, &mut sample_rng);
             let t0 = Instant::now();
             model.evaluate_sample_spice(&samples[0])?;
             let spice_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let (teta_ms, sps) = match timing {
+                Some((ms, sps)) => (format!("{ms:.1}"), format!("{sps:.1}")),
+                None => ("resumed".to_string(), "-".to_string()),
+            };
+            let speedup = match timing {
+                Some((ms, _)) => format!("{:.2}", spice_ms / ms),
+                None => "-".to_string(),
+            };
             rows.push(vec![
                 circuit.to_string(),
                 format!("{}", model.stage_count()),
                 format!("{n_elem}"),
-                format!("{teta_ms:.1}"),
-                format!("{sps:.1}"),
+                teta_ms,
+                sps,
                 format!("{spice_ms:.1}"),
-                format!("{:.2}", spice_ms / teta_ms),
+                speedup,
                 format!("{build_s:.2}"),
             ]);
             eprintln!("done: {circuit} @ {n_elem} elements");
@@ -104,5 +180,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("(speedup = per-sample Monte-Carlo cost ratio; the framework's");
     println!(" one-time construction cost is amortized over the sample set)");
+    if truncated > 0 {
+        println!(
+            "note: {truncated} configuration(s) hit the deadline; rerun with \
+             --resume to finish from the snapshots"
+        );
+    }
     Ok(())
 }

@@ -2,7 +2,252 @@
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the DATE
 //! 2002 paper (see `DESIGN.md` for the experiment index). This library crate
-//! holds the table-formatting helpers they share.
+//! holds what they share: the table formatter, the [`BenchError`] type
+//! (typed errors + process exit codes instead of panics), and the
+//! [`BenchArgs`] parser for the campaign flags
+//! (`--checkpoint`/`--resume`/`--deadline`).
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use linvar_circuit::CircuitError;
+use linvar_core::CoreError;
+use linvar_numeric::NumericError;
+use linvar_spice::SpiceError;
+use linvar_stats::{CampaignConfig, CheckpointError};
+use linvar_teta::TetaError;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Error type of the benchmark binaries.
+///
+/// Every user-reachable failure — bad flags, missing benchmark data, a
+/// solver error, a rejected checkpoint — surfaces as a variant here and
+/// maps to a process exit code via [`BenchError::exit_code`], instead of
+/// an `unwrap`/`expect` panic.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Bad command-line usage (exit code 2).
+    Usage(String),
+    /// A campaign checkpoint was rejected or could not be written (exit
+    /// code 3) — distinct so wrappers can tell "stale/corrupt snapshot"
+    /// from a simulation failure.
+    Checkpoint(CheckpointError),
+    /// A framework-layer failure.
+    Core(CoreError),
+    /// Netlist construction failed.
+    Circuit(CircuitError),
+    /// Linear algebra failed.
+    Numeric(NumericError),
+    /// A TETA evaluation failed.
+    Teta(TetaError),
+    /// A SPICE reference run failed.
+    Spice(SpiceError),
+    /// Anything else (benchmark data lookups, measurement probes, …).
+    Msg(String),
+}
+
+impl BenchError {
+    /// Process exit code for this failure: 2 for usage errors, 3 for
+    /// checkpoint problems, 1 otherwise.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            BenchError::Usage(_) => 2,
+            BenchError::Checkpoint(_) => 3,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Usage(msg) => write!(f, "usage: {msg}"),
+            BenchError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            BenchError::Core(e) => write!(f, "{e}"),
+            BenchError::Circuit(e) => write!(f, "circuit: {e}"),
+            BenchError::Numeric(e) => write!(f, "numeric: {e}"),
+            BenchError::Teta(e) => write!(f, "teta: {e}"),
+            BenchError::Spice(e) => write!(f, "spice: {e}"),
+            BenchError::Msg(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Checkpoint(e) => Some(e),
+            BenchError::Core(e) => Some(e),
+            BenchError::Circuit(e) => Some(e),
+            BenchError::Numeric(e) => Some(e),
+            BenchError::Teta(e) => Some(e),
+            BenchError::Spice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for BenchError {
+    fn from(e: CoreError) -> Self {
+        // Surface checkpoint rejections under their own exit code even
+        // when they arrive wrapped by the framework layer.
+        match e {
+            CoreError::Checkpoint(c) => BenchError::Checkpoint(c),
+            other => BenchError::Core(other),
+        }
+    }
+}
+
+impl From<CheckpointError> for BenchError {
+    fn from(e: CheckpointError) -> Self {
+        BenchError::Checkpoint(e)
+    }
+}
+
+impl From<CircuitError> for BenchError {
+    fn from(e: CircuitError) -> Self {
+        BenchError::Circuit(e)
+    }
+}
+
+impl From<NumericError> for BenchError {
+    fn from(e: NumericError) -> Self {
+        BenchError::Numeric(e)
+    }
+}
+
+impl From<TetaError> for BenchError {
+    fn from(e: TetaError) -> Self {
+        BenchError::Teta(e)
+    }
+}
+
+impl From<SpiceError> for BenchError {
+    fn from(e: SpiceError) -> Self {
+        BenchError::Spice(e)
+    }
+}
+
+impl From<String> for BenchError {
+    fn from(msg: String) -> Self {
+        BenchError::Msg(msg)
+    }
+}
+
+impl From<&str> for BenchError {
+    fn from(msg: &str) -> Self {
+        BenchError::Msg(msg.to_string())
+    }
+}
+
+/// Command-line arguments shared by the campaign-capable bins
+/// (`table4`, `table5`, `fig7`, `example2`).
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// `--quick`: reduced sample counts / skipped configurations.
+    pub quick: bool,
+    /// `--checkpoint <prefix>`: write per-run snapshots under this path
+    /// prefix (each campaign appends `.<tag>.ckpt`).
+    pub checkpoint: Option<PathBuf>,
+    /// `--resume <prefix>`: resume campaigns whose snapshot under this
+    /// prefix exists (missing snapshots start fresh).
+    pub resume: Option<PathBuf>,
+    /// `--deadline <secs>`: wall-clock budget for the whole process.
+    pub deadline: Option<Duration>,
+}
+
+impl BenchArgs {
+    /// Parses `argv` (without the program name). Unknown flags are a
+    /// [`BenchError::Usage`] error.
+    pub fn parse<I: Iterator<Item = String>>(mut argv: I) -> Result<BenchArgs, BenchError> {
+        fn value<I: Iterator<Item = String>>(
+            argv: &mut I,
+            flag: &str,
+        ) -> Result<String, BenchError> {
+            argv.next()
+                .ok_or_else(|| BenchError::Usage(format!("{flag} requires a value")))
+        }
+        let mut out = BenchArgs::default();
+        while let Some(arg) = argv.next() {
+            match arg.as_str() {
+                "--quick" => out.quick = true,
+                "--checkpoint" => {
+                    out.checkpoint = Some(PathBuf::from(value(&mut argv, "--checkpoint")?));
+                }
+                "--resume" => {
+                    out.resume = Some(PathBuf::from(value(&mut argv, "--resume")?));
+                }
+                "--deadline" => {
+                    let raw = value(&mut argv, "--deadline")?;
+                    let secs: f64 = raw.parse().map_err(|_| {
+                        BenchError::Usage(format!("--deadline wants seconds, got {raw:?}"))
+                    })?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err(BenchError::Usage(format!(
+                            "--deadline wants a non-negative number of seconds, got {raw:?}"
+                        )));
+                    }
+                    out.deadline = Some(Duration::from_secs_f64(secs));
+                }
+                other => {
+                    return Err(BenchError::Usage(format!(
+                        "unknown argument {other:?} (expected --quick, --checkpoint <prefix>, \
+                         --resume <prefix>, --deadline <secs>)"
+                    )));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Snapshot path for one campaign: `<prefix>.<tag>.ckpt`.
+    fn snapshot_path(prefix: &std::path::Path, tag: &str) -> PathBuf {
+        let mut os = prefix.as_os_str().to_owned();
+        os.push(format!(".{tag}.ckpt"));
+        PathBuf::from(os)
+    }
+
+    /// Builds the [`CampaignConfig`] for one campaign of this run.
+    ///
+    /// * the checkpoint file is `<prefix>.<tag>.ckpt`;
+    /// * a resume snapshot is used only if it exists (first runs of a
+    ///   `--resume`d invocation start fresh);
+    /// * the process-wide `--deadline` is converted to this campaign's
+    ///   remaining budget, measured from `run_start` — an exhausted
+    ///   budget yields a zero deadline, so later campaigns truncate
+    ///   immediately (writing empty, resumable snapshots) instead of
+    ///   running over.
+    pub fn campaign_config(&self, tag: &str, run_start: Instant) -> CampaignConfig {
+        CampaignConfig {
+            checkpoint: self
+                .checkpoint
+                .as_ref()
+                .map(|p| Self::snapshot_path(p, tag)),
+            resume: self
+                .resume
+                .as_ref()
+                .map(|p| Self::snapshot_path(p, tag))
+                .filter(|p| p.exists()),
+            deadline: self.deadline.map(|d| d.saturating_sub(run_start.elapsed())),
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// `true` once the process-wide `--deadline` has elapsed — bins use
+    /// this to skip auxiliary measurements (e.g. SPICE baselines) that
+    /// are not checkpointable.
+    pub fn deadline_exhausted(&self, run_start: Instant) -> bool {
+        self.deadline.is_some_and(|d| run_start.elapsed() >= d)
+    }
+}
+
+/// `f64` as its 16-hex-digit bit pattern — the bins print Monte-Carlo
+/// statistics this way on their deterministic `mc` lines, so a resumed
+/// run can be string-compared against a clean one (see `ci.sh`).
+pub fn bits_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
 
 /// Renders a simple fixed-width text table with a header row.
 ///
@@ -68,5 +313,89 @@ mod tests {
     fn table_handles_short_rows() {
         let t = render_table(&["x", "y"], &[vec!["only".into()]]);
         assert!(t.contains("only"));
+    }
+
+    fn argv(args: &[&str]) -> impl Iterator<Item = String> {
+        args.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn args_parse_roundtrip() {
+        let a = BenchArgs::parse(argv(&[
+            "--quick",
+            "--checkpoint",
+            "/tmp/t4",
+            "--resume",
+            "/tmp/t4",
+            "--deadline",
+            "2.5",
+        ]))
+        .unwrap();
+        assert!(a.quick);
+        assert_eq!(
+            a.checkpoint.as_deref(),
+            Some(std::path::Path::new("/tmp/t4"))
+        );
+        assert_eq!(a.resume.as_deref(), Some(std::path::Path::new("/tmp/t4")));
+        assert_eq!(a.deadline, Some(Duration::from_secs_f64(2.5)));
+        let none = BenchArgs::parse(argv(&[])).unwrap();
+        assert!(!none.quick && none.deadline.is_none());
+    }
+
+    #[test]
+    fn args_reject_bad_usage() {
+        for bad in [
+            vec!["--frobnicate"],
+            vec!["--checkpoint"],
+            vec!["--deadline", "soon"],
+            vec!["--deadline", "-1"],
+        ] {
+            let err = BenchArgs::parse(argv(&bad)).unwrap_err();
+            assert!(matches!(err, BenchError::Usage(_)), "{bad:?} → {err}");
+            assert_eq!(err.exit_code(), 2);
+        }
+    }
+
+    #[test]
+    fn campaign_config_derivation() {
+        let a =
+            BenchArgs::parse(argv(&["--checkpoint", "/tmp/pfx", "--resume", "/tmp/pfx"])).unwrap();
+        let cfg = a.campaign_config("s27.10", Instant::now());
+        assert_eq!(
+            cfg.checkpoint.as_deref(),
+            Some(std::path::Path::new("/tmp/pfx.s27.10.ckpt"))
+        );
+        // The resume snapshot does not exist, so the campaign starts
+        // fresh instead of failing.
+        assert!(cfg.resume.is_none());
+        assert!(cfg.deadline.is_none());
+    }
+
+    #[test]
+    fn exit_codes_by_class() {
+        use linvar_stats::CheckpointError;
+        assert_eq!(BenchError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(
+            BenchError::Checkpoint(CheckpointError::Malformed { reason: "x".into() }).exit_code(),
+            3
+        );
+        assert_eq!(BenchError::Msg("x".into()).exit_code(), 1);
+        // Core-wrapped checkpoint errors keep the checkpoint exit code.
+        let wrapped: BenchError =
+            linvar_core::CoreError::Checkpoint(CheckpointError::ChecksumMismatch {
+                expected: 1,
+                found: 2,
+            })
+            .into();
+        assert_eq!(wrapped.exit_code(), 3);
+    }
+
+    #[test]
+    fn bits_hex_is_deterministic_text() {
+        assert_eq!(bits_hex(1.0), "3ff0000000000000");
+        assert_eq!(bits_hex(0.0), "0000000000000000");
     }
 }

@@ -3,6 +3,7 @@
 use linvar_circuit::CircuitError;
 use linvar_numeric::NumericError;
 use linvar_spice::SpiceError;
+use linvar_stats::CheckpointError;
 use linvar_teta::TetaError;
 use std::fmt;
 
@@ -19,6 +20,8 @@ pub enum CoreError {
     Circuit(CircuitError),
     /// Linear algebra failed.
     Numeric(NumericError),
+    /// A campaign checkpoint could not be written, read, or validated.
+    Checkpoint(CheckpointError),
     /// A stage output never completed its transition within the retry
     /// budget (the stage is unable to drive its load).
     StageStuck {
@@ -35,6 +38,7 @@ impl fmt::Display for CoreError {
             CoreError::Spice(e) => write!(f, "spice: {e}"),
             CoreError::Circuit(e) => write!(f, "circuit: {e}"),
             CoreError::Numeric(e) => write!(f, "numeric: {e}"),
+            CoreError::Checkpoint(e) => write!(f, "campaign: {e}"),
             CoreError::StageStuck { stage } => {
                 write!(f, "stage {stage} output never completed its transition")
             }
@@ -49,6 +53,7 @@ impl std::error::Error for CoreError {
             CoreError::Spice(e) => Some(e),
             CoreError::Circuit(e) => Some(e),
             CoreError::Numeric(e) => Some(e),
+            CoreError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -75,6 +80,12 @@ impl From<CircuitError> for CoreError {
 impl From<NumericError> for CoreError {
     fn from(e: NumericError) -> Self {
         CoreError::Numeric(e)
+    }
+}
+
+impl From<CheckpointError> for CoreError {
+    fn from(e: CheckpointError) -> Self {
+        CoreError::Checkpoint(e)
     }
 }
 

@@ -56,10 +56,14 @@ pub mod worst_case;
 
 pub use error::CoreError;
 pub use path::{GaPathResult, McPathResult, PathModel, PathSpec, VariationSources};
-pub use recovery::{DegradationReport, EngineRung, McRecoveryResult};
+pub use recovery::{DegradationReport, EngineRung, McCampaignResult, McRecoveryResult};
 pub use stage_builder::{StageLoad, StageLoadSpec};
 pub use worst_case::WorstCaseResult;
 
-// Policy types of the statistics layer, re-exported so callers of the
-// recovering Monte-Carlo drivers need only this crate.
-pub use linvar_stats::{HealthSummary, RecoveryPolicy, SampleHealth, SampleStatus};
+// Policy and campaign types of the statistics layer, re-exported so
+// callers of the recovering and durable Monte-Carlo drivers need only
+// this crate.
+pub use linvar_stats::{
+    CampaignConfig, CampaignFingerprint, CampaignVerdict, CheckpointError, HealthSummary,
+    RecoveryPolicy, SampleHealth, SampleStatus,
+};

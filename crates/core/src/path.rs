@@ -20,13 +20,14 @@
 //! [`StageModel`]: linvar_teta::StageModel
 
 use crate::error::CoreError;
-use crate::recovery::{DegradationReport, EngineRung, McRecoveryResult};
+use crate::recovery::{DegradationReport, EngineRung, McCampaignResult, McRecoveryResult};
 use crate::stage_builder::{build_stage_load, StageLoad, StageLoadSpec};
 use linvar_devices::{CellLibrary, DeviceVariation, Technology};
 use linvar_interconnect::WireTech;
 use linvar_mor::ReductionMethod;
 use linvar_stats::{
-    lhs_normal, monte_carlo, monte_carlo_par, monte_carlo_par_with_policy, rng_from_seed,
+    fingerprint_str, fingerprint_words, lhs_normal, monte_carlo, monte_carlo_par,
+    monte_carlo_par_with_policy, rng_from_seed, run_campaign, CampaignConfig, CampaignFingerprint,
     RecoveryPolicy, SampleRng, SampleStatus, Summary,
 };
 use linvar_teta::{StageModel, Waveform};
@@ -612,6 +613,137 @@ impl PathModel {
             sample_health: res.sample_health,
             health: res.health,
             truncated_at: res.truncated_at,
+            reports,
+        })
+    }
+
+    /// Fingerprint of everything (beyond seed and sample count) that
+    /// shapes a sample's delay: the cells along the path, the stage
+    /// count, input slew, supply, and the σ of every variation source.
+    ///
+    /// Stored in campaign checkpoints so a snapshot taken against one
+    /// path/source configuration refuses to resume against another.
+    pub fn campaign_fingerprint(&self, sources: &VariationSources) -> u64 {
+        let mut words = Vec::with_capacity(self.stages.len() + 10);
+        for stage in &self.stages {
+            words.push(fingerprint_str(&stage.cell));
+        }
+        words.push(self.stages.len() as u64);
+        words.push(self.input_slew.to_bits());
+        words.push(self.vdd.to_bits());
+        for &s in &sources.wire {
+            words.push(s.to_bits());
+        }
+        words.push(sources.dl.to_bits());
+        words.push(sources.vt.to_bits());
+        fingerprint_words(words)
+    }
+
+    /// Durable Monte-Carlo path-delay campaign: the recovering parallel
+    /// driver ([`PathModel::monte_carlo_par_recovering`], same attempt
+    /// ladder) wrapped in the checkpoint/resume/deadline machinery of
+    /// [`linvar_stats::campaign`].
+    ///
+    /// * `config.checkpoint` — atomic, checksummed snapshots of every
+    ///   completed sample, written periodically and once more before
+    ///   returning;
+    /// * `config.resume` — restore completed samples from a snapshot and
+    ///   evaluate only the missing indices. The snapshot's seed, sample
+    ///   count, policy and model fingerprints must match
+    ///   ([`PathModel::campaign_fingerprint`]) or the resume refuses with
+    ///   a typed error. The merged result is **bitwise-identical** to an
+    ///   uninterrupted run at any thread count;
+    /// * `config.deadline` / `config.sample_budget` — graceful
+    ///   truncation: in-flight samples finish, the result carries valid
+    ///   partial statistics, a `Truncated` verdict, and a resumable final
+    ///   snapshot;
+    /// * `config.sample_timeout` — the cooperative watchdog: an attempt
+    ///   overrunning the soft budget floors the sample's health to
+    ///   [`SampleStatus::TimedOut`] (an overrunning *failure* falls down
+    ///   the recovery ladder instead of stalling the queue).
+    ///
+    /// `policy.fail_fast` is ignored by campaigns — their answer to a
+    /// failing sample is quarantine-and-checkpoint, not truncation.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint load/validation failures and the final snapshot write,
+    /// as [`CoreError::Checkpoint`].
+    pub fn monte_carlo_campaign(
+        &self,
+        sources: &VariationSources,
+        n: usize,
+        master_seed: u64,
+        threads: usize,
+        policy: RecoveryPolicy,
+        config: &CampaignConfig,
+    ) -> Result<McCampaignResult, CoreError> {
+        let mut rng = rng_from_seed(master_seed);
+        let samples = self.draw_samples(sources, n, &mut rng);
+        let indexed: Vec<(usize, PathSample)> = samples.into_iter().enumerate().collect();
+        let fingerprint = CampaignFingerprint {
+            master_seed,
+            n_samples: n,
+            policy,
+            model: self.campaign_fingerprint(sources),
+        };
+        // Report side channel, as in `monte_carlo_par_recovering`: written
+        // at most once per sample evaluated this run, sorted after the
+        // merge. Resumed samples carry no report (checkpoints persist
+        // status/attempts, not notes).
+        let reports: Mutex<Vec<DegradationReport>> = Mutex::new(Vec::new());
+        let res = run_campaign(
+            &indexed,
+            threads,
+            policy,
+            config,
+            fingerprint,
+            |&(idx, ref sample), attempt| -> Result<(f64, SampleStatus), String> {
+                if attempt == 0 {
+                    return self
+                        .evaluate_sample(sample)
+                        .map(|d| (d, SampleStatus::Clean))
+                        .map_err(|e| e.to_string());
+                }
+                if policy.is_fallback_attempt(attempt) {
+                    let d = self
+                        .evaluate_sample_spice(sample)
+                        .map_err(|e| e.to_string())?;
+                    let mut report = DegradationReport::clean();
+                    report.sample_index = idx;
+                    report.rung = EngineRung::SpiceBaseline;
+                    report
+                        .notes
+                        .push("whole path served by baseline SPICE".into());
+                    reports.lock().expect("reports lock").push(report);
+                    return Ok((d, SampleStatus::Degraded));
+                }
+                let (d, mut report) = self
+                    .evaluate_sample_recovering(sample, policy.allow_fallback)
+                    .map_err(|e| e.to_string())?;
+                report.sample_index = idx;
+                let status = report.status();
+                if !report.is_clean() {
+                    reports.lock().expect("reports lock").push(report);
+                }
+                Ok((d, status))
+            },
+        )?;
+        let mut reports = reports.into_inner().expect("workers joined");
+        reports.sort_by_key(|r| r.sample_index);
+        Ok(McCampaignResult {
+            delays: res.values,
+            summary: res.summary,
+            failures: res.failures,
+            failed_indices: res.failed_indices,
+            first_error: res.first_error,
+            sample_health: res.sample_health,
+            health: res.health,
+            verdict: res.verdict,
+            completed: res.completed,
+            resumed: res.resumed,
+            evaluated: res.evaluated,
+            checkpoints_written: res.checkpoints_written,
             reports,
         })
     }

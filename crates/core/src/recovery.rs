@@ -21,7 +21,7 @@
 //! [`RecoveryPolicy`] attempt budget. See DESIGN.md, "Failure semantics &
 //! degradation ladder".
 
-use linvar_stats::{HealthSummary, SampleHealth, SampleStatus, Summary};
+use linvar_stats::{CampaignVerdict, HealthSummary, SampleHealth, SampleStatus, Summary};
 use linvar_teta::StageRecovery;
 use std::fmt;
 
@@ -195,6 +195,51 @@ pub struct McRecoveryResult {
     /// Index the run was truncated at under a fail-fast policy.
     pub truncated_at: Option<usize>,
     /// Degradation reports of the assisted samples, ascending index.
+    pub reports: Vec<DegradationReport>,
+}
+
+/// Result of a durable Monte-Carlo campaign
+/// ([`crate::PathModel::monte_carlo_campaign`]).
+///
+/// Statistics cover every *completed* sample — restored from a resume
+/// snapshot or evaluated in this run — merged in sample-index order,
+/// exactly as an uninterrupted run would produce them (the bitwise-resume
+/// contract; see DESIGN.md, "Durable campaigns: checkpoint format &
+/// resume invariants"). Like [`McRecoveryResult`], an all-failed run is
+/// not an error: the health summary and verdict are the product.
+#[derive(Debug, Clone)]
+pub struct McCampaignResult {
+    /// Path delay per successful sample (s), in sample-index order.
+    pub delays: Vec<f64>,
+    /// Summary statistics of the delays.
+    pub summary: Summary,
+    /// Samples lost after exhausting the attempt budget.
+    pub failures: usize,
+    /// Indices of the failed samples, ascending.
+    pub failed_indices: Vec<usize>,
+    /// Diagnostic of the lowest-index failure, if any.
+    pub first_error: Option<String>,
+    /// Per-sample status and attempt count for completed samples, in
+    /// sample-index order.
+    pub sample_health: Vec<SampleHealth>,
+    /// Run-level tally of the completed samples.
+    pub health: HealthSummary,
+    /// Whether the campaign finished or was truncated (deadline /
+    /// sample budget) with a resumable snapshot.
+    pub verdict: CampaignVerdict,
+    /// Completed samples (resumed + evaluated this run).
+    pub completed: usize,
+    /// Samples restored from the resume snapshot.
+    pub resumed: usize,
+    /// Samples evaluated in this run.
+    pub evaluated: usize,
+    /// Snapshots written in this run (periodic + final).
+    pub checkpoints_written: usize,
+    /// Degradation reports of the assisted samples *evaluated in this
+    /// run*, ascending index. Checkpoints persist status and attempts but
+    /// not report notes, so resumed samples carry no report — the
+    /// per-sample [`SampleStatus`] in `sample_health` is the durable
+    /// record.
     pub reports: Vec<DegradationReport>,
 }
 

@@ -12,11 +12,16 @@
 //!   deterministic parallel — see DESIGN.md, "Parallel execution &
 //!   determinism contract") with summary statistics, standard-error
 //!   estimates and per-sample failure diagnostics;
+//! * [`campaign`] — the durable campaign runner: atomic checksummed
+//!   checkpoints, fingerprint-validated resume, deadline budgets and a
+//!   cooperative per-sample watchdog (see DESIGN.md, "Durable campaigns:
+//!   checkpoint format & resume invariants");
 //! * [`gradient`] — Gradient Analysis (§4.1.3, eq. 24): σ of a performance
 //!   from first-order sensitivities of uncorrelated sources;
 //! * [`histogram`] — fixed-bin histograms with a text renderer for the
 //!   paper's Figures 6 and 7.
 
+pub mod campaign;
 pub mod gradient;
 pub mod histogram;
 pub mod montecarlo;
@@ -25,6 +30,11 @@ pub mod sampling;
 pub mod summary;
 pub mod timing_yield;
 
+pub use campaign::{
+    fingerprint_str, fingerprint_words, fnv1a64, load_checkpoint, run_campaign, save_checkpoint,
+    CampaignConfig, CampaignFingerprint, CampaignResult, CampaignVerdict, Checkpoint,
+    CheckpointError, SampleRecord,
+};
 pub use gradient::central_difference_sensitivities;
 pub use gradient::gradient_std;
 pub use histogram::Histogram;

@@ -27,6 +27,10 @@ pub enum SampleStatus {
     Recovered,
     /// A fallback rung served the sample at reduced fidelity.
     Degraded,
+    /// The sample was served, but an attempt overran the campaign
+    /// watchdog's soft per-sample timeout (see
+    /// [`crate::campaign::CampaignConfig::sample_timeout`]).
+    TimedOut,
     /// Every attempt in the budget failed.
     Failed,
 }
@@ -51,28 +55,31 @@ pub struct HealthSummary {
     pub n_recovered: usize,
     /// Samples served by a fallback.
     pub n_degraded: usize,
+    /// Samples that overran the per-sample watchdog's soft timeout.
+    pub n_timed_out: usize,
     /// Samples lost after exhausting the attempt budget.
     pub n_failed: usize,
 }
 
 impl HealthSummary {
-    fn count(&mut self, status: SampleStatus) {
+    pub(crate) fn count(&mut self, status: SampleStatus) {
         match status {
             SampleStatus::Clean => self.n_clean += 1,
             SampleStatus::Recovered => self.n_recovered += 1,
             SampleStatus::Degraded => self.n_degraded += 1,
+            SampleStatus::TimedOut => self.n_timed_out += 1,
             SampleStatus::Failed => self.n_failed += 1,
         }
     }
 
     /// Total samples accounted for.
     pub fn total(&self) -> usize {
-        self.n_clean + self.n_recovered + self.n_degraded + self.n_failed
+        self.n_clean + self.n_recovered + self.n_degraded + self.n_timed_out + self.n_failed
     }
 
     /// `true` when every sample was served on its first attempt.
     pub fn all_clean(&self) -> bool {
-        self.n_recovered == 0 && self.n_degraded == 0 && self.n_failed == 0
+        self.n_recovered == 0 && self.n_degraded == 0 && self.n_timed_out == 0 && self.n_failed == 0
     }
 }
 
@@ -230,19 +237,31 @@ pub fn monte_carlo<S, E: Display>(
 
 /// Resolves the worker count for the parallel driver.
 ///
-/// `requested` = 0 means "auto": the `LINVAR_THREADS` environment
-/// variable if set to a positive integer, otherwise the machine's
-/// available parallelism.
+/// Precedence: an explicit `requested > 0` wins; otherwise the
+/// `LINVAR_THREADS` environment variable (a positive integer); otherwise
+/// the machine's available parallelism.
+///
+/// An invalid `LINVAR_THREADS` value — `0`, negative, non-numeric, or
+/// non-unicode — is **not** silently ignored: a one-line warning is
+/// printed to stderr and the fallback (available cores) is used, so a
+/// typo in a job script degrades loudly instead of mysteriously changing
+/// the worker count.
 pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    if let Some(n) = std::env::var("LINVAR_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return n;
+    match std::env::var("LINVAR_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => eprintln!(
+                "warning: ignoring invalid LINVAR_THREADS={raw:?} \
+                 (expected a positive integer); using available cores"
+            ),
+        },
+        Err(std::env::VarError::NotPresent) => {}
+        Err(std::env::VarError::NotUnicode(_)) => {
+            eprintln!("warning: ignoring non-unicode LINVAR_THREADS; using available cores")
+        }
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -338,7 +357,7 @@ fn contained<S, E: Display>(
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     payload
         .downcast_ref::<&str>()
         .map(|s| s.to_string())
@@ -776,6 +795,26 @@ mod tests {
     fn thread_resolution_prefers_explicit_request() {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn invalid_linvar_threads_falls_back_loudly() {
+        // Env manipulation is process-global; keep every env-writing
+        // assertion inside this one test. Concurrent tests only ever
+        // *read* the variable through `resolve_threads(0)`, whose
+        // assertions hold for any value this test sets.
+        let prev = std::env::var_os("LINVAR_THREADS");
+        for bad in ["0", "-2", "lots", "", "4.5"] {
+            std::env::set_var("LINVAR_THREADS", bad);
+            assert!(resolve_threads(0) >= 1, "fallback for {bad:?}");
+            assert_eq!(resolve_threads(5), 5, "explicit request wins over {bad:?}");
+        }
+        std::env::set_var("LINVAR_THREADS", " 3 ");
+        assert_eq!(resolve_threads(0), 3, "valid value (whitespace-trimmed)");
+        match prev {
+            Some(v) => std::env::set_var("LINVAR_THREADS", v),
+            None => std::env::remove_var("LINVAR_THREADS"),
+        }
     }
 
     #[test]
