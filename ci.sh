@@ -93,4 +93,40 @@ if [ "$status" -ne 3 ]; then
     exit 1
 fi
 
+echo "==> metrics trajectory smoke (instrumented table4 --quick, same-seed counter diff)"
+LINVAR_THREADS=2 cargo run --release -q -p linvar-bench --bin table4 -- --quick \
+    --metrics "$ckdir/m1.json" >"$ckdir/m1.out" 2>&1
+if ! [ -s BENCH_table4.json ] || ! [ -s "$ckdir/m1.json" ]; then
+    echo "instrumented table4 run did not write its metrics reports" >&2
+    cat "$ckdir/m1.out" >&2
+    exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool BENCH_table4.json >/dev/null || {
+        echo "BENCH_table4.json is not valid JSON" >&2
+        exit 1
+    }
+fi
+for key in '"bench"' '"counters"' '"gauges"' '"timers"' \
+    '"phase.sample_eval.calls"' '"mc.samples_completed"' '"rung.' '"wall_seconds"'; do
+    if ! grep -q "$key" BENCH_table4.json; then
+        echo "BENCH_table4.json is missing required key $key" >&2
+        exit 1
+    fi
+done
+# Same seed at a different worker count: the deterministic counters
+# section must be byte-identical (gauges/timers are run-dependent).
+LINVAR_THREADS=4 cargo run --release -q -p linvar-bench --bin table4 -- --quick \
+    --metrics "$ckdir/m2.json" >"$ckdir/m2.out" 2>&1
+sed -n '/^  "counters": {$/,/^  },$/p' "$ckdir/m1.json" >"$ckdir/m1.counters"
+sed -n '/^  "counters": {$/,/^  },$/p' "$ckdir/m2.json" >"$ckdir/m2.counters"
+if ! [ -s "$ckdir/m1.counters" ]; then
+    echo "could not extract the counters section from the metrics report" >&2
+    exit 1
+fi
+if ! diff -u "$ckdir/m1.counters" "$ckdir/m2.counters"; then
+    echo "metrics counters differ between same-seed runs at different thread counts" >&2
+    exit 1
+fi
+
 echo "==> ci green"

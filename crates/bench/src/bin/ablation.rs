@@ -14,7 +14,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
-use linvar_bench::{render_table, BenchError};
+use linvar_bench::{render_table, BenchArgs, BenchError, BenchMeter};
 use linvar_devices::{tech_018, DeviceVariation};
 use linvar_interconnect::{builder::build_coupled_lines, CoupledLineSpec, WireTech};
 use linvar_mor::{extract_pole_residue, ReductionMethod, VariationalRom};
@@ -38,6 +38,12 @@ fn main() {
 }
 
 fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::parse(std::env::args().skip(1))?;
+    args.reject_campaign_flags("ablation")?;
+    if args.quick {
+        return Err(BenchError::Usage("ablation has no --quick mode".into()));
+    }
+    let meter = BenchMeter::start("ablation");
     let tech = tech_018();
     let spec = CoupledLineSpec::new(1, 60e-6, WireTech::m018());
     let built = build_coupled_lines(&spec)?;
@@ -192,5 +198,6 @@ fn run() -> Result<(), BenchError> {
     );
     println!("(delays should agree across delta — the basis sensitivities are");
     println!(" linear over a wide step range)");
+    meter.finish(&args)?;
     Ok(())
 }

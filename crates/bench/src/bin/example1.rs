@@ -6,7 +6,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
-use linvar_bench::{render_table, BenchError};
+use linvar_bench::{render_table, BenchArgs, BenchError, BenchMeter};
 use linvar_circuit::{MosType, Netlist, SourceWaveform};
 use linvar_devices::{tech_06, DeviceVariation, Technology};
 use linvar_interconnect::example1::{example1_load, TABLE2};
@@ -22,6 +22,12 @@ fn main() {
 }
 
 fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::parse(std::env::args().skip(1))?;
+    args.reject_campaign_flags("example1")?;
+    if args.quick {
+        return Err(BenchError::Usage("example1 has no --quick mode".into()));
+    }
+    let mut meter = BenchMeter::start("example1");
     println!("==== Example 1 (paper Tables 2-3, Figure 3) ====\n");
 
     // ---------------- Table 2 ----------------------------------------
@@ -121,6 +127,8 @@ fn run() -> Result<(), BenchError> {
         )
     );
     println!("max |extreme - macromodel| = {max_err:.4} V (VDD = 5 V)");
+    meter.set("fig3_max_macromodel_error_v", max_err);
+    meter.finish(&args)?;
     Ok(())
 }
 

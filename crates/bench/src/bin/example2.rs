@@ -17,7 +17,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
-use linvar_bench::{bits_hex, render_table, BenchArgs, BenchError};
+use linvar_bench::{bits_hex, render_table, BenchArgs, BenchError, BenchMeter};
 use linvar_circuit::{MosType, Netlist, SourceWaveform};
 use linvar_devices::{tech_018, DeviceVariation};
 use linvar_interconnect::{builder::build_coupled_lines, CoupledLineSpec, WireTech};
@@ -203,6 +203,7 @@ fn run() -> Result<(), BenchError> {
     if args.quick {
         return Err(BenchError::Usage("example2 has no --quick mode".into()));
     }
+    let mut meter = BenchMeter::start("example2");
     let run_start = Instant::now();
     let threads = resolve_threads(0);
     println!("==== Example 2 (paper Figures 5-6) ====");
@@ -326,7 +327,7 @@ fn run() -> Result<(), BenchError> {
         (rs.mean - fs.mean).abs() * 1e12,
         (rs.std - fs.std).abs() * 1e12
     );
-    let (h_red, h_full) = Histogram::pair(&reduced, &full, 12);
+    let (h_red, h_full) = Histogram::pair(&reduced, &full, 12)?;
     print!(
         "{}",
         h_red.render_pair(&h_full, "variational ROM", "exact reduction", 1e12, "ps")
@@ -334,6 +335,7 @@ fn run() -> Result<(), BenchError> {
     // SPICE cross-check on a few samples.
     if args.deadline_exhausted(run_start) {
         eprintln!("deadline: skipping the SPICE cross-check");
+        meter.finish(&args)?;
         return Ok(());
     }
     let mut worst = 0.0_f64;
@@ -346,5 +348,7 @@ fn run() -> Result<(), BenchError> {
         "\nSPICE cross-check on 3 samples: worst relative delay error {:.2}%",
         worst * 100.0
     );
+    meter.set("spice_crosscheck_worst_rel_error", worst);
+    meter.finish(&args)?;
     Ok(())
 }

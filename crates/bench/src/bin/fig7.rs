@@ -16,7 +16,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
-use linvar_bench::{bits_hex, BenchArgs, BenchError};
+use linvar_bench::{bits_hex, BenchArgs, BenchError, BenchMeter};
 use linvar_core::path::{PathModel, PathSpec, VariationSources};
 use linvar_core::{CampaignVerdict, RecoveryPolicy};
 use linvar_devices::tech_018;
@@ -38,6 +38,7 @@ fn run() -> Result<(), BenchError> {
     if args.quick {
         return Err(BenchError::Usage("fig7 has no --quick mode".into()));
     }
+    let mut meter = BenchMeter::start("fig7");
     let run_start = Instant::now();
     let threads = resolve_threads(0);
     println!("==== Figure 7: MC vs GA delay histograms (DL, VT variations) ====");
@@ -103,7 +104,7 @@ fn run() -> Result<(), BenchError> {
                 ga.nominal_delay + ga.std * inverse_normal_cdf(u)
             })
             .collect();
-        let (h_mc, h_ga) = Histogram::pair(&mc.delays, &ga_sample, 12);
+        let (h_mc, h_ga) = Histogram::pair(&mc.delays, &ga_sample, 12)?;
         println!(
             "{circuit}: MC mean {:.2} ps std {:.2} ps | GA mean {:.2} ps std {:.2} ps",
             mc.summary.mean * 1e12,
@@ -120,5 +121,7 @@ fn run() -> Result<(), BenchError> {
              to finish from the snapshots"
         );
     }
+    meter.set("truncated_circuits", truncated as u64);
+    meter.finish(&args)?;
     Ok(())
 }

@@ -22,12 +22,13 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
-use linvar_bench::{bits_hex, render_table, BenchArgs, BenchError};
+use linvar_bench::{bits_hex, render_table, BenchArgs, BenchError, BenchMeter};
 use linvar_core::path::{PathModel, PathSpec, VariationSources};
 use linvar_core::{CampaignVerdict, RecoveryPolicy};
 use linvar_devices::tech_018;
 use linvar_interconnect::WireTech;
 use linvar_iscas::{benchmark, decompose_to_primitives, longest_path};
+use linvar_metrics::Json;
 use linvar_stats::resolve_threads;
 use std::time::Instant;
 
@@ -47,6 +48,8 @@ fn main() {
 
 fn run() -> Result<(), BenchError> {
     let args = BenchArgs::parse(std::env::args().skip(1))?;
+    let mut meter = BenchMeter::start("table4");
+    let mut configs = Json::obj();
     let run_start = Instant::now();
     let threads = resolve_threads(0);
     println!("==== Table 4: speedup of the framework vs the SPICE baseline ====");
@@ -159,6 +162,19 @@ fn run() -> Result<(), BenchError> {
                 speedup,
                 format!("{build_s:.2}"),
             ]);
+            let mut cfg = Json::obj();
+            cfg.set("stages", model.stage_count() as u64);
+            cfg.set("linear_elements", n_elem as u64);
+            cfg.set("spice_ms_per_sample", spice_ms);
+            if let Some((ms, sps)) = timing {
+                cfg.set("framework_ms_per_sample", ms);
+                cfg.set("samples_per_sec", sps);
+                cfg.set("speedup", spice_ms / ms);
+            }
+            cfg.set("mc_mean_bits", bits_hex(mc.summary.mean));
+            cfg.set("mc_std_bits", bits_hex(mc.summary.std));
+            cfg.set("failures", mc.failures as u64);
+            configs.set(&format!("{circuit}@{n_elem}"), cfg);
             eprintln!("done: {circuit} @ {n_elem} elements");
         }
     }
@@ -186,5 +202,8 @@ fn run() -> Result<(), BenchError> {
              --resume to finish from the snapshots"
         );
     }
+    meter.set("configs", configs);
+    meter.set("truncated_configs", truncated as u64);
+    meter.finish(&args)?;
     Ok(())
 }

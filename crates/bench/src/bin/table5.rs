@@ -13,7 +13,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
-use linvar_bench::{bits_hex, render_table, BenchArgs, BenchError};
+use linvar_bench::{bits_hex, render_table, BenchArgs, BenchError, BenchMeter};
 use linvar_core::path::{PathModel, PathSpec, VariationSources};
 use linvar_core::{CampaignVerdict, RecoveryPolicy};
 use linvar_devices::tech_018;
@@ -31,6 +31,7 @@ fn main() {
 
 fn run() -> Result<(), BenchError> {
     let args = BenchArgs::parse(std::env::args().skip(1))?;
+    let mut meter = BenchMeter::start("table5");
     let run_start = Instant::now();
     let n_mc = if args.quick { 30 } else { 100 };
     let threads = resolve_threads(0);
@@ -134,5 +135,7 @@ fn run() -> Result<(), BenchError> {
              --resume to finish from the snapshots"
         );
     }
+    meter.set("truncated_configs", truncated as u64);
+    meter.finish(&args)?;
     Ok(())
 }

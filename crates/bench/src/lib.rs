@@ -3,17 +3,23 @@
 //! Each binary in `src/bin/` regenerates one table or figure of the DATE
 //! 2002 paper (see `DESIGN.md` for the experiment index). This library crate
 //! holds what they share: the table formatter, the [`BenchError`] type
-//! (typed errors + process exit codes instead of panics), and the
+//! (typed errors + process exit codes instead of panics), the
 //! [`BenchArgs`] parser for the campaign flags
-//! (`--checkpoint`/`--resume`/`--deadline`).
+//! (`--checkpoint`/`--resume`/`--deadline`/`--metrics`), and the
+//! [`BenchMeter`] observability harness that emits the machine-readable
+//! `BENCH_<bin>.json` trajectory.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+mod meter;
+
+pub use meter::BenchMeter;
 
 use linvar_circuit::CircuitError;
 use linvar_core::CoreError;
 use linvar_numeric::NumericError;
 use linvar_spice::SpiceError;
-use linvar_stats::{CampaignConfig, CheckpointError};
+use linvar_stats::{CampaignConfig, CheckpointError, HistogramError};
 use linvar_teta::TetaError;
 use std::fmt;
 use std::path::PathBuf;
@@ -129,6 +135,12 @@ impl From<SpiceError> for BenchError {
     }
 }
 
+impl From<HistogramError> for BenchError {
+    fn from(e: HistogramError) -> Self {
+        BenchError::Msg(format!("histogram: {e}"))
+    }
+}
+
 impl From<String> for BenchError {
     fn from(msg: String) -> Self {
         BenchError::Msg(msg)
@@ -155,6 +167,9 @@ pub struct BenchArgs {
     pub resume: Option<PathBuf>,
     /// `--deadline <secs>`: wall-clock budget for the whole process.
     pub deadline: Option<Duration>,
+    /// `--metrics <path>`: also write the machine-readable metrics
+    /// report (the `BENCH_<bin>.json` content) to this path.
+    pub metrics: Option<PathBuf>,
 }
 
 impl BenchArgs {
@@ -178,6 +193,9 @@ impl BenchArgs {
                 "--resume" => {
                     out.resume = Some(PathBuf::from(value(&mut argv, "--resume")?));
                 }
+                "--metrics" => {
+                    out.metrics = Some(PathBuf::from(value(&mut argv, "--metrics")?));
+                }
                 "--deadline" => {
                     let raw = value(&mut argv, "--deadline")?;
                     let secs: f64 = raw.parse().map_err(|_| {
@@ -193,7 +211,7 @@ impl BenchArgs {
                 other => {
                     return Err(BenchError::Usage(format!(
                         "unknown argument {other:?} (expected --quick, --checkpoint <prefix>, \
-                         --resume <prefix>, --deadline <secs>)"
+                         --resume <prefix>, --deadline <secs>, --metrics <path>)"
                     )));
                 }
             }
@@ -239,6 +257,18 @@ impl BenchArgs {
     /// are not checkpointable.
     pub fn deadline_exhausted(&self, run_start: Instant) -> bool {
         self.deadline.is_some_and(|d| run_start.elapsed() >= d)
+    }
+
+    /// Rejects the campaign flags for bins that have no campaign driver
+    /// (`ablation`, `example1`): accepting `--checkpoint` and silently
+    /// doing nothing would be worse than a usage error.
+    pub fn reject_campaign_flags(&self, bin: &str) -> Result<(), BenchError> {
+        if self.checkpoint.is_some() || self.resume.is_some() || self.deadline.is_some() {
+            return Err(BenchError::Usage(format!(
+                "{bin} has no campaign mode (--checkpoint/--resume/--deadline unsupported)"
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -332,6 +362,8 @@ mod tests {
             "/tmp/t4",
             "--deadline",
             "2.5",
+            "--metrics",
+            "/tmp/m.json",
         ]))
         .unwrap();
         assert!(a.quick);
@@ -341,8 +373,12 @@ mod tests {
         );
         assert_eq!(a.resume.as_deref(), Some(std::path::Path::new("/tmp/t4")));
         assert_eq!(a.deadline, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(
+            a.metrics.as_deref(),
+            Some(std::path::Path::new("/tmp/m.json"))
+        );
         let none = BenchArgs::parse(argv(&[])).unwrap();
-        assert!(!none.quick && none.deadline.is_none());
+        assert!(!none.quick && none.deadline.is_none() && none.metrics.is_none());
     }
 
     #[test]
@@ -350,6 +386,7 @@ mod tests {
         for bad in [
             vec!["--frobnicate"],
             vec!["--checkpoint"],
+            vec!["--metrics"],
             vec!["--deadline", "soon"],
             vec!["--deadline", "-1"],
         ] {
@@ -372,6 +409,21 @@ mod tests {
         // fresh instead of failing.
         assert!(cfg.resume.is_none());
         assert!(cfg.deadline.is_none());
+    }
+
+    #[test]
+    fn campaign_flags_rejected_for_non_campaign_bins() {
+        let plain = BenchArgs::parse(argv(&["--quick", "--metrics", "/tmp/m.json"])).unwrap();
+        assert!(plain.reject_campaign_flags("example1").is_ok());
+        for flags in [
+            vec!["--checkpoint", "/tmp/p"],
+            vec!["--resume", "/tmp/p"],
+            vec!["--deadline", "1"],
+        ] {
+            let a = BenchArgs::parse(argv(&flags)).unwrap();
+            let err = a.reject_campaign_flags("example1").unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{flags:?}");
+        }
     }
 
     #[test]

@@ -285,6 +285,7 @@ impl PathModel {
     /// its transition even with an enlarged window, or propagates solver
     /// failures.
     pub fn evaluate_sample(&self, sample: &PathSample) -> Result<f64, CoreError> {
+        let _span = linvar_metrics::timer(linvar_metrics::Phase::SampleEval);
         let mut input = self.input_waveform();
         let m_path_in = input
             .crossing(self.vdd / 2.0, true)
@@ -435,6 +436,7 @@ impl PathModel {
         sample: &PathSample,
         spice_fallback: bool,
     ) -> Result<(f64, DegradationReport), CoreError> {
+        let _span = linvar_metrics::timer(linvar_metrics::Phase::SampleEval);
         let mut input = self.input_waveform();
         let m_path_in = input
             .crossing(self.vdd / 2.0, true)
@@ -479,6 +481,7 @@ impl PathModel {
                 (Some(w), _) => w,
                 (None, true) => {
                     let w = self.spice_stage_output(k, &input, sample, rising_out)?;
+                    linvar_metrics::incr(linvar_metrics::Counter::StageSpiceRescues);
                     report.rung = report.rung.worst(EngineRung::SpiceBaseline);
                     report.notes.push(format!(
                         "stage {k} ({}): served by baseline SPICE",
@@ -569,7 +572,10 @@ impl PathModel {
                 if attempt == 0 {
                     return self
                         .evaluate_sample(sample)
-                        .map(|d| (d, SampleStatus::Clean))
+                        .map(|d| {
+                            linvar_metrics::incr(linvar_metrics::Counter::RungVariationalRom);
+                            (d, SampleStatus::Clean)
+                        })
                         .map_err(|e| e.to_string());
                 }
                 if policy.is_fallback_attempt(attempt) {
@@ -583,6 +589,7 @@ impl PathModel {
                         .notes
                         .push("whole path served by baseline SPICE".into());
                     reports.lock().expect("reports lock").push(report);
+                    linvar_metrics::incr(linvar_metrics::Counter::RungSpiceBaseline);
                     return Ok((d, SampleStatus::Degraded));
                 }
                 let (d, mut report) = self
@@ -590,6 +597,7 @@ impl PathModel {
                     .map_err(|e| e.to_string())?;
                 report.sample_index = idx;
                 let status = report.status();
+                linvar_metrics::incr(rung_counter(report.rung));
                 if !report.is_clean() {
                     reports.lock().expect("reports lock").push(report);
                 }
@@ -702,7 +710,10 @@ impl PathModel {
                 if attempt == 0 {
                     return self
                         .evaluate_sample(sample)
-                        .map(|d| (d, SampleStatus::Clean))
+                        .map(|d| {
+                            linvar_metrics::incr(linvar_metrics::Counter::RungVariationalRom);
+                            (d, SampleStatus::Clean)
+                        })
                         .map_err(|e| e.to_string());
                 }
                 if policy.is_fallback_attempt(attempt) {
@@ -716,6 +727,7 @@ impl PathModel {
                         .notes
                         .push("whole path served by baseline SPICE".into());
                     reports.lock().expect("reports lock").push(report);
+                    linvar_metrics::incr(linvar_metrics::Counter::RungSpiceBaseline);
                     return Ok((d, SampleStatus::Degraded));
                 }
                 let (d, mut report) = self
@@ -723,6 +735,7 @@ impl PathModel {
                     .map_err(|e| e.to_string())?;
                 report.sample_index = idx;
                 let status = report.status();
+                linvar_metrics::incr(rung_counter(report.rung));
                 if !report.is_clean() {
                     reports.lock().expect("reports lock").push(report);
                 }
@@ -869,6 +882,23 @@ pub(crate) fn apply_source_pub(sample: &mut PathSample, name: &str, value: f64) 
 }
 
 /// Applies `value` (normalized units) of the named source to a sample.
+/// Maps the rung that served a sample to its observability counter.
+///
+/// Recorded by the *succeeding* attempt only; since every attempt is a
+/// pure function of `(sample, attempt)`, the tally is deterministic at
+/// any thread count (fail-fast truncation excepted — samples evaluated
+/// past the truncation point still count their rung).
+fn rung_counter(rung: EngineRung) -> linvar_metrics::Counter {
+    match rung {
+        EngineRung::VariationalRom => linvar_metrics::Counter::RungVariationalRom,
+        EngineRung::RefinedSc => linvar_metrics::Counter::RungRefinedSc,
+        EngineRung::ExactReduction => linvar_metrics::Counter::RungExactReduction,
+        EngineRung::DegradedOrder(_) => linvar_metrics::Counter::RungDegradedOrder,
+        EngineRung::UnreducedMna => linvar_metrics::Counter::RungUnreducedMna,
+        EngineRung::SpiceBaseline => linvar_metrics::Counter::RungSpiceBaseline,
+    }
+}
+
 fn apply_source(sample: &mut PathSample, name: &str, value: f64) {
     match name {
         "W" => sample.wire[0] += value,

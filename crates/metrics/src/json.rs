@@ -1,0 +1,236 @@
+//! Minimal canonical JSON value + writer.
+//!
+//! The workspace has no serialization dependency (the build environment has
+//! no registry access), so the metrics layer renders its own JSON. The
+//! output is *canonical*: object keys are sorted (a `BTreeMap` underneath),
+//! objects are written one key per line at two-space indentation, arrays of
+//! scalars are written inline, and `f64` uses Rust's shortest-roundtrip
+//! `Display` — the same value always renders to the same bytes, so two
+//! snapshots can be compared with `diff`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value. Construct with the `From` impls and [`Json::obj`]; render
+/// with [`Json::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (counters, call counts, byte totals).
+    U64(u64),
+    /// Floating-point number; non-finite values render as `null` (JSON has
+    /// no NaN/inf).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with sorted keys.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::U64(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::F64(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// Empty object.
+    pub fn obj() -> Json {
+        Json::Obj(BTreeMap::new())
+    }
+
+    /// Inserts `key` into an object value; panics on non-objects (programmer
+    /// error, not data-dependent).
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        match self {
+            Json::Obj(m) => {
+                m.insert(key.to_string(), value.into());
+            }
+            other => unreachable!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders the canonical text form (two-space indent, sorted keys,
+    /// trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn is_scalar(&self) -> bool {
+        !matches!(self, Json::Arr(_) | Json::Obj(_))
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // Shortest-roundtrip Display; force a decimal point so
+                    // the value reads back as a float.
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.iter().all(Json::is_scalar) {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write(out, indent);
+                    }
+                    out.push(']');
+                } else {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                        push_indent(out, indent + 1);
+                        item.write(out, indent + 1);
+                    }
+                    out.push('\n');
+                    push_indent(out, indent);
+                    out.push(']');
+                }
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_object_rendering() {
+        let mut j = Json::obj();
+        j.set("zeta", 1u64).set("alpha", 2u64);
+        // Keys come out sorted regardless of insertion order.
+        assert_eq!(j.render(), "{\n  \"alpha\": 2,\n  \"zeta\": 1\n}\n");
+    }
+
+    #[test]
+    fn scalar_arrays_are_inline() {
+        let j: Json = vec![1u64, 2, 3].into();
+        assert_eq!(j.render(), "[1, 2, 3]\n");
+    }
+
+    #[test]
+    fn floats_roundtrip_and_nonfinite_is_null() {
+        assert_eq!(Json::F64(2.5).render(), "2.5\n");
+        assert_eq!(Json::F64(2.0).render(), "2.0\n");
+        assert_eq!(Json::F64(1e-12).render(), "0.000000000001\n");
+        assert_eq!(Json::F64(f64::NAN).render(), "null\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::Str("a\"b\\c\n".into()).render(),
+            "\"a\\\"b\\\\c\\n\"\n"
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mut j = Json::obj();
+        j.set("b", 0.1f64).set("a", "x");
+        assert_eq!(j.render(), j.clone().render());
+    }
+}

@@ -1,0 +1,155 @@
+//! The serializable snapshot of the metrics sink.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// Aggregated timing of one [`crate::Phase`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimerStat {
+    /// Completed spans.
+    pub calls: u64,
+    /// Total duration, nanoseconds.
+    pub total_ns: u64,
+    /// Log2 duration histogram: `buckets[k]` counts spans in
+    /// `[2^(k-1), 2^k)` ns; trailing zero buckets are trimmed.
+    pub buckets: Vec<u64>,
+}
+
+/// A point-in-time snapshot of the metrics sink, ready to serialize.
+///
+/// The JSON form has three top-level sections:
+///
+/// * `counters` — deterministic work counts (plus each phase's call count
+///   under `phase.<name>.calls`). For a fixed seed and configuration this
+///   entire section is bitwise-identical at any worker count; CI diffs it.
+/// * `gauges` — run-level derived values the emitter fills in (wall
+///   seconds, samples/sec). Machine-dependent.
+/// * `timers` — per-phase `calls` / `total_ns` / log2 `buckets`.
+///   Machine-dependent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Deterministic counters by dotted name.
+    pub counters: BTreeMap<String, u64>,
+    /// Run-level derived values (not deterministic; excluded from diffs).
+    pub gauges: BTreeMap<String, f64>,
+    /// Per-phase timing by phase name.
+    pub timers: BTreeMap<String, TimerStat>,
+}
+
+impl MetricsReport {
+    /// Builds a report from raw sections, mirroring each timer's call count
+    /// into the deterministic `counters` section as `phase.<name>.calls`.
+    pub fn new(
+        mut counters: BTreeMap<String, u64>,
+        timers: BTreeMap<String, TimerStat>,
+    ) -> MetricsReport {
+        for (name, t) in &timers {
+            counters.insert(format!("phase.{name}.calls"), t.calls);
+        }
+        MetricsReport {
+            counters,
+            gauges: BTreeMap::new(),
+            timers,
+        }
+    }
+
+    /// Sets (or overwrites) a gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) -> &mut Self {
+        self.gauges.insert(name.to_string(), value);
+        self
+    }
+
+    /// The report as a canonical [`Json`] object (sorted keys).
+    pub fn to_json_value(&self) -> Json {
+        let mut counters = Json::obj();
+        for (k, v) in &self.counters {
+            counters.set(k, *v);
+        }
+        let mut gauges = Json::obj();
+        for (k, v) in &self.gauges {
+            gauges.set(k, *v);
+        }
+        let mut timers = Json::obj();
+        for (k, t) in &self.timers {
+            let mut entry = Json::obj();
+            entry
+                .set("buckets", t.buckets.clone())
+                .set("calls", t.calls)
+                .set("total_ns", t.total_ns);
+            timers.set(k, entry);
+        }
+        let mut root = Json::obj();
+        root.set("counters", counters)
+            .set("gauges", gauges)
+            .set("timers", timers);
+        root
+    }
+
+    /// Canonical JSON text (two-space indent, sorted keys, trailing
+    /// newline). Two identical reports always render to identical bytes.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// The `counters` section alone, as canonical JSON — what CI diffs
+    /// between same-seed runs at different worker counts.
+    pub fn counters_json(&self) -> String {
+        let mut counters = Json::obj();
+        for (k, v) in &self.counters {
+            counters.set(k, *v);
+        }
+        counters.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsReport {
+        let mut counters = BTreeMap::new();
+        counters.insert("dc.gmin_stepping".to_string(), 3u64);
+        let mut timers = BTreeMap::new();
+        timers.insert(
+            "lu_factor".to_string(),
+            TimerStat {
+                calls: 2,
+                total_ns: 150,
+                buckets: vec![0, 0, 0, 0, 0, 0, 1, 1],
+            },
+        );
+        MetricsReport::new(counters, timers)
+    }
+
+    #[test]
+    fn phase_calls_are_mirrored_into_counters() {
+        let r = sample();
+        assert_eq!(r.counters["phase.lu_factor.calls"], 2);
+    }
+
+    #[test]
+    fn json_has_all_three_sections_in_order() {
+        let text = sample().to_json();
+        let c = text.find("\"counters\"").unwrap();
+        let g = text.find("\"gauges\"").unwrap();
+        let t = text.find("\"timers\"").unwrap();
+        assert!(c < g && g < t, "{text}");
+    }
+
+    #[test]
+    fn serialization_is_stable() {
+        let r = sample();
+        assert_eq!(r.to_json(), r.clone().to_json());
+        assert_eq!(r.counters_json(), r.counters_json());
+    }
+
+    #[test]
+    fn counters_json_excludes_timers_and_gauges() {
+        let mut r = sample();
+        r.set_gauge("samples_per_sec", 12.5);
+        let c = r.counters_json();
+        assert!(c.contains("dc.gmin_stepping"));
+        assert!(!c.contains("samples_per_sec"));
+        assert!(!c.contains("total_ns"));
+    }
+}

@@ -95,6 +95,9 @@ pub fn extract_stabilized_degrading(
             Ok(pr) => {
                 let (stable, report) = stabilize(&pr);
                 if is_healthy(&pr, &stable, &report, beta_tol) {
+                    if q < q0 {
+                        linvar_metrics::incr(linvar_metrics::Counter::MorOrderDrops);
+                    }
                     let degradation = MorDegradation {
                         original_order: q0,
                         attempted_orders: attempted,

@@ -42,6 +42,7 @@ pub fn pact_reduce(
     port_indices: &[usize],
     internal_modes: usize,
 ) -> Result<(ReducedModel, Matrix), NumericError> {
+    let _span = linvar_metrics::timer(linvar_metrics::Phase::PactProject);
     let n = g.rows();
     let np = port_indices.len();
     let scale = g.max_abs().max(1e-300);

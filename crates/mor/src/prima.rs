@@ -79,6 +79,7 @@ pub fn prima_basis(
     b: &Matrix,
     order: usize,
 ) -> Result<Matrix, NumericError> {
+    let _span = linvar_metrics::timer(linvar_metrics::Phase::PrimaProject);
     if b.cols() == 0 {
         return Err(NumericError::InvalidInput("no ports".into()));
     }

@@ -41,6 +41,7 @@ impl StabilityReport {
 /// [`StabilityReport::max_beta_deviation`] as a signal that the variational
 /// model left its validity region.
 pub fn stabilize(model: &PoleResidueModel) -> (PoleResidueModel, StabilityReport) {
+    let _span = linvar_metrics::timer(linvar_metrics::Phase::Stabilize);
     let np = model.port_count();
     let mut removed_poles = Vec::new();
     let mut kept: Vec<usize> = Vec::new();
@@ -51,6 +52,10 @@ pub fn stabilize(model: &PoleResidueModel) -> (PoleResidueModel, StabilityReport
             kept.push(k);
         }
     }
+    linvar_metrics::count(
+        linvar_metrics::Counter::MorUnstablePolesRemoved,
+        removed_poles.len() as u64,
+    );
     if removed_poles.is_empty() {
         return (
             model.clone(),

@@ -102,6 +102,7 @@ pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>, NumericError> {
 /// [`NumericError::ConvergenceFailure`] if inverse iteration cannot produce
 /// an eigenvector with an acceptable residual.
 pub fn eigen_decompose(a: &Matrix) -> Result<EigenDecomposition, NumericError> {
+    let _span = linvar_metrics::timer(linvar_metrics::Phase::Eigen);
     check_input(a)?;
     let n = a.rows();
     let values = eigenvalues(a)?;
@@ -149,6 +150,7 @@ pub fn eigen_decompose_recovering(a: &Matrix) -> Result<(EigenDecomposition, boo
                 perturbed[(i, i)] += eps * (1.0 + i as f64 * 1e-3);
             }
             let dec = eigen_decompose(&perturbed)?;
+            linvar_metrics::incr(linvar_metrics::Counter::EigenRecoveries);
             Ok((dec, true))
         }
         Err(e) => Err(e),

@@ -63,6 +63,7 @@ impl LuFactor {
     /// Returns [`NumericError::DimensionMismatch`] if `a` is not square and
     /// [`NumericError::SingularMatrix`] if a pivot underflows.
     pub fn new(a: &Matrix) -> Result<Self, NumericError> {
+        let _span = linvar_metrics::timer(linvar_metrics::Phase::LuFactor);
         if !a.is_square() {
             return Err(NumericError::DimensionMismatch {
                 expected: "square matrix".into(),
@@ -163,6 +164,7 @@ impl LuFactor {
                     regularized[(i, i)] += eps;
                 }
                 let lu = Self::new(&regularized)?;
+                linvar_metrics::incr(linvar_metrics::Counter::LuFactorRecoveries);
                 let condition_estimate = lu.condition_estimate();
                 Ok((
                     lu,
@@ -211,6 +213,7 @@ impl LuFactor {
     /// Returns [`NumericError::DimensionMismatch`] if `b.len()` differs from
     /// the matrix order.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+        let _span = linvar_metrics::timer(linvar_metrics::Phase::LuSolve);
         let n = self.order();
         if b.len() != n {
             return Err(NumericError::DimensionMismatch {

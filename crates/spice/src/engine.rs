@@ -392,6 +392,7 @@ impl<'a> Transient<'a> {
         let mut stats = SolveStats::default();
         let mut recovery = RecoveryLog::default();
         let opts = self.opts.clone();
+        let dc_span = linvar_metrics::timer(linvar_metrics::Phase::SpiceDc);
         // ---------------- DC operating point (recovery ladder) -----------
         // Rung 0: plain damped Newton, no artificial conductance, so a
         // well-behaved circuit reports an operating point with nothing
@@ -455,6 +456,11 @@ impl<'a> Transient<'a> {
                 other => other,
             });
         }
+        linvar_metrics::incr(match recovery.dc_strategy {
+            DcStrategy::DirectNewton => linvar_metrics::Counter::DcDirectNewton,
+            DcStrategy::GminStepping => linvar_metrics::Counter::DcGminStepping,
+            DcStrategy::SourceStepping => linvar_metrics::Counter::DcSourceStepping,
+        });
         // Initialize companion currents at the DC point: zero through
         // capacitors; through each inductor, the current of its DC short.
         for c in &mut self.caps {
@@ -469,6 +475,8 @@ impl<'a> Transient<'a> {
         }
 
         // ---------------- transient loop ---------------------------------
+        drop(dc_span);
+        let _tran_span = linvar_metrics::timer(linvar_metrics::Phase::SpiceTran);
         let mut times = vec![0.0];
         let mut waves: HashMap<String, Vec<f64>> = HashMap::new();
         let probe_idx: Vec<(String, usize)> = opts
@@ -539,6 +547,7 @@ impl<'a> Transient<'a> {
                     good_steps = 0;
                     cache = None;
                     recovery.timestep_halvings += 1;
+                    linvar_metrics::incr(linvar_metrics::Counter::TimestepHalvings);
                     if h < opts.dt_min {
                         return Err(SpiceError::ConvergenceFailure { time: t, reason });
                     }
@@ -714,6 +723,7 @@ impl<'a> Transient<'a> {
 
         for _iter in 0..self.opts.max_newton {
             stats.newton_iterations += 1;
+            linvar_metrics::incr(linvar_metrics::Counter::NewtonIterations);
             // Device evaluation at the current iterate.
             let mut rhs = rhs_base.clone();
             // v-row coefficient vectors for Woodbury (one per device).

@@ -343,6 +343,7 @@ pub fn save_checkpoint(
     outcomes: &[Option<SampleRecord>],
 ) -> Result<(), CheckpointError> {
     use std::io::Write as _;
+    let _span = linvar_metrics::timer(linvar_metrics::Phase::CheckpointWrite);
     let body = serialize(fingerprint, outcomes);
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
@@ -354,6 +355,8 @@ pub fn save_checkpoint(
         f.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
     }
     std::fs::rename(&tmp, path).map_err(|e| io_err("rename", path, e))?;
+    linvar_metrics::incr(linvar_metrics::Counter::CheckpointsWritten);
+    linvar_metrics::count(linvar_metrics::Counter::CheckpointBytes, body.len() as u64);
     // Make the rename itself durable. Directory fsync is a unix-ism;
     // elsewhere (and on filesystems that refuse it) the rename already
     // happened, so a failure here is not worth losing the run over.
@@ -744,39 +747,45 @@ where
         let write_gate = Mutex::new(());
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if deadline.is_some_and(|dl| Instant::now() >= dl) {
-                        break;
-                    }
-                    if let Some(b) = budget {
-                        if started.fetch_add(1, Ordering::Relaxed) >= b {
+                scope.spawn(|| {
+                    // Merge this worker's solver-phase metrics on every exit
+                    // path before the scope joins (TLS teardown is not
+                    // ordered before the join).
+                    let _flush = linvar_metrics::flush_on_drop();
+                    loop {
+                        if deadline.is_some_and(|dl| Instant::now() >= dl) {
                             break;
                         }
-                    }
-                    let pos = cursor.fetch_add(1, Ordering::Relaxed);
-                    if pos >= pending.len() {
-                        break;
-                    }
-                    let idx = pending[pos];
-                    let rec = evaluate_sample(&f, &samples[idx], policy, config.sample_timeout);
-                    let snapshot = {
-                        let mut st = state.lock().expect("campaign state lock");
-                        st.records[idx] = Some(rec);
-                        st.since_snapshot += 1;
-                        if config.checkpoint.is_some() && st.since_snapshot >= config.every() {
-                            st.since_snapshot = 0;
-                            Some(st.records.clone())
-                        } else {
-                            None
+                        if let Some(b) = budget {
+                            if started.fetch_add(1, Ordering::Relaxed) >= b {
+                                break;
+                            }
                         }
-                    };
-                    if let (Some(snap), Some(path)) = (snapshot, &config.checkpoint) {
-                        // Periodic snapshots are best-effort: a write
-                        // failure must not kill the run it exists to
-                        // protect. The final write below is authoritative.
-                        let _gate = write_gate.lock().expect("checkpoint write gate");
-                        if save_checkpoint(path, &fingerprint, &snap).is_ok() {
-                            snapshots.fetch_add(1, Ordering::Relaxed);
+                        let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                        if pos >= pending.len() {
+                            break;
+                        }
+                        let idx = pending[pos];
+                        let rec = evaluate_sample(&f, &samples[idx], policy, config.sample_timeout);
+                        let snapshot = {
+                            let mut st = state.lock().expect("campaign state lock");
+                            st.records[idx] = Some(rec);
+                            st.since_snapshot += 1;
+                            if config.checkpoint.is_some() && st.since_snapshot >= config.every() {
+                                st.since_snapshot = 0;
+                                Some(st.records.clone())
+                            } else {
+                                None
+                            }
+                        };
+                        if let (Some(snap), Some(path)) = (snapshot, &config.checkpoint) {
+                            // Periodic snapshots are best-effort: a write
+                            // failure must not kill the run it exists to
+                            // protect. The final write below is authoritative.
+                            let _gate = write_gate.lock().expect("checkpoint write gate");
+                            if save_checkpoint(path, &fingerprint, &snap).is_ok() {
+                                snapshots.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     }
                 });
@@ -798,6 +807,16 @@ where
     let mut health = HealthSummary::default();
     for (idx, rec) in records.iter().enumerate() {
         let Some(rec) = rec else { continue };
+        // Counted at the merge point over *completed* samples (resumed +
+        // evaluated), mirroring what the statistics themselves cover.
+        linvar_metrics::incr(linvar_metrics::Counter::McSamplesCompleted);
+        if rec.outcome.is_err() {
+            linvar_metrics::incr(linvar_metrics::Counter::McSamplesFailed);
+        }
+        linvar_metrics::count(
+            linvar_metrics::Counter::McSampleRetries,
+            rec.attempts.saturating_sub(1) as u64,
+        );
         health.count(rec.status);
         sample_health.push(SampleHealth {
             index: idx,

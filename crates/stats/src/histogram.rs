@@ -1,4 +1,49 @@
 //! Fixed-bin histograms with a text renderer (Figures 6 and 7).
+//!
+//! Construction is fallible: a non-finite sample (NaN would otherwise
+//! cast to bin 0 and silently skew the distribution — `f64 as isize`
+//! saturates NaN to 0), an empty/inverted range, or zero bins is a
+//! typed [`HistogramError`], never a silent misclassification.
+
+use std::fmt;
+
+/// Why a histogram could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistogramError {
+    /// `bins == 0`.
+    ZeroBins,
+    /// `hi <= lo`, or a bound is NaN/infinite (e.g. derived from an
+    /// empty sample).
+    EmptyRange {
+        /// Requested lower edge.
+        lo: f64,
+        /// Requested upper edge.
+        hi: f64,
+    },
+    /// A sample value is NaN or infinite and cannot be binned.
+    NonFinite {
+        /// Index of the offending value in the input slice.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistogramError::ZeroBins => write!(f, "histogram needs at least one bin"),
+            HistogramError::EmptyRange { lo, hi } => {
+                write!(f, "histogram range [{lo}, {hi}] is empty or non-finite")
+            }
+            HistogramError::NonFinite { index, value } => {
+                write!(f, "sample {index} is {value} and cannot be binned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
 
 /// A fixed-bin histogram of a scalar sample.
 #[derive(Debug, Clone, PartialEq)]
@@ -11,34 +56,51 @@ pub struct Histogram {
 
 impl Histogram {
     /// Builds a histogram of `xs` with `bins` equal-width bins spanning
-    /// `[lo, hi]`. Values outside the range clamp into the edge bins.
+    /// `[lo, hi]`. Finite values outside the range clamp into the edge
+    /// bins; the upper edge itself lands in the last bin.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bins == 0` or `hi <= lo`.
-    pub fn new(xs: &[f64], bins: usize, lo: f64, hi: f64) -> Self {
-        assert!(bins > 0, "need at least one bin");
-        assert!(hi > lo, "histogram range must be nonempty");
+    /// [`HistogramError::ZeroBins`] for `bins == 0`,
+    /// [`HistogramError::EmptyRange`] for `hi <= lo` or non-finite
+    /// bounds, and [`HistogramError::NonFinite`] for a NaN/infinite
+    /// sample (which no bin can honestly hold).
+    pub fn new(xs: &[f64], bins: usize, lo: f64, hi: f64) -> Result<Self, HistogramError> {
+        if bins == 0 {
+            return Err(HistogramError::ZeroBins);
+        }
+        if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
+            return Err(HistogramError::EmptyRange { lo, hi });
+        }
         let mut counts = vec![0usize; bins];
-        for &x in xs {
+        for (index, &x) in xs.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(HistogramError::NonFinite { index, value: x });
+            }
             let frac = (x - lo) / (hi - lo);
             let bin = ((frac * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
             counts[bin] += 1;
         }
-        Histogram {
+        Ok(Histogram {
             lo,
             hi,
             counts,
             total: xs.len(),
-        }
+        })
     }
 
     /// Builds a histogram spanning the sample range with a small margin.
-    pub fn auto(xs: &[f64], bins: usize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// As [`Histogram::new`]; an empty or constant sample gets a unit
+    /// range around it instead of an error.
+    pub fn auto(xs: &[f64], bins: usize) -> Result<Self, HistogramError> {
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let (lo, hi) = if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
-            (lo.min(0.0), lo.min(0.0) + 1.0)
+            let base = if lo.is_finite() { lo.min(0.0) } else { 0.0 };
+            (base, base + 1.0)
         } else {
             let margin = 0.05 * (hi - lo);
             (lo - margin, hi + margin)
@@ -88,7 +150,8 @@ impl Histogram {
     ///
     /// # Panics
     ///
-    /// Panics if the histograms have different bin counts or ranges.
+    /// Panics if the histograms have different bin counts or ranges
+    /// (a programmer error — build both via [`Histogram::pair`]).
     pub fn render_pair(
         &self,
         other: &Histogram,
@@ -127,15 +190,25 @@ impl Histogram {
 
     /// Shared-range constructor for comparable histograms: bins both
     /// samples over their combined range.
-    pub fn pair(xs: &[f64], ys: &[f64], bins: usize) -> (Histogram, Histogram) {
-        let all: Vec<f64> = xs.iter().chain(ys).copied().collect();
-        let lo = all.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    ///
+    /// # Errors
+    ///
+    /// As [`Histogram::new`] — in particular, two empty samples have no
+    /// combined range ([`HistogramError::EmptyRange`]).
+    pub fn pair(
+        xs: &[f64],
+        ys: &[f64],
+        bins: usize,
+    ) -> Result<(Histogram, Histogram), HistogramError> {
+        let all = xs.iter().chain(ys).copied();
+        let (lo, hi) = all.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(v), hi.max(v))
+        });
         let margin = 0.05 * (hi - lo).max(1e-30);
-        (
-            Histogram::new(xs, bins, lo - margin, hi + margin),
-            Histogram::new(ys, bins, lo - margin, hi + margin),
-        )
+        Ok((
+            Histogram::new(xs, bins, lo - margin, hi + margin)?,
+            Histogram::new(ys, bins, lo - margin, hi + margin)?,
+        ))
     }
 }
 
@@ -145,29 +218,77 @@ mod tests {
 
     #[test]
     fn counts_land_in_right_bins() {
-        let h = Histogram::new(&[0.1, 0.1, 0.5, 0.9], 2, 0.0, 1.0);
+        let h = Histogram::new(&[0.1, 0.1, 0.5, 0.9], 2, 0.0, 1.0).unwrap();
         assert_eq!(h.counts(), &[2, 2]);
         assert_eq!(h.total(), 4);
     }
 
     #[test]
     fn out_of_range_clamps() {
-        let h = Histogram::new(&[-5.0, 5.0], 4, 0.0, 1.0);
+        let h = Histogram::new(&[-5.0, 5.0], 4, 0.0, 1.0).unwrap();
         assert_eq!(h.counts()[0], 1);
         assert_eq!(h.counts()[3], 1);
     }
 
     #[test]
+    fn upper_edge_lands_in_last_bin() {
+        // x == hi gives frac == 1.0, which must clamp into the last bin,
+        // not fall off the end; lo lands in the first.
+        let h = Histogram::new(&[0.0, 1.0], 4, 0.0, 1.0).unwrap();
+        assert_eq!(h.counts(), &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn nan_is_a_typed_error_not_bin_zero() {
+        // Regression: `NaN as isize` saturates to 0, so a NaN sample used
+        // to count silently into the first bin.
+        let err = Histogram::new(&[0.5, f64::NAN], 4, 0.0, 1.0).unwrap_err();
+        match err {
+            HistogramError::NonFinite { index, value } => {
+                assert_eq!(index, 1);
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        assert!(Histogram::new(&[f64::INFINITY], 4, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn bad_configurations_are_typed_errors() {
+        assert_eq!(
+            Histogram::new(&[], 0, 0.0, 1.0).unwrap_err(),
+            HistogramError::ZeroBins
+        );
+        assert!(matches!(
+            Histogram::new(&[], 3, 1.0, 1.0).unwrap_err(),
+            HistogramError::EmptyRange { .. }
+        ));
+        assert!(matches!(
+            Histogram::new(&[], 3, 0.0, f64::NAN).unwrap_err(),
+            HistogramError::EmptyRange { .. }
+        ));
+        // Two empty samples have no combined range.
+        assert!(Histogram::pair(&[], &[], 3).is_err());
+        let msg = HistogramError::ZeroBins.to_string();
+        assert!(msg.contains("bin"), "{msg}");
+    }
+
+    #[test]
     fn auto_covers_sample() {
         let xs = [1.0, 2.0, 3.0];
-        let h = Histogram::auto(&xs, 3);
+        let h = Histogram::auto(&xs, 3).unwrap();
         assert_eq!(h.total(), 3);
         assert_eq!(h.counts().iter().sum::<usize>(), 3);
+        // Degenerate samples get a unit range instead of an error…
+        assert!(Histogram::auto(&[], 3).is_ok());
+        assert!(Histogram::auto(&[2.5], 3).is_ok());
+        // …but non-finite samples are still rejected.
+        assert!(Histogram::auto(&[f64::NAN], 3).is_err());
     }
 
     #[test]
     fn centers_are_monotonic() {
-        let h = Histogram::new(&[0.5], 4, 0.0, 1.0);
+        let h = Histogram::new(&[0.5], 4, 0.0, 1.0).unwrap();
         let cs = h.centers();
         assert_eq!(cs.len(), 4);
         assert!(cs.windows(2).all(|w| w[0].0 < w[1].0));
@@ -176,7 +297,7 @@ mod tests {
 
     #[test]
     fn render_contains_bars() {
-        let h = Histogram::new(&[0.2, 0.2, 0.8], 2, 0.0, 1.0);
+        let h = Histogram::new(&[0.2, 0.2, 0.8], 2, 0.0, 1.0).unwrap();
         let s = h.render("demo", 1.0, "V");
         assert!(s.contains('#'));
         assert!(s.contains("demo"));
@@ -184,7 +305,7 @@ mod tests {
 
     #[test]
     fn paired_rendering() {
-        let (a, b) = Histogram::pair(&[1.0, 2.0, 2.1], &[1.5, 2.5], 5);
+        let (a, b) = Histogram::pair(&[1.0, 2.0, 2.1], &[1.5, 2.5], 5).unwrap();
         assert_eq!(a.counts().len(), b.counts().len());
         let s = a.render_pair(&b, "MC", "GA", 1.0, "ps");
         assert!(s.contains("MC"));
@@ -194,8 +315,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "bin count mismatch")]
     fn mismatched_pair_panics() {
-        let a = Histogram::new(&[0.5], 2, 0.0, 1.0);
-        let b = Histogram::new(&[0.5], 3, 0.0, 1.0);
+        let a = Histogram::new(&[0.5], 2, 0.0, 1.0).unwrap();
+        let b = Histogram::new(&[0.5], 3, 0.0, 1.0).unwrap();
         let _ = a.render_pair(&b, "a", "b", 1.0, "");
     }
 }

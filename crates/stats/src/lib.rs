@@ -37,7 +37,7 @@ pub use campaign::{
 };
 pub use gradient::central_difference_sensitivities;
 pub use gradient::gradient_std;
-pub use histogram::Histogram;
+pub use histogram::{Histogram, HistogramError};
 pub use montecarlo::{
     monte_carlo, monte_carlo_par, monte_carlo_par_with_policy, monte_carlo_with_policy,
     resolve_threads, HealthSummary, MonteCarloResult, RecoveryPolicy, SampleHealth, SampleStatus,

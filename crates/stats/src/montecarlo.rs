@@ -186,7 +186,19 @@ impl MonteCarloResult {
         let mut first_error = None;
         let mut sample_health = Vec::with_capacity(outcomes.len());
         let mut health = HealthSummary::default();
+        // Metrics are recorded at this merge point (not in the workers), so
+        // the counts cover exactly the samples that made it into the
+        // deterministic merged output — scheduling-dependent extra work
+        // discarded by a fail-fast cancellation never skews them.
         for (idx, outcome) in outcomes.into_iter().enumerate() {
+            linvar_metrics::incr(linvar_metrics::Counter::McSamplesCompleted);
+            if outcome.res.is_err() {
+                linvar_metrics::incr(linvar_metrics::Counter::McSamplesFailed);
+            }
+            linvar_metrics::count(
+                linvar_metrics::Counter::McSampleRetries,
+                outcome.attempts.saturating_sub(1) as u64,
+            );
             health.count(outcome.status);
             sample_health.push(SampleHealth {
                 index: idx,
@@ -329,6 +341,9 @@ where
                     .lock()
                     .expect("no worker holds this lock across a panic")
                     .append(&mut local);
+                // Merge this worker's solver-phase metrics before the scope
+                // joins (TLS teardown is not ordered before the join).
+                linvar_metrics::flush_local();
             });
         }
     });
@@ -501,6 +516,7 @@ where
                     .lock()
                     .expect("no worker holds this lock across a panic")
                     .append(&mut local);
+                linvar_metrics::flush_local();
             });
         }
     });

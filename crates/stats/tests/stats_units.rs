@@ -1,0 +1,113 @@
+//! Cross-module invariants of the statistics layer, exercised through
+//! the public crate API: Gradient-Analysis vs finite differences, yield
+//! monotonicity in the clock period, and the PCA variance-fraction
+//! contract.
+
+use linvar_stats::{
+    central_difference_sensitivities, demo_correlated_device_parameters, empirical_yield,
+    gradient_std, normal_samples, normal_yield, period_for_yield, rng_from_seed, Pca,
+};
+
+// ---------------- Gradient Analysis vs finite differences ----------------
+
+#[test]
+fn ga_agrees_with_finite_differences_on_smooth_nonlinear_model() {
+    // D(w) = exp(0.3 w0) + sin(0.5 w1) + 2 w2: analytic gradient at the
+    // nominal point is (0.3, 0.5, 2.0). Central differences are second
+    // order, so the δ² error at δ = 1e-3 is far below the tolerance.
+    let grads = central_difference_sensitivities::<()>(3, 1e-3, |w| {
+        Ok((0.3 * w[0]).exp() + (0.5 * w[1]).sin() + 2.0 * w[2])
+    })
+    .expect("closure is infallible");
+    for (g, expect) in grads.iter().zip([0.3, 0.5, 2.0]) {
+        assert!((g - expect).abs() < 1e-6, "{g} vs {expect}");
+    }
+    // And eq. (24) combines them exactly as the quadrature sum.
+    let sigmas = [0.33, 0.2, 0.1];
+    let ga = gradient_std(&sigmas, &grads);
+    let exact = (sigmas[0] * 0.3)
+        .hypot(sigmas[1] * 0.5)
+        .hypot(sigmas[2] * 2.0);
+    assert!((ga - exact).abs() < 1e-6, "{ga} vs {exact}");
+}
+
+#[test]
+fn ga_sigma_scales_linearly_with_source_sigmas() {
+    let grads = [1.5, -0.7, 3.0];
+    let base = gradient_std(&[0.1, 0.2, 0.3], &grads);
+    let doubled = gradient_std(&[0.2, 0.4, 0.6], &grads);
+    assert!((doubled - 2.0 * base).abs() < 1e-12);
+}
+
+// ---------------- Yield monotonicity in the clock period ----------------
+
+#[test]
+fn yields_are_monotone_in_the_clock_period() {
+    let mut rng = rng_from_seed(4242);
+    let (mean, std) = (250.0, 12.0);
+    let delays: Vec<f64> = normal_samples(&mut rng, 4000)
+        .into_iter()
+        .map(|z| mean + std * z)
+        .collect();
+    let periods: Vec<f64> = (0..61).map(|i| 190.0 + 2.0 * i as f64).collect();
+    let mut last_emp = -1.0;
+    let mut last_ana = -1.0;
+    for &t in &periods {
+        let emp = empirical_yield(&delays, t);
+        let ana = normal_yield(mean, std, t);
+        assert!((0.0..=1.0).contains(&emp), "empirical yield out of range");
+        assert!((0.0..=1.0).contains(&ana), "normal yield out of range");
+        assert!(emp >= last_emp, "empirical yield decreased at period {t}");
+        assert!(ana >= last_ana, "normal yield decreased at period {t}");
+        last_emp = emp;
+        last_ana = ana;
+    }
+    // The sweep actually spans the distribution: ~0 yield below it, ~1
+    // above it.
+    assert!(empirical_yield(&delays, periods[0]) < 0.01);
+    assert!(empirical_yield(&delays, *periods.last().expect("nonempty")) > 0.99);
+}
+
+#[test]
+fn required_period_grows_with_target_yield() {
+    let (mean, std) = (100.0, 5.0);
+    let mut last = f64::NEG_INFINITY;
+    for target in [0.1, 0.5, 0.9, 0.99, 0.999] {
+        let t = period_for_yield(mean, std, target);
+        assert!(t > last, "period not monotone at target {target}");
+        // Round-trip through the normal model.
+        assert!((normal_yield(mean, std, t) - target).abs() < 1e-3);
+        last = t;
+    }
+}
+
+// ---------------- PCA variance-fraction invariants ----------------
+
+#[test]
+fn pca_variance_fraction_contract() {
+    let mut rng = rng_from_seed(7);
+    let samples = demo_correlated_device_parameters(&mut rng, 300, 20, 4, 0.05);
+    let mut last_retained = 0usize;
+    for fraction in [0.5, 0.8, 0.95, 0.999] {
+        let model = Pca::new(fraction).fit(&samples).expect("pca fits");
+        // The retained factors explain at least what was asked.
+        assert!(
+            model.explained() >= fraction,
+            "asked {fraction}, explained {}",
+            model.explained()
+        );
+        assert!(model.explained() <= 1.0 + 1e-12);
+        assert!(model.retained >= 1 && model.retained <= model.param_count());
+        // A stricter fraction can only keep more factors.
+        assert!(
+            model.retained >= last_retained,
+            "retained count not monotone in fraction"
+        );
+        last_retained = model.retained;
+        // Eigenvalues (factor variances) arrive sorted descending, so the
+        // retained prefix is the maximal-variance subset.
+        for pair in model.variances.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-12, "variances not descending");
+        }
+    }
+}

@@ -258,6 +258,7 @@ impl StageSolver {
             let mut i_new = i.clone();
             for iter in 0..self.opts.max_iterations {
                 stats.sc_iterations += 1;
+                linvar_metrics::incr(linvar_metrics::Counter::ScChordIterations);
                 for x in i_new.iter_mut() {
                     *x = 0.0;
                 }

@@ -202,6 +202,7 @@ impl StageModel {
         h: f64,
         t_end: f64,
     ) -> Result<StageResult, TetaError> {
+        let _span = linvar_metrics::timer(linvar_metrics::Phase::StageEval);
         let rom = self.vrom.evaluate(w)?;
         self.evaluate_with_rom(&rom, variation, inputs, h, t_end)
     }
@@ -234,6 +235,7 @@ impl StageModel {
         h: f64,
         t_end: f64,
     ) -> Result<(StageResult, StageRecovery), TetaError> {
+        let _span = linvar_metrics::timer(linvar_metrics::Phase::StageEval);
         let mut recovery = StageRecovery::default();
         let mut sc_retries = 0usize;
         let mut last_err: Option<TetaError> = None;
@@ -381,6 +383,7 @@ impl StageModel {
                 Ok(res) => return Ok(Ok(res)),
                 Err(e) if recoverable(&e) => {
                     *sc_retries += 1;
+                    linvar_metrics::incr(linvar_metrics::Counter::ScStageRetries);
                     last = Some(e);
                 }
                 Err(e) => return Err(e),

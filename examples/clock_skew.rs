@@ -90,7 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         skew.std * 1e12,
         skew.max * 1e12
     );
-    let hist = Histogram::auto(&skews, 10);
+    let hist = Histogram::auto(&skews, 10)?;
     print!("{}", hist.render("skew distribution", 1e12, "ps"));
     Ok(())
 }

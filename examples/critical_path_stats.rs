@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Figure-7 style histogram.
-    let hist = Histogram::auto(&mc.delays, 12);
+    let hist = Histogram::auto(&mc.delays, 12)?;
     print!(
         "{}",
         hist.render("\ns27 longest-path delay (MC)", 1e12, "ps")

@@ -81,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "noise peak over variations: mean {:.1} mV, std {:.1} mV, worst {:.1} mV",
         sum.mean, sum.std, sum.max
     );
-    let hist = Histogram::auto(&peaks, 10);
+    let hist = Histogram::auto(&peaks, 10)?;
     print!("{}", hist.render("victim noise peak", 1.0, "mV"));
     Ok(())
 }

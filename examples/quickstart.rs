@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Distribution sketch.
-    let hist = Histogram::auto(&mc.delays, 12);
+    let hist = Histogram::auto(&mc.delays, 12)?;
     print!("{}", hist.render("MC path delay distribution", 1e12, "ps"));
     Ok(())
 }

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 t_sum.mean * 1e12,
                 s_sum.mean * 1e12
             );
-            let hist = Histogram::auto(&teta_delays, 10);
+            let hist = Histogram::auto(&teta_delays, 10)?;
             print!("{}", hist.render("  TETA delay distribution", 1e12, "ps"));
         }
     }

@@ -40,6 +40,7 @@ pub use linvar_core as core;
 pub use linvar_devices as devices;
 pub use linvar_interconnect as interconnect;
 pub use linvar_iscas as iscas;
+pub use linvar_metrics as metrics;
 pub use linvar_mor as mor;
 pub use linvar_numeric as numeric;
 pub use linvar_spice as spice;

@@ -72,6 +72,84 @@ fn agreement_on_large_load() {
     );
 }
 
+/// The paper's "almost SPICE accuracy" claim as an explicit per-stage
+/// tolerance budget: each benchmark configuration carries its own bound
+/// on the relative 50% (VDD/2-crossing) delay error between TETA and
+/// the SPICE baseline. All rows are evaluated — a failure reports the
+/// whole budget table, not just the first violation.
+#[test]
+fn tolerance_budget_table() {
+    struct Row {
+        label: &'static str,
+        cells: &'static [&'static str],
+        n_elem: usize,
+        sample: PathSample,
+        bound: f64,
+    }
+    let corner = PathSample {
+        wire: [1.0, -1.0, 0.5, -0.5, 1.0],
+        device: DeviceVariation::new(0.5, -0.5),
+    };
+    let budget = [
+        Row {
+            label: "inv chain, light load",
+            cells: &["inv", "inv"],
+            n_elem: 10,
+            sample: PathSample::default(),
+            bound: 0.10,
+        },
+        Row {
+            label: "nand2 stage, light load",
+            cells: &["nand2", "inv"],
+            n_elem: 20,
+            sample: PathSample::default(),
+            bound: 0.10,
+        },
+        Row {
+            label: "nor2 stage, light load",
+            cells: &["nor2", "inv"],
+            n_elem: 20,
+            sample: PathSample::default(),
+            bound: 0.10,
+        },
+        Row {
+            label: "inv, heavy interconnect",
+            cells: &["inv"],
+            n_elem: 300,
+            sample: PathSample::default(),
+            bound: 0.05,
+        },
+        Row {
+            label: "inv chain, mixed corner",
+            cells: &["inv", "inv"],
+            n_elem: 30,
+            sample: corner,
+            bound: 0.10,
+        },
+    ];
+    let mut table = String::new();
+    let mut violations = 0usize;
+    for row in &budget {
+        let cells = row.cells.iter().map(|c| c.to_string()).collect();
+        let (teta, spice) = agreement(cells, row.n_elem, row.sample);
+        let rel = (teta - spice).abs() / spice.abs();
+        let verdict = if rel <= row.bound { "ok" } else { "FAIL" };
+        if rel > row.bound {
+            violations += 1;
+        }
+        table.push_str(&format!(
+            "{:<28} teta {:>7.2} ps  spice {:>7.2} ps  err {:>5.2}%  budget {:>4.1}%  {}\n",
+            row.label,
+            teta * 1e12,
+            spice * 1e12,
+            rel * 100.0,
+            row.bound * 100.0,
+            verdict
+        ));
+    }
+    assert_eq!(violations, 0, "tolerance budget exceeded:\n{table}");
+}
+
 #[test]
 fn both_engines_monotone_in_resistivity() {
     let d = |rho: f64| {

@@ -1,0 +1,141 @@
+//! The observability layer's two contracts, checked end-to-end on the
+//! s27 longest path:
+//!
+//! 1. **Determinism** — the `counters` section of the metrics report is
+//!    bitwise-identical for the same master seed at any worker count
+//!    (1/2/8 threads). Timers and gauges are run-dependent and
+//!    explicitly excluded.
+//! 2. **Zero interference** — running with the sink disabled produces
+//!    bitwise-identical simulation results to running instrumented, and
+//!    a disabled run leaves the sink empty.
+//!
+//! The sink is process-global, so every test serializes on
+//! [`linvar::metrics::test_lock`].
+
+use linvar::iscas::{benchmark, decompose_to_primitives, longest_path};
+use linvar::metrics;
+use linvar::prelude::*;
+
+const MASTER_SEED: u64 = 2002;
+const N_SAMPLES: usize = 8;
+
+fn s27_model() -> PathModel {
+    let bench = benchmark("s27").expect("embedded benchmark");
+    let report = longest_path(&bench.netlist).expect("has a path");
+    let stages = decompose_to_primitives(&bench.netlist, &report).expect("decomposes");
+    let spec = PathSpec {
+        cells: stages.into_iter().map(|s| s.cell).collect(),
+        linear_elements_between_stages: 10,
+        input_slew: 60e-12,
+    };
+    PathModel::build(&spec, &tech_018(), &WireTech::m018()).expect("builds")
+}
+
+fn instrumented_run(model: &PathModel, threads: usize) -> (McRecoveryResult, String) {
+    metrics::reset();
+    metrics::enable();
+    let sources = VariationSources::example3(0.33, 0.33);
+    let res = model
+        .monte_carlo_par_recovering(
+            &sources,
+            N_SAMPLES,
+            MASTER_SEED,
+            threads,
+            RecoveryPolicy::default(),
+        )
+        .expect("recovering run");
+    metrics::flush_local();
+    let counters = metrics::snapshot().counters_json();
+    metrics::disable();
+    metrics::reset();
+    (res, counters)
+}
+
+fn delay_bits(res: &McRecoveryResult) -> Vec<u64> {
+    res.delays.iter().map(|d| d.to_bits()).collect()
+}
+
+#[test]
+fn counters_are_identical_across_thread_counts() {
+    let _guard = metrics::test_lock();
+    let model = s27_model();
+    let (ref_res, ref_counters) = instrumented_run(&model, 1);
+    assert_eq!(ref_res.delays.len(), N_SAMPLES);
+    assert_eq!(ref_res.failures, 0, "{:?}", ref_res.first_error);
+    // The run did real work: phase call counts and sample tallies are
+    // populated, not a sea of zeros.
+    for needle in [
+        "\"phase.sample_eval.calls\"",
+        "\"phase.lu_factor.calls\"",
+        "\"mc.samples_completed\": 8",
+        "\"rung.",
+    ] {
+        assert!(
+            ref_counters.contains(needle),
+            "missing {needle} in:\n{ref_counters}"
+        );
+    }
+    for threads in [2usize, 8] {
+        let (res, counters) = instrumented_run(&model, threads);
+        assert_eq!(
+            counters, ref_counters,
+            "counters section diverged at {threads} threads"
+        );
+        assert_eq!(
+            delay_bits(&res),
+            delay_bits(&ref_res),
+            "instrumentation must not perturb results ({threads} threads)"
+        );
+    }
+}
+
+#[test]
+fn disabled_sink_leaves_results_and_sink_untouched() {
+    let _guard = metrics::test_lock();
+    let model = s27_model();
+    let sources = VariationSources::example3(0.33, 0.33);
+
+    // Disabled run: the no-op sink must stay empty.
+    metrics::reset();
+    metrics::disable();
+    let plain = model
+        .monte_carlo_par_recovering(
+            &sources,
+            N_SAMPLES,
+            MASTER_SEED,
+            2,
+            RecoveryPolicy::default(),
+        )
+        .expect("plain run");
+    metrics::flush_local();
+    let report = metrics::snapshot();
+    assert!(
+        report.counters.values().all(|&v| v == 0),
+        "disabled sink accumulated counts: {:?}",
+        report.counters
+    );
+    assert!(
+        report
+            .timers
+            .values()
+            .all(|t| t.calls == 0 && t.total_ns == 0),
+        "disabled sink accumulated timings"
+    );
+
+    // Instrumented run: same inputs, bitwise-identical outputs.
+    let (instrumented, counters) = instrumented_run(&model, 2);
+    assert_eq!(
+        delay_bits(&plain),
+        delay_bits(&instrumented),
+        "enabling metrics changed the simulation results"
+    );
+    assert_eq!(
+        plain.summary.mean.to_bits(),
+        instrumented.summary.mean.to_bits()
+    );
+    assert_eq!(
+        plain.summary.std.to_bits(),
+        instrumented.summary.std.to_bits()
+    );
+    assert!(counters.contains("\"mc.samples_completed\": 8"));
+}
