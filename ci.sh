@@ -34,6 +34,13 @@ echo "==> durable campaigns (kill-and-resume determinism, corruption rejection)"
 cargo test -q --test campaign_resume
 cargo test -q -p linvar-stats --test checkpoint_corruption
 
+echo "==> allocation audit (steady-state Monte-Carlo samples stay inside the alloc budget)"
+cargo test -q --test alloc_audit
+
+echo "==> golden fixtures (bit-exact hot-path numerics, pooled and allocating paths)"
+cargo test -q --test golden_fixtures
+LINVAR_WS_DISABLE=1 cargo test -q --test golden_fixtures
+
 echo "==> no-panic smoke pass (examples must not panic)"
 smoke_log=$(mktemp)
 ckdir=$(mktemp -d)
@@ -127,6 +134,50 @@ fi
 if ! diff -u "$ckdir/m1.counters" "$ckdir/m2.counters"; then
     echo "metrics counters differ between same-seed runs at different thread counts" >&2
     exit 1
+fi
+# Workspace-arena contract: the allocating path (LINVAR_WS_DISABLE=1) at 1
+# and 8 workers must reproduce the pooled counters byte-for-byte (ws.* live
+# in the gauges section precisely because warm-up miss counts are
+# scheduling-dependent).
+for tc in 1 8; do
+    LINVAR_THREADS=$tc LINVAR_WS_DISABLE=1 cargo run --release -q -p linvar-bench \
+        --bin table4 -- --quick --metrics "$ckdir/m_ws$tc.json" >"$ckdir/m_ws$tc.out" 2>&1
+    sed -n '/^  "counters": {$/,/^  },$/p' "$ckdir/m_ws$tc.json" >"$ckdir/m_ws$tc.counters"
+    if ! diff -u "$ckdir/m1.counters" "$ckdir/m_ws$tc.counters"; then
+        echo "counters differ between the pooled and allocating (LINVAR_WS_DISABLE=1) \
+paths at $tc workers" >&2
+        exit 1
+    fi
+done
+
+echo "==> perf smoke (table4 --quick at 1 thread, appended to the bench trajectory)"
+LINVAR_THREADS=1 LINVAR_TRAJECTORY=BENCH_trajectory.json LINVAR_TRAJECTORY_LABEL=ci-perf-smoke \
+    cargo run --release -q -p linvar-bench --bin table4 -- --quick >"$ckdir/perf.out" 2>&1
+if command -v python3 >/dev/null 2>&1; then
+    # Compare the fresh entry against the previous comparable one (same bin,
+    # quick flag, and worker count); >10% samples/sec regression fails CI.
+    python3 - <<'EOF'
+import json, sys
+
+entries = json.load(open("BENCH_trajectory.json"))
+comparable = [
+    e for e in entries
+    if e.get("bin") == "table4" and e.get("quick")
+    and "mc.samples_per_sec" in e and e.get("threads", 1) == 1
+]
+if len(comparable) < 2:
+    sys.exit(0)
+prev, cur = comparable[-2], comparable[-1]
+ratio = cur["mc.samples_per_sec"] / prev["mc.samples_per_sec"]
+print(f"perf smoke: {cur['mc.samples_per_sec']:.2f} samples/sec vs "
+      f"{prev['mc.samples_per_sec']:.2f} previously ({ratio:.2f}x, "
+      f"{prev.get('label', '?')} -> {cur.get('label', '?')})")
+if ratio < 0.9:
+    sys.exit("samples/sec regressed by more than 10% against the previous "
+             "comparable trajectory entry")
+EOF
+else
+    echo "    (python3 unavailable; trajectory appended, regression check skipped)"
 fi
 
 echo "==> ci green"

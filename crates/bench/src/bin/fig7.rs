@@ -122,6 +122,7 @@ fn run() -> Result<(), BenchError> {
         );
     }
     meter.set("truncated_circuits", truncated as u64);
+    eprintln!("{}", linvar_bench::workspace_note());
     meter.finish(&args)?;
     Ok(())
 }

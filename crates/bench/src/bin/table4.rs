@@ -204,6 +204,7 @@ fn run() -> Result<(), BenchError> {
     }
     meter.set("configs", configs);
     meter.set("truncated_configs", truncated as u64);
+    eprintln!("{}", linvar_bench::workspace_note());
     meter.finish(&args)?;
     Ok(())
 }

@@ -298,7 +298,7 @@ impl PathModel {
             let mut t_end = input.end_time() + 1.0e-9;
             let mut out = None;
             for _attempt in 0..3 {
-                let res = stage.model.evaluate(
+                let mut res = stage.model.evaluate(
                     &sample.wire,
                     sample.device,
                     std::slice::from_ref(&input),
@@ -309,7 +309,9 @@ impl PathModel {
                 let settled = (w.final_value() - if rising_out { self.vdd } else { 0.0 }).abs()
                     < 0.05 * self.vdd;
                 if settled && w.crossing(self.vdd / 2.0, rising_out).is_some() {
-                    out = Some(w.clone());
+                    // Take the winning waveform out of the result instead of
+                    // cloning its point vector; the rest of `res` is dropped.
+                    out = Some(res.waveforms.swap_remove(stage.out_port));
                     break;
                 }
                 t_end *= 2.0;
@@ -459,13 +461,13 @@ impl PathModel {
                     h,
                     t_end,
                 ) {
-                    Ok((res, rec)) => {
+                    Ok((mut res, rec)) => {
                         let w = &res.waveforms[stage.out_port];
                         let settled = (w.final_value() - if rising_out { self.vdd } else { 0.0 })
                             .abs()
                             < 0.05 * self.vdd;
                         if settled && w.crossing(self.vdd / 2.0, rising_out).is_some() {
-                            out = Some(w.clone());
+                            out = Some(res.waveforms.swap_remove(stage.out_port));
                             stage_rec = Some(rec);
                             break;
                         }

@@ -86,12 +86,17 @@ pub fn extract_stabilized_degrading(
     let mut last_err: Option<NumericError> = None;
     for q in (1..=q0).rev() {
         attempted.push(q);
+        // Serve the full order from a borrow — the common clean-sample
+        // path extracts straight from `rom` without copying it; only a
+        // ladder walk-down (rare) materializes a truncation.
+        let truncated;
         let candidate = if q == q0 {
-            rom.clone()
+            rom
         } else {
-            rom.truncated(q)
+            truncated = rom.truncated(q);
+            &truncated
         };
-        match extract_pole_residue(&candidate) {
+        match extract_pole_residue(candidate) {
             Ok(pr) => {
                 let (stable, report) = stabilize(&pr);
                 if is_healthy(&pr, &stable, &report, beta_tol) {

@@ -26,6 +26,9 @@
 // User-reachable library paths must surface typed errors, never panic.
 // Tests are exempt: unwrap/expect on known-good fixtures is idiomatic there.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+// The per-sample hot path (evaluate/extract/stabilize) must not clone
+// what a borrow or a workspace buffer can serve.
+#![deny(clippy::redundant_clone)]
 
 pub mod degrade;
 pub mod moments;

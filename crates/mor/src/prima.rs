@@ -5,7 +5,7 @@
 //! symmetric RC case this preserves passivity; the variational first-order
 //! version built on top of this basis does not (see [`crate::variational`]).
 
-use linvar_numeric::{gram_schmidt_orthonormalize, LuFactor, Matrix, NumericError};
+use linvar_numeric::{gram_schmidt_orthonormalize, LuFactor, Matrix, NumericError, Workspace};
 
 /// A reduced-order model `(Gr + s·Cr)·vr = Br·ip`, `vp = Brᵀ·vr`.
 #[derive(Debug, Clone)]
@@ -59,6 +59,25 @@ impl ReducedModel {
         let lu = LuFactor::new(&self.gr)?;
         let x = lu.solve_mat(&self.br)?;
         Ok(self.br.transpose().mul_mat(&x))
+    }
+
+    /// Takes a zeroed `q`-state, `np`-port model shell from the
+    /// workspace arena — the hot-path destination buffer for
+    /// [`crate::VariationalRom::evaluate_into`]. Hand it back with
+    /// [`ReducedModel::recycle`] once the sample is done.
+    pub fn take_from(ws: &mut Workspace, q: usize, np: usize) -> ReducedModel {
+        ReducedModel {
+            gr: ws.take_matrix(q, q),
+            cr: ws.take_matrix(q, q),
+            br: ws.take_matrix(q, np),
+        }
+    }
+
+    /// Returns the model's matrix storage to the workspace arena.
+    pub fn recycle(self, ws: &mut Workspace) {
+        ws.recycle_matrix(self.gr);
+        ws.recycle_matrix(self.cr);
+        ws.recycle_matrix(self.br);
     }
 }
 

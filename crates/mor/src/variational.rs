@@ -200,19 +200,56 @@ impl VariationalRom {
     /// disagrees in shape with the nominal reduced matrices (possible only
     /// through inconsistent mutation after characterization).
     pub fn evaluate(&self, w: &[f64]) -> Result<ReducedModel, NumericError> {
-        let mut gr = self.gr0.clone();
-        let mut cr = self.cr0.clone();
-        let mut br = self.br0.clone();
+        let mut out = ReducedModel {
+            gr: self.gr0.clone(),
+            cr: self.cr0.clone(),
+            br: self.br0.clone(),
+        };
+        self.accumulate_sensitivities(w, &mut out)?;
+        Ok(out)
+    }
+
+    /// Evaluates the first-order model at `w` *into* an existing
+    /// [`ReducedModel`] of matching shape, reusing its `Gr/Cr/Br`
+    /// storage — the per-sample hot-path form of
+    /// [`VariationalRom::evaluate`]. The output matrices are fully
+    /// overwritten with the nominal matrices and then receive the same
+    /// AXPY updates in the same order, so the result is bitwise
+    /// identical to the allocating path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if a sensitivity matrix
+    /// disagrees in shape with the nominal reduced matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out`'s matrices do not match the ROM's shapes (take
+    /// them from a workspace arena sized by [`VariationalRom::order`] /
+    /// [`VariationalRom::port_count`]).
+    pub fn evaluate_into(&self, w: &[f64], out: &mut ReducedModel) -> Result<(), NumericError> {
+        out.gr.copy_from(&self.gr0);
+        out.cr.copy_from(&self.cr0);
+        out.br.copy_from(&self.br0);
+        self.accumulate_sensitivities(w, out)
+    }
+
+    /// Shared AXPY accumulation of eq. (11)'s first-order terms.
+    fn accumulate_sensitivities(
+        &self,
+        w: &[f64],
+        out: &mut ReducedModel,
+    ) -> Result<(), NumericError> {
         for (i, ((dg, dc), db)) in self.dgr.iter().zip(&self.dcr).zip(&self.dbr).enumerate() {
             if let Some(&wi) = w.get(i) {
                 if wi != 0.0 {
-                    gr.axpy(wi, dg)?;
-                    cr.axpy(wi, dc)?;
-                    br.axpy(wi, db)?;
+                    out.gr.axpy(wi, dg)?;
+                    out.cr.axpy(wi, dc)?;
+                    out.br.axpy(wi, db)?;
                 }
             }
         }
-        Ok(ReducedModel { gr, cr, br })
+        Ok(())
     }
 
     /// Reference evaluation: recomputes the *exact* reduction at sample `w`

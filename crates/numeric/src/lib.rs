@@ -29,6 +29,9 @@
 // Dense matrix kernels index rows/columns explicitly; iterator
 // adaptors would obscure the classic algorithm shapes.
 #![allow(clippy::needless_range_loop)]
+// The Monte-Carlo hot path must not clone what a borrow (or a
+// workspace buffer) can serve; keep the lint a hard error here.
+#![deny(clippy::redundant_clone)]
 
 pub mod cmatrix;
 pub mod complex;
@@ -39,6 +42,7 @@ pub mod matrix;
 pub mod qr;
 pub mod sym_eigen;
 pub mod vector;
+pub mod workspace;
 
 pub use cmatrix::{CLuFactor, CMatrix};
 pub use complex::Complex;
@@ -48,3 +52,4 @@ pub use lu::{FactorRecovery, LuFactor};
 pub use matrix::Matrix;
 pub use qr::{gram_schmidt_orthonormalize, householder_qr, QrFactor};
 pub use sym_eigen::{cholesky, generalized_sym_eigen, jacobi_eigen, SymEigen};
+pub use workspace::{with_workspace, Workspace, WsStats};

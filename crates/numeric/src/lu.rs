@@ -2,6 +2,7 @@
 
 use crate::error::NumericError;
 use crate::matrix::Matrix;
+use crate::workspace::Workspace;
 
 /// LU factorization with partial (row) pivoting: `P * A = L * U`.
 ///
@@ -31,6 +32,31 @@ pub struct LuFactor {
     perm: Vec<usize>,
     /// Sign of the permutation, for determinant computation.
     perm_sign: f64,
+    /// Optional nonzero index over the factors, built by
+    /// [`LuFactor::optimize_for_solves`] for factorizations that serve
+    /// many right-hand sides.
+    solve_index: Option<SolveIndex>,
+}
+
+/// Compressed index of the structurally nonzero off-diagonal factor
+/// entries, `(column, value)` pairs per row in ascending column order.
+///
+/// MNA matrices from ladder-dominated netlists factor with O(n) fill, so
+/// triangular substitution over only the stored nonzeros turns an O(n²)
+/// dense sweep into an O(nnz) one. Skipped entries are exact `0.0`
+/// factors whose dense contribution `acc -= 0.0 * x[j]` cannot change a
+/// finite accumulation, so the indexed solve is bitwise identical to the
+/// dense one for finite iterates.
+#[derive(Debug, Clone)]
+struct SolveIndex {
+    /// `(j, l_ij)` for `j < i`, rows concatenated.
+    lower: Vec<(u32, f64)>,
+    /// Start of row `i`'s entries in `lower`; length `n + 1`.
+    lower_off: Vec<u32>,
+    /// `(j, u_ij)` for `j > i`, rows concatenated.
+    upper: Vec<(u32, f64)>,
+    /// Start of row `i`'s entries in `upper`; length `n + 1`.
+    upper_off: Vec<u32>,
 }
 
 /// Relative pivot threshold below which the matrix is declared singular.
@@ -64,14 +90,47 @@ impl LuFactor {
     /// [`NumericError::SingularMatrix`] if a pivot underflows.
     pub fn new(a: &Matrix) -> Result<Self, NumericError> {
         let _span = linvar_metrics::timer(linvar_metrics::Phase::LuFactor);
-        if !a.is_square() {
-            return Err(NumericError::DimensionMismatch {
+        Self::check_square(a)?;
+        Self::factor(a.clone())
+    }
+
+    /// Factors `a` into storage taken from the workspace arena — the
+    /// allocation-free analog of [`LuFactor::new`] for the Monte-Carlo
+    /// hot path. Hand the factorization back with
+    /// [`LuFactor::recycle`] when done. Results are bitwise identical
+    /// to `new` (the workspace hands out zeroed storage and the copy
+    /// overwrites every entry).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LuFactor::new`].
+    pub fn new_in(a: &Matrix, ws: &mut Workspace) -> Result<Self, NumericError> {
+        let _span = linvar_metrics::timer(linvar_metrics::Phase::LuFactor);
+        Self::check_square(a)?;
+        let mut lu = ws.take_matrix(a.rows(), a.cols());
+        lu.copy_from(a);
+        Self::factor(lu)
+    }
+
+    /// Returns the factor storage to the workspace arena.
+    pub fn recycle(self, ws: &mut Workspace) {
+        ws.recycle_matrix(self.lu);
+    }
+
+    fn check_square(a: &Matrix) -> Result<(), NumericError> {
+        if a.is_square() {
+            Ok(())
+        } else {
+            Err(NumericError::DimensionMismatch {
                 expected: "square matrix".into(),
                 found: format!("{}x{}", a.rows(), a.cols()),
-            });
+            })
         }
-        let n = a.rows();
-        let mut lu = a.clone();
+    }
+
+    /// Partial-pivoting factor core, consuming the working copy.
+    fn factor(mut lu: Matrix) -> Result<Self, NumericError> {
+        let n = lu.rows();
         let mut perm: Vec<usize> = (0..n).collect();
         let mut perm_sign = 1.0;
         let mut max_pivot: f64 = 0.0;
@@ -128,7 +187,46 @@ impl LuFactor {
             lu,
             perm,
             perm_sign,
+            solve_index: None,
         })
+    }
+
+    /// Builds the nonzero index over the factors so subsequent solves
+    /// substitute over O(nnz) entries instead of sweeping the dense
+    /// triangles. Worth the one-off O(n²) scan only when the same
+    /// factorization serves many right-hand sides (the MNA transient
+    /// simulators resolve one factorization hundreds of times per
+    /// timestep cache); allocates, so the Monte-Carlo hot path leaves it
+    /// off. Solves remain bitwise identical to the dense sweep.
+    pub fn optimize_for_solves(&mut self) {
+        let n = self.order();
+        let mut lower = Vec::new();
+        let mut lower_off = Vec::with_capacity(n + 1);
+        let mut upper = Vec::new();
+        let mut upper_off = Vec::with_capacity(n + 1);
+        lower_off.push(0);
+        upper_off.push(0);
+        for i in 0..n {
+            let row = self.lu.row(i);
+            for (j, &v) in row.iter().enumerate().take(i) {
+                if v != 0.0 {
+                    lower.push((j as u32, v));
+                }
+            }
+            lower_off.push(lower.len() as u32);
+            for (j, &v) in row.iter().enumerate().skip(i + 1) {
+                if v != 0.0 {
+                    upper.push((j as u32, v));
+                }
+            }
+            upper_off.push(upper.len() as u32);
+        }
+        self.solve_index = Some(SolveIndex {
+            lower,
+            lower_off,
+            upper,
+            upper_off,
+        });
     }
 
     /// Factors `a`, retrying once with a diagonal perturbation on breakdown.
@@ -213,6 +311,20 @@ impl LuFactor {
     /// Returns [`NumericError::DimensionMismatch`] if `b.len()` differs from
     /// the matrix order.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericError> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` into `x` (fully overwritten; reuses `x`'s
+    /// capacity). Bitwise identical to [`LuFactor::solve`] — same
+    /// substitution order, no allocation once `x` has warmed up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len()` differs from
+    /// the matrix order.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<(), NumericError> {
         let _span = linvar_metrics::timer(linvar_metrics::Phase::LuSolve);
         let n = self.order();
         if b.len() != n {
@@ -222,7 +334,29 @@ impl LuFactor {
             });
         }
         // Apply permutation and forward-substitute L y = P b.
-        let mut x: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&pi| b[pi]));
+        if let Some(ix) = &self.solve_index {
+            // Indexed substitution: same ascending-column accumulation,
+            // skipping only exact-zero factors (see [`SolveIndex`]).
+            for i in 1..n {
+                let mut acc = x[i];
+                let (lo, hi) = (ix.lower_off[i] as usize, ix.lower_off[i + 1] as usize);
+                for &(j, v) in &ix.lower[lo..hi] {
+                    acc -= v * x[j as usize];
+                }
+                x[i] = acc;
+            }
+            for i in (0..n).rev() {
+                let mut acc = x[i];
+                let (lo, hi) = (ix.upper_off[i] as usize, ix.upper_off[i + 1] as usize);
+                for &(j, v) in &ix.upper[lo..hi] {
+                    acc -= v * x[j as usize];
+                }
+                x[i] = acc / self.lu[(i, i)];
+            }
+            return Ok(());
+        }
         for i in 1..n {
             let mut acc = x[i];
             for j in 0..i {
@@ -238,7 +372,7 @@ impl LuFactor {
             }
             x[i] = acc / self.lu[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A X = B` for a matrix right-hand side, column by column.
@@ -260,6 +394,36 @@ impl LuFactor {
             let col = self.solve(&b.col(j))?;
             x.set_col(j, &col);
         }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` with every temporary (result, column, solution)
+    /// served by the workspace arena. Bitwise identical to
+    /// [`LuFactor::solve_mat`]; the caller recycles the returned matrix
+    /// when done with it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.rows()` differs from
+    /// the matrix order.
+    pub fn solve_mat_in(&self, b: &Matrix, ws: &mut Workspace) -> Result<Matrix, NumericError> {
+        let n = self.order();
+        if b.rows() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: format!("{n} rows"),
+                found: format!("{} rows", b.rows()),
+            });
+        }
+        let mut x = ws.take_matrix(n, b.cols());
+        let mut col = ws.take_vec(n);
+        let mut sol = ws.take_vec(n);
+        for j in 0..b.cols() {
+            b.col_into(j, &mut col);
+            self.solve_into(&col, &mut sol)?;
+            x.set_col(j, &sol);
+        }
+        ws.recycle_vec(col);
+        ws.recycle_vec(sol);
         Ok(x)
     }
 
@@ -398,5 +562,78 @@ mod tests {
         let a = Matrix::identity(3);
         let lu = LuFactor::new(&a).unwrap();
         assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn indexed_solves_are_bitwise_identical_to_dense() {
+        // Ladder-sparse system of the kind the MNA simulators factor:
+        // tridiagonal conductance chain plus a dense-ish corner row.
+        let n = 24;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 2.5 + (i as f64) * 0.125;
+            if i + 1 < n {
+                a[(i, i + 1)] = -1.0 - (i as f64) * 0.01;
+                a[(i + 1, i)] = -0.75;
+            }
+        }
+        a[(0, n - 1)] = 0.5;
+        a[(n - 1, 3)] = -0.25;
+        let dense = LuFactor::new(&a).unwrap();
+        let mut indexed = LuFactor::new(&a).unwrap();
+        indexed.optimize_for_solves();
+        for k in 0..4 {
+            let b: Vec<f64> = (0..n)
+                .map(|i| ((i * 7 + k * 13) % 11) as f64 - 5.0)
+                .collect();
+            let xd = dense.solve(&b).unwrap();
+            let xi = indexed.solve(&b).unwrap();
+            let (bd, bi): (Vec<u64>, Vec<u64>) = (
+                xd.iter().map(|v| v.to_bits()).collect(),
+                xi.iter().map(|v| v.to_bits()).collect(),
+            );
+            assert_eq!(bd, bi, "indexed solve drifted from dense for rhs {k}");
+        }
+    }
+
+    #[test]
+    fn workspace_backed_factor_and_solves_are_bitwise_identical() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, -0.5], &[1.0, 3.0, 1.0], &[0.25, 1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.5], &[-2.0, 3.0], &[0.75, -1.25]]);
+        let reference_lu = LuFactor::new(&a).unwrap();
+        let reference = reference_lu.solve_mat(&b).unwrap();
+
+        let mut ws = Workspace::pooling();
+        // Two rounds so the second runs entirely on recycled buffers.
+        for round in 0..2 {
+            let lu = LuFactor::new_in(&a, &mut ws).unwrap();
+            let x = lu.solve_mat_in(&b, &mut ws).unwrap();
+            for (got, want) in x.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(got.to_bits(), want.to_bits(), "round {round}");
+            }
+            let mut v = Vec::new();
+            lu.solve_into(&b.col(0), &mut v).unwrap();
+            for (got, want) in v.iter().zip(&reference.col(0)) {
+                assert_eq!(got.to_bits(), want.to_bits(), "round {round}");
+            }
+            ws.recycle_matrix(x);
+            lu.recycle(&mut ws);
+        }
+        let s = ws.stats();
+        assert!(s.hits > 0, "second round must hit the pool: {s:?}");
+    }
+
+    #[test]
+    fn workspace_factor_rejects_non_square_and_singular() {
+        let mut ws = Workspace::pooling();
+        assert!(matches!(
+            LuFactor::new_in(&Matrix::zeros(2, 3), &mut ws),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            LuFactor::new_in(&s, &mut ws),
+            Err(NumericError::SingularMatrix { .. })
+        ));
     }
 }

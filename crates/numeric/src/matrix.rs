@@ -153,6 +153,29 @@ impl Matrix {
         }
     }
 
+    /// Writes column `j` into `out` (cleared first) without allocating
+    /// beyond `out`'s capacity.
+    pub fn col_into(&self, j: usize, out: &mut Vec<f64>) {
+        assert!(j < self.cols, "column index {j} out of bounds");
+        out.clear();
+        out.extend((0..self.rows).map(|i| self[(i, j)]));
+    }
+
+    /// Overwrites `self` with `other`'s contents, reusing `self`'s
+    /// storage. The allocation-free analog of `*self = other.clone()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "copy_from shape mismatch"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
@@ -181,6 +204,26 @@ impl Matrix {
             y[i] = acc;
         }
         y
+    }
+
+    /// Matrix-vector product `self * x` written into `y` (fully
+    /// overwritten; resized if needed). Identical arithmetic — same
+    /// per-row accumulation order — as [`Matrix::mul_vec`], so results
+    /// are bitwise equal; only the allocation is gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        y.clear();
+        y.extend((0..self.rows).map(|i| {
+            let mut acc = 0.0;
+            for (a, b) in self.row(i).iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            acc
+        }));
     }
 
     /// Transposed matrix-vector product `selfᵀ * x`.
@@ -526,5 +569,36 @@ mod tests {
     fn debug_is_nonempty() {
         let m = Matrix::identity(2);
         assert!(!format!("{m:?}").is_empty());
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec_bitwise() {
+        let a = Matrix::from_rows(&[&[1.5, -2.25, 0.1], &[0.0, 3.0, -7.5]]);
+        let x = [0.3, -1.7, 2.9];
+        let mut y = vec![9.0; 5]; // stale contents and wrong length
+        a.mul_vec_into(&x, &mut y);
+        let reference = a.mul_vec(&x);
+        assert_eq!(y.len(), reference.len());
+        for (got, want) in y.iter().zip(&reference) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn copy_from_and_col_into_reuse_storage() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut b = Matrix::zeros(2, 2);
+        b.copy_from(&a);
+        assert_eq!(b.as_slice(), a.as_slice());
+        let mut c = vec![0.0; 7];
+        a.col_into(1, &mut c);
+        assert_eq!(c, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_from shape mismatch")]
+    fn copy_from_rejects_shape_mismatch() {
+        let mut b = Matrix::zeros(2, 3);
+        b.copy_from(&Matrix::zeros(3, 2));
     }
 }

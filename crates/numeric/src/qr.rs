@@ -99,8 +99,7 @@ pub fn householder_qr(a: &Matrix) -> Result<QrFactor, NumericError> {
         q.set_col(j, &e);
     }
     // Zero the strictly-lower part of R (numerical noise) and truncate.
-    let r = r.submatrix(0, n, 0, n);
-    let mut r_clean = r.clone();
+    let mut r_clean = r.submatrix(0, n, 0, n);
     for i in 0..n {
         for j in 0..i {
             r_clean[(i, j)] = 0.0;

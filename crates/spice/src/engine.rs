@@ -676,7 +676,11 @@ impl<'a> Transient<'a> {
         let (lu0, a0inv_u) = if self.opts.dense_rebuild {
             (None, Matrix::zeros(0, 0))
         } else {
-            let lu = LuFactor::new(&a0).map_err(SpiceError::from)?;
+            let mut lu = LuFactor::new(&a0).map_err(SpiceError::from)?;
+            // The cache serves every Newton iteration until the timestep
+            // changes; index the (ladder-sparse) factors once so each of
+            // those solves substitutes over the nonzeros only.
+            lu.optimize_for_solves();
             stats.lu_factorizations += 1;
             let a0inv_u = if ndev > 0 {
                 // u_k = e_d - e_s (columns).
@@ -762,7 +766,10 @@ impl<'a> Transient<'a> {
                 } else {
                     // Woodbury: (A0 + U Vᵀ)⁻¹ rhs
                     //   = y - A0⁻¹U (I + VᵀA0⁻¹U)⁻¹ Vᵀ y.
-                    let vt_dot = |row: &DeviceRow, vec_src: &dyn Fn(usize) -> f64| -> f64 {
+                    // Each Vᵀ row touches at most three entries of its
+                    // operand, so read them straight from `a0inv_u`/`y`
+                    // (same accumulation order as a materialized column).
+                    fn vt_dot(row: &DeviceRow, vec_src: impl Fn(usize) -> f64) -> f64 {
                         let (d, g, s, gm, gds) = *row;
                         let mut acc = 0.0;
                         if let Some(d) = d {
@@ -775,15 +782,14 @@ impl<'a> Transient<'a> {
                             acc -= (gm + gds) * vec_src(s);
                         }
                         acc
-                    };
+                    }
                     let mut small = Matrix::identity(ndev);
                     for (r, row) in vrows.iter().enumerate() {
                         for ccol in 0..ndev {
-                            let col = a0inv_u.col(ccol);
-                            small[(r, ccol)] += vt_dot(row, &|i| col[i]);
+                            small[(r, ccol)] += vt_dot(row, |i| a0inv_u[(i, ccol)]);
                         }
                     }
-                    let vty: Vec<f64> = vrows.iter().map(|row| vt_dot(row, &|i| y[i])).collect();
+                    let vty: Vec<f64> = vrows.iter().map(|row| vt_dot(row, |i| y[i])).collect();
                     let lu_small = LuFactor::new(&small).map_err(SpiceError::from)?;
                     let z = lu_small.solve(&vty).map_err(SpiceError::from)?;
                     let mut out = y;

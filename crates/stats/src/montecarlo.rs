@@ -10,6 +10,14 @@
 //! the merged output is bitwise-identical at any thread count and equal
 //! to the serial driver's output. See DESIGN.md, "Parallel execution &
 //! determinism contract".
+//!
+//! Each worker thread owns a thread-local scratch **workspace**
+//! (`linvar_numeric::with_workspace`) that the sample hot path draws its
+//! LU/eigen/matrix temporaries from, so steady-state evaluation allocates
+//! nothing per sample. The pool only recycles storage — every buffer is
+//! zero-filled (or fully overwritten) on take, so pooling cannot leak one
+//! sample's values into the next and the determinism contract above is
+//! unaffected. See DESIGN.md, "Hot path & workspace model".
 
 use crate::summary::Summary;
 use std::fmt::Display;

@@ -143,7 +143,20 @@ impl RecursiveConvolution {
     /// excluding the new current's instantaneous term:
     /// `hist = Σ_k Re{ R_k (E·x_k + c0·i_prev) }`.
     pub fn history(&self) -> Vec<f64> {
-        let mut hist = vec![0.0; self.np];
+        let mut hist = Vec::new();
+        self.history_into(&mut hist);
+        hist
+    }
+
+    /// [`RecursiveConvolution::history`] into a reusable buffer (fully
+    /// overwritten; resized if needed). The accumulation starts from a
+    /// zeroed buffer and runs in the same pole/port order as the
+    /// allocating form, so results are bitwise identical — this is the
+    /// per-timestep call of the SC inner loop, where a fresh `Vec`
+    /// per step was pure allocator traffic.
+    pub fn history_into(&self, hist: &mut Vec<f64>) {
+        hist.clear();
+        hist.resize(self.np, 0.0);
         for (k, (e, c0, _c1, rf)) in self.poles.iter().enumerate() {
             for j in 0..self.np {
                 let xe = *e * self.states[k][j] + *c0 * Complex::from_real(self.i_prev[j]);
@@ -152,17 +165,33 @@ impl RecursiveConvolution {
                 }
             }
         }
-        hist
     }
 
     /// Port voltages for a candidate new current vector, given the
     /// precomputed history: `v = Z_inst·i_new + hist`.
     pub fn voltages(&self, i_new: &[f64], hist: &[f64]) -> Vec<f64> {
-        let mut v = self.z_inst.mul_vec(i_new);
-        for (vi, hi) in v.iter_mut().zip(hist) {
-            *vi += hi;
-        }
+        let mut v = Vec::new();
+        self.voltages_into(i_new, hist, &mut v);
         v
+    }
+
+    /// [`RecursiveConvolution::voltages`] into a reusable buffer (fully
+    /// overwritten). Each entry is the same row accumulation the
+    /// allocating path's `mul_vec` produces, plus `hist[i]` as the
+    /// final addend — exactly the `+=` the allocating path applied —
+    /// so results are bitwise identical. This runs once per SC chord
+    /// iteration: the hottest call in the framework.
+    pub fn voltages_into(&self, i_new: &[f64], hist: &[f64], v: &mut Vec<f64>) {
+        assert_eq!(i_new.len(), self.np, "port-count mismatch");
+        assert_eq!(hist.len(), self.np, "history length mismatch");
+        v.clear();
+        v.extend((0..self.np).map(|i| {
+            let mut acc = 0.0;
+            for (a, b) in self.z_inst.row(i).iter().zip(i_new.iter()) {
+                acc += a * b;
+            }
+            acc + hist[i]
+        }));
     }
 
     /// Commits the step with the converged new currents, advancing all
@@ -293,6 +322,39 @@ mod tests {
         let v = conv.voltages(&[1e-3], &hist)[0];
         let z0 = 1e6 / 1e3;
         assert!((v - z0 * 1e-3).abs() < 1e-6 * z0 * 1e-3);
+    }
+
+    #[test]
+    fn into_forms_match_allocating_forms_bitwise() {
+        let p = Complex::new(-5e8, 3e9);
+        let r = Complex::new(1e12, 2e11);
+        let mut r1 = CMatrix::zeros(1, 1);
+        r1[(0, 0)] = r;
+        let mut r2 = CMatrix::zeros(1, 1);
+        r2[(0, 0)] = r.conj();
+        let model = PoleResidueModel {
+            poles: vec![p, p.conj()],
+            residues: vec![r1, r2],
+            direct: Matrix::from_rows(&[&[7.5]]),
+        };
+        let mut conv = RecursiveConvolution::new(&model, 2e-12);
+        let mut hist_buf = vec![99.0; 3]; // stale + wrong length
+        let mut v_buf = Vec::new();
+        for step in 0..50 {
+            let i = [1e-3 * (step as f64 * 0.1).sin()];
+            let hist = conv.history();
+            conv.history_into(&mut hist_buf);
+            assert_eq!(hist.len(), hist_buf.len());
+            for (a, b) in hist.iter().zip(&hist_buf) {
+                assert_eq!(a.to_bits(), b.to_bits(), "history step {step}");
+            }
+            let v = conv.voltages(&i, &hist);
+            conv.voltages_into(&i, &hist_buf, &mut v_buf);
+            for (a, b) in v.iter().zip(&v_buf) {
+                assert_eq!(a.to_bits(), b.to_bits(), "voltages step {step}");
+            }
+            conv.advance(&i);
+        }
     }
 
     #[test]

@@ -209,15 +209,22 @@ impl StageSolver {
                 0.0
             };
         }
+        // Gate input values are iteration-invariant at a fixed time, so
+        // they are evaluated once per time point, not once per chord
+        // iteration (same values, same results, far fewer waveform
+        // interpolations — the inputs of late path stages carry hundreds
+        // of breakpoints).
+        let mut vin_at: Vec<f64> = self.drivers.iter().map(|d| d.input.eval(0.0)).collect();
         let mut i = vec![0.0; np];
+        let mut v_new: Vec<f64> = Vec::with_capacity(np);
         for iter in 0..self.opts.max_iterations * 2 {
             for x in i.iter_mut() {
                 *x = 0.0;
             }
-            for d in &self.drivers {
-                i[d.port] = self.i_eq(d, d.input.eval(0.0), v[d.port]);
+            for (d, &vin) in self.drivers.iter().zip(&vin_at) {
+                i[d.port] = self.i_eq(d, vin, v[d.port]);
             }
-            let mut v_new = zdc.mul_vec(&i);
+            zdc.mul_vec_into(&i, &mut v_new);
             self.damp(&mut v_new, &v);
             // NaN-aware convergence check: `f64::max` ignores NaN, so an
             // exploding fixed point could otherwise masquerade as
@@ -228,7 +235,10 @@ impl StageSolver {
                 finite &= a.is_finite();
                 delta = delta.max((a - b).abs());
             }
-            v = v_new;
+            // Buffer rotation instead of a move: `v` receives the new
+            // iterate, the stale contents parked in `v_new` are fully
+            // overwritten at the top of the next iteration.
+            std::mem::swap(&mut v, &mut v_new);
             if !finite || v.iter().any(|x| x.abs() > 1e6) {
                 return Err(TetaError::ScDivergence {
                     time: 0.0,
@@ -248,24 +258,42 @@ impl StageSolver {
         self.conv.initialize_dc(&i);
 
         // ---- time loop ---------------------------------------------------
-        let mut recorded: Vec<Vec<(f64, f64)>> = (0..np).map(|p| vec![(0.0, v[p])]).collect();
+        // Every buffer of the SC fixed point lives outside the loop: the
+        // steady state runs allocation-free (`hist`/`i_new`/`v_new` are
+        // fully overwritten each step, `recorded` is sized up front), and
+        // each rewrite below is bitwise identical to the allocating
+        // original — same values, same operation order, only the
+        // allocator traffic is gone.
+        let mut recorded: Vec<Vec<(f64, f64)>> = (0..np)
+            .map(|p| {
+                let mut rec = Vec::with_capacity(steps + 1);
+                rec.push((0.0, v[p]));
+                rec
+            })
+            .collect();
+        let mut hist: Vec<f64> = Vec::with_capacity(np);
+        let mut i_new: Vec<f64> = Vec::with_capacity(np);
         let mut t = 0.0;
         for _ in 0..steps {
             t += h;
-            let hist = self.conv.history();
+            self.conv.history_into(&mut hist);
+            // Gate inputs depend only on `t`: evaluate once per step.
+            vin_at.clear();
+            vin_at.extend(self.drivers.iter().map(|d| d.input.eval(t)));
             // SC fixed point, warm-started from the previous voltages.
             let mut converged = false;
-            let mut i_new = i.clone();
+            i_new.clear();
+            i_new.extend_from_slice(&i);
             for iter in 0..self.opts.max_iterations {
                 stats.sc_iterations += 1;
                 linvar_metrics::incr(linvar_metrics::Counter::ScChordIterations);
                 for x in i_new.iter_mut() {
                     *x = 0.0;
                 }
-                for d in &self.drivers {
-                    i_new[d.port] = self.i_eq(d, d.input.eval(t), v[d.port]);
+                for (d, &vin) in self.drivers.iter().zip(&vin_at) {
+                    i_new[d.port] = self.i_eq(d, vin, v[d.port]);
                 }
-                let mut v_new = self.conv.voltages(&i_new, &hist);
+                self.conv.voltages_into(&i_new, &hist, &mut v_new);
                 self.damp(&mut v_new, &v);
                 let mut delta = 0.0_f64;
                 let mut finite = true;
@@ -273,7 +301,7 @@ impl StageSolver {
                     finite &= a.is_finite();
                     delta = delta.max((a - b).abs());
                 }
-                v = v_new;
+                std::mem::swap(&mut v, &mut v_new);
                 // Check for blow-up *before* declaring convergence:
                 // `f64::max` ignores NaN, so an all-NaN iterate would
                 // otherwise read as delta = 0.
@@ -295,7 +323,7 @@ impl StageSolver {
                 });
             }
             self.conv.advance(&i_new);
-            i = i_new;
+            i.copy_from_slice(&i_new);
             stats.steps += 1;
             for (p, rec) in recorded.iter_mut().enumerate() {
                 rec.push((t, v[p]));

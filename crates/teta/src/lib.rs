@@ -24,6 +24,9 @@
 // Dense matrix kernels index rows/columns explicitly; iterator
 // adaptors would obscure the classic algorithm shapes.
 #![allow(clippy::needless_range_loop)]
+// The per-sample hot path (stage evaluation, SC iteration, recursive
+// convolution) must not clone what a borrow or a workspace buffer can serve.
+#![deny(clippy::redundant_clone)]
 
 pub mod conv;
 pub mod engine;

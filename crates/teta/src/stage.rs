@@ -21,6 +21,7 @@ use linvar_mor::{
     extract_pole_residue, extract_stabilized_degrading, stabilize, PoleResidueModel, ReducedModel,
     ReductionMethod, StabilityReport, VariationalRom, DEFAULT_BETA_TOL,
 };
+use linvar_numeric::with_workspace;
 
 /// A precharacterized logic stage.
 #[derive(Debug, Clone)]
@@ -203,8 +204,18 @@ impl StageModel {
         t_end: f64,
     ) -> Result<StageResult, TetaError> {
         let _span = linvar_metrics::timer(linvar_metrics::Phase::StageEval);
-        let rom = self.vrom.evaluate(w)?;
-        self.evaluate_with_rom(&rom, variation, inputs, h, t_end)
+        // Serve the per-sample reduced matrices from the worker's workspace
+        // pool: `evaluate_into` writes the same values `evaluate` would
+        // allocate (copy + identical AXPY accumulation), so results are
+        // bitwise unchanged. The scope closes before `evaluate_with_rom`
+        // so the pole/residue extraction can borrow the same pool.
+        let rom = with_workspace(|ws| {
+            let mut rom = ReducedModel::take_from(ws, self.vrom.order(), self.vrom.port_count());
+            self.vrom.evaluate_into(w, &mut rom).map(|()| rom)
+        })?;
+        let result = self.evaluate_with_rom(&rom, variation, inputs, h, t_end);
+        with_workspace(|ws| rom.recycle(ws));
+        result
     }
 
     /// Evaluates the stage under the failure-recovery ladder.
@@ -373,7 +384,7 @@ impl StageModel {
         for &(refine, damping) in &SC_SCHEDULE {
             match self.run_sc(
                 stable,
-                stability.clone(),
+                stability,
                 variation,
                 inputs,
                 h / refine,
@@ -424,15 +435,18 @@ impl StageModel {
     ) -> Result<StageResult, TetaError> {
         let pr = extract_pole_residue(rom)?;
         let (stable, stability) = stabilize(&pr);
-        self.run_sc(&stable, stability, variation, inputs, h, t_end, 1.0)
+        self.run_sc(&stable, &stability, variation, inputs, h, t_end, 1.0)
     }
 
-    /// One successive-chords run against a stabilized load model.
+    /// One successive-chords run against a stabilized load model. The
+    /// stability report is borrowed so the SC retry schedule does not clone
+    /// it per attempt; only the successful run materializes a copy into the
+    /// returned [`StageResult`].
     #[allow(clippy::too_many_arguments)]
     fn run_sc(
         &self,
         stable: &PoleResidueModel,
-        stability: StabilityReport,
+        stability: &StabilityReport,
         variation: DeviceVariation,
         inputs: &[Waveform],
         h: f64,
@@ -468,7 +482,7 @@ impl StageModel {
         let (waveforms, stats) = StageSolver::new(stable, drivers, opts)?.run()?;
         Ok(StageResult {
             waveforms,
-            stability,
+            stability: stability.clone(),
             stats,
         })
     }

@@ -1,0 +1,202 @@
+//! Allocation audit for the Monte-Carlo hot path.
+//!
+//! A counting global allocator measures how many heap allocations one
+//! steady-state sample costs inside [`monte_carlo`] once the per-worker
+//! workspace arena is warm. The count is differenced between two run
+//! lengths, so per-run fixed costs (result vectors, the summary) cancel
+//! and only the true per-sample cost remains.
+//!
+//! The budget below is a **regression tripwire**, not an aspiration:
+//! the workspace arena eliminated the per-sample LU/eigen/matrix and
+//! SC-inner-loop allocations, and what remains is the documented
+//! steady-state constant. If this test fails, a hot-path change
+//! reintroduced per-sample allocation — either pool the new buffer
+//! through `linvar_numeric::with_workspace` or, if the allocation is
+//! genuinely unavoidable, raise the budget in the same commit that
+//! explains why.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use linvar_devices::{tech_018, DeviceVariation};
+use linvar_interconnect::{CoupledLineSpec, WireTech};
+use linvar_mor::ReductionMethod;
+use linvar_stats::monte_carlo;
+use linvar_teta::{StageModel, Waveform};
+
+/// Counts every allocation; `realloc` counts once (it may move storage).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+// Each file in `tests/` is its own binary, so this allocator governs only
+// this audit and cannot interfere with the rest of the suite.
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// Steady-state per-sample allocation budget for one stage evaluation
+/// driven through `monte_carlo`.
+///
+/// The measured cost after the workspace-arena work is ~160 allocations
+/// per sample (6th-order ROM, one driver). It is a *small documented
+/// constant* — independent of the transient length and the SC iteration
+/// count — made up of:
+///
+///   * pole/residue extraction scratch the workspace does not pool:
+///     complex eigensolver internals (`CMatrix` temporaries) and the
+///     per-sample `PoleResidueModel` (one small `CMatrix` per pole);
+///   * `stabilize`'s filtered copy of that model (β-rescaled residues);
+///   * per-run solver setup: `DriverSpec` (input waveform + MOS model
+///     clones), `RecursiveConvolution` state, and the recorded output
+///     waveforms with their compression buffers;
+///   * `monte_carlo` bookkeeping for the outcome of each sample.
+///
+/// What the budget must **never** again include: per-SC-iteration or
+/// per-timestep allocation (the former cost scaled with the ~36k chord
+/// iterations a sample runs — pooling those is where the hot-path speedup
+/// came from).
+const PER_SAMPLE_BUDGET: u64 = 400;
+
+#[test]
+fn steady_state_monte_carlo_sample_allocates_within_budget() {
+    // Single coupled line, one driver — the smallest realistic stage.
+    let tech = tech_018();
+    let spec = CoupledLineSpec::new(1, 20e-6, WireTech::m018());
+    let built = linvar_interconnect::builder::build_coupled_lines(&spec).unwrap();
+    let model = StageModel::build(
+        &built.netlist,
+        &[built.inputs[0]],
+        &tech,
+        ReductionMethod::Prima { order: 6 },
+        0.02,
+    )
+    .unwrap();
+    let input = Waveform::ramp(0.0, 1.8, 20e-12, 50e-12);
+
+    // Mild parameter excursions: every sample must take the clean path so
+    // the two windows measure identical work per sample.
+    let sample_at = |i: usize| {
+        let x = (i as f64) / 64.0 - 0.25;
+        [x, -x, 0.5 * x, 0.0, x]
+    };
+    let eval = |w: &[f64; 5]| -> Result<f64, String> {
+        let res = model
+            .evaluate(
+                w,
+                DeviceVariation::nominal(),
+                std::slice::from_ref(&input),
+                1e-12,
+                1.5e-9,
+            )
+            .map_err(|e| e.to_string())?;
+        res.waveforms[1]
+            .crossing(0.9, false)
+            .ok_or_else(|| "no crossing".to_string())
+    };
+
+    // Warm-up: populate the thread-local workspace pools (first samples
+    // miss; steady state hits). Uses the same driver as the measurement.
+    let warm: Vec<[f64; 5]> = (0..4).map(sample_at).collect();
+    let r = monte_carlo(&warm, |w| eval(w));
+    assert_eq!(r.failures, 0, "warm-up failed: {:?}", r.first_error);
+
+    // Two measured windows over identical per-sample work; differencing
+    // cancels per-run fixed allocations.
+    let short: Vec<[f64; 5]> = (0..4).map(sample_at).collect();
+    let long: Vec<[f64; 5]> = (0..12).map(sample_at).collect();
+
+    let a0 = allocs();
+    let r_short = monte_carlo(&short, |w| eval(w));
+    let a1 = allocs();
+    let r_long = monte_carlo(&long, |w| eval(w));
+    let a2 = allocs();
+    assert_eq!(r_short.failures + r_long.failures, 0, "samples failed");
+
+    let short_cost = a1 - a0;
+    let long_cost = a2 - a1;
+    let extra_samples = (long.len() - short.len()) as u64;
+    let per_sample = long_cost.saturating_sub(short_cost) / extra_samples;
+
+    eprintln!("alloc audit: {per_sample} allocations per steady-state sample");
+    assert!(
+        per_sample <= PER_SAMPLE_BUDGET,
+        "steady-state Monte-Carlo sample allocated {per_sample} times \
+         (budget: {PER_SAMPLE_BUDGET}). A hot-path change reintroduced \
+         per-sample allocation — pool new buffers through \
+         linvar_numeric::with_workspace, or raise PER_SAMPLE_BUDGET in \
+         tests/alloc_audit.rs with a documented breakdown. \
+         (window costs: {short_cost} for {} samples, {long_cost} for {})",
+        short.len(),
+        long.len(),
+    );
+}
+
+#[test]
+fn workspace_disable_escape_hatch_allocates_more() {
+    // `LINVAR_WS_DISABLE=1` turns the arena into a passthrough; this test
+    // pins the env contract by checking the flag is at least read. (Spawn
+    // a fresh evaluation under the flag in-process: the workspace is
+    // thread-local, so a new thread observes the flag at pool creation.)
+    let tech = tech_018();
+    let spec = CoupledLineSpec::new(1, 20e-6, WireTech::m018());
+    let built = linvar_interconnect::builder::build_coupled_lines(&spec).unwrap();
+    let model = StageModel::build(
+        &built.netlist,
+        &[built.inputs[0]],
+        &tech,
+        ReductionMethod::Prima { order: 6 },
+        0.02,
+    )
+    .unwrap();
+    let input = Waveform::ramp(0.0, 1.8, 20e-12, 50e-12);
+
+    // Pooled-path result (this thread) vs passthrough result (flagged
+    // thread): the escape hatch must not change a single bit.
+    let pooled = model
+        .evaluate(
+            &[0.1, -0.1, 0.0, 0.0, 0.2],
+            DeviceVariation::nominal(),
+            std::slice::from_ref(&input),
+            1e-12,
+            1.5e-9,
+        )
+        .unwrap();
+    std::env::set_var("LINVAR_WS_DISABLE", "1");
+    let plain = std::thread::scope(|s| {
+        s.spawn(|| {
+            model
+                .evaluate(
+                    &[0.1, -0.1, 0.0, 0.0, 0.2],
+                    DeviceVariation::nominal(),
+                    std::slice::from_ref(&input),
+                    1e-12,
+                    1.5e-9,
+                )
+                .unwrap()
+        })
+        .join()
+        .unwrap()
+    });
+    std::env::remove_var("LINVAR_WS_DISABLE");
+    for (a, b) in pooled.waveforms.iter().zip(&plain.waveforms) {
+        assert_eq!(a.points(), b.points(), "passthrough changed results");
+    }
+}

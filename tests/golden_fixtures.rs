@@ -1,0 +1,173 @@
+//! Golden-fixture regression suite: exact-bit `f64` fixtures for the
+//! table4/fig7 benchmark rows and a raw stage waveform, checked into
+//! `tests/golden/`. Perf work on the hot path (workspace arenas, buffer
+//! reuse, algebraic rewrites) must not shift a single result bit; these
+//! fixtures catch any drift the statistical asserts elsewhere would
+//! absorb.
+//!
+//! Regenerate after an *intended* numeric change with:
+//!
+//! ```sh
+//! LINVAR_BLESS=1 cargo test --test golden_fixtures
+//! ```
+//!
+//! and commit the diff. A failing fixture prints the first differing
+//! line; bless only when the change is understood and deliberate.
+
+use linvar::prelude::*;
+use linvar_iscas::{benchmark, decompose_to_primitives, longest_path};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// `f64` as its 16-hex-digit bit pattern (the benches' `bits_hex` form).
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Renders rows as `key = value` lines, then either blesses the fixture
+/// (`LINVAR_BLESS=1`) or compares byte-for-byte against the checked-in
+/// copy.
+fn check_or_bless(name: &str, rows: &[(String, String)]) {
+    let mut rendered =
+        String::from("# Golden fixture: exact f64 bit patterns (LINVAR_BLESS=1 regenerates).\n");
+    for (k, v) in rows {
+        let _ = writeln!(rendered, "{k} = {v}");
+    }
+    let path = fixture_path(name);
+    if std::env::var("LINVAR_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate it with \
+             `LINVAR_BLESS=1 cargo test --test golden_fixtures`",
+            path.display()
+        )
+    });
+    if expected != rendered {
+        let diff = expected
+            .lines()
+            .zip(rendered.lines())
+            .find(|(a, b)| a != b)
+            .map(|(a, b)| format!("first difference:\n  golden: {a}\n  actual: {b}"))
+            .unwrap_or_else(|| "line counts differ".to_string());
+        panic!(
+            "golden fixture {name} drifted — hot-path numerics changed. {diff}\n\
+             If the change is intended, regenerate with \
+             `LINVAR_BLESS=1 cargo test --test golden_fixtures` and commit the diff."
+        );
+    }
+}
+
+fn iscas_path_model(circuit: &str, n_elem: usize) -> PathModel {
+    let bench = benchmark(circuit).expect("known benchmark");
+    let report = longest_path(&bench.netlist).unwrap();
+    let stages = decompose_to_primitives(&bench.netlist, &report).unwrap();
+    let spec = PathSpec {
+        cells: stages.into_iter().map(|s| s.cell).collect(),
+        linear_elements_between_stages: n_elem,
+        input_slew: 60e-12,
+    };
+    PathModel::build(&spec, &tech_018(), &WireTech::m018()).unwrap()
+}
+
+/// Monte-Carlo rows exactly as the table4 bin computes them: ISCAS
+/// longest path, `example3_table4` sources, master seed 4, five samples
+/// at 10 linear elements. Also asserts the thread-count half of the
+/// determinism contract — 2 and 8 workers must reproduce the 1-worker
+/// bits before they are compared to the fixture.
+#[test]
+fn golden_table4_rows() {
+    let sources = VariationSources::example3_table4();
+    let mut rows = Vec::new();
+    for circuit in ["s27", "s208"] {
+        let model = iscas_path_model(circuit, 10);
+        let mc1 = model.monte_carlo_par(&sources, 5, 4, 1).unwrap();
+        for threads in [2, 8] {
+            let mct = model.monte_carlo_par(&sources, 5, 4, threads).unwrap();
+            assert_eq!(
+                mc1.delays, mct.delays,
+                "{circuit}: delays differ between 1 and {threads} threads"
+            );
+        }
+        rows.push((format!("{circuit}@10.n"), mc1.summary.n.to_string()));
+        rows.push((format!("{circuit}@10.mean"), hex(mc1.summary.mean)));
+        rows.push((format!("{circuit}@10.std"), hex(mc1.summary.std)));
+        for (i, d) in mc1.delays.iter().enumerate() {
+            rows.push((format!("{circuit}@10.delay.{i}"), hex(*d)));
+        }
+    }
+    check_or_bless("table4_rows.txt", &rows);
+}
+
+/// Fig-7 rows: the s27 MC statistics under the (DL, VT) sources and the
+/// gradient-analysis statistics the second histogram is drawn from.
+#[test]
+fn golden_fig7_rows() {
+    let sources = VariationSources::example3(0.33, 0.33);
+    let model = iscas_path_model("s27", 10);
+    let mc = model.monte_carlo_par(&sources, 7, 7, 1).unwrap();
+    let ga = model.gradient_analysis(&sources).unwrap();
+    let mut rows = vec![
+        ("s27.mc.n".to_string(), mc.summary.n.to_string()),
+        ("s27.mc.mean".to_string(), hex(mc.summary.mean)),
+        ("s27.mc.std".to_string(), hex(mc.summary.std)),
+        ("s27.ga.nominal".to_string(), hex(ga.nominal_delay)),
+        ("s27.ga.std".to_string(), hex(ga.std)),
+    ];
+    for (i, d) in mc.delays.iter().enumerate() {
+        rows.push((format!("s27.mc.delay.{i}"), hex(*d)));
+    }
+    check_or_bless("fig7_rows.txt", &rows);
+}
+
+/// A raw stage waveform at a non-nominal corner: every breakpoint of the
+/// far-end response, bit-exact. This pins the TETA engine (DC solve, SC
+/// chord iteration, recursive convolution, compression) below the level
+/// where delay extraction could mask a drift.
+#[test]
+fn golden_stage_waveform() {
+    let tech = tech_018();
+    let spec = CoupledLineSpec::new(1, 20e-6, WireTech::m018());
+    let built = linvar_interconnect::builder::build_coupled_lines(&spec).unwrap();
+    let model = StageModel::build(
+        &built.netlist,
+        &[built.inputs[0]],
+        &tech,
+        ReductionMethod::Prima { order: 6 },
+        0.02,
+    )
+    .unwrap();
+    let out_pos = built
+        .netlist
+        .ports()
+        .iter()
+        .position(|p| *p == built.outputs[0])
+        .unwrap();
+    let input = Waveform::ramp(0.0, 1.8, 20e-12, 50e-12);
+    let res = model
+        .evaluate(
+            &[0.3, -0.2, 0.1, 0.0, 0.4],
+            DeviceVariation::new(0.25, -0.5),
+            &[input],
+            1e-12,
+            1.5e-9,
+        )
+        .unwrap();
+    let points = res.waveforms[out_pos].points();
+    let mut rows = vec![("points".to_string(), points.len().to_string())];
+    for (i, (t, v)) in points.iter().enumerate() {
+        rows.push((format!("p{i:04}.t"), hex(*t)));
+        rows.push((format!("p{i:04}.v"), hex(*v)));
+    }
+    check_or_bless("stage_waveform.txt", &rows);
+}
