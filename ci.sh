@@ -30,6 +30,10 @@ echo "==> fault matrix (injected failures across the solver stack)"
 cargo test -q --test fault_matrix
 cargo test -q --test failure_injection
 
+echo "==> sparse/dense solver equivalence (property battery + golden chains rows)"
+cargo test -q -p linvar-numeric --test sparse_dense_equivalence
+cargo test -q --test golden_chains
+
 echo "==> durable campaigns (kill-and-resume determinism, corruption rejection)"
 cargo test -q --test campaign_resume
 cargo test -q -p linvar-stats --test checkpoint_corruption
@@ -146,6 +150,31 @@ for tc in 1 8; do
     if ! diff -u "$ckdir/m1.counters" "$ckdir/m_ws$tc.counters"; then
         echo "counters differ between the pooled and allocating (LINVAR_WS_DISABLE=1) \
 paths at $tc workers" >&2
+        exit 1
+    fi
+done
+
+echo "==> sparse solver smoke (chains --quick per backend, mc rows diffed)"
+LINVAR_THREADS=2 LINVAR_SOLVER=dense cargo run --release -q -p linvar-bench \
+    --bin chains -- --quick >"$ckdir/chains_dense.out" 2>&1
+LINVAR_THREADS=2 LINVAR_SOLVER=sparse \
+    LINVAR_TRAJECTORY=BENCH_trajectory.json LINVAR_TRAJECTORY_LABEL=ci-sparse-smoke \
+    cargo run --release -q -p linvar-bench --bin chains -- --quick \
+    >"$ckdir/chains_sparse.out" 2>&1
+grep '^mc ' "$ckdir/chains_dense.out" >"$ckdir/chains_dense.mc"
+grep '^mc ' "$ckdir/chains_sparse.out" >"$ckdir/chains_sparse.mc"
+if ! [ -s "$ckdir/chains_dense.mc" ]; then
+    echo "chains --quick (dense) printed no mc lines:" >&2
+    cat "$ckdir/chains_dense.out" >&2
+    exit 1
+fi
+if ! diff -u "$ckdir/chains_dense.mc" "$ckdir/chains_sparse.mc"; then
+    echo "chains mc rows differ between the dense and sparse solver backends" >&2
+    exit 1
+fi
+for key in '"phase.symbolic.calls"' '"phase.numeric_factor.calls"' '"phase.solve.calls"'; do
+    if ! grep -q "$key" BENCH_chains.json; then
+        echo "BENCH_chains.json is missing required key $key" >&2
         exit 1
     fi
 done

@@ -1,0 +1,153 @@
+//! Large-circuit solver benchmark: Monte-Carlo delay campaigns over the
+//! generated RC-chain / H-tree suite ([`linvar_interconnect::standard_cases`]),
+//! run on both linear-solver backends where feasible.
+//!
+//! For every case the sparse backend always runs; the dense backend runs
+//! only when the MNA dimension is small enough for an `O(n³)` dense
+//! factorization to finish in reasonable time (the larger suite members
+//! exist precisely because it cannot). Where both backends run, the bin
+//! prints their `mc` statistic rows (byte-identical by construction — the
+//! property `ci.sh` diffs) and the dense/sparse wall-time speedup.
+//!
+//! Setting `LINVAR_SOLVER=dense|sparse` pins a single backend instead;
+//! `ci.sh` uses that to run the quick suite once per backend and compare.
+//!
+//! Phase timings (`symbolic`, `numeric_factor`, `solve`) and per-case
+//! throughput land in `BENCH_chains.json`; `--metrics` additionally
+//! prints the report, and `LINVAR_TRAJECTORY` appends a trajectory row.
+//!
+//! Run with `cargo run --release -p linvar-bench --bin chains [-- --quick]`
+//! (set `LINVAR_THREADS` to pin the Monte-Carlo worker count).
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use linvar_bench::chains::{mc_line, run_case, sample_set};
+use linvar_bench::{workspace_note, BenchArgs, BenchError, BenchMeter};
+use linvar_interconnect::standard_cases;
+use linvar_numeric::{SolverBackend, SolverChoice};
+use linvar_stats::resolve_threads;
+use std::time::Instant;
+
+/// Largest MNA dimension the dense backend is asked to time. Above this
+/// the dense factorization is declared infeasible for a Monte-Carlo
+/// campaign (cubic cost, quadratic memory) and only sparse runs — the
+/// benchmark's escape clause for the 10–100× sizes.
+const DENSE_MAX_DIM: usize = 4096;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("chains: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::parse(std::env::args().skip(1))?;
+    args.reject_campaign_flags("chains")?;
+    let mut meter = BenchMeter::start("chains");
+    let threads = resolve_threads(0);
+    let n_samples = if args.quick { 6 } else { 16 };
+    let pinned = match SolverChoice::from_env() {
+        SolverChoice::Auto => None,
+        pick => Some(pick),
+    };
+    println!("==== chains: large-circuit solver benchmark ====");
+    println!(
+        "({} suite, {n_samples} samples/case, {threads} worker thread(s); \
+         set LINVAR_THREADS to change)",
+        if args.quick { "quick" } else { "full" }
+    );
+    match pinned {
+        Some(choice) => println!("backend pinned via LINVAR_SOLVER: {}\n", name_of(choice)),
+        None => println!("comparing backends (dense skipped above dim {DENSE_MAX_DIM})\n"),
+    }
+    let samples = sample_set(n_samples);
+    let cases = standard_cases(args.quick)?;
+    for case in &cases {
+        println!(
+            "-- {} (dim {}, {} elements, tstop {:.3e} s)",
+            case.name, case.dim, case.element_count, case.tstop
+        );
+        match pinned {
+            Some(choice) => {
+                if backend_of(choice) == SolverBackend::Dense && case.dim > DENSE_MAX_DIM {
+                    println!(
+                        "dense {}: infeasible at dim {} (skipped; dense cap {DENSE_MAX_DIM})",
+                        case.name, case.dim
+                    );
+                    continue;
+                }
+                let (mc, rate) = timed_campaign(case, &samples, threads, choice)?;
+                println!("{}", mc_line(&case.name, &mc));
+                eprintln!("{}: {} {rate:.2} samples/sec", case.name, name_of(choice));
+                meter.set(
+                    &format!("{}.{}.samples_per_sec", case.name, name_of(choice)),
+                    rate,
+                );
+            }
+            None => {
+                let (mc_s, rate_s) = timed_campaign(case, &samples, threads, SolverChoice::Sparse)?;
+                meter.set(&format!("{}.sparse.samples_per_sec", case.name), rate_s);
+                if case.dim <= DENSE_MAX_DIM {
+                    let (mc_d, rate_d) =
+                        timed_campaign(case, &samples, threads, SolverChoice::Dense)?;
+                    meter.set(&format!("{}.dense.samples_per_sec", case.name), rate_d);
+                    let row_s = mc_line(&case.name, &mc_s);
+                    let row_d = mc_line(&case.name, &mc_d);
+                    if row_s != row_d {
+                        return Err(BenchError::Msg(format!(
+                            "backend mismatch on {}:\n  dense:  {row_d}\n  sparse: {row_s}",
+                            case.name
+                        )));
+                    }
+                    println!("{row_s}");
+                    let speedup = rate_s / rate_d;
+                    println!(
+                        "{}: sparse {rate_s:.2} samples/sec, dense {rate_d:.2} samples/sec, \
+                         speedup {speedup:.2}x",
+                        case.name
+                    );
+                    meter.set(&format!("{}.speedup", case.name), speedup);
+                } else {
+                    println!("{}", mc_line(&case.name, &mc_s));
+                    let dense_gib =
+                        (case.dim as f64) * (case.dim as f64) * 8.0 / (1024.0 * 1024.0 * 1024.0);
+                    println!(
+                        "{}: sparse {rate_s:.2} samples/sec; dense infeasible at dim {} \
+                         (~{dense_gib:.1} GiB per factor, cap {DENSE_MAX_DIM})",
+                        case.name, case.dim
+                    );
+                    meter.set(&format!("{}.dense_infeasible", case.name), true);
+                }
+            }
+        }
+        meter.set(&format!("{}.dim", case.name), case.dim as u64);
+        println!();
+    }
+    println!("{}", workspace_note());
+    meter.finish(&args)
+}
+
+/// Runs one campaign and returns the result with its samples/sec rate.
+fn timed_campaign(
+    case: &linvar_interconnect::ChainCase,
+    samples: &[Vec<f64>],
+    threads: usize,
+    solver: SolverChoice,
+) -> Result<(linvar_stats::MonteCarloResult, f64), BenchError> {
+    let t0 = Instant::now();
+    let mc = run_case(case, samples, threads, solver)?;
+    let rate = samples.len() as f64 / t0.elapsed().as_secs_f64().max(1e-12);
+    Ok((mc, rate))
+}
+
+fn backend_of(choice: SolverChoice) -> SolverBackend {
+    match choice {
+        SolverChoice::Dense => SolverBackend::Dense,
+        _ => SolverBackend::Sparse,
+    }
+}
+
+fn name_of(choice: SolverChoice) -> &'static str {
+    backend_of(choice).name()
+}

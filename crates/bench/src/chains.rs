@@ -1,0 +1,131 @@
+//! Shared evaluation logic for the `chains` large-circuit benchmark.
+//!
+//! Lives in the library (not the bin) so the golden-fixture test at the
+//! workspace root drives exactly the code the benchmark runs: one
+//! Monte-Carlo delay campaign over a [`ChainCase`], with the linear
+//! solver backend pinned per run. The `mc` rows round their statistics
+//! to `%.6e`, coarse enough that the dense and sparse backends (which
+//! agree to ~1e-10 relative) print byte-identical lines — that is the
+//! property `ci.sh` diffs and `tests/golden_chains.rs` pins.
+
+use crate::BenchError;
+use linvar_interconnect::ChainCase;
+use linvar_numeric::SolverChoice;
+use linvar_spice::{crossing_time, Transient, TransientOptions};
+use linvar_stats::sampling::lhs_normal_streamed;
+use linvar_stats::{monte_carlo_par, MonteCarloResult};
+
+/// Master seed of the chains campaigns (fixtures depend on it).
+pub const CHAINS_SEED: u64 = 0x00c4a15;
+
+/// Per-parameter sigma of the W/T/S/H/ρ fluctuations (normalized units,
+/// same 0.33 the paper's examples use).
+pub const CHAINS_SIGMA: f64 = 0.33;
+
+/// Deterministic variation samples for a chains campaign: `n` draws of
+/// the five normalized wire parameters. Streamed LHS, so the set depends
+/// only on the seed — never on thread count or evaluation order.
+pub fn sample_set(n: usize) -> Vec<Vec<f64>> {
+    lhs_normal_streamed(CHAINS_SEED, n, 5, CHAINS_SIGMA)
+}
+
+/// Evaluates one Monte-Carlo sample: freeze the variational netlist at
+/// `w`, run the transient on the requested backend, and measure the 50 %
+/// crossing of the probe node.
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the transient fails or the waveform never
+/// crosses 50 % inside the case's window.
+pub fn delay_for_sample(
+    case: &ChainCase,
+    w: &[f64],
+    solver: SolverChoice,
+) -> Result<f64, BenchError> {
+    let frozen = case.netlist.frozen_at(w);
+    let mut opts = TransientOptions::new(case.tstop, case.dt);
+    opts.probes.push(case.probe.clone());
+    opts.solver = solver;
+    let res = Transient::new(&frozen, &opts)?.run()?;
+    let wave = res
+        .probe(&case.probe)
+        .ok_or_else(|| BenchError::Msg(format!("probe {} missing", case.probe)))?;
+    crossing_time(&res.times, wave, 0.5, true, 0.0)
+        .ok_or_else(|| BenchError::Msg(format!("{}: no 50% crossing in window", case.name)))
+}
+
+/// Runs the delay campaign for one case on one backend.
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if every sample fails (per-sample failures are
+/// reported in the result, not raised).
+pub fn run_case(
+    case: &ChainCase,
+    samples: &[Vec<f64>],
+    threads: usize,
+    solver: SolverChoice,
+) -> Result<MonteCarloResult, BenchError> {
+    let mc = monte_carlo_par(samples, threads, |w: &Vec<f64>| {
+        delay_for_sample(case, w, solver)
+    });
+    if mc.summary.n == 0 {
+        return Err(BenchError::Msg(format!(
+            "{}: all {} samples failed ({})",
+            case.name,
+            samples.len(),
+            mc.first_error.as_deref().unwrap_or("no error recorded")
+        )));
+    }
+    Ok(mc)
+}
+
+/// The deterministic `mc` row for one completed campaign. Statistics are
+/// rounded to `%.6e` so both backends and any worker count print the
+/// same bytes (the solver name is deliberately absent).
+pub fn mc_line(case_name: &str, mc: &MonteCarloResult) -> String {
+    format!(
+        "mc {case_name}: n={} mean={:.6e} std={:.6e} min={:.6e} max={:.6e} failures={}",
+        mc.summary.n, mc.summary.mean, mc.summary.std, mc.summary.min, mc.summary.max, mc.failures
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linvar_interconnect::rc_chain_case;
+
+    #[test]
+    fn samples_are_thread_independent_and_seeded() {
+        let a = sample_set(8);
+        let b = sample_set(8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|w| w.len() == 5));
+        assert!(a.iter().flatten().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn nominal_delay_is_positive_and_backend_invariant_text() {
+        let case = rc_chain_case(50).unwrap();
+        let w = vec![0.0; 5];
+        let dense = delay_for_sample(&case, &w, SolverChoice::Dense).unwrap();
+        let sparse = delay_for_sample(&case, &w, SolverChoice::Sparse).unwrap();
+        assert!(dense > 0.0);
+        assert!(
+            (dense - sparse).abs() <= 1e-9 * dense,
+            "backends disagree: dense {dense:e} vs sparse {sparse:e}"
+        );
+        assert_eq!(format!("{dense:.6e}"), format!("{sparse:.6e}"));
+    }
+
+    #[test]
+    fn mc_rows_match_across_backends() {
+        let case = rc_chain_case(50).unwrap();
+        let samples = sample_set(4);
+        let d = run_case(&case, &samples, 1, SolverChoice::Dense).unwrap();
+        let s = run_case(&case, &samples, 2, SolverChoice::Sparse).unwrap();
+        assert_eq!(mc_line(&case.name, &d), mc_line(&case.name, &s));
+        assert_eq!(d.failures, 0);
+    }
+}

@@ -11,6 +11,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod chains;
 mod meter;
 
 pub use meter::BenchMeter;

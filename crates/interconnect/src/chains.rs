@@ -1,0 +1,249 @@
+//! Benchmark-circuit generator: large RC chains and H-tree clock nets.
+//!
+//! The RC long-chain equivalence workload (arXiv:2508.13159) and the
+//! clock-tree variability studies behind the paper both need structures
+//! 10–100× larger than the paper's examples — exactly the regime where
+//! the dense MNA factorization is hopeless and the sparse backend earns
+//! its keep. This module parameterizes the two shapes:
+//!
+//! * **Coupled RC chains** — the Example-2 bundle stretched to
+//!   millimeter/centimeter lengths (thousands of segments per line), a
+//!   driven victim with one quiet aggressor;
+//! * **H-tree clock nets** — deeper trees with finer segmentation than
+//!   the unit-test shapes, driven at the root, observed at a sink.
+//!
+//! Every case carries a ready-to-run netlist (driver source + driver
+//! resistance included), the probe node, and analytically estimated
+//! transient settings (`tstop`, `dt`) derived from the nominal Elmore
+//! delay so the `chains` bench bin and the golden tests never tune
+//! timesteps by hand. The same W/T/S/H/ρ fluctuations as the paper apply:
+//! the underlying elements are variational, so `Netlist::frozen_at`
+//! yields one Monte-Carlo sample.
+
+use crate::builder::{build_coupled_lines_into, CoupledLineSpec};
+use crate::htree::{build_htree, HTreeSpec};
+use crate::sakurai::{coupling_cap_per_meter, ground_cap_per_meter, resistance_per_meter};
+use crate::tech::WireTech;
+use linvar_circuit::{CircuitError, Netlist, SourceWaveform};
+
+/// Driver resistance in front of every benchmark net (Ω).
+const R_DRIVE: f64 = 100.0;
+
+/// Termination from each quiet aggressor's near end to ground (Ω).
+const R_AGGRESSOR: f64 = 100.0;
+
+/// One generated benchmark circuit, ready for a transient run.
+#[derive(Debug, Clone)]
+pub struct ChainCase {
+    /// Stable case name (appears in `mc` rows and golden fixtures).
+    pub name: String,
+    /// Variational netlist including the driver source and resistance.
+    pub netlist: Netlist,
+    /// Node whose 50 % crossing defines the measured delay.
+    pub probe: String,
+    /// MNA unknowns (nodes + source branches).
+    pub dim: usize,
+    /// Linear element count (diagnostic).
+    pub element_count: usize,
+    /// Suggested transient stop time (s).
+    pub tstop: f64,
+    /// Suggested transient timestep (s).
+    pub dt: f64,
+}
+
+/// Builds a two-line coupled RC chain of `segments` one-micron segments
+/// per line: line 0 is the driven victim, line 1 a grounded aggressor.
+///
+/// `segments = 500` roughly matches the paper's largest Example-2 net;
+/// the benchmark suite scales to 10 000 (a 1 cm line, ~20 000 unknowns).
+///
+/// # Errors
+///
+/// Returns [`CircuitError`] for a degenerate size.
+pub fn rc_chain_case(segments: usize) -> Result<ChainCase, CircuitError> {
+    let tech = WireTech::m018();
+    let length = segments as f64 * 1e-6;
+    let spec = CoupledLineSpec::new(2, length, tech.clone());
+    let mut nl = Netlist::new();
+    let built = build_coupled_lines_into(&spec, &mut nl, "")?;
+    let drv = nl.node("drv");
+    nl.add_resistor("Rdrv", drv, built.inputs[0], R_DRIVE)?;
+    nl.add_resistor("Ragg", built.inputs[1], Netlist::GROUND, R_AGGRESSOR)?;
+
+    // Nominal Elmore estimate sizes the transient window: the driver sees
+    // the whole load, the distributed line contributes R·C/2.
+    let r_m = resistance_per_meter(tech.rho0, tech.w0, tech.t0);
+    let cg_m = ground_cap_per_meter(tech.w0, tech.t0, tech.h0);
+    let cc_m = coupling_cap_per_meter(tech.w0, tech.t0, tech.s0, tech.h0);
+    let c_line = (cg_m + cc_m) * length;
+    let tau = R_DRIVE * 2.0 * c_line + 0.5 * (r_m * length) * c_line;
+    let tstop = 8.0 * tau;
+    let dt = tstop / 256.0;
+
+    nl.add_vsource(
+        "Vdrv",
+        drv,
+        Netlist::GROUND,
+        SourceWaveform::Ramp {
+            v0: 0.0,
+            v1: 1.0,
+            t0: 0.0,
+            tr: tstop / 100.0,
+        },
+    )?;
+    let probe = nl
+        .node_name(built.outputs[0])
+        .expect("line builder names its nodes")
+        .to_string();
+    let dim = nl.node_count() + nl.vsource_count();
+    Ok(ChainCase {
+        name: format!("chain2x{segments}"),
+        probe,
+        dim,
+        element_count: built.element_count + 2,
+        tstop,
+        dt,
+        netlist: nl,
+    })
+}
+
+/// Builds an H-tree clock net with `levels` binary levels, driven at the
+/// root; the probe is the last (most heavily loaded) sink.
+///
+/// # Errors
+///
+/// Returns [`CircuitError`] for a degenerate spec.
+pub fn htree_case(levels: usize) -> Result<ChainCase, CircuitError> {
+    let tech = WireTech::m018();
+    let n_sinks = 1usize << levels;
+    let root_length = 512e-6;
+    let seg_len = 2e-6;
+    let sink_loads: Vec<f64> = (0..n_sinks)
+        .map(|k| 5e-15 * (1.0 + k as f64 * 0.1))
+        .collect();
+    let total_sink_load: f64 = sink_loads.iter().sum();
+    let spec = HTreeSpec {
+        levels,
+        root_length,
+        seg_len,
+        sink_loads,
+        tech: tech.clone(),
+    };
+    let tree = build_htree(&spec)?;
+    let mut nl = tree.netlist;
+    let root = nl.find_node("clk_root").expect("htree names its root");
+    let probe = nl
+        .node_name(*tree.sinks.last().expect("levels >= 1 means sinks exist"))
+        .expect("htree sinks are named")
+        .to_string();
+    let drv = nl.node("drv");
+    nl.add_resistor("Rdrv", drv, root, R_DRIVE)?;
+
+    // Elmore budget: wire R along the root-to-sink path times the total
+    // capacitance (a deliberate over-estimate — the window must contain
+    // the 50 % crossing under every variation sample).
+    let r_m = resistance_per_meter(tech.rho0, tech.w0, tech.t0);
+    let cg_m = ground_cap_per_meter(tech.w0, tech.t0, tech.h0);
+    let mut r_path = R_DRIVE;
+    let mut wire_len_total = 0.0;
+    for level in 0..levels {
+        let len = (root_length / 2f64.powi(level as i32)).max(seg_len);
+        r_path += r_m * len;
+        wire_len_total += len * 2f64.powi(level as i32 + 1);
+    }
+    let c_all = cg_m * wire_len_total + total_sink_load;
+    let tau = r_path * c_all;
+    let tstop = 8.0 * tau;
+    let dt = tstop / 256.0;
+
+    nl.add_vsource(
+        "Vdrv",
+        drv,
+        Netlist::GROUND,
+        SourceWaveform::Ramp {
+            v0: 0.0,
+            v1: 1.0,
+            t0: 0.0,
+            tr: tstop / 100.0,
+        },
+    )?;
+    let dim = nl.node_count() + nl.vsource_count();
+    Ok(ChainCase {
+        name: format!("htree{levels}"),
+        probe,
+        dim,
+        element_count: tree.element_count + 1,
+        tstop,
+        dt,
+        netlist: nl,
+    })
+}
+
+/// The standard benchmark suite: `quick` keeps the two smallest shapes
+/// (golden-fixture and CI-smoke sized); the full set adds the 10–100×
+/// sizes where only the sparse backend is feasible.
+///
+/// # Errors
+///
+/// Propagates builder failures (none for these fixed sizes).
+pub fn standard_cases(quick: bool) -> Result<Vec<ChainCase>, CircuitError> {
+    let mut cases = vec![rc_chain_case(500)?, htree_case(4)?];
+    if !quick {
+        cases.push(rc_chain_case(2500)?);
+        cases.push(htree_case(6)?);
+        cases.push(rc_chain_case(10_000)?);
+    }
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_sizes_scale_as_specified() {
+        let small = rc_chain_case(500).unwrap();
+        // 2 lines × 501 nodes + drv + 1 source branch.
+        assert_eq!(small.dim, 2 * 501 + 1 + 1);
+        assert_eq!(small.name, "chain2x500");
+        assert!(small.tstop > 0.0 && small.dt > 0.0);
+        assert!(small.netlist.find_node(&small.probe).is_some());
+        let large = rc_chain_case(10_000).unwrap();
+        assert!(
+            large.dim > 10 * small.dim,
+            "largest case must be >= 10x the small one ({} vs {})",
+            large.dim,
+            small.dim
+        );
+    }
+
+    #[test]
+    fn htree_case_is_driveable() {
+        let t = htree_case(4).unwrap();
+        assert_eq!(t.name, "htree4");
+        assert!(t.netlist.find_node("drv").is_some());
+        assert!(t.netlist.find_node(&t.probe).is_some());
+        assert!(t.dim > 100);
+    }
+
+    #[test]
+    fn cases_freeze_into_plain_netlists() {
+        let c = rc_chain_case(500).unwrap();
+        let frozen = c.netlist.frozen_at(&[0.5, -0.5, 0.0, 0.25, -0.25]);
+        assert_eq!(frozen.node_count(), c.netlist.node_count());
+        // Different samples give different element values (delay will
+        // fluctuate); same sample is deterministic.
+        let again = c.netlist.frozen_at(&[0.5, -0.5, 0.0, 0.25, -0.25]);
+        assert_eq!(frozen.node_count(), again.node_count());
+    }
+
+    #[test]
+    fn standard_suite_spans_the_size_range() {
+        let quick = standard_cases(true).unwrap();
+        assert_eq!(quick.len(), 2);
+        let full = standard_cases(false).unwrap();
+        assert!(full.len() > quick.len());
+        let max_dim = full.iter().map(|c| c.dim).max().unwrap();
+        assert!(max_dim >= 20_000, "full suite reaches 100x: {max_dim}");
+    }
+}

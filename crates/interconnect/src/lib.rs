@@ -21,12 +21,14 @@
 //! [`Netlist`]: linvar_circuit::Netlist
 
 pub mod builder;
+pub mod chains;
 pub mod example1;
 pub mod htree;
 pub mod sakurai;
 pub mod tech;
 
 pub use builder::{CoupledLineSpec, CoupledLines};
+pub use chains::{htree_case, rc_chain_case, standard_cases, ChainCase};
 pub use example1::{example1_load, example1_netlist};
 pub use htree::{build_htree, HTree, HTreeSpec};
 pub use sakurai::{

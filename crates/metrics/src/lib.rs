@@ -79,10 +79,17 @@ pub enum Phase {
     SpiceTran,
     /// Campaign checkpoint serialization + atomic write.
     CheckpointWrite,
+    /// Sparse-LU symbolic analysis (fill-reducing ordering).
+    SparseSymbolic,
+    /// Sparse-LU numeric factorization (first factor or pattern-reuse
+    /// refactor).
+    SparseNumericFactor,
+    /// Sparse-LU triangular solve.
+    SparseSolve,
 }
 
 /// Number of [`Phase`] variants.
-pub const N_PHASES: usize = 11;
+pub const N_PHASES: usize = 14;
 
 impl Phase {
     /// Every phase, in declaration order (= index order).
@@ -98,6 +105,9 @@ impl Phase {
         Phase::SpiceDc,
         Phase::SpiceTran,
         Phase::CheckpointWrite,
+        Phase::SparseSymbolic,
+        Phase::SparseNumericFactor,
+        Phase::SparseSolve,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -114,6 +124,11 @@ impl Phase {
             Phase::SpiceDc => "spice_dc",
             Phase::SpiceTran => "spice_tran",
             Phase::CheckpointWrite => "checkpoint_write",
+            // The sparse phases keep the short names the chains benchmark
+            // records into `BENCH_chains.json`.
+            Phase::SparseSymbolic => "symbolic",
+            Phase::SparseNumericFactor => "numeric_factor",
+            Phase::SparseSolve => "solve",
         }
     }
 }

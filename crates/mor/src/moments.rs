@@ -9,7 +9,7 @@
 //! invariant.
 
 use crate::prima::ReducedModel;
-use linvar_numeric::{LuFactor, Matrix, NumericError};
+use linvar_numeric::{AnySolver, LinearSolver, Matrix, NumericError, SolverChoice};
 
 /// Computes the first `count` moments of `Z(s) = Bᵀ(G + sC)⁻¹B`.
 ///
@@ -25,7 +25,9 @@ pub fn moments(
     b: &Matrix,
     count: usize,
 ) -> Result<Vec<Matrix>, NumericError> {
-    let lu = LuFactor::new(g)?;
+    // Auto backend: dense for the small reduced/paper systems, sparse CSC
+    // once G reaches benchmark-interconnect sizes.
+    let lu = AnySolver::factor_dense_matrix(g, SolverChoice::Auto)?;
     let mut out = Vec::with_capacity(count);
     // v_0 = G⁻¹B; v_{k+1} = -G⁻¹ C v_k; m_k = Bᵀ v_k.
     let mut v = lu.solve_mat(b)?;
@@ -96,7 +98,7 @@ pub fn elmore_transfer(
             found: format!("{observe}"),
         });
     }
-    let lu = LuFactor::new(g)?;
+    let lu = AnySolver::factor_dense_matrix(g, SolverChoice::Auto)?;
     let v0 = lu.solve(&b.col(0))?;
     let m0 = v0[observe];
     let cv = c.mul_vec(&v0);

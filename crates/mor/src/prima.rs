@@ -5,7 +5,10 @@
 //! symmetric RC case this preserves passivity; the variational first-order
 //! version built on top of this basis does not (see [`crate::variational`]).
 
-use linvar_numeric::{gram_schmidt_orthonormalize, LuFactor, Matrix, NumericError, Workspace};
+use linvar_numeric::{
+    gram_schmidt_orthonormalize, AnySolver, LinearSolver, LuFactor, Matrix, NumericError,
+    SolverChoice, Workspace,
+};
 
 /// A reduced-order model `(Gr + s·Cr)·vr = Br·ip`, `vp = Brᵀ·vr`.
 #[derive(Debug, Clone)]
@@ -108,7 +111,9 @@ pub fn prima_basis(
         ));
     }
     let n = g.rows();
-    let lu = LuFactor::new(g)?;
+    // The full-order G is the one matrix in the PRIMA iteration that can
+    // be benchmark-interconnect sized; let the backend auto-select.
+    let lu = AnySolver::factor_dense_matrix(g, SolverChoice::Auto)?;
     // R = G⁻¹ B: the zeroth block.
     let r = lu.solve_mat(b)?;
     let mut basis: Vec<Vec<f64>> = Vec::new();

@@ -7,10 +7,16 @@
 //! inverse-iteration eigenvectors, used for pole/residue extraction), and a
 //! symmetric Jacobi eigensolver (used by PACT and by PCA).
 //!
-//! All matrices in this workspace are *small and dense* — reduced-order model
-//! matrices of order 4–40, and MNA systems of at most a few thousand unknowns
-//! for the SPICE baseline — so a straightforward, well-tested dense
-//! implementation is the right tool; no sparse machinery is required.
+//! Two linear-solver backends live here. The *dense* kernels serve the
+//! reduced-order model matrices (order 4–40) and the small paper circuits,
+//! where a straightforward well-tested dense implementation is the right
+//! tool. For the large benchmark interconnect nets (tens of thousands of
+//! unknowns, a handful of nonzeros per row) there is a *sparse* backend: a
+//! compressed-sparse-column [`SparseMatrix`] assembled directly from circuit
+//! stamps and a [`SparseLu`] factorization with a symbolic/numeric phase
+//! split, so per-sample refactors reuse the elimination pattern. The
+//! [`LinearSolver`] trait and [`AnySolver`] wrapper select between them at
+//! runtime (automatically by size, or pinned via `LINVAR_SOLVER`).
 //!
 //! # Example
 //!
@@ -40,6 +46,9 @@ pub mod error;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
+pub mod solver;
+pub mod sparse;
+pub mod sparse_lu;
 pub mod sym_eigen;
 pub mod vector;
 pub mod workspace;
@@ -51,5 +60,8 @@ pub use error::NumericError;
 pub use lu::{FactorRecovery, LuFactor};
 pub use matrix::Matrix;
 pub use qr::{gram_schmidt_orthonormalize, householder_qr, QrFactor};
+pub use solver::{AnySolver, LinearSolver, SolverBackend, SolverChoice, SPARSE_AUTO_MIN_DIM};
+pub use sparse::SparseMatrix;
+pub use sparse_lu::{analyze_cached, SparseLu, SparseSymbolic};
 pub use sym_eigen::{cholesky, generalized_sym_eigen, jacobi_eigen, SymEigen};
 pub use workspace::{with_workspace, Workspace, WsStats};

@@ -1,0 +1,211 @@
+//! Sparse-vs-dense solver equivalence battery.
+//!
+//! Property tests drive both backends over the same randomly generated
+//! systems (random sparse patterns with duplicate entries, and real
+//! MNA-style stamped matrices with voltage-source branch rows) and demand
+//! agreement to a tight relative tolerance. A second family pins the
+//! reuse contract: numeric refactorization on a cached symbolic pattern
+//! must be *bitwise* identical to the factorization it replaces — that
+//! is what lets the transient engine swap refactors in mid-run without
+//! perturbing golden waveforms.
+
+use linvar_numeric::{
+    analyze_cached, AnySolver, LinearSolver, LuFactor, Matrix, SolverChoice, SparseLu, SparseMatrix,
+};
+use proptest::prelude::*;
+
+/// Deterministic sparse triplet stream: ~`fill` off-diagonal entries per
+/// row drawn from the seed slice, full diagonal boosted to dominance,
+/// plus a duplicate echo of every 5th entry (CSC assembly must sum them
+/// exactly like dense `+=` replay).
+fn random_triplets(n: usize, seed: &[f64], fill: usize) -> Vec<(usize, usize, f64)> {
+    let mut t = Vec::new();
+    for i in 0..n {
+        for k in 0..fill {
+            let idx = i * fill + k;
+            let v = seed[idx % seed.len()];
+            let j = (i + 1 + (idx * 7 + 3) % (n - 1).max(1)) % n;
+            t.push((i, j, v));
+            if idx.is_multiple_of(5) {
+                t.push((i, j, v * 0.5));
+            }
+        }
+        t.push((i, i, 8.0 + fill as f64 + seed[i % seed.len()].abs()));
+    }
+    t
+}
+
+/// Dense replay of a triplet stream in emission order (the engine's own
+/// assembly rule).
+fn dense_of(n: usize, triplets: &[(usize, usize, f64)]) -> Matrix {
+    let mut a = Matrix::zeros(n, n);
+    for &(i, j, v) in triplets {
+        a[(i, j)] += v;
+    }
+    a
+}
+
+/// MNA stamp of an RC-ladder-with-source: `n` nodes chained by
+/// conductances, every node grounded through a leak, one voltage-source
+/// branch row/column pinning node 0 — the indefinite saddle shape that
+/// forces real pivoting (zero diagonal at the branch).
+fn mna_ladder_triplets(n_nodes: usize, g: f64, leak: f64) -> Vec<(usize, usize, f64)> {
+    let mut t = Vec::new();
+    for i in 1..n_nodes {
+        t.push((i, i, g));
+        t.push((i - 1, i - 1, g));
+        t.push((i, i - 1, -g));
+        t.push((i - 1, i, -g));
+    }
+    for i in 0..n_nodes {
+        t.push((i, i, leak));
+    }
+    let b = n_nodes; // branch row: zero diagonal
+    t.push((0, b, 1.0));
+    t.push((b, 0, 1.0));
+    t
+}
+
+fn max_rel_err(x: &[f64], y: &[f64]) -> f64 {
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs() / a.abs().max(b.abs()).max(1e-30))
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random duplicate-bearing sparse systems: both backends solve to a
+    /// tight relative tolerance of each other.
+    #[test]
+    fn random_sparse_systems_agree_with_dense(
+        n in 3usize..40,
+        fill in 1usize..4,
+        seed in prop::collection::vec(-2.0f64..2.0, 64),
+        rhs_seed in prop::collection::vec(-5.0f64..5.0, 32),
+    ) {
+        let triplets = random_triplets(n, &seed, fill);
+        let a_sparse = SparseMatrix::from_triplets(n, n, &triplets).expect("in range");
+        let a_dense = dense_of(n, &triplets);
+        // CSC assembly sums duplicates exactly like the dense += replay.
+        prop_assert_eq!(a_sparse.to_dense().max_abs().to_bits(), a_dense.max_abs().to_bits());
+        let b: Vec<f64> = (0..n).map(|i| rhs_seed[i % rhs_seed.len()]).collect();
+        let xs = SparseLu::new(&a_sparse).expect("dominant").solve(&b).expect("solves");
+        let xd = LuFactor::new(&a_dense).expect("dominant").solve(&b).expect("solves");
+        prop_assert!(
+            max_rel_err(&xs, &xd) < 1e-10,
+            "backends disagree: rel err {:e}", max_rel_err(&xs, &xd)
+        );
+        // And the sparse residual is small in its own right.
+        let r = a_sparse.mul_vec(&xs).expect("square");
+        for i in 0..n {
+            prop_assert!((r[i] - b[i]).abs() < 1e-8 * (1.0 + b[i].abs()));
+        }
+    }
+
+    /// Real stamped MNA saddle systems (zero diagonal at the source
+    /// branch): both backends pivot their way through and agree.
+    #[test]
+    fn stamped_mna_matrices_agree_with_dense(
+        n_nodes in 2usize..60,
+        g_exp in 0usize..5,
+        leak_exp in 0usize..4,
+    ) {
+        let g = 10f64.powi(g_exp as i32 - 2);
+        let leak = 10f64.powi(leak_exp as i32 - 6);
+        let triplets = mna_ladder_triplets(n_nodes, g, leak);
+        let dim = n_nodes + 1;
+        let a_sparse = SparseMatrix::from_triplets(dim, dim, &triplets).expect("in range");
+        let a_dense = dense_of(dim, &triplets);
+        let mut b = vec![0.0; dim];
+        b[dim - 1] = 1.0; // drive the source branch
+        let xs = SparseLu::new(&a_sparse).expect("pivots").solve(&b).expect("solves");
+        let xd = LuFactor::new(&a_dense).expect("pivots").solve(&b).expect("solves");
+        prop_assert!(
+            max_rel_err(&xs, &xd) < 1e-9,
+            "rel err {:e}", max_rel_err(&xs, &xd)
+        );
+        // Node 0 is pinned to the 1 V source through the branch row.
+        prop_assert!((xs[0] - 1.0).abs() < 1e-9);
+    }
+
+    /// The AnySolver front door gives the same answers whichever backend
+    /// the caller picks, and reports the backend it picked.
+    #[test]
+    fn any_solver_dispatch_is_backend_transparent(
+        n in 3usize..25,
+        seed in prop::collection::vec(-1.0f64..1.0, 48),
+    ) {
+        let triplets = random_triplets(n, &seed, 2);
+        let b: Vec<f64> = (0..n).map(|i| seed[i % seed.len()] + 2.0).collect();
+        let dense = AnySolver::factor_triplets(n, &triplets, SolverChoice::Dense).expect("factors");
+        let sparse = AnySolver::factor_triplets(n, &triplets, SolverChoice::Sparse).expect("factors");
+        prop_assert_eq!(dense.backend().name(), "dense");
+        prop_assert_eq!(sparse.backend().name(), "sparse");
+        let xd = dense.solve(&b).expect("solves");
+        let xs = sparse.solve(&b).expect("solves");
+        prop_assert!(max_rel_err(&xs, &xd) < 1e-10);
+    }
+
+    /// Numeric refactorization on a reused symbolic pattern is bitwise
+    /// identical to a from-scratch factorization of the same values —
+    /// solves, condition estimate, everything.
+    #[test]
+    fn refactor_on_reused_pattern_is_bitwise_self_consistent(
+        n in 3usize..30,
+        fill in 1usize..4,
+        seed in prop::collection::vec(-2.0f64..2.0, 64),
+        scale in 0.25f64..4.0,
+    ) {
+        let t0 = random_triplets(n, &seed, fill);
+        let a0 = SparseMatrix::from_triplets(n, n, &t0).expect("in range");
+        // Same pattern, different values (a timestep change rescales the
+        // companion stamps without touching the sparsity structure).
+        let t1: Vec<(usize, usize, f64)> = t0.iter().map(|&(i, j, v)| (i, j, v * scale)).collect();
+        let a1 = SparseMatrix::from_triplets(n, n, &t1).expect("in range");
+        let b: Vec<f64> = (0..n).map(|i| seed[i % seed.len()] * 3.0 + 1.0).collect();
+
+        let symbolic = analyze_cached(&a0).expect("analyzes");
+        let fresh1 = SparseLu::factor(&a1, &symbolic).expect("factors");
+        let mut reused = SparseLu::factor(&a0, &symbolic).expect("factors");
+        reused.refactor(&a1).expect("same pattern refactors");
+
+        let x_fresh = fresh1.solve(&b).expect("solves");
+        let x_reused = reused.solve(&b).expect("solves");
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<u64>>();
+        prop_assert_eq!(bits(&x_fresh), bits(&x_reused));
+        prop_assert_eq!(
+            fresh1.condition_estimate().to_bits(),
+            reused.condition_estimate().to_bits()
+        );
+
+        // Refactoring repeatedly with the same values is idempotent at
+        // the bit level (steady-state transient loop contract).
+        reused.refactor(&a1).expect("refactors again");
+        prop_assert_eq!(bits(&x_reused), bits(&reused.solve(&b).expect("solves")));
+    }
+}
+
+/// One fixed MNA case exercised across both front doors and a round-trip
+/// through `factor_dense_matrix`, as a deterministic anchor for the
+/// proptest families above.
+#[test]
+fn fixed_mna_anchor_case() {
+    let triplets = mna_ladder_triplets(12, 1e-3, 1e-9);
+    let dim = 13;
+    let a_dense = dense_of(dim, &triplets);
+    let mut b = vec![0.0; dim];
+    b[dim - 1] = 1.0;
+    let xd = LuFactor::new(&a_dense).unwrap().solve(&b).unwrap();
+    let via_dense_door = AnySolver::factor_dense_matrix(&a_dense, SolverChoice::Sparse)
+        .unwrap()
+        .solve(&b)
+        .unwrap();
+    assert!(max_rel_err(&via_dense_door, &xd) < 1e-10);
+    // Every node floats at the source voltage (no DC path to ground
+    // except the leaks): the solution is physically sensible.
+    for v in &xd[..12] {
+        assert!((v - 1.0).abs() < 1e-3, "node at {v}");
+    }
+}

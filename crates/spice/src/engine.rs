@@ -21,7 +21,9 @@ use crate::error::SpiceError;
 use crate::poleres_load::OnePortPoleResidue;
 use linvar_circuit::{Element, Netlist, NodeId};
 use linvar_devices::{DeviceVariation, ModelLibrary, MosParams};
-use linvar_numeric::{LuFactor, Matrix};
+use linvar_numeric::{
+    AnySolver, LinearSolver, LuFactor, Matrix, SolverBackend, SolverChoice, SparseLu, SparseMatrix,
+};
 use std::collections::HashMap;
 
 /// Options for a transient analysis.
@@ -49,6 +51,11 @@ pub struct TransientOptions {
     /// Always-on conductance from every node to ground (S), for floating
     /// nodes.
     pub gmin: f64,
+    /// Linear-solver backend for the `A0` factorizations. `Auto` (the
+    /// default) consults `LINVAR_SOLVER` and then matrix order; pinning
+    /// `Dense`/`Sparse` here keeps tests free of environment races.
+    /// Circuits with a pole/residue load always use the dense backend.
+    pub solver: SolverChoice,
 }
 
 impl TransientOptions {
@@ -66,6 +73,7 @@ impl TransientOptions {
             v_limit: 1e3,
             dense_rebuild: false,
             gmin: 1e-12,
+            solver: SolverChoice::Auto,
         }
     }
 }
@@ -210,8 +218,13 @@ pub struct Transient<'a> {
     sources: Vec<ResolvedSource>,
     caps: Vec<CapState>,
     inductors: Vec<IndState>,
-    /// Constant conductance stamps (resistors, vsource incidence).
-    g_static: Matrix,
+    /// Constant conductance stamps (resistors, vsource incidence, gmin),
+    /// kept as `(row, col, value)` triplets in emission order so either
+    /// backend can assemble them: the dense path replays them with `+=`
+    /// (bit-identical to the historical presummed matrix), the sparse
+    /// path hands them to CSC assembly, which sums duplicates in the
+    /// same emission order.
+    static_stamps: Vec<(usize, usize, f64)>,
     poleres: Option<OnePortPoleResidue>,
     variation: DeviceVariation,
     /// Amplitude scale on every independent source (1.0 except while the
@@ -286,7 +299,7 @@ impl<'a> Transient<'a> {
         }
         let n_vsrc = nl.vsource_count();
         let dim = n_nodes + n_vsrc;
-        let mut g_static = Matrix::zeros(dim, dim);
+        let mut static_stamps: Vec<(usize, usize, f64)> = Vec::new();
         let mut sources = Vec::new();
         let mut caps = Vec::new();
         let mut inductors = Vec::new();
@@ -295,7 +308,7 @@ impl<'a> Transient<'a> {
         for e in nl.elements() {
             match e {
                 Element::Resistor { a, b, value, .. } => {
-                    stamp_g(&mut g_static, idx(*a), idx(*b), 1.0 / value.nominal);
+                    stamp_t(&mut static_stamps, idx(*a), idx(*b), 1.0 / value.nominal);
                 }
                 Element::Capacitor { a, b, value, .. } => {
                     caps.push(CapState {
@@ -317,12 +330,12 @@ impl<'a> Transient<'a> {
                     pos, neg, waveform, ..
                 } => {
                     if let Some(i) = idx(*pos) {
-                        g_static[(i, branch)] += 1.0;
-                        g_static[(branch, i)] += 1.0;
+                        static_stamps.push((i, branch, 1.0));
+                        static_stamps.push((branch, i, 1.0));
                     }
                     if let Some(j) = idx(*neg) {
-                        g_static[(j, branch)] -= 1.0;
-                        g_static[(branch, j)] -= 1.0;
+                        static_stamps.push((j, branch, -1.0));
+                        static_stamps.push((branch, j, -1.0));
                     }
                     sources.push(ResolvedSource::V {
                         branch_row: branch,
@@ -343,7 +356,7 @@ impl<'a> Transient<'a> {
         }
         // Gmin from every node to ground.
         for i in 0..n_nodes {
-            g_static[(i, i)] += opts.gmin;
+            static_stamps.push((i, i, opts.gmin));
         }
         let mut devices = Vec::new();
         for m in nl.mosfets() {
@@ -374,7 +387,7 @@ impl<'a> Transient<'a> {
             sources,
             caps,
             inductors,
-            g_static,
+            static_stamps,
             poleres: None,
             variation,
             source_scale: 1.0,
@@ -397,8 +410,12 @@ impl<'a> Transient<'a> {
         // Rung 0: plain damped Newton, no artificial conductance, so a
         // well-behaved circuit reports an operating point with nothing
         // extra stamped into it.
+        // Factorization cache, shared across the DC ladder and the
+        // transient loop so the sparse backend can refactor on a reused
+        // elimination pattern instead of re-running symbolic analysis.
+        let mut cache: Option<StepCache> = None;
         let mut x = vec![0.0; self.dim];
-        let mut last_err = self.solve_dc(&mut x, 0.0, &mut stats).err();
+        let mut last_err = self.solve_dc(&mut x, 0.0, &mut cache, &mut stats).err();
         if last_err.is_some() {
             // Rung 1: gmin stepping — continuation over a decreasing extra
             // node-to-ground conductance. Unlike the classic loop that
@@ -410,7 +427,7 @@ impl<'a> Transient<'a> {
             for gmin_exp in [-3.0_f64, -5.0, -7.0, -9.0, -12.0] {
                 let gmin = 10f64.powf(gmin_exp);
                 recovery.dc_gmin_steps += 1;
-                match self.solve_dc(&mut x, gmin, &mut stats) {
+                match self.solve_dc(&mut x, gmin, &mut cache, &mut stats) {
                     Ok(()) => converged = true,
                     Err(e) => {
                         // Keep the partial solution as the next start.
@@ -421,7 +438,7 @@ impl<'a> Transient<'a> {
             }
             if converged {
                 recovery.dc_gmin_steps += 1;
-                last_err = self.solve_dc(&mut x, 0.0, &mut stats).err();
+                last_err = self.solve_dc(&mut x, 0.0, &mut cache, &mut stats).err();
             }
         }
         if last_err.is_some() {
@@ -433,7 +450,7 @@ impl<'a> Transient<'a> {
             for k in 1..=10u32 {
                 self.source_scale = f64::from(k) / 10.0;
                 recovery.dc_source_steps += 1;
-                if let Err(e) = self.solve_dc(&mut x, 1e-9, &mut stats) {
+                if let Err(e) = self.solve_dc(&mut x, 1e-9, &mut cache, &mut stats) {
                     last_err = Some(e);
                     ramp_ok = false;
                     break;
@@ -442,7 +459,7 @@ impl<'a> Transient<'a> {
             self.source_scale = 1.0;
             if ramp_ok {
                 recovery.dc_source_steps += 1;
-                last_err = self.solve_dc(&mut x, 0.0, &mut stats).err();
+                last_err = self.solve_dc(&mut x, 0.0, &mut cache, &mut stats).err();
             }
         }
         if let Some(e) = last_err {
@@ -497,8 +514,8 @@ impl<'a> Transient<'a> {
         let mut t = 0.0;
         let mut h = opts.dt;
         let mut good_steps = 0usize;
-        // Factorization cache for the current h.
-        let mut cache: Option<StepCache> = None;
+        // The DC cache seeds the first transient rebuild (h mismatch); a
+        // sparse backend then refactors on the step pattern as h changes.
         while t < opts.tstop - 1e-18 {
             let h_eff = h.min(opts.tstop - t);
             let rebuild = match &cache {
@@ -506,9 +523,13 @@ impl<'a> Transient<'a> {
                 None => true,
             };
             if rebuild {
-                let mut a0 = self.assemble_static(Some(h_eff), opts.gmin);
-                self.stamp_poleres(&mut a0, Some(h_eff));
-                cache = Some(self.make_cache(h_eff, a0, &mut stats)?);
+                cache = Some(self.make_cache(
+                    h_eff,
+                    Some(h_eff),
+                    opts.gmin,
+                    cache.take(),
+                    &mut stats,
+                )?);
             }
             let c = cache.as_ref().expect("just built");
             let mut x_new = x.clone();
@@ -537,15 +558,15 @@ impl<'a> Transient<'a> {
                     if good_steps >= 8 && h < opts.dt {
                         h = (h * 2.0).min(opts.dt);
                         good_steps = 0;
-                        cache = None;
                     }
                 }
                 Err(SpiceError::ConvergenceFailure { reason, .. }) => {
                     // Exponential backoff on the timestep, with the dt_min
                     // floor bounding the retry ladder.
+                    // The h change makes the next iteration rebuild from
+                    // the kept cache (sparse: pattern-reusing refactor).
                     h /= 2.0;
                     good_steps = 0;
-                    cache = None;
                     recovery.timestep_halvings += 1;
                     linvar_metrics::incr(linvar_metrics::Counter::TimestepHalvings);
                     if h < opts.dt_min {
@@ -565,40 +586,68 @@ impl<'a> Transient<'a> {
 
     /// One DC solve at the given extra node-to-ground conductance, starting
     /// from (and refining) `x`. Sources are scaled by `self.source_scale`.
+    /// `reuse` carries the factorization cache across the ladder's
+    /// continuation solves (the sparse backend refactors on the reused
+    /// elimination pattern instead of factoring from scratch).
     fn solve_dc(
         &self,
         x: &mut Vec<f64>,
         extra_gmin: f64,
+        reuse: &mut Option<StepCache>,
         stats: &mut SolveStats,
     ) -> Result<(), SpiceError> {
-        let mut a0 = self.assemble_static(None, extra_gmin);
-        self.stamp_poleres(&mut a0, None);
-        let cache = self.make_cache(0.0, a0, stats)?;
-        self.newton(x, &cache, 0.0, None, stats)
+        let cache = self.make_cache(0.0, None, extra_gmin, reuse.take(), stats)?;
+        let res = self.newton(x, &cache, 0.0, None, stats);
+        *reuse = Some(cache);
+        res
     }
 
-    /// Assembles the constant part of the Newton matrix: static stamps plus
-    /// capacitor trapezoidal companions for timestep `h` (`None` = DC).
-    fn assemble_static(&self, h: Option<f64>, extra_gmin: f64) -> Matrix {
-        let mut a = Matrix::zeros(self.dim, self.dim);
-        a.set_block(0, 0, &self.g_static);
+    /// Which factorization backend this analysis uses. Pole/residue loads
+    /// stamp dense state rows, so they pin the dense backend; otherwise
+    /// the option's choice resolves by system order.
+    fn backend(&self) -> SolverBackend {
+        if self.poleres.is_some() {
+            SolverBackend::Dense
+        } else {
+            self.opts.solver.backend_for(self.dim)
+        }
+    }
+
+    /// Assembles the constant part of the Newton matrix as stamp triplets:
+    /// static stamps, the extra ladder gmin, and capacitor/inductor
+    /// trapezoidal companions for timestep `h` (`None` = DC). The
+    /// emission order exactly mirrors the historical dense assembly, so
+    /// replaying the triplets with `+=` reproduces its bits.
+    fn assemble_triplets(&self, h: Option<f64>, extra_gmin: f64) -> Vec<(usize, usize, f64)> {
+        let extra = self.n_nodes + 4 * (self.caps.len() + self.inductors.len());
+        let mut t = Vec::with_capacity(self.static_stamps.len() + extra);
+        t.extend_from_slice(&self.static_stamps);
         for i in 0..self.n_nodes {
-            a[(i, i)] += extra_gmin;
+            t.push((i, i, extra_gmin));
         }
         if let Some(h) = h {
             for c in &self.caps {
                 let geq = 2.0 * c.value / h;
-                stamp_g(&mut a, c.a, c.b, geq);
+                stamp_t(&mut t, c.a, c.b, geq);
             }
             for l in &self.inductors {
                 let geq = h / (2.0 * l.value);
-                stamp_g(&mut a, l.a, l.b, geq);
+                stamp_t(&mut t, l.a, l.b, geq);
             }
         } else {
             // DC: inductors are shorts.
             for l in &self.inductors {
-                stamp_g(&mut a, l.a, l.b, INDUCTOR_DC_SHORT);
+                stamp_t(&mut t, l.a, l.b, INDUCTOR_DC_SHORT);
             }
+        }
+        t
+    }
+
+    /// Replays stamp triplets into a dense matrix in emission order.
+    fn assemble_dense(&self, triplets: &[(usize, usize, f64)]) -> Matrix {
+        let mut a = Matrix::zeros(self.dim, self.dim);
+        for &(i, j, v) in triplets {
+            a[(i, j)] += v;
         }
         a
     }
@@ -665,45 +714,81 @@ impl<'a> Transient<'a> {
     }
 
     /// Builds the per-timestep cache: for the Woodbury path, factor `A0`
-    /// once and pre-solve the device incidence columns.
+    /// once (on the selected backend) and pre-solve the device incidence
+    /// columns. `h_opt` is the companion timestep (`None` = DC); `prev`
+    /// donates its sparse factorization for a pattern-reusing numeric
+    /// refactor when the backend allows it.
     fn make_cache(
         &self,
         h: f64,
-        a0: Matrix,
+        h_opt: Option<f64>,
+        extra_gmin: f64,
+        prev: Option<StepCache>,
         stats: &mut SolveStats,
     ) -> Result<StepCache, SpiceError> {
-        let ndev = self.devices.len();
-        let (lu0, a0inv_u) = if self.opts.dense_rebuild {
-            (None, Matrix::zeros(0, 0))
-        } else {
-            let mut lu = LuFactor::new(&a0).map_err(SpiceError::from)?;
-            // The cache serves every Newton iteration until the timestep
-            // changes; index the (ladder-sparse) factors once so each of
-            // those solves substitutes over the nonzeros only.
-            lu.optimize_for_solves();
-            stats.lu_factorizations += 1;
-            let a0inv_u = if ndev > 0 {
-                // u_k = e_d - e_s (columns).
-                let mut u = Matrix::zeros(self.dim, ndev);
-                for (k, dev) in self.devices.iter().enumerate() {
-                    if let Some(d) = dev.d {
-                        u[(d, k)] += 1.0;
-                    }
-                    if let Some(s) = dev.s {
-                        u[(s, k)] -= 1.0;
-                    }
+        let triplets = self.assemble_triplets(h_opt, extra_gmin);
+        if self.opts.dense_rebuild {
+            let mut a0 = self.assemble_dense(&triplets);
+            self.stamp_poleres(&mut a0, h_opt);
+            return Ok(StepCache {
+                h,
+                a0: Some(a0),
+                solver: None,
+                a0inv_u: Matrix::zeros(0, 0),
+            });
+        }
+        let solver = match self.backend() {
+            SolverBackend::Dense => {
+                let mut a0 = self.assemble_dense(&triplets);
+                self.stamp_poleres(&mut a0, h_opt);
+                let mut lu = LuFactor::new(&a0).map_err(SpiceError::from)?;
+                // The cache serves every Newton iteration until the
+                // timestep changes; index the (ladder-sparse) factors once
+                // so each of those solves substitutes over the nonzeros
+                // only.
+                lu.optimize_for_solves();
+                AnySolver::Dense(lu)
+            }
+            SolverBackend::Sparse => {
+                let a = SparseMatrix::from_triplets(self.dim, self.dim, &triplets)
+                    .map_err(SpiceError::from)?;
+                // Numeric-only refactor when the previous step's pattern
+                // matches (same circuit, new companion values); a pattern
+                // change or pivot breakdown falls back to a full factor —
+                // whose symbolic ordering is itself served by the
+                // per-worker pattern cache.
+                let reused = prev.and_then(|p| match p.solver {
+                    Some(AnySolver::Sparse(mut lu)) => lu.refactor(&a).ok().map(|()| lu),
+                    _ => None,
+                });
+                match reused {
+                    Some(lu) => AnySolver::Sparse(lu),
+                    None => AnySolver::Sparse(SparseLu::new(&a).map_err(SpiceError::from)?),
                 }
-                stats.solves += ndev;
-                lu.solve_mat(&u).map_err(SpiceError::from)?
-            } else {
-                Matrix::zeros(0, 0)
-            };
-            (Some(lu), a0inv_u)
+            }
+        };
+        stats.lu_factorizations += 1;
+        let ndev = self.devices.len();
+        let a0inv_u = if ndev > 0 {
+            // u_k = e_d - e_s (columns).
+            let mut u = Matrix::zeros(self.dim, ndev);
+            for (k, dev) in self.devices.iter().enumerate() {
+                if let Some(d) = dev.d {
+                    u[(d, k)] += 1.0;
+                }
+                if let Some(s) = dev.s {
+                    u[(s, k)] -= 1.0;
+                }
+            }
+            stats.solves += ndev;
+            solver.solve_mat(&u).map_err(SpiceError::from)?
+        } else {
+            Matrix::zeros(0, 0)
         };
         Ok(StepCache {
             h,
-            a0,
-            lu0,
+            a0: None,
+            solver: Some(solver),
             a0inv_u,
         })
     }
@@ -721,8 +806,7 @@ impl<'a> Transient<'a> {
         let rhs_base = self.assemble_rhs(t, step);
         let (delta_l, delta_vt) = (self.variation.delta_l(), self.variation.delta_vt());
         let ndev = self.devices.len();
-        let a0 = &cache.a0;
-        let lu0 = &cache.lu0;
+        let solver = &cache.solver;
         let a0inv_u = &cache.a0inv_u;
 
         for _iter in 0..self.opts.max_newton {
@@ -758,9 +842,9 @@ impl<'a> Transient<'a> {
                 vrows.push((dev.d, dev.g, dev.s, op.gm, op.gds));
             }
             // Solve the linearized system.
-            let x_next = if let Some(lu0) = &lu0 {
+            let x_next = if let Some(solver) = solver {
                 stats.solves += 1;
-                let y = lu0.solve(&rhs).map_err(SpiceError::from)?;
+                let y = solver.solve(&rhs).map_err(SpiceError::from)?;
                 if ndev == 0 {
                     y
                 } else {
@@ -804,7 +888,11 @@ impl<'a> Transient<'a> {
                 }
             } else {
                 // Dense rebuild path: stamp devices into a copy and factor.
-                let mut a = a0.clone();
+                let mut a = cache
+                    .a0
+                    .as_ref()
+                    .expect("dense_rebuild cache carries the assembled matrix")
+                    .clone();
                 for (d, g, s, gm, gds) in &vrows {
                     stamp_device(&mut a, *d, *g, *s, *gm, *gds);
                 }
@@ -875,9 +963,13 @@ impl<'a> Transient<'a> {
 #[derive(Debug)]
 struct StepCache {
     h: f64,
-    a0: Matrix,
-    /// Factorization of `a0` (absent on the `dense_rebuild` path).
-    lu0: Option<LuFactor>,
+    /// Assembled `A0` — kept only on the `dense_rebuild` path, which
+    /// restamps devices into a copy every iteration. The factoring paths
+    /// never materialize it (a dense mirror of a large sparse system
+    /// would dominate memory).
+    a0: Option<Matrix>,
+    /// Factorization of `A0` (absent on the `dense_rebuild` path).
+    solver: Option<AnySolver>,
     /// `A0⁻¹·U` for the Woodbury device update.
     a0inv_u: Matrix,
 }
@@ -886,16 +978,18 @@ fn volt(x: &[f64], idx: Option<usize>) -> f64 {
     idx.map_or(0.0, |i| x[i])
 }
 
-fn stamp_g(a: &mut Matrix, i: Option<usize>, j: Option<usize>, g: f64) {
+/// Records a two-terminal conductance as stamp triplets, in the same
+/// entry order the dense stamping historically used.
+fn stamp_t(t: &mut Vec<(usize, usize, f64)>, i: Option<usize>, j: Option<usize>, g: f64) {
     if let Some(i) = i {
-        a[(i, i)] += g;
+        t.push((i, i, g));
     }
     if let Some(j) = j {
-        a[(j, j)] += g;
+        t.push((j, j, g));
     }
     if let (Some(i), Some(j)) = (i, j) {
-        a[(i, j)] -= g;
-        a[(j, i)] -= g;
+        t.push((i, j, -g));
+        t.push((j, i, -g));
     }
 }
 

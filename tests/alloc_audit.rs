@@ -149,6 +149,87 @@ fn steady_state_monte_carlo_sample_allocates_within_budget() {
     );
 }
 
+/// Steady-state allocation budget for one sparse refactor + solve cycle
+/// once the symbolic analysis is cached.
+///
+/// The numeric refactorization writes into the factor storage resident in
+/// the `SparseLu` (pattern replay, no fresh `Vec`s), and `solve_into`
+/// takes its permutation scratch from the thread-local workspace arena.
+/// What remains per cycle is a handful of bookkeeping allocations from
+/// assembling the updated `SparseMatrix` values vector — the documented
+/// constant below, independent of matrix size and fill. If this trips, a
+/// sparse hot-path change reintroduced per-cycle allocation: route new
+/// scratch through the resident factor storage or the workspace arena.
+const SPARSE_CYCLE_BUDGET: u64 = 24;
+
+#[test]
+fn sparse_refactor_solve_cycle_allocates_within_budget() {
+    use linvar_numeric::{SparseLu, SparseMatrix};
+
+    // MNA-ladder shape (conductance chain + leaks + one source branch):
+    // the same stamp structure the transient engine refactors every time
+    // the timestep changes.
+    let n_nodes = 200;
+    let dim = n_nodes + 1;
+    let triplets = |g: f64| -> Vec<(usize, usize, f64)> {
+        let mut t = Vec::new();
+        for i in 1..n_nodes {
+            t.push((i, i, g));
+            t.push((i - 1, i - 1, g));
+            t.push((i, i - 1, -g));
+            t.push((i - 1, i, -g));
+        }
+        for i in 0..n_nodes {
+            t.push((i, i, 1e-9));
+        }
+        t.push((0, n_nodes, 1.0));
+        t.push((n_nodes, 0, 1.0));
+        t
+    };
+    let b: Vec<f64> = (0..dim).map(|i| (i as f64).sin()).collect();
+
+    // One cycle of the steady-state loop: re-assemble values (timestep
+    // change rescales the conductances, pattern untouched), refactor on
+    // the cached pattern, solve in place.
+    let mut lu =
+        SparseLu::new(&SparseMatrix::from_triplets(dim, dim, &triplets(1e-3)).unwrap()).unwrap();
+    let mut x = Vec::new();
+    let mut cycle = |k: usize| {
+        let g = 1e-3 * (1.0 + 0.1 * (k % 7) as f64);
+        let a = SparseMatrix::from_triplets(dim, dim, &triplets(g)).unwrap();
+        lu.refactor(&a).unwrap();
+        lu.solve_into(&b, &mut x).unwrap();
+        assert!(x.iter().all(|v| v.is_finite()));
+    };
+
+    // Warm-up fills the workspace pools and the triplet-buffer high-water
+    // marks; then difference two window lengths so fixed costs cancel.
+    for k in 0..4 {
+        cycle(k);
+    }
+    let a0 = allocs();
+    for k in 0..4 {
+        cycle(k);
+    }
+    let a1 = allocs();
+    for k in 0..12 {
+        cycle(k);
+    }
+    let a2 = allocs();
+
+    let per_cycle = (a2 - a1).saturating_sub(a1 - a0) / 8;
+    eprintln!("alloc audit: {per_cycle} allocations per sparse refactor+solve cycle");
+    assert!(
+        per_cycle <= SPARSE_CYCLE_BUDGET,
+        "sparse refactor+solve cycle allocated {per_cycle} times \
+         (budget: {SPARSE_CYCLE_BUDGET}). A sparse hot-path change \
+         reintroduced per-cycle allocation — keep scratch resident in \
+         SparseLu or pool it through linvar_numeric::with_workspace, or \
+         raise SPARSE_CYCLE_BUDGET in tests/alloc_audit.rs with a \
+         documented breakdown."
+    );
+}
+
 #[test]
 fn workspace_disable_escape_hatch_allocates_more() {
     // `LINVAR_WS_DISABLE=1` turns the arena into a passthrough; this test

@@ -41,6 +41,147 @@ fn lu_singularity_reports_condition_and_perturbation_recovers() {
     assert!(x.iter().all(|v| v.is_finite()));
 }
 
+// ------------------------------------------------------------- numeric (sparse)
+
+use linvar::numeric::{analyze_cached, SparseLu, SparseMatrix};
+
+#[test]
+fn sparse_singular_and_degenerate_patterns_are_typed_errors() {
+    // Exactly singular: two structurally distinct columns with identical
+    // values — elimination cancels the second pivot exactly.
+    let dup = SparseMatrix::from_triplets(
+        3,
+        3,
+        &[
+            (0, 0, 1.0),
+            (1, 0, 2.0),
+            (0, 1, 1.0),
+            (1, 1, 2.0),
+            (2, 2, 1.0),
+        ],
+    )
+    .unwrap();
+    match SparseLu::new(&dup) {
+        Err(NumericError::SingularMatrix { condition, .. }) => {
+            assert!(condition.is_some(), "singular error carries an estimate");
+        }
+        other => panic!("expected singular-matrix error, got {other:?}"),
+    }
+    // Structurally empty row: no entry anywhere in row 1.
+    let empty_row =
+        SparseMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (2, 2, 1.0), (0, 2, 0.5)]).unwrap();
+    assert!(
+        matches!(
+            SparseLu::new(&empty_row),
+            Err(NumericError::SingularMatrix { .. })
+        ),
+        "empty row must be a typed singularity, not a panic"
+    );
+    // All-zero values on a full pattern (stamps that cancelled to zero).
+    let zeros =
+        SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, -1.0), (1, 1, 0.0), (0, 1, 0.0)])
+            .unwrap();
+    assert!(matches!(
+        SparseLu::new(&zeros),
+        Err(NumericError::SingularMatrix { .. })
+    ));
+}
+
+#[test]
+fn sparse_zero_pivot_is_rescued_by_pivoting_not_recovery() {
+    // MNA saddle: zero diagonal at the branch row. Partial pivoting must
+    // handle this without engaging the perturbation ladder.
+    let a = SparseMatrix::from_triplets(
+        3,
+        3,
+        &[
+            (0, 0, 1e-3),
+            (0, 2, 1.0),
+            (2, 0, 1.0),
+            (1, 1, 1e-3),
+            (0, 1, -1e-3),
+            (1, 0, -1e-3),
+        ],
+    )
+    .unwrap();
+    let symbolic = analyze_cached(&a).unwrap();
+    let (lu, rec) = SparseLu::new_recovering(&a, &symbolic).expect("pivoting suffices");
+    assert!(
+        !rec.perturbed,
+        "pivoting must not count as recovery: {rec:?}"
+    );
+    let x = lu.solve(&[0.0, 0.0, 1.0]).unwrap();
+    assert!((x[0] - 1.0).abs() < 1e-12, "source pins node 0: {x:?}");
+}
+
+#[test]
+fn sparse_permuted_duplicate_stamps_assemble_identically() {
+    // The same physical stamps in two emission orders (duplicates summed
+    // in-stream) must assemble to matrices that solve identically — order
+    // only matters for bitwise golden replay, which uses one fixed order.
+    let fwd = [
+        (0, 0, 2.0),
+        (0, 0, 0.5),
+        (1, 1, 3.0),
+        (0, 1, -1.0),
+        (1, 0, -1.0),
+    ];
+    let rev: Vec<(usize, usize, f64)> = fwd.iter().rev().copied().collect();
+    let a = SparseMatrix::from_triplets(2, 2, &fwd).unwrap();
+    let b = SparseMatrix::from_triplets(2, 2, &rev).unwrap();
+    let xa = SparseLu::new(&a).unwrap().solve(&[1.0, 1.0]).unwrap();
+    let xb = SparseLu::new(&b).unwrap().solve(&[1.0, 1.0]).unwrap();
+    for (u, v) in xa.iter().zip(&xb) {
+        assert!((u - v).abs() < 1e-14);
+    }
+}
+
+#[test]
+fn sparse_stale_pattern_refactor_is_rejected_typed() {
+    let a = SparseMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 2.0)]).unwrap();
+    let mut lu = SparseLu::new(&a).unwrap();
+    // New coupling entry changes the sparsity pattern: the cached
+    // elimination pattern is stale and refactor must say so (the engine
+    // falls back to a full factorization on this signal).
+    let grown =
+        SparseMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 2.0), (0, 1, -0.5)]).unwrap();
+    assert!(matches!(
+        lu.refactor(&grown),
+        Err(NumericError::InvalidInput(_))
+    ));
+    // The rejected refactor must not have corrupted the resident factors.
+    let x = lu.solve(&[2.0, 4.0]).unwrap();
+    assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn sparse_recovery_ladder_matches_dense_semantics() {
+    // The same exactly-singular system the dense rung test uses: the
+    // sparse ladder must also recover by diagonal perturbation and report
+    // the same shape of evidence.
+    let a = SparseMatrix::from_triplets(
+        3,
+        3,
+        &[
+            (0, 0, 1.0),
+            (0, 1, 2.0),
+            (0, 2, 3.0),
+            (1, 0, 1.0),
+            (1, 1, 2.0),
+            (1, 2, 3.0),
+            (2, 2, 1.0),
+        ],
+    )
+    .unwrap();
+    let symbolic = analyze_cached(&a).unwrap();
+    let (lu, rec) = SparseLu::new_recovering(&a, &symbolic).expect("perturbation recovers");
+    assert!(rec.perturbed);
+    assert!(rec.perturbation > 0.0);
+    assert!(rec.condition_estimate.is_finite());
+    let x = lu.solve(&[1.0, 1.0, 1.0]).expect("factored system solves");
+    assert!(x.iter().all(|v| v.is_finite()));
+}
+
 // -------------------------------------------------------------------- mor
 
 #[test]
