@@ -179,6 +179,35 @@ for key in '"phase.symbolic.calls"' '"phase.numeric_factor.calls"' '"phase.solve
     fi
 done
 
+echo "==> shard identity (sharded merge bitwise-equal to single-process, incl. faults)"
+cargo test -q --test shard_identity
+
+echo "==> shard smoke (table4 --quick at 1 vs 4 shards, one shard killed + resumed)"
+# Unsharded reference rows come from the interrupted-resume smoke above
+# ($ckdir/clean.mc). 1 supervised shard must reproduce them...
+LINVAR_THREADS=2 cargo run --release -q -p linvar-bench --bin table4 -- --quick \
+    --shards 1 >"$ckdir/shard1.out" 2>&1
+grep '^mc ' "$ckdir/shard1.out" >"$ckdir/shard1.mc"
+if ! diff -u "$ckdir/clean.mc" "$ckdir/shard1.mc"; then
+    echo "table4 mc rows differ between unsharded and --shards 1" >&2
+    exit 1
+fi
+# ...and so must 4 shards with shard 1 killed mid-checkpoint-write on its
+# first attempt: the supervisor retries it from its own snapshot and the
+# merged rows stay byte-identical.
+if ! LINVAR_THREADS=2 LINVAR_SHARD_FAULT=1:killmid \
+    cargo run --release -q -p linvar-bench --bin table4 -- --quick \
+    --shards 4 --checkpoint "$ckdir/sh4" >"$ckdir/shard4.out" 2>&1; then
+    echo "fault-injected sharded table4 run did not exit cleanly:" >&2
+    cat "$ckdir/shard4.out" >&2
+    exit 1
+fi
+grep '^mc ' "$ckdir/shard4.out" >"$ckdir/shard4.mc"
+if ! diff -u "$ckdir/clean.mc" "$ckdir/shard4.mc"; then
+    echo "table4 mc rows differ after a shard kill + supervised resume" >&2
+    exit 1
+fi
+
 echo "==> perf smoke (table4 --quick at 1 thread, appended to the bench trajectory)"
 LINVAR_THREADS=1 LINVAR_TRAJECTORY=BENCH_trajectory.json LINVAR_TRAJECTORY_LABEL=ci-perf-smoke \
     cargo run --release -q -p linvar-bench --bin table4 -- --quick >"$ckdir/perf.out" 2>&1

@@ -40,6 +40,7 @@ fn main() {
 fn run() -> Result<(), BenchError> {
     let args = BenchArgs::parse(std::env::args().skip(1))?;
     args.reject_campaign_flags("ablation")?;
+    args.reject_shard_flags("ablation")?;
     if args.quick {
         return Err(BenchError::Usage("ablation has no --quick mode".into()));
     }

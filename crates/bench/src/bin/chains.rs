@@ -11,6 +11,9 @@
 //!
 //! Setting `LINVAR_SOLVER=dense|sparse` pins a single backend instead;
 //! `ci.sh` uses that to run the quick suite once per backend and compare.
+//! `--shards <N>` routes every campaign through the shard supervisor
+//! (in-memory, no checkpoints) — the `mc` rows are byte-identical either
+//! way, which `ci.sh` also diffs.
 //!
 //! Phase timings (`symbolic`, `numeric_factor`, `solve`) and per-case
 //! throughput land in `BENCH_chains.json`; `--metrics` additionally
@@ -21,11 +24,11 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
-use linvar_bench::chains::{mc_line, run_case, sample_set};
+use linvar_bench::chains::{mc_line, run_case, run_case_sharded, sample_set};
 use linvar_bench::{workspace_note, BenchArgs, BenchError, BenchMeter};
 use linvar_interconnect::standard_cases;
 use linvar_numeric::{SolverBackend, SolverChoice};
-use linvar_stats::resolve_threads;
+use linvar_stats::{resolve_threads, ShardConfig, Summary};
 use std::time::Instant;
 
 /// Largest MNA dimension the dense backend is asked to time. Above this
@@ -58,9 +61,13 @@ fn run() -> Result<(), BenchError> {
         if args.quick { "quick" } else { "full" }
     );
     match pinned {
-        Some(choice) => println!("backend pinned via LINVAR_SOLVER: {}\n", name_of(choice)),
-        None => println!("comparing backends (dense skipped above dim {DENSE_MAX_DIM})\n"),
+        Some(choice) => println!("backend pinned via LINVAR_SOLVER: {}", name_of(choice)),
+        None => println!("comparing backends (dense skipped above dim {DENSE_MAX_DIM})"),
     }
+    if let Some(n_shards) = args.shards {
+        println!("shard supervisor: {n_shards} shard(s) per campaign");
+    }
+    println!();
     let samples = sample_set(n_samples);
     let cases = standard_cases(args.quick)?;
     for case in &cases {
@@ -68,6 +75,9 @@ fn run() -> Result<(), BenchError> {
             "-- {} (dim {}, {} elements, tstop {:.3e} s)",
             case.name, case.dim, case.element_count, case.tstop
         );
+        // The `mc` rows stay byte-identical with and without shards —
+        // the identity ci.sh's shard smoke diffs.
+        let shard_cfg = args.shard_config(&case.name)?;
         match pinned {
             Some(choice) => {
                 if backend_of(choice) == SolverBackend::Dense && case.dim > DENSE_MAX_DIM {
@@ -77,8 +87,9 @@ fn run() -> Result<(), BenchError> {
                     );
                     continue;
                 }
-                let (mc, rate) = timed_campaign(case, &samples, threads, choice)?;
-                println!("{}", mc_line(&case.name, &mc));
+                let (summary, failures, rate) =
+                    timed_campaign(case, &samples, threads, choice, shard_cfg.as_ref())?;
+                println!("{}", mc_line(&case.name, &summary, failures));
                 eprintln!("{}: {} {rate:.2} samples/sec", case.name, name_of(choice));
                 meter.set(
                     &format!("{}.{}.samples_per_sec", case.name, name_of(choice)),
@@ -86,14 +97,25 @@ fn run() -> Result<(), BenchError> {
                 );
             }
             None => {
-                let (mc_s, rate_s) = timed_campaign(case, &samples, threads, SolverChoice::Sparse)?;
+                let (sum_s, fail_s, rate_s) = timed_campaign(
+                    case,
+                    &samples,
+                    threads,
+                    SolverChoice::Sparse,
+                    shard_cfg.as_ref(),
+                )?;
                 meter.set(&format!("{}.sparse.samples_per_sec", case.name), rate_s);
                 if case.dim <= DENSE_MAX_DIM {
-                    let (mc_d, rate_d) =
-                        timed_campaign(case, &samples, threads, SolverChoice::Dense)?;
+                    let (sum_d, fail_d, rate_d) = timed_campaign(
+                        case,
+                        &samples,
+                        threads,
+                        SolverChoice::Dense,
+                        shard_cfg.as_ref(),
+                    )?;
                     meter.set(&format!("{}.dense.samples_per_sec", case.name), rate_d);
-                    let row_s = mc_line(&case.name, &mc_s);
-                    let row_d = mc_line(&case.name, &mc_d);
+                    let row_s = mc_line(&case.name, &sum_s, fail_s);
+                    let row_d = mc_line(&case.name, &sum_d, fail_d);
                     if row_s != row_d {
                         return Err(BenchError::Msg(format!(
                             "backend mismatch on {}:\n  dense:  {row_d}\n  sparse: {row_s}",
@@ -109,7 +131,7 @@ fn run() -> Result<(), BenchError> {
                     );
                     meter.set(&format!("{}.speedup", case.name), speedup);
                 } else {
-                    println!("{}", mc_line(&case.name, &mc_s));
+                    println!("{}", mc_line(&case.name, &sum_s, fail_s));
                     let dense_gib =
                         (case.dim as f64) * (case.dim as f64) * 8.0 / (1024.0 * 1024.0 * 1024.0);
                     println!(
@@ -128,17 +150,29 @@ fn run() -> Result<(), BenchError> {
     meter.finish(&args)
 }
 
-/// Runs one campaign and returns the result with its samples/sec rate.
+/// Runs one campaign — through the shard supervisor when a
+/// [`ShardConfig`] is given — and returns its summary, failure count,
+/// and samples/sec rate.
 fn timed_campaign(
     case: &linvar_interconnect::ChainCase,
     samples: &[Vec<f64>],
     threads: usize,
     solver: SolverChoice,
-) -> Result<(linvar_stats::MonteCarloResult, f64), BenchError> {
+    shard: Option<&ShardConfig>,
+) -> Result<(Summary, usize, f64), BenchError> {
     let t0 = Instant::now();
-    let mc = run_case(case, samples, threads, solver)?;
+    let (summary, failures) = match shard {
+        Some(cfg) => {
+            let r = run_case_sharded(case, samples, threads, solver, cfg)?;
+            (r.summary, r.failures)
+        }
+        None => {
+            let r = run_case(case, samples, threads, solver)?;
+            (r.summary, r.failures)
+        }
+    };
     let rate = samples.len() as f64 / t0.elapsed().as_secs_f64().max(1e-12);
-    Ok((mc, rate))
+    Ok((summary, failures, rate))
 }
 
 fn backend_of(choice: SolverChoice) -> SolverBackend {

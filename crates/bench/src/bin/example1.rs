@@ -24,6 +24,7 @@ fn main() {
 fn run() -> Result<(), BenchError> {
     let args = BenchArgs::parse(std::env::args().skip(1))?;
     args.reject_campaign_flags("example1")?;
+    args.reject_shard_flags("example1")?;
     if args.quick {
         return Err(BenchError::Usage("example1 has no --quick mode".into()));
     }

@@ -200,6 +200,7 @@ fn main() {
 
 fn run() -> Result<(), BenchError> {
     let args = BenchArgs::parse(std::env::args().skip(1))?;
+    args.reject_shard_flags("example2")?;
     if args.quick {
         return Err(BenchError::Usage("example2 has no --quick mode".into()));
     }

@@ -10,6 +10,10 @@
 //! `--deadline <secs>` run the Monte-Carlo portion as a durable campaign
 //! (one snapshot per circuit). Completed circuits print a deterministic
 //! `mc …` line with the statistics as raw `f64` bit patterns.
+//! `--shards <N>` routes the campaigns through the shard supervisor
+//! (`mc` lines byte-identical to the unsharded run); with
+//! `--shard-index <K> --checkpoint <prefix>` this process evaluates
+//! only shard K and leaves its snapshot for a later `--resume` merge.
 //!
 //! Run with `cargo run --release -p linvar-bench --bin fig7`
 //! (set `LINVAR_THREADS` to pin the Monte-Carlo worker count).
@@ -62,53 +66,90 @@ fn run() -> Result<(), BenchError> {
             input_slew: 60e-12,
         };
         let model = PathModel::build(&spec, &tech, &wire)?;
-        let config = args.campaign_config(circuit, run_start);
-        let t0 = Instant::now();
-        let mc = model.monte_carlo_campaign(
-            &sources,
-            100,
-            7,
-            threads,
-            RecoveryPolicy::default(),
-            &config,
-        )?;
-        if let CampaignVerdict::Truncated { remaining } = mc.verdict {
-            truncated += 1;
-            eprintln!(
-                "deadline: {circuit} truncated with {remaining}/100 samples pending; \
-                 resume with --resume to finish"
+        let shard_cfg = args.shard_config(circuit)?;
+        if let (Some(cfg), Some(k)) = (&shard_cfg, args.shard_index) {
+            // Worker mode: evaluate only shard k, leave its snapshot as
+            // the output (merged later by `--shards N --resume`).
+            let worker = model.monte_carlo_shard_worker(
+                &sources,
+                100,
+                7,
+                threads,
+                RecoveryPolicy::default(),
+                cfg,
+                k,
+            )?;
+            println!(
+                "shard {k}/{}: {circuit} completed={} evaluated={} failures={}",
+                cfg.n_shards, worker.completed, worker.evaluated, worker.failures
             );
             continue;
         }
+        let t0 = Instant::now();
+        // Sharded and unsharded drivers feed the same deterministic
+        // `mc` line and histogram — byte-identical at any shard count.
+        let (delays, summary, failures, evaluated) = match &shard_cfg {
+            Some(cfg) => {
+                let mc = model.monte_carlo_sharded(
+                    &sources,
+                    100,
+                    7,
+                    threads,
+                    RecoveryPolicy::default(),
+                    cfg,
+                )?;
+                (mc.delays, mc.summary, mc.failures, mc.evaluated)
+            }
+            None => {
+                let config = args.campaign_config(circuit, run_start);
+                let mc = model.monte_carlo_campaign(
+                    &sources,
+                    100,
+                    7,
+                    threads,
+                    RecoveryPolicy::default(),
+                    &config,
+                )?;
+                if let CampaignVerdict::Truncated { remaining } = mc.verdict {
+                    truncated += 1;
+                    eprintln!(
+                        "deadline: {circuit} truncated with {remaining}/100 samples pending; \
+                         resume with --resume to finish"
+                    );
+                    continue;
+                }
+                (mc.delays, mc.summary, mc.failures, mc.evaluated)
+            }
+        };
         println!(
             "mc {circuit}: n={} mean={} std={} failures={}",
-            mc.summary.n,
-            bits_hex(mc.summary.mean),
-            bits_hex(mc.summary.std),
-            mc.failures
+            summary.n,
+            bits_hex(summary.mean),
+            bits_hex(summary.std),
+            failures
         );
-        if mc.evaluated > 0 {
+        if evaluated > 0 {
             eprintln!(
                 "{circuit}: {:.1} samples/sec",
-                mc.evaluated as f64 / t0.elapsed().as_secs_f64()
+                evaluated as f64 / t0.elapsed().as_secs_f64()
             );
         } else {
             eprintln!("{circuit}: restored from snapshot");
         }
         let ga = model.gradient_analysis(&sources)?;
         // Stratified normal sample implied by the GA statistics.
-        let n = mc.delays.len();
+        let n = delays.len();
         let ga_sample: Vec<f64> = (0..n)
             .map(|k| {
                 let u = (k as f64 + 0.5) / n as f64;
                 ga.nominal_delay + ga.std * inverse_normal_cdf(u)
             })
             .collect();
-        let (h_mc, h_ga) = Histogram::pair(&mc.delays, &ga_sample, 12)?;
+        let (h_mc, h_ga) = Histogram::pair(&delays, &ga_sample, 12)?;
         println!(
             "{circuit}: MC mean {:.2} ps std {:.2} ps | GA mean {:.2} ps std {:.2} ps",
-            mc.summary.mean * 1e12,
-            mc.summary.std * 1e12,
+            summary.mean * 1e12,
+            summary.std * 1e12,
             ga.nominal_delay * 1e12,
             ga.std * 1e12
         );

@@ -1,0 +1,168 @@
+//! Shard-supervisor benchmark: scaling and fault-recovery overhead of
+//! the sharded campaign driver on a chains delay campaign.
+//!
+//! Two measurements land in `BENCH_shards.json`:
+//!
+//! 1. **Scaling** — samples/sec of the same campaign at 1/2/4/8 shards
+//!    (in-memory supervisor, no checkpoints), with the merged `mc` row
+//!    asserted byte-identical to the unsharded baseline at every count.
+//! 2. **Recovery overhead** — wall-time ratio of a checkpointed 4-shard
+//!    run with one shard killed mid-checkpoint-write (retried and
+//!    resumed from its own snapshot by the supervisor) over the clean
+//!    checkpointed run. The faulted row must still be byte-identical.
+//!
+//! Checkpoints go to a process-unique directory under the system temp
+//! dir and are removed on exit. `--quick` shrinks the circuit and the
+//! sample count.
+//!
+//! Run with `cargo run --release -p linvar-bench --bin shards [-- --quick]`
+//! (set `LINVAR_THREADS` to pin the per-shard worker count).
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use linvar_bench::chains::{mc_line, run_case, run_case_sharded, sample_set};
+use linvar_bench::{BenchArgs, BenchError, BenchMeter};
+use linvar_interconnect::rc_chain_case;
+use linvar_numeric::SolverChoice;
+use linvar_stats::{resolve_threads, ShardConfig, ShardFault, ShardOutcome};
+use std::time::Instant;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("shards: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::parse(std::env::args().skip(1))?;
+    args.reject_campaign_flags("shards")?;
+    if args.shards.is_some() || args.shard_index.is_some() {
+        return Err(BenchError::Usage(
+            "shards sweeps shard counts itself (--shards/--shard-index unsupported)".into(),
+        ));
+    }
+    let mut meter = BenchMeter::start("shards");
+    let threads = resolve_threads(0);
+    let (segments, n_samples) = if args.quick { (50, 6) } else { (500, 16) };
+    println!("==== shards: supervisor scaling and fault-recovery overhead ====");
+    println!(
+        "(rc chain, {segments} segments, {n_samples} samples, {threads} worker thread(s) \
+         per shard; set LINVAR_THREADS to change)\n"
+    );
+    let case = rc_chain_case(segments)?;
+    let samples = sample_set(n_samples);
+    let solver = SolverChoice::Sparse;
+
+    // Unsharded baseline: the byte-identity reference for every
+    // supervised run below.
+    let t0 = Instant::now();
+    let base = run_case(&case, &samples, threads, solver)?;
+    let base_secs = t0.elapsed().as_secs_f64().max(1e-12);
+    let base_line = mc_line(&case.name, &base.summary, base.failures);
+    println!("{base_line}");
+    println!("unsharded: {:.2} samples/sec", n_samples as f64 / base_secs);
+    meter.set("unsharded.samples_per_sec", n_samples as f64 / base_secs);
+
+    for n_shards in [1usize, 2, 4, 8] {
+        let cfg = ShardConfig {
+            n_shards,
+            ..ShardConfig::default()
+        };
+        let t0 = Instant::now();
+        let sharded = run_case_sharded(&case, &samples, threads, solver, &cfg)?;
+        let secs = t0.elapsed().as_secs_f64().max(1e-12);
+        let line = mc_line(&case.name, &sharded.summary, sharded.failures);
+        if line != base_line {
+            return Err(BenchError::Msg(format!(
+                "merge identity broken at {n_shards} shards:\n  base:    {base_line}\n  \
+                 sharded: {line}"
+            )));
+        }
+        println!(
+            "{n_shards} shard(s): {:.2} samples/sec (row identical)",
+            n_samples as f64 / secs
+        );
+        meter.set(
+            &format!("shards_{n_shards}.samples_per_sec"),
+            n_samples as f64 / secs,
+        );
+    }
+
+    // Fault-recovery overhead: checkpointed 4-shard runs, clean vs one
+    // shard killed mid-checkpoint-write on its first attempt.
+    let tmp = std::env::temp_dir().join(format!("linvar-shards-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp)
+        .map_err(|e| BenchError::Msg(format!("cannot create {}: {e}", tmp.display())))?;
+    let result = recovery_overhead(
+        &case, &samples, threads, solver, &tmp, &base_line, &mut meter,
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+    result?;
+
+    meter.finish(&args)?;
+    Ok(())
+}
+
+fn recovery_overhead(
+    case: &linvar_interconnect::ChainCase,
+    samples: &[Vec<f64>],
+    threads: usize,
+    solver: SolverChoice,
+    tmp: &std::path::Path,
+    base_line: &str,
+    meter: &mut BenchMeter,
+) -> Result<(), BenchError> {
+    let clean_cfg = ShardConfig {
+        n_shards: 4,
+        checkpoint: Some(tmp.join("clean")),
+        ..ShardConfig::default()
+    };
+    let t0 = Instant::now();
+    let clean = run_case_sharded(case, samples, threads, solver, &clean_cfg)?;
+    let clean_secs = t0.elapsed().as_secs_f64().max(1e-12);
+    let clean_line = mc_line(&case.name, &clean.summary, clean.failures);
+    if clean_line != base_line {
+        return Err(BenchError::Msg(format!(
+            "checkpointed merge identity broken:\n  base:  {base_line}\n  clean: {clean_line}"
+        )));
+    }
+
+    let faulted_cfg = ShardConfig {
+        n_shards: 4,
+        checkpoint: Some(tmp.join("faulted")),
+        faults: vec![(1, ShardFault::KillMidWrite)],
+        ..ShardConfig::default()
+    };
+    let t0 = Instant::now();
+    let faulted = run_case_sharded(case, samples, threads, solver, &faulted_cfg)?;
+    let faulted_secs = t0.elapsed().as_secs_f64().max(1e-12);
+    let faulted_line = mc_line(&case.name, &faulted.summary, faulted.failures);
+    if faulted_line != base_line {
+        return Err(BenchError::Msg(format!(
+            "post-fault merge identity broken:\n  base:    {base_line}\n  faulted: {faulted_line}"
+        )));
+    }
+    let victim = faulted
+        .shards
+        .iter()
+        .find(|v| v.shard == 1)
+        .ok_or_else(|| BenchError::Msg("shard 1 verdict missing".into()))?;
+    if victim.outcome != ShardOutcome::Completed || victim.attempts < 2 {
+        return Err(BenchError::Msg(format!(
+            "expected shard 1 to complete on a retry, got {:?} after {} attempt(s)",
+            victim.outcome, victim.attempts
+        )));
+    }
+    let overhead = faulted_secs / clean_secs;
+    println!(
+        "kill+resume overhead: {overhead:.2}x (clean {clean_secs:.3}s, faulted \
+         {faulted_secs:.3}s, shard 1 completed on attempt {})",
+        victim.attempts
+    );
+    meter.set("recovery.clean_secs", clean_secs);
+    meter.set("recovery.faulted_secs", faulted_secs);
+    meter.set("recovery.overhead_ratio", overhead);
+    meter.set("recovery.victim_attempts", victim.attempts as u64);
+    Ok(())
+}

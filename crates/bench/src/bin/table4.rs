@@ -17,6 +17,14 @@
 //! line with the statistics as raw `f64` bit patterns — identical
 //! between a clean run and any interrupted-and-resumed schedule.
 //!
+//! `--shards <N>` routes each campaign through the shard supervisor
+//! (fault-tolerant, per-shard snapshots under `--checkpoint`); the `mc`
+//! lines stay byte-identical to the unsharded run at any shard count.
+//! `--shards <N> --shard-index <K> --checkpoint <prefix>` instead runs
+//! only shard K of every campaign in this process, leaving its snapshot
+//! as the output — a later `--shards N --resume <prefix>` run merges
+//! the per-shard snapshots without re-evaluating any sample.
+//!
 //! Run with `cargo run --release -p linvar-bench --bin table4`
 //! (`LINVAR_THREADS=4 cargo run …` to pin the worker count).
 
@@ -85,41 +93,83 @@ fn run() -> Result<(), BenchError> {
             let model = PathModel::build(&spec, &tech, &wire)?;
             let build_s = t_build.elapsed().as_secs_f64();
             let n_teta = if n_elem == 500 { 3 } else { 5 };
-            let config = args.campaign_config(&format!("{circuit}.{n_elem}"), run_start);
-            let t0 = Instant::now();
-            let mc = model.monte_carlo_campaign(
-                &sources,
-                n_teta,
-                master_seed,
-                threads,
-                RecoveryPolicy::default(),
-                &config,
-            )?;
-            let elapsed = t0.elapsed().as_secs_f64();
-            if let CampaignVerdict::Truncated { remaining } = mc.verdict {
-                truncated += 1;
-                eprintln!(
-                    "deadline: {circuit}@{n_elem} truncated with {remaining}/{n_teta} samples \
-                     pending ({} completed this run); resume with --resume to finish",
-                    mc.evaluated
+            let config_tag = format!("{circuit}.{n_elem}");
+            let shard_cfg = args.shard_config(&config_tag)?;
+            if let (Some(cfg), Some(k)) = (&shard_cfg, args.shard_index) {
+                // Process-per-shard worker: evaluate only shard k of
+                // this configuration and leave its snapshot as the
+                // output. A later `--shards N --resume <prefix>` run
+                // merges the snapshots without re-evaluating anything.
+                let worker = model.monte_carlo_shard_worker(
+                    &sources,
+                    n_teta,
+                    master_seed,
+                    threads,
+                    RecoveryPolicy::default(),
+                    cfg,
+                    k,
+                )?;
+                println!(
+                    "shard {k}/{}: {circuit}@{n_elem} completed={} evaluated={} failures={}",
+                    cfg.n_shards, worker.completed, worker.evaluated, worker.failures
                 );
+                eprintln!("done: {circuit} @ {n_elem} elements (shard {k} only)");
                 continue;
             }
-            if mc.failures > 0 {
+            let t0 = Instant::now();
+            // The sharded supervisor and the plain campaign driver feed
+            // the same `mc` line below — the rows are byte-identical at
+            // any shard count, which ci.sh's shard smoke diffs.
+            let (summary, failures, first_error, evaluated) = match &shard_cfg {
+                Some(cfg) => {
+                    let mc = model.monte_carlo_sharded(
+                        &sources,
+                        n_teta,
+                        master_seed,
+                        threads,
+                        RecoveryPolicy::default(),
+                        cfg,
+                    )?;
+                    (mc.summary, mc.failures, mc.first_error, mc.evaluated)
+                }
+                None => {
+                    let config = args.campaign_config(&config_tag, run_start);
+                    let mc = model.monte_carlo_campaign(
+                        &sources,
+                        n_teta,
+                        master_seed,
+                        threads,
+                        RecoveryPolicy::default(),
+                        &config,
+                    )?;
+                    if let CampaignVerdict::Truncated { remaining } = mc.verdict {
+                        truncated += 1;
+                        eprintln!(
+                            "deadline: {circuit}@{n_elem} truncated with {remaining}/{n_teta} \
+                             samples pending ({} completed this run); resume with --resume to \
+                             finish",
+                            mc.evaluated
+                        );
+                        continue;
+                    }
+                    (mc.summary, mc.failures, mc.first_error, mc.evaluated)
+                }
+            };
+            let elapsed = t0.elapsed().as_secs_f64();
+            if failures > 0 {
                 eprintln!(
-                    "warning: {circuit}@{n_elem}: {}/{n_teta} samples failed (first: {})",
-                    mc.failures,
-                    mc.first_error.as_deref().unwrap_or("unknown"),
+                    "warning: {circuit}@{n_elem}: {failures}/{n_teta} samples failed (first: {})",
+                    first_error.as_deref().unwrap_or("unknown"),
                 );
             }
             // Deterministic statistics line: bit patterns, not timings —
             // identical between clean and interrupted-resumed schedules.
             println!(
                 "mc {circuit}@{n_elem}: n={} mean={} std={} failures={}",
-                mc.summary.n,
-                bits_hex(mc.summary.mean),
-                bits_hex(mc.summary.std),
-                mc.failures
+                summary.n,
+                bits_hex(summary.mean),
+                bits_hex(summary.std),
+                failures
             );
             if args.deadline_exhausted(run_start) {
                 // The campaign finished (e.g. entirely from the resume
@@ -131,11 +181,8 @@ fn run() -> Result<(), BenchError> {
             }
             // Throughput of the samples evaluated in *this* run; a fully
             // resumed campaign evaluates none, so no rate is measurable.
-            let timing = if mc.evaluated > 0 {
-                Some((
-                    elapsed * 1e3 / mc.evaluated as f64,
-                    mc.evaluated as f64 / elapsed,
-                ))
+            let timing = if evaluated > 0 {
+                Some((elapsed * 1e3 / evaluated as f64, evaluated as f64 / elapsed))
             } else {
                 None
             };
@@ -171,9 +218,9 @@ fn run() -> Result<(), BenchError> {
                 cfg.set("samples_per_sec", sps);
                 cfg.set("speedup", spice_ms / ms);
             }
-            cfg.set("mc_mean_bits", bits_hex(mc.summary.mean));
-            cfg.set("mc_std_bits", bits_hex(mc.summary.std));
-            cfg.set("failures", mc.failures as u64);
+            cfg.set("mc_mean_bits", bits_hex(summary.mean));
+            cfg.set("mc_std_bits", bits_hex(summary.std));
+            cfg.set("failures", failures as u64);
             configs.set(&format!("{circuit}@{n_elem}"), cfg);
             eprintln!("done: {circuit} @ {n_elem} elements");
         }

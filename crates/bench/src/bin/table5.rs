@@ -31,6 +31,7 @@ fn main() {
 
 fn run() -> Result<(), BenchError> {
     let args = BenchArgs::parse(std::env::args().skip(1))?;
+    args.reject_shard_flags("table5")?;
     let mut meter = BenchMeter::start("table5");
     let run_start = Instant::now();
     let n_mc = if args.quick { 30 } else { 100 };

@@ -13,7 +13,10 @@ use linvar_interconnect::ChainCase;
 use linvar_numeric::SolverChoice;
 use linvar_spice::{crossing_time, Transient, TransientOptions};
 use linvar_stats::sampling::lhs_normal_streamed;
-use linvar_stats::{monte_carlo_par, MonteCarloResult};
+use linvar_stats::{
+    fingerprint_str, fingerprint_words, monte_carlo_par, run_sharded_campaign, CampaignFingerprint,
+    MonteCarloResult, RecoveryPolicy, SampleStatus, ShardConfig, ShardedCampaignResult, Summary,
+};
 
 /// Master seed of the chains campaigns (fixtures depend on it).
 pub const CHAINS_SEED: u64 = 0x00c4a15;
@@ -80,13 +83,74 @@ pub fn run_case(
     Ok(mc)
 }
 
+/// Campaign fingerprint of one chains case: seed, sample-set shape, and
+/// the case name folded into the model hash. Shard snapshots taken under
+/// one case refuse to resume another.
+pub fn chains_fingerprint(case_name: &str, n_samples: usize) -> CampaignFingerprint {
+    CampaignFingerprint {
+        master_seed: CHAINS_SEED,
+        n_samples,
+        policy: RecoveryPolicy::strict(),
+        model: fingerprint_words([fingerprint_str(case_name), n_samples as u64, 5]),
+    }
+}
+
+/// Runs the delay campaign for one case under the shard supervisor.
+///
+/// The merged statistics are bitwise-identical to [`run_case`] over the
+/// same samples — the property `ci.sh`'s shard smoke byte-diffs — while
+/// gaining per-shard checkpoints, retry, and straggler re-dispatch.
+///
+/// # Errors
+///
+/// Returns [`BenchError`] on a shard-plan problem or if every sample
+/// failed (shard deaths surface as failed samples, not errors).
+pub fn run_case_sharded(
+    case: &ChainCase,
+    samples: &[Vec<f64>],
+    threads: usize,
+    solver: SolverChoice,
+    config: &ShardConfig,
+) -> Result<ShardedCampaignResult, BenchError> {
+    let fp = chains_fingerprint(&case.name, samples.len());
+    let sharded = run_sharded_campaign(
+        samples,
+        threads,
+        RecoveryPolicy::strict(),
+        config,
+        &fp,
+        |w: &Vec<f64>, _attempt| {
+            delay_for_sample(case, w, solver)
+                .map(|d| (d, SampleStatus::Clean))
+                .map_err(|e| e.to_string())
+        },
+    )
+    .map_err(|e| BenchError::Core(e.into()))?;
+    if sharded.summary.n == 0 {
+        return Err(BenchError::Msg(format!(
+            "{}: all {} samples failed ({})",
+            case.name,
+            samples.len(),
+            sharded
+                .first_error
+                .as_deref()
+                .unwrap_or("no error recorded")
+        )));
+    }
+    Ok(sharded)
+}
+
 /// The deterministic `mc` row for one completed campaign. Statistics are
 /// rounded to `%.6e` so both backends and any worker count print the
-/// same bytes (the solver name is deliberately absent).
-pub fn mc_line(case_name: &str, mc: &MonteCarloResult) -> String {
+/// same bytes (the solver name is deliberately absent). Takes the
+/// summary and failure count rather than a result struct so the plain
+/// ([`MonteCarloResult`]) and sharded ([`ShardedCampaignResult`])
+/// drivers print through the same formatter — identity of the two rows
+/// is a CI invariant, not a coincidence.
+pub fn mc_line(case_name: &str, summary: &Summary, failures: usize) -> String {
     format!(
         "mc {case_name}: n={} mean={:.6e} std={:.6e} min={:.6e} max={:.6e} failures={}",
-        mc.summary.n, mc.summary.mean, mc.summary.std, mc.summary.min, mc.summary.max, mc.failures
+        summary.n, summary.mean, summary.std, summary.min, summary.max, failures
     )
 }
 
@@ -125,7 +189,30 @@ mod tests {
         let samples = sample_set(4);
         let d = run_case(&case, &samples, 1, SolverChoice::Dense).unwrap();
         let s = run_case(&case, &samples, 2, SolverChoice::Sparse).unwrap();
-        assert_eq!(mc_line(&case.name, &d), mc_line(&case.name, &s));
+        assert_eq!(
+            mc_line(&case.name, &d.summary, d.failures),
+            mc_line(&case.name, &s.summary, s.failures)
+        );
         assert_eq!(d.failures, 0);
+    }
+
+    #[test]
+    fn sharded_rows_match_unsharded() {
+        let case = rc_chain_case(50).unwrap();
+        let samples = sample_set(6);
+        let base = run_case(&case, &samples, 1, SolverChoice::Sparse).unwrap();
+        let base_line = mc_line(&case.name, &base.summary, base.failures);
+        for n_shards in [1, 3] {
+            let cfg = ShardConfig {
+                n_shards,
+                ..ShardConfig::default()
+            };
+            let sharded = run_case_sharded(&case, &samples, 2, SolverChoice::Sparse, &cfg).unwrap();
+            assert_eq!(
+                mc_line(&case.name, &sharded.summary, sharded.failures),
+                base_line,
+                "{n_shards} shards"
+            );
+        }
     }
 }

@@ -20,7 +20,7 @@ use linvar_circuit::CircuitError;
 use linvar_core::CoreError;
 use linvar_numeric::NumericError;
 use linvar_spice::SpiceError;
-use linvar_stats::{CampaignConfig, CheckpointError, HistogramError};
+use linvar_stats::{CampaignConfig, CheckpointError, HistogramError, ShardConfig, ShardFault};
 use linvar_teta::TetaError;
 use std::fmt;
 use std::path::PathBuf;
@@ -171,6 +171,15 @@ pub struct BenchArgs {
     /// `--metrics <path>`: also write the machine-readable metrics
     /// report (the `BENCH_<bin>.json` content) to this path.
     pub metrics: Option<PathBuf>,
+    /// `--shards <N>`: run the Monte-Carlo campaigns through the
+    /// sharded supervisor with `N` shards (output stays byte-identical
+    /// to an unsharded run).
+    pub shards: Option<usize>,
+    /// `--shard-index <K>`: process-per-shard mode — run only shard `K`
+    /// of the `--shards` plan and write its snapshot (requires
+    /// `--checkpoint`); a later `--shards N --resume <prefix>` run
+    /// merges the snapshots.
+    pub shard_index: Option<usize>,
 }
 
 impl BenchArgs {
@@ -209,10 +218,30 @@ impl BenchArgs {
                     }
                     out.deadline = Some(Duration::from_secs_f64(secs));
                 }
+                "--shards" => {
+                    let raw = value(&mut argv, "--shards")?;
+                    let n: usize = raw.parse().unwrap_or(0);
+                    if n == 0 {
+                        return Err(BenchError::Usage(format!(
+                            "--shards wants a positive shard count, got {raw:?}"
+                        )));
+                    }
+                    out.shards = Some(n);
+                }
+                "--shard-index" => {
+                    let raw = value(&mut argv, "--shard-index")?;
+                    let k: usize = raw.parse().map_err(|_| {
+                        BenchError::Usage(format!(
+                            "--shard-index wants a shard number, got {raw:?}"
+                        ))
+                    })?;
+                    out.shard_index = Some(k);
+                }
                 other => {
                     return Err(BenchError::Usage(format!(
                         "unknown argument {other:?} (expected --quick, --checkpoint <prefix>, \
-                         --resume <prefix>, --deadline <secs>, --metrics <path>)"
+                         --resume <prefix>, --deadline <secs>, --metrics <path>, --shards <N>, \
+                         --shard-index <K>)"
                     )));
                 }
             }
@@ -271,6 +300,103 @@ impl BenchArgs {
         }
         Ok(())
     }
+
+    /// Rejects the shard flags for bins without a sharded driver
+    /// (`table5`, `example2`, `ablation`, `example1`).
+    pub fn reject_shard_flags(&self, bin: &str) -> Result<(), BenchError> {
+        if self.shards.is_some() || self.shard_index.is_some() {
+            return Err(BenchError::Usage(format!(
+                "{bin} has no sharded mode (--shards/--shard-index unsupported)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Builds the [`ShardConfig`] for one campaign of this run, or
+    /// `None` when `--shards` was not given.
+    ///
+    /// * shard snapshots live under `<prefix>.<tag>.shard<k>of<N>.ckpt`
+    ///   (the campaign prefix narrowed by the tag, then by the shard
+    ///   coordinates);
+    /// * `--resume` resumes each shard from its own snapshot — this is
+    ///   also how per-process `--shard-index` outputs are merged;
+    /// * faults can be injected from the environment for smoke tests
+    ///   (see [`shard_faults_from_env`]);
+    /// * `--deadline` is refused in sharded mode: the supervisor's
+    ///   retry/backoff ladder owns the clock.
+    pub fn shard_config(&self, tag: &str) -> Result<Option<ShardConfig>, BenchError> {
+        let Some(n_shards) = self.shards else {
+            if self.shard_index.is_some() {
+                return Err(BenchError::Usage(
+                    "--shard-index requires --shards <N>".into(),
+                ));
+            }
+            return Ok(None);
+        };
+        if self.deadline.is_some() {
+            return Err(BenchError::Usage(
+                "--deadline is not supported with --shards (the shard supervisor \
+                 owns the retry/backoff clock)"
+                    .into(),
+            ));
+        }
+        if self.shard_index.is_some() && self.checkpoint.is_none() {
+            return Err(BenchError::Usage(
+                "--shard-index requires --checkpoint <prefix> (the shard snapshot is \
+                 the worker's output)"
+                    .into(),
+            ));
+        }
+        let prefix = self.checkpoint.as_ref().or(self.resume.as_ref());
+        Ok(Some(ShardConfig {
+            n_shards,
+            checkpoint: prefix.map(|p| {
+                let mut os = p.as_os_str().to_owned();
+                os.push(format!(".{tag}"));
+                PathBuf::from(os)
+            }),
+            resume: self.resume.is_some(),
+            faults: shard_faults_from_env()?,
+            ..ShardConfig::default()
+        }))
+    }
+}
+
+/// Parses `LINVAR_SHARD_FAULT=<shard>:<kind>` into an injected-fault
+/// list for the sharded bench runs (the ci.sh shard smoke kills one
+/// shard and byte-diffs the recovered output against a clean run).
+/// Kinds: `kill` (before checkpoint), `killmid` (mid checkpoint write),
+/// `corrupt`, `stall:<millis>`, `dup`.
+pub fn shard_faults_from_env() -> Result<Vec<(usize, ShardFault)>, BenchError> {
+    let Ok(raw) = std::env::var("LINVAR_SHARD_FAULT") else {
+        return Ok(Vec::new());
+    };
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(Vec::new());
+    }
+    let bad = || {
+        BenchError::Usage(format!(
+            "LINVAR_SHARD_FAULT wants <shard>:<kill|killmid|corrupt|stall:<millis>|dup>, \
+             got {raw:?}"
+        ))
+    };
+    let (shard, kind) = raw.split_once(':').ok_or_else(bad)?;
+    let shard: usize = shard.trim().parse().map_err(|_| bad())?;
+    let fault = match kind.trim() {
+        "kill" => ShardFault::KillBeforeCheckpoint,
+        "killmid" => ShardFault::KillMidWrite,
+        "corrupt" => ShardFault::CorruptCheckpoint,
+        "dup" => ShardFault::DuplicateCompletion,
+        stall => {
+            let millis = stall
+                .strip_prefix("stall:")
+                .and_then(|m| m.trim().parse().ok())
+                .ok_or_else(bad)?;
+            ShardFault::Stall { millis }
+        }
+    };
+    Ok(vec![(shard, fault)])
 }
 
 /// `f64` as its 16-hex-digit bit pattern — the bins print Monte-Carlo
@@ -403,6 +529,10 @@ mod tests {
         );
         let none = BenchArgs::parse(argv(&[])).unwrap();
         assert!(!none.quick && none.deadline.is_none() && none.metrics.is_none());
+        assert!(none.shards.is_none() && none.shard_index.is_none());
+        let sharded = BenchArgs::parse(argv(&["--shards", "4", "--shard-index", "2"])).unwrap();
+        assert_eq!(sharded.shards, Some(4));
+        assert_eq!(sharded.shard_index, Some(2));
     }
 
     #[test]
@@ -413,6 +543,11 @@ mod tests {
             vec!["--metrics"],
             vec!["--deadline", "soon"],
             vec!["--deadline", "-1"],
+            vec!["--shards"],
+            vec!["--shards", "0"],
+            vec!["--shards", "four"],
+            vec!["--shard-index"],
+            vec!["--shard-index", "two"],
         ] {
             let err = BenchArgs::parse(argv(&bad)).unwrap_err();
             assert!(matches!(err, BenchError::Usage(_)), "{bad:?} → {err}");
@@ -446,6 +581,85 @@ mod tests {
         ] {
             let a = BenchArgs::parse(argv(&flags)).unwrap();
             let err = a.reject_campaign_flags("example1").unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{flags:?}");
+        }
+    }
+
+    #[test]
+    fn shard_config_derivation_and_validation() {
+        // No --shards → no sharded mode.
+        let plain = BenchArgs::parse(argv(&["--quick"])).unwrap();
+        assert!(plain.shard_config("s27.10").unwrap().is_none());
+        // --shard-index without --shards is a usage error even when the
+        // bin would otherwise run unsharded.
+        let orphan = BenchArgs::parse(argv(&["--shard-index", "1"])).unwrap();
+        assert_eq!(orphan.shard_config("t").unwrap_err().exit_code(), 2);
+        // --deadline belongs to the unsharded campaign driver.
+        let clash = BenchArgs::parse(argv(&["--shards", "2", "--deadline", "1"])).unwrap();
+        assert_eq!(clash.shard_config("t").unwrap_err().exit_code(), 2);
+        // A per-process shard worker's snapshot IS its output.
+        let worker = BenchArgs::parse(argv(&["--shards", "2", "--shard-index", "0"])).unwrap();
+        assert_eq!(worker.shard_config("t").unwrap_err().exit_code(), 2);
+        // The shard prefix narrows the campaign prefix by the tag;
+        // --resume flips resume on and can supply the prefix alone.
+        let cfg = BenchArgs::parse(argv(&["--shards", "4", "--checkpoint", "/tmp/pfx"]))
+            .unwrap()
+            .shard_config("s27.10")
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.n_shards, 4);
+        assert!(!cfg.resume);
+        assert_eq!(
+            cfg.checkpoint.as_deref(),
+            Some(std::path::Path::new("/tmp/pfx.s27.10"))
+        );
+        let resumed = BenchArgs::parse(argv(&["--shards", "4", "--resume", "/tmp/pfx"]))
+            .unwrap()
+            .shard_config("s27.10")
+            .unwrap()
+            .unwrap();
+        assert!(resumed.resume);
+        assert_eq!(
+            resumed.checkpoint.as_deref(),
+            Some(std::path::Path::new("/tmp/pfx.s27.10"))
+        );
+    }
+
+    #[test]
+    fn shard_fault_env_parsing() {
+        // One test owns the env var end to end so parallel tests never
+        // observe a transient value.
+        std::env::remove_var("LINVAR_SHARD_FAULT");
+        assert!(shard_faults_from_env().unwrap().is_empty());
+        let cases: &[(&str, (usize, ShardFault))] = &[
+            ("1:kill", (1, ShardFault::KillBeforeCheckpoint)),
+            ("0:killmid", (0, ShardFault::KillMidWrite)),
+            ("2:corrupt", (2, ShardFault::CorruptCheckpoint)),
+            ("3:stall:250", (3, ShardFault::Stall { millis: 250 })),
+            ("1:dup", (1, ShardFault::DuplicateCompletion)),
+        ];
+        for (raw, want) in cases {
+            std::env::set_var("LINVAR_SHARD_FAULT", raw);
+            assert_eq!(shard_faults_from_env().unwrap(), vec![*want], "{raw}");
+        }
+        for bad in ["nonsense", "x:kill", "1:stab", "1:stall:", "1:stall:soon"] {
+            std::env::set_var("LINVAR_SHARD_FAULT", bad);
+            let err = shard_faults_from_env().unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad}");
+        }
+        std::env::remove_var("LINVAR_SHARD_FAULT");
+    }
+
+    #[test]
+    fn shard_flags_rejected_for_unsharded_bins() {
+        let plain = BenchArgs::parse(argv(&["--quick"])).unwrap();
+        assert!(plain.reject_shard_flags("table5").is_ok());
+        for flags in [
+            vec!["--shards", "2"],
+            vec!["--shards", "2", "--shard-index", "0"],
+        ] {
+            let a = BenchArgs::parse(argv(&flags)).unwrap();
+            let err = a.reject_shard_flags("table5").unwrap_err();
             assert_eq!(err.exit_code(), 2, "{flags:?}");
         }
     }

@@ -3,7 +3,7 @@
 use linvar_circuit::CircuitError;
 use linvar_numeric::NumericError;
 use linvar_spice::SpiceError;
-use linvar_stats::CheckpointError;
+use linvar_stats::{CheckpointError, ShardError};
 use linvar_teta::TetaError;
 use std::fmt;
 
@@ -22,6 +22,8 @@ pub enum CoreError {
     Numeric(NumericError),
     /// A campaign checkpoint could not be written, read, or validated.
     Checkpoint(CheckpointError),
+    /// A sharded campaign could not be planned or its worker failed.
+    Shard(ShardError),
     /// A stage output never completed its transition within the retry
     /// budget (the stage is unable to drive its load).
     StageStuck {
@@ -39,6 +41,7 @@ impl fmt::Display for CoreError {
             CoreError::Circuit(e) => write!(f, "circuit: {e}"),
             CoreError::Numeric(e) => write!(f, "numeric: {e}"),
             CoreError::Checkpoint(e) => write!(f, "campaign: {e}"),
+            CoreError::Shard(e) => write!(f, "shard: {e}"),
             CoreError::StageStuck { stage } => {
                 write!(f, "stage {stage} output never completed its transition")
             }
@@ -54,6 +57,7 @@ impl std::error::Error for CoreError {
             CoreError::Circuit(e) => Some(e),
             CoreError::Numeric(e) => Some(e),
             CoreError::Checkpoint(e) => Some(e),
+            CoreError::Shard(e) => Some(e),
             _ => None,
         }
     }
@@ -86,6 +90,18 @@ impl From<NumericError> for CoreError {
 impl From<CheckpointError> for CoreError {
     fn from(e: CheckpointError) -> Self {
         CoreError::Checkpoint(e)
+    }
+}
+
+impl From<ShardError> for CoreError {
+    fn from(e: ShardError) -> Self {
+        // A shard-level checkpoint failure IS a checkpoint failure;
+        // keeping the variant lets callers (and the bench error-to-exit
+        // mapping) treat both layers uniformly.
+        match e {
+            ShardError::Checkpoint(ck) => CoreError::Checkpoint(ck),
+            other => CoreError::Shard(other),
+        }
     }
 }
 

@@ -56,7 +56,9 @@ pub mod worst_case;
 
 pub use error::CoreError;
 pub use path::{GaPathResult, McPathResult, PathModel, PathSpec, VariationSources};
-pub use recovery::{DegradationReport, EngineRung, McCampaignResult, McRecoveryResult};
+pub use recovery::{
+    DegradationReport, EngineRung, McCampaignResult, McRecoveryResult, McShardedResult,
+};
 pub use stage_builder::{StageLoad, StageLoadSpec};
 pub use worst_case::WorstCaseResult;
 
@@ -64,6 +66,7 @@ pub use worst_case::WorstCaseResult;
 // callers of the recovering and durable Monte-Carlo drivers need only
 // this crate.
 pub use linvar_stats::{
-    CampaignConfig, CampaignFingerprint, CampaignVerdict, CheckpointError, HealthSummary,
-    RecoveryPolicy, SampleHealth, SampleStatus,
+    shard_checkpoint_path, CampaignConfig, CampaignFingerprint, CampaignVerdict, CheckpointError,
+    HealthSummary, RecoveryPolicy, SampleHealth, SampleStatus, ShardConfig, ShardError, ShardFault,
+    ShardOutcome, ShardPlan, ShardVerdict,
 };

@@ -20,15 +20,18 @@
 //! [`StageModel`]: linvar_teta::StageModel
 
 use crate::error::CoreError;
-use crate::recovery::{DegradationReport, EngineRung, McCampaignResult, McRecoveryResult};
+use crate::recovery::{
+    DegradationReport, EngineRung, McCampaignResult, McRecoveryResult, McShardedResult,
+};
 use crate::stage_builder::{build_stage_load, StageLoad, StageLoadSpec};
 use linvar_devices::{CellLibrary, DeviceVariation, Technology};
 use linvar_interconnect::WireTech;
 use linvar_mor::ReductionMethod;
 use linvar_stats::{
     fingerprint_str, fingerprint_words, lhs_normal, monte_carlo, monte_carlo_par,
-    monte_carlo_par_with_policy, rng_from_seed, run_campaign, CampaignConfig, CampaignFingerprint,
-    RecoveryPolicy, SampleRng, SampleStatus, Summary,
+    monte_carlo_par_with_policy, rng_from_seed, run_campaign, run_shard_worker,
+    run_sharded_campaign, CampaignConfig, CampaignFingerprint, RecoveryPolicy, SampleRng,
+    SampleStatus, ShardConfig, Summary,
 };
 use linvar_teta::{StageModel, Waveform};
 use std::sync::Mutex;
@@ -708,43 +711,190 @@ impl PathModel {
             policy,
             config,
             fingerprint,
-            |&(idx, ref sample), attempt| -> Result<(f64, SampleStatus), String> {
-                if attempt == 0 {
-                    return self
-                        .evaluate_sample(sample)
-                        .map(|d| {
-                            linvar_metrics::incr(linvar_metrics::Counter::RungVariationalRom);
-                            (d, SampleStatus::Clean)
-                        })
-                        .map_err(|e| e.to_string());
-                }
-                if policy.is_fallback_attempt(attempt) {
-                    let d = self
-                        .evaluate_sample_spice(sample)
-                        .map_err(|e| e.to_string())?;
-                    let mut report = DegradationReport::clean();
-                    report.sample_index = idx;
-                    report.rung = EngineRung::SpiceBaseline;
-                    report
-                        .notes
-                        .push("whole path served by baseline SPICE".into());
-                    reports.lock().expect("reports lock").push(report);
-                    linvar_metrics::incr(linvar_metrics::Counter::RungSpiceBaseline);
-                    return Ok((d, SampleStatus::Degraded));
-                }
-                let (d, mut report) = self
-                    .evaluate_sample_recovering(sample, policy.allow_fallback)
-                    .map_err(|e| e.to_string())?;
-                report.sample_index = idx;
-                let status = report.status();
-                linvar_metrics::incr(rung_counter(report.rung));
-                if !report.is_clean() {
-                    reports.lock().expect("reports lock").push(report);
-                }
-                Ok((d, status))
-            },
+            |s: &(usize, PathSample), attempt| self.campaign_eval(policy, &reports, s, attempt),
         )?;
         let mut reports = reports.into_inner().expect("workers joined");
+        reports.sort_by_key(|r| r.sample_index);
+        Ok(McCampaignResult {
+            delays: res.values,
+            summary: res.summary,
+            failures: res.failures,
+            failed_indices: res.failed_indices,
+            first_error: res.first_error,
+            sample_health: res.sample_health,
+            health: res.health,
+            verdict: res.verdict,
+            completed: res.completed,
+            resumed: res.resumed,
+            evaluated: res.evaluated,
+            checkpoints_written: res.checkpoints_written,
+            reports,
+        })
+    }
+
+    /// The campaign attempt ladder for one globally-indexed sample:
+    /// attempt 0 on the vROM fast path, middle attempts through the
+    /// per-stage recovery ladder, the final attempt on the whole-path
+    /// SPICE baseline. Shared verbatim by [`PathModel::monte_carlo_campaign`],
+    /// [`PathModel::monte_carlo_sharded`] and
+    /// [`PathModel::monte_carlo_shard_worker`] — structural identity of
+    /// the evaluator is one half of the sharded bitwise-identity
+    /// contract (the other is the index-ordered merge).
+    fn campaign_eval(
+        &self,
+        policy: RecoveryPolicy,
+        reports: &Mutex<Vec<DegradationReport>>,
+        s: &(usize, PathSample),
+        attempt: usize,
+    ) -> Result<(f64, SampleStatus), String> {
+        let (idx, ref sample) = *s;
+        if attempt == 0 {
+            return self
+                .evaluate_sample(sample)
+                .map(|d| {
+                    linvar_metrics::incr(linvar_metrics::Counter::RungVariationalRom);
+                    (d, SampleStatus::Clean)
+                })
+                .map_err(|e| e.to_string());
+        }
+        if policy.is_fallback_attempt(attempt) {
+            let d = self
+                .evaluate_sample_spice(sample)
+                .map_err(|e| e.to_string())?;
+            let mut report = DegradationReport::clean();
+            report.sample_index = idx;
+            report.rung = EngineRung::SpiceBaseline;
+            report
+                .notes
+                .push("whole path served by baseline SPICE".into());
+            reports.lock().expect("reports lock").push(report);
+            linvar_metrics::incr(linvar_metrics::Counter::RungSpiceBaseline);
+            return Ok((d, SampleStatus::Degraded));
+        }
+        let (d, mut report) = self
+            .evaluate_sample_recovering(sample, policy.allow_fallback)
+            .map_err(|e| e.to_string())?;
+        report.sample_index = idx;
+        let status = report.status();
+        linvar_metrics::incr(rung_counter(report.rung));
+        if !report.is_clean() {
+            reports.lock().expect("reports lock").push(report);
+        }
+        Ok((d, status))
+    }
+
+    /// Sharded Monte-Carlo path-delay campaign: the sample range is
+    /// split into `config.n_shards` supervised shards, each running the
+    /// same attempt ladder as [`PathModel::monte_carlo_campaign`] with
+    /// its own fingerprinted checkpoint, heartbeat-watched for stalls,
+    /// retried with capped backoff on death, and merged first-writer-
+    /// wins per sample index.
+    ///
+    /// The merged result is **bitwise-identical** to
+    /// [`PathModel::monte_carlo_campaign`] at any shard count and any
+    /// thread count — including under every injected
+    /// [`linvar_stats::ShardFault`].
+    ///
+    /// # Errors
+    ///
+    /// Shard-plan problems, as [`CoreError::Shard`]. Shard deaths do
+    /// not error: a permanently dead shard surfaces as `Failed` samples
+    /// in the merged health, with a typed per-shard verdict.
+    pub fn monte_carlo_sharded(
+        &self,
+        sources: &VariationSources,
+        n: usize,
+        master_seed: u64,
+        threads: usize,
+        policy: RecoveryPolicy,
+        config: &ShardConfig,
+    ) -> Result<McShardedResult, CoreError> {
+        let mut rng = rng_from_seed(master_seed);
+        let samples = self.draw_samples(sources, n, &mut rng);
+        let indexed: Vec<(usize, PathSample)> = samples.into_iter().enumerate().collect();
+        let fingerprint = CampaignFingerprint {
+            master_seed,
+            n_samples: n,
+            policy,
+            model: self.campaign_fingerprint(sources),
+        };
+        let reports: Mutex<Vec<DegradationReport>> = Mutex::new(Vec::new());
+        let res = run_sharded_campaign(
+            &indexed,
+            threads,
+            policy,
+            config,
+            &fingerprint,
+            |s: &(usize, PathSample), attempt| self.campaign_eval(policy, &reports, s, attempt),
+        )?;
+        let mut reports = reports.into_inner().expect("supervisor joined");
+        // Shard retries and straggler re-dispatches can evaluate a
+        // sample more than once; reports are pure per (sample, attempt
+        // trail), so keeping the first of each index is exact.
+        reports.sort_by_key(|r| r.sample_index);
+        reports.dedup_by_key(|r| r.sample_index);
+        Ok(McShardedResult {
+            delays: res.values,
+            summary: res.summary,
+            failures: res.failures,
+            failed_indices: res.failed_indices,
+            first_error: res.first_error,
+            sample_health: res.sample_health,
+            health: res.health,
+            completed: res.completed,
+            resumed: res.resumed,
+            evaluated: res.evaluated,
+            checkpoints_written: res.checkpoints_written,
+            shards: res.shards,
+            reports,
+        })
+    }
+
+    /// Runs exactly one shard of the plan — the process-per-shard mode
+    /// behind the bench bins' `--shard-index` flag. The shard's
+    /// fingerprinted snapshot is its output; a later
+    /// [`PathModel::monte_carlo_sharded`] over the same prefix with
+    /// `resume: true` merges the per-process snapshots without
+    /// re-evaluating anything.
+    ///
+    /// # Errors
+    ///
+    /// Shard-plan problems (including a missing checkpoint prefix) and
+    /// the shard campaign's own checkpoint errors, as
+    /// [`CoreError::Shard`].
+    // Mirrors `monte_carlo_campaign`'s signature plus the shard index;
+    // collapsing the knobs into a struct would just move the noise.
+    #[allow(clippy::too_many_arguments)]
+    pub fn monte_carlo_shard_worker(
+        &self,
+        sources: &VariationSources,
+        n: usize,
+        master_seed: u64,
+        threads: usize,
+        policy: RecoveryPolicy,
+        config: &ShardConfig,
+        shard_index: usize,
+    ) -> Result<McCampaignResult, CoreError> {
+        let mut rng = rng_from_seed(master_seed);
+        let samples = self.draw_samples(sources, n, &mut rng);
+        let indexed: Vec<(usize, PathSample)> = samples.into_iter().enumerate().collect();
+        let fingerprint = CampaignFingerprint {
+            master_seed,
+            n_samples: n,
+            policy,
+            model: self.campaign_fingerprint(sources),
+        };
+        let reports: Mutex<Vec<DegradationReport>> = Mutex::new(Vec::new());
+        let res = run_shard_worker(
+            &indexed,
+            threads,
+            policy,
+            config,
+            &fingerprint,
+            shard_index,
+            |s: &(usize, PathSample), attempt| self.campaign_eval(policy, &reports, s, attempt),
+        )?;
+        let mut reports = reports.into_inner().expect("worker joined");
         reports.sort_by_key(|r| r.sample_index);
         Ok(McCampaignResult {
             delays: res.values,

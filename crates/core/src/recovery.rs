@@ -243,6 +243,49 @@ pub struct McCampaignResult {
     pub reports: Vec<DegradationReport>,
 }
 
+/// Result of a sharded Monte-Carlo campaign
+/// ([`crate::PathModel::monte_carlo_sharded`]).
+///
+/// The statistical fields obey the sharded bitwise-identity contract:
+/// at any shard count and thread count — and under every injected
+/// [`linvar_stats::ShardFault`] — they are byte-identical to the
+/// single-process [`McCampaignResult`] (see DESIGN.md, "Sharding
+/// protocol & merge invariants"). The bookkeeping fields count real
+/// work, which under faults legitimately exceeds the single-process
+/// figures.
+#[derive(Debug, Clone)]
+pub struct McShardedResult {
+    /// Path delay per successful sample (s), in global index order.
+    pub delays: Vec<f64>,
+    /// Summary statistics of the delays.
+    pub summary: Summary,
+    /// Samples lost after exhausting the attempt budget, plus samples
+    /// owned by permanently dead shards.
+    pub failures: usize,
+    /// Indices of the failed samples, ascending.
+    pub failed_indices: Vec<usize>,
+    /// Diagnostic of the lowest **global**-index failure, if any.
+    pub first_error: Option<String>,
+    /// Per-sample status and attempt count, in global index order.
+    pub sample_health: Vec<SampleHealth>,
+    /// Run-level tally; dead shards appear as `Failed` samples.
+    pub health: HealthSummary,
+    /// Samples delivered by shard attempts.
+    pub completed: usize,
+    /// Samples restored from shard snapshots, summed over attempts.
+    pub resumed: usize,
+    /// Samples evaluated, summed over every shard attempt (including
+    /// attempts that later died).
+    pub evaluated: usize,
+    /// Shard snapshots written across all attempts.
+    pub checkpoints_written: usize,
+    /// Per-shard verdicts, in shard order.
+    pub shards: Vec<linvar_stats::ShardVerdict>,
+    /// Degradation reports of the assisted samples evaluated this run,
+    /// ascending index, deduplicated across shard re-runs.
+    pub reports: Vec<DegradationReport>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -86,10 +86,12 @@ pub enum Phase {
     SparseNumericFactor,
     /// Sparse-LU triangular solve.
     SparseSolve,
+    /// One supervised shard attempt (launch through delivery or death).
+    ShardRun,
 }
 
 /// Number of [`Phase`] variants.
-pub const N_PHASES: usize = 14;
+pub const N_PHASES: usize = 15;
 
 impl Phase {
     /// Every phase, in declaration order (= index order).
@@ -108,6 +110,7 @@ impl Phase {
         Phase::SparseSymbolic,
         Phase::SparseNumericFactor,
         Phase::SparseSolve,
+        Phase::ShardRun,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -129,6 +132,7 @@ impl Phase {
             Phase::SparseSymbolic => "symbolic",
             Phase::SparseNumericFactor => "numeric_factor",
             Phase::SparseSolve => "solve",
+            Phase::ShardRun => "shard_run",
         }
     }
 }
@@ -185,10 +189,25 @@ pub enum Counter {
     CheckpointsWritten,
     /// Bytes of checkpoint payload written.
     CheckpointBytes,
+    /// Shard attempts launched by the supervisor (first tries + retries
+    /// + re-dispatches all pass through here).
+    ShardsLaunched,
+    /// Shards whose sample range was fully delivered.
+    ShardsCompleted,
+    /// Shard retry-ladder attempts beyond each shard's first.
+    ShardRetries,
+    /// Straggler shards re-dispatched by the watchdog.
+    ShardsRedispatched,
+    /// Faults injected by the shard fault harness.
+    ShardFaultsInjected,
+    /// Sample deliveries dropped by first-writer-wins dedup.
+    ShardMergeDuplicates,
+    /// Sample records accepted into the merged result.
+    ShardMergedSamples,
 }
 
 /// Number of [`Counter`] variants.
-pub const N_COUNTERS: usize = 23;
+pub const N_COUNTERS: usize = 30;
 
 impl Counter {
     /// Every counter, in declaration order (= index order).
@@ -216,6 +235,13 @@ impl Counter {
         Counter::McSampleRetries,
         Counter::CheckpointsWritten,
         Counter::CheckpointBytes,
+        Counter::ShardsLaunched,
+        Counter::ShardsCompleted,
+        Counter::ShardRetries,
+        Counter::ShardsRedispatched,
+        Counter::ShardFaultsInjected,
+        Counter::ShardMergeDuplicates,
+        Counter::ShardMergedSamples,
     ];
 
     /// Stable dotted name used as the JSON key.
@@ -244,6 +270,13 @@ impl Counter {
             Counter::McSampleRetries => "mc.sample_retries",
             Counter::CheckpointsWritten => "campaign.checkpoints_written",
             Counter::CheckpointBytes => "campaign.checkpoint_bytes",
+            Counter::ShardsLaunched => "shard.launched",
+            Counter::ShardsCompleted => "shard.completed",
+            Counter::ShardRetries => "shard.retries",
+            Counter::ShardsRedispatched => "shard.redispatched",
+            Counter::ShardFaultsInjected => "shard.faults_injected",
+            Counter::ShardMergeDuplicates => "shard.merge_duplicates",
+            Counter::ShardMergedSamples => "shard.merged_samples",
         }
     }
 }

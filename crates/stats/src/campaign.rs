@@ -357,11 +357,22 @@ pub fn save_checkpoint(
     std::fs::rename(&tmp, path).map_err(|e| io_err("rename", path, e))?;
     linvar_metrics::incr(linvar_metrics::Counter::CheckpointsWritten);
     linvar_metrics::count(linvar_metrics::Counter::CheckpointBytes, body.len() as u64);
-    // Make the rename itself durable. Directory fsync is a unix-ism;
-    // elsewhere (and on filesystems that refuse it) the rename already
-    // happened, so a failure here is not worth losing the run over.
+    // Make the rename itself durable: until the parent directory's entry
+    // table reaches disk, a crash can forget the just-renamed snapshot
+    // even though its data blocks were fsynced. Invariant: after
+    // `save_checkpoint` returns Ok, a crash at any later point leaves the
+    // complete new snapshot visible under `path`. Directory fsync is a
+    // unix-ism; elsewhere (and on filesystems that refuse it) the rename
+    // already happened, so a failure here is not worth losing the run
+    // over. A bare relative filename has an empty `parent()`, which
+    // means the current directory — fsync "." rather than silently
+    // skipping the directory sync for that spelling.
     #[cfg(unix)]
-    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+    {
+        let dir = match path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d,
+            _ => Path::new("."),
+        };
         if let Ok(d) = std::fs::File::open(dir) {
             let _ = d.sync_all();
         }

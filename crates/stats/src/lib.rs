@@ -16,6 +16,11 @@
 //!   checkpoints, fingerprint-validated resume, deadline budgets and a
 //!   cooperative per-sample watchdog (see DESIGN.md, "Durable campaigns:
 //!   checkpoint format & resume invariants");
+//! * [`shard`] — the sharded campaign supervisor: fingerprinted per-shard
+//!   checkpoints, heartbeats with a straggler-re-dispatching watchdog, a
+//!   retry ladder with capped exponential backoff, and a first-writer-wins
+//!   merge that is bitwise-identical to a single-process run (see
+//!   DESIGN.md, "Sharding protocol & merge invariants");
 //! * [`gradient`] — Gradient Analysis (§4.1.3, eq. 24): σ of a performance
 //!   from first-order sensitivities of uncorrelated sources;
 //! * [`histogram`] — fixed-bin histograms with a text renderer for the
@@ -27,6 +32,7 @@ pub mod histogram;
 pub mod montecarlo;
 pub mod pca;
 pub mod sampling;
+pub mod shard;
 pub mod summary;
 pub mod timing_yield;
 
@@ -47,6 +53,10 @@ pub use pca::{Pca, PcaModel};
 pub use sampling::{
     latin_hypercube, latin_hypercube_streamed, lhs_normal, lhs_normal_streamed, lhs_uniform,
     normal_samples, rng_from_seed, uniform_samples, SampleRng, SeedStream,
+};
+pub use shard::{
+    run_shard_worker, run_sharded_campaign, shard_checkpoint_path, shard_fingerprint, ShardConfig,
+    ShardError, ShardFault, ShardOutcome, ShardPlan, ShardVerdict, ShardedCampaignResult,
 };
 pub use summary::Summary;
 pub use timing_yield::{empirical_yield, normal_cdf, normal_yield, period_for_yield};

@@ -465,3 +465,167 @@ fn degradation_report_display_names_the_serving_rung() {
         }
     }
 }
+
+// ------------------------------------------------------------------ shard
+
+/// Shared scaffolding for the shard-layer rows: a deterministic mixed
+/// workload run once unsharded (the parity reference) and once under the
+/// supervisor with one injected [`ShardFault`].
+mod shard_rows {
+    use linvar::stats::{
+        run_campaign, run_sharded_campaign, CampaignConfig, CampaignFingerprint, CampaignResult,
+        SampleStatus, ShardConfig, ShardFault, ShardOutcome, ShardedCampaignResult,
+    };
+    use linvar_core::RecoveryPolicy;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    pub const N: usize = 16;
+
+    pub fn eval(s: &usize, attempt: usize) -> Result<(f64, SampleStatus), String> {
+        let k = *s;
+        if k == 9 {
+            return Err(format!("injected permanent failure at {k}"));
+        }
+        if k % 5 == 2 && attempt == 0 {
+            return Err(format!("injected transient at {k}"));
+        }
+        Ok(((k as f64).cos(), SampleStatus::Clean))
+    }
+
+    fn fingerprint() -> CampaignFingerprint {
+        CampaignFingerprint {
+            master_seed: 3,
+            n_samples: N,
+            policy: RecoveryPolicy::default(),
+            model: linvar::stats::fingerprint_str("fault-matrix-shard"),
+        }
+    }
+
+    pub fn reference() -> CampaignResult {
+        let samples: Vec<usize> = (0..N).collect();
+        run_campaign(
+            &samples,
+            1,
+            RecoveryPolicy::default(),
+            &CampaignConfig::default(),
+            fingerprint(),
+            eval,
+        )
+        .expect("reference campaign")
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let k = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "linvar-fault-matrix-shard-{}-{tag}-{k}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        dir
+    }
+
+    /// Runs the workload under the supervisor with `fault` injected into
+    /// shard 1, asserts recovery parity with the unsharded reference,
+    /// and returns the result for fault-specific verdict assertions.
+    pub fn run_with_fault(tag: &str, fault: ShardFault) -> ShardedCampaignResult {
+        let samples: Vec<usize> = (0..N).collect();
+        let reference = reference();
+        let dir = tmp_dir(tag);
+        let cfg = ShardConfig {
+            n_shards: 4,
+            checkpoint: Some(dir.join("campaign")),
+            faults: vec![(1, fault)],
+            stall_after: Some(Duration::from_millis(50)),
+            poll_interval: Duration::from_millis(5),
+            ..ShardConfig::default()
+        };
+        let sharded = run_sharded_campaign(
+            &samples,
+            2,
+            RecoveryPolicy::default(),
+            &cfg,
+            &fingerprint(),
+            eval,
+        )
+        .expect("supervised campaign");
+        assert_eq!(sharded.values, reference.values, "{tag}: values");
+        assert_eq!(
+            sharded.sample_health, reference.sample_health,
+            "{tag}: sample health"
+        );
+        assert_eq!(sharded.health, reference.health, "{tag}: health");
+        assert_eq!(
+            sharded.first_error, reference.first_error,
+            "{tag}: first_error"
+        );
+        assert_eq!(
+            sharded.summary.mean.to_bits(),
+            reference.summary.mean.to_bits(),
+            "{tag}: mean bits"
+        );
+        assert!(
+            sharded
+                .shards
+                .iter()
+                .all(|v| v.outcome == ShardOutcome::Completed),
+            "{tag}: every shard must recover: {:?}",
+            sharded.shards
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        sharded
+    }
+}
+
+#[test]
+fn killed_shard_is_retried_to_parity() {
+    use linvar::stats::ShardFault;
+    // Shard 1 dies before it can write a snapshot: the retry ladder
+    // re-runs it from scratch and the merge is still bitwise parity.
+    let res = shard_rows::run_with_fault("kill", ShardFault::KillBeforeCheckpoint);
+    let victim = res.shards.iter().find(|v| v.shard == 1).unwrap();
+    assert!(
+        victim.attempts >= 2,
+        "death before checkpoint must consume a retry: {victim:?}"
+    );
+}
+
+#[test]
+fn corrupted_shard_checkpoint_is_rejected_and_rerun() {
+    use linvar::stats::ShardFault;
+    // Shard 1 dies leaving a corrupt snapshot: prevalidation on the
+    // retry rejects it (typed, no panic) and re-runs the shard fresh.
+    let res = shard_rows::run_with_fault("corrupt", ShardFault::CorruptCheckpoint);
+    let victim = res.shards.iter().find(|v| v.shard == 1).unwrap();
+    assert!(victim.attempts >= 2, "corruption costs a retry: {victim:?}");
+}
+
+#[test]
+fn stalled_shard_is_redispatched_to_parity() {
+    use linvar::stats::ShardFault;
+    // Shard 1 goes silent past the heartbeat deadline: the watchdog
+    // re-dispatches it; first-writer-wins dedup keeps the merge exact
+    // even when both the stalled original and the replacement deliver.
+    let res = shard_rows::run_with_fault("stall", ShardFault::Stall { millis: 300 });
+    assert!(
+        res.shards.iter().any(|v| v.redispatched),
+        "watchdog must have re-dispatched the stalled shard: {:?}",
+        res.shards
+    );
+}
+
+#[test]
+fn duplicate_shard_completion_is_deduplicated() {
+    use linvar::stats::ShardFault;
+    // Shard 1 delivers its results twice: per-sample first-writer-wins
+    // dedup must keep every slot single-writer — the merged bookkeeping
+    // counts each sample exactly once.
+    let res = shard_rows::run_with_fault("dup", ShardFault::DuplicateCompletion);
+    assert_eq!(
+        res.completed,
+        shard_rows::N,
+        "every sample merged exactly once"
+    );
+}

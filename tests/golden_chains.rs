@@ -76,7 +76,7 @@ fn golden_chains_rows_across_backends_and_threads() {
     let mut rows = Vec::new();
     for case in &cases {
         let base = run_case(case, &samples, 1, SolverChoice::Sparse).unwrap();
-        let base_line = mc_line(&case.name, &base);
+        let base_line = mc_line(&case.name, &base.summary, base.failures);
         // Thread sweep: bitwise-identical values, hence identical rows.
         for threads in [2, 8] {
             let mc = run_case(case, &samples, threads, SolverChoice::Sparse).unwrap();
@@ -85,13 +85,13 @@ fn golden_chains_rows_across_backends_and_threads() {
                 "{}: sparse values differ between 1 and {threads} threads",
                 case.name
             );
-            assert_eq!(mc_line(&case.name, &mc), base_line);
+            assert_eq!(mc_line(&case.name, &mc.summary, mc.failures), base_line);
         }
         // Backend sweep: dense is feasible at these quick-suite sizes and
         // must print the very same bytes.
         let dense = run_case(case, &samples, 2, SolverChoice::Dense).unwrap();
         assert_eq!(
-            mc_line(&case.name, &dense),
+            mc_line(&case.name, &dense.summary, dense.failures),
             base_line,
             "{}: dense and sparse mc rows diverged",
             case.name

@@ -139,3 +139,71 @@ fn disabled_sink_leaves_results_and_sink_untouched() {
     );
     assert!(counters.contains("\"mc.samples_completed\": 8"));
 }
+
+#[test]
+fn shard_counters_are_identical_across_thread_counts() {
+    use linvar::stats::ShardConfig;
+    let _guard = metrics::test_lock();
+    let model = s27_model();
+    let sources = VariationSources::example3(0.33, 0.33);
+    let cfg = ShardConfig {
+        n_shards: 2,
+        ..ShardConfig::default()
+    };
+    let run = |threads: usize| {
+        metrics::reset();
+        metrics::enable();
+        let res = model
+            .monte_carlo_sharded(
+                &sources,
+                N_SAMPLES,
+                MASTER_SEED,
+                threads,
+                RecoveryPolicy::default(),
+                &cfg,
+            )
+            .expect("sharded run");
+        metrics::flush_local();
+        let counters = metrics::snapshot().counters_json();
+        metrics::disable();
+        metrics::reset();
+        (res, counters)
+    };
+    let (ref_res, ref_counters) = run(1);
+    assert_eq!(ref_res.failures, 0, "{:?}", ref_res.first_error);
+    // The supervisor's own counters are in the report next to the inner
+    // campaigns' mc.* tallies (which must match an unsharded run —
+    // shard accounting never inflates the sample bookkeeping).
+    for needle in [
+        "\"shard.launched\": 2",
+        "\"shard.completed\": 2",
+        "\"shard.merged_samples\": 8",
+        "\"shard.retries\": 0",
+        "\"shard.redispatched\": 0",
+        "\"shard.faults_injected\": 0",
+        "\"shard.merge_duplicates\": 0",
+        "\"phase.shard_run.calls\": 2",
+        "\"mc.samples_completed\": 8",
+    ] {
+        assert!(
+            ref_counters.contains(needle),
+            "missing {needle} in:\n{ref_counters}"
+        );
+    }
+    for threads in [2usize, 8] {
+        let (res, counters) = run(threads);
+        assert_eq!(
+            counters, ref_counters,
+            "shard counters diverged at {threads} threads"
+        );
+        assert_eq!(
+            res.delays.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+            ref_res
+                .delays
+                .iter()
+                .map(|d| d.to_bits())
+                .collect::<Vec<_>>(),
+            "sharded results must not depend on the thread count"
+        );
+    }
+}
