@@ -238,4 +238,96 @@ else
     echo "    (python3 unavailable; trajectory appended, regression check skipped)"
 fi
 
+echo "==> campaign-service smoke (kill -9 mid-campaign + restart, byte-identical result)"
+SB=target/release/serve
+serve_wait_up() {
+    i=0
+    while ! "$SB" health --addr "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 60 ]; then
+            echo "campaign server at $1 never became healthy" >&2
+            return 1
+        fi
+        sleep 0.25
+    done
+}
+# Reference: the same campaign through an uninterrupted server.
+"$SB" serve --addr 127.0.0.1:17441 --jobs-dir "$ckdir/serve-ref" \
+    >"$ckdir/serve_ref.log" 2>&1 &
+serve_ref_pid=$!
+serve_wait_up 127.0.0.1:17441
+ref_job=$("$SB" submit --addr 127.0.0.1:17441 --model demo-slow --n 40 --seed 7 \
+    2>/dev/null)
+"$SB" wait --addr 127.0.0.1:17441 --job "$ref_job" --timeout-secs 120 \
+    >"$ckdir/serve_ref.mc"
+"$SB" shutdown --addr 127.0.0.1:17441 >/dev/null
+wait "$serve_ref_pid" || {
+    echo "graceful shutdown of the reference campaign server did not exit 0" >&2
+    cat "$ckdir/serve_ref.log" >&2
+    exit 1
+}
+# Interrupted: kill -9 the server mid-campaign, restart on the same job
+# store, and let the recovery scan resume the job from its checkpoint.
+"$SB" serve --addr 127.0.0.1:17442 --jobs-dir "$ckdir/serve-kill" \
+    >"$ckdir/serve_kill1.log" 2>&1 &
+serve_kill_pid=$!
+serve_wait_up 127.0.0.1:17442
+kill_job=$("$SB" submit --addr 127.0.0.1:17442 --model demo-slow --n 40 --seed 7 \
+    2>/dev/null)
+sleep 1
+kill -9 "$serve_kill_pid"
+wait "$serve_kill_pid" 2>/dev/null || true
+"$SB" serve --addr 127.0.0.1:17442 --jobs-dir "$ckdir/serve-kill" \
+    >"$ckdir/serve_kill2.log" 2>&1 &
+serve_kill2_pid=$!
+serve_wait_up 127.0.0.1:17442
+"$SB" wait --addr 127.0.0.1:17442 --job "$kill_job" --timeout-secs 120 \
+    >"$ckdir/serve_kill.mc"
+"$SB" shutdown --addr 127.0.0.1:17442 >/dev/null
+wait "$serve_kill2_pid" || true
+if ! diff -u "$ckdir/serve_ref.mc" "$ckdir/serve_kill.mc"; then
+    echo "campaign-service result differs after kill -9 + restart" >&2
+    exit 1
+fi
+if ! grep -q "recovery scan: requeued 1 job" "$ckdir/serve_kill2.log"; then
+    echo "restarted campaign server did not report a recovery scan:" >&2
+    cat "$ckdir/serve_kill2.log" >&2
+    exit 1
+fi
+
+echo "==> campaign-service overload smoke (queue depth 1 sheds with 429)"
+"$SB" serve --addr 127.0.0.1:17443 --jobs-dir "$ckdir/serve-shed" \
+    --workers 1 --queue 1 >"$ckdir/serve_shed.log" 2>&1 &
+serve_shed_pid=$!
+serve_wait_up 127.0.0.1:17443
+"$SB" submit --addr 127.0.0.1:17443 --model demo-slow --n 400 --seed 1 >/dev/null 2>&1
+"$SB" submit --addr 127.0.0.1:17443 --model demo-slow --n 400 --seed 2 >/dev/null 2>&1
+shed_status=0
+"$SB" submit --addr 127.0.0.1:17443 --model demo-slow --n 400 --seed 3 \
+    >/dev/null 2>"$ckdir/serve_shed.err" || shed_status=$?
+if [ "$shed_status" -eq 0 ] || ! grep -q "429" "$ckdir/serve_shed.err"; then
+    echo "full queue did not shed with 429:" >&2
+    cat "$ckdir/serve_shed.err" >&2
+    exit 1
+fi
+"$SB" health --addr 127.0.0.1:17443 >/dev/null
+"$SB" shutdown --addr 127.0.0.1:17443 >/dev/null
+wait "$serve_shed_pid" || true
+
+echo "==> campaign-service load generator (latency percentiles + shed counts)"
+LINVAR_TRAJECTORY=BENCH_trajectory.json LINVAR_TRAJECTORY_LABEL=serve-loadgen \
+    cargo run --release -q -p linvar-bench --bin loadgen -- --quick \
+    >"$ckdir/loadgen.out" 2>&1 || {
+    echo "loadgen failed:" >&2
+    cat "$ckdir/loadgen.out" >&2
+    exit 1
+}
+for key in '"loadgen.p50_ms"' '"loadgen.p95_ms"' '"loadgen.p99_ms"' \
+    '"loadgen.throughput_jobs_per_sec"' '"overload.shed_429"' '"serve.requests"'; do
+    if ! grep -q "$key" BENCH_serve.json; then
+        echo "BENCH_serve.json is missing required key $key" >&2
+        exit 1
+    fi
+done
+
 echo "==> ci green"

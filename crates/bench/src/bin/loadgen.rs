@@ -1,0 +1,262 @@
+//! Load generator for the campaign service: spins up an in-process
+//! server on an ephemeral port, hammers it over real TCP from
+//! concurrent tenants, and records the robustness numbers of the
+//! service contract in `BENCH_serve.json`:
+//!
+//! * submit→complete latency p50/p95/p99 (milliseconds) and job
+//!   throughput under concurrent multi-tenant load;
+//! * admission-control behaviour under deliberate overload — the bin
+//!   saturates the bounded queue with slow jobs and asserts the server
+//!   sheds with 429 + `Retry-After` while `/healthz` keeps answering.
+//!
+//! Everything runs in one process (server threads + client threads), so
+//! the bin is self-contained for CI. `--quick` shrinks tenants × jobs.
+//!
+//! Run with `cargo run --release -p linvar-bench --bin loadgen [-- --quick]`.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use linvar_bench::{BenchArgs, BenchError, BenchMeter};
+use linvar_core::{ModelRegistry, SyntheticModel};
+use linvar_metrics::Json;
+use linvar_serve::{request, JsonGet, ServeConfig, Server};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("loadgen: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::parse(std::env::args().skip(1))?;
+    args.reject_campaign_flags("loadgen")?;
+    args.reject_shard_flags("loadgen")?;
+    let mut meter = BenchMeter::start("serve");
+
+    let (tenants, jobs_per_tenant, n_samples) = if args.quick { (4, 6, 8) } else { (8, 20, 16) };
+    println!("==== loadgen: campaign-service latency and overload behaviour ====");
+    println!(
+        "({tenants} tenants x {jobs_per_tenant} jobs, {n_samples} samples/job, \
+         in-process server on an ephemeral port)\n"
+    );
+
+    let jobs_dir = std::env::temp_dir().join(format!("linvar-loadgen-{}", std::process::id()));
+    let mut registry = ModelRegistry::with_builtins();
+    // A model slow enough that latency is dominated by service time,
+    // not socket chatter — and that can back the queue up on demand.
+    registry.register(Arc::new(SyntheticModel::new(
+        "loadgen",
+        Duration::from_millis(1),
+    )));
+    registry.register(Arc::new(SyntheticModel::new(
+        "loadgen-blocker",
+        Duration::from_millis(25),
+    )));
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_cap: 8,
+        jobs_dir: jobs_dir.clone(),
+        ..ServeConfig::default()
+    };
+    let handle =
+        Server::start(config, registry).map_err(|e| BenchError::Msg(format!("start: {e}")))?;
+    let addr = handle.addr().to_string();
+
+    let result = (|| -> Result<(), BenchError> {
+        latency_phase(&addr, tenants, jobs_per_tenant, n_samples, &mut meter)?;
+        overload_phase(&addr, &mut meter)
+    })();
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&jobs_dir);
+    result?;
+
+    meter.set("loadgen.tenants", tenants as u64);
+    meter.set("loadgen.jobs_per_tenant", jobs_per_tenant as u64);
+    meter.finish(&args)?;
+    Ok(())
+}
+
+/// Concurrent tenants submit and await distinct jobs; every
+/// submit→terminal round trip is one latency sample.
+fn latency_phase(
+    addr: &str,
+    tenants: usize,
+    jobs_per_tenant: usize,
+    n_samples: usize,
+    meter: &mut BenchMeter,
+) -> Result<(), BenchError> {
+    let shed = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let mut threads = Vec::new();
+    for tenant in 0..tenants {
+        let addr = addr.to_string();
+        let shed = Arc::clone(&shed);
+        threads.push(std::thread::spawn(move || -> Result<Vec<f64>, String> {
+            let mut latencies = Vec::with_capacity(jobs_per_tenant);
+            for k in 0..jobs_per_tenant {
+                // Distinct seeds per (tenant, job): identical campaigns
+                // dedup by design, and dedup is not what we measure here.
+                let seed = (tenant * 100_000 + k) as u64 + 1;
+                let mut body = Json::obj();
+                body.set("model", "loadgen")
+                    .set("n", n_samples as u64)
+                    .set("seed", seed)
+                    .set("tenant", format!("tenant{tenant}"));
+                let start = Instant::now();
+                let id = loop {
+                    let resp = request(&addr, "POST", "/jobs", Some(&body), CLIENT_TIMEOUT)?;
+                    if resp.status == 429 {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                        let secs = resp.retry_after.unwrap_or(1);
+                        std::thread::sleep(
+                            Duration::from_millis(50).min(Duration::from_secs(secs)),
+                        );
+                        continue;
+                    }
+                    if !resp.ok() {
+                        return Err(format!("submit: status {}", resp.status));
+                    }
+                    break resp
+                        .body
+                        .get_str("job")
+                        .ok_or("submit: no job id")?
+                        .to_string();
+                };
+                loop {
+                    let resp = request(
+                        &addr,
+                        "GET",
+                        &format!("/jobs/{id}/result"),
+                        None,
+                        CLIENT_TIMEOUT,
+                    )?;
+                    match resp.status {
+                        200 => break,
+                        202 => std::thread::sleep(Duration::from_millis(5)),
+                        other => return Err(format!("result: status {other}")),
+                    }
+                }
+                latencies.push(start.elapsed().as_secs_f64() * 1e3);
+            }
+            Ok(latencies)
+        }));
+    }
+    let mut latencies = Vec::new();
+    for t in threads {
+        let per_tenant = t
+            .join()
+            .map_err(|_| BenchError::Msg("tenant thread panicked".into()))?
+            .map_err(BenchError::Msg)?;
+        latencies.extend(per_tenant);
+    }
+    let wall = t0.elapsed().as_secs_f64().max(1e-12);
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let total = latencies.len();
+    let pct = |p: f64| latencies[((total as f64 * p) as usize).min(total - 1)];
+    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+    let throughput = total as f64 / wall;
+    let shed_total = shed.load(Ordering::Relaxed);
+    println!(
+        "{total} jobs in {wall:.2}s: {throughput:.1} jobs/sec; latency p50 {p50:.1}ms \
+         p95 {p95:.1}ms p99 {p99:.1}ms; {shed_total} submission(s) shed with 429"
+    );
+    meter.set("loadgen.jobs", total as u64);
+    meter.set("loadgen.p50_ms", p50);
+    meter.set("loadgen.p95_ms", p95);
+    meter.set("loadgen.p99_ms", p99);
+    meter.set("loadgen.throughput_jobs_per_sec", throughput);
+    meter.set("loadgen.latency_shed_429", shed_total);
+    Ok(())
+}
+
+/// Saturates the bounded queue with slow jobs until the server sheds,
+/// asserting the backpressure contract: 429 + `Retry-After`, `/healthz`
+/// still responsive, no unbounded growth.
+fn overload_phase(addr: &str, meter: &mut BenchMeter) -> Result<(), BenchError> {
+    let mut submitted = Vec::new();
+    let mut shed = 0u64;
+    let mut retry_after_seen = false;
+    for k in 0..200u64 {
+        let mut body = Json::obj();
+        body.set("model", "loadgen-blocker")
+            .set("n", 400u64)
+            .set("seed", 1_000_000 + k)
+            .set("tenant", "overload");
+        let resp =
+            request(addr, "POST", "/jobs", Some(&body), CLIENT_TIMEOUT).map_err(BenchError::Msg)?;
+        match resp.status {
+            429 => {
+                shed += 1;
+                retry_after_seen |= resp.retry_after.is_some();
+                if shed >= 3 {
+                    break;
+                }
+            }
+            200 => {
+                if let Some(id) = resp.body.get_str("job") {
+                    submitted.push(id.to_string());
+                }
+            }
+            other => return Err(BenchError::Msg(format!("overload submit: status {other}"))),
+        }
+    }
+    if shed == 0 {
+        return Err(BenchError::Msg(
+            "queue never filled: admission control untested".into(),
+        ));
+    }
+    if !retry_after_seen {
+        return Err(BenchError::Msg(
+            "429 responses carried no Retry-After".into(),
+        ));
+    }
+    // The service must stay responsive while saturated.
+    let health = request(addr, "GET", "/healthz", None, CLIENT_TIMEOUT).map_err(BenchError::Msg)?;
+    if health.status != 200 || health.body.get_bool("ok") != Some(true) {
+        return Err(BenchError::Msg(format!(
+            "healthz under overload: status {}",
+            health.status
+        )));
+    }
+    let queued = health.body.get_u64("queued").unwrap_or(0);
+    let cap = health.body.get_u64("queue_cap").unwrap_or(0);
+    if queued > cap {
+        return Err(BenchError::Msg(format!(
+            "queue grew past its bound: {queued} > {cap}"
+        )));
+    }
+    // Drain fast: cancel everything still pending.
+    let mut cancelled = 0u64;
+    for id in &submitted {
+        let resp = request(
+            addr,
+            "POST",
+            &format!("/jobs/{id}/cancel"),
+            None,
+            CLIENT_TIMEOUT,
+        )
+        .map_err(BenchError::Msg)?;
+        if resp.status == 200 || resp.status == 202 {
+            cancelled += 1;
+        }
+    }
+    println!(
+        "overload: {admitted} blocker(s) admitted, {shed} shed with 429 (Retry-After \
+         present), healthz ok at queue {queued}/{cap}, {cancelled} cancelled to drain",
+        admitted = submitted.len()
+    );
+    meter.set("overload.admitted", submitted.len() as u64);
+    meter.set("overload.shed_429", shed);
+    meter.set("overload.queued_at_saturation", queued);
+    meter.set("overload.queue_cap", cap);
+    Ok(())
+}

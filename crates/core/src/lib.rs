@@ -50,6 +50,7 @@
 pub mod error;
 pub mod path;
 pub mod recovery;
+pub mod registry;
 pub mod spice_ref;
 pub mod stage_builder;
 pub mod worst_case;
@@ -59,6 +60,7 @@ pub use path::{GaPathResult, McPathResult, PathModel, PathSpec, VariationSources
 pub use recovery::{
     DegradationReport, EngineRung, McCampaignResult, McRecoveryResult, McShardedResult,
 };
+pub use registry::{CampaignModel, ChainModel, ModelRegistry, ModelRun, SyntheticModel};
 pub use stage_builder::{StageLoad, StageLoadSpec};
 pub use worst_case::WorstCaseResult;
 

@@ -88,10 +88,16 @@ pub enum Phase {
     SparseSolve,
     /// One supervised shard attempt (launch through delivery or death).
     ShardRun,
+    /// One accepted connection on the campaign service listener (accept
+    /// through handler dispatch).
+    ServeAccept,
+    /// One HTTP request handled by the campaign service (parse through
+    /// response write).
+    ServeHandle,
 }
 
 /// Number of [`Phase`] variants.
-pub const N_PHASES: usize = 15;
+pub const N_PHASES: usize = 17;
 
 impl Phase {
     /// Every phase, in declaration order (= index order).
@@ -111,6 +117,8 @@ impl Phase {
         Phase::SparseNumericFactor,
         Phase::SparseSolve,
         Phase::ShardRun,
+        Phase::ServeAccept,
+        Phase::ServeHandle,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -133,6 +141,8 @@ impl Phase {
             Phase::SparseNumericFactor => "numeric_factor",
             Phase::SparseSolve => "solve",
             Phase::ShardRun => "shard_run",
+            Phase::ServeAccept => "serve_accept",
+            Phase::ServeHandle => "serve_handle",
         }
     }
 }
@@ -204,10 +214,35 @@ pub enum Counter {
     ShardMergeDuplicates,
     /// Sample records accepted into the merged result.
     ShardMergedSamples,
+    /// Orphaned `*.tmp` snapshot siblings reaped by the checkpoint
+    /// hygiene pass (resume and server recovery scans).
+    CampaignTmpReaped,
+    /// HTTP requests handled by the campaign service (any status).
+    ServeRequests,
+    /// Campaign jobs admitted by the service (journaled as queued).
+    ServeJobsSubmitted,
+    /// Submissions answered with an existing job (idempotent dedup by
+    /// campaign fingerprint).
+    ServeDuplicateSubmits,
+    /// Submissions shed with HTTP 429 by admission control.
+    ServeShed429,
+    /// Jobs that ran to a `Done` terminal state.
+    ServeJobsCompleted,
+    /// Jobs that ended `Failed`.
+    ServeJobsFailed,
+    /// Jobs that ended `Cancelled`.
+    ServeJobsCancelled,
+    /// In-flight jobs re-queued by the startup recovery scan.
+    ServeJobsRecovered,
+    /// Faults injected by the serve fault harness.
+    ServeFaultsInjected,
+    /// Requests rejected as malformed, oversized, or timed out (HTTP
+    /// 4xx other than 404/429).
+    ServeBadRequests,
 }
 
 /// Number of [`Counter`] variants.
-pub const N_COUNTERS: usize = 30;
+pub const N_COUNTERS: usize = 41;
 
 impl Counter {
     /// Every counter, in declaration order (= index order).
@@ -242,6 +277,17 @@ impl Counter {
         Counter::ShardFaultsInjected,
         Counter::ShardMergeDuplicates,
         Counter::ShardMergedSamples,
+        Counter::CampaignTmpReaped,
+        Counter::ServeRequests,
+        Counter::ServeJobsSubmitted,
+        Counter::ServeDuplicateSubmits,
+        Counter::ServeShed429,
+        Counter::ServeJobsCompleted,
+        Counter::ServeJobsFailed,
+        Counter::ServeJobsCancelled,
+        Counter::ServeJobsRecovered,
+        Counter::ServeFaultsInjected,
+        Counter::ServeBadRequests,
     ];
 
     /// Stable dotted name used as the JSON key.
@@ -277,6 +323,17 @@ impl Counter {
             Counter::ShardFaultsInjected => "shard.faults_injected",
             Counter::ShardMergeDuplicates => "shard.merge_duplicates",
             Counter::ShardMergedSamples => "shard.merged_samples",
+            Counter::CampaignTmpReaped => "campaign.tmp_reaped",
+            Counter::ServeRequests => "serve.requests",
+            Counter::ServeJobsSubmitted => "serve.jobs_submitted",
+            Counter::ServeDuplicateSubmits => "serve.duplicate_submits",
+            Counter::ServeShed429 => "serve.shed_429",
+            Counter::ServeJobsCompleted => "serve.jobs_completed",
+            Counter::ServeJobsFailed => "serve.jobs_failed",
+            Counter::ServeJobsCancelled => "serve.jobs_cancelled",
+            Counter::ServeJobsRecovered => "serve.jobs_recovered",
+            Counter::ServeFaultsInjected => "serve.faults_injected",
+            Counter::ServeBadRequests => "serve.bad_requests",
         }
     }
 }

@@ -1,0 +1,139 @@
+//! Server configuration: defaults, and hardened environment-knob
+//! resolution through `linvar-stats`' shared [`env_knob`] helpers, so
+//! the serve knobs get exactly the whitespace/overflow/zero treatment
+//! `LINVAR_THREADS` has — malformed values warn on stderr and fall back
+//! to the default, never pass silently, never panic.
+//!
+//! Knobs:
+//! * `LINVAR_SERVE_ADDR` — listen address (default `127.0.0.1:7171`);
+//! * `LINVAR_SERVE_WORKERS` — campaign worker pool size (default 2);
+//! * `LINVAR_SERVE_QUEUE` — admission-queue bound across all tenants
+//!   (default 64; beyond it submissions shed with 429);
+//! * `LINVAR_SERVE_FAULT` — fault injection, see [`crate::ServeFault`].
+//!
+//! [`env_knob`]: linvar_stats::envknob
+
+use crate::fault::ServeFault;
+use linvar_stats::{env_knob_str, env_knob_usize};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Default listen address.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+/// Default worker-pool size.
+pub const DEFAULT_WORKERS: usize = 2;
+/// Default admission-queue bound.
+pub const DEFAULT_QUEUE: usize = 64;
+
+/// Everything the server needs to start.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 binds an ephemeral port).
+    pub addr: String,
+    /// Campaign worker threads (jobs run one per worker).
+    pub workers: usize,
+    /// Admission-queue bound across all tenants.
+    pub queue_cap: usize,
+    /// Directory for job records and campaign checkpoints.
+    pub jobs_dir: PathBuf,
+    /// Worker threads *inside* each job's campaign.
+    pub job_threads: usize,
+    /// Socket read/write timeout per request.
+    pub io_timeout: Duration,
+    /// Fault to inject (fires once), from `LINVAR_SERVE_FAULT`.
+    pub fault: Option<ServeFault>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: DEFAULT_ADDR.to_string(),
+            workers: DEFAULT_WORKERS,
+            queue_cap: DEFAULT_QUEUE,
+            jobs_dir: PathBuf::from("serve-jobs"),
+            job_threads: 1,
+            io_timeout: Duration::from_secs(5),
+            fault: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Resolves the config from the environment on top of the defaults.
+    /// Malformed knobs warn (via the shared hardened parser) and keep
+    /// the default.
+    pub fn from_env() -> ServeConfig {
+        let mut cfg = ServeConfig::default();
+        if let Some(addr) = env_knob_str("LINVAR_SERVE_ADDR", "the default address").valid() {
+            cfg.addr = addr;
+        }
+        if let Some(w) = env_knob_usize("LINVAR_SERVE_WORKERS", "the default worker count").valid()
+        {
+            cfg.workers = w;
+        }
+        if let Some(q) = env_knob_usize("LINVAR_SERVE_QUEUE", "the default queue bound").valid() {
+            cfg.queue_cap = q;
+        }
+        cfg.fault = ServeFault::from_env();
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linvar_stats::envknob::{parse_str_knob, parse_usize_knob, EnvKnob};
+    use std::ffi::OsString;
+
+    // The env-reading path itself is process-global; the parsing it
+    // delegates to is covered shape-by-shape here through the pure core
+    // (see also linvar-stats' envknob tests).
+    #[test]
+    fn serve_knobs_share_the_hardened_parser() {
+        for bad in ["0", " -1 ", "many", "", "99999999999999999999999"] {
+            assert_eq!(
+                parse_usize_knob(
+                    "LINVAR_SERVE_WORKERS",
+                    Some(OsString::from(bad)),
+                    "the default worker count"
+                ),
+                EnvKnob::Invalid,
+                "{bad:?}"
+            );
+            assert_eq!(
+                parse_usize_knob(
+                    "LINVAR_SERVE_QUEUE",
+                    Some(OsString::from(bad)),
+                    "the default queue bound"
+                ),
+                EnvKnob::Invalid,
+                "{bad:?}"
+            );
+        }
+        assert_eq!(
+            parse_usize_knob("LINVAR_SERVE_WORKERS", Some(OsString::from(" 8 ")), "d"),
+            EnvKnob::Valid(8)
+        );
+        assert_eq!(
+            parse_str_knob("LINVAR_SERVE_ADDR", Some(OsString::from("  ")), "d"),
+            EnvKnob::Invalid
+        );
+        assert_eq!(
+            parse_str_knob(
+                "LINVAR_SERVE_ADDR",
+                Some(OsString::from(" 0.0.0.0:9999 ")),
+                "d"
+            ),
+            EnvKnob::Valid("0.0.0.0:9999".into())
+        );
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.queue_cap >= 1);
+        assert!(!cfg.addr.is_empty());
+        assert!(cfg.fault.is_none());
+    }
+}

@@ -1,0 +1,298 @@
+//! Minimal HTTP/1.1 request reader and response writer over blocking
+//! streams.
+//!
+//! Scope is exactly what the campaign service needs: one request per
+//! connection (`Connection: close`), methods GET/POST, a
+//! `Content-Length` body, and hard caps on header and body size so a
+//! slow or malicious client is bounded in both bytes and — via the
+//! socket timeouts the server sets before calling in here — time.
+//! Every failure is a typed [`HttpError`] the server maps to a status
+//! code; nothing in this module panics on wire data.
+
+use std::io::{Read, Write};
+
+/// Header-section byte cap (request line + headers).
+pub const HEADER_CAP: usize = 8 * 1024;
+/// Body byte cap (the request-size cap of the robustness contract).
+pub const BODY_CAP: usize = 64 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased as received).
+    pub method: String,
+    /// Path including any query string, e.g. `/jobs/1a2b/result`.
+    pub path: String,
+    /// Raw body (empty when there is no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Typed wire-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Header section or body exceeds its cap → 413.
+    TooLarge,
+    /// The socket timed out mid-request → 408.
+    Timeout,
+    /// Anything non-HTTP on the wire → 400.
+    Malformed(String),
+    /// Connection-level I/O failure (reset, broken pipe) → drop.
+    Io(String),
+}
+
+fn classify_io(e: &std::io::Error) -> HttpError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::Io(e.to_string()),
+    }
+}
+
+/// Reads one request from `stream`. The caller is responsible for
+/// having set read/write timeouts on the underlying socket; a timeout
+/// surfaces as [`HttpError::Timeout`].
+pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, HttpError> {
+    // Accumulate until the blank line that ends the header section,
+    // never holding more than the cap.
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_crlf_crlf(&buf) {
+            break pos;
+        }
+        if buf.len() >= HEADER_CAP {
+            return Err(HttpError::TooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(|e| classify_io(&e))?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before the header section ended".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.len() > HEADER_CAP + 4 {
+            return Err(HttpError::TooLarge);
+        }
+    };
+    let header_text = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header section".into()))?;
+    let mut lines = header_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?;
+    let path = parts
+        .next()
+        .filter(|p| p.starts_with('/'))
+        .ok_or_else(|| HttpError::Malformed("missing or relative path".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length {value:?}")))?;
+        }
+    }
+    if content_length > BODY_CAP {
+        return Err(HttpError::TooLarge);
+    }
+    // Body: whatever followed the blank line in the buffer, then read
+    // the remainder.
+    let mut body = buf[header_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::Malformed(
+            "more body bytes than Content-Length".into(),
+        ));
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream
+            .read(&mut chunk[..want])
+            .map_err(|e| classify_io(&e))?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+fn find_crlf_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response ready to serialize. JSON bodies only — the whole API
+/// speaks JSON, including its errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body text (JSON).
+    pub body: String,
+    /// `Retry-After` seconds — set on 429/503 shed responses.
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: &linvar_metrics::Json) -> Response {
+        Response {
+            status,
+            body: body.render(),
+            retry_after: None,
+        }
+    }
+
+    /// A JSON error response: `{"error": <message>}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut j = linvar_metrics::Json::obj();
+        j.set("error", message);
+        Response::json(status, &j)
+    }
+
+    /// Attaches a `Retry-After` header (backpressure contract).
+    pub fn with_retry_after(mut self, seconds: u64) -> Response {
+        self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Serializes status line, headers, and body to `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let reason = reason_phrase(self.status);
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason,
+            self.body.len()
+        );
+        if let Some(secs) = self.retry_after {
+            head.push_str(&format!("Retry-After: {secs}\r\n"));
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw.to_vec()))
+    }
+
+    #[test]
+    fn parses_get_and_post_with_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+
+        let req = parse(b"POST /jobs HTTP/1.1\r\nContent-Length: 9\r\nHost: x\r\n\r\n{\"n\": 4}\n")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"n\": 4}\n");
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive_and_methods_uppercased() {
+        let req = parse(b"post /x HTTP/1.1\r\ncontent-LENGTH: 2\r\n\r\nok").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for bad in [
+            &b"\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x SMTP/1.0\r\n\r\n",
+            b"GET relative HTTP/1.1\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(HttpError::Malformed(_))),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn size_caps_reject_oversized_requests() {
+        let mut huge = b"GET /x HTTP/1.1\r\nX-Pad: ".to_vec();
+        huge.extend(vec![b'a'; HEADER_CAP + 10]);
+        huge.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(parse(&huge), Err(HttpError::TooLarge));
+
+        let declared = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            BODY_CAP + 1
+        );
+        assert_eq!(parse(declared.as_bytes()), Err(HttpError::TooLarge));
+    }
+
+    #[test]
+    fn response_serialization_includes_retry_after() {
+        let mut j = linvar_metrics::Json::obj();
+        j.set("ok", true);
+        let mut out = Vec::new();
+        Response::json(200, &j).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Content-Length:"));
+        assert!(!text.contains("Retry-After"));
+
+        let mut out = Vec::new();
+        Response::error(429, "queue full")
+            .with_retry_after(1)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("queue full"));
+    }
+}

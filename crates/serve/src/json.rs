@@ -1,0 +1,391 @@
+//! Recursive-descent JSON parser producing [`linvar_metrics::Json`]
+//! values — the reader side of the workspace's hand-rolled writer.
+//!
+//! Scope matches what the service accepts: RFC-8259 syntax with a
+//! nesting-depth cap (stack safety against `[[[[…`), numbers parsed as
+//! `u64` when they are non-negative integers (seeds, counts) and `f64`
+//! otherwise, and strict trailing-garbage rejection. Errors are typed
+//! and positioned; a malformed body can never panic the handler.
+
+use linvar_metrics::Json;
+use std::fmt;
+
+/// Maximum nesting depth accepted (arrays + objects combined).
+const MAX_DEPTH: usize = 32;
+
+/// Typed parse failure with a byte offset for the diagnostics the
+/// server returns in its 400 responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset the failure was detected at.
+    pub at: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, reason: impl Into<String>) -> Result<T, JsonParseError> {
+        Err(JsonParseError {
+            at: self.pos,
+            reason: reason.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {:?}", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected {word:?}"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return self.err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => self.err(format!("unexpected byte {:?}", other as char)),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut obj = Json::obj();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(obj);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value(depth + 1)?;
+            obj.set(&key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(obj);
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(JsonParseError {
+                        at: self.pos,
+                        reason: "unterminated escape".into(),
+                    })?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.err("bad \\u escape");
+                            };
+                            self.pos += 4;
+                            // Surrogates are rejected rather than paired:
+                            // the service's ids and model names are ASCII.
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return self.err("\\u escape is not a scalar value"),
+                            }
+                        }
+                        other => {
+                            return self.err(format!("unknown escape \\{}", other as char));
+                        }
+                    }
+                }
+                Some(c) if c < 0x20 => return self.err("raw control byte in string"),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input was validated as UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = match std::str::from_utf8(rest) {
+                        Ok(s) => s,
+                        Err(_) => return self.err("invalid UTF-8"),
+                    };
+                    let Some(c) = s.chars().next() else {
+                        return self.err("unterminated string");
+                    };
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonParseError {
+                at: start,
+                reason: "invalid UTF-8 in number".into(),
+            })?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::U64(u));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Json::F64(f)),
+            _ => Err(JsonParseError {
+                at: start,
+                reason: format!("unparseable number {text:?}"),
+            }),
+        }
+    }
+}
+
+/// Parses `bytes` as one JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+pub fn parse_json(bytes: &[u8]) -> Result<Json, JsonParseError> {
+    // Validate UTF-8 once up front so string scanning can assume it.
+    if std::str::from_utf8(bytes).is_err() {
+        return Err(JsonParseError {
+            at: 0,
+            reason: "body is not valid UTF-8".into(),
+        });
+    }
+    let mut p = Parser { bytes, pos: 0 };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return p.err("trailing garbage after the JSON document");
+    }
+    Ok(v)
+}
+
+/// Accessor helpers over the parsed value, shaped for the submission
+/// endpoint: every getter returns `None` on a type mismatch so the
+/// handler maps it to a 400 with a field-specific message.
+pub trait JsonGet {
+    /// Field of an object, if present.
+    fn get(&self, key: &str) -> Option<&Json>;
+    /// String field.
+    fn get_str(&self, key: &str) -> Option<&str>;
+    /// Non-negative integer field.
+    fn get_u64(&self, key: &str) -> Option<u64>;
+    /// Boolean field.
+    fn get_bool(&self, key: &str) -> Option<bool>;
+}
+
+impl JsonGet for Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Json::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn get_u64(&self, key: &str) -> Option<u64> {
+        match self.get(key) {
+            Some(Json::U64(u)) => Some(*u),
+            _ => None,
+        }
+    }
+
+    fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get(key) {
+            Some(Json::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_the_writers_canonical_output() {
+        let mut j = Json::obj();
+        j.set("name", "demo-fast")
+            .set("seed", 42u64)
+            .set("ratio", 2.5f64)
+            .set("ok", true)
+            .set("none", Json::Null)
+            .set("tags", vec!["a", "b"]);
+        let text = j.render();
+        let back = parse_json(text.as_bytes()).unwrap();
+        assert_eq!(back, j);
+        // And the reparse of the re-render is a fixed point.
+        assert_eq!(parse_json(back.render().as_bytes()).unwrap(), back);
+    }
+
+    #[test]
+    fn integers_stay_u64_and_floats_stay_f64() {
+        let v = parse_json(b"{\"n\": 100, \"x\": 1.5, \"e\": 1e3}").unwrap();
+        assert_eq!(v.get_u64("n"), Some(100));
+        assert_eq!(v.get("x"), Some(&Json::F64(1.5)));
+        assert_eq!(v.get("e"), Some(&Json::F64(1000.0)));
+        // Negative integers fall to F64 (the Json enum is writer-shaped).
+        assert_eq!(parse_json(b"-3").unwrap(), Json::F64(-3.0));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = parse_json(br#""a\"b\\c\n\u0041""#).unwrap();
+        assert_eq!(v, Json::Str("a\"b\\c\nA".into()));
+        let v = parse_json("\"π\"".as_bytes()).unwrap();
+        assert_eq!(v, Json::Str("π".into()));
+    }
+
+    #[test]
+    fn malformed_documents_are_typed_errors_not_panics() {
+        for bad in [
+            &b""[..],
+            b"{",
+            b"[1,",
+            b"{\"a\" 1}",
+            b"{\"a\": }",
+            b"truth",
+            b"\"unterminated",
+            b"1 2",
+            b"{} garbage",
+            b"\"bad \\q escape\"",
+            b"\"\\ud800\"",
+            b"nan",
+            b"{\"a\": 1,}",
+            b"\x01",
+            b"\xff\xfe",
+        ] {
+            assert!(parse_json(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn depth_cap_rejects_stack_bombs() {
+        let bomb = "[".repeat(2000) + &"]".repeat(2000);
+        let err = parse_json(bomb.as_bytes()).unwrap_err();
+        assert!(err.reason.contains("nesting"), "{err}");
+        // ... while reasonable nesting is fine.
+        assert!(parse_json(b"[[[[[[[[1]]]]]]]]").is_ok());
+    }
+
+    #[test]
+    fn getters_are_type_strict() {
+        let v = parse_json(b"{\"s\": \"x\", \"n\": 3, \"b\": false}").unwrap();
+        assert_eq!(v.get_str("s"), Some("x"));
+        assert_eq!(v.get_str("n"), None);
+        assert_eq!(v.get_u64("s"), None);
+        assert_eq!(v.get_bool("b"), Some(false));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::U64(1).get("x"), None, "non-objects have no fields");
+    }
+}

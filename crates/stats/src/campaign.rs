@@ -35,8 +35,8 @@ use crate::{HealthSummary, RecoveryPolicy, SampleHealth, SampleStatus};
 use std::fmt::{self, Display};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// On-disk format tag, first line of every snapshot.
@@ -380,6 +380,45 @@ pub fn save_checkpoint(
     Ok(())
 }
 
+/// Removes the orphaned `<checkpoint>.tmp` sibling a crash mid-write
+/// can leave behind. Returns whether a file was reaped.
+///
+/// Safe at any point where no writer is active on `checkpoint`: the
+/// temp sibling is only ever a *staging* file — [`save_checkpoint`]
+/// recreates it from scratch on every write — so an orphan carries no
+/// information the real snapshot doesn't. Counted under
+/// `campaign.tmp_reaped`.
+pub fn reap_orphan_tmp(checkpoint: &Path) -> bool {
+    let mut tmp = checkpoint.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let reaped = std::fs::remove_file(Path::new(&tmp)).is_ok();
+    if reaped {
+        linvar_metrics::incr(linvar_metrics::Counter::CampaignTmpReaped);
+    }
+    reaped
+}
+
+/// Reaps every `*.tmp` file directly inside `dir` (non-recursive) — the
+/// directory-wide sweep a server's recovery scan runs over its job
+/// store before resuming anything. Returns the number reaped; counts
+/// each under `campaign.tmp_reaped`. Unreadable directories reap
+/// nothing (recovery must not die over hygiene).
+pub fn reap_tmp_in_dir(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut reaped = 0usize;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_tmp = path.extension().is_some_and(|e| e == "tmp");
+        if is_tmp && path.is_file() && std::fs::remove_file(&path).is_ok() {
+            reaped += 1;
+        }
+    }
+    linvar_metrics::count(linvar_metrics::Counter::CampaignTmpReaped, reaped as u64);
+    reaped
+}
+
 /// Loads and checksum-verifies a snapshot. Truncated, bit-flipped or
 /// otherwise damaged files are rejected with a typed error — a partial
 /// load is never returned.
@@ -558,6 +597,13 @@ pub struct CampaignConfig {
     /// (deterministic preemption — the test harness's "kill point", and
     /// an operator's per-shift work budget).
     pub sample_budget: Option<usize>,
+    /// Cooperative cancellation: when the flag reads `true`, workers
+    /// stop claiming new samples exactly as on deadline expiry —
+    /// in-flight samples finish, the final snapshot is written, and the
+    /// verdict is [`CampaignVerdict::Truncated`]. This is how a serving
+    /// layer implements both job cancel and graceful shutdown without
+    /// losing completed work.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl CampaignConfig {
@@ -735,6 +781,16 @@ where
     let mut records: Vec<Option<SampleRecord>> = vec![None; n];
     let mut resumed = 0usize;
     if let Some(resume_path) = &config.resume {
+        // Checkpoint hygiene: a crash between `File::create(tmp)` and the
+        // rename leaves an orphaned staging file next to the snapshot.
+        // The resume boundary is the one place no writer can be active,
+        // so reap it here (and at the checkpoint path, if different).
+        reap_orphan_tmp(resume_path);
+        if let Some(ck_path) = &config.checkpoint {
+            if ck_path != resume_path {
+                reap_orphan_tmp(ck_path);
+            }
+        }
         let ck = load_checkpoint(resume_path)?;
         ck.validate(&fingerprint)?;
         records = ck.outcomes;
@@ -765,6 +821,13 @@ where
                     let _flush = linvar_metrics::flush_on_drop();
                     loop {
                         if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                            break;
+                        }
+                        if config
+                            .cancel
+                            .as_ref()
+                            .is_some_and(|c| c.load(Ordering::Relaxed))
+                        {
                             break;
                         }
                         if let Some(b) = budget {
@@ -1154,6 +1217,142 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CheckpointError::Io { op: "read", .. }));
+    }
+
+    #[test]
+    fn resume_reaps_orphan_tmp_sibling() {
+        let samples: Vec<usize> = (0..6).collect();
+        let path = tmp_path("reap");
+        run_campaign(
+            &samples,
+            1,
+            RecoveryPolicy::default(),
+            &CampaignConfig {
+                checkpoint: Some(path.clone()),
+                sample_budget: Some(3),
+                ..CampaignConfig::default()
+            },
+            fp(6),
+            eval,
+        )
+        .unwrap();
+        // Simulate a crash mid-write: a torn staging file next to the
+        // (valid) snapshot.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, b"torn partial checkpoint write\x00garbage").unwrap();
+        let res = run_campaign(
+            &samples,
+            1,
+            RecoveryPolicy::default(),
+            &CampaignConfig {
+                checkpoint: Some(path.clone()),
+                resume: Some(path.clone()),
+                ..CampaignConfig::default()
+            },
+            fp(6),
+            eval,
+        )
+        .unwrap();
+        assert_eq!(res.verdict, CampaignVerdict::Complete);
+        assert!(!tmp.exists(), "orphaned .tmp must be reaped on resume");
+        // Reaping again is a no-op, not an error.
+        assert!(!reap_orphan_tmp(&path));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reap_tmp_in_dir_sweeps_only_tmp_files() {
+        let dir = std::env::temp_dir().join(format!("linvar-reap-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.ckpt"), b"keep").unwrap();
+        std::fs::write(dir.join("a.ckpt.tmp"), b"torn").unwrap();
+        std::fs::write(dir.join("b.ckpt.tmp"), b"torn").unwrap();
+        assert_eq!(reap_tmp_in_dir(&dir), 2);
+        assert!(dir.join("a.ckpt").exists(), "real snapshots are kept");
+        assert!(!dir.join("a.ckpt.tmp").exists());
+        assert_eq!(reap_tmp_in_dir(&dir), 0, "sweep is idempotent");
+        assert_eq!(reap_tmp_in_dir(&dir.join("missing")), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cancel_flag_truncates_then_resume_completes_identically() {
+        let samples: Vec<usize> = (0..24).collect();
+        let clean = run_campaign(
+            &samples,
+            1,
+            RecoveryPolicy::default(),
+            &CampaignConfig::default(),
+            fp(24),
+            eval,
+        )
+        .unwrap();
+        let path = tmp_path("cancel");
+        let cancel = Arc::new(AtomicBool::new(false));
+        let hits = AtomicUsize::new(0);
+        let first = run_campaign(
+            &samples,
+            2,
+            RecoveryPolicy::default(),
+            &CampaignConfig {
+                checkpoint: Some(path.clone()),
+                cancel: Some(cancel.clone()),
+                ..CampaignConfig::default()
+            },
+            fp(24),
+            |k: &usize, attempt: usize| {
+                // Trip the flag partway through: later claims must stop.
+                if hits.fetch_add(1, Ordering::Relaxed) == 7 {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+                eval(k, attempt)
+            },
+        )
+        .unwrap();
+        assert!(
+            matches!(first.verdict, CampaignVerdict::Truncated { .. }),
+            "cancel mid-run must truncate, got {:?}",
+            first.verdict
+        );
+        assert!(first.completed < 24 && first.completed >= 8);
+        let second = run_campaign(
+            &samples,
+            2,
+            RecoveryPolicy::default(),
+            &CampaignConfig {
+                resume: Some(path.clone()),
+                ..CampaignConfig::default()
+            },
+            fp(24),
+            eval,
+        )
+        .unwrap();
+        assert_eq!(second.verdict, CampaignVerdict::Complete);
+        let a: Vec<u64> = clean.values.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = second.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "cancel + resume must be bitwise-identical");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_evaluates_nothing() {
+        let samples: Vec<usize> = (0..5).collect();
+        let res = run_campaign(
+            &samples,
+            2,
+            RecoveryPolicy::default(),
+            &CampaignConfig {
+                cancel: Some(Arc::new(AtomicBool::new(true))),
+                ..CampaignConfig::default()
+            },
+            fp(5),
+            eval,
+        )
+        .unwrap();
+        assert_eq!(res.verdict, CampaignVerdict::Truncated { remaining: 5 });
+        assert_eq!(res.evaluated, 0);
     }
 
     #[test]

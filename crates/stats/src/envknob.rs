@@ -1,0 +1,191 @@
+//! Hardened environment-knob parsing, shared by every binary surface.
+//!
+//! `LINVAR_THREADS` taught us the failure mode: a typo'd job-script
+//! variable that is silently ignored *mysteriously changes behavior*,
+//! while one that is silently accepted as `0` can wedge a worker pool.
+//! Every knob in the workspace therefore goes through these helpers,
+//! which share one treatment: trim whitespace, accept only the valid
+//! domain, and degrade **loudly** — a one-line stderr warning naming
+//! the variable, the rejected value, and the fallback — on anything
+//! malformed (`0` where positive is required, negative, non-numeric,
+//! overflow, empty, or non-unicode bytes).
+//!
+//! [`crate::resolve_threads`] and the serve knobs
+//! (`LINVAR_SERVE_WORKERS`, `LINVAR_SERVE_QUEUE`, …) are all built on
+//! [`env_knob_usize`], so table4-style bench bins and the campaign
+//! service agree on what a malformed knob does.
+
+use std::ffi::OsString;
+
+/// Outcome of reading one environment knob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvKnob<T> {
+    /// The variable is not set.
+    Missing,
+    /// The variable is set and parses into the valid domain.
+    Valid(T),
+    /// The variable is set but malformed; a warning was printed and the
+    /// caller should use its fallback.
+    Invalid,
+}
+
+impl<T> EnvKnob<T> {
+    /// The parsed value, if valid.
+    pub fn valid(self) -> Option<T> {
+        match self {
+            EnvKnob::Valid(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn warn_invalid(name: &str, raw: &str, expected: &str, fallback: &str) {
+    eprintln!("warning: ignoring invalid {name}={raw:?} (expected {expected}); using {fallback}");
+}
+
+fn warn_non_unicode(name: &str, fallback: &str) {
+    eprintln!("warning: ignoring non-unicode {name}; using {fallback}");
+}
+
+/// Core of [`env_knob_usize`], parameterized over the raw variable value
+/// so every malformed shape is unit-testable without touching the
+/// process-global environment.
+pub fn parse_usize_knob(name: &str, raw: Option<OsString>, fallback: &str) -> EnvKnob<usize> {
+    let Some(raw) = raw else {
+        return EnvKnob::Missing;
+    };
+    let Some(s) = raw.to_str() else {
+        warn_non_unicode(name, fallback);
+        return EnvKnob::Invalid;
+    };
+    match s.trim().parse::<usize>() {
+        Ok(n) if n > 0 => EnvKnob::Valid(n),
+        _ => {
+            warn_invalid(name, s, "a positive integer", fallback);
+            EnvKnob::Invalid
+        }
+    }
+}
+
+/// Reads environment knob `name` as a positive integer.
+///
+/// Whitespace around the value is trimmed. `0`, negative, non-numeric,
+/// overflowing, empty, and non-unicode values are rejected with a
+/// one-line stderr warning that names the fallback (`fallback` is the
+/// human description printed, e.g. `"available cores"` or `"default 4"`)
+/// and reported as [`EnvKnob::Invalid`] so the caller applies its
+/// default — malformed knobs never pass silently and never panic.
+pub fn env_knob_usize(name: &str, fallback: &str) -> EnvKnob<usize> {
+    parse_usize_knob(name, std::env::var_os(name), fallback)
+}
+
+/// Core of [`env_knob_str`]; see [`parse_usize_knob`] for why the raw
+/// value is a parameter.
+pub fn parse_str_knob(name: &str, raw: Option<OsString>, fallback: &str) -> EnvKnob<String> {
+    let Some(raw) = raw else {
+        return EnvKnob::Missing;
+    };
+    let Some(s) = raw.to_str() else {
+        warn_non_unicode(name, fallback);
+        return EnvKnob::Invalid;
+    };
+    let trimmed = s.trim();
+    if trimmed.is_empty() {
+        warn_invalid(name, s, "a non-empty string", fallback);
+        return EnvKnob::Invalid;
+    }
+    EnvKnob::Valid(trimmed.to_string())
+}
+
+/// Reads environment knob `name` as a trimmed non-empty string.
+/// Empty/blank and non-unicode values warn and report
+/// [`EnvKnob::Invalid`], mirroring [`env_knob_usize`].
+pub fn env_knob_str(name: &str, fallback: &str) -> EnvKnob<String> {
+    parse_str_knob(name, std::env::var_os(name), fallback)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn os(s: &str) -> Option<OsString> {
+        Some(OsString::from(s))
+    }
+
+    #[test]
+    fn missing_knob_is_missing() {
+        assert_eq!(parse_usize_knob("K", None, "d"), EnvKnob::Missing);
+        assert_eq!(parse_str_knob("K", None, "d"), EnvKnob::Missing);
+    }
+
+    #[test]
+    fn valid_values_parse_with_whitespace_trimmed() {
+        assert_eq!(parse_usize_knob("K", os("8"), "d"), EnvKnob::Valid(8));
+        assert_eq!(parse_usize_knob("K", os("  8  "), "d"), EnvKnob::Valid(8));
+        assert_eq!(parse_usize_knob("K", os("\t12\n"), "d"), EnvKnob::Valid(12));
+        assert_eq!(
+            parse_str_knob("K", os("  0.0.0.0:80 "), "d"),
+            EnvKnob::Valid("0.0.0.0:80".into())
+        );
+    }
+
+    #[test]
+    fn every_malformed_usize_shape_is_invalid_not_a_panic() {
+        // zero, negative, non-numeric, float, empty, blank, overflow,
+        // embedded sign, hex spelling — all rejected the same way.
+        for bad in [
+            "0",
+            "-2",
+            "lots",
+            "4.5",
+            "",
+            "   ",
+            "18446744073709551616", // usize::MAX + 1
+            "+ 3",
+            "0x10",
+            "3 threads",
+            "∞",
+        ] {
+            assert_eq!(
+                parse_usize_knob("LINVAR_SERVE_WORKERS", os(bad), "default"),
+                EnvKnob::Invalid,
+                "value {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_str_shapes_are_invalid() {
+        for bad in ["", "   ", "\t\n"] {
+            assert_eq!(
+                parse_str_knob("LINVAR_SERVE_ADDR", os(bad), "default"),
+                EnvKnob::Invalid,
+                "value {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_unicode_bytes_are_invalid() {
+        use std::os::unix::ffi::OsStringExt as _;
+        let raw = Some(OsString::from_vec(vec![0x66, 0x6f, 0x80, 0xff]));
+        assert_eq!(
+            parse_usize_knob("K", raw.clone(), "d"),
+            EnvKnob::Invalid,
+            "non-unicode usize knob"
+        );
+        assert_eq!(
+            parse_str_knob("K", raw, "d"),
+            EnvKnob::Invalid,
+            "non-unicode str knob"
+        );
+    }
+
+    #[test]
+    fn valid_extractor() {
+        assert_eq!(EnvKnob::Valid(7usize).valid(), Some(7));
+        assert_eq!(EnvKnob::<usize>::Missing.valid(), None);
+        assert_eq!(EnvKnob::<usize>::Invalid.valid(), None);
+    }
+}

@@ -21,12 +21,16 @@
 //!   retry ladder with capped exponential backoff, and a first-writer-wins
 //!   merge that is bitwise-identical to a single-process run (see
 //!   DESIGN.md, "Sharding protocol & merge invariants");
+//! * [`envknob`] — hardened environment-knob parsing (trim, validate,
+//!   warn-and-fall-back on anything malformed) shared by
+//!   [`montecarlo::resolve_threads`] and the campaign service's knobs;
 //! * [`gradient`] — Gradient Analysis (§4.1.3, eq. 24): σ of a performance
 //!   from first-order sensitivities of uncorrelated sources;
 //! * [`histogram`] — fixed-bin histograms with a text renderer for the
 //!   paper's Figures 6 and 7.
 
 pub mod campaign;
+pub mod envknob;
 pub mod gradient;
 pub mod histogram;
 pub mod montecarlo;
@@ -37,10 +41,11 @@ pub mod summary;
 pub mod timing_yield;
 
 pub use campaign::{
-    fingerprint_str, fingerprint_words, fnv1a64, load_checkpoint, run_campaign, save_checkpoint,
-    CampaignConfig, CampaignFingerprint, CampaignResult, CampaignVerdict, Checkpoint,
-    CheckpointError, SampleRecord,
+    fingerprint_str, fingerprint_words, fnv1a64, load_checkpoint, reap_orphan_tmp, reap_tmp_in_dir,
+    run_campaign, save_checkpoint, CampaignConfig, CampaignFingerprint, CampaignResult,
+    CampaignVerdict, Checkpoint, CheckpointError, SampleRecord,
 };
+pub use envknob::{env_knob_str, env_knob_usize, EnvKnob};
 pub use gradient::central_difference_sensitivities;
 pub use gradient::gradient_std;
 pub use histogram::{Histogram, HistogramError};

@@ -270,18 +270,8 @@ pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    match std::env::var("LINVAR_THREADS") {
-        Ok(raw) => match raw.trim().parse::<usize>() {
-            Ok(n) if n > 0 => return n,
-            _ => eprintln!(
-                "warning: ignoring invalid LINVAR_THREADS={raw:?} \
-                 (expected a positive integer); using available cores"
-            ),
-        },
-        Err(std::env::VarError::NotPresent) => {}
-        Err(std::env::VarError::NotUnicode(_)) => {
-            eprintln!("warning: ignoring non-unicode LINVAR_THREADS; using available cores")
-        }
+    if let Some(n) = crate::env_knob_usize("LINVAR_THREADS", "available cores").valid() {
+        return n;
     }
     std::thread::available_parallelism()
         .map(|n| n.get())

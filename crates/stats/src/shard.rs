@@ -549,6 +549,7 @@ where
             deadline: None,
             sample_timeout: None,
             sample_budget: kill_after,
+            cancel: None,
         };
 
         // Heartbeat-wrapped evaluator: every sample entry and exit
@@ -847,6 +848,7 @@ where
         deadline: None,
         sample_timeout: None,
         sample_budget: None,
+        cancel: None,
     };
     linvar_metrics::incr(Counter::ShardsLaunched);
     let _span = linvar_metrics::timer(Phase::ShardRun);

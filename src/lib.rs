@@ -43,6 +43,7 @@ pub use linvar_iscas as iscas;
 pub use linvar_metrics as metrics;
 pub use linvar_mor as mor;
 pub use linvar_numeric as numeric;
+pub use linvar_serve as serve;
 pub use linvar_spice as spice;
 pub use linvar_stats as stats;
 pub use linvar_teta as teta;

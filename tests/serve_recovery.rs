@@ -1,0 +1,461 @@
+//! Crash-recovery matrix for the campaign service: a `kill -9` (or its
+//! in-process stand-in, `abort()`) at **every** injected fault window,
+//! followed by a restart, must converge on a result line byte-identical
+//! to an uninterrupted run.
+//!
+//! Child servers are this very test binary re-executed with
+//! `LINVAR_SERVE_TEST_CHILD` set (the `child_server_entry` "test" is
+//! the entry point), so the suite needs no external binaries. Faults
+//! are armed through `LINVAR_SERVE_FAULT`, exactly as ci.sh arms them.
+
+use linvar_core::ModelRegistry;
+use linvar_metrics::Json;
+use linvar_serve::{request, JsonGet, ServeConfig, ServeFault, Server};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const CHILD_ENV: &str = "LINVAR_SERVE_TEST_CHILD";
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Re-exec entry point: a no-op test in the parent run; the child
+/// server when `LINVAR_SERVE_TEST_CHILD=<jobs_dir>|<addr>` is set.
+#[test]
+fn child_server_entry() {
+    let Ok(spec) = std::env::var(CHILD_ENV) else {
+        return;
+    };
+    let (dir, addr) = spec.split_once('|').expect("spec is <jobs_dir>|<addr>");
+    let mut config = ServeConfig::from_env(); // arms LINVAR_SERVE_FAULT
+    config.addr = addr.to_string();
+    config.jobs_dir = PathBuf::from(dir);
+    config.workers = 1;
+    let handle = Server::start(config, ModelRegistry::with_builtins()).expect("child start");
+    handle.join();
+    std::process::exit(0);
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("linvar-serve-rec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Grabs a free TCP port (bind-then-release; the tiny race is fine for
+/// tests).
+fn free_addr() -> String {
+    let l = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+    let addr = l.local_addr().expect("probe addr");
+    addr.to_string()
+}
+
+fn spawn_child(dir: &Path, addr: &str, fault: Option<&str>) -> Child {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.arg("child_server_entry")
+        .arg("--exact")
+        .arg("--nocapture")
+        .env(CHILD_ENV, format!("{}|{addr}", dir.display()))
+        .env_remove("LINVAR_SERVE_FAULT")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if let Some(f) = fault {
+        cmd.env("LINVAR_SERVE_FAULT", f);
+    }
+    cmd.spawn().expect("spawn child server")
+}
+
+fn wait_healthy(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(resp) = request(addr, "GET", "/healthz", None, CLIENT_TIMEOUT) {
+            if resp.status == 200 {
+                return;
+            }
+        }
+        assert!(Instant::now() < deadline, "server never became healthy");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn submit_body(model: &str, seed: u64, n: usize) -> Json {
+    let mut body = Json::obj();
+    body.set("model", model)
+        .set("seed", seed)
+        .set("n", n as u64);
+    body
+}
+
+/// Polls `/jobs/<id>/result` until terminal; returns the result line.
+fn wait_result(addr: &str, id: &str, timeout: Duration) -> String {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok(resp) = request(
+            addr,
+            "GET",
+            &format!("/jobs/{id}/result"),
+            None,
+            CLIENT_TIMEOUT,
+        ) {
+            if resp.status == 200 {
+                assert_eq!(
+                    resp.body.get_str("state"),
+                    Some("done"),
+                    "job finished abnormally: {}",
+                    resp.body.render()
+                );
+                return resp
+                    .body
+                    .get_str("result")
+                    .expect("result line")
+                    .to_string();
+            }
+            assert_eq!(resp.status, 202, "unexpected status");
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn shutdown_and_reap(addr: &str, mut child: Child) {
+    let _ = request(addr, "POST", "/shutdown", None, CLIENT_TIMEOUT);
+    let status = child.wait().expect("child wait");
+    assert!(
+        status.success(),
+        "graceful shutdown must exit 0: {status:?}"
+    );
+}
+
+/// The uninterrupted reference: same campaign through an in-process
+/// server (identical code path, fresh store).
+fn reference_line(model: &str, seed: u64, n: usize) -> String {
+    let dir = temp_dir(&format!("ref-{model}-{seed}-{n}"));
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        jobs_dir: dir.clone(),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(config, ModelRegistry::with_builtins()).expect("ref server");
+    let addr = handle.addr().to_string();
+    let resp = request(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(&submit_body(model, seed, n)),
+        CLIENT_TIMEOUT,
+    )
+    .expect("ref submit");
+    assert_eq!(resp.status, 200);
+    let id = resp.body.get_str("job").expect("job id").to_string();
+    let line = wait_result(&addr, &id, Duration::from_secs(60));
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    line
+}
+
+fn no_tmp_files(dir: &Path) -> bool {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .all(|e| e.path().extension().is_none_or(|ext| ext != "tmp"))
+        })
+        .unwrap_or(true)
+}
+
+// ---------------------------------------------------------------------------
+// External kill -9 mid-campaign.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kill9_mid_campaign_restart_resumes_byte_identically() {
+    let dir = temp_dir("kill9");
+    let addr = free_addr();
+    let reference = reference_line("demo-slow", 7, 30);
+
+    let mut child = spawn_child(&dir, &addr, None);
+    wait_healthy(&addr);
+    let resp = request(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(&submit_body("demo-slow", 7, 30)),
+        CLIENT_TIMEOUT,
+    )
+    .expect("submit");
+    assert_eq!(resp.status, 200);
+    let id = resp.body.get_str("job").expect("job id").to_string();
+    // Let the campaign get some checkpoints down, then kill -9.
+    std::thread::sleep(Duration::from_millis(350));
+    child.kill().expect("kill -9");
+    let _ = child.wait();
+
+    let child2 = spawn_child(&dir, &addr, None);
+    wait_healthy(&addr);
+    let line = wait_result(&addr, &id, Duration::from_secs(60));
+    assert_eq!(line, reference, "resumed result must be byte-identical");
+    shutdown_and_reap(&addr, child2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Injected crash windows.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn crash_before_journal_loses_nothing_the_client_was_told() {
+    let dir = temp_dir("beforejournal");
+    let addr = free_addr();
+    let reference = reference_line("demo-fast", 11, 48);
+
+    let mut child = spawn_child(&dir, &addr, Some("crash-before-journal"));
+    wait_healthy(&addr);
+    // The submit dies mid-request: either a transport error or no
+    // well-formed response — the client was never told "queued".
+    let outcome = request(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(&submit_body("demo-fast", 11, 48)),
+        CLIENT_TIMEOUT,
+    );
+    assert!(
+        outcome.is_err() || outcome.as_ref().map(|r| r.status) != Ok(200),
+        "an acknowledged submit must imply a durable record"
+    );
+    let status = child.wait().expect("child wait");
+    assert!(!status.success(), "the fault must have aborted the child");
+
+    // Restart: no trace of the job (it was never journaled) — the
+    // client's retry simply submits fresh and completes.
+    let child2 = spawn_child(&dir, &addr, None);
+    wait_healthy(&addr);
+    let resp = request(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(&submit_body("demo-fast", 11, 48)),
+        CLIENT_TIMEOUT,
+    )
+    .expect("retry submit");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.body.get_bool("existing"),
+        Some(false),
+        "crash-before-journal must leave no record"
+    );
+    let id = resp.body.get_str("job").expect("job id").to_string();
+    let line = wait_result(&addr, &id, Duration::from_secs(60));
+    assert_eq!(line, reference);
+    shutdown_and_reap(&addr, child2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_after_journal_recovers_the_job_the_client_never_heard_about() {
+    let dir = temp_dir("afterjournal");
+    let addr = free_addr();
+    let reference = reference_line("demo-fast", 13, 48);
+
+    let mut child = spawn_child(&dir, &addr, Some("crash-after-journal"));
+    wait_healthy(&addr);
+    let outcome = request(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(&submit_body("demo-fast", 13, 48)),
+        CLIENT_TIMEOUT,
+    );
+    assert!(
+        outcome.is_err() || outcome.as_ref().map(|r| r.status) != Ok(200),
+        "the crash fires before the response is written"
+    );
+    let status = child.wait().expect("child wait");
+    assert!(!status.success());
+
+    // Restart: the journaled job was re-queued by the recovery scan;
+    // the client's retry dedups onto it instead of double-running.
+    let child2 = spawn_child(&dir, &addr, None);
+    wait_healthy(&addr);
+    let resp = request(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(&submit_body("demo-fast", 13, 48)),
+        CLIENT_TIMEOUT,
+    )
+    .expect("retry submit");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.body.get_bool("existing"),
+        Some(true),
+        "the journaled job must already exist after restart"
+    );
+    let id = resp.body.get_str("job").expect("job id").to_string();
+    let line = wait_result(&addr, &id, Duration::from_secs(60));
+    assert_eq!(line, reference);
+    shutdown_and_reap(&addr, child2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_mid_checkpoint_reaps_torn_tmp_and_resumes_byte_identically() {
+    let dir = temp_dir("midckpt");
+    let addr = free_addr();
+    let reference = reference_line("demo-slow", 17, 24);
+
+    let mut child = spawn_child(&dir, &addr, Some("crash-mid-checkpoint"));
+    wait_healthy(&addr);
+    let resp = request(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(&submit_body("demo-slow", 17, 24)),
+        CLIENT_TIMEOUT,
+    )
+    .expect("submit");
+    assert_eq!(resp.status, 200);
+    let id = resp.body.get_str("job").expect("job id").to_string();
+    // The worker runs half the campaign, drops a torn *.tmp next to the
+    // real snapshot, and aborts.
+    let status = child.wait().expect("child wait");
+    assert!(!status.success(), "the fault must have aborted the child");
+    assert!(
+        !no_tmp_files(&dir),
+        "the crash window must have left a torn staging file"
+    );
+
+    let child2 = spawn_child(&dir, &addr, None);
+    wait_healthy(&addr);
+    let line = wait_result(&addr, &id, Duration::from_secs(60));
+    assert_eq!(line, reference, "resume after torn checkpoint write");
+    assert!(
+        no_tmp_files(&dir),
+        "the recovery scan must reap torn staging files"
+    );
+    shutdown_and_reap(&addr, child2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Contained faults: the server survives them in-process.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn worker_panic_is_contained_and_the_job_still_completes() {
+    let dir = temp_dir("panic");
+    let reference = reference_line("demo-fast", 19, 48);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        jobs_dir: dir.clone(),
+        fault: Some(ServeFault::WorkerPanic),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(config, ModelRegistry::with_builtins()).expect("start");
+    let addr = handle.addr().to_string();
+    let resp = request(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(&submit_body("demo-fast", 19, 48)),
+        CLIENT_TIMEOUT,
+    )
+    .expect("submit");
+    assert_eq!(resp.status, 200);
+    let id = resp.body.get_str("job").expect("job id").to_string();
+    // First attempt panics (contained, job re-queued); the second
+    // attempt completes.
+    let line = wait_result(&addr, &id, Duration::from_secs(60));
+    assert_eq!(line, reference);
+    // The server is still fully alive.
+    let health = request(&addr, "GET", "/healthz", None, CLIENT_TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200);
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stalled_worker_leaves_the_server_responsive() {
+    let dir = temp_dir("stall");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        jobs_dir: dir.clone(),
+        fault: Some(ServeFault::Stall { millis: 400 }),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(config, ModelRegistry::with_builtins()).expect("start");
+    let addr = handle.addr().to_string();
+    let resp = request(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(&submit_body("demo-fast", 23, 16)),
+        CLIENT_TIMEOUT,
+    )
+    .expect("submit");
+    assert_eq!(resp.status, 200);
+    let id = resp.body.get_str("job").expect("job id").to_string();
+    // While the only worker stalls, the HTTP plane must stay live.
+    for _ in 0..5 {
+        let health = request(&addr, "GET", "/healthz", None, CLIENT_TIMEOUT).expect("healthz");
+        assert_eq!(health.status, 200, "healthz during a stalled worker");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let _ = wait_result(&addr, &id, Duration::from_secs(60));
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful shutdown: drain, snapshot, resume in the next process.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn graceful_shutdown_snapshots_and_the_next_server_resumes() {
+    let dir = temp_dir("drain");
+    let reference = reference_line("demo-slow", 29, 30);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        jobs_dir: dir.clone(),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(config.clone(), ModelRegistry::with_builtins()).expect("start");
+    let addr = handle.addr().to_string();
+    let resp = request(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(&submit_body("demo-slow", 29, 30)),
+        CLIENT_TIMEOUT,
+    )
+    .expect("submit");
+    assert_eq!(resp.status, 200);
+    let id = resp.body.get_str("job").expect("job id").to_string();
+    std::thread::sleep(Duration::from_millis(250));
+    // Drain mid-campaign: in-flight samples finish, a snapshot lands,
+    // the job stays journaled as running.
+    handle.shutdown();
+    handle.join();
+
+    let handle2 = Server::start(config, ModelRegistry::with_builtins()).expect("restart");
+    assert_eq!(
+        handle2.recovery.requeued,
+        vec![id.clone()],
+        "the drained job must be re-queued on restart"
+    );
+    let addr2 = handle2.addr().to_string();
+    let line = wait_result(&addr2, &id, Duration::from_secs(60));
+    assert_eq!(line, reference, "drain + resume must be byte-identical");
+    handle2.shutdown();
+    handle2.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
