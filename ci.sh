@@ -179,6 +179,46 @@ for key in '"phase.symbolic.calls"' '"phase.numeric_factor.calls"' '"phase.solve
     fi
 done
 
+echo "==> spectral engine smoke (table4 --quick --engine gpc vs mc, moment budget + solves ratio)"
+# The gpc run itself fails (non-zero exit) on a budget violation; the
+# python pass below re-checks the recorded metrics independently and
+# prints the solves-to-tolerance ratios for the log.
+if ! LINVAR_THREADS=2 LINVAR_TRAJECTORY=BENCH_trajectory.json LINVAR_TRAJECTORY_LABEL=ci-gpc-smoke \
+    cargo run --release -q -p linvar-bench --bin table4 -- --quick --engine gpc \
+    >"$ckdir/gpc.out" 2>&1; then
+    echo "table4 --engine gpc failed (budget violation or error):" >&2
+    cat "$ckdir/gpc.out" >&2
+    exit 1
+fi
+grep '^gpc ' "$ckdir/gpc.out" >"$ckdir/gpc.rows"
+if ! [ -s "$ckdir/gpc.rows" ]; then
+    echo "table4 --engine gpc printed no gpc rows:" >&2
+    cat "$ckdir/gpc.out" >&2
+    exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json, struct, sys
+
+bench = json.load(open("BENCH_table4.json"))["bench"]
+if bench.get("engine") != "gpc":
+    sys.exit("BENCH_table4.json is not from the gpc engine run")
+if not bench.get("all_within_budget"):
+    sys.exit("gpc engine left the documented agreement budget")
+bits = lambda s: struct.unpack(">d", bytes.fromhex(s))[0]
+for tag, cfg in sorted(bench["configs"].items()):
+    mc_mean, gpc_mean = bits(cfg["mc_mean_bits"]), bits(cfg["gpc_mean_bits"])
+    rel = abs(gpc_mean - mc_mean) / abs(mc_mean)
+    print(f"    gpc smoke {tag}: mean diff {rel:.2e}, solves ratio "
+          f"{cfg['solves_ratio']:.2e} ({cfg['gpc_solves']} gpc vs "
+          f"{cfg['mc_solves_to_tol']:.0f} MC solves to tolerance)")
+    if not cfg["within_budget"]:
+        sys.exit(f"{tag}: gpc vs mc moments out of budget")
+    if cfg["solves_ratio"] > 0.1:
+        sys.exit(f"{tag}: solves-to-tolerance ratio {cfg['solves_ratio']} > 0.1")
+EOF
+fi
+
 echo "==> shard identity (sharded merge bitwise-equal to single-process, incl. faults)"
 cargo test -q --test shard_identity
 

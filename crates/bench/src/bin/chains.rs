@@ -15,6 +15,13 @@
 //! (in-memory, no checkpoints) — the `mc` rows are byte-identical either
 //! way, which `ci.sh` also diffs.
 //!
+//! `--engine sobol` reruns the MC flow over the Sobol quasi-MC sample
+//! stream (rows prefixed `sobol`); `--engine gpc` replaces the sample
+//! campaign with the Smolyak spectral grid of
+//! [`linvar_bench::chains::CHAINS_GPC_CONFIG`] — 11 transient solves
+//! per case — printing `gpc` rows with surrogate moments and quantiles.
+//! Neither spectral engine supports `--shards`.
+//!
 //! Phase timings (`symbolic`, `numeric_factor`, `solve`) and per-case
 //! throughput land in `BENCH_chains.json`; `--metrics` additionally
 //! prints the report, and `LINVAR_TRAJECTORY` appends a trajectory row.
@@ -24,8 +31,11 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
-use linvar_bench::chains::{mc_line, run_case, run_case_sharded, sample_set};
-use linvar_bench::{workspace_note, BenchArgs, BenchError, BenchMeter};
+use linvar_bench::chains::{
+    engine_line, gpc_line, run_case, run_case_sharded, run_case_spectral, sample_set,
+    sample_set_sobol,
+};
+use linvar_bench::{workspace_note, BenchArgs, BenchError, BenchMeter, Engine};
 use linvar_interconnect::standard_cases;
 use linvar_numeric::{SolverBackend, SolverChoice};
 use linvar_stats::{resolve_threads, ShardConfig, Summary};
@@ -47,8 +57,10 @@ fn main() {
 fn run() -> Result<(), BenchError> {
     let args = BenchArgs::parse(std::env::args().skip(1))?;
     args.reject_campaign_flags("chains")?;
+    args.validate_engine("chains", true)?;
     let mut meter = BenchMeter::start("chains");
     let threads = resolve_threads(0);
+    let engine = args.engine.name();
     let n_samples = if args.quick { 6 } else { 16 };
     let pinned = match SolverChoice::from_env() {
         SolverChoice::Auto => None,
@@ -67,14 +79,28 @@ fn run() -> Result<(), BenchError> {
     if let Some(n_shards) = args.shards {
         println!("shard supervisor: {n_shards} shard(s) per campaign");
     }
+    if args.engine != Engine::Mc {
+        println!("statistics engine: {engine}");
+    }
     println!();
-    let samples = sample_set(n_samples);
+    // The Sobol engine is the MC flow over the quasi-MC sample stream;
+    // the gPC engine replaces the campaign with a spectral node grid.
+    let samples = match args.engine {
+        Engine::Sobol => sample_set_sobol(n_samples),
+        _ => sample_set(n_samples),
+    };
     let cases = standard_cases(args.quick)?;
     for case in &cases {
         println!(
             "-- {} (dim {}, {} elements, tstop {:.3e} s)",
             case.name, case.dim, case.element_count, case.tstop
         );
+        if args.engine == Engine::Gpc {
+            run_gpc_case(case, threads, pinned, &mut meter)?;
+            meter.set(&format!("{}.dim", case.name), case.dim as u64);
+            println!();
+            continue;
+        }
         // The `mc` rows stay byte-identical with and without shards —
         // the identity ci.sh's shard smoke diffs.
         let shard_cfg = args.shard_config(&case.name)?;
@@ -89,7 +115,7 @@ fn run() -> Result<(), BenchError> {
                 }
                 let (summary, failures, rate) =
                     timed_campaign(case, &samples, threads, choice, shard_cfg.as_ref())?;
-                println!("{}", mc_line(&case.name, &summary, failures));
+                println!("{}", engine_line(engine, &case.name, &summary, failures));
                 eprintln!("{}: {} {rate:.2} samples/sec", case.name, name_of(choice));
                 meter.set(
                     &format!("{}.{}.samples_per_sec", case.name, name_of(choice)),
@@ -114,8 +140,8 @@ fn run() -> Result<(), BenchError> {
                         shard_cfg.as_ref(),
                     )?;
                     meter.set(&format!("{}.dense.samples_per_sec", case.name), rate_d);
-                    let row_s = mc_line(&case.name, &sum_s, fail_s);
-                    let row_d = mc_line(&case.name, &sum_d, fail_d);
+                    let row_s = engine_line(engine, &case.name, &sum_s, fail_s);
+                    let row_d = engine_line(engine, &case.name, &sum_d, fail_d);
                     if row_s != row_d {
                         return Err(BenchError::Msg(format!(
                             "backend mismatch on {}:\n  dense:  {row_d}\n  sparse: {row_s}",
@@ -131,7 +157,7 @@ fn run() -> Result<(), BenchError> {
                     );
                     meter.set(&format!("{}.speedup", case.name), speedup);
                 } else {
-                    println!("{}", mc_line(&case.name, &sum_s, fail_s));
+                    println!("{}", engine_line(engine, &case.name, &sum_s, fail_s));
                     let dense_gib =
                         (case.dim as f64) * (case.dim as f64) * 8.0 / (1024.0 * 1024.0 * 1024.0);
                     println!(
@@ -173,6 +199,67 @@ fn timed_campaign(
     };
     let rate = samples.len() as f64 / t0.elapsed().as_secs_f64().max(1e-12);
     Ok((summary, failures, rate))
+}
+
+/// Runs the gPC spectral analysis for one case: sparse backend always,
+/// dense too when feasible — the `gpc` rows must match byte-for-byte
+/// across backends, exactly like the `mc` rows.
+fn run_gpc_case(
+    case: &linvar_interconnect::ChainCase,
+    threads: usize,
+    pinned: Option<SolverChoice>,
+    meter: &mut BenchMeter,
+) -> Result<(), BenchError> {
+    match pinned {
+        Some(choice) => {
+            if backend_of(choice) == SolverBackend::Dense && case.dim > DENSE_MAX_DIM {
+                println!(
+                    "dense {}: infeasible at dim {} (skipped; dense cap {DENSE_MAX_DIM})",
+                    case.name, case.dim
+                );
+                return Ok(());
+            }
+            let t0 = Instant::now();
+            let res = run_case_spectral(case, threads, choice)?;
+            let rate = res.nodes_evaluated as f64 / t0.elapsed().as_secs_f64().max(1e-12);
+            println!("{}", gpc_line(&case.name, &res));
+            eprintln!("{}: {} {rate:.2} nodes/sec", case.name, name_of(choice));
+            meter.set(
+                &format!("{}.{}.nodes_per_sec", case.name, name_of(choice)),
+                rate,
+            );
+            meter.set(
+                &format!("{}.gpc_nodes", case.name),
+                res.nodes_evaluated as u64,
+            );
+        }
+        None => {
+            let res_s = run_case_spectral(case, threads, SolverChoice::Sparse)?;
+            let row_s = gpc_line(&case.name, &res_s);
+            meter.set(
+                &format!("{}.gpc_nodes", case.name),
+                res_s.nodes_evaluated as u64,
+            );
+            if case.dim <= DENSE_MAX_DIM {
+                let res_d = run_case_spectral(case, threads, SolverChoice::Dense)?;
+                let row_d = gpc_line(&case.name, &res_d);
+                if row_s != row_d {
+                    return Err(BenchError::Msg(format!(
+                        "backend mismatch on {}:\n  dense:  {row_d}\n  sparse: {row_s}",
+                        case.name
+                    )));
+                }
+                println!("{row_s}");
+            } else {
+                println!("{row_s}");
+                println!(
+                    "{}: dense infeasible at dim {} (cap {DENSE_MAX_DIM})",
+                    case.name, case.dim
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 fn backend_of(choice: SolverChoice) -> SolverBackend {

@@ -15,20 +15,61 @@
 //! `--shard-index <K> --checkpoint <prefix>` this process evaluates
 //! only shard K and leaves its snapshot for a later `--resume` merge.
 //!
+//! `--engine sobol` reruns the Monte-Carlo flow on the Sobol quasi-MC
+//! stream (rows prefixed `sobol`); `--engine gpc` replaces the sample
+//! campaign with a stochastic-testing gPC surrogate (order 2 over the
+//! two active sources, 6 transient solves) whose implied normal is
+//! histogrammed against GA on the same equal-probability strata. Both
+//! spectral engines honor the campaign flags; neither combines with
+//! `--shards`.
+//!
 //! Run with `cargo run --release -p linvar-bench --bin fig7`
 //! (set `LINVAR_THREADS` to pin the Monte-Carlo worker count).
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
-use linvar_bench::{bits_hex, BenchArgs, BenchError, BenchMeter};
+use linvar_bench::{bits_hex, quantile_at, BenchArgs, BenchError, BenchMeter, Engine};
 use linvar_core::path::{PathModel, PathSpec, VariationSources};
 use linvar_core::{CampaignVerdict, RecoveryPolicy};
 use linvar_devices::tech_018;
 use linvar_interconnect::WireTech;
 use linvar_iscas::{benchmark, decompose_to_primitives, longest_path};
 use linvar_stats::sampling::inverse_normal_cdf;
-use linvar_stats::{resolve_threads, Histogram};
+use linvar_stats::{resolve_threads, Histogram, SpectralConfig};
 use std::time::Instant;
+
+/// Renders the engine-vs-GA comparison tail shared by every engine:
+/// the stratified GA normal, the paired histogram, and the moment line.
+fn render_vs_ga(
+    model: &PathModel,
+    sources: &VariationSources,
+    circuit: &str,
+    label: &str,
+    mean: f64,
+    std: f64,
+    delays: &[f64],
+) -> Result<(), BenchError> {
+    let ga = model.gradient_analysis(sources)?;
+    // Stratified normal sample implied by the GA statistics.
+    let n = delays.len();
+    let ga_sample: Vec<f64> = (0..n)
+        .map(|k| {
+            let u = (k as f64 + 0.5) / n as f64;
+            ga.nominal_delay + ga.std * inverse_normal_cdf(u)
+        })
+        .collect();
+    let (h_eng, h_ga) = Histogram::pair(delays, &ga_sample, 12)?;
+    println!(
+        "{circuit}: {label} mean {:.2} ps std {:.2} ps | GA mean {:.2} ps std {:.2} ps",
+        mean * 1e12,
+        std * 1e12,
+        ga.nominal_delay * 1e12,
+        ga.std * 1e12
+    );
+    print!("{}", h_eng.render_pair(&h_ga, label, "GA", 1e12, "ps"));
+    println!();
+    Ok(())
+}
 
 fn main() {
     if let Err(e) = run() {
@@ -42,11 +83,17 @@ fn run() -> Result<(), BenchError> {
     if args.quick {
         return Err(BenchError::Usage("fig7 has no --quick mode".into()));
     }
+    args.validate_engine("fig7", true)?;
     let mut meter = BenchMeter::start("fig7");
     let run_start = Instant::now();
     let threads = resolve_threads(0);
+    let engine = args.engine.name();
     println!("==== Figure 7: MC vs GA delay histograms (DL, VT variations) ====");
-    println!("(Monte-Carlo on {threads} worker thread(s); set LINVAR_THREADS to change)\n");
+    println!("(Monte-Carlo on {threads} worker thread(s); set LINVAR_THREADS to change)");
+    if args.engine != Engine::Mc {
+        println!("statistics engine: {engine}");
+    }
+    println!();
     let tech = tech_018();
     let wire = WireTech::m018();
     let sources = VariationSources::example3(0.33, 0.33);
@@ -66,6 +113,55 @@ fn run() -> Result<(), BenchError> {
             input_slew: 60e-12,
         };
         let model = PathModel::build(&spec, &tech, &wire)?;
+        if args.engine == Engine::Gpc {
+            let t0 = Instant::now();
+            let config = args.campaign_config(circuit, run_start);
+            let pc = model.polynomial_chaos_campaign(
+                &sources,
+                SpectralConfig::stochastic_testing(2),
+                7,
+                threads,
+                RecoveryPolicy::default(),
+                &config,
+            )?;
+            let Some(res) = pc.result else {
+                truncated += 1;
+                eprintln!(
+                    "deadline: {circuit} truncated mid-grid ({} nodes done); resume with \
+                     --resume to finish",
+                    pc.completed
+                );
+                continue;
+            };
+            println!(
+                "gpc {circuit}: nodes={} mean={} std={} q05={} q50={} q95={}",
+                res.nodes_evaluated,
+                bits_hex(res.mean),
+                bits_hex(res.std),
+                bits_hex(quantile_at(&res.quantiles, 0.05)),
+                bits_hex(quantile_at(&res.quantiles, 0.5)),
+                bits_hex(quantile_at(&res.quantiles, 0.95)),
+            );
+            if pc.evaluated > 0 {
+                eprintln!(
+                    "{circuit}: {:.1} nodes/sec",
+                    pc.evaluated as f64 / t0.elapsed().as_secs_f64()
+                );
+            } else {
+                eprintln!("{circuit}: restored from snapshot");
+            }
+            // Histogram the surrogate's implied normal on the same
+            // equal-probability strata the GA histogram uses, so the
+            // figure compares the two closed-form estimates directly.
+            let delays: Vec<f64> = (0..100)
+                .map(|k| {
+                    let u = (k as f64 + 0.5) / 100.0;
+                    res.mean + res.std * inverse_normal_cdf(u)
+                })
+                .collect();
+            render_vs_ga(&model, &sources, circuit, "gPC", res.mean, res.std, &delays)?;
+            continue;
+        }
         let shard_cfg = args.shard_config(circuit)?;
         if let (Some(cfg), Some(k)) = (&shard_cfg, args.shard_index) {
             // Worker mode: evaluate only shard k, leave its snapshot as
@@ -102,14 +198,26 @@ fn run() -> Result<(), BenchError> {
             }
             None => {
                 let config = args.campaign_config(circuit, run_start);
-                let mc = model.monte_carlo_campaign(
-                    &sources,
-                    100,
-                    7,
-                    threads,
-                    RecoveryPolicy::default(),
-                    &config,
-                )?;
+                // The Sobol engine is the identical campaign flow over
+                // the quasi-MC sample stream.
+                let mc = match args.engine {
+                    Engine::Sobol => model.monte_carlo_campaign_sobol(
+                        &sources,
+                        100,
+                        7,
+                        threads,
+                        RecoveryPolicy::default(),
+                        &config,
+                    )?,
+                    _ => model.monte_carlo_campaign(
+                        &sources,
+                        100,
+                        7,
+                        threads,
+                        RecoveryPolicy::default(),
+                        &config,
+                    )?,
+                };
                 if let CampaignVerdict::Truncated { remaining } = mc.verdict {
                     truncated += 1;
                     eprintln!(
@@ -122,7 +230,7 @@ fn run() -> Result<(), BenchError> {
             }
         };
         println!(
-            "mc {circuit}: n={} mean={} std={} failures={}",
+            "{engine} {circuit}: n={} mean={} std={} failures={}",
             summary.n,
             bits_hex(summary.mean),
             bits_hex(summary.std),
@@ -136,25 +244,20 @@ fn run() -> Result<(), BenchError> {
         } else {
             eprintln!("{circuit}: restored from snapshot");
         }
-        let ga = model.gradient_analysis(&sources)?;
-        // Stratified normal sample implied by the GA statistics.
-        let n = delays.len();
-        let ga_sample: Vec<f64> = (0..n)
-            .map(|k| {
-                let u = (k as f64 + 0.5) / n as f64;
-                ga.nominal_delay + ga.std * inverse_normal_cdf(u)
-            })
-            .collect();
-        let (h_mc, h_ga) = Histogram::pair(&delays, &ga_sample, 12)?;
-        println!(
-            "{circuit}: MC mean {:.2} ps std {:.2} ps | GA mean {:.2} ps std {:.2} ps",
-            summary.mean * 1e12,
-            summary.std * 1e12,
-            ga.nominal_delay * 1e12,
-            ga.std * 1e12
-        );
-        print!("{}", h_mc.render_pair(&h_ga, "MC", "GA", 1e12, "ps"));
-        println!();
+        let label = if args.engine == Engine::Sobol {
+            "Sobol"
+        } else {
+            "MC"
+        };
+        render_vs_ga(
+            &model,
+            &sources,
+            circuit,
+            label,
+            summary.mean,
+            summary.std,
+            &delays,
+        )?;
     }
     if truncated > 0 {
         println!(

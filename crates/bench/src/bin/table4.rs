@@ -25,20 +25,243 @@
 //! as the output — a later `--shards N --resume <prefix>` run merges
 //! the per-shard snapshots without re-evaluating any sample.
 //!
+//! `--engine gpc|sobol` switches to the engine-comparison mode: per
+//! circuit at 10 linear elements, an MC reference runs next to the
+//! requested engine and the agreement (plus, for gPC, the
+//! solves-to-tolerance ratio) is recorded in `BENCH_table4.json`. The
+//! gPC refinement runs as a durable campaign, so the campaign flags
+//! apply to it; `--shards` does not combine with a spectral engine.
+//!
 //! Run with `cargo run --release -p linvar-bench --bin table4`
 //! (`LINVAR_THREADS=4 cargo run …` to pin the worker count).
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
-use linvar_bench::{bits_hex, render_table, BenchArgs, BenchError, BenchMeter};
+use linvar_bench::{
+    bits_hex, quantile_at, render_table, BenchArgs, BenchError, BenchMeter, Engine,
+};
 use linvar_core::path::{PathModel, PathSpec, VariationSources};
 use linvar_core::{CampaignVerdict, RecoveryPolicy};
 use linvar_devices::tech_018;
 use linvar_interconnect::WireTech;
 use linvar_iscas::{benchmark, decompose_to_primitives, longest_path};
 use linvar_metrics::Json;
-use linvar_stats::resolve_threads;
+use linvar_stats::{resolve_threads, SpectralConfig};
 use std::time::Instant;
+
+/// MC reference sample count for the engine-comparison modes.
+const ENGINE_MC_REF_N: usize = 60;
+
+/// Documented gPC/Sobol-vs-MC budgets (see DESIGN.md, "Stochastic
+/// spectral engines"): the mean must agree to 2 % plus four MC standard
+/// errors; the std to 25 % plus four of the MC std's own standard
+/// errors (an n-sample MC std carries ~`1/√(2(n−1))` relative noise).
+const MEAN_BUDGET_REL: f64 = 0.02;
+const STD_BUDGET_REL: f64 = 0.25;
+
+/// `--engine gpc|sobol`: per circuit at 10 linear elements, run an MC
+/// reference plus the requested engine, print the engine's deterministic
+/// statistics rows, and record the agreement + solves-to-tolerance
+/// metrics in `BENCH_table4.json`.
+///
+/// The gPC mode runs the stochastic-testing grid twice — order 1 (the
+/// cheap estimate) and order 2 (the refined one, as a durable campaign
+/// honoring `--checkpoint`/`--resume`/`--deadline`). The spread between
+/// the two is the achieved tolerance; the number of MC samples needed to
+/// pin the mean to that same tolerance (`(σ/(tol·μ))²`) is the
+/// solves-to-tolerance denominator the acceptance ratio divides by.
+fn run_engine_mode(args: &BenchArgs) -> Result<(), BenchError> {
+    let mut meter = BenchMeter::start("table4");
+    let mut configs = Json::obj();
+    let run_start = Instant::now();
+    let threads = resolve_threads(0);
+    let engine = args.engine.name();
+    println!("==== Table 4 ({engine} engine): agreement with the MC reference ====");
+    println!("(MC reference n={ENGINE_MC_REF_N}; {threads} worker thread(s))\n");
+    let tech = tech_018();
+    let wire = WireTech::m018();
+    let sources = VariationSources::example3_table4();
+    let circuits: &[&str] = if args.quick {
+        &["s27", "s208"]
+    } else {
+        &["s27", "s208", "s444", "s1423", "s9234"]
+    };
+    let master_seed = 4;
+    let n_elem = 10usize;
+    let mut rows = Vec::new();
+    let mut truncated = 0usize;
+    let mut all_within = true;
+    for &circuit in circuits {
+        if args.deadline_exhausted(run_start) {
+            truncated += 1;
+            eprintln!("deadline: skipping {circuit}@{n_elem} (no budget left)");
+            continue;
+        }
+        let spec = PathSpec {
+            cells: path_cells(circuit)?,
+            linear_elements_between_stages: n_elem,
+            input_slew: 60e-12,
+        };
+        let model = PathModel::build(&spec, &tech, &wire)?;
+        let mc = model.monte_carlo_par(&sources, ENGINE_MC_REF_N, master_seed, threads)?;
+        let mc_n = mc.summary.n as f64;
+        let mean_budget =
+            MEAN_BUDGET_REL * mc.summary.mean.abs() + 4.0 * mc.summary.std / mc_n.sqrt();
+        let std_budget =
+            STD_BUDGET_REL * mc.summary.std + 4.0 * mc.summary.std / (2.0 * (mc_n - 1.0)).sqrt();
+        let mut cfg = Json::obj();
+        cfg.set("engine", engine);
+        cfg.set("mc_ref_n", mc.summary.n as u64);
+        cfg.set("mc_mean_bits", bits_hex(mc.summary.mean));
+        cfg.set("mc_std_bits", bits_hex(mc.summary.std));
+        let (mean, std, solves) = match args.engine {
+            Engine::Sobol => {
+                let config = args.campaign_config(&format!("sobol.{circuit}.{n_elem}"), run_start);
+                let qmc = model.monte_carlo_campaign_sobol(
+                    &sources,
+                    ENGINE_MC_REF_N,
+                    master_seed,
+                    threads,
+                    RecoveryPolicy::default(),
+                    &config,
+                )?;
+                if let CampaignVerdict::Truncated { remaining } = qmc.verdict {
+                    truncated += 1;
+                    eprintln!(
+                        "deadline: {circuit}@{n_elem} truncated with {remaining} samples \
+                         pending; resume with --resume to finish"
+                    );
+                    continue;
+                }
+                println!(
+                    "sobol {circuit}@{n_elem}: n={} mean={} std={} failures={}",
+                    qmc.summary.n,
+                    bits_hex(qmc.summary.mean),
+                    bits_hex(qmc.summary.std),
+                    qmc.failures
+                );
+                cfg.set("sobol_mean_bits", bits_hex(qmc.summary.mean));
+                cfg.set("sobol_std_bits", bits_hex(qmc.summary.std));
+                cfg.set("failures", qmc.failures as u64);
+                (qmc.summary.mean, qmc.summary.std, qmc.summary.n)
+            }
+            _ => {
+                // Cheap estimate: stochastic-testing order 1 (d+1 solves).
+                let lo = model.polynomial_chaos(
+                    &sources,
+                    SpectralConfig::stochastic_testing(1),
+                    master_seed,
+                    threads,
+                    RecoveryPolicy::default(),
+                )?;
+                // Refined estimate: order 2, as a durable campaign.
+                let config = args.campaign_config(&format!("gpc.{circuit}.{n_elem}"), run_start);
+                let pc = model.polynomial_chaos_campaign(
+                    &sources,
+                    SpectralConfig::stochastic_testing(2),
+                    master_seed,
+                    threads,
+                    RecoveryPolicy::default(),
+                    &config,
+                )?;
+                let Some(hi) = pc.result else {
+                    truncated += 1;
+                    eprintln!(
+                        "deadline: {circuit}@{n_elem} truncated mid-grid ({} nodes done); \
+                         resume with --resume to finish",
+                        pc.completed
+                    );
+                    continue;
+                };
+                println!(
+                    "gpc {circuit}@{n_elem}: nodes={} mean={} std={} q05={} q50={} q95={}",
+                    hi.nodes_evaluated,
+                    bits_hex(hi.mean),
+                    bits_hex(hi.std),
+                    bits_hex(quantile_at(&hi.quantiles, 0.05)),
+                    bits_hex(quantile_at(&hi.quantiles, 0.5)),
+                    bits_hex(quantile_at(&hi.quantiles, 0.95)),
+                );
+                let gpc_solves = lo.nodes_evaluated + hi.nodes_evaluated;
+                // Achieved tolerance: the relative mean spread between
+                // the two orders (floored to keep the MC-equivalence
+                // finite when they coincide).
+                let tol_achieved = ((lo.mean - hi.mean).abs() / hi.mean.abs()).max(1e-6);
+                let mc_solves_to_tol = (hi.std / (tol_achieved * hi.mean.abs()))
+                    .powi(2)
+                    .ceil()
+                    .max(1.0);
+                let solves_ratio = gpc_solves as f64 / mc_solves_to_tol;
+                cfg.set("gpc_solves_lo", lo.nodes_evaluated as u64);
+                cfg.set("gpc_solves_hi", hi.nodes_evaluated as u64);
+                cfg.set("gpc_solves", gpc_solves as u64);
+                cfg.set("gpc_mean_bits", bits_hex(hi.mean));
+                cfg.set("gpc_std_bits", bits_hex(hi.std));
+                cfg.set("tol_achieved", tol_achieved);
+                cfg.set("mc_solves_to_tol", mc_solves_to_tol);
+                cfg.set("solves_ratio", solves_ratio);
+                cfg.set("solves_ratio_ok", solves_ratio <= 0.1);
+                if solves_ratio > 0.1 {
+                    all_within = false;
+                }
+                (hi.mean, hi.std, gpc_solves)
+            }
+        };
+        let mean_err = (mean - mc.summary.mean).abs();
+        let std_err = (std - mc.summary.std).abs();
+        let within = mean_err <= mean_budget && std_err <= std_budget;
+        all_within = all_within && within;
+        cfg.set("mean_abs_err", mean_err);
+        cfg.set("mean_budget", mean_budget);
+        cfg.set("std_abs_err", std_err);
+        cfg.set("std_budget", std_budget);
+        cfg.set("within_budget", within);
+        configs.set(&format!("{circuit}@{n_elem}"), cfg);
+        rows.push(vec![
+            circuit.to_string(),
+            format!("{solves}"),
+            format!("{}", mc.summary.n),
+            format!("{:.2}%", 1e2 * mean_err / mc.summary.mean.abs()),
+            format!("{:.1}%", 1e2 * std_err / mc.summary.std.abs()),
+            if within { "yes" } else { "NO" }.to_string(),
+        ]);
+        eprintln!("done: {circuit} @ {n_elem} elements ({engine})");
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "circuit",
+                "engine solves",
+                "MC ref n",
+                "Δmean vs MC",
+                "Δstd vs MC",
+                "within budget",
+            ],
+            &rows
+        )
+    );
+    println!("(budgets: mean 2% + 4·SE, std 25% + 4·SE of the MC reference; the gPC");
+    println!(" solves-to-tolerance ratio in BENCH_table4.json must stay ≤ 0.1)");
+    if truncated > 0 {
+        println!(
+            "note: {truncated} configuration(s) hit the deadline; rerun with \
+             --resume to finish from the snapshots"
+        );
+    }
+    if !all_within && truncated == 0 {
+        return Err(BenchError::Msg(format!(
+            "{engine} engine left the documented agreement budget (see table above)"
+        )));
+    }
+    meter.set("engine", engine);
+    meter.set("configs", configs);
+    meter.set("truncated_configs", truncated as u64);
+    meter.set("all_within_budget", all_within);
+    eprintln!("{}", linvar_bench::workspace_note());
+    meter.finish(args)?;
+    Ok(())
+}
 
 fn path_cells(circuit: &str) -> Result<Vec<String>, BenchError> {
     let bench = benchmark(circuit).ok_or_else(|| format!("unknown benchmark {circuit}"))?;
@@ -56,6 +279,10 @@ fn main() {
 
 fn run() -> Result<(), BenchError> {
     let args = BenchArgs::parse(std::env::args().skip(1))?;
+    args.validate_engine("table4", true)?;
+    if args.engine != Engine::Mc {
+        return run_engine_mode(&args);
+    }
     let mut meter = BenchMeter::start("table4");
     let mut configs = Json::obj();
     let run_start = Instant::now();

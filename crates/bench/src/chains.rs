@@ -14,8 +14,9 @@ use linvar_numeric::SolverChoice;
 use linvar_spice::{crossing_time, Transient, TransientOptions};
 use linvar_stats::sampling::lhs_normal_streamed;
 use linvar_stats::{
-    fingerprint_str, fingerprint_words, monte_carlo_par, run_sharded_campaign, CampaignFingerprint,
-    MonteCarloResult, RecoveryPolicy, SampleStatus, ShardConfig, ShardedCampaignResult, Summary,
+    fingerprint_str, fingerprint_words, monte_carlo_par, run_sharded_campaign, run_spectral,
+    sobol_normal_streamed, CampaignFingerprint, MonteCarloResult, RecoveryPolicy, SampleStatus,
+    ShardConfig, ShardedCampaignResult, SpectralConfig, SpectralPlan, SpectralResult, Summary,
 };
 
 /// Master seed of the chains campaigns (fixtures depend on it).
@@ -30,6 +31,13 @@ pub const CHAINS_SIGMA: f64 = 0.33;
 /// only on the seed — never on thread count or evaluation order.
 pub fn sample_set(n: usize) -> Vec<Vec<f64>> {
     lhs_normal_streamed(CHAINS_SEED, n, 5, CHAINS_SIGMA)
+}
+
+/// The Sobol quasi-MC counterpart of [`sample_set`]: same seed, same
+/// dimensions and σ, drawn from the digitally-shifted Sobol sequence.
+/// Each sample is a pure function of `(CHAINS_SEED, index)`.
+pub fn sample_set_sobol(n: usize) -> Vec<Vec<f64>> {
+    sobol_normal_streamed(CHAINS_SEED, n, 5, CHAINS_SIGMA)
 }
 
 /// Evaluates one Monte-Carlo sample: freeze the variational netlist at
@@ -140,17 +148,85 @@ pub fn run_case_sharded(
     Ok(sharded)
 }
 
-/// The deterministic `mc` row for one completed campaign. Statistics are
-/// rounded to `%.6e` so both backends and any worker count print the
-/// same bytes (the solver name is deliberately absent). Takes the
-/// summary and failure count rather than a result struct so the plain
-/// ([`MonteCarloResult`]) and sharded ([`ShardedCampaignResult`])
-/// drivers print through the same formatter — identity of the two rows
-/// is a CI invariant, not a coincidence.
-pub fn mc_line(case_name: &str, summary: &Summary, failures: usize) -> String {
+/// The spectral grid every chains gPC run uses: Smolyak sparse level 1
+/// over the five wire parameters at total degree 2 — 11 transient
+/// solves per case instead of a sample campaign.
+pub const CHAINS_GPC_CONFIG: SpectralConfig = SpectralConfig {
+    order: 2,
+    level: 1,
+    grid: linvar_stats::GridKind::Smolyak,
+};
+
+/// Runs the gPC delay analysis for one case on one backend: the
+/// [`CHAINS_GPC_CONFIG`] Smolyak plan over the five normalized wire
+/// parameters (germ scaled by [`CHAINS_SIGMA`]), each node evaluated by
+/// [`delay_for_sample`]. Deterministic at any thread count, like the
+/// MC campaigns.
+///
+/// # Errors
+///
+/// Returns [`BenchError`] on a plan failure, a failed node, or a failed
+/// coefficient solve (a spectral rule cannot quarantine nodes).
+pub fn run_case_spectral(
+    case: &ChainCase,
+    threads: usize,
+    solver: SolverChoice,
+) -> Result<SpectralResult, BenchError> {
+    let plan = SpectralPlan::build(5, CHAINS_GPC_CONFIG)
+        .map_err(|e| BenchError::Msg(format!("{}: {e}", case.name)))?;
+    run_spectral(
+        &plan,
+        threads,
+        RecoveryPolicy::strict(),
+        CHAINS_SEED,
+        |node, _attempt| {
+            let w: Vec<f64> = node.iter().map(|x| x * CHAINS_SIGMA).collect();
+            delay_for_sample(case, &w, solver)
+                .map(|d| (d, SampleStatus::Clean))
+                .map_err(|e| e.to_string())
+        },
+    )
+    .map_err(|e| BenchError::Msg(format!("{}: {e}", case.name)))
+}
+
+/// The deterministic statistics row for one completed campaign under
+/// `engine` (`mc` or `sobol` — the row prefix, which `ci.sh` greps per
+/// engine). Statistics are rounded to `%.6e` so both backends and any
+/// worker count print the same bytes (the solver name is deliberately
+/// absent). Takes the summary and failure count rather than a result
+/// struct so the plain ([`MonteCarloResult`]) and sharded
+/// ([`ShardedCampaignResult`]) drivers print through the same formatter
+/// — identity of the two rows is a CI invariant, not a coincidence.
+pub fn engine_line(engine: &str, case_name: &str, summary: &Summary, failures: usize) -> String {
     format!(
-        "mc {case_name}: n={} mean={:.6e} std={:.6e} min={:.6e} max={:.6e} failures={}",
+        "{engine} {case_name}: n={} mean={:.6e} std={:.6e} min={:.6e} max={:.6e} failures={}",
         summary.n, summary.mean, summary.std, summary.min, summary.max, failures
+    )
+}
+
+/// [`engine_line`] for the default Monte-Carlo engine.
+pub fn mc_line(case_name: &str, summary: &Summary, failures: usize) -> String {
+    engine_line("mc", case_name, summary, failures)
+}
+
+/// The deterministic `gpc` row for one completed spectral run: node
+/// count, surrogate moments and quantiles at the same `%.6e` rounding
+/// as the MC rows (backend- and thread-count-invariant bytes).
+pub fn gpc_line(case_name: &str, res: &SpectralResult) -> String {
+    let q = |p: f64| {
+        res.quantiles
+            .iter()
+            .find(|(prob, _)| *prob == p)
+            .map_or(f64::NAN, |(_, v)| *v)
+    };
+    format!(
+        "gpc {case_name}: nodes={} mean={:.6e} std={:.6e} q05={:.6e} q50={:.6e} q95={:.6e}",
+        res.nodes_evaluated,
+        res.mean,
+        res.std,
+        q(0.05),
+        q(0.5),
+        q(0.95)
     )
 }
 
@@ -194,6 +270,29 @@ mod tests {
             mc_line(&case.name, &s.summary, s.failures)
         );
         assert_eq!(d.failures, 0);
+    }
+
+    #[test]
+    fn sobol_samples_are_seeded_and_distinct_from_lhs() {
+        let a = sample_set_sobol(8);
+        let b = sample_set_sobol(8);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|w| w.len() == 5));
+        assert_ne!(a, sample_set(8), "sobol and LHS streams must differ");
+    }
+
+    #[test]
+    fn gpc_rows_match_across_backends_and_threads() {
+        let case = rc_chain_case(50).unwrap();
+        let dense = run_case_spectral(&case, 1, SolverChoice::Dense).unwrap();
+        let sparse = run_case_spectral(&case, 2, SolverChoice::Sparse).unwrap();
+        assert_eq!(dense.nodes_evaluated, 11, "smolyak level-1 grid in 5 dims");
+        assert_eq!(
+            gpc_line(&case.name, &dense),
+            gpc_line(&case.name, &sparse),
+            "gpc rows must be backend- and thread-count-invariant"
+        );
+        assert!(dense.mean > 0.0 && dense.std >= 0.0);
     }
 
     #[test]

@@ -154,6 +154,42 @@ impl From<&str> for BenchError {
     }
 }
 
+/// Statistics engine selected with `--engine` on the multi-engine bins
+/// (`table4`, `fig7`, `chains`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Monte Carlo over the LHS sample stream (the default).
+    #[default]
+    Mc,
+    /// Hermite-basis polynomial chaos (stochastic testing / collocation).
+    Gpc,
+    /// Monte Carlo over the Sobol quasi-MC sample stream.
+    Sobol,
+}
+
+impl Engine {
+    /// Stable engine name — also the prefix of the engine's
+    /// deterministic output rows (`mc …`, `gpc …`, `sobol …`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Mc => "mc",
+            Engine::Gpc => "gpc",
+            Engine::Sobol => "sobol",
+        }
+    }
+
+    fn parse(raw: &str) -> Result<Engine, BenchError> {
+        match raw {
+            "mc" => Ok(Engine::Mc),
+            "gpc" => Ok(Engine::Gpc),
+            "sobol" => Ok(Engine::Sobol),
+            other => Err(BenchError::Usage(format!(
+                "--engine wants mc, gpc or sobol, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Command-line arguments shared by the campaign-capable bins
 /// (`table4`, `table5`, `fig7`, `example2`).
 #[derive(Debug, Clone, Default)]
@@ -180,6 +216,9 @@ pub struct BenchArgs {
     /// `--checkpoint`); a later `--shards N --resume <prefix>` run
     /// merges the snapshots.
     pub shard_index: Option<usize>,
+    /// `--engine <mc|gpc|sobol>`: statistics engine for the
+    /// multi-engine bins.
+    pub engine: Engine,
 }
 
 impl BenchArgs {
@@ -237,11 +276,14 @@ impl BenchArgs {
                     })?;
                     out.shard_index = Some(k);
                 }
+                "--engine" => {
+                    out.engine = Engine::parse(&value(&mut argv, "--engine")?)?;
+                }
                 other => {
                     return Err(BenchError::Usage(format!(
                         "unknown argument {other:?} (expected --quick, --checkpoint <prefix>, \
                          --resume <prefix>, --deadline <secs>, --metrics <path>, --shards <N>, \
-                         --shard-index <K>)"
+                         --shard-index <K>, --engine <mc|gpc|sobol>)"
                     )));
                 }
             }
@@ -307,6 +349,24 @@ impl BenchArgs {
         if self.shards.is_some() || self.shard_index.is_some() {
             return Err(BenchError::Usage(format!(
                 "{bin} has no sharded mode (--shards/--shard-index unsupported)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Rejects a non-default `--engine` for single-engine bins, and the
+    /// shard flags for the spectral/Sobol engines on multi-engine bins
+    /// (only the MC/LHS driver has a sharded supervisor).
+    pub fn validate_engine(&self, bin: &str, multi_engine: bool) -> Result<(), BenchError> {
+        if !multi_engine && self.engine != Engine::Mc {
+            return Err(BenchError::Usage(format!(
+                "{bin} has a single statistics engine (--engine unsupported)"
+            )));
+        }
+        if self.engine != Engine::Mc && (self.shards.is_some() || self.shard_index.is_some()) {
+            return Err(BenchError::Usage(format!(
+                "--shards/--shard-index support only --engine mc (got --engine {})",
+                self.engine.name()
             )));
         }
         Ok(())
@@ -404,6 +464,16 @@ pub fn shard_faults_from_env() -> Result<Vec<(usize, ShardFault)>, BenchError> {
 /// run can be string-compared against a clean one (see `ci.sh`).
 pub fn bits_hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
+}
+
+/// Looks up a named probability in a spectral result's `(p, value)`
+/// quantile list (NaN if the surrogate was not asked for it).
+pub fn quantile_at(quantiles: &[(f64, f64)], p: f64) -> f64 {
+    quantiles
+        .iter()
+        .find(|(q, _)| (q - p).abs() < 1e-12)
+        .map(|&(_, v)| v)
+        .unwrap_or(f64::NAN)
 }
 
 /// One-line summary of the per-worker workspace arenas' effect, read
@@ -662,6 +732,42 @@ mod tests {
             let err = a.reject_shard_flags("table5").unwrap_err();
             assert_eq!(err.exit_code(), 2, "{flags:?}");
         }
+    }
+
+    #[test]
+    fn engine_flag_parsing_and_validation() {
+        assert_eq!(BenchArgs::parse(argv(&[])).unwrap().engine, Engine::Mc);
+        for (raw, want) in [
+            ("mc", Engine::Mc),
+            ("gpc", Engine::Gpc),
+            ("sobol", Engine::Sobol),
+        ] {
+            let a = BenchArgs::parse(argv(&["--engine", raw])).unwrap();
+            assert_eq!(a.engine, want, "{raw}");
+            assert_eq!(a.engine.name(), raw);
+        }
+        let bad = BenchArgs::parse(argv(&["--engine", "qmc"])).unwrap_err();
+        assert_eq!(bad.exit_code(), 2);
+        // Single-engine bins refuse a non-default engine; multi-engine
+        // bins refuse sharding for non-MC engines.
+        let gpc = BenchArgs::parse(argv(&["--engine", "gpc"])).unwrap();
+        assert_eq!(
+            gpc.validate_engine("table5", false)
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+        assert!(gpc.validate_engine("table4", true).is_ok());
+        let sharded = BenchArgs::parse(argv(&["--engine", "gpc", "--shards", "2"])).unwrap();
+        assert_eq!(
+            sharded
+                .validate_engine("table4", true)
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+        let mc_sharded = BenchArgs::parse(argv(&["--shards", "2"])).unwrap();
+        assert!(mc_sharded.validate_engine("table4", true).is_ok());
     }
 
     #[test]

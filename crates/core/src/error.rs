@@ -3,7 +3,7 @@
 use linvar_circuit::CircuitError;
 use linvar_numeric::NumericError;
 use linvar_spice::SpiceError;
-use linvar_stats::{CheckpointError, ShardError};
+use linvar_stats::{CheckpointError, ShardError, SpectralError};
 use linvar_teta::TetaError;
 use std::fmt;
 
@@ -24,6 +24,8 @@ pub enum CoreError {
     Checkpoint(CheckpointError),
     /// A sharded campaign could not be planned or its worker failed.
     Shard(ShardError),
+    /// A stochastic-spectral plan or coefficient solve failed.
+    Spectral(SpectralError),
     /// A stage output never completed its transition within the retry
     /// budget (the stage is unable to drive its load).
     StageStuck {
@@ -42,6 +44,7 @@ impl fmt::Display for CoreError {
             CoreError::Numeric(e) => write!(f, "numeric: {e}"),
             CoreError::Checkpoint(e) => write!(f, "campaign: {e}"),
             CoreError::Shard(e) => write!(f, "shard: {e}"),
+            CoreError::Spectral(e) => write!(f, "spectral: {e}"),
             CoreError::StageStuck { stage } => {
                 write!(f, "stage {stage} output never completed its transition")
             }
@@ -58,6 +61,7 @@ impl std::error::Error for CoreError {
             CoreError::Numeric(e) => Some(e),
             CoreError::Checkpoint(e) => Some(e),
             CoreError::Shard(e) => Some(e),
+            CoreError::Spectral(e) => Some(e),
             _ => None,
         }
     }
@@ -90,6 +94,12 @@ impl From<NumericError> for CoreError {
 impl From<CheckpointError> for CoreError {
     fn from(e: CheckpointError) -> Self {
         CoreError::Checkpoint(e)
+    }
+}
+
+impl From<SpectralError> for CoreError {
+    fn from(e: SpectralError) -> Self {
+        CoreError::Spectral(e)
     }
 }
 

@@ -56,11 +56,16 @@ pub mod stage_builder;
 pub mod worst_case;
 
 pub use error::CoreError;
-pub use path::{GaPathResult, McPathResult, PathModel, PathSpec, VariationSources};
+pub use path::{
+    GaPathResult, McPathResult, PathModel, PathSpec, PcCampaignResult, PcPathResult,
+    VariationSources,
+};
 pub use recovery::{
     DegradationReport, EngineRung, McCampaignResult, McRecoveryResult, McShardedResult,
 };
-pub use registry::{CampaignModel, ChainModel, ModelRegistry, ModelRun, SyntheticModel};
+pub use registry::{
+    CampaignModel, ChainModel, ModelRegistry, ModelRun, SpectralChainModel, SyntheticModel,
+};
 pub use stage_builder::{StageLoad, StageLoadSpec};
 pub use worst_case::WorstCaseResult;
 

@@ -30,8 +30,9 @@ use linvar_mor::ReductionMethod;
 use linvar_stats::{
     fingerprint_str, fingerprint_words, lhs_normal, monte_carlo, monte_carlo_par,
     monte_carlo_par_with_policy, rng_from_seed, run_campaign, run_shard_worker,
-    run_sharded_campaign, CampaignConfig, CampaignFingerprint, RecoveryPolicy, SampleRng,
-    SampleStatus, ShardConfig, Summary,
+    run_sharded_campaign, run_spectral, run_spectral_campaign, sobol_normal_streamed,
+    CampaignConfig, CampaignFingerprint, CampaignVerdict, HealthSummary, RecoveryPolicy, SampleRng,
+    SampleStatus, ShardConfig, SpectralConfig, SpectralPlan, SpectralRunError, Summary,
 };
 use linvar_teta::{StageModel, Waveform};
 use std::sync::Mutex;
@@ -147,6 +148,52 @@ pub struct GaPathResult {
     pub sensitivities: Vec<f64>,
     /// Number of stage simulations performed.
     pub evaluations: usize,
+}
+
+/// Result of the polynomial-chaos path analysis.
+#[derive(Debug, Clone)]
+pub struct PcPathResult {
+    /// Surrogate mean delay (s) — the constant gPC coefficient.
+    pub mean: f64,
+    /// Surrogate delay standard deviation (s) — Parseval over the
+    /// non-constant coefficients.
+    pub std: f64,
+    /// `(probability, delay)` quantiles of the surrogate at
+    /// [`linvar_stats::QUANTILE_PROBS`].
+    pub quantiles: Vec<(f64, f64)>,
+    /// gPC coefficients in the plan's basis order.
+    pub coefficients: Vec<f64>,
+    /// Raw path delays at the collocation/testing nodes, node order.
+    pub node_delays: Vec<f64>,
+    /// Model solves spent (== the plan's node count).
+    pub nodes_evaluated: usize,
+    /// Statistics of the deterministic surrogate sample behind the
+    /// quantiles.
+    pub surrogate_summary: Summary,
+    /// Run-level recovery-health tally over the nodes.
+    pub health: HealthSummary,
+}
+
+/// Result of a durable polynomial-chaos campaign.
+#[derive(Debug, Clone)]
+pub struct PcCampaignResult {
+    /// The completed spectral result; `None` when the campaign was
+    /// truncated mid-grid (resume to finish).
+    pub result: Option<PcPathResult>,
+    /// Statistics over the raw completed node delays (partial when
+    /// truncated). Diagnostic only — the spectral estimates live in
+    /// `result`.
+    pub node_summary: Summary,
+    /// Complete, or truncated-but-resumable.
+    pub verdict: CampaignVerdict,
+    /// Completed nodes (resumed + evaluated this run).
+    pub completed: usize,
+    /// Nodes restored from the resume snapshot.
+    pub resumed: usize,
+    /// Nodes evaluated in this run.
+    pub evaluated: usize,
+    /// Snapshots written in this run.
+    pub checkpoints_written: usize,
 }
 
 struct StageEntry {
@@ -347,18 +394,23 @@ impl PathModel {
         rng: &mut SampleRng,
     ) -> Vec<PathSample> {
         let raw = lhs_normal(rng, n, 7, 1.0);
-        raw.into_iter()
-            .map(|z| {
-                let mut wire = [0.0; 5];
-                for i in 0..5 {
-                    wire[i] = z[i] * sources.wire[i];
-                }
-                PathSample {
-                    wire,
-                    device: DeviceVariation::new(z[5] * sources.dl, z[6] * sources.vt),
-                }
-            })
-            .collect()
+        raw.into_iter().map(|z| scale_sample(sources, &z)).collect()
+    }
+
+    /// Draws `n` samples from the Sobol quasi-MC sequence instead of
+    /// LHS: the same 7-dimensional standard-normal scaling as
+    /// [`PathModel::draw_samples`], but over the digitally-shifted Sobol
+    /// points of [`linvar_stats::sobol_point`]. Each sample is a pure
+    /// function of `(master_seed, index)`, so the set composes with
+    /// every parallel/resume contract exactly as the LHS stream does.
+    pub fn draw_samples_sobol(
+        &self,
+        sources: &VariationSources,
+        n: usize,
+        master_seed: u64,
+    ) -> Vec<PathSample> {
+        let raw = sobol_normal_streamed(master_seed, n, 7, 1.0);
+        raw.into_iter().map(|z| scale_sample(sources, &z)).collect()
     }
 
     /// Monte-Carlo path-delay analysis (§4.3.1).
@@ -401,6 +453,27 @@ impl PathModel {
     ) -> Result<McPathResult, CoreError> {
         let mut rng = rng_from_seed(master_seed);
         let samples = self.draw_samples(sources, n, &mut rng);
+        let res = monte_carlo_par(&samples, threads, |s| self.evaluate_sample(s));
+        Self::mc_result(res)
+    }
+
+    /// [`PathModel::monte_carlo_par`] over the Sobol quasi-MC sample
+    /// stream ([`PathModel::draw_samples_sobol`]) instead of LHS — the
+    /// cheap variance-reduction rung for plain MC. Bitwise-identical at
+    /// any thread count, like every other engine.
+    ///
+    /// # Errors
+    ///
+    /// Individual sample failures are counted in the result; this method
+    /// itself only fails if *every* sample fails.
+    pub fn monte_carlo_par_sobol(
+        &self,
+        sources: &VariationSources,
+        n: usize,
+        master_seed: u64,
+        threads: usize,
+    ) -> Result<McPathResult, CoreError> {
+        let samples = self.draw_samples_sobol(sources, n, master_seed);
         let res = monte_carlo_par(&samples, threads, |s| self.evaluate_sample(s));
         Self::mc_result(res)
     }
@@ -693,12 +766,56 @@ impl PathModel {
     ) -> Result<McCampaignResult, CoreError> {
         let mut rng = rng_from_seed(master_seed);
         let samples = self.draw_samples(sources, n, &mut rng);
+        let model = self.campaign_fingerprint(sources);
+        self.run_path_campaign(samples, master_seed, threads, policy, config, model)
+    }
+
+    /// [`PathModel::monte_carlo_campaign`] over the Sobol quasi-MC
+    /// sample stream ([`PathModel::draw_samples_sobol`]) instead of LHS.
+    /// The checkpoint fingerprint folds the sample-source tag, so a
+    /// snapshot taken under one stream refuses to resume under the
+    /// other.
+    ///
+    /// # Errors
+    ///
+    /// As [`PathModel::monte_carlo_campaign`].
+    pub fn monte_carlo_campaign_sobol(
+        &self,
+        sources: &VariationSources,
+        n: usize,
+        master_seed: u64,
+        threads: usize,
+        policy: RecoveryPolicy,
+        config: &CampaignConfig,
+    ) -> Result<McCampaignResult, CoreError> {
+        let samples = self.draw_samples_sobol(sources, n, master_seed);
+        let model = fingerprint_words([
+            self.campaign_fingerprint(sources),
+            fingerprint_str("sobol-v1"),
+        ]);
+        self.run_path_campaign(samples, master_seed, threads, policy, config, model)
+    }
+
+    /// Shared campaign tail of the LHS and Sobol sample streams: index
+    /// the samples, run the durable campaign over the shared attempt
+    /// ladder ([`PathModel::campaign_eval`]), collect the degradation
+    /// reports.
+    fn run_path_campaign(
+        &self,
+        samples: Vec<PathSample>,
+        master_seed: u64,
+        threads: usize,
+        policy: RecoveryPolicy,
+        config: &CampaignConfig,
+        model: u64,
+    ) -> Result<McCampaignResult, CoreError> {
+        let n = samples.len();
         let indexed: Vec<(usize, PathSample)> = samples.into_iter().enumerate().collect();
         let fingerprint = CampaignFingerprint {
             master_seed,
             n_samples: n,
             policy,
-            model: self.campaign_fingerprint(sources),
+            model,
         };
         // Report side channel, as in `monte_carlo_par_recovering`: written
         // at most once per sample evaluated this run, sorted after the
@@ -781,6 +898,122 @@ impl PathModel {
             reports.lock().expect("reports lock").push(report);
         }
         Ok((d, status))
+    }
+
+    /// Hermite-basis polynomial-chaos path-delay analysis: builds a
+    /// [`SpectralPlan`] over the **active** variation sources (canonical
+    /// [`VariationSources::active`] order defines the germ dimensions),
+    /// evaluates the path at each collocation/testing node through the
+    /// same attempt ladder as the campaigns
+    /// ([`PathModel::campaign_eval`]), and solves for the coefficients,
+    /// moments and surrogate quantiles. A node in standard-normal germ
+    /// coordinates maps to a sample by scaling each coordinate with its
+    /// source's σ.
+    ///
+    /// `master_seed` seeds only the quantile surrogate stream — the node
+    /// set is seed-free — but is kept in the signature so engines swap
+    /// interchangeably in the bench bins.
+    ///
+    /// Bitwise-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// A source set with no active sources or an unbuildable plan as
+    /// [`CoreError::Spectral`] ([`CoreError::BadSpec`] for the former);
+    /// node failures and solve failures as [`CoreError::Spectral`].
+    pub fn polynomial_chaos(
+        &self,
+        sources: &VariationSources,
+        config: SpectralConfig,
+        master_seed: u64,
+        threads: usize,
+        policy: RecoveryPolicy,
+    ) -> Result<PcPathResult, CoreError> {
+        let active = sources.active();
+        if active.is_empty() {
+            return Err(CoreError::BadSpec(
+                "polynomial chaos needs at least one active variation source".into(),
+            ));
+        }
+        let plan = SpectralPlan::build(active.len(), config)?;
+        let reports: Mutex<Vec<DegradationReport>> = Mutex::new(Vec::new());
+        let res = run_spectral(&plan, threads, policy, master_seed, |node, attempt| {
+            let s = (0usize, sample_at_node(&active, node));
+            self.campaign_eval(policy, &reports, &s, attempt)
+        })
+        .map_err(CoreError::Spectral)?;
+        Ok(Self::pc_result(res))
+    }
+
+    /// Durable polynomial-chaos campaign: [`PathModel::polynomial_chaos`]
+    /// wrapped in the checkpoint/resume/deadline machinery, exactly as
+    /// [`PathModel::monte_carlo_campaign`] wraps the MC driver. The
+    /// checkpoint fingerprint extends
+    /// [`PathModel::campaign_fingerprint`] with the plan's own
+    /// fingerprint, so a snapshot taken under one grid/basis refuses to
+    /// resume under another. Kill-and-resume is bitwise-exact.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint failures as [`CoreError::Checkpoint`]; plan/node/solve
+    /// failures as [`CoreError::Spectral`]. Deadline or budget truncation
+    /// is not an error: `result` comes back `None` with a `Truncated`
+    /// verdict and a resumable snapshot.
+    pub fn polynomial_chaos_campaign(
+        &self,
+        sources: &VariationSources,
+        config: SpectralConfig,
+        master_seed: u64,
+        threads: usize,
+        policy: RecoveryPolicy,
+        campaign: &CampaignConfig,
+    ) -> Result<PcCampaignResult, CoreError> {
+        let active = sources.active();
+        if active.is_empty() {
+            return Err(CoreError::BadSpec(
+                "polynomial chaos needs at least one active variation source".into(),
+            ));
+        }
+        let plan = SpectralPlan::build(active.len(), config)?;
+        let reports: Mutex<Vec<DegradationReport>> = Mutex::new(Vec::new());
+        let res = run_spectral_campaign(
+            &plan,
+            threads,
+            policy,
+            campaign,
+            master_seed,
+            self.campaign_fingerprint(sources),
+            |node, attempt| {
+                let s = (0usize, sample_at_node(&active, node));
+                self.campaign_eval(policy, &reports, &s, attempt)
+            },
+        )
+        .map_err(|e| match e {
+            SpectralRunError::Checkpoint(ck) => CoreError::Checkpoint(ck),
+            SpectralRunError::Spectral(sp) => CoreError::Spectral(sp),
+        })?;
+        Ok(PcCampaignResult {
+            result: res.result.map(Self::pc_result),
+            node_summary: res.node_summary,
+            verdict: res.verdict,
+            completed: res.completed,
+            resumed: res.resumed,
+            evaluated: res.evaluated,
+            checkpoints_written: res.checkpoints_written,
+        })
+    }
+
+    fn pc_result(res: linvar_stats::SpectralResult) -> PcPathResult {
+        PcPathResult {
+            mean: res.mean,
+            std: res.std,
+            quantiles: res.quantiles,
+            coefficients: res.coefficients,
+            node_delays: res.node_values,
+            nodes_evaluated: res.nodes_evaluated,
+            surrogate_summary: res.surrogate_summary,
+            health: res.health,
+        }
     }
 
     /// Sharded Monte-Carlo path-delay campaign: the sample range is
@@ -1031,6 +1264,30 @@ impl GaPathResult {
 /// Applies `value` (normalized units) of the named source to a sample.
 pub(crate) fn apply_source_pub(sample: &mut PathSample, name: &str, value: f64) {
     apply_source(sample, name, value);
+}
+
+/// Maps one collocation node in standard-normal germ coordinates onto a
+/// [`PathSample`]: coordinate `k` scales by the σ of the `k`-th active
+/// source (canonical [`VariationSources::active`] order).
+fn sample_at_node(active: &[(&'static str, f64)], node: &[f64]) -> PathSample {
+    let mut sample = PathSample::default();
+    for ((name, sigma), &x) in active.iter().zip(node) {
+        apply_source(&mut sample, name, sigma * x);
+    }
+    sample
+}
+
+/// Maps one 7-dimensional standard-normal draw onto a [`PathSample`] by
+/// the per-source σ — shared by the LHS and Sobol sample streams.
+fn scale_sample(sources: &VariationSources, z: &[f64]) -> PathSample {
+    let mut wire = [0.0; 5];
+    for i in 0..5 {
+        wire[i] = z[i] * sources.wire[i];
+    }
+    PathSample {
+        wire,
+        device: DeviceVariation::new(z[5] * sources.dl, z[6] * sources.vt),
+    }
 }
 
 /// Applies `value` (normalized units) of the named source to a sample.

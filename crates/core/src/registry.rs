@@ -35,7 +35,7 @@ use linvar_devices::tech_018;
 use linvar_interconnect::WireTech;
 use linvar_stats::{
     fingerprint_str, fingerprint_words, normal_samples, rng_from_seed, run_campaign,
-    CampaignFingerprint, RecoveryPolicy, SampleStatus, Summary,
+    CampaignFingerprint, RecoveryPolicy, SampleStatus, SpectralConfig, Summary,
 };
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
@@ -246,6 +246,81 @@ impl CampaignModel for ChainModel {
     }
 }
 
+/// A chain path served by the stochastic-spectral engine: the same
+/// lazily built [`PathModel`] as [`ChainModel`], evaluated through
+/// [`PathModel::polynomial_chaos_campaign`] instead of Monte Carlo.
+///
+/// The job's requested sample count is **ignored for node selection**
+/// — the spectral plan fixes the solve count — mirroring how
+/// [`SyntheticModel`] excludes its hold time from identity: `n` shapes
+/// neither the node set nor the values, so it is not folded into the
+/// fingerprint either. A finished run reports the deterministic
+/// surrogate summary; a truncated run reports the partial node-delay
+/// summary and a resumable verdict.
+pub struct SpectralChainModel {
+    id: String,
+    chain: ChainModel,
+    config: SpectralConfig,
+}
+
+impl SpectralChainModel {
+    /// A spectral engine over the same path as
+    /// [`ChainModel::new`]`(k, elems)`, under `config`.
+    pub fn new(k: usize, elems: usize, config: SpectralConfig) -> Self {
+        SpectralChainModel {
+            id: format!("gpc-chain{}@{elems}", k.max(1)),
+            chain: ChainModel::new(k, elems),
+            config,
+        }
+    }
+}
+
+impl CampaignModel for SpectralChainModel {
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn model_fingerprint(&self) -> u64 {
+        fingerprint_words([
+            fingerprint_str("gpc-chain-v1"),
+            self.chain.model_fingerprint(),
+            self.config.order as u64,
+            self.config.level as u64,
+            fingerprint_str(self.config.grid.name()),
+        ])
+    }
+
+    fn run(
+        &self,
+        master_seed: u64,
+        _n: usize,
+        threads: usize,
+        policy: RecoveryPolicy,
+        config: &CampaignConfig,
+    ) -> Result<ModelRun, CoreError> {
+        let model = self.chain.model()?;
+        let pc = model.polynomial_chaos_campaign(
+            &self.chain.sources,
+            self.config,
+            master_seed,
+            threads,
+            policy,
+            config,
+        )?;
+        let summary = match &pc.result {
+            Some(r) => r.surrogate_summary,
+            None => pc.node_summary,
+        };
+        Ok(ModelRun {
+            summary,
+            failures: 0,
+            verdict: pc.verdict,
+            evaluated: pc.evaluated,
+            resumed: pc.resumed,
+        })
+    }
+}
+
 /// Maps model ids to models. Deterministic iteration order (sorted by
 /// id) so listings are stable.
 #[derive(Default)]
@@ -270,6 +345,11 @@ impl ModelRegistry {
         )));
         r.register(Arc::new(ChainModel::new(3, 10)));
         r.register(Arc::new(ChainModel::new(5, 10)));
+        r.register(Arc::new(SpectralChainModel::new(
+            3,
+            10,
+            SpectralConfig::stochastic_testing(2),
+        )));
         r
     }
 
@@ -299,6 +379,7 @@ mod tests {
         let ids = r.ids();
         assert!(ids.contains(&"demo-fast".to_string()));
         assert!(ids.contains(&"chain3@10".to_string()));
+        assert!(ids.contains(&"gpc-chain3@10".to_string()));
         let mut sorted = ids.clone();
         sorted.sort();
         assert_eq!(ids, sorted);
@@ -364,6 +445,18 @@ mod tests {
         assert_ne!(
             ChainModel::new(3, 10).model_fingerprint(),
             ChainModel::new(3, 500).model_fingerprint()
+        );
+        // Spectral identity separates from MC identity and tracks the
+        // plan configuration.
+        let st2 = SpectralChainModel::new(3, 10, SpectralConfig::stochastic_testing(2));
+        assert_ne!(
+            st2.model_fingerprint(),
+            ChainModel::new(3, 10).model_fingerprint()
+        );
+        assert_ne!(
+            st2.model_fingerprint(),
+            SpectralChainModel::new(3, 10, SpectralConfig::stochastic_testing(1))
+                .model_fingerprint()
         );
         assert_eq!(
             ChainModel::new(3, 10).model_fingerprint(),

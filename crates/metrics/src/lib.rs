@@ -94,10 +94,13 @@ pub enum Phase {
     /// One HTTP request handled by the campaign service (parse through
     /// response write).
     ServeHandle,
+    /// Spectral-coefficient solve: gPC projection or the stochastic-
+    /// testing Vandermonde solve, node values in, coefficients out.
+    SpectralSolve,
 }
 
 /// Number of [`Phase`] variants.
-pub const N_PHASES: usize = 17;
+pub const N_PHASES: usize = 18;
 
 impl Phase {
     /// Every phase, in declaration order (= index order).
@@ -119,6 +122,7 @@ impl Phase {
         Phase::ShardRun,
         Phase::ServeAccept,
         Phase::ServeHandle,
+        Phase::SpectralSolve,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -143,6 +147,7 @@ impl Phase {
             Phase::ShardRun => "shard_run",
             Phase::ServeAccept => "serve_accept",
             Phase::ServeHandle => "serve_handle",
+            Phase::SpectralSolve => "spectral_solve",
         }
     }
 }
@@ -239,10 +244,19 @@ pub enum Counter {
     /// Requests rejected as malformed, oversized, or timed out (HTTP
     /// 4xx other than 404/429).
     ServeBadRequests,
+    /// Collocation/testing nodes whose model evaluation completed
+    /// (success or quarantined failure) in a spectral engine run.
+    SpectralNodesEvaluated,
+    /// Spectral-coefficient solves (one per completed gPC run).
+    SpectralSolves,
+    /// gPC coefficients produced across all spectral solves.
+    SpectralCoefficients,
+    /// Deterministic surrogate evaluations behind spectral quantiles.
+    SpectralSurrogateSamples,
 }
 
 /// Number of [`Counter`] variants.
-pub const N_COUNTERS: usize = 41;
+pub const N_COUNTERS: usize = 45;
 
 impl Counter {
     /// Every counter, in declaration order (= index order).
@@ -288,6 +302,10 @@ impl Counter {
         Counter::ServeJobsRecovered,
         Counter::ServeFaultsInjected,
         Counter::ServeBadRequests,
+        Counter::SpectralNodesEvaluated,
+        Counter::SpectralSolves,
+        Counter::SpectralCoefficients,
+        Counter::SpectralSurrogateSamples,
     ];
 
     /// Stable dotted name used as the JSON key.
@@ -334,6 +352,10 @@ impl Counter {
             Counter::ServeJobsRecovered => "serve.jobs_recovered",
             Counter::ServeFaultsInjected => "serve.faults_injected",
             Counter::ServeBadRequests => "serve.bad_requests",
+            Counter::SpectralNodesEvaluated => "spectral.nodes_evaluated",
+            Counter::SpectralSolves => "spectral.solves",
+            Counter::SpectralCoefficients => "spectral.coefficients",
+            Counter::SpectralSurrogateSamples => "spectral.surrogate_samples",
         }
     }
 }

@@ -24,6 +24,12 @@
 //! * [`envknob`] — hardened environment-knob parsing (trim, validate,
 //!   warn-and-fall-back on anything malformed) shared by
 //!   [`montecarlo::resolve_threads`] and the campaign service's knobs;
+//! * [`spectral`] — the stochastic-spectral engine family: Hermite-basis
+//!   generalized polynomial chaos with tensor/Smolyak collocation and
+//!   stochastic-testing node selection, riding the same recovery ladder,
+//!   parallel driver and durable-campaign stack as Monte Carlo (see
+//!   DESIGN.md, "Stochastic spectral engines: basis, node selection &
+//!   determinism contract");
 //! * [`gradient`] — Gradient Analysis (§4.1.3, eq. 24): σ of a performance
 //!   from first-order sensitivities of uncorrelated sources;
 //! * [`histogram`] — fixed-bin histograms with a text renderer for the
@@ -37,6 +43,7 @@ pub mod montecarlo;
 pub mod pca;
 pub mod sampling;
 pub mod shard;
+pub mod spectral;
 pub mod summary;
 pub mod timing_yield;
 
@@ -57,11 +64,17 @@ pub use pca::demo_correlated_device_parameters;
 pub use pca::{Pca, PcaModel};
 pub use sampling::{
     latin_hypercube, latin_hypercube_streamed, lhs_normal, lhs_normal_streamed, lhs_uniform,
-    normal_samples, rng_from_seed, uniform_samples, SampleRng, SeedStream,
+    normal_samples, rng_from_seed, sobol_normal_streamed, sobol_point, uniform_samples, SampleRng,
+    SampleSource, SeedStream, SOBOL_MAX_DIMS,
 };
 pub use shard::{
     run_shard_worker, run_sharded_campaign, shard_checkpoint_path, shard_fingerprint, ShardConfig,
     ShardError, ShardFault, ShardOutcome, ShardPlan, ShardVerdict, ShardedCampaignResult,
+};
+pub use spectral::{
+    basis_eval, gauss_hermite, hermite_prob, multi_indices, run_spectral, run_spectral_campaign,
+    GridKind, SpectralCampaignResult, SpectralConfig, SpectralError, SpectralPlan, SpectralResult,
+    SpectralRunError, QUANTILE_PROBS, SURROGATE_SAMPLES,
 };
 pub use summary::Summary;
 pub use timing_yield::{empirical_yield, normal_cdf, normal_yield, period_for_yield};

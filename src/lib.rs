@@ -52,7 +52,8 @@ pub use linvar_teta as teta;
 pub mod prelude {
     pub use linvar_circuit::{Netlist, SourceWaveform, VariationalValue};
     pub use linvar_core::path::{
-        GaPathResult, McPathResult, PathModel, PathSample, PathSpec, VariationSources,
+        GaPathResult, McPathResult, PathModel, PathSample, PathSpec, PcCampaignResult,
+        PcPathResult, VariationSources,
     };
     pub use linvar_core::{CoreError, DegradationReport, EngineRung, McRecoveryResult};
     pub use linvar_devices::{tech_018, tech_06, CellLibrary, DeviceVariation, Technology};
@@ -63,8 +64,8 @@ pub mod prelude {
     };
     pub use linvar_spice::{DcStrategy, RecoveryLog, Transient, TransientOptions};
     pub use linvar_stats::{
-        rng_from_seed, HealthSummary, Histogram, RecoveryPolicy, SampleHealth, SampleStatus,
-        Summary,
+        rng_from_seed, GridKind, HealthSummary, Histogram, RecoveryPolicy, SampleHealth,
+        SampleSource, SampleStatus, SpectralConfig, SpectralPlan, Summary,
     };
     pub use linvar_teta::{StageModel, StageRecovery, StageSolver, Waveform};
 }

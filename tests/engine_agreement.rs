@@ -2,6 +2,12 @@
 //! baseline must produce the same waveforms on shared configurations —
 //! the paper's "almost SPICE accuracy" claim for TETA, checked across
 //! cell types, loads and variation corners.
+//!
+//! The second half is the *statistics*-engine conformance table: the
+//! spectral (gPC) and Sobol quasi-MC engines must reproduce the
+//! Monte-Carlo reference moments and quantiles on a shared path, each
+//! metric under its own budget, with a full-table failure report in the
+//! same format as the TETA-vs-SPICE budget table.
 
 use linvar::prelude::*;
 
@@ -148,6 +154,184 @@ fn tolerance_budget_table() {
         ));
     }
     assert_eq!(violations, 0, "tolerance budget exceeded:\n{table}");
+}
+
+/// Cross-engine conformance: the gPC and Sobol statistics engines vs
+/// the Monte-Carlo reference on a shared 2-stage path under the (DL, VT)
+/// sources. Every row of the table is evaluated — mean, std and the
+/// 5/50/95 % quantiles per engine, each with its own budget — and a
+/// failure prints the whole table, mirroring `tolerance_budget_table`.
+///
+/// Budgets: means within 2 % + 4 MC standard errors; stds within 25 %
+/// (both estimators are noisy at n=200); quantiles within 2 % + 4·SE
+/// of the matching MC order statistic (SE ≈ σ·√(p(1−p)/n)/φ(z_p),
+/// bounded below by the mean budget for the tails).
+#[test]
+fn cross_engine_conformance_table() {
+    let spec = PathSpec {
+        cells: vec!["inv".into(), "nand2".into()],
+        linear_elements_between_stages: 10,
+        input_slew: 50e-12,
+    };
+    let model = PathModel::build(&spec, &tech_018(), &WireTech::m018()).expect("builds");
+    let sources = VariationSources::example3(0.33, 0.33);
+    let (n, seed, threads) = (200usize, 11u64, 2usize);
+
+    // Monte-Carlo reference: empirical moments and order statistics.
+    let mc = model
+        .monte_carlo_par(&sources, n, seed, threads)
+        .expect("mc");
+    assert_eq!(mc.failures, 0, "{:?}", mc.first_error);
+    let mut sorted = mc.delays.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mc_q = |p: f64| sorted[((n - 1) as f64 * p).round() as usize];
+    let se_mean = mc.summary.std / (n as f64).sqrt();
+    // Asymptotic SE of the p-th sample quantile of a normal:
+    // σ·√(p(1−p)/n) / φ(Φ⁻¹(p)).
+    let se_q = |p: f64| {
+        let z = linvar::stats::sampling::inverse_normal_cdf(p);
+        let phi = (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        mc.summary.std * (p * (1.0 - p) / n as f64).sqrt() / phi
+    };
+    let mean_budget = 0.02 * mc.summary.mean.abs() + 4.0 * se_mean;
+    let q_budget = |p: f64| mean_budget.max(0.02 * mc_q(p).abs() + 4.0 * se_q(p));
+    let std_budget = 0.25 * mc.summary.std;
+
+    // gPC: stochastic-testing order 2 over the two active sources.
+    let pc = model
+        .polynomial_chaos(
+            &sources,
+            SpectralConfig::stochastic_testing(2),
+            seed,
+            threads,
+            RecoveryPolicy::default(),
+        )
+        .expect("gpc");
+    let pc_q = |p: f64| {
+        pc.quantiles
+            .iter()
+            .find(|(q, _)| (q - p).abs() < 1e-12)
+            .map(|&(_, v)| v)
+            .expect("surrogate quantile present")
+    };
+
+    // Sobol: the same campaign flow over the quasi-MC stream.
+    let qmc = model
+        .monte_carlo_par_sobol(&sources, n, seed, threads)
+        .expect("sobol");
+    assert_eq!(qmc.failures, 0, "{:?}", qmc.first_error);
+    let mut qs = qmc.delays.clone();
+    qs.sort_by(|a, b| a.total_cmp(b));
+    let qmc_q = |p: f64| qs[((n - 1) as f64 * p).round() as usize];
+
+    struct Row {
+        engine: &'static str,
+        metric: &'static str,
+        value: f64,
+        reference: f64,
+        budget: f64,
+    }
+    let rows = [
+        Row {
+            engine: "gpc",
+            metric: "mean",
+            value: pc.mean,
+            reference: mc.summary.mean,
+            budget: mean_budget,
+        },
+        Row {
+            engine: "gpc",
+            metric: "std",
+            value: pc.std,
+            reference: mc.summary.std,
+            budget: std_budget,
+        },
+        Row {
+            engine: "gpc",
+            metric: "q05",
+            value: pc_q(0.05),
+            reference: mc_q(0.05),
+            budget: q_budget(0.05),
+        },
+        Row {
+            engine: "gpc",
+            metric: "q50",
+            value: pc_q(0.50),
+            reference: mc_q(0.50),
+            budget: q_budget(0.50),
+        },
+        Row {
+            engine: "gpc",
+            metric: "q95",
+            value: pc_q(0.95),
+            reference: mc_q(0.95),
+            budget: q_budget(0.95),
+        },
+        Row {
+            engine: "sobol",
+            metric: "mean",
+            value: qmc.summary.mean,
+            reference: mc.summary.mean,
+            budget: mean_budget,
+        },
+        Row {
+            engine: "sobol",
+            metric: "std",
+            value: qmc.summary.std,
+            reference: mc.summary.std,
+            budget: std_budget,
+        },
+        Row {
+            engine: "sobol",
+            metric: "q05",
+            value: qmc_q(0.05),
+            reference: mc_q(0.05),
+            budget: q_budget(0.05),
+        },
+        Row {
+            engine: "sobol",
+            metric: "q50",
+            value: qmc_q(0.50),
+            reference: mc_q(0.50),
+            budget: q_budget(0.50),
+        },
+        Row {
+            engine: "sobol",
+            metric: "q95",
+            value: qmc_q(0.95),
+            reference: mc_q(0.95),
+            budget: q_budget(0.95),
+        },
+    ];
+    // The spectral engine's whole point: orders of magnitude fewer solves.
+    assert!(
+        pc.nodes_evaluated * 10 <= n,
+        "gPC used {} solves vs the MC reference's {n}",
+        pc.nodes_evaluated
+    );
+    let mut table = String::new();
+    let mut violations = 0usize;
+    for row in &rows {
+        let err = (row.value - row.reference).abs();
+        let verdict = if err <= row.budget { "ok" } else { "FAIL" };
+        if err > row.budget {
+            violations += 1;
+        }
+        table.push_str(&format!(
+            "{:<6} {:<5} engine {:>9.3} ps  mc {:>9.3} ps  err {:>7.4} ps  budget {:>7.4} ps  {}\n",
+            row.engine,
+            row.metric,
+            row.value * 1e12,
+            row.reference * 1e12,
+            err * 1e12,
+            row.budget * 1e12,
+            verdict
+        ));
+    }
+    assert_eq!(
+        violations, 0,
+        "cross-engine conformance budget exceeded:\n{table}"
+    );
 }
 
 #[test]

@@ -398,6 +398,219 @@ fn fail_fast_truncates_at_the_same_sample_at_any_thread_count() {
     }
 }
 
+// --------------------------------------------------------------- spectral
+
+#[test]
+fn singular_quadrature_system_is_a_typed_error() {
+    use linvar::stats::{run_spectral, SpectralError};
+    // A stochastic-testing plan whose node set collapses (two identical
+    // collocation nodes) makes the Vandermonde system exactly singular.
+    // The plan builder never produces this; the injection goes through
+    // the public plan fields, and the solve must answer with a typed
+    // error — not a panic, not garbage coefficients.
+    let mut plan = SpectralPlan::build(2, SpectralConfig::stochastic_testing(1)).unwrap();
+    let dup = plan.nodes[0].clone();
+    plan.nodes[1] = dup;
+    let res = run_spectral(
+        &plan,
+        1,
+        RecoveryPolicy::default(),
+        3,
+        |x: &[f64], _a: usize| -> Result<(f64, SampleStatus), String> {
+            Ok((x[0] + x[1], SampleStatus::Clean))
+        },
+    );
+    match res {
+        Err(SpectralError::SingularSystem(msg)) => {
+            assert!(!msg.is_empty(), "singular error carries a diagnostic");
+        }
+        other => panic!("expected a singular-system error, got {other:?}"),
+    }
+}
+
+#[test]
+fn nan_at_collocation_node_is_typed_and_ladder_matches_mc() {
+    use linvar::stats::{monte_carlo_par_with_policy, run_spectral, SpectralError};
+    let plan = SpectralPlan::build(2, SpectralConfig::tensor(2)).unwrap();
+    let policy = RecoveryPolicy::default();
+
+    // A NaN surfacing at one collocation node: every quadrature weight
+    // is load-bearing, so the solve must refuse with the node's index
+    // rather than launder the NaN into the coefficients.
+    let res = run_spectral(
+        &plan,
+        2,
+        policy,
+        3,
+        |x: &[f64], _a: usize| -> Result<(f64, SampleStatus), String> {
+            if x[0] > 1.5 {
+                Ok((f64::NAN, SampleStatus::Clean))
+            } else {
+                Ok((x[0] * x[1], SampleStatus::Clean))
+            }
+        },
+    );
+    match res {
+        Err(SpectralError::NonFiniteNode { index }) => {
+            assert!(plan.nodes[index][0] > 1.5, "error names the NaN node");
+        }
+        other => panic!("expected a non-finite-node error, got {other:?}"),
+    }
+
+    // A permanently failing node is *terminal* for the spectral engine
+    // (MC quarantines and carries on — a collocation grid cannot).
+    let res = run_spectral(
+        &plan,
+        2,
+        policy,
+        3,
+        |x: &[f64], a: usize| -> Result<(f64, SampleStatus), String> {
+            if x[0] > 1.5 {
+                Err(format!("injected permanent failure (attempt {a})"))
+            } else {
+                Ok((x[0] * x[1], SampleStatus::Clean))
+            }
+        },
+    );
+    match res {
+        Err(SpectralError::NodeFailures {
+            failed,
+            first_error,
+        }) => {
+            assert!(failed >= 1);
+            let diag = first_error.expect("diagnostic kept");
+            assert!(diag.contains("injected permanent failure"), "{diag}");
+        }
+        other => panic!("expected a node-failures error, got {other:?}"),
+    }
+
+    // Recovery parity: a NaN-then-recover node rides the *same* attempt
+    // ladder as the MC driver — identical per-sample health on the same
+    // node set, and a bitwise-clean final result.
+    let flaky = |x: &[f64], a: usize| -> Result<(f64, SampleStatus), String> {
+        if x[0] > 1.5 && a == 0 {
+            Err("transient NaN at the extreme node".into())
+        } else {
+            Ok((x[0] * x[1] + 1.0, SampleStatus::Clean))
+        }
+    };
+    let clean = |x: &[f64], _a: usize| -> Result<(f64, SampleStatus), String> {
+        Ok((x[0] * x[1] + 1.0, SampleStatus::Clean))
+    };
+    let recovered = run_spectral(&plan, 2, policy, 3, flaky).expect("retry rescues the node");
+    let reference = run_spectral(&plan, 2, policy, 3, clean).expect("clean run");
+    assert!(
+        recovered.health.n_recovered >= 1,
+        "ladder must report the retry: {:?}",
+        recovered.health
+    );
+    assert_eq!(
+        recovered
+            .coefficients
+            .iter()
+            .map(|c| c.to_bits())
+            .collect::<Vec<_>>(),
+        reference
+            .coefficients
+            .iter()
+            .map(|c| c.to_bits())
+            .collect::<Vec<_>>(),
+        "a recovered node must not shift a coefficient bit"
+    );
+    let mc =
+        monte_carlo_par_with_policy(&plan.nodes, 2, policy, |node: &Vec<f64>, a| flaky(node, a));
+    assert_eq!(
+        recovered.sample_health, mc.sample_health,
+        "spectral nodes and MC samples must ride the same attempt ladder"
+    );
+}
+
+#[test]
+fn spectral_campaign_kill_and_resume_mid_grid_is_bitwise() {
+    use linvar::stats::{run_spectral_campaign, CampaignConfig, CampaignVerdict};
+    let plan = SpectralPlan::build(3, SpectralConfig::smolyak(2, 1)).unwrap();
+    let n_nodes = plan.nodes.len();
+    let model = |x: &[f64], _a: usize| -> Result<(f64, SampleStatus), String> {
+        Ok((
+            (x[0] + 0.5 * x[1] * x[1] - 0.25 * x[2]).exp(),
+            SampleStatus::Clean,
+        ))
+    };
+    let policy = RecoveryPolicy::default();
+    let clean = run_spectral_campaign(
+        &plan,
+        1,
+        policy,
+        &CampaignConfig::default(),
+        5,
+        0xABCD,
+        model,
+    )
+    .expect("clean campaign");
+    let clean_res = clean.result.expect("complete");
+    let clean_bits: Vec<u64> = clean_res.coefficients.iter().map(|c| c.to_bits()).collect();
+    for threads in [1usize, 2, 8] {
+        let dir = std::env::temp_dir().join(format!(
+            "linvar-fault-matrix-spectral-{}-{threads}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snapshot = dir.join("grid.ckpt");
+        // Kill mid-grid: the deterministic sample-budget preemption
+        // stops the campaign halfway with a snapshot on disk.
+        let first = run_spectral_campaign(
+            &plan,
+            threads,
+            policy,
+            &CampaignConfig {
+                checkpoint: Some(snapshot.clone()),
+                sample_budget: Some(n_nodes / 2),
+                checkpoint_every: 1,
+                ..CampaignConfig::default()
+            },
+            5,
+            0xABCD,
+            model,
+        )
+        .expect("truncated campaign");
+        assert!(
+            matches!(first.verdict, CampaignVerdict::Truncated { .. }),
+            "threads={threads}: must truncate mid-grid"
+        );
+        assert!(
+            first.result.is_none(),
+            "a half-evaluated grid must not produce spectral estimates"
+        );
+        let second = run_spectral_campaign(
+            &plan,
+            threads,
+            policy,
+            &CampaignConfig {
+                resume: Some(snapshot.clone()),
+                ..CampaignConfig::default()
+            },
+            5,
+            0xABCD,
+            model,
+        )
+        .expect("resumed campaign");
+        assert_eq!(second.verdict, CampaignVerdict::Complete);
+        assert_eq!(second.resumed, first.completed, "threads={threads}");
+        let res = second.result.expect("resume completes the grid");
+        let bits: Vec<u64> = res.coefficients.iter().map(|c| c.to_bits()).collect();
+        assert_eq!(
+            bits, clean_bits,
+            "threads={threads}: resumed coefficients must match the clean run"
+        );
+        assert_eq!(res.mean.to_bits(), clean_res.mean.to_bits());
+        assert_eq!(res.std.to_bits(), clean_res.std.to_bits());
+        for (a, b) in res.quantiles.iter().zip(&clean_res.quantiles) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "threads={threads}: quantile");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 // ------------------------------------------------------------------- core
 
 #[test]

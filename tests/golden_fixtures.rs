@@ -130,6 +130,59 @@ fn golden_fig7_rows() {
     check_or_bless("fig7_rows.txt", &rows);
 }
 
+/// Spectral (gPC) rows: the full stochastic-testing order-2 analysis of
+/// the s27 longest path under the (DL, VT) sources — node delays,
+/// coefficients, surrogate moments and quantiles, all bit-exact. The
+/// thread half of the determinism contract is asserted first: 2 and 8
+/// workers must reproduce the 1-worker bits before the fixture compare
+/// (and ci.sh reruns this test under `LINVAR_WS_DISABLE=1`, so the
+/// pooled and allocating hot paths pin the same bits).
+#[test]
+fn golden_spectral_rows() {
+    let sources = VariationSources::example3(0.33, 0.33);
+    let model = iscas_path_model("s27", 10);
+    let config = SpectralConfig::stochastic_testing(2);
+    let pc1 = model
+        .polynomial_chaos(&sources, config, 7, 1, RecoveryPolicy::default())
+        .unwrap();
+    for threads in [2, 8] {
+        let pct = model
+            .polynomial_chaos(&sources, config, 7, threads, RecoveryPolicy::default())
+            .unwrap();
+        assert_eq!(
+            pc1.coefficients
+                .iter()
+                .map(|c| c.to_bits())
+                .collect::<Vec<_>>(),
+            pct.coefficients
+                .iter()
+                .map(|c| c.to_bits())
+                .collect::<Vec<_>>(),
+            "s27 gPC coefficients differ between 1 and {threads} threads"
+        );
+        assert_eq!(pc1.mean.to_bits(), pct.mean.to_bits());
+        assert_eq!(pc1.std.to_bits(), pct.std.to_bits());
+    }
+    let mut rows = vec![
+        ("s27.gpc.nodes".to_string(), pc1.nodes_evaluated.to_string()),
+        ("s27.gpc.mean".to_string(), hex(pc1.mean)),
+        ("s27.gpc.std".to_string(), hex(pc1.std)),
+    ];
+    for &(p, v) in &pc1.quantiles {
+        rows.push((
+            format!("s27.gpc.q{:02}", (p * 100.0).round() as u32),
+            hex(v),
+        ));
+    }
+    for (i, c) in pc1.coefficients.iter().enumerate() {
+        rows.push((format!("s27.gpc.coeff.{i}"), hex(*c)));
+    }
+    for (i, d) in pc1.node_delays.iter().enumerate() {
+        rows.push((format!("s27.gpc.node_delay.{i}"), hex(*d)));
+    }
+    check_or_bless("spectral_rows.txt", &rows);
+}
+
 /// A raw stage waveform at a non-nominal corner: every breakpoint of the
 /// far-end response, bit-exact. This pins the TETA engine (DC solve, SC
 /// chord iteration, recursive convolution, compression) below the level

@@ -141,6 +141,75 @@ fn disabled_sink_leaves_results_and_sink_untouched() {
 }
 
 #[test]
+fn spectral_counters_are_identical_across_thread_counts() {
+    let _guard = metrics::test_lock();
+    let model = s27_model();
+    let sources = VariationSources::example3(0.33, 0.33);
+    let config = SpectralConfig::stochastic_testing(2);
+    let run = |threads: usize| {
+        metrics::reset();
+        metrics::enable();
+        let res = model
+            .polynomial_chaos(
+                &sources,
+                config,
+                MASTER_SEED,
+                threads,
+                RecoveryPolicy::default(),
+            )
+            .expect("spectral run");
+        metrics::flush_local();
+        let counters = metrics::snapshot().counters_json();
+        metrics::disable();
+        metrics::reset();
+        (res, counters)
+    };
+    let (ref_res, ref_counters) = run(1);
+    // The spectral.* counter contract: every node evaluation, the
+    // single post-merge solve, the coefficient count and the surrogate
+    // sample count are all tallied — next to the mc.* tallies of the
+    // node campaign underneath and the SpectralSolve phase timer's call
+    // count (timings themselves are run-dependent and excluded).
+    let nodes = ref_res.nodes_evaluated;
+    let coeffs = ref_res.coefficients.len();
+    for needle in [
+        format!("\"spectral.nodes_evaluated\": {nodes}"),
+        "\"spectral.solves\": 1".to_string(),
+        format!("\"spectral.coefficients\": {coeffs}"),
+        format!(
+            "\"spectral.surrogate_samples\": {}",
+            linvar::stats::SURROGATE_SAMPLES
+        ),
+        format!("\"mc.samples_completed\": {nodes}"),
+        "\"phase.spectral_solve.calls\": 1".to_string(),
+    ] {
+        assert!(
+            ref_counters.contains(&needle),
+            "missing {needle} in:\n{ref_counters}"
+        );
+    }
+    for threads in [2usize, 8] {
+        let (res, counters) = run(threads);
+        assert_eq!(
+            counters, ref_counters,
+            "spectral counters diverged at {threads} threads"
+        );
+        assert_eq!(
+            res.coefficients
+                .iter()
+                .map(|c| c.to_bits())
+                .collect::<Vec<_>>(),
+            ref_res
+                .coefficients
+                .iter()
+                .map(|c| c.to_bits())
+                .collect::<Vec<_>>(),
+            "instrumentation must not perturb the coefficients ({threads} threads)"
+        );
+    }
+}
+
+#[test]
 fn shard_counters_are_identical_across_thread_counts() {
     use linvar::stats::ShardConfig;
     let _guard = metrics::test_lock();
