@@ -179,6 +179,54 @@ for key in '"phase.symbolic.calls"' '"phase.numeric_factor.calls"' '"phase.solve
     fi
 done
 
+echo "==> AC conformance (vROM H(jω) vs full-order sweeps) + complex solver properties"
+cargo test -q --test ac_conformance
+cargo test -q -p linvar-numeric --test complex_lu_properties
+
+echo "==> AC campaign smoke (chains --quick --analysis ac per backend, mc rows diffed)"
+LINVAR_THREADS=2 LINVAR_SOLVER=dense cargo run --release -q -p linvar-bench \
+    --bin chains -- --quick --analysis ac >"$ckdir/ac_dense.out" 2>&1
+LINVAR_THREADS=2 LINVAR_SOLVER=sparse cargo run --release -q -p linvar-bench \
+    --bin chains -- --quick --analysis ac >"$ckdir/ac_sparse.out" 2>&1
+grep '^mc ' "$ckdir/ac_dense.out" >"$ckdir/ac_dense.mc"
+grep '^mc ' "$ckdir/ac_sparse.out" >"$ckdir/ac_sparse.mc"
+if ! grep -q '\.ac:' "$ckdir/ac_dense.mc"; then
+    echo "chains --analysis ac printed no .ac-named mc rows:" >&2
+    cat "$ckdir/ac_dense.out" >&2
+    exit 1
+fi
+if ! diff -u "$ckdir/ac_dense.mc" "$ckdir/ac_sparse.mc"; then
+    echo "AC mc rows differ between the dense and sparse solver backends" >&2
+    exit 1
+fi
+for key in '"ac.points_solved"' '"phase.ac_factor.calls"' '"phase.ac_solve.calls"'; do
+    if ! grep -q "$key" BENCH_chains.json; then
+        echo "BENCH_chains.json (AC run) is missing required key $key" >&2
+        exit 1
+    fi
+done
+
+echo "==> IR-drop smoke (acgrid --quick, both backends byte-diffed by the bin itself)"
+LINVAR_THREADS=2 LINVAR_TRAJECTORY=BENCH_trajectory.json LINVAR_TRAJECTORY_LABEL=ci-ac-smoke \
+    cargo run --release -q -p linvar-bench --bin acgrid -- --quick \
+    >"$ckdir/acgrid.out" 2>&1 || {
+    echo "acgrid --quick failed (backend mismatch or error):" >&2
+    cat "$ckdir/acgrid.out" >&2
+    exit 1
+}
+if ! grep -q '^mc grid' "$ckdir/acgrid.out"; then
+    echo "acgrid --quick printed no mc rows:" >&2
+    cat "$ckdir/acgrid.out" >&2
+    exit 1
+fi
+for key in '"grid8x8.sparse.samples_per_sec"' '"grid8x8.dense.samples_per_sec"' \
+    '"grid8x8.dim"' '"wall_seconds"'; do
+    if ! grep -q "$key" BENCH_acgrid.json; then
+        echo "BENCH_acgrid.json is missing required key $key" >&2
+        exit 1
+    fi
+done
+
 echo "==> spectral engine smoke (table4 --quick --engine gpc vs mc, moment budget + solves ratio)"
 # The gpc run itself fails (non-zero exit) on a budget violation; the
 # python pass below re-checks the recorded metrics independently and

@@ -1,0 +1,218 @@
+//! Stochastic IR-drop benchmark: Monte-Carlo worst-drop campaigns over
+//! the generated power-grid suite
+//! ([`linvar_interconnect::standard_grid_cases`]), run on both
+//! linear-solver backends.
+//!
+//! Every sample freezes the variational grid at one W/T/ρ fluctuation
+//! draw and solves the DC operating point; the metric is the worst IR
+//! drop over the loaded tiles. Both backends always run (grid MNA
+//! dimensions are small), their `mc` rows must be byte-identical — the
+//! property `ci.sh` diffs and `tests/golden_fixtures.rs` pins — and the
+//! bin prints the dense/sparse throughput comparison.
+//!
+//! `LINVAR_SOLVER=dense|sparse` pins one backend instead. `--shards <N>`
+//! routes the campaigns through the shard supervisor (rows byte-identical
+//! either way). `--engine sobol` reruns the flow over the Sobol quasi-MC
+//! stream; `--engine gpc` replaces the campaign with the Smolyak spectral
+//! grid of [`linvar_bench::grid::GRID_GPC_CONFIG`] — 11 DC solves per
+//! case. Neither spectral engine supports `--shards`.
+//!
+//! Per-case throughput lands in `BENCH_acgrid.json`; `--metrics`
+//! additionally prints the report, and `LINVAR_TRAJECTORY` appends a
+//! trajectory row.
+//!
+//! Run with `cargo run --release -p linvar-bench --bin acgrid [-- --quick]`
+//! (set `LINVAR_THREADS` to pin the Monte-Carlo worker count).
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use linvar_bench::chains::{engine_line, gpc_line};
+use linvar_bench::grid::{
+    run_case, run_case_sharded, run_case_spectral, sample_set, sample_set_sobol,
+};
+use linvar_bench::{workspace_note, BenchArgs, BenchError, BenchMeter, Engine};
+use linvar_interconnect::{standard_grid_cases, GridCase};
+use linvar_numeric::SolverChoice;
+use linvar_stats::{resolve_threads, ShardConfig, Summary};
+use std::time::Instant;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("acgrid: {e}");
+        std::process::exit(e.exit_code());
+    }
+}
+
+fn run() -> Result<(), BenchError> {
+    let args = BenchArgs::parse(std::env::args().skip(1))?;
+    args.reject_campaign_flags("acgrid")?;
+    args.reject_analysis_flag("acgrid")?;
+    args.validate_engine("acgrid", true)?;
+    let mut meter = BenchMeter::start("acgrid");
+    let threads = resolve_threads(0);
+    let engine = args.engine.name();
+    let n_samples = if args.quick { 8 } else { 24 };
+    let pinned = match SolverChoice::from_env() {
+        SolverChoice::Auto => None,
+        pick => Some(pick),
+    };
+    println!("==== acgrid: stochastic power-grid IR-drop benchmark ====");
+    println!(
+        "({} suite, {n_samples} samples/case, {threads} worker thread(s); \
+         set LINVAR_THREADS to change)",
+        if args.quick { "quick" } else { "full" }
+    );
+    match pinned {
+        Some(choice) => println!("backend pinned via LINVAR_SOLVER: {}", name_of(choice)),
+        None => println!("comparing backends (grid MNA is small; both always run)"),
+    }
+    if let Some(n_shards) = args.shards {
+        println!("shard supervisor: {n_shards} shard(s) per campaign");
+    }
+    if args.engine != Engine::Mc {
+        println!("statistics engine: {engine}");
+    }
+    println!();
+    let samples = match args.engine {
+        Engine::Sobol => sample_set_sobol(n_samples),
+        _ => sample_set(n_samples),
+    };
+    let cases = standard_grid_cases(args.quick)?;
+    for case in &cases {
+        println!(
+            "-- {} (dim {}, {} wire elements, {} load tiles)",
+            case.name,
+            case.dim,
+            case.element_count,
+            case.observe.len()
+        );
+        if args.engine == Engine::Gpc {
+            run_gpc_case(case, threads, pinned, &mut meter)?;
+            meter.set(&format!("{}.dim", case.name), case.dim as u64);
+            println!();
+            continue;
+        }
+        let shard_cfg = args.shard_config(&case.name)?;
+        match pinned {
+            Some(choice) => {
+                let (summary, failures, rate) =
+                    timed_campaign(case, &samples, threads, choice, shard_cfg.as_ref())?;
+                println!("{}", engine_line(engine, &case.name, &summary, failures));
+                eprintln!("{}: {} {rate:.2} samples/sec", case.name, name_of(choice));
+                meter.set(
+                    &format!("{}.{}.samples_per_sec", case.name, name_of(choice)),
+                    rate,
+                );
+            }
+            None => {
+                let (sum_s, fail_s, rate_s) = timed_campaign(
+                    case,
+                    &samples,
+                    threads,
+                    SolverChoice::Sparse,
+                    shard_cfg.as_ref(),
+                )?;
+                let (sum_d, fail_d, rate_d) = timed_campaign(
+                    case,
+                    &samples,
+                    threads,
+                    SolverChoice::Dense,
+                    shard_cfg.as_ref(),
+                )?;
+                meter.set(&format!("{}.sparse.samples_per_sec", case.name), rate_s);
+                meter.set(&format!("{}.dense.samples_per_sec", case.name), rate_d);
+                let row_s = engine_line(engine, &case.name, &sum_s, fail_s);
+                let row_d = engine_line(engine, &case.name, &sum_d, fail_d);
+                if row_s != row_d {
+                    return Err(BenchError::Msg(format!(
+                        "backend mismatch on {}:\n  dense:  {row_d}\n  sparse: {row_s}",
+                        case.name
+                    )));
+                }
+                println!("{row_s}");
+                println!(
+                    "{}: sparse {rate_s:.2} samples/sec, dense {rate_d:.2} samples/sec",
+                    case.name
+                );
+            }
+        }
+        meter.set(&format!("{}.dim", case.name), case.dim as u64);
+        println!();
+    }
+    println!("{}", workspace_note());
+    meter.finish(&args)
+}
+
+/// Runs one IR-drop campaign — through the shard supervisor when a
+/// [`ShardConfig`] is given — and returns its summary, failure count,
+/// and samples/sec rate.
+fn timed_campaign(
+    case: &GridCase,
+    samples: &[Vec<f64>],
+    threads: usize,
+    solver: SolverChoice,
+    shard: Option<&ShardConfig>,
+) -> Result<(Summary, usize, f64), BenchError> {
+    let t0 = Instant::now();
+    let (summary, failures) = match shard {
+        Some(cfg) => {
+            let r = run_case_sharded(case, samples, threads, solver, cfg)?;
+            (r.summary, r.failures)
+        }
+        None => {
+            let r = run_case(case, samples, threads, solver)?;
+            (r.summary, r.failures)
+        }
+    };
+    let rate = samples.len() as f64 / t0.elapsed().as_secs_f64().max(1e-12);
+    Ok((summary, failures, rate))
+}
+
+/// Runs the gPC spectral IR-drop analysis for one case on both backends
+/// (or the pinned one) — `gpc` rows must match byte-for-byte across
+/// backends, exactly like the `mc` rows.
+fn run_gpc_case(
+    case: &GridCase,
+    threads: usize,
+    pinned: Option<SolverChoice>,
+    meter: &mut BenchMeter,
+) -> Result<(), BenchError> {
+    match pinned {
+        Some(choice) => {
+            let t0 = Instant::now();
+            let res = run_case_spectral(case, threads, choice)?;
+            let rate = res.nodes_evaluated as f64 / t0.elapsed().as_secs_f64().max(1e-12);
+            println!("{}", gpc_line(&case.name, &res));
+            eprintln!("{}: {} {rate:.2} nodes/sec", case.name, name_of(choice));
+            meter.set(
+                &format!("{}.gpc_nodes", case.name),
+                res.nodes_evaluated as u64,
+            );
+        }
+        None => {
+            let res_s = run_case_spectral(case, threads, SolverChoice::Sparse)?;
+            let res_d = run_case_spectral(case, threads, SolverChoice::Dense)?;
+            let row_s = gpc_line(&case.name, &res_s);
+            let row_d = gpc_line(&case.name, &res_d);
+            if row_s != row_d {
+                return Err(BenchError::Msg(format!(
+                    "backend mismatch on {}:\n  dense:  {row_d}\n  sparse: {row_s}",
+                    case.name
+                )));
+            }
+            println!("{row_s}");
+            meter.set(
+                &format!("{}.gpc_nodes", case.name),
+                res_s.nodes_evaluated as u64,
+            );
+        }
+    }
+    Ok(())
+}
+
+fn name_of(choice: SolverChoice) -> &'static str {
+    match choice {
+        SolverChoice::Dense => "dense",
+        _ => "sparse",
+    }
+}

@@ -22,6 +22,15 @@
 //! per case — printing `gpc` rows with surrogate moments and quantiles.
 //! Neither spectral engine supports `--shards`.
 //!
+//! `--analysis ac` swaps the per-sample metric from the transient 50 %
+//! delay to the single-point AC gain |V(probe)| at each case's knee
+//! frequency (complex MNA through the same backends — see
+//! `linvar_spice::ac_analysis_with`). AC rows carry a `.ac`-suffixed
+//! case name so they can never be confused with delay rows; AC shard
+//! snapshots fold `AnalysisKind::Ac` into their fingerprint so the two
+//! analyses refuse to resume each other. Supported for the sample
+//! engines (`mc`, `sobol`); `--engine gpc` keeps its transient driver.
+//!
 //! Phase timings (`symbolic`, `numeric_factor`, `solve`) and per-case
 //! throughput land in `BENCH_chains.json`; `--metrics` additionally
 //! prints the report, and `LINVAR_TRAJECTORY` appends a trajectory row.
@@ -32,13 +41,13 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use linvar_bench::chains::{
-    engine_line, gpc_line, run_case, run_case_sharded, run_case_spectral, sample_set,
-    sample_set_sobol,
+    ac_case_name, ac_frequency, engine_line, gpc_line, run_case, run_case_ac, run_case_ac_sharded,
+    run_case_sharded, run_case_spectral, sample_set, sample_set_sobol,
 };
 use linvar_bench::{workspace_note, BenchArgs, BenchError, BenchMeter, Engine};
 use linvar_interconnect::standard_cases;
 use linvar_numeric::{SolverBackend, SolverChoice};
-use linvar_stats::{resolve_threads, ShardConfig, Summary};
+use linvar_stats::{resolve_threads, AnalysisKind, ShardConfig, Summary};
 use std::time::Instant;
 
 /// Largest MNA dimension the dense backend is asked to time. Above this
@@ -58,6 +67,11 @@ fn run() -> Result<(), BenchError> {
     let args = BenchArgs::parse(std::env::args().skip(1))?;
     args.reject_campaign_flags("chains")?;
     args.validate_engine("chains", true)?;
+    if args.analysis == AnalysisKind::Ac && args.engine == Engine::Gpc {
+        return Err(BenchError::Usage(
+            "--analysis ac supports --engine mc and sobol (no spectral AC driver)".into(),
+        ));
+    }
     let mut meter = BenchMeter::start("chains");
     let threads = resolve_threads(0);
     let engine = args.engine.name();
@@ -82,6 +96,9 @@ fn run() -> Result<(), BenchError> {
     if args.engine != Engine::Mc {
         println!("statistics engine: {engine}");
     }
+    if args.analysis == AnalysisKind::Ac {
+        println!("analysis: ac (single-point |V(probe)| gain at each case's knee frequency)");
+    }
     println!();
     // The Sobol engine is the MC flow over the quasi-MC sample stream;
     // the gPC engine replaces the campaign with a spectral node grid.
@@ -91,10 +108,26 @@ fn run() -> Result<(), BenchError> {
     };
     let cases = standard_cases(args.quick)?;
     for case in &cases {
-        println!(
-            "-- {} (dim {}, {} elements, tstop {:.3e} s)",
-            case.name, case.dim, case.element_count, case.tstop
-        );
+        // AC rows carry a `.ac`-suffixed case name everywhere — output
+        // rows, meter keys, shard snapshot tags — so the two analyses
+        // can never collide.
+        let row_name = match args.analysis {
+            AnalysisKind::Ac => ac_case_name(case),
+            _ => case.name.clone(),
+        };
+        match args.analysis {
+            AnalysisKind::Ac => println!(
+                "-- {} (dim {}, {} elements, f_c {:.3e} Hz)",
+                row_name,
+                case.dim,
+                case.element_count,
+                ac_frequency(case)
+            ),
+            _ => println!(
+                "-- {} (dim {}, {} elements, tstop {:.3e} s)",
+                case.name, case.dim, case.element_count, case.tstop
+            ),
+        }
         if args.engine == Engine::Gpc {
             run_gpc_case(case, threads, pinned, &mut meter)?;
             meter.set(&format!("{}.dim", case.name), case.dim as u64);
@@ -103,22 +136,29 @@ fn run() -> Result<(), BenchError> {
         }
         // The `mc` rows stay byte-identical with and without shards —
         // the identity ci.sh's shard smoke diffs.
-        let shard_cfg = args.shard_config(&case.name)?;
+        let shard_cfg = args.shard_config(&row_name)?;
         match pinned {
             Some(choice) => {
                 if backend_of(choice) == SolverBackend::Dense && case.dim > DENSE_MAX_DIM {
                     println!(
-                        "dense {}: infeasible at dim {} (skipped; dense cap {DENSE_MAX_DIM})",
-                        case.name, case.dim
+                        "dense {row_name}: infeasible at dim {} (skipped; dense cap \
+                         {DENSE_MAX_DIM})",
+                        case.dim
                     );
                     continue;
                 }
-                let (summary, failures, rate) =
-                    timed_campaign(case, &samples, threads, choice, shard_cfg.as_ref())?;
-                println!("{}", engine_line(engine, &case.name, &summary, failures));
-                eprintln!("{}: {} {rate:.2} samples/sec", case.name, name_of(choice));
+                let (summary, failures, rate) = timed_campaign(
+                    case,
+                    &samples,
+                    threads,
+                    choice,
+                    shard_cfg.as_ref(),
+                    args.analysis,
+                )?;
+                println!("{}", engine_line(engine, &row_name, &summary, failures));
+                eprintln!("{row_name}: {} {rate:.2} samples/sec", name_of(choice));
                 meter.set(
-                    &format!("{}.{}.samples_per_sec", case.name, name_of(choice)),
+                    &format!("{row_name}.{}.samples_per_sec", name_of(choice)),
                     rate,
                 );
             }
@@ -129,8 +169,9 @@ fn run() -> Result<(), BenchError> {
                     threads,
                     SolverChoice::Sparse,
                     shard_cfg.as_ref(),
+                    args.analysis,
                 )?;
-                meter.set(&format!("{}.sparse.samples_per_sec", case.name), rate_s);
+                meter.set(&format!("{row_name}.sparse.samples_per_sec"), rate_s);
                 if case.dim <= DENSE_MAX_DIM {
                     let (sum_d, fail_d, rate_d) = timed_campaign(
                         case,
@@ -138,38 +179,37 @@ fn run() -> Result<(), BenchError> {
                         threads,
                         SolverChoice::Dense,
                         shard_cfg.as_ref(),
+                        args.analysis,
                     )?;
-                    meter.set(&format!("{}.dense.samples_per_sec", case.name), rate_d);
-                    let row_s = engine_line(engine, &case.name, &sum_s, fail_s);
-                    let row_d = engine_line(engine, &case.name, &sum_d, fail_d);
+                    meter.set(&format!("{row_name}.dense.samples_per_sec"), rate_d);
+                    let row_s = engine_line(engine, &row_name, &sum_s, fail_s);
+                    let row_d = engine_line(engine, &row_name, &sum_d, fail_d);
                     if row_s != row_d {
                         return Err(BenchError::Msg(format!(
-                            "backend mismatch on {}:\n  dense:  {row_d}\n  sparse: {row_s}",
-                            case.name
+                            "backend mismatch on {row_name}:\n  dense:  {row_d}\n  sparse: {row_s}"
                         )));
                     }
                     println!("{row_s}");
                     let speedup = rate_s / rate_d;
                     println!(
-                        "{}: sparse {rate_s:.2} samples/sec, dense {rate_d:.2} samples/sec, \
-                         speedup {speedup:.2}x",
-                        case.name
+                        "{row_name}: sparse {rate_s:.2} samples/sec, dense {rate_d:.2} \
+                         samples/sec, speedup {speedup:.2}x"
                     );
-                    meter.set(&format!("{}.speedup", case.name), speedup);
+                    meter.set(&format!("{row_name}.speedup"), speedup);
                 } else {
-                    println!("{}", engine_line(engine, &case.name, &sum_s, fail_s));
+                    println!("{}", engine_line(engine, &row_name, &sum_s, fail_s));
                     let dense_gib =
                         (case.dim as f64) * (case.dim as f64) * 8.0 / (1024.0 * 1024.0 * 1024.0);
                     println!(
-                        "{}: sparse {rate_s:.2} samples/sec; dense infeasible at dim {} \
+                        "{row_name}: sparse {rate_s:.2} samples/sec; dense infeasible at dim {} \
                          (~{dense_gib:.1} GiB per factor, cap {DENSE_MAX_DIM})",
-                        case.name, case.dim
+                        case.dim
                     );
-                    meter.set(&format!("{}.dense_infeasible", case.name), true);
+                    meter.set(&format!("{row_name}.dense_infeasible"), true);
                 }
             }
         }
-        meter.set(&format!("{}.dim", case.name), case.dim as u64);
+        meter.set(&format!("{row_name}.dim"), case.dim as u64);
         println!();
     }
     println!("{}", workspace_note());
@@ -177,23 +217,34 @@ fn run() -> Result<(), BenchError> {
 }
 
 /// Runs one campaign — through the shard supervisor when a
-/// [`ShardConfig`] is given — and returns its summary, failure count,
-/// and samples/sec rate.
+/// [`ShardConfig`] is given, with the per-sample metric picked by
+/// `analysis` (transient delay or AC gain) — and returns its summary,
+/// failure count, and samples/sec rate.
 fn timed_campaign(
     case: &linvar_interconnect::ChainCase,
     samples: &[Vec<f64>],
     threads: usize,
     solver: SolverChoice,
     shard: Option<&ShardConfig>,
+    analysis: AnalysisKind,
 ) -> Result<(Summary, usize, f64), BenchError> {
     let t0 = Instant::now();
-    let (summary, failures) = match shard {
-        Some(cfg) => {
+    let ac = analysis == AnalysisKind::Ac;
+    let (summary, failures) = match (shard, ac) {
+        (Some(cfg), false) => {
             let r = run_case_sharded(case, samples, threads, solver, cfg)?;
             (r.summary, r.failures)
         }
-        None => {
+        (Some(cfg), true) => {
+            let r = run_case_ac_sharded(case, samples, threads, solver, cfg)?;
+            (r.summary, r.failures)
+        }
+        (None, false) => {
             let r = run_case(case, samples, threads, solver)?;
+            (r.summary, r.failures)
+        }
+        (None, true) => {
+            let r = run_case_ac(case, samples, threads, solver)?;
             (r.summary, r.failures)
         }
     };

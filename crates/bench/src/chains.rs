@@ -11,12 +11,13 @@
 use crate::BenchError;
 use linvar_interconnect::ChainCase;
 use linvar_numeric::SolverChoice;
-use linvar_spice::{crossing_time, Transient, TransientOptions};
+use linvar_spice::{ac_analysis_with, crossing_time, Transient, TransientOptions};
 use linvar_stats::sampling::lhs_normal_streamed;
 use linvar_stats::{
     fingerprint_str, fingerprint_words, monte_carlo_par, run_sharded_campaign, run_spectral,
-    sobol_normal_streamed, CampaignFingerprint, MonteCarloResult, RecoveryPolicy, SampleStatus,
-    ShardConfig, ShardedCampaignResult, SpectralConfig, SpectralPlan, SpectralResult, Summary,
+    sobol_normal_streamed, AnalysisKind, CampaignFingerprint, MonteCarloResult, RecoveryPolicy,
+    SampleStatus, ShardConfig, ShardedCampaignResult, SpectralConfig, SpectralPlan, SpectralResult,
+    Summary,
 };
 
 /// Master seed of the chains campaigns (fixtures depend on it).
@@ -91,6 +92,78 @@ pub fn run_case(
     Ok(mc)
 }
 
+/// The fixed AC measurement frequency of one case (`--analysis ac`): a
+/// pure function of the case's transient window (`tstop ≈ 8τ`), placed
+/// near the knee of its nominal response so the gain magnitude is
+/// neither ~1 nor ~0 and the wire fluctuations move it measurably —
+/// a near-unity gain would leave the sample std small enough for the
+/// dense/sparse backends to disagree inside the `%.6e` row rounding.
+pub fn ac_frequency(case: &ChainCase) -> f64 {
+    2.0 / case.tstop
+}
+
+/// The `--analysis ac` row name of a case: the case name with an `.ac`
+/// suffix, so AC rows can never be confused with (or diffed against)
+/// the transient delay rows of the same circuit.
+pub fn ac_case_name(case: &ChainCase) -> String {
+    format!("{}.ac", case.name)
+}
+
+/// Evaluates one AC Monte-Carlo sample: freeze the variational netlist
+/// at `w`, run a single-point AC sweep with a unit stimulus on the
+/// `Vdrv` driver, and return the gain magnitude |V(probe)| at
+/// [`ac_frequency`].
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the AC solve fails.
+pub fn ac_mag_for_sample(
+    case: &ChainCase,
+    w: &[f64],
+    solver: SolverChoice,
+) -> Result<f64, BenchError> {
+    let frozen = case.netlist.frozen_at(w);
+    let res = ac_analysis_with(
+        &frozen,
+        "Vdrv",
+        &[&case.probe],
+        &[ac_frequency(case)],
+        solver,
+    )?;
+    let mags = res
+        .magnitude(&case.probe)
+        .ok_or_else(|| BenchError::Msg(format!("probe {} missing", case.probe)))?;
+    mags.first()
+        .copied()
+        .ok_or_else(|| BenchError::Msg(format!("{}: empty AC sweep", case.name)))
+}
+
+/// Runs the AC gain campaign for one case on one backend — the
+/// `--analysis ac` counterpart of [`run_case`].
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if every sample fails.
+pub fn run_case_ac(
+    case: &ChainCase,
+    samples: &[Vec<f64>],
+    threads: usize,
+    solver: SolverChoice,
+) -> Result<MonteCarloResult, BenchError> {
+    let mc = monte_carlo_par(samples, threads, |w: &Vec<f64>| {
+        ac_mag_for_sample(case, w, solver)
+    });
+    if mc.summary.n == 0 {
+        return Err(BenchError::Msg(format!(
+            "{}: all {} samples failed ({})",
+            ac_case_name(case),
+            samples.len(),
+            mc.first_error.as_deref().unwrap_or("no error recorded")
+        )));
+    }
+    Ok(mc)
+}
+
 /// Campaign fingerprint of one chains case: seed, sample-set shape, and
 /// the case name folded into the model hash. Shard snapshots taken under
 /// one case refuse to resume another.
@@ -138,6 +211,68 @@ pub fn run_case_sharded(
         return Err(BenchError::Msg(format!(
             "{}: all {} samples failed ({})",
             case.name,
+            samples.len(),
+            sharded
+                .first_error
+                .as_deref()
+                .unwrap_or("no error recorded")
+        )));
+    }
+    Ok(sharded)
+}
+
+/// [`chains_fingerprint`] for the AC gain campaigns: folds
+/// [`AnalysisKind::Ac`] into the model hash, so an AC snapshot refuses
+/// to resume a transient campaign of the same case and shape. (The
+/// transient fingerprint predates analysis tagging and stays untouched
+/// for checkpoint compatibility.)
+pub fn chains_ac_fingerprint(case_name: &str, n_samples: usize) -> CampaignFingerprint {
+    CampaignFingerprint {
+        master_seed: CHAINS_SEED,
+        n_samples,
+        policy: RecoveryPolicy::strict(),
+        model: fingerprint_words([
+            fingerprint_str(case_name),
+            AnalysisKind::Ac.fingerprint_word(),
+            n_samples as u64,
+            5,
+        ]),
+    }
+}
+
+/// Runs the AC gain campaign for one case under the shard supervisor —
+/// the `--analysis ac` counterpart of [`run_case_sharded`], merged
+/// statistics bitwise-identical to [`run_case_ac`].
+///
+/// # Errors
+///
+/// Returns [`BenchError`] on a shard-plan problem or if every sample
+/// failed.
+pub fn run_case_ac_sharded(
+    case: &ChainCase,
+    samples: &[Vec<f64>],
+    threads: usize,
+    solver: SolverChoice,
+    config: &ShardConfig,
+) -> Result<ShardedCampaignResult, BenchError> {
+    let fp = chains_ac_fingerprint(&case.name, samples.len());
+    let sharded = run_sharded_campaign(
+        samples,
+        threads,
+        RecoveryPolicy::strict(),
+        config,
+        &fp,
+        |w: &Vec<f64>, _attempt| {
+            ac_mag_for_sample(case, w, solver)
+                .map(|m| (m, SampleStatus::Clean))
+                .map_err(|e| e.to_string())
+        },
+    )
+    .map_err(|e| BenchError::Core(e.into()))?;
+    if sharded.summary.n == 0 {
+        return Err(BenchError::Msg(format!(
+            "{}: all {} samples failed ({})",
+            ac_case_name(case),
             samples.len(),
             sharded
                 .first_error
@@ -293,6 +428,59 @@ mod tests {
             "gpc rows must be backend- and thread-count-invariant"
         );
         assert!(dense.mean > 0.0 && dense.std >= 0.0);
+    }
+
+    #[test]
+    fn ac_gain_is_physical_and_backend_invariant() {
+        let case = rc_chain_case(50).unwrap();
+        let w = vec![0.0; 5];
+        let dense = ac_mag_for_sample(&case, &w, SolverChoice::Dense).unwrap();
+        let sparse = ac_mag_for_sample(&case, &w, SolverChoice::Sparse).unwrap();
+        assert!(
+            dense > 0.05 && dense < 0.999,
+            "measurement frequency should sit near the knee, got |H| = {dense}"
+        );
+        assert_eq!(format!("{dense:.6e}"), format!("{sparse:.6e}"));
+    }
+
+    #[test]
+    fn ac_rows_are_distinct_from_transient_rows() {
+        let case = rc_chain_case(50).unwrap();
+        let samples = sample_set(4);
+        let ac = run_case_ac(&case, &samples, 2, SolverChoice::Sparse).unwrap();
+        let tran = run_case(&case, &samples, 2, SolverChoice::Sparse).unwrap();
+        let ac_row = mc_line(&ac_case_name(&case), &ac.summary, ac.failures);
+        let tran_row = mc_line(&case.name, &tran.summary, tran.failures);
+        assert!(ac_row.starts_with(&format!("mc {}.ac:", case.name)));
+        assert_ne!(ac_row, tran_row);
+        assert_eq!(ac.failures, 0);
+    }
+
+    #[test]
+    fn ac_fingerprint_differs_from_transient() {
+        let tran = chains_fingerprint("chain50", 8);
+        let ac = chains_ac_fingerprint("chain50", 8);
+        assert_eq!(tran.master_seed, ac.master_seed);
+        assert_ne!(
+            tran.model, ac.model,
+            "AC must not resume transient snapshots"
+        );
+    }
+
+    #[test]
+    fn ac_sharded_rows_match_unsharded() {
+        let case = rc_chain_case(50).unwrap();
+        let samples = sample_set(6);
+        let base = run_case_ac(&case, &samples, 1, SolverChoice::Sparse).unwrap();
+        let cfg = ShardConfig {
+            n_shards: 3,
+            ..ShardConfig::default()
+        };
+        let sharded = run_case_ac_sharded(&case, &samples, 2, SolverChoice::Sparse, &cfg).unwrap();
+        assert_eq!(
+            mc_line(&ac_case_name(&case), &sharded.summary, sharded.failures),
+            mc_line(&ac_case_name(&case), &base.summary, base.failures)
+        );
     }
 
     #[test]

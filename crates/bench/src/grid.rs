@@ -1,0 +1,263 @@
+//! Shared evaluation logic for the `acgrid` IR-drop benchmark.
+//!
+//! Mirrors [`crate::chains`], with the transient delay metric replaced
+//! by the worst-case DC IR drop of a stochastic power grid
+//! ([`linvar_interconnect::grid`]). Lives in the library so the golden
+//! fixture at the workspace root drives exactly the code the benchmark
+//! runs. The `mc` rows round to `%.6e`, coarse enough that the dense and
+//! sparse backends print byte-identical lines — the property `ci.sh`
+//! diffs and `tests/golden_fixtures.rs` pins. Fingerprints fold
+//! [`AnalysisKind::IrDrop`], so grid checkpoints refuse to resume a
+//! transient or AC campaign of the same shape.
+
+use crate::BenchError;
+use linvar_interconnect::{ir_drop_for_sample, GridCase};
+use linvar_numeric::SolverChoice;
+use linvar_stats::sampling::lhs_normal_streamed;
+use linvar_stats::{
+    fingerprint_str, fingerprint_words, monte_carlo_par, run_sharded_campaign, run_spectral,
+    sobol_normal_streamed, AnalysisKind, CampaignFingerprint, MonteCarloResult, RecoveryPolicy,
+    SampleStatus, ShardConfig, ShardedCampaignResult, SpectralConfig, SpectralPlan, SpectralResult,
+};
+
+/// Master seed of the grid campaigns (fixtures depend on it).
+pub const GRID_SEED: u64 = 0x00961d;
+
+/// Per-parameter sigma of the W/T/S/H/ρ fluctuations (normalized units,
+/// same 0.33 as the chains workload so the engines share a germ scale).
+pub const GRID_SIGMA: f64 = 0.33;
+
+/// Deterministic variation samples for a grid campaign: `n` streamed-LHS
+/// draws of the five normalized wire parameters, a pure function of the
+/// seed — never of thread count or evaluation order.
+pub fn sample_set(n: usize) -> Vec<Vec<f64>> {
+    lhs_normal_streamed(GRID_SEED, n, 5, GRID_SIGMA)
+}
+
+/// The Sobol quasi-MC counterpart of [`sample_set`]: same seed, same
+/// dimensions and σ, drawn from the digitally-shifted Sobol sequence.
+pub fn sample_set_sobol(n: usize) -> Vec<Vec<f64>> {
+    sobol_normal_streamed(GRID_SEED, n, 5, GRID_SIGMA)
+}
+
+/// Evaluates one Monte-Carlo sample: freeze the grid at `w`, solve the
+/// DC operating point on the requested backend, and return the worst IR
+/// drop over the loaded nodes.
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if the DC solve fails or produces a
+/// non-finite node voltage.
+pub fn drop_for_sample(
+    case: &GridCase,
+    w: &[f64],
+    solver: SolverChoice,
+) -> Result<f64, BenchError> {
+    ir_drop_for_sample(case, w, solver).map_err(|e| BenchError::Msg(format!("{}: {e}", case.name)))
+}
+
+/// Runs the IR-drop campaign for one case on one backend.
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if every sample fails (per-sample failures
+/// are reported in the result, not raised).
+pub fn run_case(
+    case: &GridCase,
+    samples: &[Vec<f64>],
+    threads: usize,
+    solver: SolverChoice,
+) -> Result<MonteCarloResult, BenchError> {
+    let mc = monte_carlo_par(samples, threads, |w: &Vec<f64>| {
+        drop_for_sample(case, w, solver)
+    });
+    if mc.summary.n == 0 {
+        return Err(BenchError::Msg(format!(
+            "{}: all {} samples failed ({})",
+            case.name,
+            samples.len(),
+            mc.first_error.as_deref().unwrap_or("no error recorded")
+        )));
+    }
+    Ok(mc)
+}
+
+/// Campaign fingerprint of one grid case: seed, sample-set shape, the
+/// case name, and [`AnalysisKind::IrDrop`] folded into the model hash —
+/// a grid snapshot refuses to resume a transient or AC campaign even if
+/// every other coordinate matches.
+pub fn grid_fingerprint(case_name: &str, n_samples: usize) -> CampaignFingerprint {
+    CampaignFingerprint {
+        master_seed: GRID_SEED,
+        n_samples,
+        policy: RecoveryPolicy::strict(),
+        model: fingerprint_words([
+            fingerprint_str(case_name),
+            AnalysisKind::IrDrop.fingerprint_word(),
+            n_samples as u64,
+            5,
+        ]),
+    }
+}
+
+/// Runs the IR-drop campaign for one case under the shard supervisor.
+/// The merged statistics are bitwise-identical to [`run_case`] over the
+/// same samples.
+///
+/// # Errors
+///
+/// Returns [`BenchError`] on a shard-plan problem or if every sample
+/// failed.
+pub fn run_case_sharded(
+    case: &GridCase,
+    samples: &[Vec<f64>],
+    threads: usize,
+    solver: SolverChoice,
+    config: &ShardConfig,
+) -> Result<ShardedCampaignResult, BenchError> {
+    let fp = grid_fingerprint(&case.name, samples.len());
+    let sharded = run_sharded_campaign(
+        samples,
+        threads,
+        RecoveryPolicy::strict(),
+        config,
+        &fp,
+        |w: &Vec<f64>, _attempt| {
+            drop_for_sample(case, w, solver)
+                .map(|d| (d, SampleStatus::Clean))
+                .map_err(|e| e.to_string())
+        },
+    )
+    .map_err(|e| BenchError::Core(e.into()))?;
+    if sharded.summary.n == 0 {
+        return Err(BenchError::Msg(format!(
+            "{}: all {} samples failed ({})",
+            case.name,
+            samples.len(),
+            sharded
+                .first_error
+                .as_deref()
+                .unwrap_or("no error recorded")
+        )));
+    }
+    Ok(sharded)
+}
+
+/// The spectral grid every acgrid gPC run uses — same Smolyak level-1,
+/// degree-2 plan over five parameters as the chains workload (11 DC
+/// solves per case).
+pub const GRID_GPC_CONFIG: SpectralConfig = SpectralConfig {
+    order: 2,
+    level: 1,
+    grid: linvar_stats::GridKind::Smolyak,
+};
+
+/// Runs the gPC IR-drop analysis for one case on one backend:
+/// [`GRID_GPC_CONFIG`] with the germ scaled by [`GRID_SIGMA`], each
+/// node evaluated by [`drop_for_sample`]. Deterministic at any thread
+/// count.
+///
+/// # Errors
+///
+/// Returns [`BenchError`] on a plan failure, a failed node, or a failed
+/// coefficient solve.
+pub fn run_case_spectral(
+    case: &GridCase,
+    threads: usize,
+    solver: SolverChoice,
+) -> Result<SpectralResult, BenchError> {
+    let plan = SpectralPlan::build(5, GRID_GPC_CONFIG)
+        .map_err(|e| BenchError::Msg(format!("{}: {e}", case.name)))?;
+    run_spectral(
+        &plan,
+        threads,
+        RecoveryPolicy::strict(),
+        GRID_SEED,
+        |node, _attempt| {
+            let w: Vec<f64> = node.iter().map(|x| x * GRID_SIGMA).collect();
+            drop_for_sample(case, &w, solver)
+                .map(|d| (d, SampleStatus::Clean))
+                .map_err(|e| e.to_string())
+        },
+    )
+    .map_err(|e| BenchError::Msg(format!("{}: {e}", case.name)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chains::{gpc_line, mc_line};
+    use linvar_interconnect::{power_grid_case, PowerGridSpec, WireTech};
+
+    fn quick_case() -> GridCase {
+        power_grid_case(&PowerGridSpec::new(8, 8, WireTech::m018())).unwrap()
+    }
+
+    #[test]
+    fn samples_are_seeded_and_distinct_from_chains() {
+        let a = sample_set(8);
+        assert_eq!(a, sample_set(8));
+        assert!(a.iter().all(|w| w.len() == 5));
+        assert_ne!(
+            a,
+            crate::chains::sample_set(8),
+            "grid and chains streams must differ (different master seeds)"
+        );
+        let s = sample_set_sobol(8);
+        assert_eq!(s, sample_set_sobol(8));
+        assert_ne!(s, a, "sobol and LHS streams must differ");
+    }
+
+    #[test]
+    fn mc_rows_match_across_backends_and_threads() {
+        let case = quick_case();
+        let samples = sample_set(6);
+        let d = run_case(&case, &samples, 1, SolverChoice::Dense).unwrap();
+        let s = run_case(&case, &samples, 2, SolverChoice::Sparse).unwrap();
+        assert_eq!(
+            mc_line(&case.name, &d.summary, d.failures),
+            mc_line(&case.name, &s.summary, s.failures)
+        );
+        assert_eq!(d.failures, 0);
+        assert!(d.summary.mean > 0.0);
+    }
+
+    #[test]
+    fn sharded_rows_match_unsharded() {
+        let case = quick_case();
+        let samples = sample_set(6);
+        let base = run_case(&case, &samples, 1, SolverChoice::Sparse).unwrap();
+        let base_line = mc_line(&case.name, &base.summary, base.failures);
+        let cfg = ShardConfig {
+            n_shards: 3,
+            ..ShardConfig::default()
+        };
+        let sharded = run_case_sharded(&case, &samples, 2, SolverChoice::Sparse, &cfg).unwrap();
+        assert_eq!(
+            mc_line(&case.name, &sharded.summary, sharded.failures),
+            base_line
+        );
+    }
+
+    #[test]
+    fn gpc_rows_match_across_backends_and_threads() {
+        let case = quick_case();
+        let dense = run_case_spectral(&case, 1, SolverChoice::Dense).unwrap();
+        let sparse = run_case_spectral(&case, 2, SolverChoice::Sparse).unwrap();
+        assert_eq!(dense.nodes_evaluated, 11, "smolyak level-1 grid in 5 dims");
+        assert_eq!(gpc_line(&case.name, &dense), gpc_line(&case.name, &sparse));
+        assert!(dense.mean > 0.0 && dense.std >= 0.0);
+    }
+
+    #[test]
+    fn fingerprint_separates_analyses_and_cases() {
+        let ir = grid_fingerprint("grid8x8", 16);
+        let other_case = grid_fingerprint("grid16x16", 16);
+        assert_ne!(ir.model, other_case.model);
+        let chains = crate::chains::chains_fingerprint("grid8x8", 16);
+        assert_ne!(
+            ir.model, chains.model,
+            "IR-drop campaigns must not resume transient snapshots"
+        );
+    }
+}

@@ -12,6 +12,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod chains;
+pub mod grid;
 mod meter;
 
 pub use meter::BenchMeter;
@@ -20,7 +21,9 @@ use linvar_circuit::CircuitError;
 use linvar_core::CoreError;
 use linvar_numeric::NumericError;
 use linvar_spice::SpiceError;
-use linvar_stats::{CampaignConfig, CheckpointError, HistogramError, ShardConfig, ShardFault};
+use linvar_stats::{
+    AnalysisKind, CampaignConfig, CheckpointError, HistogramError, ShardConfig, ShardFault,
+};
 use linvar_teta::TetaError;
 use std::fmt;
 use std::path::PathBuf;
@@ -219,6 +222,9 @@ pub struct BenchArgs {
     /// `--engine <mc|gpc|sobol>`: statistics engine for the
     /// multi-engine bins.
     pub engine: Engine,
+    /// `--analysis <tran|ac>`: per-sample analysis on the bins that have
+    /// a frequency-domain mode (`chains`). Default is transient.
+    pub analysis: AnalysisKind,
 }
 
 impl BenchArgs {
@@ -279,11 +285,23 @@ impl BenchArgs {
                 "--engine" => {
                     out.engine = Engine::parse(&value(&mut argv, "--engine")?)?;
                 }
+                "--analysis" => {
+                    let raw = value(&mut argv, "--analysis")?;
+                    out.analysis = AnalysisKind::parse(&raw).ok_or_else(|| {
+                        BenchError::Usage(format!("--analysis wants tran or ac, got {raw:?}"))
+                    })?;
+                    if out.analysis == AnalysisKind::IrDrop {
+                        return Err(BenchError::Usage(
+                            "--analysis irdrop is the acgrid bin's workload, not a chains mode"
+                                .into(),
+                        ));
+                    }
+                }
                 other => {
                     return Err(BenchError::Usage(format!(
                         "unknown argument {other:?} (expected --quick, --checkpoint <prefix>, \
                          --resume <prefix>, --deadline <secs>, --metrics <path>, --shards <N>, \
-                         --shard-index <K>, --engine <mc|gpc|sobol>)"
+                         --shard-index <K>, --engine <mc|gpc|sobol>, --analysis <tran|ac>)"
                     )));
                 }
             }
@@ -349,6 +367,17 @@ impl BenchArgs {
         if self.shards.is_some() || self.shard_index.is_some() {
             return Err(BenchError::Usage(format!(
                 "{bin} has no sharded mode (--shards/--shard-index unsupported)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Rejects a non-default `--analysis` for bins without a
+    /// frequency-domain mode (every bin except `chains`).
+    pub fn reject_analysis_flag(&self, bin: &str) -> Result<(), BenchError> {
+        if self.analysis != AnalysisKind::Transient {
+            return Err(BenchError::Usage(format!(
+                "{bin} has no AC mode (--analysis unsupported)"
             )));
         }
         Ok(())
@@ -768,6 +797,25 @@ mod tests {
         );
         let mc_sharded = BenchArgs::parse(argv(&["--shards", "2"])).unwrap();
         assert!(mc_sharded.validate_engine("table4", true).is_ok());
+    }
+
+    #[test]
+    fn analysis_flag_parsing_and_rejection() {
+        assert_eq!(
+            BenchArgs::parse(argv(&[])).unwrap().analysis,
+            AnalysisKind::Transient
+        );
+        let ac = BenchArgs::parse(argv(&["--analysis", "ac"])).unwrap();
+        assert_eq!(ac.analysis, AnalysisKind::Ac);
+        assert_eq!(
+            ac.reject_analysis_flag("table4").unwrap_err().exit_code(),
+            2
+        );
+        let tran = BenchArgs::parse(argv(&["--analysis", "tran"])).unwrap();
+        assert!(tran.reject_analysis_flag("table4").is_ok());
+        for bad in [["--analysis", "dc"], ["--analysis", "irdrop"]] {
+            assert_eq!(BenchArgs::parse(argv(&bad)).unwrap_err().exit_code(), 2);
+        }
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub struct CoupledLines {
 
 /// Computes a variational value for one electrical quantity by evaluating
 /// `f` at the nominal geometry and at ±tolerance of each parameter.
-fn variational_from<F>(tech: &WireTech, params: &[usize; 5], f: F) -> VariationalValue
+pub(crate) fn variational_from<F>(tech: &WireTech, params: &[usize; 5], f: F) -> VariationalValue
 where
     F: Fn(f64, f64, f64, f64, f64) -> f64,
 {

@@ -23,6 +23,7 @@
 pub mod builder;
 pub mod chains;
 pub mod example1;
+pub mod grid;
 pub mod htree;
 pub mod sakurai;
 pub mod tech;
@@ -30,6 +31,9 @@ pub mod tech;
 pub use builder::{CoupledLineSpec, CoupledLines};
 pub use chains::{htree_case, rc_chain_case, standard_cases, ChainCase};
 pub use example1::{example1_load, example1_netlist};
+pub use grid::{
+    ir_drop_for_sample, power_grid_case, standard_grid_cases, GridCase, GridError, PowerGridSpec,
+};
 pub use htree::{build_htree, HTree, HTreeSpec};
 pub use sakurai::{
     coupling_cap_per_meter, ground_cap_per_meter, inductance_per_meter, resistance_per_meter,

@@ -97,10 +97,15 @@ pub enum Phase {
     /// Spectral-coefficient solve: gPC projection or the stochastic-
     /// testing Vandermonde solve, node values in, coefficients out.
     SpectralSolve,
+    /// AC small-signal factorization: real-embedded complex MNA factor
+    /// (first factor or pattern-reuse refactor at a new frequency).
+    AcFactor,
+    /// AC small-signal solve against an existing complex factorization.
+    AcSolve,
 }
 
 /// Number of [`Phase`] variants.
-pub const N_PHASES: usize = 18;
+pub const N_PHASES: usize = 20;
 
 impl Phase {
     /// Every phase, in declaration order (= index order).
@@ -123,6 +128,8 @@ impl Phase {
         Phase::ServeAccept,
         Phase::ServeHandle,
         Phase::SpectralSolve,
+        Phase::AcFactor,
+        Phase::AcSolve,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -148,6 +155,8 @@ impl Phase {
             Phase::ServeAccept => "serve_accept",
             Phase::ServeHandle => "serve_handle",
             Phase::SpectralSolve => "spectral_solve",
+            Phase::AcFactor => "ac_factor",
+            Phase::AcSolve => "ac_solve",
         }
     }
 }
@@ -253,10 +262,17 @@ pub enum Counter {
     SpectralCoefficients,
     /// Deterministic surrogate evaluations behind spectral quantiles.
     SpectralSurrogateSamples,
+    /// AC frequency points solved (one per sweep point per run).
+    AcPointsSolved,
+    /// AC sweep points served by the pattern-reuse refactor fast path
+    /// (every point after the first at a fixed sparsity pattern).
+    AcRefactors,
+    /// AC factorizations that needed the diagonal-perturbation retry.
+    AcFactorRecoveries,
 }
 
 /// Number of [`Counter`] variants.
-pub const N_COUNTERS: usize = 45;
+pub const N_COUNTERS: usize = 48;
 
 impl Counter {
     /// Every counter, in declaration order (= index order).
@@ -306,6 +322,9 @@ impl Counter {
         Counter::SpectralSolves,
         Counter::SpectralCoefficients,
         Counter::SpectralSurrogateSamples,
+        Counter::AcPointsSolved,
+        Counter::AcRefactors,
+        Counter::AcFactorRecoveries,
     ];
 
     /// Stable dotted name used as the JSON key.
@@ -356,6 +375,9 @@ impl Counter {
             Counter::SpectralSolves => "spectral.solves",
             Counter::SpectralCoefficients => "spectral.coefficients",
             Counter::SpectralSurrogateSamples => "spectral.surrogate_samples",
+            Counter::AcPointsSolved => "ac.points_solved",
+            Counter::AcRefactors => "ac.refactors",
+            Counter::AcFactorRecoveries => "ac.factor_recoveries",
         }
     }
 }

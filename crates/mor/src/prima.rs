@@ -6,8 +6,8 @@
 //! version built on top of this basis does not (see [`crate::variational`]).
 
 use linvar_numeric::{
-    gram_schmidt_orthonormalize, AnySolver, LinearSolver, LuFactor, Matrix, NumericError,
-    SolverChoice, Workspace,
+    gram_schmidt_orthonormalize, AnySolver, CLuFactor, CMatrix, Complex, LinearSolver, LuFactor,
+    Matrix, NumericError, SolverChoice, Workspace,
 };
 
 /// A reduced-order model `(Gr + s·Cr)·vr = Br·ip`, `vp = Brᵀ·vr`.
@@ -62,6 +62,56 @@ impl ReducedModel {
         let lu = LuFactor::new(&self.gr)?;
         let x = lu.solve_mat(&self.br)?;
         Ok(self.br.transpose().mul_mat(&x))
+    }
+
+    /// Port transfer (impedance) matrix at a complex frequency:
+    /// `Z(s) = Brᵀ (Gr + s·Cr)⁻¹ Br`.
+    ///
+    /// This is the frequency-domain face of the reduced model — the
+    /// quantity the AC conformance suite compares point-by-point against
+    /// a full-order complex-MNA solve at `s = jω`. The reduced system is
+    /// small (order 4–40), so a dense complex factor is the right tool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::SingularMatrix`] if `Gr + s·Cr` is
+    /// singular at `s` (an exactly-hit pole).
+    pub fn transfer_at(&self, s: Complex) -> Result<CMatrix, NumericError> {
+        let q = self.order();
+        let np = self.port_count();
+        let mut a = CMatrix::from_real(&self.gr);
+        for i in 0..q {
+            for j in 0..q {
+                let cij = self.cr[(i, j)];
+                if cij != 0.0 {
+                    a[(i, j)] += s.scale(cij);
+                }
+            }
+        }
+        let lu = CLuFactor::new(&a)?;
+        // X = (Gr + s·Cr)⁻¹ Br, column by column.
+        let mut x = CMatrix::zeros(q, np);
+        let mut col = vec![Complex::ZERO; q];
+        for j in 0..np {
+            for i in 0..q {
+                col[i] = Complex::from_real(self.br[(i, j)]);
+            }
+            let solved = lu.solve(&col)?;
+            for i in 0..q {
+                x[(i, j)] = solved[i];
+            }
+        }
+        let mut z = CMatrix::zeros(np, np);
+        for i in 0..np {
+            for j in 0..np {
+                let mut acc = Complex::ZERO;
+                for k in 0..q {
+                    acc += x[(k, j)].scale(self.br[(k, i)]);
+                }
+                z[(i, j)] = acc;
+            }
+        }
+        Ok(z)
     }
 
     /// Takes a zeroed `q`-state, `np`-port model shell from the

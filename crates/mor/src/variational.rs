@@ -17,7 +17,7 @@
 use crate::pact::pact_reduce;
 use crate::prima::{prima_basis, prima_project, ReducedModel};
 use linvar_circuit::VariationalMna;
-use linvar_numeric::{Matrix, NumericError};
+use linvar_numeric::{CMatrix, Complex, Matrix, NumericError};
 
 /// Projection algorithm used for the reduction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -250,6 +250,23 @@ impl VariationalRom {
             }
         }
         Ok(())
+    }
+
+    /// Port transfer matrix `H(w, s) = Br(w)ᵀ (Gr(w) + s·Cr(w))⁻¹ Br(w)`
+    /// of the first-order variational model at sample `w` and complex
+    /// frequency `s` (use `s = jω` for the AC response).
+    ///
+    /// This is the vROM's answer to the question the full-order AC sweep
+    /// answers exactly — evaluating it over a frequency grid gives the
+    /// point-by-point comparison the frequency-domain conformance suite
+    /// locks down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches from [`VariationalRom::evaluate`] and
+    /// [`NumericError::SingularMatrix`] from an exactly-hit pole.
+    pub fn transfer_at(&self, w: &[f64], s: Complex) -> Result<CMatrix, NumericError> {
+        self.evaluate(w)?.transfer_at(s)
     }
 
     /// Reference evaluation: recomputes the *exact* reduction at sample `w`

@@ -41,6 +41,7 @@
 
 pub mod cmatrix;
 pub mod complex;
+pub mod csolver;
 pub mod eigen;
 pub mod error;
 pub mod lu;
@@ -55,6 +56,7 @@ pub mod workspace;
 
 pub use cmatrix::{CLuFactor, CMatrix};
 pub use complex::Complex;
+pub use csolver::{embed_triplets, CAnySolver};
 pub use eigen::{eigen_decompose, eigen_decompose_recovering, eigenvalues, EigenDecomposition};
 pub use error::NumericError;
 pub use lu::{FactorRecovery, LuFactor};

@@ -223,6 +223,34 @@ impl AnySolver {
         }
     }
 
+    /// Like [`AnySolver::factor_triplets`] but walking the
+    /// diagonal-perturbation recovery ladder on breakdown (one retry on
+    /// `A + εI`), identical policy on both backends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] for out-of-range triplets
+    /// and the underlying error if even the perturbed matrix fails.
+    pub fn factor_triplets_recovering(
+        n: usize,
+        triplets: &[(usize, usize, f64)],
+        choice: SolverChoice,
+    ) -> Result<(Self, FactorRecovery), NumericError> {
+        match choice.backend_for(n) {
+            SolverBackend::Dense => {
+                let a = dense_from_triplets(n, triplets)?;
+                let (lu, rec) = LuFactor::new_recovering(&a)?;
+                Ok((AnySolver::Dense(lu), rec))
+            }
+            SolverBackend::Sparse => {
+                let a = SparseMatrix::from_triplets(n, n, triplets)?;
+                let symbolic = analyze_cached(&a)?;
+                let (lu, rec) = SparseLu::new_recovering(&a, &symbolic)?;
+                Ok((AnySolver::Sparse(lu), rec))
+            }
+        }
+    }
+
     /// Factors a dense matrix on the chosen backend (converting to CSC
     /// when sparse is selected). Used by consumers that already hold a
     /// dense operator, e.g. the MOR projection path.

@@ -4,10 +4,18 @@
 //! one named source. The primary consumer is macromodel validation: the
 //! frequency response of a reduced-order model must track the full
 //! netlist's up to the bandwidth its matched moments cover.
+//!
+//! The complex system is solved through [`CAnySolver`] — the real-embedded
+//! `2n×2n` form of the `AnySolver` stack — so AC inherits the dense/sparse
+//! backend selection (`LINVAR_SOLVER`), the diagonal-perturbation recovery
+//! ladder, and workspace pooling of the real path. A sweep stamps the
+//! union sparsity pattern of `G` and `C` once; every frequency point after
+//! the first reuses it through the pattern-reuse refactor fast path (on
+//! the sparse backend, numeric-only refactorization).
 
 use crate::error::SpiceError;
 use linvar_circuit::Netlist;
-use linvar_numeric::{CLuFactor, CMatrix, Complex};
+use linvar_numeric::{CAnySolver, Complex, Matrix, SolverChoice};
 use std::collections::HashMap;
 
 /// Result of an AC sweep.
@@ -42,9 +50,109 @@ pub fn log_frequencies(f_lo: f64, f_hi: f64, n: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Generates `n` linearly spaced frequencies in `[f_lo, f_hi]`.
+///
+/// # Panics
+///
+/// Panics if the bounds are reversed or `n < 2`.
+pub fn linear_frequencies(f_lo: f64, f_hi: f64, n: usize) -> Vec<f64> {
+    assert!(f_hi > f_lo, "need f_lo < f_hi");
+    assert!(n >= 2, "need at least two points");
+    (0..n)
+        .map(|k| f_lo + (f_hi - f_lo) * k as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// The frequency-invariant part of an AC sweep: the union sparsity
+/// pattern of `G` and `C`, stamped once. Each point of the sweep maps
+/// the pattern to complex triplets `g + jωc` — same structure at every
+/// ω, which is what lets [`sweep_rows`] walk the refactor fast path.
+struct AcOperator {
+    n: usize,
+    /// `(i, j, g, c)` for every position where `G` or `C` is nonzero.
+    entries: Vec<(usize, usize, f64, f64)>,
+}
+
+impl AcOperator {
+    fn from_dense(g: &Matrix, c: &Matrix) -> Self {
+        let n = g.rows();
+        let mut entries = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let (gij, cij) = (g[(i, j)], c[(i, j)]);
+                if gij != 0.0 || cij != 0.0 {
+                    entries.push((i, j, gij, cij));
+                }
+            }
+        }
+        AcOperator { n, entries }
+    }
+
+    fn triplets_at(&self, omega: f64, buf: &mut Vec<(usize, usize, Complex)>) {
+        buf.clear();
+        buf.extend(
+            self.entries
+                .iter()
+                .map(|&(i, j, g, c)| (i, j, Complex::new(g, omega * c))),
+        );
+    }
+
+    /// Solves the sweep and returns, per requested row, the complex
+    /// response at every frequency. The first point factors through the
+    /// recovery ladder; later points refactor at the fixed pattern and
+    /// fall back to a fresh recovering factor if the reused pivots break
+    /// down at some ω.
+    fn sweep_rows(
+        &self,
+        rhs: &[Complex],
+        freqs: &[f64],
+        rows: &[usize],
+        choice: SolverChoice,
+    ) -> Result<Vec<Vec<Complex>>, SpiceError> {
+        let mut out = vec![Vec::with_capacity(freqs.len()); rows.len()];
+        let mut trip = Vec::with_capacity(self.entries.len());
+        let mut solver: Option<CAnySolver> = None;
+        let mut x = Vec::new();
+        for &f in freqs {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            self.triplets_at(omega, &mut trip);
+            match solver.as_mut() {
+                None => {
+                    let (s, _rec) = CAnySolver::factor_triplets_recovering(self.n, &trip, choice)?;
+                    solver = Some(s);
+                }
+                Some(s) => {
+                    if s.refactor_triplets(self.n, &trip).is_err() {
+                        let (s2, _rec) =
+                            CAnySolver::factor_triplets_recovering(self.n, &trip, choice)?;
+                        *s = s2;
+                    }
+                }
+            }
+            let s = solver.as_ref().expect("factored above");
+            s.solve_into(rhs, &mut x)?;
+            linvar_metrics::incr(linvar_metrics::Counter::AcPointsSolved);
+            for (col, &row) in out.iter_mut().zip(rows) {
+                col.push(x[row]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn reject_mosfets(nl: &Netlist) -> Result<(), SpiceError> {
+    if !nl.mosfets().is_empty() {
+        return Err(SpiceError::BadCircuit(
+            "ac analysis supports linear netlists only".into(),
+        ));
+    }
+    Ok(())
+}
+
 /// Runs an AC sweep with a unit stimulus on the voltage source named
 /// `source` (all other independent sources are zeroed: voltage sources
 /// become shorts through their branch equations, current sources open).
+/// Backend selection follows [`SolverChoice::Auto`].
 ///
 /// # Errors
 ///
@@ -57,11 +165,22 @@ pub fn ac_analysis(
     probes: &[&str],
     freqs: &[f64],
 ) -> Result<AcResult, SpiceError> {
-    if !nl.mosfets().is_empty() {
-        return Err(SpiceError::BadCircuit(
-            "ac analysis supports linear netlists only".into(),
-        ));
-    }
+    ac_analysis_with(nl, source, probes, freqs, SolverChoice::Auto)
+}
+
+/// [`ac_analysis`] with an explicit solver-backend choice.
+///
+/// # Errors
+///
+/// Same conditions as [`ac_analysis`].
+pub fn ac_analysis_with(
+    nl: &Netlist,
+    source: &str,
+    probes: &[&str],
+    freqs: &[f64],
+    choice: SolverChoice,
+) -> Result<AcResult, SpiceError> {
+    reject_mosfets(nl)?;
     let mna = nl.assemble_mna()?;
     let n = mna.g.rows();
     let source_branch = mna
@@ -82,26 +201,14 @@ pub fn ac_analysis(
     let mut rhs = vec![Complex::ZERO; n];
     rhs[mna.node_count + source_branch] = Complex::ONE;
 
-    let mut response: HashMap<String, Vec<Complex>> = probe_rows
-        .iter()
-        .map(|(p, _)| (p.clone(), Vec::new()))
+    let op = AcOperator::from_dense(&mna.g, &mna.c);
+    let rows: Vec<usize> = probe_rows.iter().map(|&(_, r)| r).collect();
+    let per_row = op.sweep_rows(&rhs, freqs, &rows, choice)?;
+    let response = probe_rows
+        .into_iter()
+        .zip(per_row)
+        .map(|((p, _), col)| (p, col))
         .collect();
-    for &f in freqs {
-        let omega = 2.0 * std::f64::consts::PI * f;
-        let mut a = CMatrix::from_real(&mna.g);
-        for i in 0..n {
-            for j in 0..n {
-                let cij = mna.c[(i, j)];
-                if cij != 0.0 {
-                    a[(i, j)] += Complex::new(0.0, omega * cij);
-                }
-            }
-        }
-        let x = CLuFactor::new(&a)?.solve(&rhs)?;
-        for (p, row) in &probe_rows {
-            response.get_mut(p).expect("inserted").push(x[*row]);
-        }
-    }
     Ok(AcResult {
         freqs: freqs.to_vec(),
         response,
@@ -117,35 +224,32 @@ pub fn ac_analysis(
 ///
 /// Same conditions as [`ac_analysis`].
 pub fn ac_impedance(nl: &Netlist, port: &str, freqs: &[f64]) -> Result<Vec<Complex>, SpiceError> {
-    if !nl.mosfets().is_empty() {
-        return Err(SpiceError::BadCircuit(
-            "ac analysis supports linear netlists only".into(),
-        ));
-    }
+    ac_impedance_with(nl, port, freqs, SolverChoice::Auto)
+}
+
+/// [`ac_impedance`] with an explicit solver-backend choice.
+///
+/// # Errors
+///
+/// Same conditions as [`ac_analysis`].
+pub fn ac_impedance_with(
+    nl: &Netlist,
+    port: &str,
+    freqs: &[f64],
+    choice: SolverChoice,
+) -> Result<Vec<Complex>, SpiceError> {
+    reject_mosfets(nl)?;
     let var = nl.assemble_variational()?;
     let node = nl
         .find_node(port)
         .and_then(|n| n.mna_index())
         .ok_or_else(|| SpiceError::BadCircuit(format!("unknown port node {port}")))?;
     let n = var.order();
-    let mut out = Vec::with_capacity(freqs.len());
     let mut rhs = vec![Complex::ZERO; n];
     rhs[node] = Complex::ONE;
-    for &f in freqs {
-        let omega = 2.0 * std::f64::consts::PI * f;
-        let mut a = CMatrix::from_real(&var.g0);
-        for i in 0..n {
-            for j in 0..n {
-                let cij = var.c0[(i, j)];
-                if cij != 0.0 {
-                    a[(i, j)] += Complex::new(0.0, omega * cij);
-                }
-            }
-        }
-        let x = CLuFactor::new(&a)?.solve(&rhs)?;
-        out.push(x[node]);
-    }
-    Ok(out)
+    let op = AcOperator::from_dense(&var.g0, &var.c0);
+    let mut per_row = op.sweep_rows(&rhs, freqs, &[node], choice)?;
+    Ok(per_row.remove(0))
 }
 
 #[cfg(test)]
@@ -181,6 +285,17 @@ mod tests {
         // Phase at the corner is -45°.
         let phase = res.response["out"][1].arg().to_degrees();
         assert!((phase + 45.0).abs() < 0.5, "phase {phase}");
+    }
+
+    #[test]
+    fn dense_and_sparse_sweeps_agree() {
+        let nl = rc_lowpass();
+        let freqs = log_frequencies(1e6, 1e10, 7);
+        let dense = ac_analysis_with(&nl, "V1", &["out"], &freqs, SolverChoice::Dense).unwrap();
+        let sparse = ac_analysis_with(&nl, "V1", &["out"], &freqs, SolverChoice::Sparse).unwrap();
+        for (d, s) in dense.response["out"].iter().zip(&sparse.response["out"]) {
+            assert!((*d - *s).abs() < 1e-12 * s.abs().max(1.0), "{d:?} vs {s:?}");
+        }
     }
 
     #[test]
@@ -243,6 +358,15 @@ mod tests {
         let r1 = fs[1] / fs[0];
         let r2 = fs[2] / fs[1];
         assert!((r1 - r2).abs() < 1e-9 * r1);
+    }
+
+    #[test]
+    fn linear_frequencies_are_arithmetic() {
+        let fs = linear_frequencies(1e6, 4e6, 4);
+        assert_eq!(fs.len(), 4);
+        assert!((fs[0] - 1e6).abs() < 1e-6);
+        assert!((fs[1] - 2e6).abs() < 1e-6);
+        assert!((fs[3] - 4e6).abs() < 1e-6);
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub mod error;
 pub mod measure;
 pub mod poleres_load;
 
-pub use ac::{ac_analysis, ac_impedance, log_frequencies, AcResult};
+pub use ac::{
+    ac_analysis, ac_analysis_with, ac_impedance, ac_impedance_with, linear_frequencies,
+    log_frequencies, AcResult,
+};
 pub use engine::{DcStrategy, RecoveryLog, Transient, TransientOptions, TransientResult};
 pub use error::SpiceError;
 pub use measure::{crossing_time, delay_between, slew_time};

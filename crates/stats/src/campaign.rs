@@ -76,6 +76,55 @@ pub fn fingerprint_str(s: &str) -> u64 {
     fnv1a64(s.as_bytes())
 }
 
+/// Which analysis a campaign's per-sample scalar comes from.
+///
+/// Folded into the [`CampaignFingerprint::model`] hash (via
+/// [`AnalysisKind::fingerprint_word`]) by every campaign that can run
+/// more than one analysis over the same circuit: a transient-delay
+/// checkpoint must never resume an AC-response or IR-drop campaign whose
+/// circuit and sample set happen to match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisKind {
+    /// Transient analysis; the scalar is a delay (threshold crossing).
+    #[default]
+    Transient,
+    /// AC small-signal analysis; the scalar is a frequency-response
+    /// metric (e.g. magnitude at a probe frequency).
+    Ac,
+    /// DC IR-drop analysis; the scalar is a worst-case supply droop.
+    IrDrop,
+}
+
+impl AnalysisKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [AnalysisKind; 3] = [
+        AnalysisKind::Transient,
+        AnalysisKind::Ac,
+        AnalysisKind::IrDrop,
+    ];
+
+    /// Stable lowercase name (CLI values and fingerprint salt).
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalysisKind::Transient => "tran",
+            AnalysisKind::Ac => "ac",
+            AnalysisKind::IrDrop => "irdrop",
+        }
+    }
+
+    /// Parses a CLI-style name.
+    pub fn parse(s: &str) -> Option<AnalysisKind> {
+        AnalysisKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s.trim().to_ascii_lowercase())
+    }
+
+    /// The word this kind contributes to a model fingerprint.
+    pub fn fingerprint_word(self) -> u64 {
+        fingerprint_str(self.name())
+    }
+}
+
 /// What a checkpoint must agree with before a resume is allowed.
 ///
 /// `model` is an opaque caller-computed hash of everything that shapes a

@@ -94,8 +94,14 @@ impl Histogram {
     /// # Errors
     ///
     /// As [`Histogram::new`]; an empty or constant sample gets a unit
-    /// range around it instead of an error.
+    /// range around it instead of an error. A NaN *or infinite* sample is
+    /// [`HistogramError::NonFinite`] up front: ±∞ used to slip into the
+    /// range fold, poison the auto-range, and surface only indirectly
+    /// (or, for a sample like `[-∞, +∞]`, collapse the range silently) —
+    /// the IR-drop path needs the offending sample index, not a
+    /// misattributed range error.
     pub fn auto(xs: &[f64], bins: usize) -> Result<Self, HistogramError> {
+        first_non_finite(xs)?;
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let (lo, hi) = if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
@@ -194,12 +200,16 @@ impl Histogram {
     /// # Errors
     ///
     /// As [`Histogram::new`] — in particular, two empty samples have no
-    /// combined range ([`HistogramError::EmptyRange`]).
+    /// combined range ([`HistogramError::EmptyRange`]), and a non-finite
+    /// sample in either input is [`HistogramError::NonFinite`] (indexed
+    /// within its own slice), not a range error.
     pub fn pair(
         xs: &[f64],
         ys: &[f64],
         bins: usize,
     ) -> Result<(Histogram, Histogram), HistogramError> {
+        first_non_finite(xs)?;
+        first_non_finite(ys)?;
         let all = xs.iter().chain(ys).copied();
         let (lo, hi) = all.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
             (lo.min(v), hi.max(v))
@@ -209,6 +219,15 @@ impl Histogram {
             Histogram::new(xs, bins, lo - margin, hi + margin)?,
             Histogram::new(ys, bins, lo - margin, hi + margin)?,
         ))
+    }
+}
+
+/// Rejects the first NaN/±∞ sample with its index — the shared guard
+/// behind the range-deriving constructors.
+fn first_non_finite(xs: &[f64]) -> Result<(), HistogramError> {
+    match xs.iter().enumerate().find(|(_, x)| !x.is_finite()) {
+        Some((index, &value)) => Err(HistogramError::NonFinite { index, value }),
+        None => Ok(()),
     }
 }
 
@@ -284,6 +303,39 @@ mod tests {
         assert!(Histogram::auto(&[2.5], 3).is_ok());
         // …but non-finite samples are still rejected.
         assert!(Histogram::auto(&[f64::NAN], 3).is_err());
+    }
+
+    #[test]
+    fn auto_rejects_infinite_samples_with_index() {
+        // Regression: ±∞ used to flow into the range fold and come back
+        // as a degenerate-range detour (or, mixed with finite samples,
+        // an inf-wide histogram attempt) instead of naming the sample.
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let err = Histogram::auto(&[1.0, 2.0, bad, 3.0], 4).unwrap_err();
+            match err {
+                HistogramError::NonFinite { index, value } => {
+                    assert_eq!(index, 2);
+                    assert!(value.is_nan() || value.is_infinite());
+                }
+                other => panic!("expected NonFinite for {bad}, got {other:?}"),
+            }
+        }
+        // The all-infinite sample is a NonFinite error too, not a
+        // silently collapsed unit range.
+        assert!(matches!(
+            Histogram::auto(&[f64::NEG_INFINITY, f64::INFINITY], 3),
+            Err(HistogramError::NonFinite { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn pair_rejects_infinite_samples_with_index() {
+        // An infinite sample used to surface as EmptyRange (the ∞-wide
+        // margin), misattributing the failure to the configuration.
+        assert!(matches!(
+            Histogram::pair(&[1.0], &[2.0, f64::INFINITY], 3),
+            Err(HistogramError::NonFinite { index: 1, .. })
+        ));
     }
 
     #[test]

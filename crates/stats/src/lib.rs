@@ -49,8 +49,8 @@ pub mod timing_yield;
 
 pub use campaign::{
     fingerprint_str, fingerprint_words, fnv1a64, load_checkpoint, reap_orphan_tmp, reap_tmp_in_dir,
-    run_campaign, save_checkpoint, CampaignConfig, CampaignFingerprint, CampaignResult,
-    CampaignVerdict, Checkpoint, CheckpointError, SampleRecord,
+    run_campaign, save_checkpoint, AnalysisKind, CampaignConfig, CampaignFingerprint,
+    CampaignResult, CampaignVerdict, Checkpoint, CheckpointError, SampleRecord,
 };
 pub use envknob::{env_knob_str, env_knob_usize, EnvKnob};
 pub use gradient::central_difference_sensitivities;

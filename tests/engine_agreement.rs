@@ -334,6 +334,100 @@ fn cross_engine_conformance_table() {
     );
 }
 
+/// The IR-drop counterpart of [`cross_engine_conformance_table`]: the
+/// gPC and Sobol engines vs the Monte-Carlo reference on the 8×8
+/// stochastic power grid, same budget formulas (means within
+/// 2 % + 4 MC standard errors, stds within 25 %, quantiles within
+/// 2 % + 4·SE of the matching MC order statistic), full-table failure
+/// report. This is the acceptance gate for the `acgrid` workload: every
+/// statistics engine must tell the same story about the worst-drop
+/// distribution.
+#[test]
+fn ir_drop_cross_engine_conformance_table() {
+    use linvar_bench::grid::{run_case, run_case_spectral, sample_set, sample_set_sobol};
+    use linvar_interconnect::{power_grid_case, PowerGridSpec};
+    use linvar_numeric::SolverChoice;
+
+    let case = power_grid_case(&PowerGridSpec::new(8, 8, WireTech::m018())).expect("grid builds");
+    let (n, threads) = (200usize, 2usize);
+
+    let mc = run_case(&case, &sample_set(n), threads, SolverChoice::Sparse).expect("mc");
+    assert_eq!(mc.failures, 0, "{:?}", mc.first_error);
+    let mut sorted = mc.values.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mc_q = |p: f64| sorted[((n - 1) as f64 * p).round() as usize];
+    let se_mean = mc.summary.std / (n as f64).sqrt();
+    let se_q = |p: f64| {
+        let z = linvar::stats::sampling::inverse_normal_cdf(p);
+        let phi = (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        mc.summary.std * (p * (1.0 - p) / n as f64).sqrt() / phi
+    };
+    let mean_budget = 0.02 * mc.summary.mean.abs() + 4.0 * se_mean;
+    let q_budget = |p: f64| mean_budget.max(0.02 * mc_q(p).abs() + 4.0 * se_q(p));
+    let std_budget = 0.25 * mc.summary.std;
+
+    let pc = run_case_spectral(&case, threads, SolverChoice::Sparse).expect("gpc");
+    let pc_q = |p: f64| {
+        pc.quantiles
+            .iter()
+            .find(|(q, _)| (q - p).abs() < 1e-12)
+            .map(|&(_, v)| v)
+            .expect("surrogate quantile present")
+    };
+
+    let qmc = run_case(&case, &sample_set_sobol(n), threads, SolverChoice::Sparse).expect("sobol");
+    assert_eq!(qmc.failures, 0, "{:?}", qmc.first_error);
+    let mut qs = qmc.values.clone();
+    qs.sort_by(|a, b| a.total_cmp(b));
+    let qmc_q = |p: f64| qs[((n - 1) as f64 * p).round() as usize];
+
+    assert!(
+        pc.nodes_evaluated * 10 <= n,
+        "gPC used {} DC solves vs the MC reference's {n}",
+        pc.nodes_evaluated
+    );
+
+    let rows = [
+        ("gpc", "mean", pc.mean, mc.summary.mean, mean_budget),
+        ("gpc", "std", pc.std, mc.summary.std, std_budget),
+        ("gpc", "q05", pc_q(0.05), mc_q(0.05), q_budget(0.05)),
+        ("gpc", "q50", pc_q(0.50), mc_q(0.50), q_budget(0.50)),
+        ("gpc", "q95", pc_q(0.95), mc_q(0.95), q_budget(0.95)),
+        (
+            "sobol",
+            "mean",
+            qmc.summary.mean,
+            mc.summary.mean,
+            mean_budget,
+        ),
+        ("sobol", "std", qmc.summary.std, mc.summary.std, std_budget),
+        ("sobol", "q05", qmc_q(0.05), mc_q(0.05), q_budget(0.05)),
+        ("sobol", "q50", qmc_q(0.50), mc_q(0.50), q_budget(0.50)),
+        ("sobol", "q95", qmc_q(0.95), mc_q(0.95), q_budget(0.95)),
+    ];
+    let mut table = String::new();
+    let mut violations = 0usize;
+    for &(engine, metric, value, reference, budget) in &rows {
+        let err = (value - reference).abs();
+        let verdict = if err <= budget { "ok" } else { "FAIL" };
+        if err > budget {
+            violations += 1;
+        }
+        table.push_str(&format!(
+            "{engine:<6} {metric:<5} engine {:>9.4} mV  mc {:>9.4} mV  err {:>8.5} mV  \
+             budget {:>8.5} mV  {verdict}\n",
+            value * 1e3,
+            reference * 1e3,
+            err * 1e3,
+            budget * 1e3,
+        ));
+    }
+    assert_eq!(
+        violations, 0,
+        "IR-drop cross-engine conformance budget exceeded:\n{table}"
+    );
+}
+
 #[test]
 fn both_engines_monotone_in_resistivity() {
     let d = |rho: f64| {

@@ -182,6 +182,90 @@ fn sparse_recovery_ladder_matches_dense_semantics() {
     assert!(x.iter().all(|v| v.is_finite()));
 }
 
+// ------------------------------------------------------- numeric (complex/AC)
+
+use linvar::numeric::{embed_triplets, CAnySolver, SolverChoice};
+
+#[test]
+fn ac_singular_complex_system_recovers_on_both_backends() {
+    // Row 2 is exactly zero in both real and imaginary parts: the
+    // embedded 2n×2n real system is exactly singular, and the complex
+    // wrapper must ride the same perturbation rung as the real path —
+    // on both backends — reporting the recovery, never panicking.
+    let triplets = [
+        (0, 0, Complex::new(2.0, 1.0)),
+        (0, 1, Complex::new(-1.0, 0.0)),
+        (1, 1, Complex::new(3.0, -0.5)),
+        (1, 0, Complex::new(-1.0, 0.2)),
+    ];
+    for choice in [SolverChoice::Dense, SolverChoice::Sparse] {
+        let (solver, rec) = CAnySolver::factor_triplets_recovering(3, &triplets, choice)
+            .expect("perturbation recovers the empty row");
+        assert!(rec.perturbed, "{choice:?}: must record the perturbation");
+        assert!(rec.perturbation > 0.0);
+        let x = solver
+            .solve(&[Complex::ONE, Complex::ZERO, Complex::new(0.0, 1.0)])
+            .expect("recovered factorization solves");
+        assert!(x.iter().all(|z| z.re.is_finite() && z.im.is_finite()));
+    }
+}
+
+#[test]
+fn ac_embedding_and_refactor_misuse_are_typed_errors() {
+    // Out-of-range complex triplet: a typed InvalidInput from the
+    // embedding, not an out-of-bounds panic in the 4-block expansion.
+    let bad = [(2, 0, Complex::ONE)];
+    assert!(matches!(
+        embed_triplets(2, &bad),
+        Err(NumericError::InvalidInput(_))
+    ));
+    // Refactoring with a different order is a typed dimension mismatch
+    // and must not corrupt the resident factors.
+    let good = [
+        (0, 0, Complex::new(2.0, 0.1)),
+        (1, 1, Complex::new(4.0, 0.0)),
+    ];
+    let mut solver = CAnySolver::factor_triplets(2, &good, SolverChoice::Dense).unwrap();
+    assert!(matches!(
+        solver.refactor_triplets(3, &good),
+        Err(NumericError::DimensionMismatch { .. })
+    ));
+    let x = solver
+        .solve(&[Complex::new(2.0, 0.1), Complex::ZERO])
+        .unwrap();
+    assert!((x[0].re - 1.0).abs() < 1e-12 && x[0].im.abs() < 1e-12);
+}
+
+#[test]
+fn ac_sweep_through_a_dc_singular_netlist_stays_finite() {
+    use linvar::circuit::{Netlist, SourceWaveform};
+    use linvar::spice::ac_analysis_with;
+    // A purely capacitive divider: at f = 0 every capacitor vanishes and
+    // the output node's row is exactly zero — the sweep's first factor
+    // must engage the recovery rung, and the later points must refactor
+    // back onto the unperturbed physics. No panic, finite magnitudes,
+    // and the high-frequency gain must recover the C1/(C1+C2) divider.
+    let mut nl = Netlist::new();
+    let inp = nl.node("in");
+    let out = nl.node("out");
+    nl.add_vsource("Vin", inp, Netlist::GROUND, SourceWaveform::Dc(0.0))
+        .unwrap();
+    nl.add_capacitor("C1", inp, out, 2e-12).unwrap();
+    nl.add_capacitor("C2", out, Netlist::GROUND, 1e-12).unwrap();
+    let freqs = [0.0, 1e6, 1e9];
+    for choice in [SolverChoice::Dense, SolverChoice::Sparse] {
+        let res = ac_analysis_with(&nl, "Vin", &["out"], &freqs, choice)
+            .expect("recovery rung must carry the DC point");
+        let mags = res.magnitude("out").unwrap();
+        assert!(mags.iter().all(|m| m.is_finite()), "{choice:?}: {mags:?}");
+        assert!(
+            (mags[2] - 2.0 / 3.0).abs() < 1e-6,
+            "{choice:?}: capacitive divider gain at 1 GHz, got {}",
+            mags[2]
+        );
+    }
+}
+
 // -------------------------------------------------------------------- mor
 
 #[test]

@@ -183,6 +183,51 @@ fn golden_spectral_rows() {
     check_or_bless("spectral_rows.txt", &rows);
 }
 
+/// IR-drop rows exactly as the `acgrid` bin computes them: the quick
+/// 8×8 power grid, 8 LHS samples over the 5 wire parameters, worst drop
+/// per sample. The determinism contract is asserted before the fixture
+/// compare — 2 and 8 worker threads reproduce the 1-worker bits, and the
+/// dense backend prints the very same `mc` row as sparse (`ci.sh` reruns
+/// this test under `LINVAR_WS_DISABLE=1`, so the pooled and allocating
+/// DC-solve paths pin the same bits).
+#[test]
+fn golden_acgrid_rows() {
+    use linvar_bench::chains::mc_line;
+    use linvar_bench::grid::{run_case, sample_set};
+    use linvar_interconnect::standard_grid_cases;
+    use linvar_numeric::SolverChoice;
+    let samples = sample_set(8); // matches the bin's --quick campaign
+    let cases = standard_grid_cases(true).unwrap();
+    let mut rows = Vec::new();
+    for case in &cases {
+        let base = run_case(case, &samples, 1, SolverChoice::Sparse).unwrap();
+        let base_line = mc_line(&case.name, &base.summary, base.failures);
+        for threads in [2, 8] {
+            let mc = run_case(case, &samples, threads, SolverChoice::Sparse).unwrap();
+            assert_eq!(
+                mc.values, base.values,
+                "{}: sparse drops differ between 1 and {threads} threads",
+                case.name
+            );
+            assert_eq!(mc_line(&case.name, &mc.summary, mc.failures), base_line);
+        }
+        let dense = run_case(case, &samples, 2, SolverChoice::Dense).unwrap();
+        assert_eq!(
+            mc_line(&case.name, &dense.summary, dense.failures),
+            base_line,
+            "{}: dense and sparse mc rows diverged",
+            case.name
+        );
+        rows.push((format!("{}.line", case.name), base_line));
+        rows.push((format!("{}.mean", case.name), hex(base.summary.mean)));
+        rows.push((format!("{}.std", case.name), hex(base.summary.std)));
+        for (i, d) in base.values.iter().enumerate() {
+            rows.push((format!("{}.drop.{i}", case.name), hex(*d)));
+        }
+    }
+    check_or_bless("acgrid_rows.txt", &rows);
+}
+
 /// A raw stage waveform at a non-nominal corner: every breakpoint of the
 /// far-end response, bit-exact. This pins the TETA engine (DC solve, SC
 /// chord iteration, recursive convolution, compression) below the level
